@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper on the simulated
+substrate, prints the rendered rows and also writes them to
+``benchmarks/results/<name>.txt`` so they can be inspected after a
+``pytest benchmarks/ --benchmark-only`` run and copied into EXPERIMENTS.md.
+
+Environment knobs
+-----------------
+``REPRO_FULL_TABLE1=1``
+    Run Table 1 over all nine sim models instead of the four-model subset.
+``REPRO_BENCH_PROFILE``
+    Override the training profile used by the benchmarks (default
+    ``"default"``; set to ``"smoke"`` for a fast structural check).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_profile() -> str:
+    """Training profile used by the benchmark suite."""
+    return os.environ.get("REPRO_BENCH_PROFILE", "default")
+
+
+def write_result(name: str, content: str) -> Path:
+    """Print and persist a rendered experiment table."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")
+    return path
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiment harnesses are deterministic and expensive (they train and
+    evaluate simulated LLMs), so a single round is both sufficient and the
+    only affordable choice.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

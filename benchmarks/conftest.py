@@ -1,0 +1,11 @@
+"""Pytest fixtures for the benchmark suite (see ``bench_utils`` for helpers)."""
+
+import pytest
+
+from bench_utils import bench_profile
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    """Training profile used by the benchmark suite."""
+    return bench_profile()

@@ -1,0 +1,35 @@
+"""Benchmark: additional ablations called out in DESIGN.md.
+
+* Candidate-pool ratio sweep — secrecy / quality trade-off of ``|B_c|·n/|B|``.
+* Saliency-source ablation — how much of the owner's location set an
+  adversary scoring with *quantized* activations would recover (the gap is
+  what defeats re-watermarking and forging).
+"""
+
+from repro.experiments.ablations import run_pool_ratio_ablation, run_saliency_source_ablation
+
+from bench_utils import run_once, write_result
+
+
+def test_ablation_pool_ratio(benchmark, profile):
+    def run():
+        return run_pool_ratio_ablation(profile=profile)
+
+    result = run_once(benchmark, run)
+    write_result("ablation_pool_ratio", result.render())
+
+    assert all(point.wer_percent == 100.0 for point in result.points)
+    sizes = [point.mean_pool_size for point in result.points]
+    assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_ablation_saliency_source(benchmark, profile):
+    def run():
+        return run_saliency_source_ablation(profile=profile)
+
+    result = run_once(benchmark, run)
+    write_result("ablation_saliency_source", result.render())
+
+    # The adversary's quantized-activation scoring must not reproduce the
+    # owner's locations exactly — that gap is the secrecy margin.
+    assert result.mean_overlap < 0.9

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the core watermarking operations.
+
+Unlike the table/figure benchmarks (which run a whole experiment once), these
+measure the steady-state cost of the two operations a deployment pipeline
+calls repeatedly — watermark insertion and watermark extraction — with proper
+multi-round statistics from pytest-benchmark.
+"""
+
+import pytest
+
+from repro.core import EmMark, EmMarkConfig
+from repro.experiments.common import prepare_context
+
+from bench_utils import bench_profile
+
+MODEL = "opt-2.7b-sim"
+
+
+@pytest.fixture(scope="module")
+def context():
+    return prepare_context(MODEL, 4, profile=bench_profile())
+
+
+@pytest.fixture(scope="module")
+def emmark(context):
+    return EmMark(context.emmark_config)
+
+
+def test_insertion_speed(benchmark, context, emmark):
+    quantized = context.fresh_quantized()
+
+    def insert():
+        return emmark.insert_with_key(quantized, context.activations)
+
+    _, key, report = benchmark(insert)
+    assert report.total_bits == key.total_bits
+
+
+def test_extraction_speed(benchmark, context, emmark):
+    watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
+
+    def extract():
+        return emmark.extract_with_key(watermarked, key)
+
+    result = benchmark(extract)
+    assert result.wer_percent == 100.0
+
+
+def test_scoring_speed(benchmark, context):
+    """Cost of scoring one quantization layer (the inner loop of insertion)."""
+    from repro.core.scoring import select_candidates
+
+    name = context.quantized.layer_names()[0]
+    layer = context.quantized.get_layer(name)
+    activations = context.activations.channel_saliency(name)
+    pool = context.emmark_config.candidate_pool_size(layer.num_weights)
+
+    result = benchmark(
+        select_candidates, layer, activations, 0.5, 0.5, pool
+    )
+    assert result.num_candidates == pool

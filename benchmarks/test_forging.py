@@ -1,0 +1,25 @@
+"""Benchmark: forging attacks (Section 5.3).
+
+Measures both forging settings — counterfeit locations and counterfeit
+re-watermarking — from the point of view of a neutral verifier, plus the
+signature-collision probabilities of Equation 8.
+"""
+
+from repro.experiments import forging
+
+from bench_utils import run_once, write_result
+
+
+def test_forging_attacks(benchmark, profile):
+    def run():
+        return forging.run(profile=profile)
+
+    result = run_once(benchmark, run)
+    write_result("forging", result.render())
+
+    assert not result.fake_location_outcome.accepted
+    assert result.owner_on_attacked.accepted
+    assert not result.attacker_on_original.accepted
+    # Collision probability for the whole model is astronomically small
+    # (paper: 9.09e-13 per layer, raised to the n-th power).
+    assert result.log10_model_collision_probability < -40

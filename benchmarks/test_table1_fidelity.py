@@ -1,0 +1,41 @@
+"""Benchmark: Table 1 — fidelity of watermarked embedded LLMs.
+
+Regenerates the paper's fidelity table (perplexity, zero-shot accuracy, WER
+for w/o WM / SpecMark / RandomWM / EmMark) on the simulated OPT and LLaMA-2
+families at INT8 and INT4.  By default a four-model subset is used; set
+``REPRO_FULL_TABLE1=1`` to sweep all nine models of the paper.
+"""
+
+import os
+
+from repro.experiments import table1
+
+from bench_utils import run_once, write_result
+
+
+def _model_list():
+    if os.environ.get("REPRO_FULL_TABLE1") == "1":
+        return list(table1.FULL_MODEL_LIST)
+    return list(table1.DEFAULT_MODEL_SUBSET)
+
+
+def test_table1_fidelity(benchmark, profile):
+    models = _model_list()
+
+    def run():
+        return table1.run(model_names=models, precisions=(8, 4), profile=profile)
+
+    result = run_once(benchmark, run)
+    write_result("table1_fidelity", result.render())
+
+    # Invariants the paper reports, independent of absolute metric values:
+    for bits in (8, 4):
+        for row in result.rows_for(bits, "EmMark"):
+            assert row.wer_percent == 100.0, f"EmMark must fully extract ({row.model_name})"
+        for row in result.rows_for(bits, "SpecMark"):
+            assert row.wer_percent <= 5.0, "SpecMark must fail on quantized weights"
+        for row in result.rows_for(bits, "RandomWM"):
+            assert row.wer_percent >= 99.0
+        # EmMark's average quality degradation stays within noise of zero.
+        assert abs(result.average_degradation(bits, "EmMark", "perplexity")) < 0.5
+        assert abs(result.average_degradation(bits, "EmMark", "zero_shot")) < 2.0

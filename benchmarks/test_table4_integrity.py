@@ -1,0 +1,26 @@
+"""Benchmark: Table 4 — watermark integrity.
+
+Extracts the owner's signature from the watermarked model and from four
+independently produced non-watermarked models (plain AWQ, Alpaca-sim
+fine-tune + AWQ, WikiText-sim fine-tune + AWQ, GPTQ) and reports the WER of
+each — only the watermarked model may verify.
+"""
+
+from repro.experiments import table4
+
+from bench_utils import run_once, write_result
+
+
+def test_table4_integrity(benchmark, profile):
+    def run():
+        return table4.run(profile=profile)
+
+    result = run_once(benchmark, run)
+    write_result("table4_integrity", result.render())
+
+    assert result.wer_by_model["WM"] == 100.0
+    assert result.wer_by_model["non-WM 1"] == 0.0
+    # Independently produced models stay far below any ownership threshold.
+    # (The paper reports 0%; at sim scale accidental ±1 collisions leave a
+    # small residue for the fine-tuned/GPTQ variants — see EXPERIMENTS.md.)
+    assert result.max_false_positive_wer() < 60.0

@@ -1,0 +1,17 @@
+"""Pytest root conftest.
+
+Makes the test and benchmark suites runnable straight from a source checkout:
+if the ``repro`` package has not been installed (for example in an offline
+environment where editable installs are awkward), the ``src`` layout directory
+is added to ``sys.path`` so that ``import repro`` resolves to the checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: watermark a quantized LLM and prove ownership.
+
+The shortest end-to-end tour of the library:
+
+1. load a pre-trained simulated LLM (OPT-2.7B-sim) and its evaluation data,
+2. collect full-precision calibration activations,
+3. quantize the model to INT4 with AWQ (the paper's low-bit setting),
+4. insert an EmMark watermark and keep the owner's key,
+5. extract the watermark from the deployed model (100% WER expected),
+6. show that the same key does NOT verify against the non-watermarked model,
+7. persist the key to disk and load it back.
+
+Run with:  python examples/quickstart.py  [--profile default|smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import EmMark, EmMarkConfig, WatermarkKey, quantize_model
+from repro.eval import EvaluationHarness
+from repro.models import collect_activation_stats
+from repro.models.registry import get_pretrained_model_and_data
+from repro.utils.logging import configure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile",
+        default="smoke",
+        choices=["smoke", "default"],
+        help="training profile of the sim model (smoke = fast, default = paper-quality)",
+    )
+    parser.add_argument("--model", default="opt-2.7b-sim", help="registry name of the sim model")
+    args = parser.parse_args()
+    configure()
+
+    print(f"[1/7] loading pre-trained {args.model} ({args.profile} profile)")
+    model, dataset = get_pretrained_model_and_data(args.model, profile=args.profile)
+
+    print("[2/7] collecting full-precision calibration activations")
+    activations = collect_activation_stats(model, dataset.calibration)
+
+    print("[3/7] quantizing to INT4 with AWQ")
+    quantized = quantize_model(model, "awq", bits=4, activations=activations)
+    harness = EvaluationHarness(dataset, num_task_examples=16)
+    baseline = harness.evaluate(quantized)
+    print(f"      quantized model: PPL {baseline.perplexity:.2f}, "
+          f"zero-shot acc {baseline.zero_shot_accuracy:.1f}%")
+
+    print("[4/7] inserting the EmMark watermark")
+    config = EmMarkConfig.scaled_for_model(quantized)
+    emmark = EmMark(config)
+    watermarked, key, report = emmark.insert_with_key(quantized, activations)
+    print(f"      inserted {key.total_bits} bits "
+          f"({config.bits_per_layer}/layer x {key.num_layers} layers) "
+          f"in {report.total_seconds:.3f}s on the CPU")
+    quality = harness.evaluate(watermarked)
+    print(f"      watermarked model: PPL {quality.perplexity:.2f}, "
+          f"zero-shot acc {quality.zero_shot_accuracy:.1f}%")
+
+    print("[5/7] extracting the watermark from the deployed model")
+    extraction = emmark.extract_with_key(watermarked, key)
+    print(f"      {extraction.summary()}")
+
+    print("[6/7] checking integrity against the non-watermarked model")
+    innocent = emmark.extract_with_key(quantized, key)
+    print(f"      non-watermarked model: WER {innocent.wer_percent:.2f}% "
+          f"-> ownership asserted: {emmark.verify(quantized, key)}")
+
+    print("[7/7] persisting and reloading the watermark key")
+    with tempfile.TemporaryDirectory() as tmp:
+        key_dir = Path(tmp) / "owner-key"
+        key.save(key_dir)
+        restored = WatermarkKey.load(key_dir)
+        again = emmark.extract_with_key(watermarked, restored)
+        print(f"      reloaded key extracts {again.wer_percent:.1f}% WER "
+              f"({key_dir.name}: watermark_key.json + watermark_key.npz)")
+
+    print("\nDone. The owner's key (signature, seed, reference weights, activations, "
+          "alpha/beta) is everything needed to later prove ownership in court.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Watermark removal and forging attacks (Section 3 and 5.3).
+
+The threat model assumes an adversary with full access to the deployed
+(watermarked) integer weights and knowledge of the EmMark algorithm, but
+without the full-precision model, the owner's signature, or the random seed.
+The package implements every attack the paper evaluates:
+
+* :mod:`repro.attacks.overwrite` — parameter overwriting: random weights are
+  replaced / perturbed (Figure 2a).
+* :mod:`repro.attacks.rewatermark` — re-watermarking: the adversary runs
+  EmMark's own insertion procedure with different hyper-parameters and the
+  *quantized* model's activations (Figure 2b).
+* :mod:`repro.attacks.forging` — forging: counterfeit watermark locations /
+  counterfeit keys on top of the watermarked model (Section 5.3).
+* :mod:`repro.attacks.pruning` — magnitude pruning of the quantized weights,
+  included to demonstrate the paper's claim that pruning an already-compressed
+  model destroys it.
+* :mod:`repro.attacks.finetune_attack` — LoRA fine-tuning as an attempted
+  removal attack; it cannot change the quantized weights.
+"""
+
+from repro.attacks.overwrite import OverwriteAttackConfig, parameter_overwrite_attack
+from repro.attacks.rewatermark import RewatermarkAttackConfig, rewatermark_attack
+from repro.attacks.forging import (
+    ForgingOutcome,
+    counterfeit_key_attack,
+    forge_with_fake_locations,
+)
+from repro.attacks.pruning import PruningAttackConfig, magnitude_pruning_attack
+from repro.attacks.finetune_attack import lora_finetune_attack
+
+__all__ = [
+    "OverwriteAttackConfig",
+    "parameter_overwrite_attack",
+    "RewatermarkAttackConfig",
+    "rewatermark_attack",
+    "ForgingOutcome",
+    "forge_with_fake_locations",
+    "counterfeit_key_attack",
+    "PruningAttackConfig",
+    "magnitude_pruning_attack",
+    "lora_finetune_attack",
+]

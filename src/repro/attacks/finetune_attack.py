@@ -1,0 +1,72 @@
+"""Fine-tuning (QLoRA-style) as an attempted removal attack.
+
+The paper rules fine-tuning out as a removal attack because parameter-
+efficient fine-tuning of quantized models (QLoRA) freezes the quantized
+weights and learns additive low-rank adapters instead.  This module carries
+the argument out mechanically: it LoRA-fine-tunes the watermarked quantized
+model on an attacker-chosen corpus and reports that (a) the integer weights —
+and therefore the watermark — are bit-identical afterwards, and (b) the
+adapted model may well behave differently, but ownership verification reads
+the deployed quantized tensors, not the adapter outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.data.corpus import TokenCorpus
+from repro.finetune.lora import LoRAConfig, LoRAFineTuner
+from repro.quant.base import QuantizedModel
+
+__all__ = ["FineTuneAttackResult", "lora_finetune_attack"]
+
+
+@dataclass
+class FineTuneAttackResult:
+    """Outcome of the LoRA fine-tuning attack.
+
+    Attributes
+    ----------
+    attacked_model:
+        The quantized model after the attack.  Its integer weights are
+        untouched; only the attacker-side adapters changed (and those are not
+        part of the deployed quantized tensors the owner queries).
+    quantized_weights_unchanged:
+        Mechanical check that no integer weight moved.
+    final_loss:
+        The attacker's fine-tuning loss after the last step (shows the
+        adapters did learn something, i.e. the attack was actually run).
+    """
+
+    attacked_model: QuantizedModel
+    quantized_weights_unchanged: bool
+    final_loss: float
+
+
+def lora_finetune_attack(
+    model: QuantizedModel,
+    corpus: TokenCorpus,
+    config: Optional[LoRAConfig] = None,
+) -> FineTuneAttackResult:
+    """Run a QLoRA-style fine-tuning attack against ``model``.
+
+    Parameters
+    ----------
+    model:
+        The watermarked quantized model.
+    corpus:
+        The attacker's fine-tuning corpus.
+    config:
+        LoRA hyper-parameters (rank, steps, learning rate).
+    """
+    reference = model.clone()
+    tuner = LoRAFineTuner(model, config=config)
+    history = tuner.fine_tune(corpus)
+    unchanged = tuner.quantized_weights_unchanged(reference)
+    final_loss = history["loss"][-1] if history["loss"] else float("nan")
+    return FineTuneAttackResult(
+        attacked_model=model,
+        quantized_weights_unchanged=unchanged,
+        final_loss=float(final_loss),
+    )

@@ -1,0 +1,18 @@
+"""Baseline watermarking schemes the paper compares EmMark against.
+
+* :class:`~repro.core.baselines.random_wm.RandomWM` — inserts the signature
+  at uniformly random weight positions (no scoring).  It extracts perfectly
+  but damages low-bit models because it happily perturbs tiny and saturated
+  weights.
+* :class:`~repro.core.baselines.specmark.SpecMark` — the DCT-domain spectral
+  watermark of Chen et al. (INTERSPEECH 2020), originally designed for
+  full-precision speech models, applied to the quantized weights as the paper
+  does.  The tiny high-frequency additions vanish when the weights are
+  re-rounded to the integer grid, so extraction fails (0% WER) — reproducing
+  the paper's negative result.
+"""
+
+from repro.core.baselines.random_wm import RandomWM
+from repro.core.baselines.specmark import SpecMark
+
+__all__ = ["RandomWM", "SpecMark"]

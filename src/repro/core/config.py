@@ -1,0 +1,188 @@
+"""EmMark insertion hyper-parameters.
+
+The configuration mirrors Section 5.1 of the paper:
+
+* signature bits per quantization layer (300 for INT8, 40 for INT4),
+* the scoring coefficients α and β (0.5 / 0.5),
+* the random seed ``d`` used for sub-sampling candidates (100),
+* the candidate-pool ratio ``|B_c|·n / |B|`` (50 for models below 6.7B
+  parameters, 60 for larger ones).
+
+The simulated models are orders of magnitude smaller than the real
+checkpoints, so :meth:`EmMarkConfig.scaled_for_model` provides the equivalent
+configuration scaled to the simulated layer sizes while keeping every ratio
+and rule intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["EmMarkConfig"]
+
+#: Paper defaults (Section 5.1).
+PAPER_BITS_PER_LAYER_INT8 = 300
+PAPER_BITS_PER_LAYER_INT4 = 40
+PAPER_POOL_RATIO_SMALL = 50.0
+PAPER_POOL_RATIO_LARGE = 60.0
+PAPER_SEED = 100
+PAPER_ALPHA = 0.5
+PAPER_BETA = 0.5
+#: Model-size threshold (billions of parameters) at which the paper switches
+#: from the small to the large candidate-pool ratio.
+POOL_RATIO_THRESHOLD_BILLIONS = 6.7
+
+
+@dataclass(frozen=True)
+class EmMarkConfig:
+    """Hyper-parameters of one EmMark insertion.
+
+    Attributes
+    ----------
+    bits_per_layer:
+        Number of signature bits inserted into every quantization layer
+        (the paper's ``|B| / n``).
+    alpha:
+        Weight of the quality-preservation score ``S_q``.
+    beta:
+        Weight of the robustness score ``S_r``.
+    seed:
+        The owner's secret random seed ``d`` used to sub-sample the final
+        watermark locations from the candidate pool.
+    candidate_pool_ratio:
+        The paper's ``|B_c|·n / |B|``: the per-layer candidate pool holds
+        ``candidate_pool_ratio × bits_per_layer`` positions.
+    max_candidate_fraction:
+        Safety cap on the candidate pool as a fraction of the layer's weight
+        count.  The simulated layers are small; without the cap a paper-sized
+        pool could cover most of a layer and the "strategic selection" would
+        degenerate into random selection.
+    signature_seed:
+        Seed used to draw the Rademacher signature when the owner does not
+        supply an explicit bit sequence.
+    exclude_saturated:
+        Exclude weights already at the minimum/maximum quantization level
+        (the paper sets their ``S_q`` to infinity); disabling this is only
+        useful for ablation studies.
+    """
+
+    bits_per_layer: int = PAPER_BITS_PER_LAYER_INT4
+    alpha: float = PAPER_ALPHA
+    beta: float = PAPER_BETA
+    seed: int = PAPER_SEED
+    candidate_pool_ratio: float = PAPER_POOL_RATIO_SMALL
+    max_candidate_fraction: float = 0.25
+    signature_seed: int = 1
+    exclude_saturated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits_per_layer < 1:
+            raise ValueError("bits_per_layer must be >= 1")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError("alpha and beta cannot both be zero")
+        if self.candidate_pool_ratio < 1:
+            raise ValueError("candidate_pool_ratio must be >= 1")
+        if not 0.0 < self.max_candidate_fraction <= 1.0:
+            raise ValueError("max_candidate_fraction must be in (0, 1]")
+
+    # -- derived quantities ----------------------------------------------------
+    def candidate_pool_size(self, layer_weight_count: int) -> int:
+        """Size of the per-layer candidate pool ``|B_c|``.
+
+        The pool is ``candidate_pool_ratio × bits_per_layer`` positions,
+        capped both by ``max_candidate_fraction`` of the layer and by the
+        layer size itself, and never smaller than ``bits_per_layer``.
+        """
+        target = int(round(self.candidate_pool_ratio * self.bits_per_layer))
+        cap = max(self.bits_per_layer, int(layer_weight_count * self.max_candidate_fraction))
+        pool = max(self.bits_per_layer, min(target, cap))
+        return min(pool, layer_weight_count)
+
+    def total_bits(self, num_layers: int) -> int:
+        """Total signature length ``|B|`` for an ``num_layers``-layer model."""
+        return self.bits_per_layer * num_layers
+
+    def with_overrides(self, **kwargs) -> "EmMarkConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def paper_defaults(
+        cls, bits: int, virtual_params_billions: Optional[float] = None
+    ) -> "EmMarkConfig":
+        """The exact configuration of Section 5.1 for a given precision.
+
+        Parameters
+        ----------
+        bits:
+            Quantization precision (8 or 4).
+        virtual_params_billions:
+            Size of the (real) model being watermarked; selects the 50 vs 60
+            candidate-pool ratio.  Defaults to the small-model rule.
+        """
+        if bits == 8:
+            bits_per_layer = PAPER_BITS_PER_LAYER_INT8
+        elif bits == 4:
+            bits_per_layer = PAPER_BITS_PER_LAYER_INT4
+        else:
+            raise ValueError("the paper only configures INT8 and INT4 insertion")
+        ratio = PAPER_POOL_RATIO_SMALL
+        if (
+            virtual_params_billions is not None
+            and virtual_params_billions >= POOL_RATIO_THRESHOLD_BILLIONS
+        ):
+            ratio = PAPER_POOL_RATIO_LARGE
+        return cls(
+            bits_per_layer=bits_per_layer,
+            alpha=PAPER_ALPHA,
+            beta=PAPER_BETA,
+            seed=PAPER_SEED,
+            candidate_pool_ratio=ratio,
+        )
+
+    @classmethod
+    def scaled_for_model(
+        cls,
+        quantized_model,
+        bits_per_layer: Optional[int] = None,
+        **overrides,
+    ) -> "EmMarkConfig":
+        """Paper configuration scaled to a simulated quantized model.
+
+        The real INT8/INT4 insertions place 300/40 bits into layers holding
+        millions of weights.  The simulated layers hold a few thousand, so the
+        scaled configuration keeps the *ratio of INT8 to INT4 payload* (7.5:1
+        becomes 24:12 by default) and the candidate-pool rule, while choosing
+        per-layer bit counts that stay a small fraction of the layer.
+
+        Parameters
+        ----------
+        quantized_model:
+            The :class:`~repro.quant.base.QuantizedModel` about to be
+            watermarked (its precision and virtual size select the defaults).
+        bits_per_layer:
+            Explicit override of the per-layer payload.
+        overrides:
+            Any other :class:`EmMarkConfig` field.
+        """
+        bits = quantized_model.bits
+        billions = quantized_model.config.virtual_params_billions
+        if bits_per_layer is None:
+            bits_per_layer = 24 if bits == 8 else 12
+        ratio = PAPER_POOL_RATIO_SMALL
+        if billions >= POOL_RATIO_THRESHOLD_BILLIONS:
+            ratio = PAPER_POOL_RATIO_LARGE
+        config = cls(
+            bits_per_layer=bits_per_layer,
+            alpha=PAPER_ALPHA,
+            beta=PAPER_BETA,
+            seed=PAPER_SEED,
+            candidate_pool_ratio=ratio,
+        )
+        if overrides:
+            config = config.with_overrides(**overrides)
+        return config

@@ -1,0 +1,101 @@
+"""The EmMark facade.
+
+:class:`EmMark` packages the insertion and extraction stages behind the
+:class:`~repro.core.interface.Watermarker` interface used by the experiment
+harness, and also exposes the richer key-based API (``insert_with_key`` /
+``extract_with_key`` / ``verify``) that downstream users of the library are
+expected to call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import EmMarkConfig
+from repro.core.extraction import ExtractionResult, extract_watermark, verify_ownership
+from repro.core.insertion import InsertionReport, insert_watermark
+from repro.core.interface import InsertionRecord, Watermarker
+from repro.core.keys import WatermarkKey
+from repro.models.activations import ActivationStats
+from repro.quant.base import QuantizedModel
+
+__all__ = ["EmMark"]
+
+
+class EmMark(Watermarker):
+    """EmMark watermarking for embedded quantized LLMs.
+
+    Parameters
+    ----------
+    config:
+        Insertion hyper-parameters.  When omitted, each insertion derives a
+        configuration scaled to the target model via
+        :meth:`EmMarkConfig.scaled_for_model`.
+
+    Examples
+    --------
+    >>> from repro.core import EmMark, EmMarkConfig
+    >>> emmark = EmMark(EmMarkConfig(bits_per_layer=8, seed=100))
+    >>> wm_model, key, report = emmark.insert_with_key(quantized, activations)
+    >>> emmark.extract_with_key(wm_model, key).wer_percent
+    100.0
+    """
+
+    method_name = "emmark"
+
+    def __init__(self, config: Optional[EmMarkConfig] = None) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Key-based API (primary)
+    # ------------------------------------------------------------------
+    def insert_with_key(
+        self,
+        model: QuantizedModel,
+        activations: ActivationStats,
+        signature: Optional[np.ndarray] = None,
+        config: Optional[EmMarkConfig] = None,
+    ) -> Tuple[QuantizedModel, WatermarkKey, InsertionReport]:
+        """Watermark ``model`` and return the watermarked copy, key and report."""
+        effective = config or self.config or EmMarkConfig.scaled_for_model(model)
+        return insert_watermark(model, activations, config=effective, signature=signature)
+
+    def extract_with_key(self, suspect: QuantizedModel, key: WatermarkKey) -> ExtractionResult:
+        """Extract the watermark from ``suspect`` using the owner's key."""
+        return extract_watermark(suspect, key, strict_layout=False)
+
+    def verify(
+        self,
+        suspect: QuantizedModel,
+        key: WatermarkKey,
+        wer_threshold: float = 90.0,
+    ) -> bool:
+        """Boolean ownership verdict (see :func:`verify_ownership`)."""
+        return verify_ownership(suspect, key, wer_threshold=wer_threshold)
+
+    # ------------------------------------------------------------------
+    # Watermarker interface (used by the Table 1 harness)
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        model: QuantizedModel,
+        activations: Optional[ActivationStats] = None,
+        signature: Optional[np.ndarray] = None,
+    ) -> Tuple[QuantizedModel, InsertionRecord]:
+        if activations is None:
+            raise ValueError("EmMark requires full-precision activation statistics")
+        watermarked, key, report = self.insert_with_key(model, activations, signature=signature)
+        record = InsertionRecord(
+            method=self.method_name,
+            signature=key.signature,
+            payload={"key": key, "report": report},
+        )
+        return watermarked, record
+
+    def extract(self, suspect: QuantizedModel, record: InsertionRecord) -> ExtractionResult:
+        key = record.payload.get("key")
+        if not isinstance(key, WatermarkKey):
+            raise ValueError("insertion record does not contain an EmMark watermark key")
+        return self.extract_with_key(suspect, key)

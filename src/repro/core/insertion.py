@@ -1,0 +1,209 @@
+"""Watermark insertion (Section 4.1).
+
+The insertion stage takes the original quantized model, the full-precision
+activation statistics and an :class:`~repro.core.config.EmMarkConfig`, and
+
+1. scores every quantized weight parameter of every layer
+   (:mod:`repro.core.scoring`),
+2. keeps the ``|B_c|`` best-scoring positions per layer as candidates,
+3. sub-samples ``|B|/n`` of them per layer with the secret seed ``d``,
+4. adds the corresponding signature bit to each selected integer weight
+   (Equation 5: ``W'[L_i] = W[L_i] + b_i``), and
+5. returns the watermarked model together with the owner's
+   :class:`~repro.core.keys.WatermarkKey`.
+
+The insertion is CPU-only and touches only integer weights, which is why the
+paper reports sub-second per-layer insertion time and zero additional GPU
+memory (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import EmMarkConfig
+from repro.core.keys import WatermarkKey
+from repro.core.scoring import select_candidates
+from repro.core.signature import generate_signature, split_signature_per_layer, validate_signature
+from repro.models.activations import ActivationStats
+from repro.quant.base import QuantizedModel
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+__all__ = ["WatermarkLocation", "InsertionReport", "insert_watermark", "select_layer_locations"]
+
+logger = get_logger("core.insertion")
+
+
+@dataclass(frozen=True)
+class WatermarkLocation:
+    """One watermarked position: layer, flattened weight index, signature bit."""
+
+    layer_name: str
+    flat_index: int
+    bit: int
+
+
+@dataclass
+class InsertionReport:
+    """Summary of one insertion run (used by the efficiency experiment)."""
+
+    total_bits: int
+    num_layers: int
+    per_layer_seconds: List[float]
+    candidate_pool_sizes: Dict[str, int]
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock time spent scoring and inserting across all layers."""
+        return float(sum(self.per_layer_seconds))
+
+    @property
+    def mean_seconds_per_layer(self) -> float:
+        """Average insertion time per quantization layer (Table 2 metric)."""
+        if not self.per_layer_seconds:
+            return 0.0
+        return float(np.mean(self.per_layer_seconds))
+
+
+def select_layer_locations(
+    layer,
+    channel_activations: np.ndarray,
+    bits_needed: int,
+    config: EmMarkConfig,
+) -> np.ndarray:
+    """Select the watermark positions of one layer (flattened indices).
+
+    Scoring, candidate pooling and the seeded sub-sampling all live in this
+    one function, which both the insertion stage and the extraction stage
+    call — guaranteeing that extraction reproduces the exact insertion-time
+    locations when given the same inputs (reference weights, activations,
+    seed, coefficients).
+    """
+    pool_size = config.candidate_pool_size(layer.num_weights)
+    scores = select_candidates(
+        layer,
+        channel_activations,
+        alpha=config.alpha,
+        beta=config.beta,
+        pool_size=pool_size,
+        exclude_saturated=config.exclude_saturated,
+    )
+    if scores.num_candidates < bits_needed:
+        raise ValueError(
+            f"layer {layer.name!r} offers only {scores.num_candidates} candidate positions "
+            f"but {bits_needed} signature bits were requested; lower bits_per_layer"
+        )
+    rng = new_rng(config.seed, "selection", layer.name)
+    chosen = rng.choice(scores.candidate_indices, size=bits_needed, replace=False)
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def insert_watermark(
+    model: QuantizedModel,
+    activations: ActivationStats,
+    config: Optional[EmMarkConfig] = None,
+    signature: Optional[np.ndarray] = None,
+    in_place: bool = False,
+) -> Tuple[QuantizedModel, WatermarkKey, InsertionReport]:
+    """Insert an EmMark watermark into ``model``.
+
+    Parameters
+    ----------
+    model:
+        The original quantized model (INT8 or INT4).
+    activations:
+        Full-precision activation statistics collected with
+        :func:`repro.models.activations.collect_activation_stats`.
+    config:
+        Insertion hyper-parameters; defaults to
+        :meth:`EmMarkConfig.scaled_for_model` for the given model.
+    signature:
+        Optional explicit ±1 signature of length
+        ``bits_per_layer × num_layers``; generated from
+        ``config.signature_seed`` when omitted.
+    in_place:
+        Modify ``model`` directly instead of watermarking a copy.
+
+    Returns
+    -------
+    (watermarked_model, key, report)
+        The watermarked model, the owner's key, and timing information.
+    """
+    import time
+
+    if config is None:
+        config = EmMarkConfig.scaled_for_model(model)
+    layer_names = model.layer_names()
+    total_bits = config.total_bits(len(layer_names))
+    if signature is None:
+        signature = generate_signature(total_bits, config.signature_seed)
+    else:
+        signature = validate_signature(signature)
+        if signature.size != total_bits:
+            raise ValueError(
+                f"signature has {signature.size} bits but the configuration requires {total_bits}"
+            )
+    per_layer_signature = split_signature_per_layer(signature, layer_names, config.bits_per_layer)
+
+    watermarked = model if in_place else model.clone()
+    reference_weights = model.integer_weight_snapshot()
+    per_layer_seconds: List[float] = []
+    pool_sizes: Dict[str, int] = {}
+
+    missing_activations = [
+        name for name in layer_names if name not in activations.mean_abs
+    ]
+    if missing_activations:
+        raise ValueError(
+            "activation statistics missing for layers: "
+            f"{missing_activations[:4]} — collect stats with the full-precision model"
+        )
+
+    for name in layer_names:
+        start = time.perf_counter()
+        layer = watermarked.get_layer(name)
+        channel_activations = activations.channel_saliency(name)
+        layer_signature = per_layer_signature[name]
+        locations = select_layer_locations(
+            layer, channel_activations, layer_signature.size, config
+        )
+        layer.add_to_weights(locations, layer_signature)
+        per_layer_seconds.append(time.perf_counter() - start)
+        pool_sizes[name] = config.candidate_pool_size(layer.num_weights)
+
+    outlier_columns = {
+        name: layer.outlier_columns.copy()
+        for name, layer in model.layers.items()
+        if layer.outlier_columns is not None
+    }
+    key = WatermarkKey(
+        signature=signature,
+        config=config,
+        reference_weights=reference_weights,
+        activations=activations,
+        layer_names=layer_names,
+        method=model.method,
+        bits=model.bits,
+        model_name=model.config.name,
+        outlier_columns=outlier_columns,
+    )
+    report = InsertionReport(
+        total_bits=total_bits,
+        num_layers=len(layer_names),
+        per_layer_seconds=per_layer_seconds,
+        candidate_pool_sizes=pool_sizes,
+    )
+    logger.debug(
+        "inserted %d bits into %d layers of %s (%s INT%d) in %.3fs",
+        total_bits,
+        len(layer_names),
+        model.config.name,
+        model.method,
+        model.bits,
+        report.total_seconds,
+    )
+    return watermarked, key, report

@@ -1,0 +1,179 @@
+"""The owner's watermark key.
+
+Section 4.1 lists what the owner keeps after insertion: "(i) signature
+sequence ``B``; (ii) the random seed ``d``, the original quantized weight
+``W``, full-precision activation ``A_f``, and α, β coefficients for location
+``L`` reproduction."  :class:`WatermarkKey` bundles exactly these pieces, plus
+the metadata needed to interpret them (layer order, bits per layer, the
+quantization method/precision of the model the key belongs to).
+
+The key is what makes the scheme confidential: an adversary holding the
+deployed model but not the key cannot reproduce the scores (no ``A_f``), the
+candidate sub-sampling (no ``d``), or the expected signature (no ``B``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.config import EmMarkConfig
+from repro.models.activations import ActivationStats
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+
+__all__ = ["WatermarkKey"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class WatermarkKey:
+    """Everything the model owner needs to later prove ownership.
+
+    Attributes
+    ----------
+    signature:
+        The full ±1 signature sequence ``B``.
+    config:
+        The :class:`~repro.core.config.EmMarkConfig` used at insertion
+        (contains α, β and the random seed ``d``).
+    reference_weights:
+        Snapshot of the *original* (pre-watermark) integer weights ``W`` per
+        layer; extraction compares the suspect model against these.
+    activations:
+        The full-precision activation statistics ``A_f`` used for scoring.
+    layer_names:
+        Quantization layers in the canonical order the signature was split
+        over.
+    method, bits:
+        Quantization framework and precision of the watermarked model (for
+        bookkeeping and sanity checks at extraction time).
+    model_name:
+        Name of the model configuration the key belongs to.
+    outlier_columns:
+        For LLM.int8()-quantized models, the per-layer indices of the input
+        channels kept in full precision; extraction needs them to rebuild the
+        exact eligibility mask used during insertion.
+    """
+
+    signature: np.ndarray
+    config: EmMarkConfig
+    reference_weights: Dict[str, np.ndarray]
+    activations: ActivationStats
+    layer_names: List[str]
+    method: str = ""
+    bits: int = 0
+    model_name: str = ""
+    outlier_columns: Dict[str, np.ndarray] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.signature = np.asarray(self.signature, dtype=np.int64).reshape(-1)
+        expected = self.config.bits_per_layer * len(self.layer_names)
+        if self.signature.size != expected:
+            raise ValueError(
+                f"signature length {self.signature.size} does not match "
+                f"{self.config.bits_per_layer} bits x {len(self.layer_names)} layers"
+            )
+        missing = [name for name in self.layer_names if name not in self.reference_weights]
+        if missing:
+            raise ValueError(f"reference weights missing for layers: {missing[:4]}")
+
+    @property
+    def total_bits(self) -> int:
+        """Total signature length ``|B|``."""
+        return int(self.signature.size)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of quantization layers covered by the key."""
+        return len(self.layer_names)
+
+    def signature_for_layer(self, layer_name: str) -> np.ndarray:
+        """The slice of the signature assigned to ``layer_name``."""
+        try:
+            index = self.layer_names.index(layer_name)
+        except ValueError as exc:
+            raise KeyError(f"layer {layer_name!r} is not covered by this key") from exc
+        bits = self.config.bits_per_layer
+        return self.signature[index * bits : (index + 1) * bits]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, directory: PathLike) -> Path:
+        """Persist the key into ``directory`` (two files: JSON + NPZ).
+
+        The JSON file holds the scalar metadata and configuration, the NPZ
+        archive holds the signature, reference weights and activations.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "config": {
+                "bits_per_layer": self.config.bits_per_layer,
+                "alpha": self.config.alpha,
+                "beta": self.config.beta,
+                "seed": self.config.seed,
+                "candidate_pool_ratio": self.config.candidate_pool_ratio,
+                "max_candidate_fraction": self.config.max_candidate_fraction,
+                "signature_seed": self.config.signature_seed,
+                "exclude_saturated": self.config.exclude_saturated,
+            },
+            "layer_names": self.layer_names,
+            "method": self.method,
+            "bits": self.bits,
+            "model_name": self.model_name,
+            "metadata": self.metadata,
+        }
+        save_json(directory / "watermark_key.json", meta)
+        arrays: Dict[str, np.ndarray] = {"signature": self.signature}
+        for name, weights in self.reference_weights.items():
+            arrays[f"weights/{name}"] = weights
+        for name, columns in self.outlier_columns.items():
+            arrays[f"outliers/{name}"] = np.asarray(columns, dtype=np.int64)
+        for key, value in self.activations.to_arrays().items():
+            arrays[f"activations/{key}"] = value
+        save_npz(directory / "watermark_key.npz", arrays)
+        return directory
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "WatermarkKey":
+        """Load a key previously written by :meth:`save`."""
+        directory = Path(directory)
+        meta = load_json(directory / "watermark_key.json")
+        arrays = load_npz(directory / "watermark_key.npz")
+        reference_weights: Dict[str, np.ndarray] = {}
+        outlier_columns: Dict[str, np.ndarray] = {}
+        activation_arrays: Dict[str, np.ndarray] = {}
+        for key, value in arrays.items():
+            if key.startswith("weights/"):
+                reference_weights[key[len("weights/") :]] = value.astype(np.int64)
+            elif key.startswith("outliers/"):
+                outlier_columns[key[len("outliers/") :]] = value.astype(np.int64)
+            elif key.startswith("activations/"):
+                activation_arrays[key[len("activations/") :]] = value
+        config = EmMarkConfig(**meta["config"])
+        return cls(
+            signature=arrays["signature"].astype(np.int64),
+            config=config,
+            reference_weights=reference_weights,
+            activations=ActivationStats.from_arrays(activation_arrays),
+            layer_names=list(meta["layer_names"]),
+            method=meta.get("method", ""),
+            bits=int(meta.get("bits", 0)),
+            model_name=meta.get("model_name", ""),
+            outlier_columns=outlier_columns,
+            metadata=dict(meta.get("metadata", {})),
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"WatermarkKey(model={self.model_name or '?'}, method={self.method or '?'}, "
+            f"bits={self.bits}, |B|={self.total_bits}, layers={self.num_layers}, "
+            f"alpha={self.config.alpha}, beta={self.config.beta}, seed={self.config.seed})"
+        )

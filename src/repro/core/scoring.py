@@ -1,0 +1,193 @@
+"""EmMark's parameter-scoring function (Equations 2–4).
+
+For every quantized weight parameter ``W_i`` of a layer the score
+
+``S = α · S_q + β · S_r``
+
+combines
+
+* ``S_q = |b_j / W_i| = 1 / |W_i|`` — quality preservation: weights with a
+  large integer magnitude are insensitive to a ±1 addition (Equation 3).
+  Weights at the minimum or maximum quantization level are excluded (the
+  paper sets them to zero before scoring, which drives ``S_q`` to infinity);
+  a watermark there would overflow the grid.
+* ``S_r = |max(A_f) / (A_f_i − min(A_f))|`` — robustness: channels with large
+  full-precision activations are salient, so a watermark there cannot be
+  removed without disproportionately damaging the model (Equation 4).
+
+Lower scores are better.  Per layer, the ``|B_c|`` lowest-scoring positions
+form the candidate pool from which the secret seed sub-samples the final
+watermark locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.base import QuantizedLinear
+
+__all__ = [
+    "quality_score",
+    "robustness_score",
+    "combined_score",
+    "select_candidates",
+    "LayerScores",
+]
+
+#: Score assigned to positions that must never carry a watermark bit.
+EXCLUDED_SCORE = np.inf
+
+
+def quality_score(layer: QuantizedLinear, exclude_saturated: bool = True) -> np.ndarray:
+    """Quality-preservation score ``S_q`` for every weight of ``layer``.
+
+    Returns an array of shape ``(out_features, in_features)``; excluded
+    positions (zero weights, saturated weights, full-precision outlier
+    columns) receive ``+inf``.
+    """
+    weight = layer.weight_int.astype(np.float64)
+    magnitude = np.abs(weight)
+    with np.errstate(divide="ignore"):
+        scores = np.where(magnitude > 0, 1.0 / np.maximum(magnitude, 1e-12), EXCLUDED_SCORE)
+    if exclude_saturated:
+        scores = np.where(layer.saturated_mask(), EXCLUDED_SCORE, scores)
+    scores = np.where(layer.quantized_mask(), scores, EXCLUDED_SCORE)
+    return scores
+
+
+def robustness_score(
+    layer: QuantizedLinear, channel_activations: np.ndarray
+) -> np.ndarray:
+    """Robustness score ``S_r`` broadcast over the weights of ``layer``.
+
+    ``channel_activations`` is the full-precision per-input-channel activation
+    magnitude ``A_f`` of the layer.  All weights in the same input channel
+    share the channel's score; smaller scores mark more salient channels.
+    """
+    activations = np.asarray(channel_activations, dtype=np.float64).reshape(-1)
+    if activations.size != layer.in_features:
+        raise ValueError(
+            f"activation vector has {activations.size} channels but layer "
+            f"{layer.name!r} has {layer.in_features} input channels"
+        )
+    a_max = float(np.max(activations))
+    a_min = float(np.min(activations))
+    delta = activations - a_min
+    with np.errstate(divide="ignore"):
+        channel_scores = np.where(delta > 0, np.abs(a_max / delta), EXCLUDED_SCORE)
+    return np.broadcast_to(channel_scores[None, :], layer.weight_int.shape).copy()
+
+
+def combined_score(
+    layer: QuantizedLinear,
+    channel_activations: np.ndarray,
+    alpha: float,
+    beta: float,
+    exclude_saturated: bool = True,
+) -> np.ndarray:
+    """Combined score ``S = α·S_q + β·S_r`` (Equation 2).
+
+    Exclusion (saturated / zero / non-quantized positions) is applied to the
+    combined score so it holds even when ``alpha`` is zero.
+    """
+    if alpha < 0 or beta < 0:
+        raise ValueError("alpha and beta must be non-negative")
+    # A zero coefficient must drop its score entirely rather than multiply an
+    # infinite exclusion value by zero (which would produce NaN).  The
+    # S_q-driven exclusion of zero weights therefore only applies when α > 0,
+    # while the physical exclusions — saturated levels and full-precision
+    # outlier columns — are always enforced on the combined score.
+    s_q = quality_score(layer, exclude_saturated=exclude_saturated) if alpha > 0 else 0.0
+    s_r = robustness_score(layer, channel_activations) if beta > 0 else 0.0
+    total = alpha * s_q + beta * s_r
+    total = np.broadcast_to(total, layer.weight_int.shape).copy()
+    total = np.where(layer.quantized_mask(), total, EXCLUDED_SCORE)
+    if exclude_saturated:
+        total = np.where(layer.saturated_mask(), EXCLUDED_SCORE, total)
+    return total
+
+
+@dataclass(frozen=True)
+class LayerScores:
+    """Scores and candidate pool of a single quantization layer.
+
+    Attributes
+    ----------
+    layer_name:
+        Which layer the scores belong to.
+    scores:
+        The combined score ``S`` for every weight (``+inf`` marks excluded
+        positions).
+    candidate_indices:
+        Flattened indices of the ``|B_c|`` best (lowest-score) positions, in
+        ascending-score order.
+    """
+
+    layer_name: str
+    scores: np.ndarray
+    candidate_indices: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        """Size of the candidate pool."""
+        return int(self.candidate_indices.size)
+
+
+def select_candidates(
+    layer: QuantizedLinear,
+    channel_activations: np.ndarray,
+    alpha: float,
+    beta: float,
+    pool_size: int,
+    exclude_saturated: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> LayerScores:
+    """Build the candidate pool of one layer.
+
+    Parameters
+    ----------
+    layer:
+        The quantized layer being scored.
+    channel_activations:
+        Full-precision per-channel activations ``A_f`` of the layer.
+    alpha, beta:
+        Scoring coefficients.
+    pool_size:
+        Requested ``|B_c|``; silently reduced if fewer finite-score positions
+        exist.
+    exclude_saturated:
+        Whether saturated levels are excluded (paper behaviour).
+    rng:
+        Optional generator used to break ties among equal scores randomly;
+        when omitted ties are broken by index order (deterministic).
+
+    Returns
+    -------
+    LayerScores
+        Scores plus the flattened candidate indices sorted by ascending score.
+    """
+    if pool_size < 1:
+        raise ValueError("pool_size must be >= 1")
+    scores = combined_score(
+        layer, channel_activations, alpha, beta, exclude_saturated=exclude_saturated
+    )
+    flat = scores.reshape(-1)
+    finite = np.flatnonzero(np.isfinite(flat))
+    if finite.size == 0:
+        raise ValueError(
+            f"layer {layer.name!r} has no eligible watermark positions "
+            "(every weight is saturated, zero or full-precision)"
+        )
+    pool_size = min(pool_size, finite.size)
+    finite_scores = flat[finite]
+    if rng is not None:
+        # Random tie-breaking: add an infinitesimal jitter ranking.
+        jitter = rng.random(finite_scores.size) * 1e-12
+        order = np.argsort(finite_scores + jitter, kind="stable")
+    else:
+        order = np.argsort(finite_scores, kind="stable")
+    candidates = finite[order[:pool_size]]
+    return LayerScores(layer_name=layer.name, scores=scores, candidate_indices=candidates)

@@ -1,0 +1,97 @@
+"""Watermark signature generation.
+
+The signature ``B = {b_1, …, b_|B|}`` is a sequence of Rademacher bits
+(``b_i ∈ {−1, +1}`` each with probability 0.5, Section 4.2 "Watermarking
+strength").  The owner either supplies an explicit sequence — for example an
+encoding of a company identifier — or derives one from a secret signature
+seed.
+
+The insertion stage distributes the signature evenly across the quantization
+layers (``|B| / n`` bits per layer), which
+:func:`split_signature_per_layer` implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "generate_signature",
+    "split_signature_per_layer",
+    "signature_to_bits",
+    "bits_to_signature",
+    "validate_signature",
+]
+
+
+def generate_signature(length: int, seed: int) -> np.ndarray:
+    """Draw a Rademacher signature of ``length`` bits from ``seed``.
+
+    Each bit is −1 or +1 with equal probability; the sequence is a pure
+    function of the seed so the owner can regenerate it at extraction time.
+    """
+    if length < 1:
+        raise ValueError("signature length must be >= 1")
+    rng = new_rng(seed, "signature")
+    return rng.choice(np.array([-1, 1], dtype=np.int64), size=length)
+
+
+def validate_signature(signature: Sequence[int]) -> np.ndarray:
+    """Check that ``signature`` only contains ±1 and return it as an array."""
+    array = np.asarray(signature, dtype=np.int64).reshape(-1)
+    if array.size == 0:
+        raise ValueError("signature must contain at least one bit")
+    if not np.all(np.isin(array, (-1, 1))):
+        raise ValueError("signature bits must be -1 or +1")
+    return array
+
+
+def split_signature_per_layer(
+    signature: np.ndarray, layer_names: Sequence[str], bits_per_layer: int
+) -> Dict[str, np.ndarray]:
+    """Partition a signature evenly across the quantization layers.
+
+    Parameters
+    ----------
+    signature:
+        Full signature of length ``bits_per_layer × len(layer_names)``.
+    layer_names:
+        Quantization layers in canonical order.
+    bits_per_layer:
+        Bits assigned to each layer.
+
+    Returns
+    -------
+    dict
+        ``layer name -> (bits_per_layer,)`` slice of the signature, preserving
+        the layer order.
+    """
+    signature = validate_signature(signature)
+    expected = bits_per_layer * len(layer_names)
+    if signature.size != expected:
+        raise ValueError(
+            f"signature has {signature.size} bits but {expected} are needed "
+            f"({bits_per_layer} bits x {len(layer_names)} layers)"
+        )
+    return {
+        name: signature[index * bits_per_layer : (index + 1) * bits_per_layer]
+        for index, name in enumerate(layer_names)
+    }
+
+
+def signature_to_bits(signature: np.ndarray) -> List[int]:
+    """Convert a ±1 signature to a 0/1 bit list (storage convenience)."""
+    signature = validate_signature(signature)
+    return [(1 if bit > 0 else 0) for bit in signature]
+
+
+def bits_to_signature(bits: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`signature_to_bits`."""
+    array = np.asarray(bits, dtype=np.int64).reshape(-1)
+    if not np.all(np.isin(array, (0, 1))):
+        raise ValueError("bits must be 0 or 1")
+    return np.where(array == 1, 1, -1).astype(np.int64)

@@ -1,0 +1,41 @@
+"""Synthetic data substrate.
+
+The paper evaluates watermarked models on WikiText-2 perplexity and on the
+mean zero-shot accuracy of LAMBADA, HellaSwag, PIQA and WinoGrande.  Those
+corpora are not available offline, so this package provides synthetic
+replacements that exercise the same code paths:
+
+* :mod:`repro.data.corpus` — a Zipf–Markov token stream generator that
+  produces corpora with realistic unigram skew and local structure.
+* :mod:`repro.data.tokenizer` — a tiny vocabulary/tokenizer abstraction.
+* :mod:`repro.data.wikitext` — a "WikiText-sim" dataset with deterministic
+  train/validation splits used for language-model fitting and perplexity.
+* :mod:`repro.data.tasks` — four synthetic zero-shot task families scored
+  with length-normalised log-likelihood, mirroring the LM-eval-harness
+  protocol the paper uses.
+* :mod:`repro.data.alpaca` — a synthetic instruction-following corpus used
+  to build the fine-tuned "non-watermarked" models of the integrity study.
+"""
+
+from repro.data.tokenizer import Vocabulary
+from repro.data.corpus import MarkovCorpusGenerator, TokenCorpus
+from repro.data.wikitext import WikiTextSim, load_wikitext_sim
+from repro.data.tasks import (
+    MultipleChoiceExample,
+    ZeroShotTask,
+    build_task_suite,
+)
+from repro.data.alpaca import AlpacaSim, load_alpaca_sim
+
+__all__ = [
+    "Vocabulary",
+    "MarkovCorpusGenerator",
+    "TokenCorpus",
+    "WikiTextSim",
+    "load_wikitext_sim",
+    "MultipleChoiceExample",
+    "ZeroShotTask",
+    "build_task_suite",
+    "AlpacaSim",
+    "load_alpaca_sim",
+]

@@ -1,0 +1,113 @@
+"""Alpaca-sim: synthetic instruction-following corpus.
+
+The paper's integrity study (Table 4) builds two "independent" models by
+fine-tuning OPT-2.7B on a 4k subset of the Alpaca instruction dataset and on
+WikiText before quantization, then checks that EmMark does **not** extract its
+signature from them.  This module provides the synthetic stand-in for the
+Alpaca subset: instruction/response pairs whose token statistics are shifted
+relative to the base corpus (a different Markov chain seed and a biased
+sub-vocabulary), so fine-tuning on it genuinely moves the model weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List
+
+import numpy as np
+
+from repro.data.corpus import MarkovCorpusGenerator, TokenCorpus
+from repro.data.tokenizer import Vocabulary
+
+__all__ = ["AlpacaSim", "load_alpaca_sim", "build_alpaca_sim"]
+
+DEFAULT_NUM_PAIRS = 256
+DEFAULT_INSTRUCTION_LENGTH = 12
+DEFAULT_RESPONSE_LENGTH = 20
+DEFAULT_SEED = 4242
+
+
+@dataclass(frozen=True)
+class AlpacaSim:
+    """Synthetic instruction dataset.
+
+    Attributes
+    ----------
+    pairs:
+        List of ``(instruction_tokens, response_tokens)`` arrays.
+    vocabulary:
+        Vocabulary shared with the base language-model corpus.
+    """
+
+    pairs: List[tuple]
+    vocabulary: Vocabulary
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def as_corpus(self, name: str = "alpaca-sim") -> TokenCorpus:
+        """Flatten the pairs into a single training stream.
+
+        Each pair is laid out as ``<bos> instruction response <eos>`` so the
+        flattened stream can be fed to the same next-token training loop used
+        for the base corpus.
+        """
+        chunks = []
+        for instruction, response in self.pairs:
+            chunks.append(np.array([self.vocabulary.bos_id], dtype=np.int64))
+            chunks.append(instruction)
+            chunks.append(response)
+            chunks.append(np.array([self.vocabulary.eos_id], dtype=np.int64))
+        return TokenCorpus(np.concatenate(chunks), self.vocabulary, name)
+
+
+def build_alpaca_sim(
+    vocabulary: Vocabulary,
+    num_pairs: int = DEFAULT_NUM_PAIRS,
+    instruction_length: int = DEFAULT_INSTRUCTION_LENGTH,
+    response_length: int = DEFAULT_RESPONSE_LENGTH,
+    seed: int = DEFAULT_SEED,
+) -> AlpacaSim:
+    """Build the synthetic instruction corpus for ``vocabulary``.
+
+    The instruction/response generator uses a Markov chain seeded differently
+    from the base corpus and with lower coherence, so its token statistics are
+    distinct from WikiText-sim — fine-tuning on it shifts the model, which is
+    exactly what the integrity experiment needs.
+    """
+    generator = MarkovCorpusGenerator(
+        vocabulary, zipf_exponent=0.9, branching=3, coherence=0.7, seed=seed
+    )
+    pairs = []
+    for index in range(num_pairs):
+        instruction = generator.generate(
+            instruction_length, name=f"alpaca-sim/instr{index}", seed_offset=2 * index
+        ).tokens
+        response = generator.generate(
+            response_length, name=f"alpaca-sim/resp{index}", seed_offset=2 * index + 1
+        ).tokens
+        pairs.append((instruction, response))
+    return AlpacaSim(pairs=pairs, vocabulary=vocabulary)
+
+
+@lru_cache(maxsize=4)
+def _cached_alpaca(vocab_size: int, num_pairs: int, seed: int) -> AlpacaSim:
+    vocabulary = Vocabulary(vocab_size)
+    return build_alpaca_sim(vocabulary, num_pairs=num_pairs, seed=seed)
+
+
+def load_alpaca_sim(
+    vocabulary: Vocabulary,
+    num_pairs: int = DEFAULT_NUM_PAIRS,
+    seed: int = DEFAULT_SEED,
+) -> AlpacaSim:
+    """Load (with caching) an Alpaca-sim dataset matching ``vocabulary``.
+
+    The cache key only involves the vocabulary *size*; vocabularies of the
+    same size are interchangeable because token ids are synthetic anyway.
+    """
+    cached = _cached_alpaca(len(vocabulary), num_pairs, seed)
+    if cached.vocabulary.size == len(vocabulary):
+        return AlpacaSim(pairs=cached.pairs, vocabulary=vocabulary)
+    return build_alpaca_sim(vocabulary, num_pairs=num_pairs, seed=seed)

@@ -1,0 +1,298 @@
+"""Synthetic token-corpus generation.
+
+The generator produces a stream of token ids with two statistical properties
+that matter for the reproduction:
+
+1. **Zipfian unigram distribution** — like natural text, a few tokens are very
+   frequent and most are rare.  This creates the skewed embedding/activation
+   statistics that activation-aware quantization (AWQ, SmoothQuant) and
+   EmMark's saliency score rely on.
+2. **Markov local structure** — each token's distribution depends on the
+   previous token through a sparse transition matrix, so a language model fit
+   on the corpus achieves a perplexity well below vocabulary size and the
+   perplexity *degrades* when its weights are corrupted.  A purely i.i.d.
+   corpus would not show that degradation, because no model can beat the
+   unigram entropy anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.data.tokenizer import Vocabulary
+from repro.utils.rng import new_rng
+
+__all__ = ["TokenCorpus", "MarkovCorpusGenerator"]
+
+
+@dataclass
+class TokenCorpus:
+    """A flat sequence of token ids plus the vocabulary that produced it.
+
+    Parameters
+    ----------
+    tokens:
+        1-D array of integer token ids.
+    vocabulary:
+        The :class:`~repro.data.tokenizer.Vocabulary` the ids refer to.
+    name:
+        Human-readable name (e.g. ``"wikitext-sim/validation"``).
+    """
+
+    tokens: np.ndarray
+    vocabulary: Vocabulary
+    name: str = "corpus"
+
+    def __post_init__(self) -> None:
+        self.tokens = np.asarray(self.tokens, dtype=np.int64)
+        if self.tokens.ndim != 1:
+            raise ValueError("token corpus must be a 1-D array of token ids")
+        if self.tokens.size and (
+            self.tokens.min() < 0 or self.tokens.max() >= len(self.vocabulary)
+        ):
+            raise ValueError("token ids out of vocabulary range")
+
+    def __len__(self) -> int:
+        return int(self.tokens.size)
+
+    def batches(
+        self, sequence_length: int, max_sequences: Optional[int] = None
+    ) -> Iterator[np.ndarray]:
+        """Yield contiguous, non-overlapping sequences of ``sequence_length``.
+
+        The trailing remainder that does not fill a complete sequence is
+        dropped, mirroring the standard perplexity-evaluation protocol of
+        splitting the corpus into fixed-length windows.
+        """
+        if sequence_length < 2:
+            raise ValueError("sequence_length must be >= 2 for next-token loss")
+        n_full = len(self) // sequence_length
+        if max_sequences is not None:
+            n_full = min(n_full, max_sequences)
+        for i in range(n_full):
+            yield self.tokens[i * sequence_length : (i + 1) * sequence_length]
+
+    def as_matrix(
+        self, sequence_length: int, max_sequences: Optional[int] = None
+    ) -> np.ndarray:
+        """Stack :meth:`batches` into a ``(n_sequences, sequence_length)`` matrix."""
+        sequences = list(self.batches(sequence_length, max_sequences))
+        if not sequences:
+            return np.zeros((0, sequence_length), dtype=np.int64)
+        return np.stack(sequences)
+
+    def split(self, fraction: float, names: Optional[List[str]] = None) -> List["TokenCorpus"]:
+        """Split the corpus into two contiguous pieces.
+
+        Parameters
+        ----------
+        fraction:
+            Fraction of tokens (0 < fraction < 1) assigned to the first piece.
+        names:
+            Optional two-element list of names for the pieces.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be strictly between 0 and 1")
+        cut = int(round(len(self) * fraction))
+        cut = max(1, min(len(self) - 1, cut))
+        first_name, second_name = names or (f"{self.name}/train", f"{self.name}/validation")
+        return [
+            TokenCorpus(self.tokens[:cut], self.vocabulary, first_name),
+            TokenCorpus(self.tokens[cut:], self.vocabulary, second_name),
+        ]
+
+
+class MarkovCorpusGenerator:
+    """Generates Zipf–Markov synthetic corpora.
+
+    The generator builds a Markov chain of configurable ``order`` over the
+    regular tokens of a vocabulary.  The stationary behaviour is approximately
+    Zipfian: token ``k`` (ranked by frequency) has base probability
+    proportional to ``1 / (k + 2.7) ** zipf_exponent``.  On top of the base
+    distribution, each state (the last ``order`` tokens) has a small set of
+    "successor" tokens that it strongly prefers, giving the chain predictable
+    local structure.
+
+    The default order is 2.  This matters for the reproduction: a first-order
+    chain can be modelled by the (full-precision, never-quantized) embedding →
+    LM-head path alone, which would make the quantized transformer blocks —
+    the layers EmMark watermarks — irrelevant to model quality.  With a
+    second-order chain the model must route information about the
+    second-to-last token through attention and the MLPs, so corrupting those
+    quantized weights produces the perplexity/accuracy degradation the paper's
+    fidelity and attack experiments measure.
+
+    Parameters
+    ----------
+    vocabulary:
+        Target vocabulary.
+    zipf_exponent:
+        Skew of the unigram distribution; ~1.0 mimics natural language.
+    branching:
+        Number of preferred successors per state.
+    coherence:
+        Probability mass assigned to the preferred successors (the remainder
+        falls back to the Zipfian base distribution).  Higher values make the
+        corpus easier to model and widen the gap between an intact and a
+        corrupted language model.
+    order:
+        Markov order: the next token depends on the previous ``order`` tokens.
+    num_groups:
+        For ``order=2`` the chain state is the pair of *group* ids of the last
+        two tokens (tokens are hashed into ``num_groups`` groups).  This keeps
+        the number of distinct states small enough (``num_groups²``) for a
+        small transformer to learn the transition structure from a modest
+        corpus, while still forcing it to route information about the
+        second-to-last token through its attention layers.
+    seed:
+        Seed controlling both the chain construction and sampling.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        zipf_exponent: float = 1.05,
+        branching: int = 4,
+        coherence: float = 0.9,
+        order: int = 2,
+        num_groups: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < coherence < 1.0:
+            raise ValueError("coherence must be in (0, 1)")
+        if branching < 1:
+            raise ValueError("branching must be >= 1")
+        if order not in (1, 2):
+            raise ValueError("order must be 1 or 2")
+        if num_groups < 2:
+            raise ValueError("num_groups must be >= 2")
+        self.vocabulary = vocabulary
+        self.zipf_exponent = float(zipf_exponent)
+        self.branching = int(branching)
+        self.coherence = float(coherence)
+        self.order = int(order)
+        self.num_groups = int(num_groups)
+        self.seed = int(seed)
+        self._base_probs = self._build_base_distribution()
+        self._successor_rng_seed = int(new_rng(self.seed, "markov-successors").integers(0, 2**31 - 1))
+        self._token_groups = self._build_token_groups()
+        self._successor_cache: dict = {}
+
+    # -- chain construction --------------------------------------------------
+    def _build_base_distribution(self) -> np.ndarray:
+        n = self.vocabulary.num_regular_tokens
+        ranks = np.arange(n, dtype=np.float64)
+        weights = 1.0 / np.power(ranks + 2.7, self.zipf_exponent)
+        return weights / weights.sum()
+
+    def _build_token_groups(self) -> np.ndarray:
+        """Assign every regular token to one of ``num_groups`` groups."""
+        n = self.vocabulary.num_regular_tokens
+        rng = new_rng(self.seed, "markov-groups")
+        return rng.integers(0, self.num_groups, size=n)
+
+    def token_group(self, token_id: int) -> int:
+        """Group id of a regular ``token_id`` (used by tests)."""
+        offset = self.vocabulary.first_regular_id
+        state = int(token_id) - offset
+        if not 0 <= state < self.vocabulary.num_regular_tokens:
+            raise ValueError("token_id must refer to a regular token")
+        return int(self._token_groups[state])
+
+    def _state_key(self, previous: tuple) -> tuple:
+        """Reduce the token history (regular-token indices) to the chain state.
+
+        For a first-order chain the state is the last token itself; for a
+        second-order chain it is the pair ``(group(prev2), group(prev1))``.
+        """
+        if len(previous) < self.order:
+            previous = (previous[0],) * (self.order - len(previous)) + tuple(previous)
+        previous = tuple(previous[-self.order :])
+        if self.order == 1:
+            return previous
+        return tuple(int(self._token_groups[p]) for p in previous)
+
+    def _successors_for_state(self, state: tuple) -> tuple[np.ndarray, np.ndarray]:
+        """Preferred successors and their probabilities for a chain state.
+
+        The mapping is a pure function of the chain seed and the state, so
+        sampling, likelihood evaluation and the zero-shot task generator all
+        agree exactly; a small cache avoids recomputing it per token.
+        """
+        cached = self._successor_cache.get(state)
+        if cached is not None:
+            return cached
+        n = self.vocabulary.num_regular_tokens
+        rng = new_rng(self._successor_rng_seed, "state", *state)
+        successors = rng.choice(n, size=self.branching, replace=False).astype(np.int64)
+        probs = rng.dirichlet(np.ones(self.branching) * 0.8)
+        self._successor_cache[state] = (successors, probs)
+        return successors, probs
+
+    # -- sampling --------------------------------------------------------------
+    def generate(self, num_tokens: int, name: str = "corpus", seed_offset: int = 0) -> TokenCorpus:
+        """Sample a corpus of ``num_tokens`` token ids.
+
+        Parameters
+        ----------
+        num_tokens:
+            Length of the generated token stream.
+        name:
+            Name recorded on the returned :class:`TokenCorpus`.
+        seed_offset:
+            Extra label mixed into the sampling seed so that several corpora
+            (train, validation, calibration) can be drawn from the same chain
+            without overlapping.
+        """
+        if num_tokens < 2:
+            raise ValueError("num_tokens must be >= 2")
+        rng = new_rng(self.seed, "markov-sample", seed_offset)
+        n = self.vocabulary.num_regular_tokens
+        offset = self.vocabulary.first_regular_id
+        tokens = np.empty(num_tokens, dtype=np.int64)
+        current = int(rng.choice(n, p=self._base_probs))
+        tokens[0] = current + offset
+        history = (current,)
+        use_successor = rng.random(num_tokens) < self.coherence
+        fallback = rng.choice(n, size=num_tokens, p=self._base_probs)
+        branch_pick = rng.random(num_tokens)
+        for i in range(1, num_tokens):
+            if use_successor[i]:
+                successors, probs = self._successors_for_state(self._state_key(history))
+                cumulative = np.cumsum(probs)
+                idx = int(np.searchsorted(cumulative, branch_pick[i] * cumulative[-1]))
+                idx = min(idx, self.branching - 1)
+                current = int(successors[idx])
+            else:
+                current = int(fallback[i])
+            tokens[i] = current + offset
+            history = (history + (current,))[-self.order :]
+        return TokenCorpus(tokens, self.vocabulary, name)
+
+    def transition_probabilities(self, *token_ids: int) -> np.ndarray:
+        """Next-token distribution given the preceding regular ``token_ids``.
+
+        Accepts between one and ``order`` trailing tokens (fewer tokens than
+        the order are padded by repeating the earliest one, matching
+        :meth:`generate`'s start-of-stream behaviour).  Exposed for tests and
+        for the zero-shot task generator, which samples plausible
+        continuations from the same chain.
+        """
+        if not token_ids:
+            raise ValueError("at least one preceding token id is required")
+        offset = self.vocabulary.first_regular_id
+        states = []
+        for token_id in token_ids[-self.order :]:
+            state = int(token_id) - offset
+            if not 0 <= state < self.vocabulary.num_regular_tokens:
+                raise ValueError("token ids must refer to regular tokens")
+            states.append(state)
+        key = self._state_key(tuple(states))
+        probs = self._base_probs * (1.0 - self.coherence)
+        successors, successor_probs = self._successors_for_state(key)
+        for succ, p in zip(successors, successor_probs):
+            probs[succ] += self.coherence * p
+        return probs

@@ -1,0 +1,194 @@
+"""Synthetic zero-shot task suite.
+
+The paper evaluates zero-shot accuracy as the mean over LAMBADA, HellaSwag,
+PIQA and WinoGrande, scored with the LM-eval-harness protocol: each example
+provides a context and several candidate continuations, the model scores each
+continuation by (length-normalised) log-likelihood, and the prediction is the
+argmax.
+
+This module builds four synthetic task families with the same structure and
+the same scoring interface.  Each example's correct continuation is drawn from
+the *same Markov chain* as the training corpus, while distractor continuations
+are random token sequences.  An intact model therefore assigns higher
+likelihood to the correct continuation far more often than chance, and a model
+whose salient weights have been corrupted loses that margin — reproducing the
+accuracy-degradation signal the paper relies on.
+
+The four families differ in context length, number of choices, and
+continuation length, loosely mirroring the character of the originals:
+
+* ``lambada-sim`` — long context, single-token continuation, many choices
+  (word prediction from context).
+* ``hellaswag-sim`` — medium context, 4 multi-token endings.
+* ``piqa-sim`` — short context, 2 medium continuations.
+* ``winogrande-sim`` — short context, 2 short continuations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.corpus import MarkovCorpusGenerator
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "MultipleChoiceExample",
+    "ZeroShotTask",
+    "TaskSpec",
+    "DEFAULT_TASK_SPECS",
+    "build_task",
+    "build_task_suite",
+]
+
+
+@dataclass(frozen=True)
+class MultipleChoiceExample:
+    """One multiple-choice example.
+
+    Attributes
+    ----------
+    context:
+        Token ids of the shared context.
+    choices:
+        One token-id sequence per candidate continuation.
+    label:
+        Index of the correct continuation in ``choices``.
+    """
+
+    context: np.ndarray
+    choices: List[np.ndarray]
+    label: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.label < len(self.choices):
+            raise ValueError("label index out of range of choices")
+        if len(self.choices) < 2:
+            raise ValueError("a multiple-choice example needs at least 2 choices")
+
+
+@dataclass
+class ZeroShotTask:
+    """A named collection of :class:`MultipleChoiceExample` instances."""
+
+    name: str
+    examples: List[MultipleChoiceExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self):
+        return iter(self.examples)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Generation parameters of one synthetic task family."""
+
+    name: str
+    num_examples: int
+    context_length: int
+    continuation_length: int
+    num_choices: int
+
+
+DEFAULT_TASK_SPECS: Dict[str, TaskSpec] = {
+    "lambada-sim": TaskSpec("lambada-sim", 64, 24, 1, 8),
+    "hellaswag-sim": TaskSpec("hellaswag-sim", 64, 16, 6, 4),
+    "piqa-sim": TaskSpec("piqa-sim", 64, 10, 8, 2),
+    "winogrande-sim": TaskSpec("winogrande-sim", 64, 8, 4, 2),
+}
+
+
+def _sample_continuation(
+    generator: MarkovCorpusGenerator,
+    context_tail: np.ndarray,
+    length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample a continuation that follows the corpus Markov chain."""
+    vocabulary = generator.vocabulary
+    offset = vocabulary.first_regular_id
+    tokens = np.empty(length, dtype=np.int64)
+    history = [int(t) for t in context_tail[-generator.order :]]
+    for i in range(length):
+        probs = generator.transition_probabilities(*history)
+        nxt = int(rng.choice(vocabulary.num_regular_tokens, p=probs)) + offset
+        tokens[i] = nxt
+        history = (history + [nxt])[-generator.order :]
+    return tokens
+
+
+def _sample_distractor(
+    generator: MarkovCorpusGenerator, length: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample a plausible-but-wrong continuation.
+
+    Distractor tokens follow the corpus *unigram* (Zipfian) distribution, so
+    they look like ordinary text but do not respect the local chain
+    transitions.  This keeps the tasks challenging enough that accuracy sits
+    well below the ceiling and degrades when the model is damaged — a purely
+    uniform distractor would be trivially distinguishable from real text.
+    """
+    vocabulary = generator.vocabulary
+    offset = vocabulary.first_regular_id
+    picks = rng.choice(
+        vocabulary.num_regular_tokens, size=length, p=generator._base_probs
+    )
+    return picks.astype(np.int64) + offset
+
+
+def build_task(
+    spec: TaskSpec,
+    generator: MarkovCorpusGenerator,
+    seed: int = 0,
+) -> ZeroShotTask:
+    """Build one synthetic task family from its :class:`TaskSpec`.
+
+    Parameters
+    ----------
+    spec:
+        Family parameters (number of examples, lengths, choices).
+    generator:
+        The Markov chain shared with the training corpus; correct
+        continuations are drawn from it so that a well-trained model can tell
+        them apart from random distractors.
+    seed:
+        Seed for example sampling (independent of the corpus seed).
+    """
+    rng = new_rng(seed, "task", spec.name)
+    examples: List[MultipleChoiceExample] = []
+    for index in range(spec.num_examples):
+        context_corpus = generator.generate(
+            spec.context_length, name=f"{spec.name}/ctx{index}", seed_offset=1000 + index
+        )
+        context = context_corpus.tokens
+        correct = _sample_continuation(
+            generator, context, spec.continuation_length, rng
+        )
+        choices: List[np.ndarray] = []
+        label = int(rng.integers(0, spec.num_choices))
+        for position in range(spec.num_choices):
+            if position == label:
+                choices.append(correct)
+            else:
+                choices.append(
+                    _sample_distractor(generator, spec.continuation_length, rng)
+                )
+        examples.append(MultipleChoiceExample(context=context, choices=choices, label=label))
+    return ZeroShotTask(name=spec.name, examples=examples)
+
+
+def build_task_suite(
+    generator: MarkovCorpusGenerator,
+    specs: Sequence[TaskSpec] = tuple(DEFAULT_TASK_SPECS.values()),
+    seed: int = 7,
+) -> List[ZeroShotTask]:
+    """Build the full four-task suite used for zero-shot accuracy.
+
+    Returns the tasks in the order given by ``specs``; the evaluation harness
+    reports per-task accuracy and their mean, matching the paper's metric.
+    """
+    return [build_task(spec, generator, seed=seed) for spec in specs]

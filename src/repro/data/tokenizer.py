@@ -1,0 +1,113 @@
+"""Vocabulary and tokenizer abstraction for the synthetic corpora.
+
+The simulated language models operate directly on integer token ids, so the
+"tokenizer" here is intentionally small: a :class:`Vocabulary` maps between
+synthetic word strings (``tok0042`` style) and ids, and provides the special
+tokens the transformer substrate needs (begin-of-sequence, end-of-sequence,
+padding and unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["Vocabulary"]
+
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+SPECIAL_TOKENS = (PAD_TOKEN, BOS_TOKEN, EOS_TOKEN, UNK_TOKEN)
+
+
+@dataclass
+class Vocabulary:
+    """Bidirectional mapping between token strings and integer ids.
+
+    The first four ids are always the special tokens in the order
+    ``<pad>, <bos>, <eos>, <unk>``; regular tokens follow.
+
+    Parameters
+    ----------
+    size:
+        Total vocabulary size including the four special tokens.  Must be at
+        least 8 so that there is room for a meaningful regular vocabulary.
+    """
+
+    size: int
+    _id_to_token: List[str] = field(init=False, repr=False)
+    _token_to_id: Dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 8:
+            raise ValueError(f"vocabulary size must be >= 8, got {self.size}")
+        regular = [f"tok{i:05d}" for i in range(self.size - len(SPECIAL_TOKENS))]
+        self._id_to_token = list(SPECIAL_TOKENS) + regular
+        self._token_to_id = {tok: i for i, tok in enumerate(self._id_to_token)}
+
+    # -- special-token ids -------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        """Id of the padding token."""
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        """Id of the beginning-of-sequence token."""
+        return self._token_to_id[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        """Id of the end-of-sequence token."""
+        return self._token_to_id[EOS_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        """Id of the unknown token."""
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def num_regular_tokens(self) -> int:
+        """Number of non-special tokens."""
+        return self.size - len(SPECIAL_TOKENS)
+
+    @property
+    def first_regular_id(self) -> int:
+        """Smallest id assigned to a regular (non-special) token."""
+        return len(SPECIAL_TOKENS)
+
+    # -- conversions --------------------------------------------------------
+    def token_to_id(self, token: str) -> int:
+        """Return the id of ``token``, or the ``<unk>`` id if not present."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, token_id: int) -> str:
+        """Return the string form of ``token_id``."""
+        if not 0 <= token_id < self.size:
+            raise IndexError(f"token id {token_id} out of range [0, {self.size})")
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Sequence[str], add_bos: bool = False) -> List[int]:
+        """Encode a sequence of token strings into ids."""
+        ids = [self.token_to_id(t) for t in tokens]
+        if add_bos:
+            ids = [self.bos_id] + ids
+        return ids
+
+    def decode(self, ids: Iterable[int], skip_special: bool = True) -> List[str]:
+        """Decode ids back into token strings."""
+        tokens = []
+        for token_id in ids:
+            token = self.id_to_token(int(token_id))
+            if skip_special and token in SPECIAL_TOKENS:
+                continue
+            tokens.append(token)
+        return tokens
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id

@@ -1,0 +1,108 @@
+"""WikiText-sim: the synthetic stand-in for WikiText-2.
+
+The paper measures text fluency of watermarked models as perplexity on
+WikiText [Merity et al., 2016].  Offline we cannot load WikiText, so this
+module generates a deterministic Zipf–Markov corpus ("WikiText-sim") with a
+train/validation split.  The simulated language models are fit on the train
+split and perplexity is always reported on the validation split, exactly
+mirroring how the real evaluation uses held-out data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.data.corpus import MarkovCorpusGenerator, TokenCorpus
+from repro.data.tokenizer import Vocabulary
+
+__all__ = ["WikiTextSim", "load_wikitext_sim"]
+
+DEFAULT_VOCAB_SIZE = 512
+DEFAULT_TRAIN_TOKENS = 60_000
+DEFAULT_VALIDATION_TOKENS = 12_000
+DEFAULT_CALIBRATION_TOKENS = 6_000
+DEFAULT_SEED = 1234
+
+
+@dataclass(frozen=True)
+class WikiTextSim:
+    """Container bundling the train/validation/calibration splits.
+
+    Attributes
+    ----------
+    train:
+        Corpus used to fit the simulated language models.
+    validation:
+        Held-out corpus used for perplexity evaluation.
+    calibration:
+        Small corpus used by the post-training quantization algorithms and by
+        EmMark to collect full-precision activation statistics.
+    vocabulary:
+        Shared vocabulary of all three splits.
+    """
+
+    train: TokenCorpus
+    validation: TokenCorpus
+    calibration: TokenCorpus
+    vocabulary: Vocabulary
+
+    @property
+    def splits(self) -> dict:
+        """Mapping of split name to corpus, convenient for iteration."""
+        return {
+            "train": self.train,
+            "validation": self.validation,
+            "calibration": self.calibration,
+        }
+
+
+def build_wikitext_sim(
+    vocab_size: int = DEFAULT_VOCAB_SIZE,
+    train_tokens: int = DEFAULT_TRAIN_TOKENS,
+    validation_tokens: int = DEFAULT_VALIDATION_TOKENS,
+    calibration_tokens: int = DEFAULT_CALIBRATION_TOKENS,
+    seed: int = DEFAULT_SEED,
+) -> WikiTextSim:
+    """Construct a fresh WikiText-sim dataset.
+
+    All randomness is derived from ``seed``; calling the function twice with
+    the same arguments yields identical corpora.
+    """
+    vocabulary = Vocabulary(vocab_size)
+    generator = MarkovCorpusGenerator(vocabulary, seed=seed)
+    train = generator.generate(train_tokens, name="wikitext-sim/train", seed_offset=0)
+    validation = generator.generate(
+        validation_tokens, name="wikitext-sim/validation", seed_offset=1
+    )
+    calibration = generator.generate(
+        calibration_tokens, name="wikitext-sim/calibration", seed_offset=2
+    )
+    return WikiTextSim(
+        train=train,
+        validation=validation,
+        calibration=calibration,
+        vocabulary=vocabulary,
+    )
+
+
+@lru_cache(maxsize=8)
+def load_wikitext_sim(
+    vocab_size: int = DEFAULT_VOCAB_SIZE,
+    train_tokens: int = DEFAULT_TRAIN_TOKENS,
+    validation_tokens: int = DEFAULT_VALIDATION_TOKENS,
+    calibration_tokens: int = DEFAULT_CALIBRATION_TOKENS,
+    seed: int = DEFAULT_SEED,
+) -> WikiTextSim:
+    """Cached version of :func:`build_wikitext_sim`.
+
+    The dataset construction takes a noticeable fraction of a second for the
+    default sizes; experiments and tests share one instance per parameter set.
+    """
+    return build_wikitext_sim(
+        vocab_size=vocab_size,
+        train_tokens=train_tokens,
+        validation_tokens=validation_tokens,
+        calibration_tokens=calibration_tokens,
+        seed=seed,
+    )

@@ -1,0 +1,123 @@
+"""Shared evaluation harness.
+
+Every experiment needs the same pair of quality numbers — perplexity on the
+WikiText-sim validation split and mean zero-shot accuracy on the synthetic
+task suite — for many model variants (non-watermarked, watermarked by each
+method, attacked at each strength).  :class:`EvaluationHarness` builds the
+evaluation data once and hands out :class:`QualityReport` objects, so all
+experiments measure quality identically and the benchmarks do not rebuild the
+task suite per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.data.corpus import MarkovCorpusGenerator, TokenCorpus
+from repro.data.tasks import ZeroShotTask, build_task_suite
+from repro.data.wikitext import WikiTextSim, load_wikitext_sim
+from repro.eval.perplexity import compute_perplexity
+from repro.eval.zero_shot import evaluate_zero_shot
+from repro.models.transformer import TransformerLM
+from repro.quant.base import QuantizedModel
+
+__all__ = ["QualityReport", "EvaluationHarness"]
+
+ModelLike = Union[TransformerLM, QuantizedModel]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Model-quality snapshot: the two metrics of Table 1.
+
+    Attributes
+    ----------
+    perplexity:
+        WikiText-sim validation perplexity (lower is better).
+    zero_shot_accuracy:
+        Mean zero-shot accuracy in percent (higher is better).
+    per_task_accuracy:
+        Accuracy per individual task, in percent.
+    """
+
+    perplexity: float
+    zero_shot_accuracy: float
+    per_task_accuracy: dict
+
+    def degradation_from(self, baseline: "QualityReport") -> dict:
+        """Signed degradation of this report relative to ``baseline``.
+
+        Positive perplexity delta and negative accuracy delta both mean the
+        model got worse (the convention of the paper's ``Δ̄`` column).
+        """
+        return {
+            "perplexity_delta": self.perplexity - baseline.perplexity,
+            "zero_shot_delta": self.zero_shot_accuracy - baseline.zero_shot_accuracy,
+        }
+
+
+class EvaluationHarness:
+    """Builds the evaluation data once and scores many model variants.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.data.wikitext.WikiTextSim` bundle; loaded with the
+        default parameters when omitted.
+    sequence_length:
+        Perplexity window length.
+    max_sequences:
+        Cap on perplexity windows per evaluation.
+    task_seed:
+        Seed of the synthetic zero-shot task suite.
+    num_task_examples:
+        Optional cap on examples per task (speeds up large sweeps).
+    """
+
+    def __init__(
+        self,
+        dataset: Optional[WikiTextSim] = None,
+        sequence_length: int = 32,
+        max_sequences: int = 48,
+        task_seed: int = 7,
+        num_task_examples: Optional[int] = None,
+    ) -> None:
+        self.dataset = dataset or load_wikitext_sim()
+        self.sequence_length = int(sequence_length)
+        self.max_sequences = int(max_sequences)
+        generator = MarkovCorpusGenerator(self.dataset.vocabulary, seed=1234)
+        tasks = build_task_suite(generator, seed=task_seed)
+        if num_task_examples is not None:
+            tasks = [
+                ZeroShotTask(name=task.name, examples=task.examples[:num_task_examples])
+                for task in tasks
+            ]
+        self.tasks: List[ZeroShotTask] = tasks
+
+    @property
+    def validation_corpus(self) -> TokenCorpus:
+        """The held-out corpus used for perplexity."""
+        return self.dataset.validation
+
+    @property
+    def calibration_corpus(self) -> TokenCorpus:
+        """The calibration corpus used for quantization / activation capture."""
+        return self.dataset.calibration
+
+    def evaluate(self, model: ModelLike) -> QualityReport:
+        """Quality report (perplexity + zero-shot accuracy) for one model."""
+        if isinstance(model, QuantizedModel):
+            model = model.materialize()
+        perplexity = compute_perplexity(
+            model,
+            self.dataset.validation,
+            sequence_length=self.sequence_length,
+            max_sequences=self.max_sequences,
+        )
+        accuracies = evaluate_zero_shot(model, self.tasks)
+        return QualityReport(
+            perplexity=perplexity,
+            zero_shot_accuracy=accuracies["mean"],
+            per_task_accuracy={k: v for k, v in accuracies.items() if k != "mean"},
+        )

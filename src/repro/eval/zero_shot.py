@@ -1,0 +1,73 @@
+"""Zero-shot multiple-choice evaluation.
+
+The protocol follows the LM-eval-harness convention used by the paper: for
+each example the model scores every candidate continuation by
+length-normalised log-likelihood given the context and predicts the
+highest-scoring one; accuracy is the fraction of examples predicted
+correctly.  The paper reports the *mean* accuracy across LAMBADA, HellaSwag,
+PIQA and WinoGrande; the reproduction reports the mean across their synthetic
+counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Union
+
+import numpy as np
+
+from repro.data.tasks import MultipleChoiceExample, ZeroShotTask
+from repro.models.transformer import TransformerLM
+from repro.quant.base import QuantizedModel
+
+__all__ = ["evaluate_task", "evaluate_zero_shot", "predict_choice"]
+
+ModelLike = Union[TransformerLM, QuantizedModel]
+
+
+def _as_transformer(model: ModelLike) -> TransformerLM:
+    if isinstance(model, QuantizedModel):
+        return model.materialize()
+    return model
+
+
+def predict_choice(
+    model: TransformerLM, example: MultipleChoiceExample, normalize: bool = True
+) -> int:
+    """Index of the continuation the model assigns the highest likelihood."""
+    scores = [
+        model.sequence_log_likelihood(example.context, choice, normalize=normalize)
+        for choice in example.choices
+    ]
+    return int(np.argmax(scores))
+
+
+def evaluate_task(
+    model: ModelLike, task: ZeroShotTask, normalize: bool = True
+) -> float:
+    """Accuracy (in percent) of ``model`` on one task."""
+    transformer = _as_transformer(model)
+    if len(task) == 0:
+        raise ValueError(f"task {task.name!r} has no examples")
+    correct = 0
+    for example in task:
+        if predict_choice(transformer, example, normalize=normalize) == example.label:
+            correct += 1
+    return 100.0 * correct / len(task)
+
+
+def evaluate_zero_shot(
+    model: ModelLike, tasks: Iterable[ZeroShotTask], normalize: bool = True
+) -> Dict[str, float]:
+    """Per-task accuracy plus the paper's headline mean.
+
+    Returns a dictionary with one entry per task name and a ``"mean"`` entry
+    averaging them (all values in percent).
+    """
+    transformer = _as_transformer(model)
+    results: Dict[str, float] = {}
+    for task in tasks:
+        results[task.name] = evaluate_task(transformer, task, normalize=normalize)
+    if not results:
+        raise ValueError("no tasks supplied")
+    results["mean"] = float(np.mean([value for key, value in results.items() if key != "mean"]))
+    return results

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a structured result
+object with a ``to_table()`` (or ``to_tables()``) method that prints the same
+rows / series the paper reports:
+
+* :mod:`repro.experiments.table1` — fidelity (PPL, zero-shot accuracy, WER)
+  across the OPT / LLaMA-2 sim families, INT8 and INT4.
+* :mod:`repro.experiments.table2` — insertion time and GPU memory.
+* :mod:`repro.experiments.figure2a` — parameter-overwriting attack sweep.
+* :mod:`repro.experiments.figure2b` — re-watermarking attack sweep.
+* :mod:`repro.experiments.table3` — (α, β) coefficient ablation.
+* :mod:`repro.experiments.figure3` — watermark-capacity sweep.
+* :mod:`repro.experiments.table4` — integrity on non-watermarked models.
+* :mod:`repro.experiments.forging` — forging-attack analysis (Section 5.3).
+* :mod:`repro.experiments.ablations` — extra ablations called out in
+  DESIGN.md (candidate-pool ratio, saliency source).
+"""
+
+from repro.experiments.common import ExperimentContext, prepare_context
+
+__all__ = ["ExperimentContext", "prepare_context"]

@@ -1,0 +1,182 @@
+"""Table 1 — fidelity of watermarked embedded LLMs.
+
+For every (model, precision) pair the paper reports perplexity, zero-shot
+accuracy and WER for four variants: the non-watermarked quantized model,
+SpecMark, RandomWM and EmMark.  This module reproduces those rows on the
+simulated model zoo, including the ``Δ̄`` column (average degradation relative
+to the non-watermarked model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines import RandomWM, SpecMark
+from repro.core.emmark import EmMark
+from repro.experiments.common import ExperimentContext, prepare_context
+from repro.models.registry import LLAMA2_FAMILY, OPT_FAMILY
+from repro.utils.tables import Table, format_float, format_percent
+
+__all__ = ["Table1Row", "Table1Result", "run", "DEFAULT_MODEL_SUBSET"]
+
+#: Models used when the caller does not ask for the full zoo.  The subset
+#: covers both families, both pool-ratio regimes (below / above 6.7B) and the
+#: model every other experiment uses (OPT-2.7B).
+DEFAULT_MODEL_SUBSET: Sequence[str] = (
+    "opt-125m-sim",
+    "opt-2.7b-sim",
+    "opt-13b-sim",
+    "llama2-7b-sim",
+)
+
+#: All models of Table 1, in the paper's column order.
+FULL_MODEL_LIST: Sequence[str] = tuple(OPT_FAMILY + LLAMA2_FAMILY)
+
+METHODS = ("w/o WM", "SpecMark", "RandomWM", "EmMark")
+
+
+@dataclass
+class Table1Row:
+    """One (model, precision, method) measurement."""
+
+    model_name: str
+    bits: int
+    method: str
+    perplexity: float
+    zero_shot_accuracy: float
+    wer_percent: float
+
+
+@dataclass
+class Table1Result:
+    """All rows of the fidelity experiment plus the paper-style summary."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def rows_for(self, bits: int, method: str) -> List[Table1Row]:
+        """Rows of one precision and one method, in model order."""
+        return [row for row in self.rows if row.bits == bits and row.method == method]
+
+    def average_degradation(self, bits: int, method: str, metric: str) -> float:
+        """The paper's ``Δ̄``: mean degradation versus the w/o WM rows."""
+        baseline = {row.model_name: row for row in self.rows_for(bits, "w/o WM")}
+        deltas = []
+        for row in self.rows_for(bits, method):
+            base = baseline.get(row.model_name)
+            if base is None:
+                continue
+            if metric == "perplexity":
+                deltas.append(row.perplexity - base.perplexity)
+            elif metric == "zero_shot":
+                deltas.append(row.zero_shot_accuracy - base.zero_shot_accuracy)
+            else:
+                raise ValueError("metric must be 'perplexity' or 'zero_shot'")
+        return float(np.mean(deltas)) if deltas else 0.0
+
+    def to_tables(self) -> List[Table]:
+        """Render one table per precision, mirroring Table 1's two halves."""
+        tables = []
+        for bits in (8, 4):
+            model_names = sorted({row.model_name for row in self.rows if row.bits == bits})
+            if not model_names:
+                continue
+            columns = ["Metric", "Method"] + model_names + ["avg Δ"]
+            table = Table(title=f"Table 1 (INT{bits} quantization)", columns=columns)
+            for metric, attr, fmt in (
+                ("PPL ↓", "perplexity", format_float),
+                ("Zero-shot Acc (%) ↑", "zero_shot_accuracy", format_float),
+                ("WER (%) ↑", "wer_percent", format_float),
+            ):
+                for method in METHODS:
+                    if metric == "WER (%) ↑" and method == "w/o WM":
+                        continue
+                    per_model = {row.model_name: row for row in self.rows_for(bits, method)}
+                    cells = [fmt(getattr(per_model[m], attr)) if m in per_model else "-" for m in model_names]
+                    if metric.startswith("PPL"):
+                        delta = self.average_degradation(bits, method, "perplexity")
+                        delta_cell = f"{delta:+.2f}" if method != "w/o WM" else "0"
+                    elif metric.startswith("Zero-shot"):
+                        delta = self.average_degradation(bits, method, "zero_shot")
+                        delta_cell = f"{delta:+.2f}" if method != "w/o WM" else "0"
+                    else:
+                        delta_cell = "-"
+                    table.add_row([metric, method] + cells + [delta_cell])
+            tables.append(table)
+        return tables
+
+    def render(self) -> str:
+        """All precision tables as one printable string."""
+        return "\n\n".join(table.render() for table in self.to_tables())
+
+
+def _evaluate_method(context: ExperimentContext, method: str) -> Table1Row:
+    """Watermark the context's quantized model with ``method`` and measure it."""
+    quantized = context.fresh_quantized()
+    if method == "w/o WM":
+        quality = context.baseline_quality
+        return Table1Row(
+            model_name=context.model_name,
+            bits=context.bits,
+            method=method,
+            perplexity=quality.perplexity,
+            zero_shot_accuracy=quality.zero_shot_accuracy,
+            wer_percent=float("nan"),
+        )
+    bits_per_layer = context.emmark_config.bits_per_layer
+    if method == "EmMark":
+        scheme = EmMark(context.emmark_config)
+        watermarked, record, extraction = scheme.watermark_and_verify(
+            quantized, activations=context.activations
+        )
+    elif method == "RandomWM":
+        scheme = RandomWM(bits_per_layer=bits_per_layer, seed=context.emmark_config.seed)
+        watermarked, record, extraction = scheme.watermark_and_verify(quantized)
+    elif method == "SpecMark":
+        scheme = SpecMark(bits_per_layer=bits_per_layer, seed=context.emmark_config.seed)
+        watermarked, record, extraction = scheme.watermark_and_verify(quantized)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    quality = context.harness.evaluate(watermarked)
+    return Table1Row(
+        model_name=context.model_name,
+        bits=context.bits,
+        method=method,
+        perplexity=quality.perplexity,
+        zero_shot_accuracy=quality.zero_shot_accuracy,
+        wer_percent=extraction.wer_percent,
+    )
+
+
+def run(
+    model_names: Optional[Sequence[str]] = None,
+    precisions: Sequence[int] = (8, 4),
+    profile: str = "default",
+    num_task_examples: Optional[int] = 32,
+) -> Table1Result:
+    """Run the fidelity experiment.
+
+    Parameters
+    ----------
+    model_names:
+        Which sim models to include; defaults to :data:`DEFAULT_MODEL_SUBSET`
+        (use :data:`FULL_MODEL_LIST` for the complete Table 1).
+    precisions:
+        Precisions to evaluate (8 and/or 4).
+    profile:
+        Training profile of the underlying sims.
+    num_task_examples:
+        Zero-shot examples per task.
+    """
+    model_names = list(model_names or DEFAULT_MODEL_SUBSET)
+    result = Table1Result()
+    for bits in precisions:
+        for model_name in model_names:
+            context = prepare_context(
+                model_name, bits, profile=profile, num_task_examples=num_task_examples
+            )
+            for method in METHODS:
+                result.rows.append(_evaluate_method(context, method))
+    return result

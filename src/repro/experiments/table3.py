@@ -1,0 +1,107 @@
+"""Table 3 — effectiveness of the insertion coefficients (α, β).
+
+The ablation inserts a fixed payload into OPT-2.7B (AWQ INT4) with three
+coefficient settings — (1, 0) pure quality score, (0.5, 0.5) the default,
+(0, 1) pure saliency score — and reports perplexity, zero-shot accuracy and
+WER for each.  The paper finds all three extract fully, with a slight quality
+cost when only the saliency score is used (β dominates), because candidates
+are then drawn from salient channels regardless of their magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.emmark import EmMark
+from repro.experiments.common import prepare_context
+from repro.utils.tables import Table, format_float
+
+__all__ = ["Table3Row", "Table3Result", "run", "PAPER_COEFFICIENTS"]
+
+PAPER_COEFFICIENTS: Sequence[Tuple[float, float]] = ((1.0, 0.0), (0.5, 0.5), (0.0, 1.0))
+DEFAULT_MODEL = "opt-2.7b-sim"
+
+
+@dataclass
+class Table3Row:
+    """Measurement for one (α, β) pair."""
+
+    alpha: float
+    beta: float
+    perplexity: float
+    zero_shot_accuracy: float
+    wer_percent: float
+
+
+@dataclass
+class Table3Result:
+    """All coefficient ablation rows."""
+
+    model_name: str
+    bits: int
+    bits_per_layer: int
+    rows: List[Table3Row] = field(default_factory=list)
+
+    def to_table(self) -> Table:
+        table = Table(
+            title=(
+                f"Table 3: insertion coefficients on {self.model_name} "
+                f"(INT{self.bits}, {self.bits_per_layer} bits/layer)"
+            ),
+            columns=["(alpha, beta)", "PPL", "Zero-shot Acc (%)", "WER (%)"],
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    f"({row.alpha:g}, {row.beta:g})",
+                    format_float(row.perplexity),
+                    format_float(row.zero_shot_accuracy),
+                    format_float(row.wer_percent),
+                ]
+            )
+        return table
+
+    def render(self) -> str:
+        return self.to_table().render()
+
+
+def run(
+    model_name: str = DEFAULT_MODEL,
+    bits: int = 4,
+    coefficients: Sequence[Tuple[float, float]] = PAPER_COEFFICIENTS,
+    bits_per_layer: Optional[int] = None,
+    profile: str = "default",
+    num_task_examples: Optional[int] = 32,
+) -> Table3Result:
+    """Run the coefficient ablation.
+
+    The paper uses a maximum signature length of 100 bits per layer for this
+    study; the sim default scales that down alongside the other payloads
+    (use ``bits_per_layer`` to override).
+    """
+    context = prepare_context(
+        model_name, bits, profile=profile, num_task_examples=num_task_examples
+    )
+    payload = bits_per_layer or context.emmark_config.bits_per_layer
+    result = Table3Result(model_name=model_name, bits=bits, bits_per_layer=payload)
+    for alpha, beta in coefficients:
+        config = context.emmark_config.with_overrides(
+            alpha=alpha, beta=beta, bits_per_layer=payload
+        )
+        emmark = EmMark(config)
+        watermarked, key, _ = emmark.insert_with_key(
+            context.fresh_quantized(), context.activations
+        )
+        quality = context.harness.evaluate(watermarked)
+        extraction = emmark.extract_with_key(watermarked, key)
+        result.rows.append(
+            Table3Row(
+                alpha=alpha,
+                beta=beta,
+                perplexity=quality.perplexity,
+                zero_shot_accuracy=quality.zero_shot_accuracy,
+                wer_percent=extraction.wer_percent,
+            )
+        )
+    return result

@@ -1,0 +1,120 @@
+"""Table 4 — watermark integrity.
+
+Integrity means the scheme only claims ownership of models that actually
+carry the owner's watermark.  The paper extracts the owner's signature from
+five models:
+
+* **WM** — the watermarked OPT-2.7B (AWQ INT4): 100% WER expected.
+* **non-WM 1** — the same model, quantized by AWQ, never watermarked.
+* **non-WM 2** — the base model fine-tuned on a 4k Alpaca subset, then AWQ.
+* **non-WM 3** — the base model fine-tuned on WikiText, then AWQ.
+* **non-WM 4** — the base model quantized by GPTQ instead of AWQ.
+
+All four non-watermarked models should yield (near-)zero WER.  The
+reproduction builds the same five models on the simulated substrate, using
+Alpaca-sim and a fresh slice of WikiText-sim for the fine-tuned variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.emmark import EmMark
+from repro.data.alpaca import load_alpaca_sim
+from repro.experiments.common import prepare_context
+from repro.finetune.full import FineTuneConfig, fine_tune_full_precision
+from repro.models.activations import collect_activation_stats
+from repro.quant.api import quantize_model
+from repro.utils.tables import Table, format_float
+
+__all__ = ["Table4Result", "run"]
+
+DEFAULT_MODEL = "opt-2.7b-sim"
+MODEL_LABELS = ("WM", "non-WM 1", "non-WM 2", "non-WM 3", "non-WM 4")
+
+
+@dataclass
+class Table4Result:
+    """WER of the owner's key against the five integrity models."""
+
+    model_name: str
+    bits: int
+    wer_by_model: Dict[str, float] = field(default_factory=dict)
+    descriptions: Dict[str, str] = field(default_factory=dict)
+
+    def to_table(self) -> Table:
+        table = Table(
+            title=f"Table 4: integrity evaluation ({self.model_name}, INT{self.bits})",
+            columns=["Model", "Description", "WER (%)"],
+        )
+        for label in MODEL_LABELS:
+            if label not in self.wer_by_model:
+                continue
+            table.add_row(
+                [label, self.descriptions.get(label, ""), format_float(self.wer_by_model[label])]
+            )
+        return table
+
+    def render(self) -> str:
+        return self.to_table().render()
+
+    def max_false_positive_wer(self) -> float:
+        """Highest WER among the non-watermarked models (should be ≈ 0)."""
+        return max(
+            (wer for label, wer in self.wer_by_model.items() if label != "WM"), default=0.0
+        )
+
+
+def run(
+    model_name: str = DEFAULT_MODEL,
+    bits: int = 4,
+    profile: str = "default",
+    finetune_config: Optional[FineTuneConfig] = None,
+) -> Table4Result:
+    """Run the integrity evaluation."""
+    context = prepare_context(model_name, bits, profile=profile)
+    emmark = EmMark(context.emmark_config)
+    dataset = context.harness.dataset
+
+    # The owner's watermarked model and key.
+    watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
+
+    finetune_config = finetune_config or FineTuneConfig()
+
+    def quantize_like_paper(full_precision_model, method: str):
+        stats = collect_activation_stats(full_precision_model, dataset.calibration)
+        return quantize_model(full_precision_model, method, activations=stats)
+
+    # non-WM 1: the original AWQ-quantized model, never watermarked.
+    non_wm_1 = context.fresh_quantized()
+
+    # non-WM 2: fine-tuned on Alpaca-sim before quantization.
+    alpaca = load_alpaca_sim(dataset.vocabulary)
+    alpaca_model, _ = fine_tune_full_precision(
+        context.full_precision, alpaca.as_corpus(), config=finetune_config
+    )
+    non_wm_2 = quantize_like_paper(alpaca_model, "awq")
+
+    # non-WM 3: fine-tuned on WikiText-sim (the training split) before quantization.
+    wikitext_model, _ = fine_tune_full_precision(
+        context.full_precision, dataset.train, config=finetune_config
+    )
+    non_wm_3 = quantize_like_paper(wikitext_model, "awq")
+
+    # non-WM 4: the base model quantized by GPTQ instead of AWQ.
+    non_wm_4 = quantize_like_paper(context.full_precision, "gptq")
+
+    result = Table4Result(model_name=model_name, bits=bits)
+    candidates = {
+        "WM": (watermarked, "EmMark-watermarked, AWQ INT4"),
+        "non-WM 1": (non_wm_1, "original AWQ INT4, no watermark"),
+        "non-WM 2": (non_wm_2, "Alpaca-sim fine-tune, then AWQ INT4"),
+        "non-WM 3": (non_wm_3, "WikiText-sim fine-tune, then AWQ INT4"),
+        "non-WM 4": (non_wm_4, "GPTQ INT4, no watermark"),
+    }
+    for label, (candidate, description) in candidates.items():
+        extraction = emmark.extract_with_key(candidate, key)
+        result.wer_by_model[label] = extraction.wer_percent
+        result.descriptions[label] = description
+    return result

@@ -1,0 +1,26 @@
+"""Fine-tuning substrate.
+
+Two very different fine-tuning flavours appear in the paper:
+
+* **Full-precision fine-tuning before quantization** — the integrity study
+  (Table 4) builds two "independent" models by fine-tuning the base model on
+  the Alpaca-sim and WikiText-sim corpora and then quantizing them; EmMark
+  must *not* find its signature in them.  :mod:`repro.finetune.full` provides
+  this.
+* **LoRA adapters on the quantized model** — the paper argues (Section 3 and
+  5.3) that QLoRA-style fine-tuning cannot remove the watermark because it
+  leaves the quantized weights untouched and only adds low-rank adapters.
+  :mod:`repro.finetune.lora` implements the adapters so the claim can be
+  checked mechanically.
+"""
+
+from repro.finetune.full import FineTuneConfig, fine_tune_full_precision
+from repro.finetune.lora import LoRAAdapter, LoRAConfig, LoRAFineTuner
+
+__all__ = [
+    "FineTuneConfig",
+    "fine_tune_full_precision",
+    "LoRAAdapter",
+    "LoRAConfig",
+    "LoRAFineTuner",
+]

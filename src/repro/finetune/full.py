@@ -1,0 +1,75 @@
+"""Full-precision fine-tuning (pre-quantization).
+
+Used by the integrity experiment (Table 4): starting from the pre-trained
+base model, fine-tune on a different corpus (Alpaca-sim or WikiText-sim) and
+then quantize.  The resulting models are legitimate, independently produced
+checkpoints of the same architecture — EmMark must report (near-)zero WER on
+them, otherwise the scheme would accuse innocent parties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.data.corpus import TokenCorpus
+from repro.models.training import TrainingConfig, train_language_model
+from repro.models.transformer import TransformerLM
+
+__all__ = ["FineTuneConfig", "fine_tune_full_precision"]
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    """Hyper-parameters of a full-precision fine-tuning run.
+
+    The defaults are deliberately lighter than pre-training: fine-tuning
+    should *shift* the weights appreciably (so the fine-tuned model is a
+    genuinely different checkpoint) without erasing the base model's language
+    ability, mirroring how the paper fine-tunes OPT-2.7B on a 4k Alpaca
+    subset.
+    """
+
+    steps: int = 120
+    batch_size: int = 8
+    sequence_length: int = 33
+    learning_rate: float = 3e-3
+    seed: int = 17
+
+
+def fine_tune_full_precision(
+    model: TransformerLM,
+    corpus: TokenCorpus,
+    config: Optional[FineTuneConfig] = None,
+    in_place: bool = False,
+) -> tuple[TransformerLM, Dict[str, List[float]]]:
+    """Fine-tune ``model`` on ``corpus`` and return the fine-tuned model.
+
+    Parameters
+    ----------
+    model:
+        Full-precision base model.
+    corpus:
+        Fine-tuning token stream (e.g. ``AlpacaSim.as_corpus()``).
+    config:
+        Fine-tuning hyper-parameters.
+    in_place:
+        Mutate ``model`` instead of fine-tuning a copy.
+
+    Returns
+    -------
+    (model, history)
+        The fine-tuned model and the training-loss history.
+    """
+    config = config or FineTuneConfig()
+    target = model if in_place else model.clone()
+    training_config = TrainingConfig(
+        steps=config.steps,
+        batch_size=config.batch_size,
+        sequence_length=config.sequence_length,
+        learning_rate=config.learning_rate,
+        warmup_steps=max(1, config.steps // 20),
+        seed=config.seed,
+    )
+    history = train_language_model(target, corpus, training_config)
+    return target, history

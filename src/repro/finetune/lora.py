@@ -1,0 +1,192 @@
+"""LoRA adapters for quantized models (the QLoRA argument).
+
+Section 3 of the paper rules out fine-tuning as a watermark-removal attack:
+"fine-tuning quantized models like QLoRA does not change quantized weights
+but adds additional linear low-rank adapters to learn new features."  This
+module implements exactly that mechanism so the claim can be demonstrated
+rather than asserted:
+
+* :class:`LoRAAdapter` — a rank-``r`` additive adapter ``ΔW = B A`` attached
+  to one quantized linear layer (the base integer weights stay frozen).
+* :class:`LoRAFineTuner` — trains the adapters of every quantized layer on a
+  new corpus with the usual next-token loss, then materializes a model whose
+  effective weights are ``dequant(W_q) + B A``.
+
+Because the integer weights ``W_q`` are untouched, the watermark extraction —
+which reads ``W_q`` directly from the deployed tensors — still recovers every
+signature bit after LoRA fine-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.corpus import TokenCorpus
+from repro.models.parameters import Parameter
+from repro.models.training import AdamOptimizer, sample_batch
+from repro.models.transformer import TransformerLM
+from repro.quant.base import QuantizedModel
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+__all__ = ["LoRAConfig", "LoRAAdapter", "LoRAFineTuner"]
+
+logger = get_logger("finetune.lora")
+
+
+@dataclass(frozen=True)
+class LoRAConfig:
+    """LoRA fine-tuning hyper-parameters.
+
+    Attributes
+    ----------
+    rank:
+        Adapter rank ``r``.
+    alpha:
+        LoRA scaling; the adapter contributes ``(alpha / rank) · B A``.
+    steps, batch_size, sequence_length, learning_rate:
+        Optimization settings for adapter training.
+    seed:
+        Seed for adapter initialisation and batch sampling.
+    """
+
+    rank: int = 4
+    alpha: float = 8.0
+    steps: int = 60
+    batch_size: int = 8
+    sequence_length: int = 33
+    learning_rate: float = 5e-3
+    seed: int = 23
+
+
+class LoRAAdapter:
+    """Additive low-rank adapter for one linear layer.
+
+    The adapter holds matrices ``A`` of shape ``(rank, in_features)`` and
+    ``B`` of shape ``(out_features, rank)``; the effective weight becomes
+    ``W + (alpha / rank) · B A``.  Following the LoRA paper, ``A`` is
+    initialised with small Gaussian noise and ``B`` with zeros so the adapter
+    starts as the identity (no change).
+    """
+
+    def __init__(
+        self,
+        layer_name: str,
+        out_features: int,
+        in_features: int,
+        rank: int,
+        alpha: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        self.layer_name = layer_name
+        self.rank = int(rank)
+        self.alpha = float(alpha)
+        self.a = Parameter(rng.normal(0.0, 0.02, size=(rank, in_features)), name=f"{layer_name}.lora_a")
+        self.b = Parameter(np.zeros((out_features, rank)), name=f"{layer_name}.lora_b")
+
+    @property
+    def scaling(self) -> float:
+        """The ``alpha / rank`` multiplier applied to ``B A``."""
+        return self.alpha / self.rank
+
+    def delta_weight(self) -> np.ndarray:
+        """The dense additive update ``(alpha / rank) · B A``."""
+        return self.scaling * (self.b.value @ self.a.value)
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters of the adapter."""
+        return [self.a, self.b]
+
+    def accumulate_gradient_from_weight_grad(self, weight_grad: np.ndarray) -> None:
+        """Convert a dense weight gradient into adapter gradients.
+
+        If the loss gradient with respect to the effective weight is ``G``,
+        then ``∂L/∂B = s · G Aᵀ`` and ``∂L/∂A = s · Bᵀ G`` with ``s`` the LoRA
+        scaling.
+        """
+        self.b.accumulate_grad(self.scaling * (weight_grad @ self.a.value.T))
+        self.a.accumulate_grad(self.scaling * (self.b.value.T @ weight_grad))
+
+
+class LoRAFineTuner:
+    """Trains LoRA adapters on top of a (frozen) quantized model.
+
+    Parameters
+    ----------
+    quantized_model:
+        The deployed quantized model.  Its integer weights are never written.
+    config:
+        LoRA hyper-parameters.
+    """
+
+    def __init__(self, quantized_model: QuantizedModel, config: Optional[LoRAConfig] = None) -> None:
+        self.quantized_model = quantized_model
+        self.config = config or LoRAConfig()
+        rng = new_rng(self.config.seed, "lora-init")
+        self.adapters: Dict[str, LoRAAdapter] = {}
+        for name, layer in quantized_model.layers.items():
+            self.adapters[name] = LoRAAdapter(
+                layer_name=name,
+                out_features=layer.out_features,
+                in_features=layer.in_features,
+                rank=self.config.rank,
+                alpha=self.config.alpha,
+                rng=rng,
+            )
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> TransformerLM:
+        """Full-precision model with ``effective_weight + adapter`` per layer."""
+        model = self.quantized_model.materialize()
+        for name, adapter in self.adapters.items():
+            linear = model.get_linear(name)
+            linear.weight.value = linear.weight.value + adapter.delta_weight()
+        return model
+
+    def fine_tune(self, corpus: TokenCorpus) -> Dict[str, List[float]]:
+        """Train the adapters on ``corpus`` (quantized weights stay frozen).
+
+        Each step materializes the effective model, runs the usual forward /
+        backward pass, and then projects the dense weight gradients of the
+        adapted layers onto the adapter factors.  Only adapter parameters are
+        updated.
+        """
+        config = self.config
+        adapter_parameters = [p for adapter in self.adapters.values() for p in adapter.parameters()]
+        optimizer = AdamOptimizer(adapter_parameters, learning_rate=config.learning_rate)
+        rng = new_rng(config.seed, "lora-batches")
+        history: Dict[str, List[float]] = {"loss": []}
+        for step in range(config.steps):
+            model = self.materialize()
+            batch = sample_batch(corpus, config.batch_size, config.sequence_length, rng)
+            model.zero_grad()
+            loss = model.loss_and_gradients(batch)
+            optimizer.zero_grad()
+            for name, adapter in self.adapters.items():
+                weight_grad = model.get_linear(name).weight.grad
+                adapter.accumulate_gradient_from_weight_grad(weight_grad)
+            optimizer.step()
+            history["loss"].append(loss)
+        logger.debug(
+            "LoRA fine-tuning finished: loss %.4f -> %.4f",
+            history["loss"][0] if history["loss"] else float("nan"),
+            history["loss"][-1] if history["loss"] else float("nan"),
+        )
+        return history
+
+    def quantized_weights_unchanged(self, reference: QuantizedModel) -> bool:
+        """Check that fine-tuning did not touch any integer weight.
+
+        This is the mechanical verification of the paper's QLoRA argument;
+        it should always return True because adapters live outside the
+        quantized tensors.
+        """
+        for name, layer in self.quantized_model.layers.items():
+            if not np.array_equal(layer.weight_int, reference.get_layer(name).weight_int):
+                return False
+        return True

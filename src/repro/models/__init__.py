@@ -1,0 +1,46 @@
+"""Simulated language-model substrate.
+
+The paper's experiments run on real OPT and LLaMA-2 checkpoints.  Offline we
+substitute a from-scratch NumPy decoder-only transformer:
+
+* :mod:`repro.models.config` — architecture configuration objects.
+* :mod:`repro.models.parameters` — the :class:`Parameter` container used by
+  every layer (value + gradient).
+* :mod:`repro.models.layers` — linear, embedding, normalisation, attention
+  and MLP blocks, each with explicit ``forward``/``backward``.
+* :mod:`repro.models.transformer` — the :class:`TransformerLM` model.
+* :mod:`repro.models.training` — Adam optimizer and the pre-training loop
+  used to fit the sim models on the synthetic corpus.
+* :mod:`repro.models.activations` — calibration passes that collect the
+  per-channel full-precision activation statistics EmMark and the
+  activation-aware quantizers need.
+* :mod:`repro.models.registry` — the OPT / LLaMA-2 "sim" model zoo and a
+  cache of pre-trained instances.
+"""
+
+from repro.models.config import ModelConfig
+from repro.models.parameters import Parameter
+from repro.models.transformer import TransformerLM
+from repro.models.activations import ActivationStats, collect_activation_stats
+from repro.models.training import AdamOptimizer, TrainingConfig, train_language_model
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    get_model_config,
+    get_pretrained_model,
+    list_model_names,
+)
+
+__all__ = [
+    "ModelConfig",
+    "Parameter",
+    "TransformerLM",
+    "ActivationStats",
+    "collect_activation_stats",
+    "AdamOptimizer",
+    "TrainingConfig",
+    "train_language_model",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "get_pretrained_model",
+    "list_model_names",
+]

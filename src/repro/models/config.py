@@ -1,0 +1,131 @@
+"""Model architecture configuration.
+
+A :class:`ModelConfig` fully describes one simulated LLM: its transformer
+dimensions, which architectural family it mimics (OPT uses LayerNorm + ReLU
+and learned positional embeddings; LLaMA-2 uses RMSNorm + SiLU), and the
+"virtual" parameter count of the real model it stands in for (used only for
+selecting the candidate-pool ratio rule from the paper, which differs for
+models below and above 6.7B parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+__all__ = ["ModelConfig"]
+
+NormType = Literal["layernorm", "rmsnorm"]
+ActivationType = Literal["relu", "silu", "gelu"]
+Family = Literal["opt", "llama2", "custom"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture description of a simulated decoder-only LM.
+
+    Parameters
+    ----------
+    name:
+        Registry name, e.g. ``"opt-2.7b-sim"``.
+    vocab_size:
+        Token vocabulary size (including special tokens).
+    d_model:
+        Hidden/embedding width.
+    n_layers:
+        Number of transformer blocks.
+    n_heads:
+        Attention heads; must divide ``d_model``.
+    d_ff:
+        Hidden width of the feed-forward block.
+    max_seq_len:
+        Maximum sequence length supported by the positional embedding.
+    norm_type:
+        ``"layernorm"`` (OPT-style) or ``"rmsnorm"`` (LLaMA-style).
+    activation:
+        Feed-forward nonlinearity.
+    family:
+        Which real model family this config simulates.
+    virtual_params_billions:
+        Parameter count (in billions) of the real model being simulated.
+        EmMark's candidate pool-size rule switches at 6.7B.
+    outlier_channel_fraction:
+        Fraction of hidden channels given an amplified LayerNorm/RMSNorm gain
+        at initialisation, creating the activation-outlier structure observed
+        in real LLMs that activation-aware quantization and EmMark exploit.
+    outlier_gain:
+        Multiplicative gain applied to the outlier channels.
+    init_std:
+        Standard deviation of the weight initialisation.
+    """
+
+    name: str
+    vocab_size: int = 512
+    d_model: int = 64
+    n_layers: int = 4
+    n_heads: int = 4
+    d_ff: int = 256
+    max_seq_len: int = 64
+    norm_type: NormType = "layernorm"
+    activation: ActivationType = "relu"
+    family: Family = "custom"
+    virtual_params_billions: float = 0.0
+    outlier_channel_fraction: float = 0.08
+    outlier_gain: float = 8.0
+    init_std: float = 0.05
+    tie_embeddings: bool = False
+    dropout: float = 0.0
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model ({self.d_model}) must be divisible by n_heads ({self.n_heads})"
+            )
+        if self.vocab_size < 8:
+            raise ValueError("vocab_size must be at least 8")
+        if self.n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        if not 0.0 <= self.outlier_channel_fraction <= 1.0:
+            raise ValueError("outlier_channel_fraction must be in [0, 1]")
+        if self.max_seq_len < 2:
+            raise ValueError("max_seq_len must be >= 2")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimensionality."""
+        return self.d_model // self.n_heads
+
+    @property
+    def num_linear_layers(self) -> int:
+        """Number of quantizable linear ("quantization") layers.
+
+        Each transformer block contributes q/k/v/o projections plus the two
+        feed-forward projections; the final LM head is also a linear layer but
+        is conventionally kept in full precision by the quantization
+        frameworks the paper builds on, so it is not counted.
+        """
+        return self.n_layers * 6
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters of the sim model."""
+        embed = self.vocab_size * self.d_model
+        pos = self.max_seq_len * self.d_model if self.family != "llama2" else 0
+        per_block_attn = 4 * (self.d_model * self.d_model + self.d_model)
+        per_block_mlp = (
+            self.d_model * self.d_ff + self.d_ff + self.d_ff * self.d_model + self.d_model
+        )
+        norm_params = 2 * self.d_model if self.norm_type == "layernorm" else self.d_model
+        per_block = per_block_attn + per_block_mlp + 2 * norm_params
+        final_norm = norm_params
+        lm_head = 0 if self.tie_embeddings else self.vocab_size * self.d_model
+        return embed + pos + self.n_layers * per_block + final_norm + lm_head
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        return (
+            f"{self.name}: {self.family} sim, d_model={self.d_model}, "
+            f"layers={self.n_layers}, heads={self.n_heads}, d_ff={self.d_ff}, "
+            f"vocab={self.vocab_size}, ~{self.num_parameters() / 1e3:.0f}k params "
+            f"(simulating {self.virtual_params_billions}B)"
+        )

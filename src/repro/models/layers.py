@@ -1,0 +1,413 @@
+"""Neural-network layers with explicit forward and backward passes.
+
+The simulated LLMs are trained with plain NumPy, so every layer implements
+
+* ``forward(x, ...) -> (y, cache)`` — compute the output and remember the
+  intermediate values needed by the backward pass, and
+* ``backward(dy, cache) -> dx`` — accumulate parameter gradients in-place and
+  return the gradient with respect to the layer input.
+
+The layer set covers everything a decoder-only OPT / LLaMA-style transformer
+needs: linear projections, token and positional embeddings, LayerNorm and
+RMSNorm, multi-head causal self-attention, and the feed-forward block with
+ReLU / SiLU / GELU nonlinearities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.parameters import Parameter, ParameterModule
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "RMSNorm",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerBlock",
+    "softmax",
+    "cross_entropy",
+    "cross_entropy_backward",
+]
+
+Cache = Dict[str, Any]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss over a batch of logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, vocab)`` unnormalised scores.
+    targets:
+        ``(N,)`` integer class labels.
+
+    Returns
+    -------
+    (loss, probs):
+        The scalar mean negative log-likelihood and the softmax probabilities
+        (needed by :func:`cross_entropy_backward`).
+    """
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (N, vocab)")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError("targets must be 1-D with one label per logit row")
+    probs = softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = probs[np.arange(n), targets]
+    loss = float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+    return loss, probs
+
+
+def cross_entropy_backward(probs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of the mean cross-entropy loss with respect to the logits."""
+    n = probs.shape[0]
+    grad = probs.copy()
+    grad[np.arange(n), targets] -= 1.0
+    return grad / n
+
+
+class Linear(ParameterModule):
+    """Affine projection ``y = x @ W.T + b``.
+
+    The weight is stored with shape ``(out_features, in_features)`` — the same
+    layout used by the quantization substrate, where each *column* corresponds
+    to an input channel whose activation magnitude determines saliency.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        init_std: float = 0.05,
+        bias: bool = True,
+    ) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(rng.normal(0.0, init_std, size=(out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        #: Full dotted name assigned by the owning model; used as the key for
+        #: activation capture and quantization.
+        self.full_name: str = ""
+
+    def forward(self, x: np.ndarray, capture: Optional["ActivationCaptureProtocol"] = None) -> Tuple[np.ndarray, Cache]:
+        """Apply the projection to ``x`` of shape ``(..., in_features)``."""
+        if capture is not None and self.full_name:
+            capture.update(self.full_name, x)
+        y = x @ self.weight.value.T
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y, {"x": x}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> np.ndarray:
+        """Accumulate weight/bias gradients and return the input gradient."""
+        x = cache["x"]
+        x2d = x.reshape(-1, self.in_features)
+        dy2d = dy.reshape(-1, self.out_features)
+        self.weight.accumulate_grad(dy2d.T @ x2d)
+        if self.bias is not None:
+            self.bias.accumulate_grad(dy2d.sum(axis=0))
+        return dy @ self.weight.value
+
+
+class Embedding(ParameterModule):
+    """Token (or positional) embedding table."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        init_std: float = 0.05,
+    ) -> None:
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal(0.0, init_std, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, ids: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        """Gather embeddings for integer ``ids`` of any shape."""
+        ids = np.asarray(ids, dtype=np.int64)
+        return self.weight.value[ids], {"ids": ids}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> None:
+        """Scatter-add the output gradient back into the table."""
+        ids = cache["ids"].reshape(-1)
+        dy2d = dy.reshape(-1, self.embedding_dim)
+        grad = np.zeros_like(self.weight.value)
+        np.add.at(grad, ids, dy2d)
+        self.weight.accumulate_grad(grad)
+
+
+class LayerNorm(ParameterModule):
+    """Layer normalisation with learned gain and bias (OPT style).
+
+    ``outlier_channels``/``outlier_gain`` let the model initialisation amplify
+    a subset of channels, reproducing the activation-outlier structure of real
+    LLMs that SmoothQuant, AWQ and EmMark's saliency score all depend on.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        eps: float = 1e-5,
+        outlier_channels: Optional[np.ndarray] = None,
+        outlier_gain: float = 1.0,
+    ) -> None:
+        gamma = np.ones(dim)
+        if outlier_channels is not None and outlier_channels.size:
+            gamma[outlier_channels] *= outlier_gain
+        self.gamma = Parameter(gamma)
+        self.beta = Parameter(np.zeros(dim))
+        self.eps = float(eps)
+        self.dim = dim
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        std = np.sqrt(var + self.eps)
+        xhat = (x - mu) / std
+        y = self.gamma.value * xhat + self.beta.value
+        return y, {"xhat": xhat, "std": std}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> np.ndarray:
+        xhat, std = cache["xhat"], cache["std"]
+        self.gamma.accumulate_grad((dy * xhat).reshape(-1, self.dim).sum(axis=0))
+        self.beta.accumulate_grad(dy.reshape(-1, self.dim).sum(axis=0))
+        dxhat = dy * self.gamma.value
+        mean_dxhat = dxhat.mean(axis=-1, keepdims=True)
+        mean_dxhat_xhat = (dxhat * xhat).mean(axis=-1, keepdims=True)
+        return (dxhat - mean_dxhat - xhat * mean_dxhat_xhat) / std
+
+
+class RMSNorm(ParameterModule):
+    """Root-mean-square normalisation with learned gain (LLaMA style)."""
+
+    def __init__(
+        self,
+        dim: int,
+        eps: float = 1e-5,
+        outlier_channels: Optional[np.ndarray] = None,
+        outlier_gain: float = 1.0,
+    ) -> None:
+        gamma = np.ones(dim)
+        if outlier_channels is not None and outlier_channels.size:
+            gamma[outlier_channels] *= outlier_gain
+        self.gamma = Parameter(gamma)
+        self.eps = float(eps)
+        self.dim = dim
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + self.eps)
+        y = self.gamma.value * x / rms
+        return y, {"x": x, "rms": rms}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> np.ndarray:
+        x, rms = cache["x"], cache["rms"]
+        self.gamma.accumulate_grad((dy * x / rms).reshape(-1, self.dim).sum(axis=0))
+        dxhat = dy * self.gamma.value
+        mean_dxhat_x = (dxhat * x).mean(axis=-1, keepdims=True)
+        return dxhat / rms - x * mean_dxhat_x / (rms ** 3)
+
+
+def _activation_forward(kind: str, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+    """Forward pass of the feed-forward nonlinearity."""
+    if kind == "relu":
+        return np.maximum(x, 0.0), {"x": x}
+    if kind == "silu":
+        sig = 1.0 / (1.0 + np.exp(-x))
+        return x * sig, {"x": x, "sig": sig}
+    if kind == "gelu":
+        # tanh approximation of GELU, matching common transformer implementations
+        c = math.sqrt(2.0 / math.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh = np.tanh(inner)
+        return 0.5 * x * (1.0 + tanh), {"x": x, "tanh": tanh, "inner": inner}
+    raise ValueError(f"unknown activation kind {kind!r}")
+
+
+def _activation_backward(kind: str, dy: np.ndarray, cache: Cache) -> np.ndarray:
+    """Backward pass of the feed-forward nonlinearity."""
+    x = cache["x"]
+    if kind == "relu":
+        return dy * (x > 0.0)
+    if kind == "silu":
+        sig = cache["sig"]
+        return dy * (sig * (1.0 + x * (1.0 - sig)))
+    if kind == "gelu":
+        c = math.sqrt(2.0 / math.pi)
+        tanh = cache["tanh"]
+        sech2 = 1.0 - tanh ** 2
+        d_inner = c * (1.0 + 3.0 * 0.044715 * x ** 2)
+        return dy * (0.5 * (1.0 + tanh) + 0.5 * x * sech2 * d_inner)
+    raise ValueError(f"unknown activation kind {kind!r}")
+
+
+class MultiHeadAttention(ParameterModule):
+    """Causal multi-head self-attention with separate q/k/v/o projections."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        init_std: float = 0.05,
+    ) -> None:
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.head_dim = d_model // n_heads
+        self.q_proj = Linear(d_model, d_model, rng, init_std)
+        self.k_proj = Linear(d_model, d_model, rng, init_std)
+        self.v_proj = Linear(d_model, d_model, rng, init_std)
+        self.o_proj = Linear(d_model, d_model, rng, init_std)
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, _, seq, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+
+    def forward(self, x: np.ndarray, capture=None) -> Tuple[np.ndarray, Cache]:
+        """Apply causal self-attention to ``x`` of shape ``(batch, seq, d_model)``."""
+        batch, seq, _ = x.shape
+        q, cache_q = self.q_proj.forward(x, capture)
+        k, cache_k = self.k_proj.forward(x, capture)
+        v, cache_v = self.v_proj.forward(x, capture)
+        qh, kh, vh = self._split_heads(q), self._split_heads(k), self._split_heads(v)
+        scale = 1.0 / math.sqrt(self.head_dim)
+        scores = np.einsum("bhqd,bhkd->bhqk", qh, kh) * scale
+        causal_mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        scores = np.where(causal_mask, -1e9, scores)
+        attn = softmax(scores, axis=-1)
+        context = np.einsum("bhqk,bhkd->bhqd", attn, vh)
+        merged = self._merge_heads(context)
+        out, cache_o = self.o_proj.forward(merged, capture)
+        cache = {
+            "cache_q": cache_q,
+            "cache_k": cache_k,
+            "cache_v": cache_v,
+            "cache_o": cache_o,
+            "qh": qh,
+            "kh": kh,
+            "vh": vh,
+            "attn": attn,
+            "scale": scale,
+        }
+        return out, cache
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> np.ndarray:
+        dmerged = self.o_proj.backward(dy, cache["cache_o"])
+        batch, seq, _ = dmerged.shape
+        dcontext = dmerged.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+        attn, qh, kh, vh, scale = (
+            cache["attn"],
+            cache["qh"],
+            cache["kh"],
+            cache["vh"],
+            cache["scale"],
+        )
+        dattn = np.einsum("bhqd,bhkd->bhqk", dcontext, vh)
+        dvh = np.einsum("bhqk,bhqd->bhkd", attn, dcontext)
+        # softmax backward: ds = attn * (dattn - sum(dattn * attn))
+        dscores = attn * (dattn - np.sum(dattn * attn, axis=-1, keepdims=True))
+        dqh = np.einsum("bhqk,bhkd->bhqd", dscores, kh) * scale
+        dkh = np.einsum("bhqk,bhqd->bhkd", dscores, qh) * scale
+        dq = self._merge_heads(dqh)
+        dk = self._merge_heads(dkh)
+        dv = self._merge_heads(dvh)
+        dx = self.q_proj.backward(dq, cache["cache_q"])
+        dx = dx + self.k_proj.backward(dk, cache["cache_k"])
+        dx = dx + self.v_proj.backward(dv, cache["cache_v"])
+        return dx
+
+
+class FeedForward(ParameterModule):
+    """Two-layer feed-forward block with a configurable nonlinearity."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        init_std: float = 0.05,
+    ) -> None:
+        self.fc_in = Linear(d_model, d_ff, rng, init_std)
+        self.fc_out = Linear(d_ff, d_model, rng, init_std)
+        self.activation = activation
+
+    def forward(self, x: np.ndarray, capture=None) -> Tuple[np.ndarray, Cache]:
+        hidden, cache_in = self.fc_in.forward(x, capture)
+        activated, cache_act = _activation_forward(self.activation, hidden)
+        out, cache_out = self.fc_out.forward(activated, capture)
+        return out, {"cache_in": cache_in, "cache_act": cache_act, "cache_out": cache_out}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> np.ndarray:
+        dactivated = self.fc_out.backward(dy, cache["cache_out"])
+        dhidden = _activation_backward(self.activation, dactivated, cache["cache_act"])
+        return self.fc_in.backward(dhidden, cache["cache_in"])
+
+
+class TransformerBlock(ParameterModule):
+    """Pre-norm transformer decoder block: norm → attention → norm → MLP."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        d_ff: int,
+        rng: np.random.Generator,
+        norm_type: str = "layernorm",
+        activation: str = "relu",
+        init_std: float = 0.05,
+        outlier_channels: Optional[np.ndarray] = None,
+        outlier_gain: float = 1.0,
+    ) -> None:
+        norm_cls = LayerNorm if norm_type == "layernorm" else RMSNorm
+        self.norm1 = norm_cls(
+            d_model, outlier_channels=outlier_channels, outlier_gain=outlier_gain
+        )
+        self.attn = MultiHeadAttention(d_model, n_heads, rng, init_std)
+        self.norm2 = norm_cls(
+            d_model, outlier_channels=outlier_channels, outlier_gain=outlier_gain
+        )
+        self.mlp = FeedForward(d_model, d_ff, rng, activation, init_std)
+
+    def forward(self, x: np.ndarray, capture=None) -> Tuple[np.ndarray, Cache]:
+        normed1, cache_n1 = self.norm1.forward(x)
+        attn_out, cache_attn = self.attn.forward(normed1, capture)
+        residual1 = x + attn_out
+        normed2, cache_n2 = self.norm2.forward(residual1)
+        mlp_out, cache_mlp = self.mlp.forward(normed2, capture)
+        out = residual1 + mlp_out
+        cache = {
+            "cache_n1": cache_n1,
+            "cache_attn": cache_attn,
+            "cache_n2": cache_n2,
+            "cache_mlp": cache_mlp,
+        }
+        return out, cache
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> np.ndarray:
+        dmlp = self.mlp.backward(dy, cache["cache_mlp"])
+        dresidual1 = dy + self.norm2.backward(dmlp, cache["cache_n2"])
+        dattn = self.attn.backward(dresidual1, cache["cache_attn"])
+        dx = dresidual1 + self.norm1.backward(dattn, cache["cache_n1"])
+        return dx

@@ -1,0 +1,124 @@
+"""Parameter container shared by all model layers.
+
+The simulated models implement their own forward/backward passes instead of
+relying on an autodiff framework, so each trainable tensor is wrapped in a
+:class:`Parameter` that couples the value with its accumulated gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["Parameter", "ParameterModule"]
+
+
+class Parameter:
+    """A trainable tensor: a value array and an accumulated gradient.
+
+    Parameters
+    ----------
+    value:
+        Initial value; stored as ``float64`` for numerically robust training
+        of the small simulated models.
+    name:
+        Optional diagnostic name; the owning module usually assigns the full
+        hierarchical name later via :meth:`ParameterModule.named_parameters`.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying value array."""
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient (shape-checked)."""
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.value.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter shape {self.value.shape}"
+            )
+        self.grad += grad
+
+    def copy(self) -> "Parameter":
+        """Deep copy of the parameter (value only; gradient reset)."""
+        return Parameter(self.value.copy(), name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class ParameterModule:
+    """Base class for layers that own :class:`Parameter` instances.
+
+    Sub-classes register their parameters and sub-modules as plain attributes;
+    :meth:`named_parameters` walks the attribute tree and yields hierarchical
+    dotted names, which is how the quantization and watermarking layers refer
+    to weight matrices (e.g. ``"blocks.2.attn.q_proj.weight"``).
+    """
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs depth-first."""
+        for attr_name, attr in vars(self).items():
+            full = f"{prefix}.{attr_name}" if prefix else attr_name
+            if isinstance(attr, Parameter):
+                yield full, attr
+            elif isinstance(attr, ParameterModule):
+                yield from attr.named_parameters(full)
+            elif isinstance(attr, (list, tuple)):
+                for index, item in enumerate(attr):
+                    if isinstance(item, ParameterModule):
+                        yield from item.named_parameters(f"{full}.{index}")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every parameter (without names)."""
+        for _, parameter in self.named_parameters():
+            yield parameter
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every owned parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count of the module tree."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter value keyed by dotted name."""
+        return {name: parameter.value.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values produced by :meth:`state_dict` (strict shape check)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {parameter.value.shape}"
+                )
+            parameter.value = value.copy()
+            parameter.zero_grad()

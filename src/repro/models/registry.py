@@ -1,0 +1,163 @@
+"""Model zoo: the OPT and LLaMA-2 "sim" configurations.
+
+The paper evaluates nine checkpoints — OPT-{125M, 1.3B, 2.7B, 6.7B, 13B, 30B}
+and LLaMA-2-{7B, 13B, 70B}.  The registry defines one scaled-down simulated
+configuration per checkpoint, preserving the properties that matter for the
+watermarking study:
+
+* the OPT sims use LayerNorm + ReLU + learned positions, the LLaMA-2 sims use
+  RMSNorm + SiLU (no learned positions), matching the real architectures;
+* model capacity grows monotonically with the virtual parameter count, so the
+  larger sims have more quantization layers and lower perplexity;
+* the ``virtual_params_billions`` field drives the paper's candidate-pool
+  ratio rule (50 below 6.7B, 60 at and above).
+
+:func:`get_pretrained_model` returns a model trained on the WikiText-sim
+training split, cached per (name, profile) so that experiments and benchmarks
+sharing a process never retrain the same model twice.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.data.wikitext import WikiTextSim, load_wikitext_sim
+from repro.models.config import ModelConfig
+from repro.models.training import TrainingConfig, train_language_model
+from repro.models.transformer import TransformerLM
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "TRAINING_PROFILES",
+    "get_model_config",
+    "get_pretrained_model",
+    "get_pretrained_model_and_data",
+    "list_model_names",
+]
+
+logger = get_logger("models.registry")
+
+_VOCAB_SIZE = 512
+_MAX_SEQ_LEN = 64
+
+
+def _opt(name: str, d_model: int, n_layers: int, n_heads: int, billions: float) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        vocab_size=_VOCAB_SIZE,
+        d_model=d_model,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        d_ff=4 * d_model,
+        max_seq_len=_MAX_SEQ_LEN,
+        norm_type="layernorm",
+        activation="relu",
+        family="opt",
+        virtual_params_billions=billions,
+    )
+
+
+def _llama(name: str, d_model: int, n_layers: int, n_heads: int, billions: float) -> ModelConfig:
+    # LLaMA-2 uses a ~2.7x FFN expansion (SwiGLU); the sim keeps a plain SiLU
+    # MLP but mirrors the narrower expansion ratio.
+    d_ff = int(round(2.75 * d_model / 4)) * 4
+    return ModelConfig(
+        name=name,
+        vocab_size=_VOCAB_SIZE,
+        d_model=d_model,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        d_ff=d_ff,
+        max_seq_len=_MAX_SEQ_LEN,
+        norm_type="rmsnorm",
+        activation="silu",
+        family="llama2",
+        virtual_params_billions=billions,
+    )
+
+
+MODEL_REGISTRY: Dict[str, ModelConfig] = {
+    config.name: config
+    for config in [
+        _opt("opt-125m-sim", d_model=32, n_layers=2, n_heads=2, billions=0.125),
+        _opt("opt-1.3b-sim", d_model=48, n_layers=2, n_heads=3, billions=1.3),
+        _opt("opt-2.7b-sim", d_model=64, n_layers=3, n_heads=4, billions=2.7),
+        _opt("opt-6.7b-sim", d_model=64, n_layers=4, n_heads=4, billions=6.7),
+        _opt("opt-13b-sim", d_model=80, n_layers=4, n_heads=5, billions=13.0),
+        _opt("opt-30b-sim", d_model=96, n_layers=5, n_heads=6, billions=30.0),
+        _llama("llama2-7b-sim", d_model=64, n_layers=4, n_heads=4, billions=7.0),
+        _llama("llama2-13b-sim", d_model=80, n_layers=4, n_heads=5, billions=13.0),
+        _llama("llama2-70b-sim", d_model=112, n_layers=5, n_heads=7, billions=70.0),
+    ]
+}
+
+OPT_FAMILY: List[str] = [name for name, cfg in MODEL_REGISTRY.items() if cfg.family == "opt"]
+LLAMA2_FAMILY: List[str] = [
+    name for name, cfg in MODEL_REGISTRY.items() if cfg.family == "llama2"
+]
+
+#: Training profiles: "default" is used by the experiment/benchmark harnesses,
+#: "smoke" trains just enough for integration tests to run quickly.
+TRAINING_PROFILES: Dict[str, TrainingConfig] = {
+    # The default profile trains each sim long enough that the quantized
+    # transformer blocks carry most of the corpus structure (disabling them
+    # multiplies perplexity many times over) — a prerequisite for the
+    # fidelity/attack experiments to have a quality signal to measure.
+    "default": TrainingConfig(steps=500, batch_size=12, sequence_length=33, learning_rate=1e-2),
+    # The smoke profile is for integration tests: fast, but the resulting
+    # model is under-trained and its quality metrics are not meaningful.
+    "smoke": TrainingConfig(steps=40, batch_size=4, sequence_length=17, learning_rate=8e-3),
+}
+
+
+def list_model_names(family: str = "all") -> List[str]:
+    """Names of registered models, optionally filtered by family."""
+    if family == "all":
+        return list(MODEL_REGISTRY)
+    return [name for name, config in MODEL_REGISTRY.items() if config.family == family]
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a registered :class:`ModelConfig` by name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; registered models: {sorted(MODEL_REGISTRY)}"
+        ) from exc
+
+
+@lru_cache(maxsize=32)
+def _cached_pretrained(name: str, profile: str, data_seed: int) -> Tuple[TransformerLM, WikiTextSim]:
+    config = get_model_config(name)
+    if profile not in TRAINING_PROFILES:
+        raise KeyError(f"unknown training profile {profile!r}")
+    dataset = load_wikitext_sim(vocab_size=config.vocab_size, seed=data_seed)
+    model = TransformerLM(config, seed=0)
+    training_config = TRAINING_PROFILES[profile]
+    logger.info("training %s (%s profile, %d steps)", name, profile, training_config.steps)
+    train_language_model(model, dataset.train, training_config)
+    return model, dataset
+
+
+def get_pretrained_model_and_data(
+    name: str, profile: str = "default", data_seed: int = 1234
+) -> Tuple[TransformerLM, WikiTextSim]:
+    """Return a pre-trained sim model together with its dataset.
+
+    The returned model is a *clone* of the cached instance, so callers are
+    free to mutate it (quantize, watermark, attack) without corrupting the
+    cache.
+    """
+    model, dataset = _cached_pretrained(name, profile, data_seed)
+    return model.clone(), dataset
+
+
+def get_pretrained_model(
+    name: str, profile: str = "default", data_seed: int = 1234
+) -> TransformerLM:
+    """Return a pre-trained sim model (see :func:`get_pretrained_model_and_data`)."""
+    model, _ = get_pretrained_model_and_data(name, profile, data_seed)
+    return model

@@ -1,0 +1,52 @@
+"""Post-training quantization substrate.
+
+The paper watermarks models produced by four quantization frameworks:
+SmoothQuant (OPT, INT8), LLM.int8() (LLaMA-2, INT8), AWQ (INT4) and — in the
+integrity study — GPTQ (INT4).  This package re-implements all four on top of
+the NumPy model substrate:
+
+* :mod:`repro.quant.base` — the shared data model: symmetric integer grids,
+  :class:`QuantizedLinear` (integer weights + scales + optional input
+  smoothing and full-precision outlier columns) and :class:`QuantizedModel`
+  (all quantized layers of one LM plus its remaining full-precision state).
+* :mod:`repro.quant.rtn` — plain round-to-nearest quantization (the building
+  block of the others and a baseline in its own right).
+* :mod:`repro.quant.smoothquant` — activation-to-weight scale migration, INT8.
+* :mod:`repro.quant.llm_int8` — mixed-precision outlier decomposition, INT8.
+* :mod:`repro.quant.awq` — activation-aware per-channel weight scaling, INT4.
+* :mod:`repro.quant.gptq` — Hessian-based column-wise error compensation, INT4.
+
+Every quantizer consumes the full-precision :class:`~repro.models.TransformerLM`
+plus calibration :class:`~repro.models.ActivationStats` and returns a
+:class:`QuantizedModel`; watermarking then operates on the integer weights.
+"""
+
+from repro.quant.base import (
+    QuantizationGrid,
+    QuantizedLinear,
+    QuantizedModel,
+    dequantize_tensor,
+    quantize_tensor,
+)
+from repro.quant.rtn import RTNQuantizer
+from repro.quant.smoothquant import SmoothQuantQuantizer
+from repro.quant.llm_int8 import LLMInt8Quantizer
+from repro.quant.awq import AWQQuantizer
+from repro.quant.gptq import GPTQQuantizer
+from repro.quant.api import QUANTIZER_REGISTRY, get_quantizer, quantize_model
+
+__all__ = [
+    "QuantizationGrid",
+    "QuantizedLinear",
+    "QuantizedModel",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "RTNQuantizer",
+    "SmoothQuantQuantizer",
+    "LLMInt8Quantizer",
+    "AWQQuantizer",
+    "GPTQQuantizer",
+    "QUANTIZER_REGISTRY",
+    "get_quantizer",
+    "quantize_model",
+]

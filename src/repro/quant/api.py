@@ -1,0 +1,104 @@
+"""Convenience API over the individual quantizers.
+
+The experiments need to say things like "OPT quantized to INT8 the way the
+paper does it" without repeating the framework choice everywhere, so this
+module provides:
+
+* :data:`QUANTIZER_REGISTRY` — name → quantizer class,
+* :func:`get_quantizer` — build a quantizer by name and bit width,
+* :func:`quantize_model` — one-call quantization of a full-precision model,
+* :func:`paper_quantizer_for` — the framework the paper pairs with a given
+  model family and precision (SmoothQuant for INT8 OPT, LLM.int8() for INT8
+  LLaMA-2, AWQ for INT4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.models.activations import ActivationStats, collect_activation_stats
+from repro.models.transformer import TransformerLM
+from repro.quant.awq import AWQQuantizer
+from repro.quant.base import QuantizedModel
+from repro.quant.gptq import GPTQQuantizer
+from repro.quant.llm_int8 import LLMInt8Quantizer
+from repro.quant.quantizer import BaseQuantizer
+from repro.quant.rtn import RTNQuantizer
+from repro.quant.smoothquant import SmoothQuantQuantizer
+
+__all__ = [
+    "QUANTIZER_REGISTRY",
+    "get_quantizer",
+    "quantize_model",
+    "paper_quantizer_for",
+]
+
+QUANTIZER_REGISTRY: Dict[str, Type[BaseQuantizer]] = {
+    "rtn": RTNQuantizer,
+    "smoothquant": SmoothQuantQuantizer,
+    "llm_int8": LLMInt8Quantizer,
+    "awq": AWQQuantizer,
+    "gptq": GPTQQuantizer,
+}
+
+
+def get_quantizer(method: str, bits: Optional[int] = None, **kwargs) -> BaseQuantizer:
+    """Build a quantizer by registry name.
+
+    Parameters
+    ----------
+    method:
+        One of ``"rtn"``, ``"smoothquant"``, ``"llm_int8"``, ``"awq"``,
+        ``"gptq"``.
+    bits:
+        Bit width override; defaults to each algorithm's native precision
+        (8 for SmoothQuant / LLM.int8(), 4 for AWQ / GPTQ, 8 for RTN).
+    kwargs:
+        Forwarded to the quantizer constructor.
+    """
+    try:
+        cls = QUANTIZER_REGISTRY[method]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown quantization method {method!r}; available: {sorted(QUANTIZER_REGISTRY)}"
+        ) from exc
+    if bits is None:
+        defaults = {"rtn": 8, "smoothquant": 8, "llm_int8": 8, "awq": 4, "gptq": 4}
+        bits = defaults[method]
+    return cls(bits=bits, **kwargs)
+
+
+def paper_quantizer_for(family: str, bits: int) -> BaseQuantizer:
+    """The quantization framework the paper pairs with a model family.
+
+    OPT models are quantized to INT8 with SmoothQuant, LLaMA-2 models to INT8
+    with LLM.int8(), and both families to INT4 with AWQ (Section 5.1).
+    """
+    if bits == 8:
+        return get_quantizer("smoothquant" if family == "opt" else "llm_int8", bits=8)
+    if bits == 4:
+        return get_quantizer("awq", bits=4)
+    raise ValueError(f"the paper only evaluates INT8 and INT4, got {bits}-bit")
+
+
+def quantize_model(
+    model: TransformerLM,
+    method: str,
+    bits: Optional[int] = None,
+    activations: Optional[ActivationStats] = None,
+    calibration_corpus=None,
+    **kwargs,
+) -> QuantizedModel:
+    """Quantize ``model`` with the named method.
+
+    Either pre-computed ``activations`` or a ``calibration_corpus`` must be
+    supplied for the activation-aware methods; RTN needs neither.
+    """
+    quantizer = get_quantizer(method, bits=bits, **kwargs)
+    if quantizer.requires_activations and activations is None:
+        if calibration_corpus is None:
+            raise ValueError(
+                f"{method} needs calibration data: pass `activations` or `calibration_corpus`"
+            )
+        activations = collect_activation_stats(model, calibration_corpus)
+    return quantizer.quantize(model, activations)

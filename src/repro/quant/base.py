@@ -1,0 +1,380 @@
+"""Core quantization data structures.
+
+Everything the watermarking layer touches lives here:
+
+* :class:`QuantizationGrid` — a symmetric ``N``-bit integer grid
+  (Equation 1 of the paper: ``X_q = round(X / Δ)``, ``Δ = max|X| / (2^{N-1}-1)``).
+* :class:`QuantizedLinear` — one quantized projection: integer weights,
+  per-output-channel scales, optional per-input-channel smoothing factors
+  (AWQ / SmoothQuant) and optional full-precision outlier columns
+  (LLM.int8()).
+* :class:`QuantizedModel` — the collection of quantized layers of one model
+  plus its remaining full-precision state, able to *materialize* an
+  evaluation-ready :class:`~repro.models.transformer.TransformerLM` with the
+  dequantized effective weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.transformer import TransformerLM
+
+__all__ = [
+    "QuantizationGrid",
+    "QuantizedLinear",
+    "QuantizedModel",
+    "quantize_tensor",
+    "dequantize_tensor",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationGrid:
+    """A symmetric signed integer grid with ``bits`` bits.
+
+    The grid covers ``[-qmax, +qmax]`` with ``qmax = 2**(bits-1) - 1``;
+    the value ``-2**(bits-1)`` is unused, matching the symmetric quantizers
+    in SmoothQuant/AWQ/GPTQ.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 16:
+            raise ValueError(f"bits must be between 2 and 16, got {self.bits}")
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable level."""
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable level (symmetric)."""
+        return -self.qmax
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable levels."""
+        return 2 * self.qmax + 1
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Clip integer values into the representable range."""
+        return np.clip(values, self.qmin, self.qmax)
+
+    def step_size(self, max_abs: np.ndarray) -> np.ndarray:
+        """Quantization step ``Δ = max|X| / qmax`` (Equation 1)."""
+        max_abs = np.asarray(max_abs, dtype=np.float64)
+        return np.where(max_abs > 0, max_abs / self.qmax, 1.0)
+
+
+def quantize_tensor(
+    weight: np.ndarray,
+    grid: QuantizationGrid,
+    per_channel: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize a 2-D weight matrix onto ``grid``.
+
+    Parameters
+    ----------
+    weight:
+        Full-precision weight of shape ``(out_features, in_features)``.
+    grid:
+        Target integer grid.
+    per_channel:
+        When true (the default, matching weight quantization practice in
+        SmoothQuant/AWQ/GPTQ) the step size is computed per output channel
+        (per row); otherwise a single per-tensor step is used.
+
+    Returns
+    -------
+    (weight_int, scale):
+        ``weight_int`` — integer levels with the same shape as ``weight``;
+        ``scale`` — per-row step sizes of shape ``(out_features, 1)`` (also
+        for per-tensor mode, where every row shares the same value).
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError("quantize_tensor expects a 2-D weight matrix")
+    if per_channel:
+        max_abs = np.max(np.abs(weight), axis=1, keepdims=True)
+    else:
+        max_abs = np.full((weight.shape[0], 1), np.max(np.abs(weight)))
+    scale = grid.step_size(max_abs)
+    weight_int = grid.clip(np.round(weight / scale)).astype(np.int64)
+    return weight_int, scale
+
+
+def dequantize_tensor(weight_int: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Map integer levels back to real values: ``W ≈ W_q * Δ``."""
+    return np.asarray(weight_int, dtype=np.float64) * np.asarray(scale, dtype=np.float64)
+
+
+@dataclass
+class QuantizedLinear:
+    """One quantized linear ("quantization") layer.
+
+    Attributes
+    ----------
+    name:
+        Dotted name of the layer inside the model (e.g.
+        ``"blocks.0.attn.q_proj"``).
+    weight_int:
+        Integer weight levels, shape ``(out_features, in_features)``.
+    scale:
+        Per-output-channel step sizes, shape ``(out_features, 1)``.
+    grid:
+        The integer grid the levels live on.
+    bias:
+        Full-precision bias (biases are not quantized by any of the
+        reproduced frameworks).
+    input_smoothing:
+        Optional per-input-channel factor ``s`` (shape ``(in_features,)``).
+        The quantizer stored ``quantize(W * s)``; the mathematically
+        equivalent full-precision operator is ``(W_q * Δ) / s`` applied to the
+        *unscaled* input.  Used by SmoothQuant and AWQ.
+    outlier_columns:
+        Optional indices of input channels kept in full precision
+        (LLM.int8() mixed-precision decomposition).
+    outlier_weight:
+        Full-precision weight values of the outlier columns, shape
+        ``(out_features, len(outlier_columns))``.
+    """
+
+    name: str
+    weight_int: np.ndarray
+    scale: np.ndarray
+    grid: QuantizationGrid
+    bias: Optional[np.ndarray] = None
+    input_smoothing: Optional[np.ndarray] = None
+    outlier_columns: Optional[np.ndarray] = None
+    outlier_weight: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.weight_int = np.asarray(self.weight_int, dtype=np.int64)
+        self.scale = np.asarray(self.scale, dtype=np.float64)
+        if self.weight_int.ndim != 2:
+            raise ValueError("weight_int must be 2-D")
+        if self.scale.shape != (self.weight_int.shape[0], 1):
+            raise ValueError("scale must have shape (out_features, 1)")
+        if self.input_smoothing is not None:
+            self.input_smoothing = np.asarray(self.input_smoothing, dtype=np.float64)
+            if self.input_smoothing.shape != (self.weight_int.shape[1],):
+                raise ValueError("input_smoothing must have shape (in_features,)")
+        if (self.outlier_columns is None) != (self.outlier_weight is None):
+            raise ValueError("outlier_columns and outlier_weight must be given together")
+        if self.outlier_columns is not None:
+            self.outlier_columns = np.asarray(self.outlier_columns, dtype=np.int64)
+            self.outlier_weight = np.asarray(self.outlier_weight, dtype=np.float64)
+            if self.outlier_weight.shape != (
+                self.weight_int.shape[0],
+                self.outlier_columns.size,
+            ):
+                raise ValueError("outlier_weight shape must be (out_features, n_outliers)")
+        out_of_grid = (self.weight_int < self.grid.qmin) | (self.weight_int > self.grid.qmax)
+        if np.any(out_of_grid):
+            raise ValueError("weight_int contains values outside the quantization grid")
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def out_features(self) -> int:
+        """Number of output channels (rows)."""
+        return int(self.weight_int.shape[0])
+
+    @property
+    def in_features(self) -> int:
+        """Number of input channels (columns)."""
+        return int(self.weight_int.shape[1])
+
+    @property
+    def num_weights(self) -> int:
+        """Total number of quantized weight parameters in the layer."""
+        return int(self.weight_int.size)
+
+    # -- dequantization ------------------------------------------------------
+    def dequantized(self) -> np.ndarray:
+        """Dequantize the integer weights (without undoing input smoothing)."""
+        return dequantize_tensor(self.weight_int, self.scale)
+
+    def effective_weight(self) -> np.ndarray:
+        """Full-precision weight equivalent to the quantized operator.
+
+        Undoes the input smoothing (so the weight can be applied to the
+        original, unscaled activations) and re-inserts the full-precision
+        outlier columns of LLM.int8().
+        """
+        weight = self.dequantized()
+        if self.input_smoothing is not None:
+            weight = weight / self.input_smoothing[None, :]
+        if self.outlier_columns is not None:
+            weight = weight.copy()
+            weight[:, self.outlier_columns] = self.outlier_weight
+        return weight
+
+    # -- editing (used by watermarking and attacks) --------------------------
+    def saturated_mask(self) -> np.ndarray:
+        """Boolean mask of weights already at the minimum or maximum level.
+
+        EmMark excludes these positions from candidate selection: adding
+        ``±1`` to a saturated level would either overflow the grid or require
+        clipping that destroys the signature.
+        """
+        return (self.weight_int <= self.grid.qmin) | (self.weight_int >= self.grid.qmax)
+
+    def quantized_mask(self) -> np.ndarray:
+        """Boolean mask of positions that actually carry quantized values.
+
+        Outlier columns of LLM.int8() stay in full precision, so they are not
+        valid carriers for an integer-domain watermark.
+        """
+        mask = np.ones_like(self.weight_int, dtype=bool)
+        if self.outlier_columns is not None:
+            mask[:, self.outlier_columns] = False
+        return mask
+
+    def add_to_weights(self, flat_indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Add integer ``deltas`` at flattened positions, clipping to the grid.
+
+        This is the single mutation primitive shared by watermark insertion
+        and by the perturbation attacks, so grid-overflow handling is
+        identical everywhere.
+        """
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if flat_indices.shape != deltas.shape:
+            raise ValueError("flat_indices and deltas must have the same shape")
+        flat = self.weight_int.reshape(-1)
+        flat[flat_indices] = self.grid.clip(flat[flat_indices] + deltas)
+
+    def copy(self) -> "QuantizedLinear":
+        """Deep copy of the layer."""
+        return QuantizedLinear(
+            name=self.name,
+            weight_int=self.weight_int.copy(),
+            scale=self.scale.copy(),
+            grid=self.grid,
+            bias=None if self.bias is None else self.bias.copy(),
+            input_smoothing=None
+            if self.input_smoothing is None
+            else self.input_smoothing.copy(),
+            outlier_columns=None
+            if self.outlier_columns is None
+            else self.outlier_columns.copy(),
+            outlier_weight=None if self.outlier_weight is None else self.outlier_weight.copy(),
+        )
+
+
+@dataclass
+class QuantizedModel:
+    """A quantized simulated LLM.
+
+    Attributes
+    ----------
+    config:
+        Architecture of the underlying model.
+    layers:
+        Mapping from linear-layer name to :class:`QuantizedLinear`, in the
+        canonical order produced by
+        :meth:`~repro.models.transformer.TransformerLM.named_linear_layers`.
+    full_precision_state:
+        State-dict entries of everything that is *not* a quantized linear
+        weight (embeddings, norms, biases, LM head).
+    method:
+        Name of the quantization algorithm that produced the model.
+    bits:
+        Bit width of the quantized weights.
+    base_seed:
+        Initialisation seed of the original model (needed to rebuild an
+        architecture-identical :class:`TransformerLM` when materializing).
+    """
+
+    config: ModelConfig
+    layers: Dict[str, QuantizedLinear]
+    full_precision_state: Dict[str, np.ndarray]
+    method: str
+    bits: int
+    base_seed: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- structure ------------------------------------------------------------
+    def layer_names(self) -> List[str]:
+        """Names of the quantized layers in canonical order."""
+        return list(self.layers)
+
+    @property
+    def num_quantization_layers(self) -> int:
+        """The paper's ``n``: number of quantized layers."""
+        return len(self.layers)
+
+    def iter_layers(self) -> Iterator[QuantizedLinear]:
+        """Iterate over the quantized layers in canonical order."""
+        return iter(self.layers.values())
+
+    def get_layer(self, name: str) -> QuantizedLinear:
+        """Look up a quantized layer by name."""
+        try:
+            return self.layers[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no quantized layer named {name!r}; known layers: {self.layer_names()[:4]}..."
+            ) from exc
+
+    def total_quantized_weights(self) -> int:
+        """Total number of integer weight parameters across all layers."""
+        return sum(layer.num_weights for layer in self.iter_layers())
+
+    # -- evaluation -------------------------------------------------------------
+    def materialize(self) -> TransformerLM:
+        """Build a full-precision model whose linears use the effective weights.
+
+        The returned :class:`TransformerLM` computes exactly the function of
+        the quantized model (dequantized weights, smoothing undone, outlier
+        columns re-inserted) and can be fed to the shared evaluation harness.
+        """
+        model = TransformerLM(self.config, seed=self.base_seed)
+        state = model.state_dict()
+        for key, value in self.full_precision_state.items():
+            state[key] = np.asarray(value, dtype=np.float64)
+        for name, layer in self.layers.items():
+            state[f"{name}.weight"] = layer.effective_weight()
+            if layer.bias is not None:
+                state[f"{name}.bias"] = layer.bias
+        model.load_state_dict(state)
+        return model
+
+    # -- copying ---------------------------------------------------------------
+    def clone(self) -> "QuantizedModel":
+        """Deep copy (used before watermarking / attacking)."""
+        return QuantizedModel(
+            config=self.config,
+            layers={name: layer.copy() for name, layer in self.layers.items()},
+            full_precision_state={
+                key: value.copy() for key, value in self.full_precision_state.items()
+            },
+            method=self.method,
+            bits=self.bits,
+            base_seed=self.base_seed,
+            metadata=dict(self.metadata),
+        )
+
+    def integer_weight_snapshot(self) -> Dict[str, np.ndarray]:
+        """Copy of every layer's integer weights, keyed by layer name.
+
+        Watermark keys store this snapshot as the reference ``W`` used during
+        extraction (Equation 6: ``ΔW = W' − W``).
+        """
+        return {name: layer.weight_int.copy() for name, layer in self.layers.items()}
+
+    def weight_difference(self, other: "QuantizedModel") -> Dict[str, np.ndarray]:
+        """Element-wise integer difference ``self − other`` per layer."""
+        if self.layer_names() != other.layer_names():
+            raise ValueError("models have different layer sets; cannot diff")
+        return {
+            name: self.layers[name].weight_int - other.layers[name].weight_int
+            for name in self.layers
+        }

@@ -1,0 +1,143 @@
+"""GPTQ: Hessian-based column-wise quantization (INT4).
+
+GPTQ [Frantar et al., 2022] quantizes the weight matrix one input column at a
+time and, after rounding each column, redistributes the rounding error onto
+the not-yet-quantized columns using the inverse of the layer Hessian
+``H = 2 X Xᵀ`` estimated on calibration data.  This greatly reduces the output
+error of low-bit quantization compared with naive rounding.
+
+The integrity study of the paper (Table 4, "non-WM 4") uses a GPTQ-quantized
+OPT-2.7B as one of the independent, non-watermarked models, which is why the
+algorithm is part of the substrate here.
+
+The reproduction follows the standard formulation:
+
+1. ``H = E[x xᵀ] + λ·mean(diag(H))·I`` (dampened Hessian from the calibration
+   Gram matrix),
+2. column order = descending ``diag(H)`` ("act-order" heuristic),
+3. for each column ``j``: round it, compute the per-row error
+   ``e = (w_j − q_j) / [H⁻¹]_{jj}`` and update the remaining columns with
+   ``W_{:,k} -= e · [H⁻¹]_{j,k}``,
+
+using the Cholesky factorisation of ``H⁻¹`` as in the reference
+implementation.  Per-output-channel scales are fixed up-front from the
+original weight maxima so every column shares the same grid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.activations import ActivationStats
+from repro.quant.base import QuantizedLinear
+from repro.quant.quantizer import BaseQuantizer
+
+__all__ = ["GPTQQuantizer"]
+
+
+class GPTQQuantizer(BaseQuantizer):
+    """GPTQ weight quantization with error compensation.
+
+    Parameters
+    ----------
+    bits:
+        Target bit width (the reproduction uses 4, as in the paper).
+    damping:
+        Relative dampening λ added to the Hessian diagonal for numerical
+        stability (1% in the reference implementation).
+    act_order:
+        Quantize columns in order of decreasing Hessian diagonal (the
+        "act-order" trick); disabling it falls back to natural column order.
+    """
+
+    method_name = "gptq"
+    requires_activations = True
+
+    def __init__(
+        self,
+        bits: int = 4,
+        damping: float = 0.01,
+        act_order: bool = True,
+        per_channel: bool = True,
+    ) -> None:
+        super().__init__(bits=bits, per_channel=per_channel)
+        if damping <= 0:
+            raise ValueError("damping must be positive")
+        self.damping = float(damping)
+        self.act_order = bool(act_order)
+
+    def _dampened_hessian(self, gram: np.ndarray) -> np.ndarray:
+        """Add relative dampening to the calibration Gram matrix."""
+        hessian = np.asarray(gram, dtype=np.float64).copy()
+        diag_mean = float(np.mean(np.diag(hessian)))
+        if diag_mean <= 0:
+            diag_mean = 1.0
+        hessian[np.diag_indices_from(hessian)] += self.damping * diag_mean
+        return hessian
+
+    def _quantize_layer(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        activations: Optional[ActivationStats],
+    ) -> QuantizedLinear:
+        assert activations is not None  # guaranteed by BaseQuantizer.quantize
+        gram = activations.gram.get(name)
+        if gram is None:
+            raise ValueError(
+                f"GPTQ requires the calibration Gram matrix for layer {name!r}; "
+                "collect activations with gram collection enabled"
+            )
+        out_features, in_features = weight.shape
+        hessian = self._dampened_hessian(gram)
+
+        if self.act_order:
+            order = np.argsort(np.diag(hessian))[::-1]
+        else:
+            order = np.arange(in_features)
+        inverse_order = np.argsort(order)
+
+        weight_perm = weight[:, order].astype(np.float64).copy()
+        hessian_perm = hessian[np.ix_(order, order)]
+
+        # Per-row scales from the original weights; fixed before compensation
+        # so the error feedback does not chase a moving grid.
+        if self.per_channel:
+            max_abs = np.max(np.abs(weight), axis=1, keepdims=True)
+        else:
+            max_abs = np.full((out_features, 1), np.max(np.abs(weight)))
+        scale = self.grid.step_size(max_abs)
+
+        # Inverse Hessian via Cholesky; fall back to stronger dampening if the
+        # calibration data did not span all directions.
+        try:
+            hessian_inv = np.linalg.inv(hessian_perm)
+            chol_upper = np.linalg.cholesky(hessian_inv).T
+        except np.linalg.LinAlgError:
+            hessian_perm[np.diag_indices_from(hessian_perm)] += np.mean(np.diag(hessian_perm))
+            hessian_inv = np.linalg.inv(hessian_perm)
+            chol_upper = np.linalg.cholesky(hessian_inv).T
+
+        quantized = np.zeros_like(weight_perm)
+        working = weight_perm
+        for col in range(in_features):
+            diag = chol_upper[col, col]
+            column = working[:, col]
+            levels = self.grid.clip(np.round(column / scale[:, 0]))
+            quantized[:, col] = levels
+            dequant = levels * scale[:, 0]
+            error = (column - dequant) / diag
+            if col + 1 < in_features:
+                working[:, col + 1 :] -= np.outer(error, chol_upper[col, col + 1 :])
+
+        weight_int = quantized[:, inverse_order].astype(np.int64)
+        return QuantizedLinear(
+            name=name,
+            weight_int=weight_int,
+            scale=scale,
+            grid=self.grid,
+            bias=bias,
+        )

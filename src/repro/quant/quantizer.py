@@ -1,0 +1,120 @@
+"""Shared base class of all post-training quantizers.
+
+Each quantization algorithm (RTN, SmoothQuant, LLM.int8(), AWQ, GPTQ) is a
+subclass of :class:`BaseQuantizer`.  The base class handles the mechanics that
+every algorithm shares — walking the model's linear layers, collecting the
+unquantized remainder of the state dict, and packaging the result into a
+:class:`~repro.quant.base.QuantizedModel` — so that each subclass only
+implements :meth:`BaseQuantizer._quantize_layer` for one weight matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.activations import ActivationStats
+from repro.models.transformer import TransformerLM
+from repro.quant.base import QuantizationGrid, QuantizedLinear, QuantizedModel
+from repro.utils.logging import get_logger
+
+__all__ = ["BaseQuantizer"]
+
+logger = get_logger("quant")
+
+
+class BaseQuantizer:
+    """Template for post-training weight quantizers.
+
+    Parameters
+    ----------
+    bits:
+        Target bit width (8 for the INT8 frameworks, 4 for AWQ / GPTQ).
+    per_channel:
+        Whether step sizes are computed per output channel (default) or per
+        tensor.
+    """
+
+    #: Registry / reporting name; subclasses override.
+    method_name: str = "base"
+    #: Whether the algorithm needs calibration activation statistics.
+    requires_activations: bool = True
+
+    def __init__(self, bits: int, per_channel: bool = True) -> None:
+        self.grid = QuantizationGrid(bits)
+        self.bits = int(bits)
+        self.per_channel = bool(per_channel)
+
+    # -- subclass hook -------------------------------------------------------
+    def _quantize_layer(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        activations: Optional[ActivationStats],
+    ) -> QuantizedLinear:
+        """Quantize one linear layer; implemented by subclasses."""
+        raise NotImplementedError
+
+    # -- template -------------------------------------------------------------
+    def quantize(
+        self,
+        model: TransformerLM,
+        activations: Optional[ActivationStats] = None,
+    ) -> QuantizedModel:
+        """Quantize every linear layer of ``model``.
+
+        Parameters
+        ----------
+        model:
+            Full-precision simulated LLM.
+        activations:
+            Calibration statistics from
+            :func:`repro.models.activations.collect_activation_stats`.
+            Mandatory for activation-aware algorithms.
+
+        Returns
+        -------
+        QuantizedModel
+            The quantized layers plus the untouched full-precision state
+            (embeddings, norms, biases, LM head).
+        """
+        if self.requires_activations and activations is None:
+            raise ValueError(
+                f"{self.method_name} requires calibration activation statistics"
+            )
+        quantized_layers: Dict[str, QuantizedLinear] = {}
+        quantized_weight_keys = set()
+        for name, linear in model.named_linear_layers():
+            bias = None if linear.bias is None else linear.bias.value.copy()
+            layer = self._quantize_layer(name, linear.weight.value.copy(), bias, activations)
+            if layer.name != name:
+                raise RuntimeError(
+                    f"{type(self).__name__} returned layer named {layer.name!r} for {name!r}"
+                )
+            quantized_layers[name] = layer
+            quantized_weight_keys.add(f"{name}.weight")
+        full_precision_state = {
+            key: value
+            for key, value in model.state_dict().items()
+            if key not in quantized_weight_keys
+        }
+        logger.debug(
+            "%s quantized %d layers of %s to INT%d",
+            self.method_name,
+            len(quantized_layers),
+            model.config.name,
+            self.bits,
+        )
+        return QuantizedModel(
+            config=model.config,
+            layers=quantized_layers,
+            full_precision_state=full_precision_state,
+            method=self.method_name,
+            bits=self.bits,
+            base_seed=model.seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(bits={self.bits}, per_channel={self.per_channel})"

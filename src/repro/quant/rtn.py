@@ -1,0 +1,51 @@
+"""Round-to-nearest (RTN) quantization.
+
+The simplest post-training quantizer: every weight matrix is independently
+mapped onto the symmetric integer grid with per-output-channel step sizes
+(Equation 1 of the paper).  RTN is both a baseline in its own right and the
+final step of every other algorithm in this package — SmoothQuant, LLM.int8(),
+AWQ and GPTQ all transform the weights first and then round them the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.activations import ActivationStats
+from repro.quant.base import QuantizedLinear, quantize_tensor
+from repro.quant.quantizer import BaseQuantizer
+
+__all__ = ["RTNQuantizer"]
+
+
+class RTNQuantizer(BaseQuantizer):
+    """Plain round-to-nearest weight quantization.
+
+    Parameters
+    ----------
+    bits:
+        Target bit width.
+    per_channel:
+        Per-output-channel step sizes (default) or a single per-tensor step.
+    """
+
+    method_name = "rtn"
+    requires_activations = False
+
+    def _quantize_layer(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        activations: Optional[ActivationStats],
+    ) -> QuantizedLinear:
+        weight_int, scale = quantize_tensor(weight, self.grid, per_channel=self.per_channel)
+        return QuantizedLinear(
+            name=name,
+            weight_int=weight_int,
+            scale=scale,
+            grid=self.grid,
+            bias=bias,
+        )

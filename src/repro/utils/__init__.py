@@ -1,0 +1,38 @@
+"""Shared utilities for the EmMark reproduction.
+
+The utilities are deliberately small and dependency-free: deterministic RNG
+management (:mod:`repro.utils.rng`), serialization helpers for watermark keys
+and model checkpoints (:mod:`repro.utils.serialization`), plain-text table
+formatting used by the experiment runners (:mod:`repro.utils.tables`) and a
+minimal logging facade (:mod:`repro.utils.logging`).
+"""
+
+from repro.utils.rng import (
+    SeedSequenceFactory,
+    derive_seed,
+    new_rng,
+    spawn_rngs,
+)
+from repro.utils.tables import Table, format_float, format_percent
+from repro.utils.serialization import (
+    load_json,
+    load_npz,
+    save_json,
+    save_npz,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_seed",
+    "new_rng",
+    "spawn_rngs",
+    "Table",
+    "format_float",
+    "format_percent",
+    "load_json",
+    "load_npz",
+    "save_json",
+    "save_npz",
+    "get_logger",
+]

@@ -1,0 +1,49 @@
+"""Minimal logging facade.
+
+All library modules obtain their logger through :func:`get_logger` so that a
+single call configures the whole package consistently.  The default
+configuration only attaches a ``NullHandler`` (library best practice); the
+experiment runners and examples call :func:`configure` to get readable console
+output.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Optional sub-name; ``get_logger("core.insertion")`` returns the
+        logger ``repro.core.insertion``.
+    """
+    logger = logging.getLogger(_ROOT_NAME if not name else f"{_ROOT_NAME}.{name}")
+    if not logging.getLogger(_ROOT_NAME).handlers:
+        logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+    return logger
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Attach a console handler to the package root logger.
+
+    Intended for scripts (examples, experiment runners); libraries importing
+    :mod:`repro` are unaffected unless they call this explicitly.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in root.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)

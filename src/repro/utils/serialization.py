@@ -1,0 +1,74 @@
+"""Serialization helpers for watermark keys, experiment results and models.
+
+Two formats are used:
+
+* JSON for small structured data (watermark key metadata, experiment result
+  rows).  NumPy scalars and arrays are converted to plain Python types first.
+* ``.npz`` archives for bulky numeric payloads (reference weights, activation
+  statistics, model checkpoints).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = ["save_json", "load_json", "save_npz", "load_npz", "to_jsonable"]
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable Python objects.
+
+    NumPy scalars become Python scalars, NumPy arrays become nested lists,
+    tuples become lists, and mappings are converted key-by-key.  Keys are
+    coerced to strings because JSON objects only allow string keys.
+    """
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "to_dict"):
+        return to_jsonable(value.to_dict())
+    raise TypeError(f"cannot convert {type(value)!r} to a JSON-serialisable value")
+
+
+def save_json(path: PathLike, data: Any, indent: int = 2) -> Path:
+    """Write ``data`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(data), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Read a JSON file written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def save_npz(path: PathLike, arrays: Dict[str, np.ndarray]) -> Path:
+    """Save a dictionary of arrays to a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` archive into a plain dictionary of arrays."""
+    with np.load(Path(path), allow_pickle=False) as handle:
+        return {key: handle[key] for key in handle.files}

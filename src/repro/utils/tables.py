@@ -1,0 +1,91 @@
+"""Plain-text table rendering used by the experiment runners.
+
+The paper reports its evaluation as tables (Table 1 through Table 4) and
+line-plot figures (Figure 2 and Figure 3).  The experiment modules produce the
+underlying rows as Python data and use :class:`Table` to print them in the
+same row/column arrangement as the paper so the two can be compared by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "format_float", "format_percent"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float with a fixed number of decimal digits.
+
+    ``None`` and NaN are rendered as ``"-"`` so that missing cells (for
+    example GPU memory of a CPU-only method) read naturally in the output.
+    """
+    if value is None:
+        return "-"
+    try:
+        if value != value:  # NaN check without importing numpy
+            return "-"
+    except TypeError:
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction or percentage value as ``xx.xx%``.
+
+    Values are assumed to already be expressed in percent (0-100), matching
+    how the paper reports zero-shot accuracy and WER.
+    """
+    if value is None:
+        return "-"
+    return f"{format_float(value, digits)}%"
+
+
+@dataclass
+class Table:
+    """A simple monospaced table.
+
+    Parameters
+    ----------
+    title:
+        Heading printed above the table.
+    columns:
+        Column names.
+    rows:
+        Row values; each row must have the same length as ``columns``.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row, validating its arity against the header."""
+        row = list(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> List[int]:
+        widths = [len(str(c)) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(str(cell)))
+        return widths
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        widths = self._widths()
+        sep = "  "
+        header = sep.join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(sep.join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,114 @@
+"""Tests for the forging, pruning and LoRA fine-tuning attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.finetune_attack import lora_finetune_attack
+from repro.attacks.forging import counterfeit_key_attack, forge_with_fake_locations
+from repro.attacks.pruning import PruningAttackConfig, magnitude_pruning_attack
+from repro.attacks.rewatermark import RewatermarkAttackConfig, rewatermark_attack
+from repro.core import EmMark, EmMarkConfig
+from repro.eval.perplexity import compute_perplexity
+from repro.finetune.lora import LoRAConfig
+
+
+@pytest.fixture(scope="module")
+def owner_setup(request):
+    quantized = request.getfixturevalue("quantized_awq4")
+    stats = request.getfixturevalue("activation_stats")
+    emmark = EmMark(EmMarkConfig.scaled_for_model(quantized, bits_per_layer=8))
+    watermarked, key, _ = emmark.insert_with_key(quantized, stats)
+    return emmark, quantized, watermarked, key
+
+
+class TestForging:
+    def test_fake_locations_rejected(self, owner_setup):
+        _, _, watermarked, _ = owner_setup
+        outcome = forge_with_fake_locations(watermarked, bits_per_layer=8)
+        assert not outcome.accepted
+        assert not outcome.reproducible
+        assert outcome.location_overlap_fraction < 0.5
+
+    def test_counterfeit_key_dispute_resolves_for_owner(self, owner_setup, small_dataset):
+        emmark, original, watermarked, owner_key = owner_setup
+        attacked, attacker_key = rewatermark_attack(
+            watermarked,
+            RewatermarkAttackConfig(bits_per_layer=8),
+            calibration_corpus=small_dataset.calibration,
+        )
+        outcomes = counterfeit_key_attack(original, attacked, owner_key, attacker_key)
+        assert outcomes["owner_on_attacked"].accepted
+        assert not outcomes["attacker_on_original"].accepted
+
+    def test_outcome_summary_strings(self, owner_setup):
+        _, _, watermarked, _ = owner_setup
+        outcome = forge_with_fake_locations(watermarked, bits_per_layer=4)
+        assert "REJECTED" in outcome.summary()
+
+
+class TestPruning:
+    def test_zero_sparsity_identity(self, quantized_awq4):
+        attacked = magnitude_pruning_attack(quantized_awq4, PruningAttackConfig(0.0))
+        name = quantized_awq4.layer_names()[0]
+        np.testing.assert_array_equal(
+            attacked.get_layer(name).weight_int, quantized_awq4.get_layer(name).weight_int
+        )
+
+    def test_sparsity_achieved(self, quantized_awq4):
+        attacked = magnitude_pruning_attack(quantized_awq4, PruningAttackConfig(0.5))
+        for layer in attacked.iter_layers():
+            zero_fraction = np.mean(layer.weight_int == 0)
+            assert zero_fraction >= 0.45
+
+    def test_smallest_magnitudes_pruned_first(self, quantized_awq4):
+        attacked = magnitude_pruning_attack(quantized_awq4, PruningAttackConfig(0.3))
+        name = quantized_awq4.layer_names()[0]
+        original = quantized_awq4.get_layer(name).weight_int
+        pruned = attacked.get_layer(name).weight_int
+        newly_zeroed = (original != 0) & (pruned == 0)
+        surviving = pruned != 0
+        if newly_zeroed.any() and surviving.any():
+            assert np.abs(original[newly_zeroed]).max() <= np.abs(original[surviving]).min() + 1
+
+    def test_sparsity_validated(self):
+        with pytest.raises(ValueError):
+            PruningAttackConfig(1.5)
+
+    def test_moderate_pruning_leaves_watermark_intact(self, owner_setup):
+        """Pruning light enough to keep the model alive barely touches the WER."""
+        emmark, _, watermarked, key = owner_setup
+        attacked = magnitude_pruning_attack(watermarked, PruningAttackConfig(0.4))
+        wer = emmark.extract_with_key(attacked, key).wer_percent
+        assert wer > 80.0
+
+    def test_heavy_pruning_destroys_quality(self, owner_setup, small_dataset):
+        """The paper's argument: pruning strong enough to threaten the
+        watermark has already broken the compressed model."""
+        emmark, quantized, watermarked, key = owner_setup
+        attacked = magnitude_pruning_attack(watermarked, PruningAttackConfig(0.9))
+        base_ppl = compute_perplexity(quantized, small_dataset.validation, max_sequences=12)
+        attacked_ppl = compute_perplexity(attacked, small_dataset.validation, max_sequences=12)
+        assert attacked_ppl > base_ppl * 1.2
+
+
+class TestLoRAFineTuneAttack:
+    def test_quantized_weights_unchanged(self, owner_setup, small_dataset):
+        _, _, watermarked, _ = owner_setup
+        result = lora_finetune_attack(
+            watermarked.clone(), small_dataset.train, LoRAConfig(steps=4, batch_size=4, rank=2)
+        )
+        assert result.quantized_weights_unchanged
+
+    def test_watermark_fully_extractable_after_attack(self, owner_setup, small_dataset):
+        emmark, _, watermarked, key = owner_setup
+        result = lora_finetune_attack(
+            watermarked.clone(), small_dataset.train, LoRAConfig(steps=4, batch_size=4, rank=2)
+        )
+        assert emmark.extract_with_key(result.attacked_model, key).wer_percent == 100.0
+
+    def test_final_loss_reported(self, owner_setup, small_dataset):
+        _, _, watermarked, _ = owner_setup
+        result = lora_finetune_attack(
+            watermarked.clone(), small_dataset.train, LoRAConfig(steps=3, batch_size=4, rank=2)
+        )
+        assert np.isfinite(result.final_loss)

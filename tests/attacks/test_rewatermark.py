@@ -1,0 +1,76 @@
+"""Tests for the re-watermarking attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.rewatermark import RewatermarkAttackConfig, rewatermark_attack
+from repro.core import EmMark, EmMarkConfig
+
+
+@pytest.fixture(scope="module")
+def owner_watermarked(request):
+    quantized = request.getfixturevalue("quantized_awq4")
+    stats = request.getfixturevalue("activation_stats")
+    emmark = EmMark(EmMarkConfig.scaled_for_model(quantized, bits_per_layer=8))
+    watermarked, key, _ = emmark.insert_with_key(quantized, stats)
+    return emmark, watermarked, key
+
+
+class TestRewatermarkAttack:
+    def test_requires_attacker_activation_source(self, owner_watermarked):
+        _, watermarked, _ = owner_watermarked
+        with pytest.raises(ValueError):
+            rewatermark_attack(watermarked, RewatermarkAttackConfig(bits_per_layer=8))
+
+    def test_attack_perturbs_weights(self, owner_watermarked, small_dataset):
+        _, watermarked, _ = owner_watermarked
+        attacked, _ = rewatermark_attack(
+            watermarked,
+            RewatermarkAttackConfig(bits_per_layer=8),
+            calibration_corpus=small_dataset.calibration,
+        )
+        diff = attacked.weight_difference(watermarked)
+        assert sum(np.count_nonzero(d) for d in diff.values()) > 0
+
+    def test_attacker_can_extract_own_signature(self, owner_watermarked, small_dataset):
+        emmark, watermarked, _ = owner_watermarked
+        attacked, attacker_key = rewatermark_attack(
+            watermarked,
+            RewatermarkAttackConfig(bits_per_layer=8),
+            calibration_corpus=small_dataset.calibration,
+        )
+        attacker_result = emmark.extract_with_key(attacked, attacker_key)
+        assert attacker_result.wer_percent > 95.0
+
+    def test_owner_watermark_survives(self, owner_watermarked, small_dataset):
+        """The paper's claim: the owner's WER stays above 95% under attack."""
+        emmark, watermarked, owner_key = owner_watermarked
+        attacked, _ = rewatermark_attack(
+            watermarked,
+            RewatermarkAttackConfig(bits_per_layer=24),
+            calibration_corpus=small_dataset.calibration,
+        )
+        owner_result = emmark.extract_with_key(attacked, owner_key)
+        assert owner_result.wer_percent > 90.0
+
+    def test_attacker_key_does_not_extract_from_original(
+        self, owner_watermarked, quantized_awq4, small_dataset
+    ):
+        emmark, watermarked, _ = owner_watermarked
+        _, attacker_key = rewatermark_attack(
+            watermarked,
+            RewatermarkAttackConfig(bits_per_layer=8),
+            calibration_corpus=small_dataset.calibration,
+        )
+        result = emmark.extract_with_key(quantized_awq4, attacker_key)
+        assert result.wer_percent < 30.0
+
+    def test_paper_attacker_hyperparameters(self):
+        config = RewatermarkAttackConfig()
+        assert config.alpha == 1.0
+        assert config.beta == 1.5
+        assert config.seed == 22
+
+    def test_bits_per_layer_validated(self):
+        with pytest.raises(ValueError):
+            RewatermarkAttackConfig(bits_per_layer=0)

@@ -1,0 +1,118 @@
+"""Shared fixtures for the test suite.
+
+The heavyweight objects (a trained tiny model, its activation statistics and
+quantized instances) are built once per session; tests that mutate models
+always work on clones, so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.wikitext import build_wikitext_sim
+from repro.models.activations import collect_activation_stats
+from repro.models.config import ModelConfig
+from repro.models.training import TrainingConfig, train_language_model
+from repro.models.transformer import TransformerLM
+from repro.quant.api import quantize_model
+
+
+TINY_VOCAB = 128
+
+
+def make_tiny_config(name: str = "tiny-opt", **overrides) -> ModelConfig:
+    """A very small OPT-style configuration used across the tests."""
+    defaults = dict(
+        name=name,
+        vocab_size=TINY_VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=2,
+        d_ff=64,
+        max_seq_len=32,
+        norm_type="layernorm",
+        activation="relu",
+        family="opt",
+        virtual_params_billions=0.125,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+def make_tiny_llama_config(name: str = "tiny-llama", **overrides) -> ModelConfig:
+    """A very small LLaMA-style configuration (RMSNorm + SiLU)."""
+    defaults = dict(
+        name=name,
+        vocab_size=TINY_VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=2,
+        d_ff=48,
+        max_seq_len=32,
+        norm_type="rmsnorm",
+        activation="silu",
+        family="llama2",
+        virtual_params_billions=7.0,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A compact WikiText-sim bundle shared by the whole session."""
+    return build_wikitext_sim(
+        vocab_size=TINY_VOCAB,
+        train_tokens=12_000,
+        validation_tokens=3_000,
+        calibration_tokens=2_000,
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ModelConfig:
+    return make_tiny_config()
+
+
+@pytest.fixture()
+def untrained_model(tiny_config) -> TransformerLM:
+    """A freshly initialised (untrained) tiny model."""
+    return TransformerLM(tiny_config, seed=3)
+
+
+@pytest.fixture(scope="session")
+def trained_model(small_dataset) -> TransformerLM:
+    """A tiny model trained enough that quality metrics carry signal."""
+    model = TransformerLM(make_tiny_config(), seed=0)
+    train_language_model(
+        model,
+        small_dataset.train,
+        TrainingConfig(steps=160, batch_size=8, sequence_length=25, learning_rate=1e-2, seed=0),
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def activation_stats(trained_model, small_dataset):
+    """Calibration activation statistics of the trained tiny model."""
+    return collect_activation_stats(trained_model, small_dataset.calibration)
+
+
+@pytest.fixture(scope="session")
+def quantized_awq4(trained_model, activation_stats):
+    """The trained tiny model quantized to INT4 with AWQ."""
+    return quantize_model(trained_model, "awq", bits=4, activations=activation_stats)
+
+
+@pytest.fixture(scope="session")
+def quantized_int8(trained_model, activation_stats):
+    """The trained tiny model quantized to INT8 with SmoothQuant."""
+    return quantize_model(trained_model, "smoothquant", bits=8, activations=activation_stats)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A per-test deterministic RNG."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,118 @@
+"""Tests for the RandomWM and SpecMark baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RandomWM, SpecMark
+from repro.core.signature import generate_signature
+
+
+class TestRandomWM:
+    def test_round_trip_extraction(self, quantized_awq4):
+        scheme = RandomWM(bits_per_layer=6)
+        watermarked, record, extraction = scheme.watermark_and_verify(quantized_awq4)
+        assert extraction.wer_percent == 100.0
+
+    def test_changes_expected_number_of_weights(self, quantized_awq4):
+        scheme = RandomWM(bits_per_layer=6)
+        watermarked, _ = scheme.insert(quantized_awq4)
+        diff = watermarked.weight_difference(quantized_awq4)
+        total_changed = sum(np.count_nonzero(d) for d in diff.values())
+        # With clipping avoidance every insertion lands and sticks.
+        assert total_changed == 6 * quantized_awq4.num_quantization_layers
+
+    def test_positions_differ_between_seeds(self, quantized_awq4):
+        a, record_a = RandomWM(bits_per_layer=6, seed=1).insert(quantized_awq4)
+        b, record_b = RandomWM(bits_per_layer=6, seed=2).insert(quantized_awq4)
+        name = quantized_awq4.layer_names()[0]
+        assert not np.array_equal(
+            np.sort(record_a.payload["locations"][name]),
+            np.sort(record_b.payload["locations"][name]),
+        )
+
+    def test_extraction_from_non_watermarked_model_low(self, quantized_awq4):
+        scheme = RandomWM(bits_per_layer=6)
+        _, record = scheme.insert(quantized_awq4)
+        result = scheme.extract(quantized_awq4, record)
+        assert result.wer_percent == 0.0
+
+    def test_positions_uncorrelated_with_saliency(self, quantized_awq4, activation_stats):
+        """RandomWM must not systematically prefer salient channels."""
+        scheme = RandomWM(bits_per_layer=32, seed=3)
+        _, record = scheme.insert(quantized_awq4)
+        name = "blocks.0.mlp.fc_in"
+        layer = quantized_awq4.get_layer(name)
+        saliency = activation_stats.channel_saliency(name)
+        top_channels = set(np.argsort(saliency)[::-1][: layer.in_features // 4].tolist())
+        _, cols = np.unravel_index(record.payload["locations"][name], layer.weight_int.shape)
+        hit_fraction = np.mean([c in top_channels for c in cols])
+        assert hit_fraction < 0.6
+
+    def test_explicit_signature(self, quantized_awq4):
+        scheme = RandomWM(bits_per_layer=4)
+        total = 4 * quantized_awq4.num_quantization_layers
+        signature = generate_signature(total, 5)
+        _, record = scheme.insert(quantized_awq4, signature=signature)
+        np.testing.assert_array_equal(record.signature, signature)
+
+    def test_signature_length_validated(self, quantized_awq4):
+        with pytest.raises(ValueError):
+            RandomWM(bits_per_layer=4).insert(quantized_awq4, signature=np.array([1, -1]))
+
+    def test_invalid_bits_per_layer(self):
+        with pytest.raises(ValueError):
+            RandomWM(bits_per_layer=0)
+
+    def test_without_clipping_avoidance_some_bits_may_clip(self, quantized_awq4):
+        scheme = RandomWM(bits_per_layer=64, avoid_clipping=False, seed=11)
+        watermarked, record, extraction = scheme.watermark_and_verify(quantized_awq4)
+        # Extraction may or may not be perfect, but it must never exceed 100%.
+        assert extraction.wer_percent <= 100.0
+        assert extraction.total_bits == 64 * quantized_awq4.num_quantization_layers
+
+
+class TestSpecMark:
+    def test_extraction_fails_on_quantized_models(self, quantized_awq4):
+        """The paper's headline negative result: 0% WER on quantized weights."""
+        scheme = SpecMark(bits_per_layer=8)
+        watermarked, record, extraction = scheme.watermark_and_verify(quantized_awq4)
+        assert extraction.wer_percent <= 5.0
+
+    def test_quality_unaffected_because_weights_barely_change(self, quantized_awq4):
+        scheme = SpecMark(bits_per_layer=8)
+        watermarked, _ = scheme.insert(quantized_awq4)
+        total_changed = sum(
+            np.count_nonzero(d) for d in watermarked.weight_difference(quantized_awq4).values()
+        )
+        total_weights = quantized_awq4.total_quantized_weights()
+        # The tiny DCT perturbation is destroyed by re-rounding, so almost no
+        # integer weight actually moves.
+        assert total_changed / total_weights < 0.01
+
+    def test_also_fails_on_int8(self, quantized_int8):
+        scheme = SpecMark(bits_per_layer=8)
+        _, _, extraction = scheme.watermark_and_verify(quantized_int8)
+        assert extraction.wer_percent <= 5.0
+
+    def test_large_embedding_strength_would_be_extractable(self, quantized_awq4):
+        """Sanity check of the extraction logic itself: with an absurdly large
+        embedding strength the perturbation survives rounding and the decoder
+        recovers a substantial fraction of bits."""
+        scheme = SpecMark(bits_per_layer=4, embedding_strength=50.0)
+        _, record, extraction = scheme.watermark_and_verify(quantized_awq4)
+        assert extraction.wer_percent > 30.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SpecMark(bits_per_layer=0)
+        with pytest.raises(ValueError):
+            SpecMark(embedding_strength=0)
+        with pytest.raises(ValueError):
+            SpecMark(high_frequency_fraction=0)
+
+    def test_positions_live_in_high_frequency_band(self, quantized_awq4):
+        scheme = SpecMark(bits_per_layer=8, high_frequency_fraction=0.25)
+        _, record = scheme.insert(quantized_awq4)
+        for name, positions in record.payload["positions"].items():
+            size = quantized_awq4.get_layer(name).weight_int.size
+            assert np.all(positions >= int(size * 0.70))

@@ -1,0 +1,99 @@
+"""Tests for EmMarkConfig."""
+
+import pytest
+
+from repro.core.config import EmMarkConfig
+
+
+class TestValidation:
+    def test_bits_per_layer_positive(self):
+        with pytest.raises(ValueError):
+            EmMarkConfig(bits_per_layer=0)
+
+    def test_non_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            EmMarkConfig(alpha=-0.1)
+
+    def test_coefficients_not_both_zero(self):
+        with pytest.raises(ValueError):
+            EmMarkConfig(alpha=0.0, beta=0.0)
+
+    def test_pool_ratio_minimum(self):
+        with pytest.raises(ValueError):
+            EmMarkConfig(candidate_pool_ratio=0.5)
+
+    def test_max_candidate_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            EmMarkConfig(max_candidate_fraction=0.0)
+
+
+class TestDerivedQuantities:
+    def test_total_bits(self):
+        config = EmMarkConfig(bits_per_layer=12)
+        assert config.total_bits(10) == 120
+
+    def test_candidate_pool_honours_ratio(self):
+        config = EmMarkConfig(bits_per_layer=10, candidate_pool_ratio=5, max_candidate_fraction=1.0)
+        assert config.candidate_pool_size(10_000) == 50
+
+    def test_candidate_pool_capped_by_fraction(self):
+        config = EmMarkConfig(bits_per_layer=10, candidate_pool_ratio=50, max_candidate_fraction=0.1)
+        assert config.candidate_pool_size(1000) == 100
+
+    def test_candidate_pool_never_below_payload(self):
+        config = EmMarkConfig(bits_per_layer=64, candidate_pool_ratio=50, max_candidate_fraction=0.01)
+        assert config.candidate_pool_size(1000) >= 64
+
+    def test_candidate_pool_never_exceeds_layer(self):
+        config = EmMarkConfig(bits_per_layer=10, candidate_pool_ratio=50, max_candidate_fraction=1.0)
+        assert config.candidate_pool_size(64) == 64
+
+    def test_with_overrides(self):
+        config = EmMarkConfig(bits_per_layer=10)
+        other = config.with_overrides(alpha=1.0, beta=0.0)
+        assert other.alpha == 1.0 and other.beta == 0.0
+        assert other.bits_per_layer == 10
+        assert config.alpha == 0.5  # original untouched
+
+
+class TestPaperDefaults:
+    def test_int8_payload(self):
+        config = EmMarkConfig.paper_defaults(8)
+        assert config.bits_per_layer == 300
+        assert config.alpha == 0.5 and config.beta == 0.5
+        assert config.seed == 100
+
+    def test_int4_payload(self):
+        assert EmMarkConfig.paper_defaults(4).bits_per_layer == 40
+
+    def test_pool_ratio_switches_at_6_7b(self):
+        small = EmMarkConfig.paper_defaults(4, virtual_params_billions=2.7)
+        large = EmMarkConfig.paper_defaults(4, virtual_params_billions=13.0)
+        boundary = EmMarkConfig.paper_defaults(4, virtual_params_billions=6.7)
+        assert small.candidate_pool_ratio == 50
+        assert large.candidate_pool_ratio == 60
+        assert boundary.candidate_pool_ratio == 60
+
+    def test_unsupported_precision(self):
+        with pytest.raises(ValueError):
+            EmMarkConfig.paper_defaults(2)
+
+
+class TestScaledForModel:
+    def test_scaled_int4_smaller_than_int8(self, quantized_awq4, quantized_int8):
+        int4 = EmMarkConfig.scaled_for_model(quantized_awq4)
+        int8 = EmMarkConfig.scaled_for_model(quantized_int8)
+        assert int4.bits_per_layer < int8.bits_per_layer
+
+    def test_explicit_payload_respected(self, quantized_awq4):
+        config = EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=7)
+        assert config.bits_per_layer == 7
+
+    def test_overrides_forwarded(self, quantized_awq4):
+        config = EmMarkConfig.scaled_for_model(quantized_awq4, alpha=1.0, beta=0.0)
+        assert config.alpha == 1.0 and config.beta == 0.0
+
+    def test_large_model_gets_large_pool_ratio(self, quantized_int8):
+        # The tiny fixture simulates a sub-6.7B model; fake a large one by
+        # checking the rule through paper_defaults instead.
+        assert EmMarkConfig.scaled_for_model(quantized_int8).candidate_pool_ratio == 50

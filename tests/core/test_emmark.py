@@ -1,0 +1,72 @@
+"""Tests for the EmMark facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EmMarkConfig
+from repro.core.emmark import EmMark
+from repro.core.keys import WatermarkKey
+
+
+class TestKeyBasedAPI:
+    def test_insert_and_extract_round_trip(self, quantized_awq4, activation_stats):
+        emmark = EmMark(EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=6))
+        watermarked, key, report = emmark.insert_with_key(quantized_awq4, activation_stats)
+        assert isinstance(key, WatermarkKey)
+        assert report.total_bits == key.total_bits
+        assert emmark.extract_with_key(watermarked, key).wer_percent == 100.0
+
+    def test_verify(self, quantized_awq4, activation_stats):
+        emmark = EmMark(EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=6))
+        watermarked, key, _ = emmark.insert_with_key(quantized_awq4, activation_stats)
+        assert emmark.verify(watermarked, key)
+        assert not emmark.verify(quantized_awq4, key)
+
+    def test_config_override_at_call_time(self, quantized_awq4, activation_stats):
+        emmark = EmMark()
+        override = EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=3)
+        _, key, _ = emmark.insert_with_key(quantized_awq4, activation_stats, config=override)
+        assert key.config.bits_per_layer == 3
+
+    def test_default_config_derived_from_model(self, quantized_awq4, activation_stats):
+        emmark = EmMark()
+        _, key, _ = emmark.insert_with_key(quantized_awq4, activation_stats)
+        expected = EmMarkConfig.scaled_for_model(quantized_awq4)
+        assert key.config.bits_per_layer == expected.bits_per_layer
+
+    def test_key_metadata(self, quantized_awq4, activation_stats):
+        emmark = EmMark(EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=4))
+        _, key, _ = emmark.insert_with_key(quantized_awq4, activation_stats)
+        assert key.method == quantized_awq4.method
+        assert key.bits == quantized_awq4.bits
+        assert key.model_name == quantized_awq4.config.name
+
+
+class TestWatermarkerInterface:
+    def test_watermark_and_verify_round_trip(self, quantized_awq4, activation_stats):
+        emmark = EmMark(EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=5))
+        watermarked, record, extraction = emmark.watermark_and_verify(
+            quantized_awq4, activations=activation_stats
+        )
+        assert record.method == "emmark"
+        assert extraction.wer_percent == 100.0
+        assert record.total_bits == extraction.total_bits
+
+    def test_insert_requires_activations(self, quantized_awq4):
+        emmark = EmMark()
+        with pytest.raises(ValueError):
+            emmark.insert(quantized_awq4)
+
+    def test_extract_requires_emmark_record(self, quantized_awq4, activation_stats):
+        emmark = EmMark(EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=5))
+        _, record = emmark.insert(quantized_awq4, activations=activation_stats)
+        record.payload.pop("key")
+        with pytest.raises(ValueError):
+            emmark.extract(quantized_awq4, record)
+
+    def test_original_model_untouched(self, quantized_awq4, activation_stats):
+        snapshot = quantized_awq4.integer_weight_snapshot()
+        emmark = EmMark(EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=5))
+        emmark.insert(quantized_awq4, activations=activation_stats)
+        for name, weights in snapshot.items():
+            np.testing.assert_array_equal(weights, quantized_awq4.get_layer(name).weight_int)

@@ -1,0 +1,161 @@
+"""Tests for the parameter-scoring function (Equations 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    combined_score,
+    quality_score,
+    robustness_score,
+    select_candidates,
+)
+from repro.quant.base import QuantizationGrid, QuantizedLinear
+
+
+def make_layer(weight_int, bits=4, **kwargs):
+    weight_int = np.asarray(weight_int)
+    return QuantizedLinear(
+        name="probe",
+        weight_int=weight_int,
+        scale=np.ones((weight_int.shape[0], 1)),
+        grid=QuantizationGrid(bits),
+        **kwargs,
+    )
+
+
+class TestQualityScore:
+    def test_larger_magnitude_scores_lower(self):
+        layer = make_layer([[1, 6], [3, 2]])
+        scores = quality_score(layer)
+        assert scores[0, 1] < scores[0, 0]
+        assert scores[1, 0] < scores[1, 1]
+
+    def test_equation_value(self):
+        layer = make_layer([[2, 4]])
+        scores = quality_score(layer)
+        assert scores[0, 0] == pytest.approx(0.5)
+        assert scores[0, 1] == pytest.approx(0.25)
+
+    def test_zero_weight_excluded(self):
+        layer = make_layer([[0, 3]])
+        scores = quality_score(layer)
+        assert np.isinf(scores[0, 0])
+
+    def test_saturated_weights_excluded(self):
+        layer = make_layer([[7, -7, 3]])
+        scores = quality_score(layer)
+        assert np.isinf(scores[0, 0]) and np.isinf(scores[0, 1])
+        assert np.isfinite(scores[0, 2])
+
+    def test_saturation_exclusion_can_be_disabled(self):
+        layer = make_layer([[7, 3]])
+        scores = quality_score(layer, exclude_saturated=False)
+        assert np.isfinite(scores[0, 0])
+
+    def test_outlier_columns_excluded(self):
+        layer = make_layer(
+            [[0, 3], [0, 2]],
+            outlier_columns=np.array([0]),
+            outlier_weight=np.array([[1.0], [1.0]]),
+        )
+        scores = quality_score(layer)
+        assert np.all(np.isinf(scores[:, 0]))
+
+
+class TestRobustnessScore:
+    def test_most_salient_channel_scores_lowest(self):
+        layer = make_layer([[1, 1, 1]])
+        activations = np.array([0.1, 5.0, 1.0])
+        scores = robustness_score(layer, activations)
+        assert np.argmin(scores[0]) == 1
+
+    def test_least_salient_channel_excluded(self):
+        layer = make_layer([[1, 1, 1]])
+        scores = robustness_score(layer, np.array([0.1, 5.0, 1.0]))
+        assert np.isinf(scores[0, 0])
+
+    def test_equation_value(self):
+        layer = make_layer([[1, 1]])
+        scores = robustness_score(layer, np.array([1.0, 3.0]))
+        # S_r = |max/ (A_i - min)| = 3 / (3 - 1) = 1.5 for the salient channel.
+        assert scores[0, 1] == pytest.approx(1.5)
+
+    def test_broadcast_across_rows(self):
+        layer = make_layer([[1, 2], [3, 4]])
+        scores = robustness_score(layer, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(scores[0], scores[1])
+
+    def test_channel_count_validated(self):
+        layer = make_layer([[1, 2]])
+        with pytest.raises(ValueError):
+            robustness_score(layer, np.array([1.0, 2.0, 3.0]))
+
+
+class TestCombinedScore:
+    def test_weighted_sum(self):
+        layer = make_layer([[2, 4]])
+        activations = np.array([1.0, 2.0])
+        s_q = quality_score(layer)
+        s_r = robustness_score(layer, activations)
+        combined = combined_score(layer, activations, alpha=0.3, beta=0.7)
+        expected = 0.3 * s_q + 0.7 * s_r
+        finite = np.isfinite(expected)
+        np.testing.assert_allclose(combined[finite], expected[finite])
+
+    def test_alpha_zero_keeps_exclusions(self):
+        layer = make_layer([[7, 3, 0]])
+        combined = combined_score(layer, np.array([1.0, 2.0, 3.0]), alpha=0.0, beta=1.0)
+        assert np.isinf(combined[0, 0])      # saturated stays excluded
+        assert np.isfinite(combined[0, 2])   # zero weight allowed when alpha == 0
+
+    def test_negative_coefficients_rejected(self):
+        layer = make_layer([[1, 2]])
+        with pytest.raises(ValueError):
+            combined_score(layer, np.array([1.0, 2.0]), alpha=-1.0, beta=1.0)
+
+
+class TestSelectCandidates:
+    def test_pool_size_respected(self):
+        layer = make_layer(np.arange(1, 26).reshape(5, 5) % 6 - 3, bits=4)
+        activations = np.linspace(0.5, 2.0, 5)
+        result = select_candidates(layer, activations, 0.5, 0.5, pool_size=6)
+        assert result.num_candidates == 6
+
+    def test_candidates_sorted_by_score(self):
+        layer = make_layer([[1, 2, 3, 4, 5, 6]])
+        activations = np.linspace(1.0, 2.0, 6)
+        result = select_candidates(layer, activations, 1.0, 0.0, pool_size=4)
+        flat_scores = result.scores.reshape(-1)
+        candidate_scores = flat_scores[result.candidate_indices]
+        assert np.all(np.diff(candidate_scores) >= 0)
+
+    def test_candidates_exclude_infinite_scores(self):
+        layer = make_layer([[7, 0, 3, 4]])
+        activations = np.array([1.0, 2.0, 3.0, 4.0])
+        result = select_candidates(layer, activations, 0.5, 0.5, pool_size=10)
+        flat_scores = result.scores.reshape(-1)
+        assert np.all(np.isfinite(flat_scores[result.candidate_indices]))
+
+    def test_all_excluded_raises(self):
+        layer = make_layer([[7, -7], [0, 0]])
+        with pytest.raises(ValueError):
+            select_candidates(layer, np.array([1.0, 2.0]), 0.5, 0.5, pool_size=2)
+
+    def test_pool_size_validated(self):
+        layer = make_layer([[1, 2]])
+        with pytest.raises(ValueError):
+            select_candidates(layer, np.array([1.0, 2.0]), 0.5, 0.5, pool_size=0)
+
+    def test_salient_large_weights_preferred(self):
+        """With the paper's coefficients the best candidates combine both criteria."""
+        weight = np.array([
+            [6, 1, 6, 1],
+            [6, 1, 6, 1],
+        ])
+        activations = np.array([5.0, 5.0, 0.5, 0.5])
+        layer = make_layer(weight)
+        result = select_candidates(layer, activations, 0.5, 0.5, pool_size=2)
+        rows, cols = np.unravel_index(result.candidate_indices, weight.shape)
+        # Both winners must be the large weights in the salient channel 0.
+        assert set(cols.tolist()) == {0}
+        assert all(weight[r, c] == 6 for r, c in zip(rows, cols))

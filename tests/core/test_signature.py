@@ -1,0 +1,77 @@
+"""Tests for signature generation and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import (
+    bits_to_signature,
+    generate_signature,
+    signature_to_bits,
+    split_signature_per_layer,
+    validate_signature,
+)
+
+
+class TestGenerateSignature:
+    def test_values_are_rademacher(self):
+        signature = generate_signature(500, seed=1)
+        assert set(np.unique(signature)) <= {-1, 1}
+
+    def test_deterministic_in_seed(self):
+        np.testing.assert_array_equal(generate_signature(64, 7), generate_signature(64, 7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(generate_signature(64, 7), generate_signature(64, 8))
+
+    def test_roughly_balanced(self):
+        signature = generate_signature(2000, seed=3)
+        assert abs(signature.mean()) < 0.1
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            generate_signature(0, seed=1)
+
+
+class TestValidateSignature:
+    def test_accepts_plus_minus_one(self):
+        out = validate_signature([1, -1, 1])
+        assert out.dtype == np.int64
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            validate_signature([1, 0, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_signature([])
+
+    def test_flattens_input(self):
+        assert validate_signature(np.array([[1, -1], [1, 1]])).shape == (4,)
+
+
+class TestSplitSignaturePerLayer:
+    def test_even_partition(self):
+        signature = generate_signature(12, 1)
+        split = split_signature_per_layer(signature, ["a", "b", "c"], 4)
+        assert list(split) == ["a", "b", "c"]
+        np.testing.assert_array_equal(split["a"], signature[:4])
+        np.testing.assert_array_equal(split["c"], signature[8:])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            split_signature_per_layer(generate_signature(10, 1), ["a", "b"], 4)
+
+
+class TestBitConversions:
+    def test_round_trip(self):
+        signature = generate_signature(32, 5)
+        restored = bits_to_signature(signature_to_bits(signature))
+        np.testing.assert_array_equal(signature, restored)
+
+    def test_bits_are_binary(self):
+        bits = signature_to_bits(np.array([1, -1, 1]))
+        assert bits == [1, 0, 1]
+
+    def test_bits_to_signature_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            bits_to_signature([0, 2])

@@ -1,0 +1,50 @@
+"""Tests for the Alpaca-sim instruction dataset."""
+
+import numpy as np
+
+from repro.data.alpaca import build_alpaca_sim, load_alpaca_sim
+from repro.data.tokenizer import Vocabulary
+
+
+class TestBuildAlpacaSim:
+    def test_pair_count(self):
+        data = build_alpaca_sim(Vocabulary(64), num_pairs=10)
+        assert len(data) == 10
+
+    def test_pair_shapes(self):
+        data = build_alpaca_sim(Vocabulary(64), num_pairs=5, instruction_length=6, response_length=9)
+        for instruction, response in data.pairs:
+            assert instruction.size == 6
+            assert response.size == 9
+
+    def test_deterministic(self):
+        a = build_alpaca_sim(Vocabulary(64), num_pairs=4, seed=3)
+        b = build_alpaca_sim(Vocabulary(64), num_pairs=4, seed=3)
+        np.testing.assert_array_equal(a.pairs[0][0], b.pairs[0][0])
+
+    def test_as_corpus_layout(self):
+        vocab = Vocabulary(64)
+        data = build_alpaca_sim(vocab, num_pairs=3, instruction_length=4, response_length=5)
+        corpus = data.as_corpus()
+        # Each pair contributes <bos> + instruction + response + <eos>.
+        assert len(corpus) == 3 * (1 + 4 + 5 + 1)
+        assert corpus.tokens[0] == vocab.bos_id
+
+    def test_statistics_differ_from_base_corpus_seed(self):
+        vocab = Vocabulary(64)
+        data = build_alpaca_sim(vocab, num_pairs=20, seed=1)
+        other = build_alpaca_sim(vocab, num_pairs=20, seed=2)
+        assert not np.array_equal(data.as_corpus().tokens, other.as_corpus().tokens)
+
+
+class TestLoadAlpacaSim:
+    def test_matches_vocabulary_size(self):
+        vocab = Vocabulary(64)
+        data = load_alpaca_sim(vocab, num_pairs=8)
+        assert data.vocabulary is vocab
+        assert len(data) == 8
+
+    def test_cache_reuse_across_equal_vocab_sizes(self):
+        a = load_alpaca_sim(Vocabulary(64), num_pairs=8)
+        b = load_alpaca_sim(Vocabulary(64), num_pairs=8)
+        np.testing.assert_array_equal(a.pairs[0][0], b.pairs[0][0])

@@ -1,0 +1,139 @@
+"""Tests for the Zipf–Markov corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import MarkovCorpusGenerator, TokenCorpus
+from repro.data.tokenizer import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return Vocabulary(64)
+
+
+@pytest.fixture(scope="module")
+def generator(vocab):
+    return MarkovCorpusGenerator(vocab, seed=5)
+
+
+class TestTokenCorpus:
+    def test_length(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 20), vocab, "x")
+        assert len(corpus) == 16
+
+    def test_rejects_out_of_range_ids(self, vocab):
+        with pytest.raises(ValueError):
+            TokenCorpus(np.array([0, 1, 200]), vocab)
+
+    def test_rejects_non_1d(self, vocab):
+        with pytest.raises(ValueError):
+            TokenCorpus(np.zeros((2, 2), dtype=int), vocab)
+
+    def test_batches_non_overlapping(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 36), vocab)
+        batches = list(corpus.batches(8))
+        assert len(batches) == 4
+        np.testing.assert_array_equal(np.concatenate(batches), corpus.tokens)
+
+    def test_batches_respects_max_sequences(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 36), vocab)
+        assert len(list(corpus.batches(8, max_sequences=2))) == 2
+
+    def test_batches_requires_min_length(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 12), vocab)
+        with pytest.raises(ValueError):
+            list(corpus.batches(1))
+
+    def test_as_matrix_shape(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 36), vocab)
+        assert corpus.as_matrix(8).shape == (4, 8)
+
+    def test_as_matrix_empty(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 8), vocab)
+        assert corpus.as_matrix(16).shape == (0, 16)
+
+    def test_split_fractions(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 24), vocab, "c")
+        first, second = corpus.split(0.75)
+        assert len(first) + len(second) == len(corpus)
+        assert len(first) == 15
+
+    def test_split_rejects_bad_fraction(self, vocab):
+        corpus = TokenCorpus(np.arange(4, 24), vocab)
+        with pytest.raises(ValueError):
+            corpus.split(1.5)
+
+
+class TestMarkovCorpusGenerator:
+    def test_generation_deterministic(self, generator):
+        a = generator.generate(500, seed_offset=0)
+        b = generator.generate(500, seed_offset=0)
+        np.testing.assert_array_equal(a.tokens, b.tokens)
+
+    def test_seed_offsets_give_different_streams(self, generator):
+        a = generator.generate(500, seed_offset=0)
+        b = generator.generate(500, seed_offset=1)
+        assert not np.array_equal(a.tokens, b.tokens)
+
+    def test_tokens_are_regular(self, generator, vocab):
+        corpus = generator.generate(500)
+        assert corpus.tokens.min() >= vocab.first_regular_id
+        assert corpus.tokens.max() < len(vocab)
+
+    def test_minimum_length_enforced(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(1)
+
+    def test_invalid_coherence_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            MarkovCorpusGenerator(vocab, coherence=1.5)
+
+    def test_invalid_order_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            MarkovCorpusGenerator(vocab, order=3)
+
+    def test_transition_probabilities_sum_to_one(self, generator, vocab):
+        probs = generator.transition_probabilities(vocab.first_regular_id + 3, vocab.first_regular_id + 5)
+        assert probs.shape == (vocab.num_regular_tokens,)
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_transition_probabilities_reject_special_tokens(self, generator, vocab):
+        with pytest.raises(ValueError):
+            generator.transition_probabilities(vocab.pad_id)
+
+    def test_token_group_range(self, generator, vocab):
+        groups = {generator.token_group(t) for t in range(vocab.first_regular_id, len(vocab))}
+        assert min(groups) >= 0
+        assert max(groups) < generator.num_groups
+
+    def test_order1_state_is_token(self, vocab):
+        gen = MarkovCorpusGenerator(vocab, order=1, seed=2)
+        probs_a = gen.transition_probabilities(vocab.first_regular_id + 1)
+        probs_b = gen.transition_probabilities(vocab.first_regular_id + 2)
+        assert not np.allclose(probs_a, probs_b)
+
+    def test_unigram_distribution_is_skewed(self, generator, vocab):
+        corpus = generator.generate(4000)
+        counts = np.bincount(corpus.tokens - vocab.first_regular_id, minlength=vocab.num_regular_tokens)
+        sorted_counts = np.sort(counts)[::-1]
+        # Zipf-like: the top decile should hold several times the bottom decile.
+        top = sorted_counts[: len(sorted_counts) // 10].sum()
+        bottom = sorted_counts[-len(sorted_counts) // 10 :].sum()
+        assert top > 3 * max(bottom, 1)
+
+    def test_preferred_successors_are_overrepresented(self, generator, vocab):
+        """The generated stream must actually follow the chain statistics."""
+        corpus = generator.generate(6000, seed_offset=3)
+        offset = vocab.first_regular_id
+        hits = 0
+        total = 0
+        tokens = corpus.tokens
+        for i in range(2, len(tokens)):
+            probs = generator.transition_probabilities(int(tokens[i - 2]), int(tokens[i - 1]))
+            top_successors = np.argsort(probs)[::-1][:generator.branching]
+            total += 1
+            if int(tokens[i]) - offset in top_successors:
+                hits += 1
+        # With coherence 0.9 the preferred successors should dominate.
+        assert hits / total > 0.6

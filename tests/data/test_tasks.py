@@ -1,0 +1,87 @@
+"""Tests for the synthetic zero-shot task suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import MarkovCorpusGenerator
+from repro.data.tasks import (
+    DEFAULT_TASK_SPECS,
+    MultipleChoiceExample,
+    TaskSpec,
+    build_task,
+    build_task_suite,
+)
+from repro.data.tokenizer import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return MarkovCorpusGenerator(Vocabulary(64), seed=11)
+
+
+class TestMultipleChoiceExample:
+    def test_label_bounds_checked(self):
+        with pytest.raises(ValueError):
+            MultipleChoiceExample(
+                context=np.array([4, 5]), choices=[np.array([4]), np.array([5])], label=2
+            )
+
+    def test_requires_at_least_two_choices(self):
+        with pytest.raises(ValueError):
+            MultipleChoiceExample(context=np.array([4]), choices=[np.array([4])], label=0)
+
+
+class TestBuildTask:
+    def test_example_count(self, generator):
+        spec = TaskSpec("mini", num_examples=10, context_length=6, continuation_length=2, num_choices=3)
+        task = build_task(spec, generator, seed=1)
+        assert len(task) == 10
+
+    def test_choice_count_and_lengths(self, generator):
+        spec = TaskSpec("mini", num_examples=5, context_length=6, continuation_length=3, num_choices=4)
+        task = build_task(spec, generator, seed=1)
+        for example in task:
+            assert len(example.choices) == 4
+            assert example.context.size == 6
+            assert all(choice.size == 3 for choice in example.choices)
+
+    def test_labels_within_range(self, generator):
+        spec = TaskSpec("mini", num_examples=20, context_length=4, continuation_length=1, num_choices=4)
+        task = build_task(spec, generator, seed=2)
+        assert all(0 <= ex.label < 4 for ex in task)
+
+    def test_deterministic(self, generator):
+        spec = TaskSpec("mini", num_examples=5, context_length=4, continuation_length=2, num_choices=2)
+        a = build_task(spec, generator, seed=3)
+        b = build_task(spec, generator, seed=3)
+        for ex_a, ex_b in zip(a, b):
+            np.testing.assert_array_equal(ex_a.context, ex_b.context)
+            assert ex_a.label == ex_b.label
+
+    def test_correct_choice_follows_chain(self, generator):
+        """The labelled continuation's first token must be likely under the chain."""
+        spec = TaskSpec("mini", num_examples=30, context_length=6, continuation_length=1, num_choices=2)
+        task = build_task(spec, generator, seed=4)
+        offset = generator.vocabulary.first_regular_id
+        plausible = 0
+        for example in task:
+            probs = generator.transition_probabilities(
+                int(example.context[-2]), int(example.context[-1])
+            )
+            correct_first = int(example.choices[example.label][0]) - offset
+            # "Likely" = within the chain's preferred-successor mass.
+            top = set(np.argsort(probs)[::-1][: generator.branching].tolist())
+            if correct_first in top:
+                plausible += 1
+        assert plausible / len(task) > 0.5
+
+
+class TestBuildTaskSuite:
+    def test_default_suite_has_four_tasks(self, generator):
+        tasks = build_task_suite(generator, seed=1)
+        assert len(tasks) == 4
+        assert {t.name for t in tasks} == set(DEFAULT_TASK_SPECS)
+
+    def test_tasks_are_nonempty(self, generator):
+        for task in build_task_suite(generator, seed=1):
+            assert len(task) > 0

@@ -1,0 +1,62 @@
+"""Tests for the vocabulary / tokenizer."""
+
+import pytest
+
+from repro.data.tokenizer import SPECIAL_TOKENS, Vocabulary
+
+
+class TestVocabularyConstruction:
+    def test_size(self):
+        assert len(Vocabulary(64)) == 64
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            Vocabulary(4)
+
+    def test_special_tokens_occupy_first_ids(self):
+        vocab = Vocabulary(32)
+        assert vocab.pad_id == 0
+        assert vocab.bos_id == 1
+        assert vocab.eos_id == 2
+        assert vocab.unk_id == 3
+
+    def test_num_regular_tokens(self):
+        vocab = Vocabulary(32)
+        assert vocab.num_regular_tokens == 32 - len(SPECIAL_TOKENS)
+        assert vocab.first_regular_id == len(SPECIAL_TOKENS)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        vocab = Vocabulary(32)
+        token = vocab.id_to_token(10)
+        assert vocab.token_to_id(token) == 10
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary(32)
+        assert vocab.token_to_id("not-a-token") == vocab.unk_id
+
+    def test_id_out_of_range_raises(self):
+        vocab = Vocabulary(32)
+        with pytest.raises(IndexError):
+            vocab.id_to_token(32)
+
+    def test_encode_with_bos(self):
+        vocab = Vocabulary(32)
+        tokens = [vocab.id_to_token(5), vocab.id_to_token(6)]
+        assert vocab.encode(tokens, add_bos=True)[0] == vocab.bos_id
+
+    def test_decode_skips_special_tokens(self):
+        vocab = Vocabulary(32)
+        decoded = vocab.decode([vocab.bos_id, 5, vocab.eos_id])
+        assert decoded == [vocab.id_to_token(5)]
+
+    def test_decode_keeps_special_when_requested(self):
+        vocab = Vocabulary(32)
+        decoded = vocab.decode([vocab.bos_id, 5], skip_special=False)
+        assert len(decoded) == 2
+
+    def test_contains(self):
+        vocab = Vocabulary(32)
+        assert vocab.id_to_token(7) in vocab
+        assert "nope" not in vocab

@@ -1,0 +1,54 @@
+"""Tests for the WikiText-sim dataset builder."""
+
+import numpy as np
+
+from repro.data.wikitext import build_wikitext_sim, load_wikitext_sim
+
+
+class TestBuildWikiTextSim:
+    def test_split_sizes(self):
+        data = build_wikitext_sim(
+            vocab_size=64, train_tokens=2000, validation_tokens=500, calibration_tokens=300, seed=1
+        )
+        assert len(data.train) == 2000
+        assert len(data.validation) == 500
+        assert len(data.calibration) == 300
+
+    def test_shared_vocabulary(self):
+        data = build_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                                  calibration_tokens=200, seed=1)
+        assert data.train.vocabulary is data.vocabulary
+        assert data.validation.vocabulary is data.vocabulary
+
+    def test_deterministic(self):
+        a = build_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                               calibration_tokens=200, seed=5)
+        b = build_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                               calibration_tokens=200, seed=5)
+        np.testing.assert_array_equal(a.train.tokens, b.train.tokens)
+
+    def test_splits_do_not_repeat_each_other(self):
+        data = build_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=500,
+                                  calibration_tokens=500, seed=5)
+        assert not np.array_equal(data.train.tokens[:500], data.validation.tokens)
+
+    def test_splits_property(self):
+        data = build_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                                  calibration_tokens=200, seed=1)
+        assert set(data.splits) == {"train", "validation", "calibration"}
+
+
+class TestLoadWikiTextSim:
+    def test_caching_returns_same_object(self):
+        a = load_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                              calibration_tokens=200, seed=2)
+        b = load_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                              calibration_tokens=200, seed=2)
+        assert a is b
+
+    def test_different_parameters_different_objects(self):
+        a = load_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                              calibration_tokens=200, seed=2)
+        b = load_wikitext_sim(vocab_size=64, train_tokens=500, validation_tokens=200,
+                              calibration_tokens=200, seed=3)
+        assert a is not b

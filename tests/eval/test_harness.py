@@ -1,0 +1,45 @@
+"""Tests for the shared evaluation harness."""
+
+import pytest
+
+from repro.eval.harness import EvaluationHarness, QualityReport
+
+
+@pytest.fixture(scope="module")
+def harness(small_dataset):
+    return EvaluationHarness(small_dataset, max_sequences=8, num_task_examples=6)
+
+
+class TestEvaluationHarness:
+    def test_evaluate_full_precision(self, harness, trained_model):
+        report = harness.evaluate(trained_model)
+        assert report.perplexity > 1.0
+        assert 0.0 <= report.zero_shot_accuracy <= 100.0
+        assert len(report.per_task_accuracy) == 4
+
+    def test_evaluate_quantized(self, harness, quantized_awq4):
+        report = harness.evaluate(quantized_awq4)
+        assert report.perplexity > 1.0
+
+    def test_task_example_cap_applied(self, small_dataset):
+        harness = EvaluationHarness(small_dataset, num_task_examples=3)
+        assert all(len(task) == 3 for task in harness.tasks)
+
+    def test_corpora_exposed(self, harness, small_dataset):
+        assert harness.validation_corpus is small_dataset.validation
+        assert harness.calibration_corpus is small_dataset.calibration
+
+    def test_evaluation_deterministic(self, harness, trained_model):
+        a = harness.evaluate(trained_model)
+        b = harness.evaluate(trained_model)
+        assert a.perplexity == b.perplexity
+        assert a.zero_shot_accuracy == b.zero_shot_accuracy
+
+
+class TestQualityReport:
+    def test_degradation_signs(self):
+        baseline = QualityReport(perplexity=10.0, zero_shot_accuracy=70.0, per_task_accuracy={})
+        worse = QualityReport(perplexity=12.0, zero_shot_accuracy=65.0, per_task_accuracy={})
+        degradation = worse.degradation_from(baseline)
+        assert degradation["perplexity_delta"] == pytest.approx(2.0)
+        assert degradation["zero_shot_delta"] == pytest.approx(-5.0)

@@ -1,0 +1,51 @@
+"""Tests for the perplexity metric."""
+
+import numpy as np
+import pytest
+
+from repro.eval.perplexity import compute_perplexity
+from repro.models.transformer import TransformerLM
+
+from tests.conftest import make_tiny_config
+
+
+class TestComputePerplexity:
+    def test_untrained_model_near_uniform(self, small_dataset):
+        model = TransformerLM(make_tiny_config(name="ppl-untrained"), seed=9)
+        ppl = compute_perplexity(model, small_dataset.validation, max_sequences=16)
+        vocab = small_dataset.vocabulary.size
+        assert 0.4 * vocab < ppl < 1.6 * vocab
+
+    def test_trained_model_much_better_than_uniform(self, trained_model, small_dataset):
+        ppl = compute_perplexity(trained_model, small_dataset.validation, max_sequences=16)
+        assert ppl < 0.5 * small_dataset.vocabulary.size
+
+    def test_quantized_model_accepted(self, quantized_awq4, small_dataset):
+        ppl = compute_perplexity(quantized_awq4, small_dataset.validation, max_sequences=8)
+        assert np.isfinite(ppl) and ppl > 1.0
+
+    def test_deterministic(self, trained_model, small_dataset):
+        a = compute_perplexity(trained_model, small_dataset.validation, max_sequences=8)
+        b = compute_perplexity(trained_model, small_dataset.validation, max_sequences=8)
+        assert a == b
+
+    def test_batch_size_does_not_change_result(self, trained_model, small_dataset):
+        a = compute_perplexity(trained_model, small_dataset.validation, max_sequences=8, batch_size=2)
+        b = compute_perplexity(trained_model, small_dataset.validation, max_sequences=8, batch_size=8)
+        assert a == pytest.approx(b)
+
+    def test_corpus_too_short_raises(self, trained_model, small_dataset):
+        tiny_corpus = type(small_dataset.validation)(
+            small_dataset.validation.tokens[:10], small_dataset.vocabulary, "short"
+        )
+        with pytest.raises(ValueError):
+            compute_perplexity(trained_model, tiny_corpus, sequence_length=32)
+
+    def test_degrades_when_blocks_destroyed(self, trained_model, small_dataset):
+        """Corrupting the quantized layers must visibly hurt perplexity."""
+        wrecked = trained_model.clone()
+        for _, linear in wrecked.named_linear_layers():
+            linear.weight.value[...] = 0.0
+        intact = compute_perplexity(trained_model, small_dataset.validation, max_sequences=16)
+        damaged = compute_perplexity(wrecked, small_dataset.validation, max_sequences=16)
+        assert damaged > intact * 1.5

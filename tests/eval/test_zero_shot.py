@@ -1,0 +1,72 @@
+"""Tests for the zero-shot evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import MarkovCorpusGenerator
+from repro.data.tasks import TaskSpec, build_task, build_task_suite
+from repro.eval.zero_shot import evaluate_task, evaluate_zero_shot, predict_choice
+from repro.models.transformer import TransformerLM
+
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def task_generator(small_dataset):
+    return MarkovCorpusGenerator(small_dataset.vocabulary, seed=99)
+
+
+@pytest.fixture(scope="module")
+def small_task(task_generator):
+    spec = TaskSpec("probe", num_examples=24, context_length=10, continuation_length=2, num_choices=3)
+    return build_task(spec, task_generator, seed=5)
+
+
+class TestPredictChoice:
+    def test_returns_valid_index(self, trained_model, small_task):
+        for example in small_task.examples[:5]:
+            choice = predict_choice(trained_model, example)
+            assert 0 <= choice < len(example.choices)
+
+
+class TestEvaluateTask:
+    def test_trained_model_beats_chance(self, trained_model, small_task):
+        accuracy = evaluate_task(trained_model, small_task)
+        chance = 100.0 / 3
+        assert accuracy > chance + 10
+
+    def test_untrained_model_near_chance(self, small_task, small_dataset):
+        model = TransformerLM(make_tiny_config(name="zs-untrained"), seed=21)
+        accuracy = evaluate_task(model, small_task)
+        assert accuracy < 80.0
+
+    def test_quantized_model_accepted(self, quantized_awq4, small_task):
+        accuracy = evaluate_task(quantized_awq4, small_task)
+        assert 0.0 <= accuracy <= 100.0
+
+    def test_empty_task_rejected(self, trained_model, small_task):
+        empty = type(small_task)(name="empty", examples=[])
+        with pytest.raises(ValueError):
+            evaluate_task(trained_model, empty)
+
+
+class TestEvaluateZeroShot:
+    def test_mean_is_average_of_tasks(self, trained_model, task_generator):
+        tasks = build_task_suite(task_generator, seed=2)
+        # Keep it quick: truncate each task.
+        for task in tasks:
+            task.examples = task.examples[:8]
+        results = evaluate_zero_shot(trained_model, tasks)
+        per_task = [results[t.name] for t in tasks]
+        assert results["mean"] == pytest.approx(np.mean(per_task))
+
+    def test_all_four_tasks_reported(self, trained_model, task_generator):
+        tasks = build_task_suite(task_generator, seed=2)
+        for task in tasks:
+            task.examples = task.examples[:4]
+        results = evaluate_zero_shot(trained_model, tasks)
+        assert set(results) == {t.name for t in tasks} | {"mean"}
+
+    def test_no_tasks_rejected(self, trained_model):
+        with pytest.raises(ValueError):
+            evaluate_zero_shot(trained_model, [])

@@ -1,0 +1,57 @@
+"""Tests for full-precision fine-tuning."""
+
+import numpy as np
+
+from repro.data.alpaca import build_alpaca_sim
+from repro.finetune.full import FineTuneConfig, fine_tune_full_precision
+
+
+class TestFineTuneFullPrecision:
+    def test_returns_new_model_by_default(self, trained_model, small_dataset):
+        tuned, _ = fine_tune_full_precision(
+            trained_model, small_dataset.train, FineTuneConfig(steps=5, batch_size=4)
+        )
+        assert tuned is not trained_model
+
+    def test_in_place_option(self, trained_model, small_dataset):
+        clone = trained_model.clone()
+        tuned, _ = fine_tune_full_precision(
+            clone, small_dataset.train, FineTuneConfig(steps=5, batch_size=4), in_place=True
+        )
+        assert tuned is clone
+
+    def test_weights_actually_move(self, trained_model, small_dataset):
+        alpaca = build_alpaca_sim(small_dataset.vocabulary, num_pairs=40)
+        tuned, _ = fine_tune_full_precision(
+            trained_model, alpaca.as_corpus(), FineTuneConfig(steps=30, batch_size=4)
+        )
+        name = trained_model.linear_layer_names()[0]
+        before = trained_model.get_linear(name).weight.value
+        after = tuned.get_linear(name).weight.value
+        relative_change = np.abs(after - before).mean() / (np.abs(before).mean() + 1e-12)
+        assert relative_change > 0.01
+
+    def test_original_model_untouched(self, trained_model, small_dataset):
+        snapshot = trained_model.state_dict()
+        fine_tune_full_precision(
+            trained_model, small_dataset.train, FineTuneConfig(steps=5, batch_size=4)
+        )
+        for name, value in trained_model.state_dict().items():
+            np.testing.assert_array_equal(value, snapshot[name])
+
+    def test_loss_history_returned(self, trained_model, small_dataset):
+        _, history = fine_tune_full_precision(
+            trained_model, small_dataset.train, FineTuneConfig(steps=7, batch_size=4)
+        )
+        assert len(history["loss"]) == 7
+
+    def test_adapts_to_new_corpus(self, trained_model, small_dataset):
+        """Fine-tuning on Alpaca-sim should reduce the loss on Alpaca-sim."""
+        alpaca = build_alpaca_sim(small_dataset.vocabulary, num_pairs=60).as_corpus()
+        eval_windows = alpaca.as_matrix(17, 12)
+        loss_before = trained_model.loss(eval_windows)
+        tuned, _ = fine_tune_full_precision(
+            trained_model, alpaca, FineTuneConfig(steps=40, batch_size=6, sequence_length=17)
+        )
+        loss_after = tuned.loss(eval_windows)
+        assert loss_after < loss_before

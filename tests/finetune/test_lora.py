@@ -1,0 +1,61 @@
+"""Tests for the LoRA adapters on quantized models."""
+
+import numpy as np
+import pytest
+
+from repro.finetune.lora import LoRAAdapter, LoRAConfig, LoRAFineTuner
+from repro.utils.rng import new_rng
+
+
+class TestLoRAAdapter:
+    def test_initial_delta_is_zero(self):
+        adapter = LoRAAdapter("probe", 8, 6, rank=2, alpha=4.0, rng=new_rng(0))
+        np.testing.assert_allclose(adapter.delta_weight(), np.zeros((8, 6)))
+
+    def test_scaling(self):
+        adapter = LoRAAdapter("probe", 4, 4, rank=2, alpha=8.0, rng=new_rng(0))
+        assert adapter.scaling == 4.0
+
+    def test_delta_rank_bounded(self):
+        adapter = LoRAAdapter("probe", 8, 6, rank=2, alpha=4.0, rng=new_rng(0))
+        adapter.b.value[...] = new_rng(1).normal(size=adapter.b.value.shape)
+        assert np.linalg.matrix_rank(adapter.delta_weight()) <= 2
+
+    def test_gradient_projection_shapes(self):
+        adapter = LoRAAdapter("probe", 8, 6, rank=2, alpha=4.0, rng=new_rng(0))
+        adapter.accumulate_gradient_from_weight_grad(np.ones((8, 6)))
+        assert adapter.a.grad.shape == (2, 6)
+        assert adapter.b.grad.shape == (8, 2)
+
+    def test_rank_validated(self):
+        with pytest.raises(ValueError):
+            LoRAAdapter("probe", 8, 6, rank=0, alpha=4.0, rng=new_rng(0))
+
+
+class TestLoRAFineTuner:
+    def test_adapters_created_for_every_layer(self, quantized_awq4):
+        tuner = LoRAFineTuner(quantized_awq4, LoRAConfig(steps=1))
+        assert set(tuner.adapters) == set(quantized_awq4.layer_names())
+
+    def test_quantized_weights_frozen(self, quantized_awq4, small_dataset):
+        reference = quantized_awq4.clone()
+        tuner = LoRAFineTuner(quantized_awq4, LoRAConfig(steps=4, batch_size=4, rank=2))
+        tuner.fine_tune(small_dataset.train)
+        assert tuner.quantized_weights_unchanged(reference)
+
+    def test_adapters_learn(self, quantized_awq4, small_dataset):
+        tuner = LoRAFineTuner(quantized_awq4, LoRAConfig(steps=15, batch_size=4, rank=2))
+        history = tuner.fine_tune(small_dataset.train)
+        # Adapter matrices must have moved away from the zero initialisation.
+        moved = any(np.abs(adapter.b.value).sum() > 0 for adapter in tuner.adapters.values())
+        assert moved
+        assert len(history["loss"]) == 15
+
+    def test_materialize_includes_adapter_delta(self, quantized_awq4):
+        tuner = LoRAFineTuner(quantized_awq4, LoRAConfig(steps=1, rank=2))
+        name = quantized_awq4.layer_names()[0]
+        adapter = tuner.adapters[name]
+        adapter.b.value[...] = 0.1
+        model = tuner.materialize()
+        expected = quantized_awq4.get_layer(name).effective_weight() + adapter.delta_weight()
+        np.testing.assert_allclose(model.get_linear(name).weight.value, expected)

@@ -1,0 +1,54 @@
+"""Tests for ModelConfig validation and derived quantities."""
+
+import pytest
+
+from repro.models.config import ModelConfig
+
+from tests.conftest import make_tiny_config, make_tiny_llama_config
+
+
+class TestValidation:
+    def test_heads_must_divide_width(self):
+        with pytest.raises(ValueError):
+            make_tiny_config(d_model=30, n_heads=4)
+
+    def test_vocab_minimum(self):
+        with pytest.raises(ValueError):
+            make_tiny_config(vocab_size=4)
+
+    def test_layers_minimum(self):
+        with pytest.raises(ValueError):
+            make_tiny_config(n_layers=0)
+
+    def test_outlier_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            make_tiny_config(outlier_channel_fraction=1.5)
+
+    def test_max_seq_len_minimum(self):
+        with pytest.raises(ValueError):
+            make_tiny_config(max_seq_len=1)
+
+
+class TestDerived:
+    def test_head_dim(self):
+        config = make_tiny_config(d_model=32, n_heads=4)
+        assert config.head_dim == 8
+
+    def test_num_linear_layers(self):
+        config = make_tiny_config(n_layers=3)
+        assert config.num_linear_layers == 18
+
+    def test_num_parameters_positive_and_monotone(self):
+        small = make_tiny_config(d_model=32, n_layers=2, n_heads=2)
+        large = make_tiny_config(d_model=64, n_layers=4, n_heads=4, d_ff=128)
+        assert 0 < small.num_parameters() < large.num_parameters()
+
+    def test_llama_config_has_no_positional_parameters(self):
+        opt = make_tiny_config()
+        llama = make_tiny_llama_config(d_ff=opt.d_ff)
+        # Same dims except the positional table and the norm parameter count.
+        assert llama.num_parameters() < opt.num_parameters()
+
+    def test_describe_mentions_name(self):
+        config = make_tiny_config(name="describe-me")
+        assert "describe-me" in config.describe()

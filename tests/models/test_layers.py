@@ -1,0 +1,272 @@
+"""Tests for the neural-network layers, including numerical gradient checks.
+
+Every layer's analytic backward pass is validated against central finite
+differences on a small input — the single most important correctness property
+of the hand-written substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.layers import (
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    MultiHeadAttention,
+    RMSNorm,
+    TransformerBlock,
+    cross_entropy,
+    cross_entropy_backward,
+    softmax,
+)
+from repro.models.parameters import Parameter
+
+
+def numerical_gradient(f, x, eps=1e-5):
+    """Central finite-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = x[index]
+        x[index] = original + eps
+        up = f()
+        x[index] = original - eps
+        down = f()
+        x[index] = original
+        grad[index] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_input_gradient(layer_forward, layer_backward, x, tolerance=1e-5):
+    """Verify d(sum of outputs)/dx against finite differences."""
+    y, cache = layer_forward(x)
+    dx = layer_backward(np.ones_like(y), cache)
+    numeric = numerical_gradient(lambda: layer_forward(x)[0].sum(), x)
+    np.testing.assert_allclose(dx, numeric, atol=tolerance, rtol=1e-4)
+
+
+def check_parameter_gradient(module, parameter: Parameter, forward, tolerance=1e-5):
+    """Verify an accumulated parameter gradient against finite differences."""
+    module.zero_grad()
+    y, cache = forward()
+    module_backward = getattr(module, "backward")
+    module_backward(np.ones_like(y), cache)
+    analytic = parameter.grad.copy()
+    numeric = numerical_gradient(lambda: forward()[0].sum(), parameter.value)
+    np.testing.assert_allclose(analytic, numeric, atol=tolerance, rtol=1e-4)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSoftmaxAndCrossEntropy:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7))
+        np.testing.assert_allclose(softmax(x).sum(axis=-1), np.ones(4))
+
+    def test_softmax_stability_with_large_values(self):
+        x = np.array([[1e4, 1e4 + 1.0]])
+        probs = softmax(x)
+        assert np.all(np.isfinite(probs))
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(5, 6))
+        targets = rng.integers(0, 6, size=5)
+        loss, probs = cross_entropy(logits, targets)
+        manual = -np.mean(np.log(probs[np.arange(5), targets]))
+        assert np.isclose(loss, manual)
+
+    def test_cross_entropy_backward_is_gradient(self, rng):
+        logits = rng.normal(size=(3, 5))
+        targets = rng.integers(0, 5, size=3)
+
+        def loss_fn():
+            return cross_entropy(logits, targets)[0]
+
+        _, probs = cross_entropy(logits, targets)
+        analytic = cross_entropy_backward(probs, targets)
+        numeric = numerical_gradient(loss_fn, logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_cross_entropy_input_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 6, rng)
+        y, _ = layer.forward(rng.normal(size=(2, 3, 4)))
+        assert y.shape == (2, 3, 6)
+
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+        y, _ = layer.forward(x)
+        np.testing.assert_allclose(y, x @ layer.weight.value.T + layer.bias.value)
+
+    def test_input_gradient(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        check_input_gradient(layer.forward, layer.backward, x)
+
+    def test_weight_gradient(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        check_parameter_gradient(layer, layer.weight, lambda: layer.forward(x))
+
+    def test_bias_gradient(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        check_parameter_gradient(layer, layer.bias, lambda: layer.forward(x))
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        y, _ = layer.forward(rng.normal(size=(1, 4)))
+        assert y.shape == (1, 3)
+
+    def test_capture_records_input(self, rng):
+        class _Capture:
+            def __init__(self):
+                self.calls = []
+
+            def update(self, name, x):
+                self.calls.append((name, x.shape))
+
+        layer = Linear(4, 3, rng)
+        layer.full_name = "probe"
+        capture = _Capture()
+        layer.forward(rng.normal(size=(2, 4)), capture)
+        assert capture.calls == [("probe", (2, 4))]
+
+
+class TestEmbedding:
+    def test_forward_gathers_rows(self, rng):
+        embed = Embedding(10, 4, rng)
+        ids = np.array([[1, 2], [3, 1]])
+        y, _ = embed.forward(ids)
+        np.testing.assert_allclose(y[0, 0], embed.weight.value[1])
+        assert y.shape == (2, 2, 4)
+
+    def test_backward_scatter_adds(self, rng):
+        embed = Embedding(10, 4, rng)
+        ids = np.array([[1, 1]])
+        _, cache = embed.forward(ids)
+        embed.zero_grad()
+        embed.backward(np.ones((1, 2, 4)), cache)
+        # Token 1 appears twice, so its gradient row accumulates twice.
+        np.testing.assert_allclose(embed.weight.grad[1], 2 * np.ones(4))
+        np.testing.assert_allclose(embed.weight.grad[0], np.zeros(4))
+
+
+class TestNorms:
+    @pytest.mark.parametrize("norm_cls", [LayerNorm, RMSNorm])
+    def test_output_shape(self, norm_cls, rng):
+        norm = norm_cls(6)
+        x = rng.normal(size=(2, 3, 6))
+        y, _ = norm.forward(x)
+        assert y.shape == x.shape
+
+    def test_layernorm_normalises(self, rng):
+        norm = LayerNorm(8)
+        x = rng.normal(size=(4, 8)) * 3 + 1
+        y, _ = norm.forward(x)
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=1e-2)
+
+    @pytest.mark.parametrize("norm_cls", [LayerNorm, RMSNorm])
+    def test_input_gradient(self, norm_cls, rng):
+        norm = norm_cls(5)
+        # Give gamma a non-trivial value so the gradient exercises it.
+        norm.gamma.value[:] = rng.normal(size=5) + 1.5
+        x = rng.normal(size=(3, 5))
+        check_input_gradient(norm.forward, norm.backward, x, tolerance=1e-4)
+
+    @pytest.mark.parametrize("norm_cls", [LayerNorm, RMSNorm])
+    def test_gamma_gradient(self, norm_cls, rng):
+        norm = norm_cls(5)
+        x = rng.normal(size=(3, 5))
+        check_parameter_gradient(norm, norm.gamma, lambda: norm.forward(x), tolerance=1e-4)
+
+    def test_outlier_channels_amplify_gain(self):
+        norm = LayerNorm(8, outlier_channels=np.array([2, 5]), outlier_gain=4.0)
+        assert norm.gamma.value[2] == 4.0
+        assert norm.gamma.value[0] == 1.0
+
+
+class TestAttention:
+    def test_forward_shape(self, rng):
+        attn = MultiHeadAttention(8, 2, rng)
+        y, _ = attn.forward(rng.normal(size=(2, 5, 8)))
+        assert y.shape == (2, 5, 8)
+
+    def test_causality(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        attn = MultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(1, 6, 8))
+        y1, _ = attn.forward(x)
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        y2, _ = attn.forward(x2)
+        np.testing.assert_allclose(y1[0, :5], y2[0, :5], atol=1e-10)
+
+    def test_input_gradient(self, rng):
+        attn = MultiHeadAttention(4, 2, rng)
+        x = rng.normal(size=(1, 3, 4))
+        check_input_gradient(attn.forward, attn.backward, x, tolerance=1e-4)
+
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(6, 4, rng)
+
+
+class TestFeedForward:
+    @pytest.mark.parametrize("activation", ["relu", "silu", "gelu"])
+    def test_forward_shape(self, activation, rng):
+        mlp = FeedForward(6, 12, rng, activation=activation)
+        y, _ = mlp.forward(rng.normal(size=(2, 4, 6)))
+        assert y.shape == (2, 4, 6)
+
+    @pytest.mark.parametrize("activation", ["relu", "silu", "gelu"])
+    def test_input_gradient(self, activation, rng):
+        mlp = FeedForward(4, 7, rng, activation=activation)
+        # Shift inputs away from the ReLU kink to keep finite differences valid.
+        x = rng.normal(size=(2, 4)) + 0.05
+        check_input_gradient(mlp.forward, mlp.backward, x, tolerance=1e-4)
+
+    def test_unknown_activation_rejected(self, rng):
+        mlp = FeedForward(4, 7, rng, activation="tanhish")
+        with pytest.raises(ValueError):
+            mlp.forward(rng.normal(size=(1, 4)))
+
+
+class TestTransformerBlock:
+    @pytest.mark.parametrize("norm_type,activation", [("layernorm", "relu"), ("rmsnorm", "silu")])
+    def test_forward_shape(self, norm_type, activation, rng):
+        block = TransformerBlock(8, 2, 16, rng, norm_type=norm_type, activation=activation)
+        y, _ = block.forward(rng.normal(size=(2, 5, 8)))
+        assert y.shape == (2, 5, 8)
+
+    def test_input_gradient(self, rng):
+        block = TransformerBlock(4, 2, 8, rng)
+        x = rng.normal(size=(1, 3, 4))
+        check_input_gradient(block.forward, block.backward, x, tolerance=1e-4)
+
+    def test_residual_path_present(self, rng):
+        """With zeroed projections the block must reduce to the identity."""
+        block = TransformerBlock(4, 2, 8, rng)
+        block.attn.o_proj.weight.value[...] = 0.0
+        block.attn.o_proj.bias.value[...] = 0.0
+        block.mlp.fc_out.weight.value[...] = 0.0
+        block.mlp.fc_out.bias.value[...] = 0.0
+        x = rng.normal(size=(1, 3, 4))
+        y, _ = block.forward(x)
+        np.testing.assert_allclose(y, x, atol=1e-12)

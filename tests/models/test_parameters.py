@@ -1,0 +1,101 @@
+"""Tests for the Parameter / ParameterModule containers."""
+
+import numpy as np
+import pytest
+
+from repro.models.parameters import Parameter, ParameterModule
+
+
+class _Leaf(ParameterModule):
+    def __init__(self):
+        self.weight = Parameter(np.ones((2, 3)))
+        self.bias = Parameter(np.zeros(2))
+
+
+class _Tree(ParameterModule):
+    def __init__(self):
+        self.leaf = _Leaf()
+        self.items = [_Leaf(), _Leaf()]
+        self.scalar = Parameter(np.array([1.0]))
+
+
+class TestParameter:
+    def test_value_stored_as_float64(self):
+        parameter = Parameter(np.ones(3, dtype=np.float32))
+        assert parameter.value.dtype == np.float64
+
+    def test_grad_initialised_to_zero(self):
+        parameter = Parameter(np.ones((2, 2)))
+        assert np.all(parameter.grad == 0)
+
+    def test_accumulate_grad(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.accumulate_grad(np.ones(3))
+        parameter.accumulate_grad(np.ones(3))
+        np.testing.assert_array_equal(parameter.grad, 2 * np.ones(3))
+
+    def test_accumulate_grad_shape_check(self):
+        parameter = Parameter(np.zeros(3))
+        with pytest.raises(ValueError):
+            parameter.accumulate_grad(np.zeros(4))
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.accumulate_grad(np.ones(3))
+        parameter.zero_grad()
+        assert np.all(parameter.grad == 0)
+
+    def test_copy_is_independent(self):
+        parameter = Parameter(np.ones(3))
+        clone = parameter.copy()
+        clone.value[0] = 99
+        assert parameter.value[0] == 1.0
+
+    def test_size_and_shape(self):
+        parameter = Parameter(np.zeros((4, 5)))
+        assert parameter.size == 20
+        assert parameter.shape == (4, 5)
+
+
+class TestParameterModule:
+    def test_named_parameters_cover_tree(self):
+        tree = _Tree()
+        names = dict(tree.named_parameters())
+        assert "leaf.weight" in names
+        assert "items.0.bias" in names
+        assert "items.1.weight" in names
+        assert "scalar" in names
+
+    def test_num_parameters(self):
+        leaf = _Leaf()
+        assert leaf.num_parameters() == 2 * 3 + 2
+
+    def test_zero_grad_resets_all(self):
+        tree = _Tree()
+        for parameter in tree.parameters():
+            parameter.accumulate_grad(np.ones_like(parameter.value))
+        tree.zero_grad()
+        assert all(np.all(p.grad == 0) for p in tree.parameters())
+
+    def test_state_dict_round_trip(self):
+        tree = _Tree()
+        state = tree.state_dict()
+        other = _Tree()
+        for parameter in other.parameters():
+            parameter.value[...] = 7.0
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other.leaf.weight.value, tree.leaf.weight.value)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        tree = _Tree()
+        state = tree.state_dict()
+        state.pop("scalar")
+        with pytest.raises(KeyError):
+            tree.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        tree = _Tree()
+        state = tree.state_dict()
+        state["scalar"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            tree.load_state_dict(state)

@@ -1,0 +1,80 @@
+"""Tests for the model registry (structure only; no default-profile training)."""
+
+import pytest
+
+from repro.models.registry import (
+    LLAMA2_FAMILY,
+    MODEL_REGISTRY,
+    OPT_FAMILY,
+    TRAINING_PROFILES,
+    get_model_config,
+    get_pretrained_model,
+    get_pretrained_model_and_data,
+    list_model_names,
+)
+
+
+class TestRegistryStructure:
+    def test_all_paper_models_present(self):
+        expected = {
+            "opt-125m-sim", "opt-1.3b-sim", "opt-2.7b-sim", "opt-6.7b-sim",
+            "opt-13b-sim", "opt-30b-sim",
+            "llama2-7b-sim", "llama2-13b-sim", "llama2-70b-sim",
+        }
+        assert expected == set(MODEL_REGISTRY)
+
+    def test_families(self):
+        assert len(OPT_FAMILY) == 6
+        assert len(LLAMA2_FAMILY) == 3
+
+    def test_family_architectures(self):
+        for name in OPT_FAMILY:
+            config = MODEL_REGISTRY[name]
+            assert config.norm_type == "layernorm"
+            assert config.activation == "relu"
+        for name in LLAMA2_FAMILY:
+            config = MODEL_REGISTRY[name]
+            assert config.norm_type == "rmsnorm"
+            assert config.activation == "silu"
+
+    def test_capacity_grows_with_virtual_size(self):
+        small = MODEL_REGISTRY["opt-125m-sim"].num_parameters()
+        large = MODEL_REGISTRY["opt-30b-sim"].num_parameters()
+        assert large > small
+
+    def test_list_model_names_filtering(self):
+        assert set(list_model_names("opt")) == set(OPT_FAMILY)
+        assert set(list_model_names()) == set(MODEL_REGISTRY)
+
+    def test_get_model_config_unknown(self):
+        with pytest.raises(KeyError):
+            get_model_config("opt-175b-sim")
+
+    def test_profiles_exist(self):
+        assert "default" in TRAINING_PROFILES
+        assert "smoke" in TRAINING_PROFILES
+        assert TRAINING_PROFILES["smoke"].steps < TRAINING_PROFILES["default"].steps
+
+
+class TestPretrainedCache:
+    def test_smoke_profile_trains_and_caches(self):
+        model_a, data = get_pretrained_model_and_data("opt-125m-sim", profile="smoke")
+        model_b = get_pretrained_model("opt-125m-sim", profile="smoke")
+        # Clones of the same cached instance: equal weights, distinct objects.
+        assert model_a is not model_b
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            model_a.lm_head.weight.value, model_b.lm_head.weight.value
+        )
+        assert data.vocabulary.size == model_a.config.vocab_size
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_pretrained_model("opt-125m-sim", profile="turbo")
+
+    def test_clones_are_safe_to_mutate(self):
+        model_a = get_pretrained_model("opt-125m-sim", profile="smoke")
+        model_a.lm_head.weight.value[...] = 0.0
+        model_b = get_pretrained_model("opt-125m-sim", profile="smoke")
+        assert model_b.lm_head.weight.value.any()

@@ -1,0 +1,105 @@
+"""Tests for the Adam optimizer and the LM training loop."""
+
+import numpy as np
+import pytest
+
+from repro.models.parameters import Parameter
+from repro.models.training import AdamOptimizer, TrainingConfig, sample_batch, train_language_model
+from repro.models.transformer import TransformerLM
+
+from tests.conftest import make_tiny_config
+
+
+class TestAdamOptimizer:
+    def test_minimises_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        optimizer = AdamOptimizer([parameter], learning_rate=0.1, max_grad_norm=None)
+        for _ in range(300):
+            optimizer.zero_grad()
+            parameter.accumulate_grad(2 * parameter.value)
+            optimizer.step()
+        assert np.all(np.abs(parameter.value) < 1e-2)
+
+    def test_gradient_clipping(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = AdamOptimizer([parameter], max_grad_norm=1.0)
+        parameter.accumulate_grad(np.full(4, 100.0))
+        norm = optimizer.step()
+        assert norm > 1.0
+        assert np.linalg.norm(parameter.grad) <= 1.0 + 1e-9
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([10.0]))
+        optimizer = AdamOptimizer([parameter], learning_rate=0.5, weight_decay=0.1,
+                                  max_grad_norm=None)
+        for _ in range(50):
+            optimizer.zero_grad()
+            optimizer.step()
+        assert abs(parameter.value[0]) < 10.0
+
+    def test_learning_rate_override(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = AdamOptimizer([parameter], learning_rate=0.0)
+        parameter.accumulate_grad(np.array([1.0]))
+        optimizer.step(learning_rate=0.1)
+        assert parameter.value[0] != 1.0
+
+
+class TestSampleBatch:
+    def test_shape(self, small_dataset, rng):
+        batch = sample_batch(small_dataset.train, 4, 16, rng)
+        assert batch.shape == (4, 16)
+
+    def test_contents_are_contiguous_slices(self, small_dataset, rng):
+        batch = sample_batch(small_dataset.train, 2, 8, rng)
+        tokens = small_dataset.train.tokens
+        for row in batch:
+            starts = np.flatnonzero(tokens == row[0])
+            assert any(np.array_equal(tokens[s : s + 8], row) for s in starts)
+
+    def test_rejects_too_long_sequences(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            sample_batch(small_dataset.train, 1, len(small_dataset.train) + 1, rng)
+
+
+class TestTrainLanguageModel:
+    def test_loss_decreases(self, small_dataset):
+        model = TransformerLM(make_tiny_config(name="train-test"), seed=2)
+        history = train_language_model(
+            model,
+            small_dataset.train,
+            TrainingConfig(steps=60, batch_size=8, sequence_length=17, learning_rate=1e-2, seed=1),
+        )
+        first = np.mean(history["loss"][:5])
+        last = np.mean(history["loss"][-5:])
+        assert last < first - 0.3
+
+    def test_history_lengths(self, small_dataset):
+        model = TransformerLM(make_tiny_config(name="train-hist"), seed=2)
+        history = train_language_model(
+            model, small_dataset.train, TrainingConfig(steps=10, batch_size=4, sequence_length=9)
+        )
+        assert len(history["loss"]) == 10
+        assert len(history["grad_norm"]) == 10
+
+    def test_callback_invoked(self, small_dataset):
+        model = TransformerLM(make_tiny_config(name="train-cb"), seed=2)
+        seen = []
+        train_language_model(
+            model,
+            small_dataset.train,
+            TrainingConfig(steps=5, batch_size=4, sequence_length=9),
+            callback=lambda step, loss: seen.append(step),
+        )
+        assert seen == list(range(5))
+
+    def test_training_is_deterministic(self, small_dataset):
+        config = TrainingConfig(steps=15, batch_size=4, sequence_length=9, seed=3)
+        model_a = TransformerLM(make_tiny_config(name="det"), seed=4)
+        model_b = TransformerLM(make_tiny_config(name="det"), seed=4)
+        hist_a = train_language_model(model_a, small_dataset.train, config)
+        hist_b = train_language_model(model_b, small_dataset.train, config)
+        np.testing.assert_allclose(hist_a["loss"], hist_b["loss"])
+        np.testing.assert_allclose(
+            model_a.lm_head.weight.value, model_b.lm_head.weight.value
+        )

@@ -1,0 +1,200 @@
+"""Tests for the quantization data structures."""
+
+import numpy as np
+import pytest
+
+from repro.quant.base import (
+    QuantizationGrid,
+    QuantizedLinear,
+    dequantize_tensor,
+    quantize_tensor,
+)
+
+
+class TestQuantizationGrid:
+    def test_int8_range(self):
+        grid = QuantizationGrid(8)
+        assert grid.qmax == 127
+        assert grid.qmin == -127
+        assert grid.num_levels == 255
+
+    def test_int4_range(self):
+        grid = QuantizationGrid(4)
+        assert grid.qmax == 7
+        assert grid.qmin == -7
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationGrid(1)
+        with pytest.raises(ValueError):
+            QuantizationGrid(20)
+
+    def test_clip(self):
+        grid = QuantizationGrid(4)
+        np.testing.assert_array_equal(grid.clip(np.array([-100, 0, 100])), [-7, 0, 7])
+
+    def test_step_size_matches_equation_1(self):
+        grid = QuantizationGrid(4)
+        assert grid.step_size(np.array([7.0]))[0] == pytest.approx(1.0)
+        assert grid.step_size(np.array([14.0]))[0] == pytest.approx(2.0)
+
+    def test_step_size_zero_guard(self):
+        grid = QuantizationGrid(4)
+        assert grid.step_size(np.array([0.0]))[0] == 1.0
+
+
+class TestQuantizeTensor:
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        weight = rng.normal(size=(8, 16))
+        weight_int, scale = quantize_tensor(weight, QuantizationGrid(8))
+        restored = dequantize_tensor(weight_int, scale)
+        assert np.max(np.abs(restored - weight)) <= 0.5 * scale.max() + 1e-12
+
+    def test_values_within_grid(self, rng):
+        weight = rng.normal(size=(4, 8)) * 10
+        weight_int, _ = quantize_tensor(weight, QuantizationGrid(4))
+        assert weight_int.max() <= 7 and weight_int.min() >= -7
+
+    def test_per_channel_uses_row_maxima(self, rng):
+        weight = np.array([[1.0, 0.5], [100.0, 50.0]])
+        _, scale = quantize_tensor(weight, QuantizationGrid(4), per_channel=True)
+        assert scale[1, 0] == pytest.approx(100.0 / 7)
+        assert scale[0, 0] == pytest.approx(1.0 / 7)
+
+    def test_per_tensor_single_scale(self, rng):
+        weight = rng.normal(size=(4, 8))
+        _, scale = quantize_tensor(weight, QuantizationGrid(4), per_channel=False)
+        assert np.allclose(scale, scale[0, 0])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.zeros(5), QuantizationGrid(4))
+
+    def test_int4_error_larger_than_int8(self, rng):
+        weight = rng.normal(size=(16, 32))
+        for_bits = {}
+        for bits in (4, 8):
+            weight_int, scale = quantize_tensor(weight, QuantizationGrid(bits))
+            for_bits[bits] = np.abs(dequantize_tensor(weight_int, scale) - weight).mean()
+        assert for_bits[4] > for_bits[8]
+
+
+def _make_layer(weight_int, bits=4, **kwargs):
+    weight_int = np.asarray(weight_int)
+    return QuantizedLinear(
+        name="probe",
+        weight_int=weight_int,
+        scale=np.ones((weight_int.shape[0], 1)),
+        grid=QuantizationGrid(bits),
+        **kwargs,
+    )
+
+
+class TestQuantizedLinear:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedLinear(
+                name="x",
+                weight_int=np.zeros((2, 2), dtype=int),
+                scale=np.ones((3, 1)),
+                grid=QuantizationGrid(4),
+            )
+
+    def test_grid_range_validated(self):
+        with pytest.raises(ValueError):
+            _make_layer([[100, 0], [0, 0]], bits=4)
+
+    def test_saturated_mask(self):
+        layer = _make_layer([[7, 3], [-7, 0]])
+        np.testing.assert_array_equal(layer.saturated_mask(), [[True, False], [True, False]])
+
+    def test_quantized_mask_excludes_outliers(self):
+        layer = _make_layer(
+            [[0, 3], [0, 1]],
+            outlier_columns=np.array([0]),
+            outlier_weight=np.array([[1.5], [2.5]]),
+        )
+        np.testing.assert_array_equal(layer.quantized_mask(), [[False, True], [False, True]])
+
+    def test_effective_weight_undoes_smoothing(self):
+        layer = _make_layer([[2, 4]], input_smoothing=np.array([2.0, 4.0]))
+        np.testing.assert_allclose(layer.effective_weight(), [[1.0, 1.0]])
+
+    def test_effective_weight_restores_outliers(self):
+        layer = _make_layer(
+            [[0, 3]], outlier_columns=np.array([0]), outlier_weight=np.array([[9.9]])
+        )
+        np.testing.assert_allclose(layer.effective_weight(), [[9.9, 3.0]])
+
+    def test_add_to_weights_clips_at_grid(self):
+        layer = _make_layer([[7, 0]])
+        layer.add_to_weights(np.array([0, 1]), np.array([1, -1]))
+        np.testing.assert_array_equal(layer.weight_int, [[7, -1]])
+
+    def test_add_to_weights_shape_check(self):
+        layer = _make_layer([[0, 0]])
+        with pytest.raises(ValueError):
+            layer.add_to_weights(np.array([0]), np.array([1, 1]))
+
+    def test_copy_is_deep(self):
+        layer = _make_layer([[1, 2]])
+        clone = layer.copy()
+        clone.weight_int[0, 0] = 5
+        assert layer.weight_int[0, 0] == 1
+
+    def test_outlier_fields_must_be_paired(self):
+        with pytest.raises(ValueError):
+            _make_layer([[0, 0]], outlier_columns=np.array([0]))
+
+
+class TestQuantizedModel:
+    def test_materialize_matches_effective_weights(self, quantized_awq4, trained_model):
+        materialized = quantized_awq4.materialize()
+        name = quantized_awq4.layer_names()[0]
+        np.testing.assert_allclose(
+            materialized.get_linear(name).weight.value,
+            quantized_awq4.get_layer(name).effective_weight(),
+        )
+
+    def test_materialize_preserves_unquantized_state(self, quantized_awq4, trained_model):
+        materialized = quantized_awq4.materialize()
+        np.testing.assert_allclose(
+            materialized.lm_head.weight.value, trained_model.lm_head.weight.value
+        )
+        np.testing.assert_allclose(
+            materialized.token_embedding.weight.value,
+            trained_model.token_embedding.weight.value,
+        )
+
+    def test_clone_independent(self, quantized_awq4):
+        clone = quantized_awq4.clone()
+        name = clone.layer_names()[0]
+        clone.get_layer(name).weight_int[0, 0] += 1
+        assert not np.array_equal(
+            clone.get_layer(name).weight_int, quantized_awq4.get_layer(name).weight_int
+        )
+
+    def test_integer_weight_snapshot_is_copy(self, quantized_awq4):
+        snapshot = quantized_awq4.integer_weight_snapshot()
+        name = quantized_awq4.layer_names()[0]
+        snapshot[name][0, 0] += 5
+        assert not np.array_equal(snapshot[name], quantized_awq4.get_layer(name).weight_int)
+
+    def test_weight_difference(self, quantized_awq4):
+        clone = quantized_awq4.clone()
+        name = clone.layer_names()[0]
+        clone.get_layer(name).weight_int[0, 0] += 1
+        diff = clone.weight_difference(quantized_awq4)
+        assert diff[name][0, 0] == 1
+        assert np.sum(np.abs(diff[name])) == 1
+
+    def test_get_layer_unknown(self, quantized_awq4):
+        with pytest.raises(KeyError):
+            quantized_awq4.get_layer("blocks.42.attn.q_proj")
+
+    def test_layer_count_matches_model(self, quantized_awq4, trained_model):
+        assert quantized_awq4.num_quantization_layers == trained_model.num_quantization_layers
+
+    def test_total_quantized_weights(self, quantized_awq4):
+        expected = sum(layer.num_weights for layer in quantized_awq4.iter_layers())
+        assert quantized_awq4.total_quantized_weights() == expected

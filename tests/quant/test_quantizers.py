@@ -1,0 +1,225 @@
+"""Tests for the individual post-training quantization algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.eval.perplexity import compute_perplexity
+from repro.quant.api import QUANTIZER_REGISTRY, get_quantizer, paper_quantizer_for, quantize_model
+from repro.quant.awq import AWQQuantizer
+from repro.quant.gptq import GPTQQuantizer
+from repro.quant.llm_int8 import LLMInt8Quantizer
+from repro.quant.rtn import RTNQuantizer
+from repro.quant.smoothquant import SmoothQuantQuantizer
+
+
+class TestRegistryAndAPI:
+    def test_registry_contents(self):
+        assert set(QUANTIZER_REGISTRY) == {"rtn", "smoothquant", "llm_int8", "awq", "gptq"}
+
+    def test_default_bit_widths(self):
+        assert get_quantizer("smoothquant").bits == 8
+        assert get_quantizer("llm_int8").bits == 8
+        assert get_quantizer("awq").bits == 4
+        assert get_quantizer("gptq").bits == 4
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            get_quantizer("nf4")
+
+    def test_paper_pairing(self):
+        assert paper_quantizer_for("opt", 8).method_name == "smoothquant"
+        assert paper_quantizer_for("llama2", 8).method_name == "llm_int8"
+        assert paper_quantizer_for("opt", 4).method_name == "awq"
+        with pytest.raises(ValueError):
+            paper_quantizer_for("opt", 2)
+
+    def test_quantize_model_requires_calibration_for_awq(self, trained_model):
+        with pytest.raises(ValueError):
+            quantize_model(trained_model, "awq")
+
+    def test_quantize_model_accepts_corpus(self, trained_model, small_dataset):
+        quantized = quantize_model(
+            trained_model, "awq", calibration_corpus=small_dataset.calibration
+        )
+        assert quantized.method == "awq"
+
+
+class TestCommonQuantizerBehaviour:
+    @pytest.mark.parametrize("method,bits", [
+        ("rtn", 8), ("rtn", 4), ("smoothquant", 8), ("llm_int8", 8), ("awq", 4), ("gptq", 4),
+    ])
+    def test_covers_all_layers_and_grid(self, trained_model, activation_stats, method, bits):
+        quantized = quantize_model(trained_model, method, bits=bits, activations=activation_stats)
+        assert quantized.layer_names() == trained_model.linear_layer_names()
+        assert quantized.bits == bits
+        for layer in quantized.iter_layers():
+            assert layer.weight_int.max() <= layer.grid.qmax
+            assert layer.weight_int.min() >= layer.grid.qmin
+
+    @pytest.mark.parametrize("method,bits", [
+        ("rtn", 8), ("smoothquant", 8), ("llm_int8", 8), ("awq", 4),
+    ])
+    def test_materialized_weights_close_to_original(
+        self, trained_model, activation_stats, method, bits
+    ):
+        # GPTQ is deliberately excluded: its error compensation minimises the
+        # *output* error and may move individual weights by more than half a
+        # step (the Gram-weighted test below covers it instead).
+        quantized = quantize_model(trained_model, method, bits=bits, activations=activation_stats)
+        materialized = quantized.materialize()
+        for name, linear in trained_model.named_linear_layers():
+            original = linear.weight.value
+            restored = materialized.get_linear(name).weight.value
+            scale = np.abs(original).max() + 1e-12
+            relative_error = np.abs(restored - original).max() / scale
+            # INT8 round-trips should be tight; INT4 coarser but bounded.
+            assert relative_error < (0.02 if bits == 8 else 0.2)
+
+    def test_lm_head_not_quantized(self, trained_model, activation_stats):
+        quantized = quantize_model(trained_model, "rtn", bits=4)
+        assert "lm_head" not in quantized.layers
+        np.testing.assert_allclose(
+            quantized.full_precision_state["lm_head.weight"],
+            trained_model.lm_head.weight.value,
+        )
+
+    def test_activation_aware_methods_require_stats(self, trained_model):
+        for method in ("smoothquant", "llm_int8", "awq", "gptq"):
+            quantizer = get_quantizer(method)
+            with pytest.raises(ValueError):
+                quantizer.quantize(trained_model, None)
+
+
+class TestPerplexityOrdering:
+    def test_int8_close_to_full_precision(self, trained_model, quantized_int8, small_dataset):
+        fp = compute_perplexity(trained_model, small_dataset.validation, max_sequences=24)
+        q8 = compute_perplexity(quantized_int8, small_dataset.validation, max_sequences=24)
+        assert abs(q8 - fp) / fp < 0.02
+
+    def test_awq_no_worse_than_double_fp(self, trained_model, quantized_awq4, small_dataset):
+        fp = compute_perplexity(trained_model, small_dataset.validation, max_sequences=24)
+        q4 = compute_perplexity(quantized_awq4, small_dataset.validation, max_sequences=24)
+        assert q4 < 2 * fp
+
+    def test_gptq_beats_rtn_on_calibration_objective(self, trained_model, activation_stats):
+        """GPTQ's error compensation must reduce the Gram-weighted output error."""
+        rtn = quantize_model(trained_model, "rtn", bits=4)
+        gptq = quantize_model(trained_model, "gptq", bits=4, activations=activation_stats)
+        rtn_error = 0.0
+        gptq_error = 0.0
+        for name, linear in trained_model.named_linear_layers():
+            gram = activation_stats.gram[name]
+            original = linear.weight.value
+            for candidate, accumulator in ((rtn, "rtn"), (gptq, "gptq")):
+                error = candidate.get_layer(name).effective_weight() - original
+                value = float(np.sum((error @ gram) * error))
+                if accumulator == "rtn":
+                    rtn_error += value
+                else:
+                    gptq_error += value
+        assert gptq_error < rtn_error
+
+
+class TestSmoothQuant:
+    def test_smoothing_factors_stored(self, trained_model, activation_stats):
+        quantized = SmoothQuantQuantizer(bits=8).quantize(trained_model, activation_stats)
+        for layer in quantized.iter_layers():
+            assert layer.input_smoothing is not None
+            assert np.all(layer.input_smoothing > 0)
+
+    def test_migration_strength_validated(self):
+        with pytest.raises(ValueError):
+            SmoothQuantQuantizer(migration_strength=1.5)
+
+    def test_salient_channels_get_larger_factors(self, trained_model, activation_stats):
+        quantized = SmoothQuantQuantizer(bits=8).quantize(trained_model, activation_stats)
+        name = "blocks.0.attn.q_proj"
+        saliency = activation_stats.channel_saliency(name)
+        factors = quantized.get_layer(name).input_smoothing
+        top = np.argsort(saliency)[::-1][:4]
+        bottom = np.argsort(saliency)[:4]
+        assert factors[top].mean() > factors[bottom].mean()
+
+
+class TestLLMInt8:
+    def test_outlier_columns_full_precision(self, trained_model, activation_stats):
+        quantized = LLMInt8Quantizer(bits=8).quantize(trained_model, activation_stats)
+        found_any = False
+        for name, linear in trained_model.named_linear_layers():
+            layer = quantized.get_layer(name)
+            if layer.outlier_columns is None:
+                continue
+            found_any = True
+            np.testing.assert_allclose(
+                layer.outlier_weight, linear.weight.value[:, layer.outlier_columns]
+            )
+            assert np.all(layer.weight_int[:, layer.outlier_columns] == 0)
+        assert found_any, "expected at least one layer with outlier columns"
+
+    def test_outlier_fraction_capped(self, trained_model, activation_stats):
+        quantizer = LLMInt8Quantizer(bits=8, outlier_threshold=0.1, max_outlier_fraction=0.05)
+        quantized = quantizer.quantize(trained_model, activation_stats)
+        for layer in quantized.iter_layers():
+            if layer.outlier_columns is not None:
+                assert layer.outlier_columns.size <= int(0.05 * layer.in_features)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LLMInt8Quantizer(outlier_threshold=-1)
+        with pytest.raises(ValueError):
+            LLMInt8Quantizer(max_outlier_fraction=0.9)
+
+
+class TestAWQ:
+    def test_scaling_factors_positive_and_clamped(self, trained_model, activation_stats):
+        quantizer = AWQQuantizer(bits=4, clip_range=(0.5, 2.0))
+        quantized = quantizer.quantize(trained_model, activation_stats)
+        for layer in quantized.iter_layers():
+            assert layer.input_smoothing is not None
+            assert layer.input_smoothing.min() >= 0.5 - 1e-12
+            assert layer.input_smoothing.max() <= 2.0 + 1e-12
+
+    def test_alpha_grid_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            AWQQuantizer(alpha_grid=())
+
+    def test_awq_not_worse_than_rtn_on_reconstruction(self, trained_model, activation_stats):
+        rtn = RTNQuantizer(bits=4).quantize(trained_model, activation_stats)
+        awq = AWQQuantizer(bits=4).quantize(trained_model, activation_stats)
+        rtn_error = 0.0
+        awq_error = 0.0
+        for name, linear in trained_model.named_linear_layers():
+            gram = activation_stats.gram[name]
+            original = linear.weight.value
+            rtn_delta = rtn.get_layer(name).effective_weight() - original
+            awq_delta = awq.get_layer(name).effective_weight() - original
+            rtn_error += float(np.sum((rtn_delta @ gram) * rtn_delta))
+            awq_error += float(np.sum((awq_delta @ gram) * awq_delta))
+        assert awq_error <= rtn_error * 1.001
+
+
+class TestGPTQ:
+    def test_requires_gram_matrix(self, trained_model, activation_stats):
+        stripped = type(activation_stats)(
+            mean_abs=activation_stats.mean_abs,
+            rms=activation_stats.rms,
+            maximum=activation_stats.maximum,
+            gram={},
+        )
+        with pytest.raises(ValueError):
+            GPTQQuantizer(bits=4).quantize(trained_model, stripped)
+
+    def test_damping_validated(self):
+        with pytest.raises(ValueError):
+            GPTQQuantizer(damping=0.0)
+
+    def test_act_order_toggle_changes_result(self, trained_model, activation_stats):
+        with_order = GPTQQuantizer(bits=4, act_order=True).quantize(trained_model, activation_stats)
+        without = GPTQQuantizer(bits=4, act_order=False).quantize(trained_model, activation_stats)
+        differs = any(
+            not np.array_equal(
+                with_order.get_layer(name).weight_int, without.get_layer(name).weight_int
+            )
+            for name in with_order.layer_names()
+        )
+        assert differs

@@ -1,0 +1,74 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, derive_seed, new_rng, spawn_rngs
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(100, "layer", 3) == derive_seed(100, "layer", 3)
+
+    def test_different_labels_differ(self):
+        assert derive_seed(100, "layer", 3) != derive_seed(100, "layer", 4)
+
+    def test_different_base_seeds_differ(self):
+        assert derive_seed(100, "x") != derive_seed(101, "x")
+
+    def test_no_labels_is_stable(self):
+        assert derive_seed(7) == derive_seed(7)
+
+    def test_result_is_32_bit(self):
+        for seed in (0, 1, 2**40, 123456789):
+            value = derive_seed(seed, "anything")
+            assert 0 <= value < 2**32
+
+    def test_label_types_distinguished(self):
+        # The string "3" and the integer 3 should give different streams.
+        assert derive_seed(5, "3") != derive_seed(5, 3)
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        a = new_rng(42).random(8)
+        b = new_rng(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_labels_create_independent_streams(self):
+        a = new_rng(42, "signature").random(8)
+        b = new_rng(42, "selection").random(8)
+        assert not np.allclose(a, b)
+
+    def test_returns_generator(self):
+        assert isinstance(new_rng(0), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_one_generator_per_label(self):
+        generators = spawn_rngs(9, ["a", "b", "c"])
+        assert len(generators) == 3
+
+    def test_streams_are_reproducible(self):
+        first = [g.random() for g in spawn_rngs(9, ["a", "b"])]
+        second = [g.random() for g in spawn_rngs(9, ["a", "b"])]
+        assert first == second
+
+
+class TestSeedSequenceFactory:
+    def test_seed_for_is_deterministic(self):
+        factory = SeedSequenceFactory(100)
+        assert factory.seed_for("layer", 0) == factory.seed_for("layer", 0)
+
+    def test_distinct_labels(self):
+        factory = SeedSequenceFactory(100)
+        assert factory.seed_for("layer", 0) != factory.seed_for("layer", 1)
+
+    def test_base_seed_property(self):
+        assert SeedSequenceFactory(17).base_seed == 17
+
+    def test_rng_for_matches_seed_for(self):
+        factory = SeedSequenceFactory(5)
+        direct = np.random.default_rng(factory.seed_for("x")).random(4)
+        via_factory = factory.rng_for("x").random(4)
+        np.testing.assert_array_equal(direct, via_factory)

@@ -1,0 +1,51 @@
+"""Tests for JSON / NPZ serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz, to_jsonable
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+
+    def test_arrays_become_lists(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested_mapping(self):
+        out = to_jsonable({"a": {"b": np.array([1.0])}})
+        assert out == {"a": {"b": [1.0]}}
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_none_and_bool_pass_through(self):
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+
+class TestRoundTrips:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "data.json"
+        save_json(path, {"x": np.float64(1.5), "y": [1, 2, 3]})
+        assert load_json(path) == {"x": 1.5, "y": [1, 2, 3]}
+
+    def test_npz_round_trip(self, tmp_path):
+        arrays = {"a": np.arange(6).reshape(2, 3), "b": np.ones(4)}
+        path = tmp_path / "arrays.npz"
+        save_npz(path, arrays)
+        loaded = load_npz(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+        np.testing.assert_array_equal(loaded["b"], arrays["b"])
+
+    def test_npz_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "arrays.npz"
+        save_npz(path, {"a": np.zeros(2)})
+        assert path.exists()

@@ -1,0 +1,51 @@
+"""Tests for the plain-text table renderer."""
+
+import math
+
+import pytest
+
+from repro.utils.tables import Table, format_float, format_percent
+
+
+class TestFormatters:
+    def test_format_float_basic(self):
+        assert format_float(3.14159, 2) == "3.14"
+
+    def test_format_float_none(self):
+        assert format_float(None) == "-"
+
+    def test_format_float_nan(self):
+        assert format_float(math.nan) == "-"
+
+    def test_format_percent(self):
+        assert format_percent(99.5) == "99.50%"
+
+    def test_format_percent_none(self):
+        assert format_percent(None) == "-"
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row([1, 2])
+        rendered = table.render()
+        assert "T" in rendered
+        assert "a" in rendered and "b" in rendered
+        assert "1" in rendered and "2" in rendered
+
+    def test_row_arity_checked(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_str_equals_render(self):
+        table = Table(title="T", columns=["a"])
+        table.add_row(["x"])
+        assert str(table) == table.render()
+
+    def test_column_widths_accommodate_long_cells(self):
+        table = Table(title="T", columns=["a"])
+        table.add_row(["a-very-long-cell-value"])
+        lines = table.render().splitlines()
+        header_line = lines[2]
+        assert len(header_line) >= len("a-very-long-cell-value")
