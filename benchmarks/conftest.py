@@ -1,8 +1,18 @@
 """Pytest fixtures for the benchmark suite (see ``bench_utils`` for helpers)."""
 
+import sys
+from pathlib import Path
+
 import pytest
 
-from bench_utils import bench_profile
+# Under ``--import-mode=importlib`` (the repo-wide pytest configuration) the
+# benchmark directory is not added to ``sys.path`` automatically, so the
+# sibling ``bench_utils`` helper module must be made importable explicitly.
+_BENCH_DIR = str(Path(__file__).resolve().parent)
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)
+
+from bench_utils import bench_profile  # noqa: E402
 
 
 @pytest.fixture(scope="session")

@@ -39,11 +39,19 @@ from repro.core import (
     watermark_strength,
 )
 from repro.core.baselines import RandomWM, SpecMark
+from repro.engine import (
+    EngineConfig,
+    FleetVerificationReport,
+    WatermarkEngine,
+    get_default_engine,
+    insert_batch,
+    verify_fleet,
+)
 from repro.models import TransformerLM, collect_activation_stats, get_pretrained_model
 from repro.quant import QuantizedModel, quantize_model
 from repro.eval import EvaluationHarness
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EmMark",
@@ -54,6 +62,12 @@ __all__ = [
     "extract_watermark",
     "verify_ownership",
     "watermark_strength",
+    "WatermarkEngine",
+    "EngineConfig",
+    "FleetVerificationReport",
+    "get_default_engine",
+    "verify_fleet",
+    "insert_batch",
     "RandomWM",
     "SpecMark",
     "TransformerLM",

@@ -24,13 +24,20 @@ from repro.core.signature import generate_signature, split_signature_per_layer
 from repro.core.scoring import (
     LayerScores,
     combined_score,
+    fused_scores,
     quality_score,
     robustness_score,
     select_candidates,
+    topk_argsort_stable,
 )
 from repro.core.keys import WatermarkKey
-from repro.core.insertion import WatermarkLocation, insert_watermark
-from repro.core.extraction import ExtractionResult, extract_watermark, verify_ownership
+from repro.core.insertion import InsertionReport, WatermarkLocation, insert_watermark
+from repro.core.extraction import (
+    ExtractionResult,
+    extract_watermark,
+    reproduce_locations,
+    verify_ownership,
+)
 from repro.core.strength import false_claim_probability, watermark_strength
 from repro.core.emmark import EmMark
 from repro.core.interface import InsertionRecord, Watermarker
@@ -43,12 +50,16 @@ __all__ = [
     "quality_score",
     "robustness_score",
     "combined_score",
+    "fused_scores",
+    "topk_argsort_stable",
     "select_candidates",
     "WatermarkKey",
     "WatermarkLocation",
     "insert_watermark",
+    "InsertionReport",
     "ExtractionResult",
     "extract_watermark",
+    "reproduce_locations",
     "verify_ownership",
     "false_claim_probability",
     "watermark_strength",

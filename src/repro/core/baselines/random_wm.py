@@ -15,17 +15,19 @@ EmMark stays lossless.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.extraction import ExtractionResult
 from repro.core.interface import InsertionRecord, Watermarker
 from repro.core.signature import generate_signature, split_signature_per_layer, validate_signature
-from repro.core.strength import false_claim_probability
 from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedModel
 from repro.utils.rng import new_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import WatermarkEngine
 
 __all__ = ["RandomWM"]
 
@@ -47,6 +49,11 @@ class RandomWM(Watermarker):
         are re-rolled (gives RandomWM its best case: 100% WER, as observed in
         Table 1, while still damaging quality).  When false, clipped
         insertions silently lose their bit.
+    engine:
+        :class:`~repro.engine.WatermarkEngine` supplying the parallel layer
+        executor; the process-wide default is used when omitted.  (RandomWM
+        selects positions per layer with its own per-layer RNG stream, so
+        layers are independent and safe to watermark concurrently.)
     """
 
     method_name = "random_wm"
@@ -57,6 +64,7 @@ class RandomWM(Watermarker):
         seed: int = 100,
         signature_seed: int = 1,
         avoid_clipping: bool = True,
+        engine: "Optional[WatermarkEngine]" = None,
     ) -> None:
         if bits_per_layer < 1:
             raise ValueError("bits_per_layer must be >= 1")
@@ -64,6 +72,7 @@ class RandomWM(Watermarker):
         self.seed = int(seed)
         self.signature_seed = int(signature_seed)
         self.avoid_clipping = bool(avoid_clipping)
+        self.engine = engine
 
     def _layer_positions(
         self, layer, layer_signature: np.ndarray, rng: np.random.Generator
@@ -106,13 +115,15 @@ class RandomWM(Watermarker):
         per_layer = split_signature_per_layer(signature, layer_names, self.bits_per_layer)
         watermarked = model.clone()
         reference = model.integer_weight_snapshot()
-        locations: Dict[str, np.ndarray] = {}
-        for name in layer_names:
+
+        def watermark_layer(name: str) -> Tuple[str, np.ndarray]:
             layer = watermarked.get_layer(name)
             rng = new_rng(self.seed, "random-wm", name)
             positions = self._layer_positions(layer, per_layer[name], rng)
             layer.add_to_weights(positions, per_layer[name])
-            locations[name] = np.asarray(positions, dtype=np.int64)
+            return name, np.asarray(positions, dtype=np.int64)
+
+        locations: Dict[str, np.ndarray] = dict(self.map_layers(watermark_layer, layer_names))
         record = InsertionRecord(
             method=self.method_name,
             signature=signature,
@@ -132,27 +143,29 @@ class RandomWM(Watermarker):
         bits_per_layer = record.payload["bits_per_layer"]
         signature = validate_signature(record.signature)
         per_layer = split_signature_per_layer(signature, layer_names, bits_per_layer)
-        matched = 0
-        total = 0
-        per_layer_wer: Dict[str, float] = {}
-        for name in layer_names:
+
+        def match_layer(name: str) -> Tuple[str, int, int]:
             layer_signature = per_layer[name]
-            total += layer_signature.size
             if name not in suspect.layers:
-                per_layer_wer[name] = 0.0
-                continue
+                return name, -1, layer_signature.size
             flat_suspect = suspect.get_layer(name).weight_int.reshape(-1)
             flat_reference = reference[name].reshape(-1)
             delta = flat_suspect[locations[name]] - flat_reference[locations[name]]
-            layer_matched = int(np.sum(delta == layer_signature))
+            return name, int(np.sum(delta == layer_signature)), layer_signature.size
+
+        matched = 0
+        total = 0
+        per_layer_wer: Dict[str, float] = {}
+        for name, layer_matched, layer_bits in self.map_layers(match_layer, layer_names):
+            total += layer_bits
+            if layer_matched < 0:
+                per_layer_wer[name] = 0.0
+                continue
             matched += layer_matched
-            per_layer_wer[name] = 100.0 * layer_matched / layer_signature.size
-        wer = 100.0 * matched / total if total else 0.0
-        return ExtractionResult(
+            per_layer_wer[name] = 100.0 * layer_matched / layer_bits
+        return ExtractionResult.from_counts(
             total_bits=total,
             matched_bits=matched,
-            wer_percent=wer,
             per_layer_wer=per_layer_wer,
-            false_claim_probability=false_claim_probability(total, matched) if total else 1.0,
             locations=locations,
         )

@@ -15,7 +15,7 @@ unchanged.  This module reproduces exactly that behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 from scipy import fft as scipy_fft
@@ -23,10 +23,12 @@ from scipy import fft as scipy_fft
 from repro.core.extraction import ExtractionResult
 from repro.core.interface import InsertionRecord, Watermarker
 from repro.core.signature import generate_signature, split_signature_per_layer, validate_signature
-from repro.core.strength import false_claim_probability
 from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedModel
 from repro.utils.rng import new_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import WatermarkEngine
 
 __all__ = ["SpecMark"]
 
@@ -50,6 +52,11 @@ class SpecMark(Watermarker):
         Seed for choosing coefficient positions within the band.
     signature_seed:
         Seed for the Rademacher signature when none is supplied.
+    engine:
+        :class:`~repro.engine.WatermarkEngine` supplying the parallel layer
+        executor; the process-wide default is used when omitted.  The DCT /
+        inverse-DCT per layer dominates SpecMark's cost, and SciPy's FFT
+        kernels release the GIL, so concurrent layers give a real speedup.
     """
 
     method_name = "specmark"
@@ -61,6 +68,7 @@ class SpecMark(Watermarker):
         high_frequency_fraction: float = 0.25,
         seed: int = 100,
         signature_seed: int = 1,
+        engine: "Optional[WatermarkEngine]" = None,
     ) -> None:
         if bits_per_layer < 1:
             raise ValueError("bits_per_layer must be >= 1")
@@ -73,6 +81,7 @@ class SpecMark(Watermarker):
         self.high_frequency_fraction = float(high_frequency_fraction)
         self.seed = int(seed)
         self.signature_seed = int(signature_seed)
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Helpers
@@ -115,21 +124,26 @@ class SpecMark(Watermarker):
                 )
         per_layer = split_signature_per_layer(signature, layer_names, self.bits_per_layer)
         watermarked = model.clone()
-        reference_coefficients: Dict[str, np.ndarray] = {}
-        positions: Dict[str, np.ndarray] = {}
-        for name in layer_names:
+
+        def watermark_layer(name: str) -> Tuple[str, np.ndarray, np.ndarray]:
             layer = watermarked.get_layer(name)
             rng = new_rng(self.seed, "specmark", name)
             coefficients = self._forward_transform(layer.weight_int)
             layer_positions = self._band_positions(coefficients.size, rng)
-            reference_coefficients[name] = coefficients[layer_positions].copy()
-            positions[name] = layer_positions
+            reference = coefficients[layer_positions].copy()
             bits = per_layer[name][: layer_positions.size]
             coefficients[layer_positions] += self.embedding_strength * bits
             # Back to the weight domain — and back onto the integer grid,
             # because the deployed embedded model stores integer levels.
             perturbed = self._inverse_transform(coefficients, layer.weight_int.shape)
             layer.weight_int = layer.grid.clip(np.round(perturbed)).astype(np.int64)
+            return name, layer_positions, reference
+
+        reference_coefficients: Dict[str, np.ndarray] = {}
+        positions: Dict[str, np.ndarray] = {}
+        for name, layer_positions, reference in self.map_layers(watermark_layer, layer_names):
+            positions[name] = layer_positions
+            reference_coefficients[name] = reference
         record = InsertionRecord(
             method=self.method_name,
             signature=signature,
@@ -151,30 +165,32 @@ class SpecMark(Watermarker):
         strength = record.payload["embedding_strength"]
         signature = validate_signature(record.signature)
         per_layer = split_signature_per_layer(signature, layer_names, bits_per_layer)
-        matched = 0
-        total = 0
-        per_layer_wer: Dict[str, float] = {}
-        for name in layer_names:
+
+        def match_layer(name: str) -> Tuple[str, int, int]:
             layer_signature = per_layer[name]
-            total += layer_signature.size
             if name not in suspect.layers:
-                per_layer_wer[name] = 0.0
-                continue
+                return name, -1, layer_signature.size
             coefficients = self._forward_transform(suspect.get_layer(name).weight_int)
             layer_positions = positions[name]
             delta = coefficients[layer_positions] - reference[name]
             # A bit counts as extracted when the coefficient moved in the
             # signed direction by at least half the embedding strength.
             decoded = np.where(delta >= 0.5 * strength, 1, np.where(delta <= -0.5 * strength, -1, 0))
-            layer_matched = int(np.sum(decoded == layer_signature[: layer_positions.size]))
+            return name, int(np.sum(decoded == layer_signature[: layer_positions.size])), layer_signature.size
+
+        matched = 0
+        total = 0
+        per_layer_wer: Dict[str, float] = {}
+        for name, layer_matched, layer_bits in self.map_layers(match_layer, layer_names):
+            total += layer_bits
+            if layer_matched < 0:
+                per_layer_wer[name] = 0.0
+                continue
             matched += layer_matched
-            per_layer_wer[name] = 100.0 * layer_matched / layer_signature.size
-        wer = 100.0 * matched / total if total else 0.0
-        return ExtractionResult(
+            per_layer_wer[name] = 100.0 * layer_matched / layer_bits
+        return ExtractionResult.from_counts(
             total_bits=total,
             matched_bits=matched,
-            wer_percent=wer,
             per_layer_wer=per_layer_wer,
-            false_claim_probability=false_claim_probability(total, matched) if total else 1.0,
             locations=positions,
         )

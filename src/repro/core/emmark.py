@@ -3,23 +3,33 @@
 :class:`EmMark` packages the insertion and extraction stages behind the
 :class:`~repro.core.interface.Watermarker` interface used by the experiment
 harness, and also exposes the richer key-based API (``insert_with_key`` /
-``extract_with_key`` / ``verify``) that downstream users of the library are
-expected to call.
+``extract_with_key`` / ``verify`` / ``verify_fleet``) that downstream users
+of the library are expected to call.
+
+Every EmMark instance runs on a :class:`~repro.engine.WatermarkEngine` —
+either one passed explicitly (e.g. the experiment harness shares a single
+engine so attack sweeps reuse cached location plans) or the process-wide
+default engine.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import EmMarkConfig
-from repro.core.extraction import ExtractionResult, extract_watermark, verify_ownership
-from repro.core.insertion import InsertionReport, insert_watermark
+from repro.core.extraction import ExtractionResult
+from repro.core.insertion import InsertionReport
 from repro.core.interface import InsertionRecord, Watermarker
 from repro.core.keys import WatermarkKey
+from repro.engine.reports import DEFAULT_OWNERSHIP_THRESHOLD
 from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import WatermarkEngine
+    from repro.engine.reports import FleetVerificationReport
 
 __all__ = ["EmMark"]
 
@@ -33,6 +43,10 @@ class EmMark(Watermarker):
         Insertion hyper-parameters.  When omitted, each insertion derives a
         configuration scaled to the target model via
         :meth:`EmMarkConfig.scaled_for_model`.
+    engine:
+        The :class:`~repro.engine.WatermarkEngine` to run on; the
+        process-wide default engine (shared plan cache and thread pool) is
+        used when omitted.
 
     Examples
     --------
@@ -45,8 +59,16 @@ class EmMark(Watermarker):
 
     method_name = "emmark"
 
-    def __init__(self, config: Optional[EmMarkConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[EmMarkConfig] = None,
+        engine: "Optional[WatermarkEngine]" = None,
+    ) -> None:
         self.config = config
+        self.engine = engine
+
+    # (engine resolution — the ``_engine`` property — is inherited from
+    # :class:`~repro.core.interface.Watermarker`.)
 
     # ------------------------------------------------------------------
     # Key-based API (primary)
@@ -60,20 +82,24 @@ class EmMark(Watermarker):
     ) -> Tuple[QuantizedModel, WatermarkKey, InsertionReport]:
         """Watermark ``model`` and return the watermarked copy, key and report."""
         effective = config or self.config or EmMarkConfig.scaled_for_model(model)
-        return insert_watermark(model, activations, config=effective, signature=signature)
+        return self._engine.insert(model, activations, config=effective, signature=signature)
 
     def extract_with_key(self, suspect: QuantizedModel, key: WatermarkKey) -> ExtractionResult:
         """Extract the watermark from ``suspect`` using the owner's key."""
-        return extract_watermark(suspect, key, strict_layout=False)
+        return self._engine.extract(suspect, key, strict_layout=False)
 
     def verify(
         self,
         suspect: QuantizedModel,
         key: WatermarkKey,
-        wer_threshold: float = 90.0,
+        wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD,
     ) -> bool:
         """Boolean ownership verdict (see :func:`verify_ownership`)."""
-        return verify_ownership(suspect, key, wer_threshold=wer_threshold)
+        return self._engine.verify(suspect, key, wer_threshold=wer_threshold)
+
+    def verify_fleet(self, suspects, keys, **kwargs) -> "FleetVerificationReport":
+        """Batch ownership screening — see :meth:`WatermarkEngine.verify_fleet`."""
+        return self._engine.verify_fleet(suspects, keys, **kwargs)
 
     # ------------------------------------------------------------------
     # Watermarker interface (used by the Table 1 harness)

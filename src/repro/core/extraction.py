@@ -12,106 +12,54 @@ Given a suspect deployed model and the owner's
    watermark extraction rate ``WER = 100 · |B|' / |B|`` (Equation 7), and
 4. converts the match count into the false-claim probability of Equation 8 so
    the owner can quote the statistical strength of the ownership claim.
+
+Since the engine refactor this module is the stable functional facade over
+:class:`repro.engine.WatermarkEngine`: location reproduction is served from
+the engine's memoized plan cache (an extraction against a previously seen
+key performs **zero rescoring**), layers are matched in parallel, and the
+bulk workload lives in :meth:`~repro.engine.WatermarkEngine.verify_fleet`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from repro.core.insertion import select_layer_locations
+from repro.core.insertion import _engine
 from repro.core.keys import WatermarkKey
-from repro.core.strength import false_claim_probability
-from repro.quant.base import QuantizationGrid, QuantizedLinear, QuantizedModel
-from repro.utils.logging import get_logger
+from repro.engine.reports import (
+    DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    DEFAULT_OWNERSHIP_THRESHOLD,
+    ExtractionResult,
+)
+from repro.quant.base import QuantizedModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import WatermarkEngine
 
 __all__ = ["ExtractionResult", "extract_watermark", "verify_ownership", "reproduce_locations"]
 
-logger = get_logger("core.extraction")
 
-#: WER (in percent) above which :func:`verify_ownership` asserts ownership.
-DEFAULT_OWNERSHIP_THRESHOLD = 90.0
-
-
-@dataclass
-class ExtractionResult:
-    """Outcome of one watermark extraction.
-
-    Attributes
-    ----------
-    total_bits:
-        Signature length ``|B|``.
-    matched_bits:
-        Number of signature bits recovered exactly (``|B|'``).
-    wer_percent:
-        Watermark extraction rate ``100 · |B|' / |B|`` (Equation 7).
-    per_layer_wer:
-        Extraction rate per quantization layer (diagnostics; the attacks
-        rarely damage layers uniformly).
-    false_claim_probability:
-        Probability that an unrelated model would match at least
-        ``matched_bits`` bits by chance (Equation 8).
-    locations:
-        The reproduced watermark locations per layer (flattened indices).
-    """
-
-    total_bits: int
-    matched_bits: int
-    wer_percent: float
-    per_layer_wer: Dict[str, float] = field(default_factory=dict)
-    false_claim_probability: float = 1.0
-    locations: Dict[str, np.ndarray] = field(default_factory=dict)
-
-    @property
-    def fully_extracted(self) -> bool:
-        """True when every signature bit was recovered."""
-        return self.matched_bits == self.total_bits
-
-    def summary(self) -> str:
-        """One-line human-readable summary."""
-        return (
-            f"WER {self.wer_percent:.2f}% ({self.matched_bits}/{self.total_bits} bits), "
-            f"false-claim probability {self.false_claim_probability:.3e}"
-        )
-
-
-def reproduce_locations(key: WatermarkKey) -> Dict[str, np.ndarray]:
+def reproduce_locations(
+    key: WatermarkKey, engine: "Optional[WatermarkEngine]" = None
+) -> Dict[str, np.ndarray]:
     """Recompute the watermark locations ``L`` from the key alone.
 
     The key carries the original quantized weights ``W``, the full-precision
     activations ``A_f``, the coefficients α/β and the seed ``d`` — everything
     the scoring + sub-sampling pipeline consumed during insertion — so the
-    reproduced locations are identical to the inserted ones.
+    reproduced locations are identical to the inserted ones.  Repeated calls
+    for the same key are served from the engine's plan cache.
     """
-    grid = QuantizationGrid(key.bits if key.bits else 8)
-    locations: Dict[str, np.ndarray] = {}
-    for name in key.layer_names:
-        reference = key.reference_weights[name]
-        outliers = key.outlier_columns.get(name)
-        outlier_weight = (
-            np.zeros((reference.shape[0], outliers.size)) if outliers is not None else None
-        )
-        layer_view = QuantizedLinear(
-            name=name,
-            weight_int=reference,
-            scale=np.ones((reference.shape[0], 1)),
-            grid=grid,
-            outlier_columns=outliers,
-            outlier_weight=outlier_weight,
-        )
-        channel_activations = key.activations.channel_saliency(name)
-        locations[name] = select_layer_locations(
-            layer_view, channel_activations, key.config.bits_per_layer, key.config
-        )
-    return locations
+    return _engine(engine).reproduce_locations(key)
 
 
 def extract_watermark(
     suspect: QuantizedModel,
     key: WatermarkKey,
     strict_layout: bool = True,
+    engine: "Optional[WatermarkEngine]" = None,
 ) -> ExtractionResult:
     """Extract the watermark from ``suspect`` and compare it with the key.
 
@@ -125,73 +73,36 @@ def extract_watermark(
         When true (default) the suspect model must expose every layer named
         in the key with matching weight shapes; otherwise missing layers are
         counted as fully unmatched instead of raising.
+    engine:
+        Run on a specific :class:`~repro.engine.WatermarkEngine`; the
+        process-wide default engine is used when omitted.
 
     Returns
     -------
     ExtractionResult
         Match counts, WER and the false-claim probability.
     """
-    locations = reproduce_locations(key)
-    matched = 0
-    total = 0
-    per_layer_wer: Dict[str, float] = {}
-    for name in key.layer_names:
-        layer_signature = key.signature_for_layer(name)
-        total += layer_signature.size
-        if name not in suspect.layers:
-            if strict_layout:
-                raise KeyError(f"suspect model has no quantized layer named {name!r}")
-            per_layer_wer[name] = 0.0
-            continue
-        suspect_layer = suspect.get_layer(name)
-        reference = key.reference_weights[name]
-        if suspect_layer.weight_int.shape != reference.shape:
-            if strict_layout:
-                raise ValueError(
-                    f"layer {name!r} shape mismatch: suspect {suspect_layer.weight_int.shape} "
-                    f"vs reference {reference.shape}"
-                )
-            per_layer_wer[name] = 0.0
-            continue
-        flat_suspect = suspect_layer.weight_int.reshape(-1)
-        flat_reference = reference.reshape(-1)
-        layer_locations = locations[name]
-        delta = flat_suspect[layer_locations] - flat_reference[layer_locations]
-        layer_matches = int(np.sum(delta == layer_signature))
-        matched += layer_matches
-        per_layer_wer[name] = 100.0 * layer_matches / layer_signature.size
-    wer = 100.0 * matched / total if total else 0.0
-    probability = false_claim_probability(total, matched) if total else 1.0
-    result = ExtractionResult(
-        total_bits=total,
-        matched_bits=matched,
-        wer_percent=wer,
-        per_layer_wer=per_layer_wer,
-        false_claim_probability=probability,
-        locations=locations,
-    )
-    logger.debug("extraction from %s: %s", suspect.config.name, result.summary())
-    return result
+    return _engine(engine).extract(suspect, key, strict_layout=strict_layout)
 
 
 def verify_ownership(
     suspect: QuantizedModel,
     key: WatermarkKey,
     wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD,
-    max_false_claim_probability: Optional[float] = 1e-6,
+    max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    engine: "Optional[WatermarkEngine]" = None,
 ) -> bool:
     """Ownership verdict: does ``suspect`` carry the owner's watermark?
 
     The claim is asserted when the extraction rate reaches ``wer_threshold``
     percent *and* (optionally) the false-claim probability of the observed
-    match count is below ``max_false_claim_probability``.
+    match count is below ``max_false_claim_probability``.  To screen many
+    suspects against many keys in one call, use
+    :meth:`repro.engine.WatermarkEngine.verify_fleet`.
     """
-    result = extract_watermark(suspect, key, strict_layout=False)
-    if result.wer_percent < wer_threshold:
-        return False
-    if (
-        max_false_claim_probability is not None
-        and result.false_claim_probability > max_false_claim_probability
-    ):
-        return False
-    return True
+    return _engine(engine).verify(
+        suspect,
+        key,
+        wer_threshold=wer_threshold,
+        max_false_claim_probability=max_false_claim_probability,
+    )

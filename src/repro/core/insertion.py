@@ -15,27 +15,44 @@ activation statistics and an :class:`~repro.core.config.EmMarkConfig`, and
 The insertion is CPU-only and touches only integer weights, which is why the
 paper reports sub-second per-layer insertion time and zero additional GPU
 memory (Table 2).
+
+Since the engine refactor the heavy lifting lives in
+:class:`repro.engine.WatermarkEngine`: this module is the stable functional
+facade, routing through the process-wide default engine so insertion shares
+its memoized location plans and parallel layer executor with extraction,
+ownership verification and the batch serving APIs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import EmMarkConfig
 from repro.core.keys import WatermarkKey
-from repro.core.scoring import select_candidates
-from repro.core.signature import generate_signature, split_signature_per_layer, validate_signature
+from repro.engine.reports import InsertionReport
 from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedModel
-from repro.utils.logging import get_logger
-from repro.utils.rng import new_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import WatermarkEngine
 
 __all__ = ["WatermarkLocation", "InsertionReport", "insert_watermark", "select_layer_locations"]
 
-logger = get_logger("core.insertion")
+
+def _engine(engine: "Optional[WatermarkEngine]" = None) -> "WatermarkEngine":
+    """The engine to run on: an explicit one, or the process-wide default.
+
+    Imported lazily — this module loads during ``repro.core`` package
+    initialisation, before :mod:`repro.engine.engine` can be imported.
+    """
+    if engine is not None:
+        return engine
+    from repro.engine.engine import get_default_engine
+
+    return get_default_engine()
 
 
 @dataclass(frozen=True)
@@ -47,28 +64,6 @@ class WatermarkLocation:
     bit: int
 
 
-@dataclass
-class InsertionReport:
-    """Summary of one insertion run (used by the efficiency experiment)."""
-
-    total_bits: int
-    num_layers: int
-    per_layer_seconds: List[float]
-    candidate_pool_sizes: Dict[str, int]
-
-    @property
-    def total_seconds(self) -> float:
-        """Wall-clock time spent scoring and inserting across all layers."""
-        return float(sum(self.per_layer_seconds))
-
-    @property
-    def mean_seconds_per_layer(self) -> float:
-        """Average insertion time per quantization layer (Table 2 metric)."""
-        if not self.per_layer_seconds:
-            return 0.0
-        return float(np.mean(self.per_layer_seconds))
-
-
 def select_layer_locations(
     layer,
     channel_activations: np.ndarray,
@@ -77,29 +72,13 @@ def select_layer_locations(
 ) -> np.ndarray:
     """Select the watermark positions of one layer (flattened indices).
 
-    Scoring, candidate pooling and the seeded sub-sampling all live in this
-    one function, which both the insertion stage and the extraction stage
-    call — guaranteeing that extraction reproduces the exact insertion-time
-    locations when given the same inputs (reference weights, activations,
-    seed, coefficients).
+    Scoring, candidate pooling and the seeded sub-sampling all live in the
+    engine's (cached) location planner, which both the insertion stage and
+    the extraction stage call — guaranteeing that extraction reproduces the
+    exact insertion-time locations when given the same inputs (reference
+    weights, activations, seed, coefficients).
     """
-    pool_size = config.candidate_pool_size(layer.num_weights)
-    scores = select_candidates(
-        layer,
-        channel_activations,
-        alpha=config.alpha,
-        beta=config.beta,
-        pool_size=pool_size,
-        exclude_saturated=config.exclude_saturated,
-    )
-    if scores.num_candidates < bits_needed:
-        raise ValueError(
-            f"layer {layer.name!r} offers only {scores.num_candidates} candidate positions "
-            f"but {bits_needed} signature bits were requested; lower bits_per_layer"
-        )
-    rng = new_rng(config.seed, "selection", layer.name)
-    chosen = rng.choice(scores.candidate_indices, size=bits_needed, replace=False)
-    return np.asarray(chosen, dtype=np.int64)
+    return _engine().locations_for_layer(layer, channel_activations, bits_needed, config)
 
 
 def insert_watermark(
@@ -108,6 +87,7 @@ def insert_watermark(
     config: Optional[EmMarkConfig] = None,
     signature: Optional[np.ndarray] = None,
     in_place: bool = False,
+    engine: "Optional[WatermarkEngine]" = None,
 ) -> Tuple[QuantizedModel, WatermarkKey, InsertionReport]:
     """Insert an EmMark watermark into ``model``.
 
@@ -127,83 +107,18 @@ def insert_watermark(
         ``config.signature_seed`` when omitted.
     in_place:
         Modify ``model`` directly instead of watermarking a copy.
+    engine:
+        Run on a specific :class:`~repro.engine.WatermarkEngine`; the
+        process-wide default engine (shared plan cache, shared thread pool)
+        is used when omitted.
 
     Returns
     -------
     (watermarked_model, key, report)
-        The watermarked model, the owner's key, and timing information.
+        The watermarked model, the owner's key, and timing information
+        (per-layer CPU cost plus the parallel wall-clock; see
+        :class:`~repro.engine.reports.InsertionReport`).
     """
-    import time
-
-    if config is None:
-        config = EmMarkConfig.scaled_for_model(model)
-    layer_names = model.layer_names()
-    total_bits = config.total_bits(len(layer_names))
-    if signature is None:
-        signature = generate_signature(total_bits, config.signature_seed)
-    else:
-        signature = validate_signature(signature)
-        if signature.size != total_bits:
-            raise ValueError(
-                f"signature has {signature.size} bits but the configuration requires {total_bits}"
-            )
-    per_layer_signature = split_signature_per_layer(signature, layer_names, config.bits_per_layer)
-
-    watermarked = model if in_place else model.clone()
-    reference_weights = model.integer_weight_snapshot()
-    per_layer_seconds: List[float] = []
-    pool_sizes: Dict[str, int] = {}
-
-    missing_activations = [
-        name for name in layer_names if name not in activations.mean_abs
-    ]
-    if missing_activations:
-        raise ValueError(
-            "activation statistics missing for layers: "
-            f"{missing_activations[:4]} — collect stats with the full-precision model"
-        )
-
-    for name in layer_names:
-        start = time.perf_counter()
-        layer = watermarked.get_layer(name)
-        channel_activations = activations.channel_saliency(name)
-        layer_signature = per_layer_signature[name]
-        locations = select_layer_locations(
-            layer, channel_activations, layer_signature.size, config
-        )
-        layer.add_to_weights(locations, layer_signature)
-        per_layer_seconds.append(time.perf_counter() - start)
-        pool_sizes[name] = config.candidate_pool_size(layer.num_weights)
-
-    outlier_columns = {
-        name: layer.outlier_columns.copy()
-        for name, layer in model.layers.items()
-        if layer.outlier_columns is not None
-    }
-    key = WatermarkKey(
-        signature=signature,
-        config=config,
-        reference_weights=reference_weights,
-        activations=activations,
-        layer_names=layer_names,
-        method=model.method,
-        bits=model.bits,
-        model_name=model.config.name,
-        outlier_columns=outlier_columns,
+    return _engine(engine).insert(
+        model, activations, config=config, signature=signature, in_place=in_place
     )
-    report = InsertionReport(
-        total_bits=total_bits,
-        num_layers=len(layer_names),
-        per_layer_seconds=per_layer_seconds,
-        candidate_pool_sizes=pool_sizes,
-    )
-    logger.debug(
-        "inserted %d bits into %d layers of %s (%s INT%d) in %.3fs",
-        total_bits,
-        len(layer_names),
-        model.config.name,
-        model.method,
-        model.bits,
-        report.total_seconds,
-    )
-    return watermarked, key, report

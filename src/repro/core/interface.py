@@ -5,18 +5,27 @@ EmMark, RandomWM and SpecMark — through the same pipeline: insert into a
 quantized model, evaluate the watermarked model's quality, then extract and
 report the WER.  :class:`Watermarker` is the small abstract interface that
 lets the experiment treat them interchangeably.
+
+All schemes share the :class:`~repro.engine.WatermarkEngine` execution
+substrate: the base class exposes the engine's parallel layer executor
+(:meth:`Watermarker.map_layers`) so per-layer insertion/extraction loops run
+concurrently, and :meth:`Watermarker.extract_many` screens several suspects
+against one insertion record in a single call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.extraction import ExtractionResult
 from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import WatermarkEngine
 
 __all__ = ["InsertionRecord", "Watermarker"]
 
@@ -51,6 +60,22 @@ class Watermarker:
     #: Registry / reporting name of the scheme.
     method_name: str = "base"
 
+    #: Engine the scheme runs on; ``None`` means the process-wide default.
+    engine: "Optional[WatermarkEngine]" = None
+
+    @property
+    def _engine(self) -> "WatermarkEngine":
+        """The execution engine (lazy import; see :mod:`repro.core.insertion`)."""
+        if self.engine is not None:
+            return self.engine
+        from repro.engine.engine import get_default_engine
+
+        return get_default_engine()
+
+    def map_layers(self, fn, items) -> List:
+        """Fan independent per-layer work out on the engine's thread pool."""
+        return self._engine.map_layers(fn, items)
+
     def insert(
         self,
         model: QuantizedModel,
@@ -63,6 +88,18 @@ class Watermarker:
     def extract(self, suspect: QuantizedModel, record: InsertionRecord) -> ExtractionResult:
         """Extract the watermark from ``suspect`` using ``record``."""
         raise NotImplementedError
+
+    def extract_many(
+        self, suspects: Sequence[QuantizedModel], record: InsertionRecord
+    ) -> List[ExtractionResult]:
+        """Extract the same watermark from several suspects.
+
+        The default implementation simply loops — each per-suspect
+        :meth:`extract` already parallelizes across layers on the shared
+        engine, and cached schemes (EmMark) reuse one location plan for the
+        whole batch.
+        """
+        return [self.extract(suspect, record) for suspect in suspects]
 
     def watermark_and_verify(
         self,

@@ -18,12 +18,29 @@ combines
 Lower scores are better.  Per layer, the ``|B_c|`` lowest-scoring positions
 form the candidate pool from which the secret seed sub-samples the final
 watermark locations.
+
+Two code paths expose the same arithmetic:
+
+* :func:`quality_score`, :func:`robustness_score` and :func:`combined_score`
+  materialize full ``(out_features, in_features)`` score matrices with
+  ``+inf`` at excluded positions — convenient for inspection, tests and
+  ablations.
+* :func:`fused_scores` is the production kernel used by
+  :func:`select_candidates` (and therefore by the watermark engine): it
+  computes the combined score in a single pass, keeps the exclusions as a
+  boolean mask instead of ``+inf``-laden float arrays, and never materializes
+  a broadcast copy of the per-channel robustness vector.
+
+:func:`select_candidates` ranks with :func:`topk_argsort_stable` — an
+``np.argpartition`` top-k followed by a stable sort of only the candidate
+pool — which is bit-for-bit equivalent to a full stable ``np.argsort`` while
+doing O(n + k log k) work instead of O(n log n).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +49,10 @@ from repro.quant.base import QuantizedLinear
 __all__ = [
     "quality_score",
     "robustness_score",
+    "robustness_channel_scores",
     "combined_score",
+    "fused_scores",
+    "topk_argsort_stable",
     "select_candidates",
     "LayerScores",
 ]
@@ -58,6 +78,22 @@ def quality_score(layer: QuantizedLinear, exclude_saturated: bool = True) -> np.
     return scores
 
 
+def robustness_channel_scores(channel_activations: np.ndarray) -> np.ndarray:
+    """Per-input-channel robustness score vector ``S_r`` (Equation 4).
+
+    Returns a vector of length ``in_features``; the least salient channel
+    (``A_f_i == min(A_f)``) receives ``+inf``.  All weights of a channel share
+    the channel's score, so this vector is the whole robustness computation —
+    broadcasting it over the weight matrix is only needed for display.
+    """
+    activations = np.asarray(channel_activations, dtype=np.float64).reshape(-1)
+    a_max = float(np.max(activations))
+    a_min = float(np.min(activations))
+    delta = activations - a_min
+    with np.errstate(divide="ignore"):
+        return np.where(delta > 0, np.abs(a_max / delta), EXCLUDED_SCORE)
+
+
 def robustness_score(
     layer: QuantizedLinear, channel_activations: np.ndarray
 ) -> np.ndarray:
@@ -73,12 +109,60 @@ def robustness_score(
             f"activation vector has {activations.size} channels but layer "
             f"{layer.name!r} has {layer.in_features} input channels"
         )
-    a_max = float(np.max(activations))
-    a_min = float(np.min(activations))
-    delta = activations - a_min
-    with np.errstate(divide="ignore"):
-        channel_scores = np.where(delta > 0, np.abs(a_max / delta), EXCLUDED_SCORE)
+    channel_scores = robustness_channel_scores(activations)
     return np.broadcast_to(channel_scores[None, :], layer.weight_int.shape).copy()
+
+
+def fused_scores(
+    layer: QuantizedLinear,
+    channel_activations: np.ndarray,
+    alpha: float,
+    beta: float,
+    exclude_saturated: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Combined score ``S = α·S_q + β·S_r`` as ``(flat_scores, flat_valid)``.
+
+    The fused kernel allocates a single ``(out×in,)`` float score array (plus
+    one boolean validity mask) instead of the three full matrices the naive
+    ``α·S_q + β·S_r`` formulation materializes:
+
+    * ``S_q`` is computed as ``α / |W|`` directly into the output array,
+    * the per-channel ``S_r`` vector is broadcast-*added* in place (never
+      expanded into a matrix), and
+    * every exclusion rule (non-quantized outlier columns, saturated levels,
+      zero weights when α > 0, the minimum-activation channel when β > 0) is
+      tracked in the boolean mask rather than as ``+inf`` sentinel floats.
+
+    Values at invalid positions are unspecified; consumers must apply the
+    mask.  :func:`combined_score` is the materialized (``+inf``-filled) view
+    of this kernel, so both paths agree bit-for-bit on valid positions.
+    """
+    if alpha < 0 or beta < 0:
+        raise ValueError("alpha and beta must be non-negative")
+    activations = np.asarray(channel_activations, dtype=np.float64).reshape(-1)
+    if activations.size != layer.in_features:
+        raise ValueError(
+            f"activation vector has {activations.size} channels but layer "
+            f"{layer.name!r} has {layer.in_features} input channels"
+        )
+    weight = layer.weight_int
+    valid = layer.quantized_mask()
+    if exclude_saturated:
+        valid &= ~layer.saturated_mask()
+    if alpha > 0:
+        magnitude = np.abs(weight).astype(np.float64)
+        valid &= magnitude > 0
+        with np.errstate(divide="ignore"):
+            scores = alpha / magnitude
+    else:
+        scores = np.zeros(weight.shape, dtype=np.float64)
+    if beta > 0:
+        channel = robustness_channel_scores(activations)
+        finite_channel = np.isfinite(channel)
+        valid &= finite_channel[None, :]
+        # In-place broadcast add: only the (in_features,) vector is allocated.
+        scores += beta * np.where(finite_channel, channel, 0.0)[None, :]
+    return scores.reshape(-1), valid.reshape(-1)
 
 
 def combined_score(
@@ -88,26 +172,53 @@ def combined_score(
     beta: float,
     exclude_saturated: bool = True,
 ) -> np.ndarray:
-    """Combined score ``S = α·S_q + β·S_r`` (Equation 2).
+    """Combined score ``S = α·S_q + β·S_r`` (Equation 2), materialized.
 
     Exclusion (saturated / zero / non-quantized positions) is applied to the
-    combined score so it holds even when ``alpha`` is zero.
+    combined score so it holds even when ``alpha`` is zero: a zero coefficient
+    drops its score term entirely rather than multiplying an infinite
+    exclusion value by zero (which would produce NaN).  The S_q-driven
+    exclusion of zero weights therefore only applies when α > 0, while the
+    physical exclusions — saturated levels and full-precision outlier columns
+    — are always enforced.
+
+    This is the inspection-friendly view of :func:`fused_scores`: excluded
+    positions are filled with ``+inf`` and the result has the layer's
+    ``(out_features, in_features)`` shape.
     """
-    if alpha < 0 or beta < 0:
-        raise ValueError("alpha and beta must be non-negative")
-    # A zero coefficient must drop its score entirely rather than multiply an
-    # infinite exclusion value by zero (which would produce NaN).  The
-    # S_q-driven exclusion of zero weights therefore only applies when α > 0,
-    # while the physical exclusions — saturated levels and full-precision
-    # outlier columns — are always enforced on the combined score.
-    s_q = quality_score(layer, exclude_saturated=exclude_saturated) if alpha > 0 else 0.0
-    s_r = robustness_score(layer, channel_activations) if beta > 0 else 0.0
-    total = alpha * s_q + beta * s_r
-    total = np.broadcast_to(total, layer.weight_int.shape).copy()
-    total = np.where(layer.quantized_mask(), total, EXCLUDED_SCORE)
-    if exclude_saturated:
-        total = np.where(layer.saturated_mask(), EXCLUDED_SCORE, total)
-    return total
+    flat_scores, flat_valid = fused_scores(
+        layer, channel_activations, alpha, beta, exclude_saturated=exclude_saturated
+    )
+    return np.where(flat_valid, flat_scores, EXCLUDED_SCORE).reshape(layer.weight_int.shape)
+
+
+def topk_argsort_stable(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest ``values`` in stable ascending order.
+
+    Equivalent to ``np.argsort(values, kind="stable")[:k]`` — including the
+    tie-breaking-by-original-index behaviour of a stable sort — but computed
+    with ``np.argpartition`` plus a stable sort of only the selected pool:
+    O(n + k log k) instead of O(n log n).
+
+    ``values`` must be free of NaN (the callers operate on the finite-score
+    subset).
+    """
+    values = np.asarray(values)
+    n = values.size
+    if k >= n:
+        return np.argsort(values, kind="stable")
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    partition = np.argpartition(values, k - 1)[:k]
+    # argpartition breaks ties arbitrarily at the pool boundary; rebuild the
+    # pool so elements equal to the k-th smallest value are admitted in
+    # index order, exactly as a stable full sort would.
+    threshold = values[partition].max()
+    below = np.flatnonzero(values < threshold)
+    ties = np.flatnonzero(values == threshold)[: k - below.size]
+    pool = np.concatenate([below, ties])
+    order = np.argsort(values[pool], kind="stable")
+    return pool[order]
 
 
 @dataclass(frozen=True)
@@ -118,22 +229,42 @@ class LayerScores:
     ----------
     layer_name:
         Which layer the scores belong to.
-    scores:
-        The combined score ``S`` for every weight (``+inf`` marks excluded
-        positions).
     candidate_indices:
         Flattened indices of the ``|B_c|`` best (lowest-score) positions, in
         ascending-score order.
+    flat_scores, flat_valid:
+        The fused kernel's outputs: combined scores and eligibility mask over
+        the flattened weight matrix (values at invalid positions are
+        unspecified).
+    shape:
+        The layer's ``(out_features, in_features)`` shape.
     """
 
     layer_name: str
-    scores: np.ndarray
     candidate_indices: np.ndarray
+    flat_scores: np.ndarray = field(repr=False, default=None)
+    flat_valid: np.ndarray = field(repr=False, default=None)
+    shape: Tuple[int, int] = (0, 0)
 
     @property
     def num_candidates(self) -> int:
         """Size of the candidate pool."""
         return int(self.candidate_indices.size)
+
+    @property
+    def scores(self) -> np.ndarray:
+        """The combined score matrix (``+inf`` marks excluded positions).
+
+        Materialized lazily from the fused representation — the hot path
+        (engine planning) never touches it.
+        """
+        cached = getattr(self, "_scores_cache", None)
+        if cached is None:
+            cached = np.where(self.flat_valid, self.flat_scores, EXCLUDED_SCORE).reshape(
+                self.shape
+            )
+            object.__setattr__(self, "_scores_cache", cached)
+        return cached
 
 
 def select_candidates(
@@ -171,23 +302,26 @@ def select_candidates(
     """
     if pool_size < 1:
         raise ValueError("pool_size must be >= 1")
-    scores = combined_score(
+    flat_scores, flat_valid = fused_scores(
         layer, channel_activations, alpha, beta, exclude_saturated=exclude_saturated
     )
-    flat = scores.reshape(-1)
-    finite = np.flatnonzero(np.isfinite(flat))
+    finite = np.flatnonzero(flat_valid)
     if finite.size == 0:
         raise ValueError(
             f"layer {layer.name!r} has no eligible watermark positions "
             "(every weight is saturated, zero or full-precision)"
         )
     pool_size = min(pool_size, finite.size)
-    finite_scores = flat[finite]
+    finite_scores = flat_scores[finite]
     if rng is not None:
         # Random tie-breaking: add an infinitesimal jitter ranking.
-        jitter = rng.random(finite_scores.size) * 1e-12
-        order = np.argsort(finite_scores + jitter, kind="stable")
-    else:
-        order = np.argsort(finite_scores, kind="stable")
-    candidates = finite[order[:pool_size]]
-    return LayerScores(layer_name=layer.name, scores=scores, candidate_indices=candidates)
+        finite_scores = finite_scores + rng.random(finite_scores.size) * 1e-12
+    order = topk_argsort_stable(finite_scores, pool_size)
+    candidates = finite[order]
+    return LayerScores(
+        layer_name=layer.name,
+        candidate_indices=candidates,
+        flat_scores=flat_scores,
+        flat_valid=flat_valid,
+        shape=layer.weight_int.shape,
+    )

@@ -1,0 +1,76 @@
+"""The unified watermarking engine.
+
+This subsystem is the shared execution substrate underneath every watermark
+pipeline in the reproduction:
+
+* :mod:`repro.engine.plan` — :class:`LocationPlan`, the memoizable unit of
+  scoring + seeded sub-sampling work, and its content fingerprint.
+* :mod:`repro.engine.cache` — :class:`PlanCache`, a thread-safe LRU cache of
+  plans with hit/miss/eviction counters.
+* :mod:`repro.engine.reports` — structured reports: insertion timing
+  (wall-clock vs. summed per-layer CPU), extraction results, and the batch
+  fleet-verification / batch-insertion reports.
+* :mod:`repro.engine.engine` — :class:`WatermarkEngine`, tying cached
+  planning, the fused top-k scoring kernel and a parallel layer executor
+  together, plus the batch serving APIs ``verify_fleet`` / ``insert_batch``
+  and the process-wide default engine shared by the functional
+  ``repro.core`` entry points.
+
+Quickstart
+----------
+>>> from repro.engine import WatermarkEngine
+>>> engine = WatermarkEngine()
+>>> wm, key, report = engine.insert(quantized, activations)
+>>> engine.extract(wm, key).wer_percent          # served from the plan cache
+100.0
+>>> fleet = engine.verify_fleet({"a": wm, "b": quantized}, {"owner": key})
+>>> fleet.ownership_matrix()
+{'a': {'owner': True}, 'b': {'owner': False}}
+"""
+
+# Leaf modules first: repro.core imports repro.engine.reports during its own
+# package initialisation, so everything imported eagerly here must stay free
+# of repro.core dependencies.
+from repro.engine.cache import CacheStats, PlanCache
+from repro.engine.plan import LocationPlan, plan_fingerprint
+from repro.engine.reports import (
+    BatchInsertionItem,
+    BatchInsertionResult,
+    ExtractionResult,
+    FleetVerificationReport,
+    InsertionReport,
+    PairVerification,
+)
+
+# The engine itself pulls in repro.core leaf modules (config, scoring, keys);
+# importing it last keeps package initialisation cycle-free in both import
+# orders (``import repro`` and ``import repro.engine``).
+from repro.engine.engine import (
+    EngineConfig,
+    WatermarkEngine,
+    configure_default_engine,
+    get_default_engine,
+    insert_batch,
+    set_default_engine,
+    verify_fleet,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "LocationPlan",
+    "plan_fingerprint",
+    "InsertionReport",
+    "ExtractionResult",
+    "PairVerification",
+    "FleetVerificationReport",
+    "BatchInsertionItem",
+    "BatchInsertionResult",
+    "EngineConfig",
+    "WatermarkEngine",
+    "get_default_engine",
+    "set_default_engine",
+    "configure_default_engine",
+    "verify_fleet",
+    "insert_batch",
+]

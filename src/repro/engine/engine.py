@@ -1,0 +1,728 @@
+"""The unified watermarking engine.
+
+:class:`WatermarkEngine` is the single shared execution substrate underneath
+every watermark pipeline in the repository: EmMark insertion and extraction,
+the ownership-verification entry points, the baseline watermarkers' parallel
+layer loops, and the attack/ablation experiment sweeps.  It combines three
+mechanisms:
+
+1. **Cached location plans** — scoring + seeded sub-sampling per layer is a
+   pure function of its inputs, so the engine memoizes each
+   :class:`~repro.engine.plan.LocationPlan` in an LRU
+   :class:`~repro.engine.cache.PlanCache` keyed by a content fingerprint.
+   Insertion warms the cache; every later extraction or verification against
+   the same key performs **zero rescoring**.
+2. **Fused top-k scoring** — planning calls the
+   :func:`repro.core.scoring.select_candidates` kernel, which ranks with
+   ``np.argpartition`` + a stable pool sort and keeps exclusions as boolean
+   masks (see :mod:`repro.core.scoring`).
+3. **A parallel layer executor** — independent layers are scored, inserted
+   and matched concurrently on a configurable thread pool (NumPy releases the
+   GIL inside the heavy kernels).
+
+On top of the single-model operations the engine exposes the batch serving
+API used by the "millions of users" verification workload:
+
+>>> engine = WatermarkEngine()
+>>> report = engine.verify_fleet({"deploy-a": suspect_a, "deploy-b": suspect_b},
+...                              {"owner": key})
+>>> [pair.suspect_id for pair in report.owned_pairs()]
+['deploy-a']
+
+and ``engine.insert_batch({...})`` for watermarking many models in one call.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
+
+import numpy as np
+
+from repro.core.config import EmMarkConfig
+from repro.core.keys import WatermarkKey
+from repro.core.scoring import select_candidates
+from repro.core.signature import (
+    generate_signature,
+    split_signature_per_layer,
+    validate_signature,
+)
+from repro.engine.cache import CacheStats, PlanCache
+from repro.engine.plan import LocationPlan, plan_fingerprint
+from repro.engine.reports import (
+    DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    DEFAULT_OWNERSHIP_THRESHOLD,
+    BatchInsertionItem,
+    BatchInsertionResult,
+    ExtractionResult,
+    FleetVerificationReport,
+    InsertionReport,
+    PairVerification,
+)
+from repro.models.activations import ActivationStats
+from repro.quant.base import QuantizationGrid, QuantizedLinear, QuantizedModel
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "EngineConfig",
+    "WatermarkEngine",
+    "get_default_engine",
+    "set_default_engine",
+    "configure_default_engine",
+    "verify_fleet",
+    "insert_batch",
+]
+
+logger = get_logger("engine")
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+ModelGroup = Union[QuantizedModel, Sequence[QuantizedModel], Mapping[str, QuantizedModel]]
+KeyGroup = Union[WatermarkKey, Sequence[WatermarkKey], Mapping[str, WatermarkKey]]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of a :class:`WatermarkEngine`.
+
+    Attributes
+    ----------
+    max_workers:
+        Thread-pool width for the per-layer fan-out.  ``None`` resolves to
+        the ``REPRO_ENGINE_WORKERS`` environment variable, falling back to
+        ``min(8, cpu_count)``; ``1`` forces fully serial execution.
+    plan_cache_entries:
+        Capacity of the LRU :class:`~repro.engine.cache.PlanCache`.
+    parallel_threshold:
+        Minimum number of independent work items before the thread pool is
+        engaged (tiny models aren't worth the dispatch overhead).
+    """
+
+    max_workers: Optional[int] = None
+    plan_cache_entries: int = 256
+    parallel_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None for auto)")
+        if self.plan_cache_entries < 1:
+            raise ValueError("plan_cache_entries must be >= 1")
+        if self.parallel_threshold < 2:
+            raise ValueError("parallel_threshold must be >= 2")
+
+    def resolved_workers(self) -> int:
+        """The worker count after applying the environment override."""
+        if self.max_workers is not None:
+            return self.max_workers
+        env = os.environ.get("REPRO_ENGINE_WORKERS")
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                logger.warning("ignoring non-integer REPRO_ENGINE_WORKERS=%r", env)
+        return max(1, min(8, os.cpu_count() or 1))
+
+
+def _named_items(group, prefix: str) -> List[Tuple[str, object]]:
+    """Normalize a model/key group into ``(id, item)`` pairs."""
+    if isinstance(group, Mapping):
+        return list(group.items())
+    if isinstance(group, (list, tuple)):
+        return [(f"{prefix}-{index}", item) for index, item in enumerate(group)]
+    return [(f"{prefix}-0", group)]
+
+
+class WatermarkEngine:
+    """Shared cached + parallel execution engine for watermark pipelines.
+
+    Parameters
+    ----------
+    config:
+        Engine tuning; defaults to :class:`EngineConfig` defaults.
+    cache:
+        An externally owned :class:`~repro.engine.cache.PlanCache` to share
+        between engines; a private cache is created when omitted.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        cache: Optional[PlanCache] = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        # `is not None`, not truthiness: an empty PlanCache has len() == 0.
+        self.cache = (
+            cache if cache is not None else PlanCache(max_entries=self.config.plan_cache_entries)
+        )
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Parallel infrastructure
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Resolved thread-pool width."""
+        return self.config.resolved_workers()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="wm-engine"
+                )
+            return self._executor
+
+    def map_layers(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        """Apply ``fn`` to independent work items, in parallel when worthwhile.
+
+        Results preserve input order and the first raised exception propagates
+        unchanged, so callers observe serial semantics.  ``fn`` must not call
+        back into :meth:`map_layers` (nested fan-out on a bounded pool can
+        deadlock); the batch APIs therefore parallelize only at the layer
+        level.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) < self.config.parallel_threshold:
+            return [fn(item) for item in items]
+        return list(self._pool().map(fn, items))
+
+    def close(self) -> None:
+        """Shut down the thread pool (idempotent; the pool respawns on use)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "WatermarkEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Location planning (cached)
+    # ------------------------------------------------------------------
+    def plan_for_layer(
+        self,
+        layer: QuantizedLinear,
+        channel_activations: np.ndarray,
+        bits_needed: int,
+        config: EmMarkConfig,
+    ) -> LocationPlan:
+        """The (cached) location plan of one layer.
+
+        Computes the candidate pool (fused scoring + ``argpartition`` top-k)
+        and the seed-``d`` sub-sample exactly once per distinct input
+        fingerprint; insertion, extraction and every verification path call
+        this method, which is what guarantees they agree on locations.
+        """
+        pool_size = config.candidate_pool_size(layer.num_weights)
+        fingerprint = plan_fingerprint(
+            layer_name=layer.name,
+            grid_bits=layer.grid.bits,
+            weight_int=layer.weight_int,
+            outlier_columns=layer.outlier_columns,
+            channel_activations=channel_activations,
+            alpha=config.alpha,
+            beta=config.beta,
+            seed=config.seed,
+            exclude_saturated=config.exclude_saturated,
+            pool_size=pool_size,
+            bits_needed=bits_needed,
+        )
+        return self.cache.get_or_compute(
+            fingerprint,
+            lambda: self._compute_plan(
+                layer, channel_activations, bits_needed, config, pool_size, fingerprint
+            ),
+        )
+
+    def _compute_plan(
+        self,
+        layer: QuantizedLinear,
+        channel_activations: np.ndarray,
+        bits_needed: int,
+        config: EmMarkConfig,
+        pool_size: int,
+        fingerprint: str,
+    ) -> LocationPlan:
+        start = time.perf_counter()
+        scores = select_candidates(
+            layer,
+            channel_activations,
+            alpha=config.alpha,
+            beta=config.beta,
+            pool_size=pool_size,
+            exclude_saturated=config.exclude_saturated,
+        )
+        if scores.num_candidates < bits_needed:
+            raise ValueError(
+                f"layer {layer.name!r} offers only {scores.num_candidates} candidate positions "
+                f"but {bits_needed} signature bits were requested; lower bits_per_layer"
+            )
+        rng = new_rng(config.seed, "selection", layer.name)
+        chosen = rng.choice(scores.candidate_indices, size=bits_needed, replace=False)
+        return LocationPlan(
+            layer_name=layer.name,
+            fingerprint=fingerprint,
+            candidate_indices=scores.candidate_indices,
+            locations=np.asarray(chosen, dtype=np.int64),
+            pool_size=scores.num_candidates,
+            num_weights=layer.num_weights,
+            compute_seconds=time.perf_counter() - start,
+        )
+
+    def locations_for_layer(
+        self,
+        layer: QuantizedLinear,
+        channel_activations: np.ndarray,
+        bits_needed: int,
+        config: EmMarkConfig,
+    ) -> np.ndarray:
+        """Watermark positions of one layer (flattened indices, cached)."""
+        return self.plan_for_layer(layer, channel_activations, bits_needed, config).locations
+
+    def cache_info(self) -> CacheStats:
+        """Snapshot of the plan-cache counters."""
+        return self.cache.stats()
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        model: QuantizedModel,
+        activations: ActivationStats,
+        config: Optional[EmMarkConfig] = None,
+        signature: Optional[np.ndarray] = None,
+        in_place: bool = False,
+    ) -> Tuple[QuantizedModel, WatermarkKey, InsertionReport]:
+        """Insert an EmMark watermark into ``model`` (layers in parallel).
+
+        Semantically identical to the paper pipeline (Section 4.1); see
+        :func:`repro.core.insertion.insert_watermark` for the parameter
+        documentation.  The engine additionally memoizes each layer's
+        location plan, so a follow-up :meth:`extract` against the returned
+        key is pure cache lookups.
+        """
+        wall_start = time.perf_counter()
+        stats_before = self.cache.stats()
+        if config is None:
+            config = EmMarkConfig.scaled_for_model(model)
+        layer_names = model.layer_names()
+        total_bits = config.total_bits(len(layer_names))
+        if signature is None:
+            signature = generate_signature(total_bits, config.signature_seed)
+        else:
+            signature = validate_signature(signature)
+            if signature.size != total_bits:
+                raise ValueError(
+                    f"signature has {signature.size} bits but the configuration requires {total_bits}"
+                )
+        per_layer_signature = split_signature_per_layer(
+            signature, layer_names, config.bits_per_layer
+        )
+
+        missing_activations = [
+            name for name in layer_names if name not in activations.mean_abs
+        ]
+        if missing_activations:
+            raise ValueError(
+                "activation statistics missing for layers: "
+                f"{missing_activations[:4]} — collect stats with the full-precision model"
+            )
+
+        watermarked = model if in_place else model.clone()
+        reference_weights = model.integer_weight_snapshot()
+
+        def watermark_layer(name: str) -> Tuple[str, int, float]:
+            # thread_time, not perf_counter: with concurrent layers a wall
+            # span would include the other workers' GIL and memory-bandwidth
+            # contention; Table 2's per-layer metric is the layer's own CPU
+            # cost, which must not depend on the worker count.
+            start = time.thread_time()
+            layer = watermarked.get_layer(name)
+            layer_signature = per_layer_signature[name]
+            plan = self.plan_for_layer(
+                layer, activations.channel_saliency(name), layer_signature.size, config
+            )
+            layer.add_to_weights(plan.locations, layer_signature)
+            return name, plan.pool_size, time.thread_time() - start
+
+        results = self.map_layers(watermark_layer, layer_names)
+        per_layer_seconds = [seconds for _, _, seconds in results]
+        pool_sizes = {name: pool for name, pool, _ in results}
+
+        outlier_columns = {
+            name: layer.outlier_columns.copy()
+            for name, layer in model.layers.items()
+            if layer.outlier_columns is not None
+        }
+        key = WatermarkKey(
+            signature=signature,
+            config=config,
+            reference_weights=reference_weights,
+            activations=activations,
+            layer_names=layer_names,
+            method=model.method,
+            bits=model.bits,
+            model_name=model.config.name,
+            outlier_columns=outlier_columns,
+        )
+        traffic = self.cache.stats().delta(stats_before)
+        report = InsertionReport(
+            total_bits=total_bits,
+            num_layers=len(layer_names),
+            per_layer_seconds=per_layer_seconds,
+            candidate_pool_sizes=pool_sizes,
+            wall_clock_seconds=time.perf_counter() - wall_start,
+            parallel_workers=self.workers,
+            cache_hits=traffic.hits,
+            cache_misses=traffic.misses,
+        )
+        logger.debug(
+            "inserted %d bits into %d layers of %s (%s INT%d) in %.3fs wall "
+            "(%.3fs per-layer CPU, %d workers, cache %d/%d hit/miss)",
+            total_bits,
+            len(layer_names),
+            model.config.name,
+            model.method,
+            model.bits,
+            report.wall_clock_seconds,
+            report.total_seconds,
+            report.parallel_workers,
+            report.cache_hits,
+            report.cache_misses,
+        )
+        return watermarked, key, report
+
+    # ------------------------------------------------------------------
+    # Extraction / verification
+    # ------------------------------------------------------------------
+    def _reference_layer_view(self, key: WatermarkKey, name: str) -> QuantizedLinear:
+        """Rebuild the insertion-time view of one layer from key material."""
+        grid = QuantizationGrid(key.bits if key.bits else 8)
+        reference = key.reference_weights[name]
+        outliers = key.outlier_columns.get(name)
+        outlier_weight = (
+            np.zeros((reference.shape[0], outliers.size)) if outliers is not None else None
+        )
+        return QuantizedLinear(
+            name=name,
+            weight_int=reference,
+            scale=np.ones((reference.shape[0], 1)),
+            grid=grid,
+            outlier_columns=outliers,
+            outlier_weight=outlier_weight,
+        )
+
+    def reproduce_locations(self, key: WatermarkKey) -> Dict[str, np.ndarray]:
+        """Recompute the watermark locations ``L`` from the key alone.
+
+        The key carries the original quantized weights ``W``, the
+        full-precision activations ``A_f``, the coefficients α/β and the seed
+        ``d`` — everything the scoring + sub-sampling pipeline consumed during
+        insertion — so the reproduced locations are identical to the inserted
+        ones.  Plans are served from the cache whenever this key (or the
+        insertion that created it) has been seen before.
+        """
+
+        def reproduce(name: str) -> Tuple[str, np.ndarray]:
+            layer_view = self._reference_layer_view(key, name)
+            plan = self.plan_for_layer(
+                layer_view,
+                key.activations.channel_saliency(name),
+                key.config.bits_per_layer,
+                key.config,
+            )
+            return name, plan.locations
+
+        return dict(self.map_layers(reproduce, key.layer_names))
+
+    def _match_locations(
+        self,
+        suspect: QuantizedModel,
+        key: WatermarkKey,
+        locations: Dict[str, np.ndarray],
+        strict_layout: bool,
+        wall_start: float,
+    ) -> ExtractionResult:
+        """Pure integer-comparison pass: match the suspect at known locations.
+
+        No scoring, no hashing — this is the per-suspect cost of a fleet
+        sweep once a key's locations are reproduced.
+        """
+        matched = 0
+        total = 0
+        per_layer_wer: Dict[str, float] = {}
+        for name in key.layer_names:
+            layer_signature = key.signature_for_layer(name)
+            total += layer_signature.size
+            if name not in suspect.layers:
+                if strict_layout:
+                    raise KeyError(f"suspect model has no quantized layer named {name!r}")
+                per_layer_wer[name] = 0.0
+                continue
+            suspect_layer = suspect.get_layer(name)
+            reference = key.reference_weights[name]
+            if suspect_layer.weight_int.shape != reference.shape:
+                if strict_layout:
+                    raise ValueError(
+                        f"layer {name!r} shape mismatch: suspect {suspect_layer.weight_int.shape} "
+                        f"vs reference {reference.shape}"
+                    )
+                per_layer_wer[name] = 0.0
+                continue
+            layer_locations = locations[name]
+            delta = (
+                suspect_layer.weight_int.reshape(-1)[layer_locations]
+                - reference.reshape(-1)[layer_locations]
+            )
+            layer_matches = int(np.sum(delta == layer_signature))
+            matched += layer_matches
+            per_layer_wer[name] = 100.0 * layer_matches / layer_signature.size
+        return ExtractionResult.from_counts(
+            total_bits=total,
+            matched_bits=matched,
+            per_layer_wer=per_layer_wer,
+            # Shallow copy: fleet sweeps reuse one locations dict per key,
+            # and each result should own its mapping (the arrays themselves
+            # are cached read-only plans).
+            locations=dict(locations),
+            wall_clock_seconds=time.perf_counter() - wall_start,
+        )
+
+    def extract(
+        self,
+        suspect: QuantizedModel,
+        key: WatermarkKey,
+        strict_layout: bool = True,
+    ) -> ExtractionResult:
+        """Extract the watermark from ``suspect`` and compare it with the key.
+
+        Location reproduction runs in parallel across layers and is served
+        from the plan cache when warm (zero rescoring for previously verified
+        keys); the signature match is a cheap integer-comparison pass.  See
+        :func:`repro.core.extraction.extract_watermark` for parameter
+        documentation.
+        """
+        wall_start = time.perf_counter()
+        locations = self.reproduce_locations(key)
+        result = self._match_locations(suspect, key, locations, strict_layout, wall_start)
+        logger.debug("extraction from %s: %s", suspect.config.name, result.summary())
+        return result
+
+    def verify(
+        self,
+        suspect: QuantizedModel,
+        key: WatermarkKey,
+        wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD,
+        max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    ) -> bool:
+        """Ownership verdict: does ``suspect`` carry the owner's watermark?
+
+        The claim is asserted when the extraction rate reaches
+        ``wer_threshold`` percent *and* (optionally) the false-claim
+        probability of the observed match count is below
+        ``max_false_claim_probability``.
+        """
+        result = self.extract(suspect, key, strict_layout=False)
+        if result.wer_percent < wer_threshold:
+            return False
+        if (
+            max_false_claim_probability is not None
+            and result.false_claim_probability > max_false_claim_probability
+        ):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Batch serving APIs
+    # ------------------------------------------------------------------
+    def verify_fleet(
+        self,
+        suspects: ModelGroup,
+        keys: KeyGroup,
+        wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD,
+        max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    ) -> FleetVerificationReport:
+        """Screen a fleet of suspect models against a set of owner keys.
+
+        Every ``(suspect, key)`` pair in the cross product is extracted and
+        thresholded; this is the bulk ownership-verification workload (many
+        deployed models × many registered owners).  Suspects and keys can be
+        a single object, a sequence (auto-named ``suspect-0`` …) or a mapping
+        of explicit ids.
+
+        Per-key work is done exactly once: each key's locations are
+        reproduced a single time (cached plans, parallel layers, one
+        fingerprint hash per layer), after which every suspect in the fleet
+        is a pure integer-comparison pass against those locations.
+
+        Returns
+        -------
+        FleetVerificationReport
+            One :class:`~repro.engine.reports.PairVerification` per pair plus
+            sweep-level wall-clock and cache-traffic figures.
+        """
+        wall_start = time.perf_counter()
+        stats_before = self.cache.stats()
+        suspect_items = _named_items(suspects, "suspect")
+        key_items = _named_items(keys, "key")
+        pairs: List[PairVerification] = []
+        for key_id, key in key_items:
+            key_locations = self.reproduce_locations(key)
+            for suspect_id, suspect in suspect_items:
+                pair_start = time.perf_counter()
+                result = self._match_locations(
+                    suspect, key, key_locations, strict_layout=False, wall_start=pair_start
+                )
+                owned = result.wer_percent >= wer_threshold and (
+                    max_false_claim_probability is None
+                    or result.false_claim_probability <= max_false_claim_probability
+                )
+                pairs.append(
+                    PairVerification(
+                        suspect_id=suspect_id,
+                        key_id=key_id,
+                        total_bits=result.total_bits,
+                        matched_bits=result.matched_bits,
+                        wer_percent=result.wer_percent,
+                        false_claim_probability=result.false_claim_probability,
+                        owned=owned,
+                        seconds=time.perf_counter() - pair_start,
+                    )
+                )
+        # Re-order suspect-major for stable reporting regardless of loop nest.
+        suspect_order = {sid: i for i, (sid, _) in enumerate(suspect_items)}
+        key_order = {kid: i for i, (kid, _) in enumerate(key_items)}
+        pairs.sort(key=lambda p: (suspect_order[p.suspect_id], key_order[p.key_id]))
+        traffic = self.cache.stats().delta(stats_before)
+        report = FleetVerificationReport(
+            pairs=pairs,
+            wall_clock_seconds=time.perf_counter() - wall_start,
+            cache_hits=traffic.hits,
+            cache_misses=traffic.misses,
+        )
+        logger.debug("%s", report.summary())
+        return report
+
+    def insert_batch(
+        self,
+        models: ModelGroup,
+        activations: Union[ActivationStats, Sequence[ActivationStats], Mapping[str, ActivationStats]],
+        config: Optional[EmMarkConfig] = None,
+        signatures: Optional[Mapping[str, np.ndarray]] = None,
+        in_place: bool = False,
+    ) -> BatchInsertionResult:
+        """Watermark a batch of models in one call.
+
+        Parameters
+        ----------
+        models:
+            A single model, a sequence (auto-named ``model-0`` …) or a
+            mapping of explicit ids.
+        activations:
+            Either one :class:`~repro.models.activations.ActivationStats`
+            shared by every model (fleet of clones), or a sequence / mapping
+            aligned with ``models``.
+        config:
+            Shared insertion configuration; when omitted each model gets
+            :meth:`EmMarkConfig.scaled_for_model`.
+        signatures:
+            Optional explicit per-model signatures keyed by model id.
+        in_place:
+            Watermark the models directly instead of cloning.
+
+        Models are processed sequentially while each model's layers fan out
+        on the engine's thread pool (nesting both levels on one bounded pool
+        could deadlock); identical models sharing activations and config hit
+        the plan cache after the first insertion.
+        """
+        wall_start = time.perf_counter()
+        model_items = _named_items(models, "model")
+        if isinstance(activations, Mapping):
+            activation_for = dict(activations)
+        elif isinstance(activations, (list, tuple)):
+            if len(activations) != len(model_items):
+                raise ValueError(
+                    f"{len(activations)} activation stats for {len(model_items)} models"
+                )
+            activation_for = {
+                model_id: stats for (model_id, _), stats in zip(model_items, activations)
+            }
+        else:
+            activation_for = {model_id: activations for model_id, _ in model_items}
+        items: List[BatchInsertionItem] = []
+        for model_id, model in model_items:
+            if model_id not in activation_for:
+                raise KeyError(f"no activation statistics supplied for model {model_id!r}")
+            signature = signatures.get(model_id) if signatures else None
+            watermarked, key, report = self.insert(
+                model,
+                activation_for[model_id],
+                config=config,
+                signature=signature,
+                in_place=in_place,
+            )
+            items.append(
+                BatchInsertionItem(model_id=model_id, model=watermarked, key=key, report=report)
+            )
+        result = BatchInsertionResult(
+            items=items, wall_clock_seconds=time.perf_counter() - wall_start
+        )
+        logger.debug("%s", result.summary())
+        return result
+
+
+# ----------------------------------------------------------------------
+# Process-wide default engine
+# ----------------------------------------------------------------------
+_default_engine: Optional[WatermarkEngine] = None
+_default_engine_lock = threading.Lock()
+
+
+def get_default_engine() -> WatermarkEngine:
+    """The process-wide shared engine (created on first use).
+
+    The functional APIs (:func:`repro.core.insertion.insert_watermark`,
+    :func:`repro.core.extraction.extract_watermark`, …) and the experiment
+    harness all route through this instance, so its plan cache is shared by
+    every pipeline in the process.
+    """
+    global _default_engine
+    with _default_engine_lock:
+        if _default_engine is None:
+            _default_engine = WatermarkEngine()
+        return _default_engine
+
+
+def set_default_engine(engine: Optional[WatermarkEngine]) -> None:
+    """Replace (or, with ``None``, reset) the process-wide default engine."""
+    global _default_engine
+    with _default_engine_lock:
+        _default_engine = engine
+
+
+def configure_default_engine(**config_kwargs) -> WatermarkEngine:
+    """Rebuild the default engine with new :class:`EngineConfig` settings."""
+    engine = WatermarkEngine(EngineConfig(**config_kwargs))
+    set_default_engine(engine)
+    return engine
+
+
+def verify_fleet(suspects: ModelGroup, keys: KeyGroup, **kwargs) -> FleetVerificationReport:
+    """Module-level convenience: :meth:`WatermarkEngine.verify_fleet` on the default engine."""
+    return get_default_engine().verify_fleet(suspects, keys, **kwargs)
+
+
+def insert_batch(models: ModelGroup, activations, **kwargs) -> BatchInsertionResult:
+    """Module-level convenience: :meth:`WatermarkEngine.insert_batch` on the default engine."""
+    return get_default_engine().insert_batch(models, activations, **kwargs)

@@ -96,7 +96,7 @@ def run_pool_ratio_ablation(
     result = PoolRatioResult(model_name=model_name, bits=bits)
     for ratio in ratios:
         config = context.emmark_config.with_overrides(candidate_pool_ratio=ratio)
-        emmark = EmMark(config)
+        emmark = EmMark(config, engine=context.engine)
         watermarked, key, report = emmark.insert_with_key(
             context.fresh_quantized(), context.activations
         )
@@ -156,9 +156,10 @@ def run_saliency_source_ablation(
 ) -> SaliencySourceResult:
     """Compare owner locations against quantized-activation-scored locations."""
     context = prepare_context(model_name, bits, profile=profile)
-    emmark = EmMark(context.emmark_config)
+    emmark = EmMark(context.emmark_config, engine=context.engine)
     _, owner_key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
-    owner_locations = reproduce_locations(owner_key)
+    # Insertion just warmed the plan cache, so this reproduction is pure lookups.
+    owner_locations = reproduce_locations(owner_key, engine=context.engine)
 
     # Re-score with activations measured on the *quantized* model, which is
     # all an adversary has.
@@ -177,7 +178,7 @@ def run_saliency_source_ablation(
         model_name=owner_key.model_name,
         outlier_columns=owner_key.outlier_columns,
     )
-    adversary_locations = reproduce_locations(adversary_key)
+    adversary_locations = reproduce_locations(adversary_key, engine=context.engine)
 
     result = SaliencySourceResult(model_name=model_name, bits=bits)
     for name in owner_key.layer_names:

@@ -5,6 +5,11 @@ calibration activation statistics, a quantized instance produced by the
 framework the paper pairs with that family/precision, and an evaluation
 harness.  :func:`prepare_context` builds all of it (with caching across
 experiments in the same process) and returns an :class:`ExperimentContext`.
+
+Every context also carries the process-wide
+:class:`~repro.engine.WatermarkEngine`, so all experiments — and in
+particular the attack sweeps, which re-extract the same key many times —
+share one location-plan cache and one parallel layer executor.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.core.config import EmMarkConfig
+from repro.engine import WatermarkEngine, get_default_engine
 from repro.eval.harness import EvaluationHarness, QualityReport
 from repro.models.activations import ActivationStats, collect_activation_stats
 from repro.models.registry import get_model_config, get_pretrained_model_and_data
@@ -65,6 +71,10 @@ class ExperimentContext:
         rows of Table 1).
     emmark_config:
         The scaled EmMark configuration used by default for this context.
+    engine:
+        The shared :class:`~repro.engine.WatermarkEngine` (process-wide
+        default): experiments built from the same context reuse cached
+        location plans across insertion, extraction and attack sweeps.
     """
 
     model_name: str
@@ -76,6 +86,7 @@ class ExperimentContext:
     harness: EvaluationHarness
     baseline_quality: QualityReport
     emmark_config: EmMarkConfig
+    engine: Optional[WatermarkEngine] = None
 
     def fresh_quantized(self) -> QuantizedModel:
         """A clone of the original quantized model safe to mutate."""
@@ -110,6 +121,7 @@ def _cached_context(
         harness=harness,
         baseline_quality=baseline_quality,
         emmark_config=emmark_config,
+        engine=get_default_engine(),
     )
 
 

@@ -96,7 +96,9 @@ def run(
     context = prepare_context(
         model_name, bits, profile=profile, num_task_examples=num_task_examples
     )
-    emmark = EmMark(context.emmark_config)
+    # Sharing the context engine means every sweep point's extraction reuses
+    # the key's cached location plans — the scoring runs once for the sweep.
+    emmark = EmMark(context.emmark_config, engine=context.engine)
     watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
     result = Figure2aResult(model_name=model_name, bits=bits)
     for strength in sweep:

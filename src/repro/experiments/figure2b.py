@@ -77,7 +77,9 @@ def run(
     context = prepare_context(
         model_name, bits, profile=profile, num_task_examples=num_task_examples
     )
-    emmark = EmMark(context.emmark_config)
+    # The shared engine caches the owner key's location plans, so the owner's
+    # WER extraction at every sweep strength is a pure (cached) lookup.
+    emmark = EmMark(context.emmark_config, engine=context.engine)
     watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
     result = Figure2bResult(model_name=model_name, bits=bits)
     for strength in sweep:

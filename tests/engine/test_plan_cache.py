@@ -1,0 +1,164 @@
+"""Tests for the LRU plan cache and the plan fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EmMarkConfig
+from repro.engine.cache import PlanCache
+from repro.engine.plan import LocationPlan, plan_fingerprint
+from repro.quant.base import QuantizationGrid, QuantizedLinear
+
+
+def make_plan(name: str) -> LocationPlan:
+    return LocationPlan(
+        layer_name=name,
+        fingerprint=name,
+        candidate_indices=np.arange(8),
+        locations=np.arange(4),
+        pool_size=8,
+        num_weights=64,
+    )
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", make_plan("a"))
+        assert cache.get("a").layer_name == "a"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_get_or_compute_runs_factory_once(self):
+        cache = PlanCache(max_entries=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return make_plan("a")
+
+        first = cache.get_or_compute("a", factory)
+        second = cache.get_or_compute("a", factory)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("a", make_plan("a"))
+        cache.put("b", make_plan("b"))
+        # Touch "a" so "b" becomes the least recently used entry.
+        assert cache.get("a") is not None
+        cache.put("c", make_plan("c"))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_capacity_bound_holds(self):
+        cache = PlanCache(max_entries=3)
+        for index in range(10):
+            cache.put(str(index), make_plan(str(index)))
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+    def test_stats_snapshot_and_delta(self):
+        cache = PlanCache(max_entries=4)
+        cache.get("missing")
+        before = cache.stats()
+        cache.put("a", make_plan("a"))
+        cache.get("a")
+        cache.get("a")
+        delta = cache.stats().delta(before)
+        assert delta.hits == 2
+        assert delta.misses == 0
+        assert before.hit_rate == 0.0
+        assert cache.stats().hit_rate == pytest.approx(2 / 3)
+
+    def test_clear_preserves_counters(self):
+        cache = PlanCache(max_entries=4)
+        cache.put("a", make_plan("a"))
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+def fingerprint_of(layer, activations, config, bits_needed=4):
+    return plan_fingerprint(
+        layer_name=layer.name,
+        grid_bits=layer.grid.bits,
+        weight_int=layer.weight_int,
+        outlier_columns=layer.outlier_columns,
+        channel_activations=activations,
+        alpha=config.alpha,
+        beta=config.beta,
+        seed=config.seed,
+        exclude_saturated=config.exclude_saturated,
+        pool_size=config.candidate_pool_size(layer.num_weights),
+        bits_needed=bits_needed,
+    )
+
+
+class TestPlanFingerprint:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.weight = rng.integers(-6, 7, size=(8, 8))
+        self.layer = QuantizedLinear(
+            name="probe",
+            weight_int=self.weight,
+            scale=np.ones((8, 1)),
+            grid=QuantizationGrid(4),
+        )
+        self.activations = rng.random(8) + 0.5
+        self.config = EmMarkConfig(bits_per_layer=4)
+
+    def test_deterministic(self):
+        assert fingerprint_of(self.layer, self.activations, self.config) == fingerprint_of(
+            self.layer, self.activations, self.config
+        )
+
+    def test_sensitive_to_every_scoring_input(self):
+        base = fingerprint_of(self.layer, self.activations, self.config)
+        assert base != fingerprint_of(
+            self.layer, self.activations, self.config.with_overrides(seed=101)
+        )
+        assert base != fingerprint_of(
+            self.layer, self.activations, self.config.with_overrides(alpha=0.7)
+        )
+        assert base != fingerprint_of(
+            self.layer, self.activations, self.config.with_overrides(exclude_saturated=False)
+        )
+        assert base != fingerprint_of(self.layer, self.activations, self.config, bits_needed=5)
+        assert base != fingerprint_of(self.layer, self.activations * 1.01, self.config)
+        perturbed = QuantizedLinear(
+            name="probe",
+            weight_int=np.where(self.weight == 1, 2, self.weight),
+            scale=np.ones((8, 1)),
+            grid=QuantizationGrid(4),
+        )
+        assert base != fingerprint_of(perturbed, self.activations, self.config)
+        renamed = QuantizedLinear(
+            name="probe2",
+            weight_int=self.weight,
+            scale=np.ones((8, 1)),
+            grid=QuantizationGrid(4),
+        )
+        assert base != fingerprint_of(renamed, self.activations, self.config)
+
+    def test_insensitive_to_scales_and_signature_seed(self):
+        """Quantization scales and signature seeds cannot change locations."""
+        base = fingerprint_of(self.layer, self.activations, self.config)
+        rescaled = QuantizedLinear(
+            name="probe",
+            weight_int=self.weight,
+            scale=np.full((8, 1), 3.5),
+            grid=QuantizationGrid(4),
+        )
+        assert base == fingerprint_of(rescaled, self.activations, self.config)
+        assert base == fingerprint_of(
+            self.layer, self.activations, self.config.with_overrides(signature_seed=999)
+        )
