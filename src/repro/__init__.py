@@ -51,7 +51,7 @@ from repro.models import TransformerLM, collect_activation_stats, get_pretrained
 from repro.quant import QuantizedModel, quantize_model
 from repro.eval import EvaluationHarness
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EmMark",

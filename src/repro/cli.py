@@ -1,0 +1,220 @@
+"""The ``repro`` command-line interface.
+
+Three sub-commands expose the verification service from a shell:
+
+``repro serve``
+    Run the asyncio verification server in the foreground, backed by a
+    persistent key registry directory.
+
+``repro verify``
+    Offline ownership check: load a registry and a saved suspect model
+    (:func:`repro.service.codec.save_model` layout) and sweep the suspect
+    against the registered keys directly on the engine — the same code path
+    the server batches, without the HTTP hop.
+
+``repro loadgen``
+    Closed-loop load generator against a running server, printing the
+    llm-load-test-style throughput / latency-percentile report.
+
+Installed as a console script via ``pyproject.toml``; also runnable as
+``python -m repro.cli`` (or ``python -m repro``) on a plain ``PYTHONPATH=src``
+checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EmMark reproduction: watermark ownership-verification service tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the verification server")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8420, help="bind port (default: 8420; 0 = ephemeral)")
+    serve.add_argument("--registry", metavar="DIR", default=None,
+                       help="persistent key-registry directory (default: in-memory)")
+    serve.add_argument("--audit-log", metavar="PATH", default=None,
+                       help="JSONL audit log of every ownership decision")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="max verification requests coalesced per engine sweep")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batching window after the first queued request")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="pending-request bound before returning 503")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="token-bucket sustained requests/sec (default: unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst capacity (default: one second of rate)")
+
+    verify = sub.add_parser("verify", help="offline ownership check against a registry")
+    verify.add_argument("--registry", metavar="DIR", required=True,
+                        help="key-registry directory (see 'repro serve --registry')")
+    verify.add_argument("--suspect", metavar="DIR", required=True,
+                        help="saved suspect model directory (model.json + model.npz)")
+    verify.add_argument("--key-id", action="append", default=None,
+                        help="check only this key id (repeatable; default: all active keys)")
+    verify.add_argument("--wer-threshold", type=float, default=None,
+                        help="ownership WER threshold in percent (default: 90)")
+    verify.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    loadgen = sub.add_parser("loadgen", help="closed-loop load test against a running server")
+    loadgen.add_argument("--host", default="127.0.0.1", help="server address")
+    loadgen.add_argument("--port", type=int, default=8420, help="server port")
+    loadgen.add_argument("--concurrency", type=int, default=4, help="concurrent users")
+    loadgen.add_argument("--duration", type=float, default=None,
+                         help="run for this many seconds (mutually exclusive with --requests)")
+    loadgen.add_argument("--requests", type=int, default=None,
+                         help="stop after this many request attempts (completed + "
+                              "rate-limited + errored)")
+    loadgen.add_argument("--suspect", metavar="DIR", action="append", default=None,
+                         help="saved model directory to upload as a suspect before the run "
+                              "(repeatable; uploaded as suspect-0, suspect-1, …)")
+    loadgen.add_argument("--suspect-id", action="append", default=None,
+                         help="already-uploaded suspect id to target (repeatable)")
+    loadgen.add_argument("--key-id", action="append", default=None,
+                         help="restrict verification to these key ids (repeatable)")
+    loadgen.add_argument("--output", metavar="PATH", default=None,
+                         help="write the JSON report here as well as stdout")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations (imports deferred so --help stays instant)
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.audit import AuditLog
+    from repro.service.registry import KeyRegistry
+    from repro.service.server import ServiceConfig, VerificationServer
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            rate_limit_per_sec=args.rate_limit,
+            rate_limit_burst=args.burst,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    registry = KeyRegistry(args.registry)
+    server = VerificationServer(
+        registry=registry,
+        audit=AuditLog(args.audit_log),
+        config=config,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"verification server listening on http://{args.host}:{server.port}")
+        print(f"registry: {args.registry or '(in-memory)'} — {len(registry)} keys")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.engine.engine import WatermarkEngine
+    from repro.engine.reports import DEFAULT_OWNERSHIP_THRESHOLD
+    from repro.service.codec import load_model
+    from repro.service.registry import KeyRegistry, RegistryError
+
+    registry = KeyRegistry(args.registry)
+    suspect = load_model(args.suspect)
+    try:
+        keys = registry.active_keys(args.key_id)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not keys:
+        print("error: registry holds no active keys", file=sys.stderr)
+        return 2
+    threshold = args.wer_threshold if args.wer_threshold is not None else DEFAULT_OWNERSHIP_THRESHOLD
+    report = WatermarkEngine().verify_fleet(
+        {"suspect": suspect}, keys, wer_threshold=threshold
+    )
+    if args.json:
+        print(json.dumps({"decisions": [pair.to_dict() for pair in report.pairs]}, indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.owned_pairs() else 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.client import VerificationClient
+    from repro.service.codec import load_model
+    from repro.service.loadgen import LoadConfig, RequestTemplate, run_load
+
+    if (args.duration is None) == (args.requests is None):
+        print("error: set exactly one of --duration / --requests", file=sys.stderr)
+        return 2
+    suspect_ids: List[str] = list(args.suspect_id or [])
+    if args.suspect:
+        client = VerificationClient(args.host, args.port)
+        try:
+            for index, directory in enumerate(args.suspect):
+                uploaded = client.upload_suspect(load_model(directory), f"suspect-{index}")
+                suspect_ids.append(uploaded["suspect_id"])
+        finally:
+            client.close()
+    if not suspect_ids:
+        print("error: no suspects (use --suspect and/or --suspect-id)", file=sys.stderr)
+        return 2
+    key_ids = tuple(args.key_id) if args.key_id else None
+    report = run_load(
+        LoadConfig(
+            host=args.host,
+            port=args.port,
+            concurrency=args.concurrency,
+            duration_seconds=args.duration,
+            total_requests=args.requests,
+            templates=[RequestTemplate(sid, key_ids=key_ids, label=sid) for sid in suspect_ids],
+            collect_decisions=False,
+        )
+    )
+    print(report.summary())
+    payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"[written to {args.output}]")
+    else:
+        print(payload)
+    return 0 if report.completed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

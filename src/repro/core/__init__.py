@@ -30,7 +30,7 @@ from repro.core.scoring import (
     select_candidates,
     topk_argsort_stable,
 )
-from repro.core.keys import WatermarkKey
+from repro.core.keys import WatermarkKey, model_fingerprint
 from repro.core.insertion import InsertionReport, WatermarkLocation, insert_watermark
 from repro.core.extraction import (
     ExtractionResult,
@@ -54,6 +54,7 @@ __all__ = [
     "topk_argsort_stable",
     "select_candidates",
     "WatermarkKey",
+    "model_fingerprint",
     "WatermarkLocation",
     "insert_watermark",
     "InsertionReport",

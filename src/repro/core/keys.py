@@ -14,9 +14,11 @@ candidate sub-sampling (no ``d``), or the expected signature (no ``B``).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,9 +26,54 @@ from repro.core.config import EmMarkConfig
 from repro.models.activations import ActivationStats
 from repro.utils.serialization import load_json, load_npz, save_json, save_npz
 
-__all__ = ["WatermarkKey"]
+__all__ = ["WatermarkKey", "model_fingerprint", "layer_shapes_fingerprint"]
 
 PathLike = Union[str, Path]
+
+
+def _digest(payload: Dict[str, object], prefix: str, extra_bytes: bytes = b"") -> str:
+    """Short stable hex digest of a JSON-able payload (+ optional raw bytes)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    hasher = hashlib.sha256(canonical.encode("utf-8"))
+    hasher.update(extra_bytes)
+    return f"{prefix}-{hasher.hexdigest()[:20]}"
+
+
+def layer_shapes_fingerprint(
+    model_name: str,
+    method: str,
+    bits: int,
+    layer_shapes: Mapping[str, Tuple[int, ...]],
+) -> str:
+    """Content fingerprint of a model *identity* (name, precision, geometry).
+
+    This is the registry's index key: a watermark key computed for a model and
+    any suspect deployment of that model (watermarked or not) share the same
+    fingerprint, because watermarking and the integer-domain attacks change
+    weight values, never layer names or shapes.
+    """
+    payload = {
+        "model_name": model_name,
+        "method": method,
+        "bits": int(bits),
+        "layers": {name: list(shape) for name, shape in layer_shapes.items()},
+    }
+    return _digest(payload, "wmm")
+
+
+def model_fingerprint(model) -> str:
+    """The :func:`layer_shapes_fingerprint` of a quantized model.
+
+    Duck-typed (anything exposing ``config.name``, ``method``, ``bits`` and a
+    ``layers`` mapping of objects with ``weight_int`` works) so this module
+    stays free of a ``repro.quant`` import.
+    """
+    return layer_shapes_fingerprint(
+        model.config.name,
+        model.method,
+        model.bits,
+        {name: tuple(layer.weight_int.shape) for name, layer in model.layers.items()},
+    )
 
 
 @dataclass
@@ -102,16 +149,73 @@ class WatermarkKey:
         return self.signature[index * bits : (index + 1) * bits]
 
     # ------------------------------------------------------------------
+    # Fingerprinting (content addressing for the key registry)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content-addressed identifier of the key.
+
+        Hashes the signature bits together with everything that determines the
+        watermark locations (α, β, seed ``d``, pool rule, layer order), the
+        model identity, **the reference integer weights and the activation
+        saliencies**, so two registrations of the same key collapse to one
+        registry entry while any semantic difference — a different signature,
+        seed, a retrained model under the same name, or re-collected
+        calibration activations — yields a distinct id.  (Weights and
+        activations both determine the locations ``L``; omitting either
+        would let a newer key silently collide with a stale registry entry
+        whose locations no longer match.)
+        """
+        weights = hashlib.sha256()
+        for name in self.layer_names:
+            weights.update(np.ascontiguousarray(self.reference_weights[name]).tobytes())
+            weights.update(
+                np.ascontiguousarray(
+                    self.activations.channel_saliency(name), dtype=np.float64
+                ).tobytes()
+            )
+        payload = {
+            "config": {
+                "bits_per_layer": self.config.bits_per_layer,
+                "alpha": self.config.alpha,
+                "beta": self.config.beta,
+                "seed": self.config.seed,
+                "candidate_pool_ratio": self.config.candidate_pool_ratio,
+                "max_candidate_fraction": self.config.max_candidate_fraction,
+                "exclude_saturated": self.config.exclude_saturated,
+            },
+            "layer_names": self.layer_names,
+            "model_name": self.model_name,
+            "method": self.method,
+            "bits": self.bits,
+        }
+        return _digest(
+            payload, "wmk", extra_bytes=self.signature.tobytes() + weights.digest()
+        )
+
+    def model_fingerprint(self) -> str:
+        """Identity fingerprint of the model this key was inserted into.
+
+        Matches :func:`model_fingerprint` of the original quantized model and
+        of any suspect deployment of it, which is how the registry finds the
+        candidate keys for an incoming suspect.
+        """
+        return layer_shapes_fingerprint(
+            self.model_name,
+            self.method,
+            self.bits,
+            {name: tuple(w.shape) for name, w in self.reference_weights.items()},
+        )
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def save(self, directory: PathLike) -> Path:
-        """Persist the key into ``directory`` (two files: JSON + NPZ).
+    def to_payload(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Split the key into ``(meta, arrays)`` — JSON-able scalars plus bulk.
 
-        The JSON file holds the scalar metadata and configuration, the NPZ
-        archive holds the signature, reference weights and activations.
+        The payload is the single serialization form behind both the on-disk
+        directory layout (:meth:`save`) and the service wire format
+        (:mod:`repro.service.codec`).
         """
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         meta = {
             "config": {
                 "bits_per_layer": self.config.bits_per_layer,
@@ -129,7 +233,6 @@ class WatermarkKey:
             "model_name": self.model_name,
             "metadata": self.metadata,
         }
-        save_json(directory / "watermark_key.json", meta)
         arrays: Dict[str, np.ndarray] = {"signature": self.signature}
         for name, weights in self.reference_weights.items():
             arrays[f"weights/{name}"] = weights
@@ -137,38 +240,81 @@ class WatermarkKey:
             arrays[f"outliers/{name}"] = np.asarray(columns, dtype=np.int64)
         for key, value in self.activations.to_arrays().items():
             arrays[f"activations/{key}"] = value
+        return meta, arrays
+
+    @classmethod
+    def from_payload(
+        cls, meta: Dict[str, object], arrays: Dict[str, np.ndarray]
+    ) -> "WatermarkKey":
+        """Rebuild a key from the ``(meta, arrays)`` form of :meth:`to_payload`."""
+        try:
+            reference_weights: Dict[str, np.ndarray] = {}
+            outlier_columns: Dict[str, np.ndarray] = {}
+            activation_arrays: Dict[str, np.ndarray] = {}
+            for key, value in arrays.items():
+                if key.startswith("weights/"):
+                    reference_weights[key[len("weights/") :]] = value.astype(np.int64)
+                elif key.startswith("outliers/"):
+                    outlier_columns[key[len("outliers/") :]] = value.astype(np.int64)
+                elif key.startswith("activations/"):
+                    activation_arrays[key[len("activations/") :]] = value
+            config = EmMarkConfig(**meta["config"])
+            return cls(
+                signature=arrays["signature"].astype(np.int64),
+                config=config,
+                reference_weights=reference_weights,
+                activations=ActivationStats.from_arrays(activation_arrays),
+                layer_names=list(meta["layer_names"]),
+                method=meta.get("method", ""),
+                bits=int(meta.get("bits", 0)),
+                model_name=meta.get("model_name", ""),
+                outlier_columns=outlier_columns,
+                metadata=dict(meta.get("metadata", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed watermark key payload: {exc}") from exc
+
+    def save(self, directory: PathLike) -> Path:
+        """Persist the key into ``directory`` (two files: JSON + NPZ).
+
+        The JSON file holds the scalar metadata and configuration, the NPZ
+        archive holds the signature, reference weights and activations.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta, arrays = self.to_payload()
+        save_json(directory / "watermark_key.json", meta)
         save_npz(directory / "watermark_key.npz", arrays)
         return directory
 
     @classmethod
     def load(cls, directory: PathLike) -> "WatermarkKey":
-        """Load a key previously written by :meth:`save`."""
+        """Load a key previously written by :meth:`save`.
+
+        Raises
+        ------
+        FileNotFoundError
+            When either of the two key files is missing.
+        ValueError
+            When a file exists but is corrupted (invalid JSON, a damaged NPZ
+            archive, or metadata inconsistent with the arrays).
+        """
         directory = Path(directory)
-        meta = load_json(directory / "watermark_key.json")
-        arrays = load_npz(directory / "watermark_key.npz")
-        reference_weights: Dict[str, np.ndarray] = {}
-        outlier_columns: Dict[str, np.ndarray] = {}
-        activation_arrays: Dict[str, np.ndarray] = {}
-        for key, value in arrays.items():
-            if key.startswith("weights/"):
-                reference_weights[key[len("weights/") :]] = value.astype(np.int64)
-            elif key.startswith("outliers/"):
-                outlier_columns[key[len("outliers/") :]] = value.astype(np.int64)
-            elif key.startswith("activations/"):
-                activation_arrays[key[len("activations/") :]] = value
-        config = EmMarkConfig(**meta["config"])
-        return cls(
-            signature=arrays["signature"].astype(np.int64),
-            config=config,
-            reference_weights=reference_weights,
-            activations=ActivationStats.from_arrays(activation_arrays),
-            layer_names=list(meta["layer_names"]),
-            method=meta.get("method", ""),
-            bits=int(meta.get("bits", 0)),
-            model_name=meta.get("model_name", ""),
-            outlier_columns=outlier_columns,
-            metadata=dict(meta.get("metadata", {})),
-        )
+        try:
+            meta = load_json(directory / "watermark_key.json")
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"corrupted watermark key metadata in {directory}: {exc}"
+            ) from exc
+        try:
+            arrays = load_npz(directory / "watermark_key.npz")
+        except FileNotFoundError:
+            raise
+        except Exception as exc:  # zipfile.BadZipFile, pickle refusal, OSError…
+            raise ValueError(
+                f"corrupted watermark key archive in {directory}: {exc}"
+            ) from exc
+        return cls.from_payload(meta, arrays)
 
     def describe(self) -> str:
         """Human-readable one-line summary."""

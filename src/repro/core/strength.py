@@ -47,15 +47,20 @@ def false_claim_probability(total_bits: int, matched_bits: int) -> float:
         return 1.0
     # Survival function of Binomial(n, 0.5) evaluated exactly in log space to
     # stay meaningful for the astronomically small tail probabilities the
-    # paper quotes (1e-30 and far beyond).  The result is clipped to [0, 1]
-    # because logsumexp can overshoot 1.0 by a few ULPs for small tails.
-    log_probability = _log_binomial_tail(total_bits, matched_bits)
-    return float(min(1.0, np.exp(log_probability)))
+    # paper quotes (1e-30 and far beyond).  Always sum the *smaller* tail:
+    # summing the near-1 side directly wobbles by a few ULPs across adjacent
+    # ``matched_bits`` values, which breaks the monotonicity callers rely on
+    # when re-thresholding evidence.
+    if 2 * matched_bits > total_bits:
+        log_probability = _log_binomial_tail(total_bits, matched_bits)
+        return float(min(1.0, np.exp(log_probability)))
+    lower_tail = np.exp(_log_binomial_lower_tail(total_bits, matched_bits - 1))
+    return float(max(0.0, 1.0 - lower_tail))
 
 
-def _log_binomial_tail(n: int, k: int) -> float:
-    """Natural log of ``P[X >= k]`` for ``X ~ Binomial(n, 0.5)``."""
-    terms = np.arange(k, n + 1, dtype=np.float64)
+def _log_binomial_mass(n: int, lo: int, hi: int) -> float:
+    """Natural log of ``P[lo <= X <= hi]`` for ``X ~ Binomial(n, 0.5)``."""
+    terms = np.arange(lo, hi + 1, dtype=np.float64)
     log_terms = (
         special.gammaln(n + 1)
         - special.gammaln(terms + 1)
@@ -63,6 +68,16 @@ def _log_binomial_tail(n: int, k: int) -> float:
         - n * np.log(2.0)
     )
     return float(special.logsumexp(log_terms))
+
+
+def _log_binomial_tail(n: int, k: int) -> float:
+    """Natural log of ``P[X >= k]`` for ``X ~ Binomial(n, 0.5)``."""
+    return _log_binomial_mass(n, k, n)
+
+
+def _log_binomial_lower_tail(n: int, k: int) -> float:
+    """Natural log of ``P[X <= k]`` for ``X ~ Binomial(n, 0.5)``."""
+    return _log_binomial_mass(n, 0, k)
 
 
 def watermark_strength(

@@ -35,6 +35,17 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-able counter snapshot (used by the service ``/stats`` endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         """Traffic accumulated since an ``earlier`` snapshot."""
         return CacheStats(

@@ -293,6 +293,15 @@ class WatermarkEngine:
         """Snapshot of the plan-cache counters."""
         return self.cache.stats()
 
+    def cache_stats(self) -> Dict[str, object]:
+        """JSON-able plan-cache counters (hit/miss/eviction, size, hit rate).
+
+        This is the serving-observability surface: the verification service's
+        ``/stats`` endpoint reports it verbatim so cache efficacy is visible
+        under live traffic.
+        """
+        return self.cache.stats().to_dict()
+
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
@@ -552,6 +561,7 @@ class WatermarkEngine:
         keys: KeyGroup,
         wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD,
         max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+        pairs: Optional[Sequence[Tuple[str, str]]] = None,
     ) -> FleetVerificationReport:
         """Screen a fleet of suspect models against a set of owner keys.
 
@@ -566,6 +576,18 @@ class WatermarkEngine:
         fingerprint hash per layer), after which every suspect in the fleet
         is a pure integer-comparison pass against those locations.
 
+        Parameters
+        ----------
+        pairs:
+            Optional explicit ``(suspect_id, key_id)`` pairs to evaluate
+            instead of the full cross product.  This is the micro-batching
+            hook used by the verification service: coalesced requests that
+            each target different keys share one sweep without paying for
+            pairs nobody asked about.  Each listed pair is verified exactly
+            as it would be in a full sweep (bit-identical evidence and
+            verdicts); keys with no requested pair skip location reproduction
+            entirely.
+
         Returns
         -------
         FleetVerificationReport
@@ -576,10 +598,30 @@ class WatermarkEngine:
         stats_before = self.cache.stats()
         suspect_items = _named_items(suspects, "suspect")
         key_items = _named_items(keys, "key")
-        pairs: List[PairVerification] = []
+        requested: Optional[set] = None
+        if pairs is not None:
+            requested = set(pairs)
+            known_suspects = {sid for sid, _ in suspect_items}
+            known_keys = {kid for kid, _ in key_items}
+            unknown = [
+                pair
+                for pair in requested
+                if pair[0] not in known_suspects or pair[1] not in known_keys
+            ]
+            if unknown:
+                raise KeyError(f"verify_fleet pairs reference unknown ids: {sorted(unknown)[:4]}")
+        results: List[PairVerification] = []
         for key_id, key in key_items:
+            if requested is not None:
+                wanted = [
+                    (sid, suspect) for sid, suspect in suspect_items if (sid, key_id) in requested
+                ]
+                if not wanted:
+                    continue
+            else:
+                wanted = suspect_items
             key_locations = self.reproduce_locations(key)
-            for suspect_id, suspect in suspect_items:
+            for suspect_id, suspect in wanted:
                 pair_start = time.perf_counter()
                 result = self._match_locations(
                     suspect, key, key_locations, strict_layout=False, wall_start=pair_start
@@ -588,7 +630,7 @@ class WatermarkEngine:
                     max_false_claim_probability is None
                     or result.false_claim_probability <= max_false_claim_probability
                 )
-                pairs.append(
+                results.append(
                     PairVerification(
                         suspect_id=suspect_id,
                         key_id=key_id,
@@ -603,13 +645,14 @@ class WatermarkEngine:
         # Re-order suspect-major for stable reporting regardless of loop nest.
         suspect_order = {sid: i for i, (sid, _) in enumerate(suspect_items)}
         key_order = {kid: i for i, (kid, _) in enumerate(key_items)}
-        pairs.sort(key=lambda p: (suspect_order[p.suspect_id], key_order[p.key_id]))
+        results.sort(key=lambda p: (suspect_order[p.suspect_id], key_order[p.key_id]))
         traffic = self.cache.stats().delta(stats_before)
         report = FleetVerificationReport(
-            pairs=pairs,
+            pairs=results,
             wall_clock_seconds=time.perf_counter() - wall_start,
             cache_hits=traffic.hits,
             cache_misses=traffic.misses,
+            cache_evictions=traffic.evictions,
         )
         logger.debug("%s", report.summary())
         return report

@@ -192,6 +192,19 @@ class PairVerification:
     owned: bool
     seconds: float = 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-able form (the service's per-decision wire representation)."""
+        return {
+            "suspect_id": self.suspect_id,
+            "key_id": self.key_id,
+            "total_bits": self.total_bits,
+            "matched_bits": self.matched_bits,
+            "wer_percent": self.wer_percent,
+            "false_claim_probability": self.false_claim_probability,
+            "owned": self.owned,
+            "seconds": self.seconds,
+        }
+
     def summary(self) -> str:
         """One-line human-readable summary of the pair."""
         verdict = "OWNED" if self.owned else "not owned"
@@ -213,16 +226,19 @@ class FleetVerificationReport:
         suspect-major order.
     wall_clock_seconds:
         Elapsed time of the whole fleet sweep.
-    cache_hits, cache_misses:
+    cache_hits, cache_misses, cache_evictions:
         Location-plan cache traffic of the sweep.  A warm sweep over a known
         key shows ``cache_misses == 0`` — the per-key scoring work is done
-        exactly once no matter how many suspects are screened.
+        exactly once no matter how many suspects are screened.  A non-zero
+        eviction count means the cache is undersized for the key working set
+        (warm sweeps will silently degrade to cold ones).
     """
 
     pairs: List[PairVerification] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
 
     @property
     def num_pairs(self) -> int:
@@ -248,13 +264,22 @@ class FleetVerificationReport:
             matrix.setdefault(pair.suspect_id, {})[pair.key_id] = pair.owned
         return matrix
 
+    def cache_stats(self) -> dict:
+        """JSON-able plan-cache traffic attributable to this sweep."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+        }
+
     def summary(self) -> str:
         """Multi-line human-readable summary."""
         header = (
             f"fleet verification: {self.num_pairs} pairs, "
             f"{len(self.owned_pairs())} owned, "
             f"{self.wall_clock_seconds:.3f}s wall clock, "
-            f"plan cache {self.cache_hits} hits / {self.cache_misses} misses"
+            f"plan cache {self.cache_hits} hits / {self.cache_misses} misses "
+            f"/ {self.cache_evictions} evictions"
         )
         return "\n".join([header] + [f"  {pair.summary()}" for pair in self.pairs])
 

@@ -1,0 +1,179 @@
+"""Synchronous client for the verification service (stdlib ``http.client``).
+
+One :class:`VerificationClient` wraps one keep-alive HTTP connection, so a
+closed-loop load-generator worker holds exactly one client and reuses the
+socket across its whole request stream.  Instances are **not** thread-safe —
+give each thread its own client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional
+
+from repro.core.keys import WatermarkKey
+from repro.quant.base import QuantizedModel
+from repro.service.codec import key_to_wire, model_to_wire
+
+__all__ = ["ServiceError", "RateLimitedError", "ServiceUnavailableError", "VerificationClient"]
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class RateLimitedError(ServiceError):
+    """HTTP 429 — admission control rejected the request."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """HTTP 503 — the verification queue is full (or the batch timed out)."""
+
+
+class VerificationClient:
+    """Minimal JSON client for :class:`~repro.service.server.VerificationServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8420, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        payload = None
+        headers = {"Connection": "keep-alive"}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except Exception:
+            # Connection poisoned (timeout, reset) — drop it so the next call
+            # reconnects instead of reading a stale response.
+            self.close()
+            raise
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": raw.decode("utf-8", "replace")}
+        if response.status == 429:
+            raise RateLimitedError(response.status, parsed)
+        if response.status == 503:
+            raise ServiceUnavailableError(response.status, parsed)
+        if response.status >= 400:
+            raise ServiceError(response.status, parsed)
+        return parsed
+
+    def close(self) -> None:
+        """Close the underlying connection (a later call reconnects)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "VerificationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        """Full server statistics (counters, dispatcher, plan cache, …)."""
+        return self._request("GET", "/stats")
+
+    def keys(self, model_fingerprint: Optional[str] = None) -> List[Dict[str, object]]:
+        """Registered key records, optionally filtered by model fingerprint."""
+        path = "/keys"
+        if model_fingerprint:
+            path += f"?model_fingerprint={model_fingerprint}"
+        return self._request("GET", path)["keys"]
+
+    def register_key(
+        self,
+        key: WatermarkKey,
+        owner: str = "",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Register a watermark key; returns its registry record."""
+        body = {"owner": owner, "metadata": metadata or {}, "key": key_to_wire(key)}
+        return self._request("POST", "/register", body)["registered"]
+
+    def revoke_key(self, key_id: str) -> Dict[str, object]:
+        """Revoke a registered key by id."""
+        return self._request("POST", "/revoke", {"key_id": key_id})["revoked"]
+
+    def upload_suspect(
+        self, model: QuantizedModel, suspect_id: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Upload a suspect deployment snapshot; returns id + fingerprint."""
+        body: Dict[str, object] = {"model": model_to_wire(model)}
+        if suspect_id is not None:
+            body["suspect_id"] = suspect_id
+        return self._request("POST", "/suspects", body)
+
+    def verify(
+        self,
+        suspect_id: Optional[str] = None,
+        model: Optional[QuantizedModel] = None,
+        key_ids: Optional[List[str]] = None,
+        wer_threshold: Optional[float] = None,
+        max_false_claim_probability: object = "unset",
+    ) -> Dict[str, object]:
+        """Ownership check of a suspect against selected (or all active) keys.
+
+        Pass either ``suspect_id`` of a previously uploaded snapshot or an
+        inline ``model``.  ``max_false_claim_probability=None`` explicitly
+        disables the Equation 8 bound; leaving it unset keeps the server
+        default.
+        """
+        body: Dict[str, object] = {}
+        if model is not None:
+            body["model"] = model_to_wire(model)
+            if suspect_id is not None:
+                body["suspect_id"] = suspect_id
+        elif suspect_id is not None:
+            body["suspect_id"] = suspect_id
+        else:
+            raise ValueError("verify() needs a suspect_id or an inline model")
+        if key_ids is not None:
+            body["key_ids"] = list(key_ids)
+        if wer_threshold is not None:
+            body["wer_threshold"] = wer_threshold
+        if max_false_claim_probability != "unset":
+            body["max_false_claim_probability"] = max_false_claim_probability
+        return self._request("POST", "/verify", body)

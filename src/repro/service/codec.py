@@ -1,0 +1,199 @@
+"""Wire and on-disk codecs for keys and quantized models.
+
+The verification service speaks JSON, but watermark keys and suspect models
+are mostly bulk numeric state.  The codec therefore uses a two-part envelope:
+
+* ``meta`` — plain JSON scalars (config, layer order, grid bits, …),
+* ``arrays`` — every NumPy array packed into a single compressed ``.npz``
+  archive and transported as base64 text.
+
+The same ``(meta, arrays)`` payload backs the on-disk directory form used by
+the ``repro verify`` CLI (``model.json`` + ``model.npz``), mirroring the
+layout :meth:`repro.core.keys.WatermarkKey.save` uses for keys.
+
+Nothing here is pickled: NPZ archives are loaded with ``allow_pickle=False``,
+so a malicious payload can at worst fail to parse.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.core.keys import WatermarkKey
+from repro.models.config import ModelConfig
+from repro.quant.base import QuantizationGrid, QuantizedLinear, QuantizedModel
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz, to_jsonable
+
+__all__ = [
+    "arrays_to_b64",
+    "b64_to_arrays",
+    "key_to_wire",
+    "key_from_wire",
+    "model_to_payload",
+    "model_from_payload",
+    "model_to_wire",
+    "model_from_wire",
+    "save_model",
+    "load_model",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Array transport
+# ----------------------------------------------------------------------
+def arrays_to_b64(arrays: Dict[str, np.ndarray]) -> str:
+    """Pack named arrays into one compressed NPZ archive, base64-encoded."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return base64.b64encode(buffer.getvalue()).decode("ascii")
+
+
+def b64_to_arrays(encoded: str) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`arrays_to_b64`.
+
+    Raises :class:`ValueError` on anything that is not a valid base64 NPZ
+    archive (truncated upload, wrong encoding, pickled payload).
+    """
+    if not isinstance(encoded, str):
+        raise ValueError(f"array payload must be a base64 string, got {type(encoded).__name__}")
+    try:
+        raw = base64.b64decode(encoded.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ValueError(f"payload is not valid base64: {exc}") from exc
+    try:
+        with np.load(io.BytesIO(raw), allow_pickle=False) as handle:
+            return {name: handle[name] for name in handle.files}
+    except Exception as exc:
+        raise ValueError(f"payload is not a valid npz archive: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Watermark keys
+# ----------------------------------------------------------------------
+def key_to_wire(key: WatermarkKey) -> Dict[str, object]:
+    """JSON-able wire form of a watermark key."""
+    meta, arrays = key.to_payload()
+    return {"meta": to_jsonable(meta), "arrays": arrays_to_b64(arrays)}
+
+
+def key_from_wire(wire: Dict[str, object]) -> WatermarkKey:
+    """Rebuild a :class:`WatermarkKey` from :func:`key_to_wire` output."""
+    if not isinstance(wire, dict) or "meta" not in wire or "arrays" not in wire:
+        raise ValueError("key payload must be an object with 'meta' and 'arrays'")
+    return WatermarkKey.from_payload(wire["meta"], b64_to_arrays(wire["arrays"]))
+
+
+# ----------------------------------------------------------------------
+# Quantized models
+# ----------------------------------------------------------------------
+def model_to_payload(model: QuantizedModel) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Split a quantized model into ``(meta, arrays)``.
+
+    The payload round-trips everything verification (and materialization)
+    needs: integer weights, scales, grids, smoothing factors, outlier columns
+    and the full-precision remainder of the state dict.
+    """
+    meta: Dict[str, object] = {
+        "config": asdict(model.config),
+        "method": model.method,
+        "bits": model.bits,
+        "base_seed": model.base_seed,
+        "metadata": model.metadata,
+        "layers": {name: {"grid_bits": layer.grid.bits} for name, layer in model.layers.items()},
+        "layer_order": model.layer_names(),
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    for name, layer in model.layers.items():
+        arrays[f"weight_int/{name}"] = layer.weight_int
+        arrays[f"scale/{name}"] = layer.scale
+        if layer.bias is not None:
+            arrays[f"bias/{name}"] = layer.bias
+        if layer.input_smoothing is not None:
+            arrays[f"smoothing/{name}"] = layer.input_smoothing
+        if layer.outlier_columns is not None:
+            arrays[f"outlier_columns/{name}"] = layer.outlier_columns
+            arrays[f"outlier_weight/{name}"] = layer.outlier_weight
+    for name, value in model.full_precision_state.items():
+        arrays[f"state/{name}"] = value
+    return meta, arrays
+
+
+def model_from_payload(
+    meta: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> QuantizedModel:
+    """Rebuild a :class:`QuantizedModel` from :func:`model_to_payload` output."""
+    try:
+        config_dict = dict(meta["config"])
+        config = ModelConfig(**config_dict)
+        grouped: Dict[str, Dict[str, np.ndarray]] = {}
+        full_precision_state: Dict[str, np.ndarray] = {}
+        for key, value in arrays.items():
+            kind, _, name = key.partition("/")
+            if kind == "state":
+                full_precision_state[name] = value
+            else:
+                grouped.setdefault(name, {})[kind] = value
+        layers: Dict[str, QuantizedLinear] = {}
+        for name in meta["layer_order"]:
+            parts = grouped[name]
+            grid = QuantizationGrid(int(meta["layers"][name]["grid_bits"]))
+            layers[name] = QuantizedLinear(
+                name=name,
+                weight_int=parts["weight_int"].astype(np.int64),
+                scale=parts["scale"],
+                grid=grid,
+                bias=parts.get("bias"),
+                input_smoothing=parts.get("smoothing"),
+                outlier_columns=parts.get("outlier_columns"),
+                outlier_weight=parts.get("outlier_weight"),
+            )
+        return QuantizedModel(
+            config=config,
+            layers=layers,
+            full_precision_state=full_precision_state,
+            method=meta.get("method", ""),
+            bits=int(meta.get("bits", 0)),
+            base_seed=int(meta.get("base_seed", 0)),
+            metadata=dict(meta.get("metadata", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed quantized model payload: {exc}") from exc
+
+
+def model_to_wire(model: QuantizedModel) -> Dict[str, object]:
+    """JSON-able wire form of a quantized model."""
+    meta, arrays = model_to_payload(model)
+    return {"meta": to_jsonable(meta), "arrays": arrays_to_b64(arrays)}
+
+
+def model_from_wire(wire: Dict[str, object]) -> QuantizedModel:
+    """Rebuild a :class:`QuantizedModel` from :func:`model_to_wire` output."""
+    if not isinstance(wire, dict) or "meta" not in wire or "arrays" not in wire:
+        raise ValueError("model payload must be an object with 'meta' and 'arrays'")
+    return model_from_payload(wire["meta"], b64_to_arrays(wire["arrays"]))
+
+
+def save_model(model: QuantizedModel, directory: PathLike) -> Path:
+    """Persist a quantized model into ``directory`` (``model.json`` + ``model.npz``)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta, arrays = model_to_payload(model)
+    save_json(directory / "model.json", meta)
+    save_npz(directory / "model.npz", arrays)
+    return directory
+
+
+def load_model(directory: PathLike) -> QuantizedModel:
+    """Load a model previously written by :func:`save_model`."""
+    directory = Path(directory)
+    meta = load_json(directory / "model.json")
+    arrays = load_npz(directory / "model.npz")
+    return model_from_payload(meta, arrays)

@@ -1,0 +1,257 @@
+"""Closed-loop load generator for the verification service.
+
+Follows the shape of ``llm-load-test``: N concurrent users, each in a closed
+loop (send a request, wait for the response, immediately send the next one),
+driven either for a fixed duration or until a shared request budget is
+exhausted, with structured latency/throughput output.
+
+Each user thread owns one keep-alive :class:`VerificationClient` connection
+and walks the configured request mix round-robin with a per-user stride, so
+a hit/miss template mix is exercised evenly at every concurrency level.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.service.client import (
+    RateLimitedError,
+    ServiceError,
+    ServiceUnavailableError,
+    VerificationClient,
+)
+from repro.utils.logging import get_logger
+
+__all__ = ["RequestTemplate", "LoadConfig", "LoadReport", "run_load"]
+
+logger = get_logger("service.loadgen")
+
+
+@dataclass(frozen=True)
+class RequestTemplate:
+    """One request shape in the load mix.
+
+    Attributes
+    ----------
+    suspect_id:
+        Id of a suspect snapshot already uploaded to the server.
+    key_ids:
+        Keys to check against (``None`` = every active key).
+    label:
+        Mix label carried into the per-request records (e.g. ``"hit"`` /
+        ``"miss"``) so reports can split latency by request class.
+    """
+
+    suspect_id: str
+    key_ids: Optional[tuple] = None
+    label: str = ""
+
+
+@dataclass
+class LoadConfig:
+    """Parameters of one load run.
+
+    ``total_requests`` is a budget of request *attempts*: rejected (429/503)
+    and errored attempts consume it too, so a run against a rate-limited
+    server always terminates.  Without admission control in play,
+    ``completed == total_requests``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8420
+    concurrency: int = 4
+    duration_seconds: Optional[float] = None
+    total_requests: Optional[int] = None
+    templates: List[RequestTemplate] = field(default_factory=list)
+    timeout: float = 60.0
+    collect_decisions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if (self.duration_seconds is None) == (self.total_requests is None):
+            raise ValueError("set exactly one of duration_seconds / total_requests")
+        if not self.templates:
+            raise ValueError("at least one request template is required")
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    concurrency: int
+    elapsed_seconds: float
+    completed: int
+    errors: int
+    rate_limited: int
+    unavailable: int
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    per_label_completed: Dict[str, int]
+    decisions: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (``decisions`` excluded — they are bench-internal)."""
+        return {
+            "concurrency": self.concurrency,
+            "elapsed_seconds": self.elapsed_seconds,
+            "completed": self.completed,
+            "errors": self.errors,
+            "rate_limited": self.rate_limited,
+            "unavailable": self.unavailable,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_ms,
+            "per_label_completed": self.per_label_completed,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        lat = self.latency_ms
+        return (
+            f"{self.concurrency} users × {self.elapsed_seconds:.2f}s: "
+            f"{self.completed} ok ({self.throughput_rps:.1f} req/s), "
+            f"p50 {lat.get('p50', 0):.1f}ms p95 {lat.get('p95', 0):.1f}ms "
+            f"p99 {lat.get('p99', 0):.1f}ms, "
+            f"{self.rate_limited} rate-limited, {self.errors} errors"
+        )
+
+
+class _Budget:
+    """Shared request budget for ``total_requests`` mode."""
+
+    def __init__(self, total: Optional[int]) -> None:
+        self._remaining = total
+        self._lock = threading.Lock()
+
+    def take(self) -> bool:
+        if self._remaining is None:
+            return True
+        with self._lock:
+            if self._remaining <= 0:
+                return False
+            self._remaining -= 1
+            return True
+
+
+@dataclass
+class _WorkerResult:
+    latencies_ms: List[float] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+    decisions: List[Dict[str, object]] = field(default_factory=list)
+    errors: int = 0
+    rate_limited: int = 0
+    unavailable: int = 0
+
+
+def _worker(
+    index: int,
+    config: LoadConfig,
+    stop: threading.Event,
+    budget: _Budget,
+    start_barrier: threading.Barrier,
+    result: _WorkerResult,
+) -> None:
+    templates = config.templates
+    client = VerificationClient(config.host, config.port, timeout=config.timeout)
+    cursor = index  # stride by concurrency → even template coverage per user
+    try:
+        start_barrier.wait(timeout=30.0)
+        while not stop.is_set():
+            if not budget.take():
+                break
+            template = templates[cursor % len(templates)]
+            cursor += config.concurrency
+            begin = time.perf_counter()
+            try:
+                response = client.verify(
+                    suspect_id=template.suspect_id,
+                    key_ids=list(template.key_ids) if template.key_ids else None,
+                )
+            except RateLimitedError:
+                result.rate_limited += 1
+                continue
+            except ServiceUnavailableError:
+                result.unavailable += 1
+                continue
+            except (ServiceError, OSError) as exc:
+                result.errors += 1
+                logger.debug("user %d request failed: %s", index, exc)
+                continue
+            result.latencies_ms.append((time.perf_counter() - begin) * 1000.0)
+            result.labels.append(template.label)
+            if config.collect_decisions:
+                result.decisions.append(
+                    {
+                        "label": template.label,
+                        "suspect_id": response["suspect_id"],
+                        "decisions": response["decisions"],
+                        "batch_size": response["batch_size"],
+                    }
+                )
+    finally:
+        client.close()
+
+
+def run_load(config: LoadConfig) -> LoadReport:
+    """Run one closed-loop load test and aggregate the results."""
+    stop = threading.Event()
+    budget = _Budget(config.total_requests)
+    start_barrier = threading.Barrier(config.concurrency + 1)
+    results = [_WorkerResult() for _ in range(config.concurrency)]
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(i, config, stop, budget, start_barrier, results[i]),
+            name=f"loadgen-{i}",
+            daemon=True,
+        )
+        for i in range(config.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait(timeout=30.0)
+    started = time.perf_counter()
+    if config.duration_seconds is not None:
+        time.sleep(config.duration_seconds)
+        stop.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    latencies = [lat for result in results for lat in result.latencies_ms]
+    labels = [label for result in results for label in result.labels]
+    decisions = [d for result in results for d in result.decisions]
+    completed = len(latencies)
+    per_label: Dict[str, int] = {}
+    for label in labels:
+        per_label[label] = per_label.get(label, 0) + 1
+    if latencies:
+        arr = np.asarray(latencies)
+        latency_ms = {
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "max": float(arr.max()),
+        }
+    else:
+        latency_ms = {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    report = LoadReport(
+        concurrency=config.concurrency,
+        elapsed_seconds=elapsed,
+        completed=completed,
+        errors=sum(result.errors for result in results),
+        rate_limited=sum(result.rate_limited for result in results),
+        unavailable=sum(result.unavailable for result in results),
+        throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+        latency_ms=latency_ms,
+        per_label_completed=per_label,
+        decisions=decisions,
+    )
+    logger.info("%s", report.summary())
+    return report

@@ -1,0 +1,306 @@
+"""Persistent registry of issued watermark keys.
+
+The registry is the service-side source of truth for "which owners have
+watermarked which models".  Keys are content-addressed by their signature
+fingerprint (:meth:`repro.core.keys.WatermarkKey.fingerprint`) — registering
+the same key twice is idempotent — and indexed by the model-identity
+fingerprint (:meth:`~repro.core.keys.WatermarkKey.model_fingerprint`), so an
+incoming suspect can be matched against exactly the keys issued for its model
+family.
+
+On-disk layout (one sub-directory per key under the registry root)::
+
+    <root>/
+      <key_id>/
+        record.json          # owner, timestamps, revocation, fingerprints
+        watermark_key.json   # WatermarkKey.save() metadata
+        watermark_key.npz    # WatermarkKey.save() bulk arrays
+
+A registry constructed without a root directory keeps everything in memory —
+that mode backs unit tests and ephemeral servers.
+
+All public methods are thread-safe: the asyncio server handles requests on
+its event loop while verification work runs on executor threads, and both
+sides consult the registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.keys import WatermarkKey
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+__all__ = ["KeyRecord", "KeyRegistry", "RegistryError"]
+
+PathLike = Union[str, Path]
+
+logger = get_logger("service.registry")
+
+_RECORD_FILE = "record.json"
+
+
+class RegistryError(RuntimeError):
+    """Raised for registry-level failures (unknown key, corrupt entry, …)."""
+
+
+@dataclass
+class KeyRecord:
+    """Bookkeeping attached to one registered key.
+
+    Attributes
+    ----------
+    key_id:
+        Content-addressed id — the key's signature fingerprint.
+    model_fingerprint:
+        Identity fingerprint of the model the key was inserted into (the
+        registry's lookup index for incoming suspects).
+    owner:
+        Free-form owner identity (team, org, contact).
+    created_at:
+        Unix timestamp of first registration.
+    revoked:
+        Revoked keys stay on disk for audit but are excluded from
+        verification sweeps.
+    total_bits, num_layers, model_name, method, bits:
+        Denormalized key facts so ``/keys`` listings don't load bulk arrays.
+    metadata:
+        Arbitrary owner-supplied JSON-able metadata.
+    """
+
+    key_id: str
+    model_fingerprint: str
+    owner: str = ""
+    created_at: float = 0.0
+    revoked: bool = False
+    total_bits: int = 0
+    num_layers: int = 0
+    model_name: str = ""
+    method: str = ""
+    bits: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (both the ``record.json`` file and ``/keys`` rows)."""
+        return {
+            "key_id": self.key_id,
+            "model_fingerprint": self.model_fingerprint,
+            "owner": self.owner,
+            "created_at": self.created_at,
+            "revoked": self.revoked,
+            "total_bits": self.total_bits,
+            "num_layers": self.num_layers,
+            "model_name": self.model_name,
+            "method": self.method,
+            "bits": self.bits,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KeyRecord":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                key_id=data["key_id"],
+                model_fingerprint=data["model_fingerprint"],
+                owner=data.get("owner", ""),
+                created_at=float(data.get("created_at", 0.0)),
+                revoked=bool(data.get("revoked", False)),
+                total_bits=int(data.get("total_bits", 0)),
+                num_layers=int(data.get("num_layers", 0)),
+                model_name=data.get("model_name", ""),
+                method=data.get("method", ""),
+                bits=int(data.get("bits", 0)),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(f"malformed key record: {exc}") from exc
+
+
+class KeyRegistry:
+    """Thread-safe store of :class:`WatermarkKey`s with optional persistence.
+
+    Parameters
+    ----------
+    root:
+        Directory to persist into (created if missing; existing entries are
+        loaded eagerly).  ``None`` keeps the registry purely in memory.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._lock = threading.RLock()
+        self._keys: Dict[str, WatermarkKey] = {}
+        self._records: Dict[str, KeyRecord] = {}
+        # model_fingerprint -> [key_id, ...] in registration order
+        self._by_model: Dict[str, List[str]] = {}
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._load_existing()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load_existing(self) -> None:
+        entries = sorted(p for p in self.root.iterdir() if (p / _RECORD_FILE).exists())
+        for entry in entries:
+            try:
+                record = KeyRecord.from_dict(load_json(entry / _RECORD_FILE))
+                key = WatermarkKey.load(entry)
+            except (RegistryError, ValueError, FileNotFoundError, KeyError) as exc:
+                raise RegistryError(f"corrupt registry entry {entry}: {exc}") from exc
+            if record.key_id != entry.name:
+                raise RegistryError(
+                    f"registry entry {entry} holds record for {record.key_id!r}"
+                )
+            self._install(record, key)
+        if entries:
+            logger.info("loaded %d keys from %s", len(entries), self.root)
+
+    def _persist(self, record: KeyRecord, key: WatermarkKey) -> None:
+        entry = self.root / record.key_id
+        key.save(entry)
+        save_json(entry / _RECORD_FILE, record.to_dict())
+
+    def _persist_record(self, record: KeyRecord) -> None:
+        save_json(self.root / record.key_id / _RECORD_FILE, record.to_dict())
+
+    def _install(self, record: KeyRecord, key: WatermarkKey) -> None:
+        self._keys[record.key_id] = key
+        self._records[record.key_id] = record
+        siblings = self._by_model.setdefault(record.model_fingerprint, [])
+        if record.key_id not in siblings:
+            siblings.append(record.key_id)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        key: WatermarkKey,
+        owner: str = "",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> KeyRecord:
+        """Register ``key`` and return its record.
+
+        Content-addressed and idempotent: re-registering an identical key
+        returns the existing record unchanged (first owner wins — a second
+        registration cannot silently seize someone else's key).
+        """
+        key_id = key.fingerprint()
+        with self._lock:
+            existing = self._records.get(key_id)
+            if existing is not None:
+                return existing
+            record = KeyRecord(
+                key_id=key_id,
+                model_fingerprint=key.model_fingerprint(),
+                owner=owner,
+                created_at=time.time(),
+                total_bits=key.total_bits,
+                num_layers=key.num_layers,
+                model_name=key.model_name,
+                method=key.method,
+                bits=key.bits,
+                metadata=dict(metadata or {}),
+            )
+            self._install(record, key)
+            if self.root is not None:
+                self._persist(record, key)
+            logger.info("registered key %s (owner=%r, model=%s)", key_id, owner, key.model_name)
+            return record
+
+    def revoke(self, key_id: str) -> KeyRecord:
+        """Mark a key as revoked (it stays on disk but stops being served)."""
+        with self._lock:
+            record = self._record_or_raise(key_id)
+            if not record.revoked:
+                record.revoked = True
+                if self.root is not None:
+                    self._persist_record(record)
+                logger.info("revoked key %s", key_id)
+            return record
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _record_or_raise(self, key_id: str) -> KeyRecord:
+        record = self._records.get(key_id)
+        if record is None:
+            raise RegistryError(f"unknown key id {key_id!r}")
+        return record
+
+    def get_key(self, key_id: str) -> WatermarkKey:
+        """The key material for ``key_id`` (raises :class:`RegistryError`)."""
+        with self._lock:
+            self._record_or_raise(key_id)
+            return self._keys[key_id]
+
+    def get_record(self, key_id: str) -> KeyRecord:
+        """The record for ``key_id`` (raises :class:`RegistryError`)."""
+        with self._lock:
+            return self._record_or_raise(key_id)
+
+    def records(self) -> List[KeyRecord]:
+        """All records in registration order (revoked included)."""
+        with self._lock:
+            return list(self._records.values())
+
+    def active_keys(self, key_ids: Optional[List[str]] = None) -> Dict[str, WatermarkKey]:
+        """``{key_id: key}`` for non-revoked keys.
+
+        With ``key_ids`` the selection is restricted to those ids; asking for
+        an unknown or revoked id raises, so a verification request can never
+        silently run against fewer keys than it named.
+        """
+        with self._lock:
+            if key_ids is None:
+                return {
+                    kid: self._keys[kid]
+                    for kid, record in self._records.items()
+                    if not record.revoked
+                }
+            selected: Dict[str, WatermarkKey] = {}
+            for kid in key_ids:
+                record = self._record_or_raise(kid)
+                if record.revoked:
+                    raise RegistryError(f"key {kid!r} is revoked")
+                selected[kid] = self._keys[kid]
+            return selected
+
+    def keys_for_model(self, fingerprint: str) -> Dict[str, WatermarkKey]:
+        """Active keys registered against one model-identity fingerprint."""
+        with self._lock:
+            return {
+                kid: self._keys[kid]
+                for kid in self._by_model.get(fingerprint, [])
+                if not self._records[kid].revoked
+            }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, key_id: str) -> bool:
+        with self._lock:
+            return key_id in self._records
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able summary for the ``/stats`` endpoint."""
+        with self._lock:
+            revoked = sum(1 for record in self._records.values() if record.revoked)
+            return {
+                "keys": len(self._records),
+                "active": len(self._records) - revoked,
+                "revoked": revoked,
+                "models": len(self._by_model),
+                "persistent": self.root is not None,
+            }

@@ -1,0 +1,667 @@
+"""Asyncio verification server (stdlib-only HTTP/1.1 + JSON).
+
+:class:`VerificationServer` is the serving surface of the reproduction: the
+owner registers watermark keys, deployments upload suspect snapshots, and
+concurrent ``/verify`` requests are coalesced by the
+:class:`~repro.service.dispatch.MicroBatchDispatcher` into single
+``verify_fleet`` sweeps on the shared engine.
+
+Endpoints (all JSON):
+
+========  =========  ====================================================
+method    path       purpose
+========  =========  ====================================================
+GET       /healthz   liveness probe (uptime, queue depth)
+GET       /stats     counters: server, dispatcher, admission, plan cache,
+                     registry, audit tail
+GET       /keys      registered key records (``?model_fingerprint=`` filter)
+POST      /register  register a watermark key (owner + wire-encoded key)
+POST      /revoke    revoke a key by id
+POST      /suspects  upload a suspect model snapshot, returns its id
+POST      /verify    ownership check of one suspect against selected keys
+========  =========  ====================================================
+
+The HTTP layer is deliberately minimal — request line + headers +
+``Content-Length`` body, keep-alive connections, no TLS, no chunking — the
+stdlib-only constraint rules out real frameworks, and the interesting
+engineering (admission control, micro-batching, audit) lives behind the
+routes, not in header parsing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.core.keys import WatermarkKey, model_fingerprint
+from repro.engine.engine import EngineConfig, WatermarkEngine
+from repro.quant.base import QuantizedModel
+from repro.service.audit import AuditLog
+from repro.service.codec import key_from_wire, model_from_wire
+from repro.service.dispatch import (
+    MicroBatchDispatcher,
+    QueueFullError,
+    TokenBucket,
+    VerifyJob,
+)
+from repro.service.registry import KeyRegistry, RegistryError
+from repro.utils.logging import get_logger
+
+__all__ = ["ServiceConfig", "VerificationServer", "ServerHandle", "run_in_background"]
+
+logger = get_logger("service.server")
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+_VERIFY_TIMEOUT_S = 120.0
+
+
+def _model_content_id(model: QuantizedModel) -> str:
+    """Short digest of a model's *weight values* (not just its shape).
+
+    Used for default suspect ids: the shape-only model fingerprint would
+    alias every same-architecture deployment to one id, so an upload of a
+    different model could silently replace (or, batched, answer for) another
+    suspect.  Hashing the integer weights keeps distinct contents distinct.
+    """
+    hasher = hashlib.sha256()
+    for name in model.layer_names():
+        hasher.update(name.encode("utf-8"))
+        hasher.update(np.ascontiguousarray(model.get_layer(name).weight_int).tobytes())
+    return hasher.hexdigest()[:12]
+
+
+class _HttpError(Exception):
+    """Internal: converts to a JSON error response with the given status.
+
+    ``counter`` names the server stat the error should increment; when left
+    ``None`` the status code picks the default bucket.
+    """
+
+    def __init__(self, status: int, message: str, counter: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.counter = counter
+
+
+class ServiceConfig:
+    """Tuning knobs of a :class:`VerificationServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        rate_limit_per_sec: Optional[float] = None,
+        rate_limit_burst: Optional[float] = None,
+        max_suspects: int = 1024,
+    ) -> None:
+        if rate_limit_burst and not rate_limit_per_sec:
+            raise ValueError("rate_limit_burst requires rate_limit_per_sec")
+        if max_suspects < 1:
+            raise ValueError("max_suspects must be >= 1")
+        self.host = host
+        self.port = int(port)
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_queue = int(max_queue)
+        self.rate_limit_per_sec = rate_limit_per_sec
+        self.rate_limit_burst = rate_limit_burst
+        self.max_suspects = int(max_suspects)
+
+
+class VerificationServer:
+    """The ownership-verification service.
+
+    Parameters
+    ----------
+    engine:
+        Shared :class:`WatermarkEngine`; a private one is created when
+        omitted (fresh plan cache — a "cold" server).
+    registry:
+        Key store; an in-memory registry is created when omitted.
+    config:
+        Network + dispatcher + admission-control settings.
+    audit:
+        Audit sink; an in-memory-only log is created when omitted.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[WatermarkEngine] = None,
+        registry: Optional[KeyRegistry] = None,
+        config: Optional[ServiceConfig] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.engine = engine if engine is not None else WatermarkEngine(EngineConfig())
+        self.registry = registry if registry is not None else KeyRegistry()
+        self.audit = audit if audit is not None else AuditLog()
+        self.bucket = TokenBucket(self.config.rate_limit_per_sec, self.config.rate_limit_burst)
+        self.dispatcher = MicroBatchDispatcher(
+            self.engine,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
+        )
+        # Suspect store: uploaded deployment snapshots, addressed by id.
+        # LRU-bounded so a long-running server cannot be grown to OOM by
+        # repeated uploads under fresh ids.
+        self._suspects: "OrderedDict[str, Tuple[QuantizedModel, str]]" = OrderedDict()
+        self._suspects_lock = threading.Lock()
+        self._suspect_evictions = 0
+        self._request_ids = itertools.count(1)
+        self._inline_ids = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self.port: Optional[int] = None
+        self.started_at: Optional[float] = None
+        self._counters: Dict[str, int] = {
+            "requests_total": 0,
+            "verifications": 0,
+            "decisions_owned": 0,
+            "decisions_not_owned": 0,
+            "rejected_rate_limit": 0,
+            "rejected_queue_full": 0,
+            "timeouts": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatcher."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self.dispatcher.start()
+        logger.info("verification server listening on %s:%d", self.config.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting, close open connections, stop the dispatcher."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Cancel in-flight handlers (idle keep-alive connections would
+        # otherwise be destroyed mid-task when the loop shuts down).
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.dispatcher.stop()
+        self.audit.close()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(asyncio.current_task())
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Unparseable framing (e.g. a bad Content-Length): answer
+                    # once, then drop the connection — the stream position is
+                    # no longer trustworthy.
+                    self._counters["requests_total"] += 1
+                    self._counters["errors"] += 1
+                    await self._write_response(writer, exc.status, {"error": str(exc)}, False)
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                self._counters["requests_total"] += 1
+                try:
+                    status, payload = await self._route(method, path, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": str(exc)}
+                    if exc.counter is not None:
+                        self._counters[exc.counter] += 1
+                    elif exc.status == 429:
+                        self._counters["rejected_rate_limit"] += 1
+                    elif exc.status == 503:
+                        self._counters["rejected_queue_full"] += 1
+                    else:
+                        self._counters["errors"] += 1
+                except Exception as exc:  # route bug — keep serving
+                    logger.exception("unhandled error on %s %s", method, path)
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                    self._counters["errors"] += 1
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown
+        finally:
+            self._connections.discard(asyncio.current_task())
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            # StreamReader wraps a line longer than its buffer limit into a
+            # bare ValueError — answer 400 instead of crashing the task.
+            raise _HttpError(400, "request line too long") from None
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise _HttpError(400, "header line too long") from None
+            header_bytes += len(line)
+            if header_bytes > _MAX_HEADER_BYTES:
+                raise _HttpError(400, "header section too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length header") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _HttpError(400, f"body exceeds the {_MAX_BODY_BYTES}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool,
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 429: "Too Many Requests",
+                   500: "Internal Server Error", 503: "Service Unavailable"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Response')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, object]:
+        if not body:
+            raise _HttpError(400, "request body must be JSON")
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(parsed, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        parts = urlsplit(target)
+        path, query = parts.path, parse_qs(parts.query)
+        get_routes = {
+            "/healthz": self._handle_healthz,
+            "/stats": self._handle_stats,
+            "/keys": lambda _body: self._handle_keys(query),
+        }
+        post_routes = {
+            "/verify": self._handle_verify,
+            "/register": self._handle_register,
+            "/suspects": self._handle_suspects,
+        }
+        if method == "GET" and path in get_routes:
+            return get_routes[path](b"")
+        if method == "POST":
+            if path in post_routes:
+                return await post_routes[path](body)
+            if path == "/revoke":
+                return self._handle_revoke(body)
+        if path in get_routes or path in post_routes or path == "/revoke":
+            raise _HttpError(405, f"method {method} not allowed on {path}")
+        raise _HttpError(404, f"unknown endpoint {path}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_healthz(self, _body: bytes) -> Tuple[int, Dict[str, object]]:
+        return 200, {
+            "status": "ok",
+            "uptime_seconds": time.time() - (self.started_at or time.time()),
+            "queue_depth": self.dispatcher.depth,
+        }
+
+    def _handle_stats(self, _body: bytes) -> Tuple[int, Dict[str, object]]:
+        with self._suspects_lock:
+            num_suspects = len(self._suspects)
+        return 200, {
+            "server": {
+                "uptime_seconds": time.time() - (self.started_at or time.time()),
+                **self._counters,
+            },
+            "dispatcher": self.dispatcher.stats(),
+            "admission": self.bucket.stats(),
+            "plan_cache": self.engine.cache_stats(),
+            "registry": self.registry.stats(),
+            "suspects": {
+                "count": num_suspects,
+                "max": self.config.max_suspects,
+                "evictions": self._suspect_evictions,
+            },
+            "audit": {"entries": self.audit.count},
+        }
+
+    def _handle_keys(self, query: Dict[str, list]) -> Tuple[int, Dict[str, object]]:
+        records = self.registry.records()
+        wanted = query.get("model_fingerprint")
+        if wanted:
+            records = [r for r in records if r.model_fingerprint in wanted]
+        return 200, {"keys": [record.to_dict() for record in records]}
+
+    async def _handle_register(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        payload = self._json_body(body)
+        if "key" not in payload:
+            raise _HttpError(400, "missing 'key' payload")
+        loop = asyncio.get_running_loop()
+        try:
+            # NPZ decode and registry persistence are CPU/disk bound — keep
+            # them off the event loop so /healthz and queued /verify responses
+            # stay live during large uploads.
+            key = await loop.run_in_executor(None, key_from_wire, payload["key"])
+        except ValueError as exc:
+            raise _HttpError(400, f"invalid key payload: {exc}") from exc
+        record = await loop.run_in_executor(
+            None,
+            lambda: self.registry.register(
+                key,
+                owner=str(payload.get("owner", "")),
+                metadata=payload.get("metadata") or {},
+            ),
+        )
+        return 200, {"registered": record.to_dict()}
+
+    def _handle_revoke(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        payload = self._json_body(body)
+        key_id = payload.get("key_id")
+        if not key_id:
+            raise _HttpError(400, "missing 'key_id'")
+        try:
+            record = self.registry.revoke(key_id)
+        except RegistryError as exc:
+            raise _HttpError(404, str(exc)) from exc
+        return 200, {"revoked": record.to_dict()}
+
+    async def _handle_suspects(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        payload = self._json_body(body)
+        if "model" not in payload:
+            raise _HttpError(400, "missing 'model' payload")
+        loop = asyncio.get_running_loop()
+        try:
+            model = await loop.run_in_executor(None, model_from_wire, payload["model"])
+        except ValueError as exc:
+            raise _HttpError(400, f"invalid model payload: {exc}") from exc
+        fingerprint = model_fingerprint(model)
+        suspect_id = payload.get("suspect_id")
+        if suspect_id is not None and not isinstance(suspect_id, str):
+            raise _HttpError(400, "'suspect_id' must be a string")
+        if not suspect_id:
+            # Content-addressed default: same bytes → same id, different
+            # model → different id (see _model_content_id).
+            suspect_id = "suspect-" + await loop.run_in_executor(
+                None, _model_content_id, model
+            )
+        suspect_id = str(suspect_id)
+        with self._suspects_lock:
+            if suspect_id in self._suspects:
+                self._suspects.move_to_end(suspect_id)
+            self._suspects[suspect_id] = (model, fingerprint)
+            while len(self._suspects) > self.config.max_suspects:
+                self._suspects.popitem(last=False)
+                self._suspect_evictions += 1
+        candidate_keys = list(self.registry.keys_for_model(fingerprint))
+        return 200, {
+            "suspect_id": suspect_id,
+            "model_fingerprint": fingerprint,
+            "num_layers": model.num_quantization_layers,
+            "candidate_key_ids": candidate_keys,
+        }
+
+    async def _handle_verify(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        if not self.bucket.try_acquire():
+            raise _HttpError(429, "rate limit exceeded, retry later")
+        payload = self._json_body(body)
+        suspect_id, suspect = await self._resolve_suspect(payload)
+        key_ids = payload.get("key_ids")
+        if key_ids is not None and (
+            not isinstance(key_ids, list) or not all(isinstance(k, str) for k in key_ids)
+        ):
+            raise _HttpError(400, "'key_ids' must be a list of key id strings")
+        try:
+            keys = self.registry.active_keys(key_ids)
+        except RegistryError as exc:
+            raise _HttpError(404, str(exc)) from exc
+        if not keys:
+            raise _HttpError(400, "no active keys to verify against")
+        job = VerifyJob(
+            request_id=f"req-{next(self._request_ids)}",
+            suspect_id=suspect_id,
+            suspect=suspect,
+            keys=keys,
+        )
+        try:
+            if "wer_threshold" in payload:
+                job.wer_threshold = float(payload["wer_threshold"])
+            if "max_false_claim_probability" in payload:
+                raw = payload["max_false_claim_probability"]
+                job.max_false_claim_probability = None if raw is None else float(raw)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"invalid threshold value: {exc}") from exc
+        try:
+            future = self.dispatcher.submit(job)
+        except QueueFullError as exc:
+            raise _HttpError(503, str(exc)) from exc
+        try:
+            outcome = await asyncio.wait_for(future, timeout=_VERIFY_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            raise _HttpError(503, "verification timed out", counter="timeouts") from None
+        self._counters["verifications"] += 1
+        decisions = []
+        for pair in outcome.decisions:
+            if pair.owned:
+                self._counters["decisions_owned"] += 1
+            else:
+                self._counters["decisions_not_owned"] += 1
+            decisions.append(pair.to_dict())
+            # Non-blocking: the ring-buffer append happens here, the disk
+            # write + flush on the audit log's own writer thread.
+            self.audit.record(
+                request_id=outcome.request_id,
+                suspect_id=pair.suspect_id,
+                key_id=pair.key_id,
+                owned=pair.owned,
+                wer_percent=pair.wer_percent,
+                matched_bits=pair.matched_bits,
+                total_bits=pair.total_bits,
+                false_claim_probability=pair.false_claim_probability,
+                batch_id=outcome.batch_id,
+                batch_size=outcome.batch_size,
+            )
+        return 200, {
+            "request_id": outcome.request_id,
+            "suspect_id": outcome.suspect_id,
+            "decisions": decisions,
+            "batch_id": outcome.batch_id,
+            "batch_size": outcome.batch_size,
+            "queue_ms": outcome.queue_seconds * 1000.0,
+            "verify_ms": outcome.verify_seconds * 1000.0,
+        }
+
+    async def _resolve_suspect(self, payload: Dict[str, object]) -> Tuple[str, QuantizedModel]:
+        """A verify request names a stored suspect or carries one inline."""
+        if "model" in payload:
+            try:
+                model = await asyncio.get_running_loop().run_in_executor(
+                    None, model_from_wire, payload["model"]
+                )
+            except ValueError as exc:
+                raise _HttpError(400, f"invalid model payload: {exc}") from exc
+            raw_id = payload.get("suspect_id")
+            if raw_id is not None and not isinstance(raw_id, str):
+                raise _HttpError(400, "'suspect_id' must be a string")
+            # Anonymous inline suspects get a unique per-request id: a shared
+            # default id would let the batch dispatcher deduplicate two
+            # *different* same-architecture models onto one entry and answer
+            # one client with the other's verdict.
+            suspect_id = raw_id or f"inline-{next(self._inline_ids)}"
+            return suspect_id, model
+        suspect_id = payload.get("suspect_id")
+        if suspect_id is not None and not isinstance(suspect_id, str):
+            raise _HttpError(400, "'suspect_id' must be a string")
+        if not suspect_id:
+            raise _HttpError(400, "provide 'suspect_id' (uploaded) or inline 'model'")
+        with self._suspects_lock:
+            entry = self._suspects.get(suspect_id)
+            if entry is not None:
+                self._suspects.move_to_end(suspect_id)
+        if entry is None:
+            raise _HttpError(404, f"unknown suspect id {suspect_id!r}")
+        return suspect_id, entry[0]
+
+
+# ----------------------------------------------------------------------
+# Background runner (tests, examples, load generator)
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A :class:`VerificationServer` running on a dedicated event-loop thread.
+
+    Created via :func:`run_in_background`; usable as a context manager::
+
+        with run_in_background(server) as handle:
+            client = VerificationClient(port=handle.port)
+            ...
+    """
+
+    def __init__(self, server: VerificationServer) -> None:
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Future] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, name="wm-server", daemon=True)
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid once started)."""
+        return self.server.port
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._stop = self._loop.create_future()
+            self._ready.set()
+            try:
+                await self._stop
+            finally:
+                await self.server.stop()
+
+        try:
+            self._loop.run_until_complete(main())
+        except BaseException:
+            if self._startup_error is None:
+                logger.exception("server thread crashed")
+        finally:
+            self._loop.close()
+
+    def start(self) -> "ServerHandle":
+        """Start the thread and wait for the socket to be bound."""
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError(f"server failed to start: {self._startup_error}")
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 30s")
+        return self
+
+    def close(self) -> None:
+        """Stop the server and join the thread (idempotent)."""
+        if self._thread.is_alive() and self._stop is not None:
+            self._loop.call_soon_threadsafe(
+                lambda: self._stop.done() or self._stop.set_result(None)
+            )
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_in_background(server: Optional[VerificationServer] = None, **config_kwargs) -> ServerHandle:
+    """Start a server on a background thread and return its handle.
+
+    ``config_kwargs`` are forwarded to :class:`ServiceConfig` when no server
+    instance is given.
+    """
+    if server is not None and config_kwargs:
+        raise ValueError(
+            "pass either a server instance or ServiceConfig kwargs, not both "
+            f"(got {sorted(config_kwargs)})"
+        )
+    if server is None:
+        server = VerificationServer(config=ServiceConfig(**config_kwargs))
+    return ServerHandle(server).start()

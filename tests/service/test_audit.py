@@ -1,0 +1,55 @@
+"""AuditLog: JSONL durability, ring buffer, and failure isolation."""
+
+import json
+import time
+
+from repro.service.audit import AuditLog
+
+
+class TestInMemory:
+    def test_ring_buffer_and_count(self):
+        log = AuditLog(recent_entries=3)
+        for index in range(5):
+            log.record(index=index)
+        assert log.count == 5
+        assert [entry["index"] for entry in log.recent()] == [2, 3, 4]
+        assert log.dropped_writes == 0
+
+    def test_entries_carry_timestamp(self):
+        entry = AuditLog().record(owned=True)
+        assert entry["ts"] > 0
+        assert entry["owned"] is True
+
+
+class TestPersistent:
+    def test_writes_jsonl_and_drains_on_close(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(path) as log:
+            for index in range(20):
+                log.record(index=index, owned=index % 2 == 0)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["index"] for line in lines] == list(range(20))
+        assert all("ts" in line for line in lines)
+
+    def test_append_across_instances(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(path) as log:
+            log.record(run=1)
+        with AuditLog(path) as log:
+            log.record(run=2)
+        runs = [json.loads(line)["run"] for line in path.read_text().splitlines()]
+        assert runs == [1, 2]
+
+    def test_dead_writer_never_blocks_recording(self, tmp_path):
+        """A failed disk sink degrades to memory-only instead of freezing."""
+        # A directory at the file path makes the writer's open() fail.
+        path = tmp_path / "audit.jsonl"
+        path.mkdir()
+        log = AuditLog(path, max_pending_writes=4)
+        deadline = time.time() + 5.0
+        for index in range(100):  # far beyond the queue bound
+            log.record(index=index)
+            assert time.time() < deadline, "record() blocked on a dead writer"
+        assert log.count == 100
+        assert len(log.recent(100)) > 0  # memory path still works
+        log.close()

@@ -1,0 +1,89 @@
+"""CLI smoke tests: ``--help`` for every sub-command plus an offline verify."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.service.codec import save_model
+from repro.service.registry import KeyRegistry
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+
+
+class TestHelp:
+    @pytest.mark.parametrize("args", [("--help",), ("serve", "--help"),
+                                      ("verify", "--help"), ("loadgen", "--help")])
+    def test_help_exits_zero(self, args):
+        result = _run_cli(*args)
+        assert result.returncode == 0, result.stderr
+        assert "usage:" in result.stdout
+
+    def test_module_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "serve" in result.stdout and "loadgen" in result.stdout
+
+    def test_missing_command_is_an_error(self):
+        result = _run_cli()
+        assert result.returncode != 0
+
+    def test_parser_knows_all_subcommands(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve"]).command == "serve"
+        assert parser.parse_args(
+            ["verify", "--registry", "r", "--suspect", "s"]
+        ).command == "verify"
+        assert parser.parse_args(["loadgen", "--duration", "1"]).command == "loadgen"
+
+
+class TestOfflineVerify:
+    def test_verify_against_registry(
+        self, watermarked_and_key, quantized_awq4, tmp_path, capsys
+    ):
+        """`repro verify` finds ownership of the watermarked deployment."""
+        watermarked, key = watermarked_and_key
+        registry = KeyRegistry(tmp_path / "reg")
+        registry.register(key, owner="acme")
+        save_model(watermarked, tmp_path / "suspect-hit")
+        save_model(quantized_awq4, tmp_path / "suspect-miss")
+
+        code = main(["verify", "--registry", str(tmp_path / "reg"),
+                     "--suspect", str(tmp_path / "suspect-hit"), "--json"])
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["decisions"][0]["owned"] is True
+
+        code = main(["verify", "--registry", str(tmp_path / "reg"),
+                     "--suspect", str(tmp_path / "suspect-miss"), "--json"])
+        out = json.loads(capsys.readouterr().out)
+        assert code == 1  # exit 1: no ownership established
+        assert out["decisions"][0]["owned"] is False
+
+    def test_verify_empty_registry_errors(self, quantized_awq4, tmp_path, capsys):
+        save_model(quantized_awq4, tmp_path / "suspect")
+        code = main(["verify", "--registry", str(tmp_path / "empty"),
+                     "--suspect", str(tmp_path / "suspect")])
+        capsys.readouterr()
+        assert code == 2

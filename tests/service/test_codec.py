@@ -1,0 +1,106 @@
+"""Wire / disk codec round trips for keys and quantized models."""
+
+import numpy as np
+import pytest
+
+from repro.engine import WatermarkEngine
+from repro.service.codec import (
+    arrays_to_b64,
+    b64_to_arrays,
+    key_from_wire,
+    key_to_wire,
+    load_model,
+    model_from_wire,
+    model_to_wire,
+    save_model,
+)
+
+
+class TestArrayTransport:
+    def test_round_trip(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "b/nested": np.linspace(0, 1, 7),
+        }
+        decoded = b64_to_arrays(arrays_to_b64(arrays))
+        assert set(decoded) == {"a", "b/nested"}
+        np.testing.assert_array_equal(decoded["a"], arrays["a"])
+        np.testing.assert_allclose(decoded["b/nested"], arrays["b/nested"])
+
+    def test_rejects_bad_base64(self):
+        with pytest.raises(ValueError, match="base64"):
+            b64_to_arrays("!!! not base64 !!!")
+
+    def test_rejects_non_npz(self):
+        import base64
+
+        with pytest.raises(ValueError, match="npz"):
+            b64_to_arrays(base64.b64encode(b"plain bytes").decode())
+
+    def test_rejects_non_string_payload(self):
+        with pytest.raises(ValueError, match="base64 string"):
+            b64_to_arrays(123)
+        with pytest.raises(ValueError, match="base64 string"):
+            b64_to_arrays(["nested"])
+
+
+class TestKeyWire:
+    def test_round_trip_preserves_verification(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        restored = key_from_wire(key_to_wire(key))
+        assert restored.fingerprint() == key.fingerprint()
+        np.testing.assert_array_equal(restored.signature, key.signature)
+        assert WatermarkEngine().extract(watermarked, restored).wer_percent == 100.0
+
+    def test_rejects_malformed_envelope(self):
+        with pytest.raises(ValueError):
+            key_from_wire({"meta": {}})
+        with pytest.raises(ValueError):
+            key_from_wire("not an object")
+
+
+class TestModelCodec:
+    def test_wire_round_trip_preserves_weights(self, quantized_awq4):
+        restored = model_from_wire(model_to_wire(quantized_awq4))
+        assert restored.layer_names() == quantized_awq4.layer_names()
+        assert restored.method == quantized_awq4.method
+        assert restored.bits == quantized_awq4.bits
+        assert restored.config == quantized_awq4.config
+        for name in quantized_awq4.layer_names():
+            original = quantized_awq4.get_layer(name)
+            copy = restored.get_layer(name)
+            np.testing.assert_array_equal(copy.weight_int, original.weight_int)
+            np.testing.assert_allclose(copy.scale, original.scale)
+            assert copy.grid.bits == original.grid.bits
+            if original.input_smoothing is not None:
+                np.testing.assert_allclose(copy.input_smoothing, original.input_smoothing)
+
+    def test_wire_round_trip_preserves_full_precision_state(self, quantized_awq4):
+        restored = model_from_wire(model_to_wire(quantized_awq4))
+        assert set(restored.full_precision_state) == set(quantized_awq4.full_precision_state)
+        for name, value in quantized_awq4.full_precision_state.items():
+            np.testing.assert_allclose(restored.full_precision_state[name], value)
+
+    def test_disk_round_trip(self, quantized_awq4, tmp_path):
+        save_model(quantized_awq4, tmp_path / "model")
+        restored = load_model(tmp_path / "model")
+        assert restored.layer_names() == quantized_awq4.layer_names()
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                restored.get_layer(name).weight_int,
+                quantized_awq4.get_layer(name).weight_int,
+            )
+
+    def test_restored_model_verifies_identically(self, watermarked_and_key):
+        """Transport must not perturb a single verification-relevant bit."""
+        watermarked, key = watermarked_and_key
+        restored = model_from_wire(model_to_wire(watermarked))
+        engine = WatermarkEngine()
+        direct = engine.extract(watermarked, key)
+        via_wire = engine.extract(restored, key)
+        assert via_wire.matched_bits == direct.matched_bits
+        assert via_wire.total_bits == direct.total_bits
+
+    def test_rejects_malformed_envelope(self):
+        with pytest.raises(ValueError):
+            model_from_wire({"arrays": ""})

@@ -1,0 +1,178 @@
+"""TokenBucket and MicroBatchDispatcher behaviour (no HTTP involved)."""
+
+import asyncio
+
+import pytest
+
+from repro.engine import EngineConfig, WatermarkEngine
+from repro.service.dispatch import (
+    MicroBatchDispatcher,
+    QueueFullError,
+    TokenBucket,
+    VerifyJob,
+)
+
+
+class TestTokenBucket:
+    def test_disabled_bucket_always_admits(self):
+        bucket = TokenBucket(rate=None)
+        assert not bucket.enabled
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.rejected == 0
+
+    def test_burst_capacity_then_rejects(self):
+        bucket = TokenBucket(rate=0.001, burst=3)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+        assert bucket.rejected == 1
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate=1000.0, burst=1)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        import time
+
+        time.sleep(0.01)  # 1000/s refill → full again
+        assert bucket.try_acquire()
+
+    def test_fractional_rate_still_admits_single_requests(self):
+        """rate < 1/s must not lock the bucket shut (capacity clamps to 1)."""
+        bucket = TokenBucket(rate=0.5)
+        assert bucket.capacity == 1.0
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # next token in ~2s, not never
+
+    def test_stats_shape(self):
+        stats = TokenBucket(rate=5.0, burst=10.0).stats()
+        assert stats["enabled"] is True
+        assert stats["rate_per_sec"] == 5.0
+        assert stats["burst"] == 10.0
+
+
+def _run_jobs(dispatcher_kwargs, jobs_spec, engine):
+    """Drive a dispatcher inside a private event loop and return outcomes."""
+
+    async def main():
+        dispatcher = MicroBatchDispatcher(engine, **dispatcher_kwargs)
+        dispatcher.start()
+        futures = [dispatcher.submit(job) for job in jobs_spec]
+        outcomes = await asyncio.gather(*futures)
+        await dispatcher.stop()
+        return dispatcher, outcomes
+
+    return asyncio.run(main())
+
+
+class TestMicroBatchDispatcher:
+    def test_concurrent_jobs_coalesce_into_one_batch(
+        self, watermarked_and_key, quantized_awq4
+    ):
+        watermarked, key = watermarked_and_key
+        engine = WatermarkEngine(EngineConfig())
+        keys = {"owner": key}
+        jobs = [
+            VerifyJob(f"req-{i}", sid, model, dict(keys))
+            for i, (sid, model) in enumerate(
+                [("hit", watermarked), ("miss", quantized_awq4)] * 3
+            )
+        ]
+        dispatcher, outcomes = _run_jobs(
+            dict(max_batch=16, max_wait_ms=50.0), jobs, engine
+        )
+        # All six submitted before the loop ran → a single coalesced batch.
+        assert dispatcher.batches == 1
+        assert dispatcher.largest_batch == 6
+        # Six jobs but only two distinct (suspect, key) pairs were verified.
+        assert dispatcher.pairs_verified == 2
+        owned = {o.suspect_id: o.decisions[0].owned for o in outcomes}
+        assert owned == {"hit": True, "miss": False}
+
+    def test_batched_decisions_match_direct_verify_fleet(
+        self, watermarked_and_key, quantized_awq4
+    ):
+        watermarked, key = watermarked_and_key
+        engine = WatermarkEngine(EngineConfig())
+        direct = WatermarkEngine(EngineConfig()).verify_fleet(
+            {"hit": watermarked, "miss": quantized_awq4}, {"owner": key}
+        )
+        direct_by_pair = {(p.suspect_id, p.key_id): p for p in direct.pairs}
+        jobs = [
+            VerifyJob("r1", "hit", watermarked, {"owner": key}),
+            VerifyJob("r2", "miss", quantized_awq4, {"owner": key}),
+        ]
+        _, outcomes = _run_jobs(dict(max_batch=8, max_wait_ms=20.0), jobs, engine)
+        for outcome in outcomes:
+            for pair in outcome.decisions:
+                reference = direct_by_pair[(pair.suspect_id, pair.key_id)]
+                assert pair.matched_bits == reference.matched_bits
+                assert pair.total_bits == reference.total_bits
+                assert pair.owned == reference.owned
+                assert pair.wer_percent == reference.wer_percent
+
+    def test_threshold_groups_split_within_a_batch(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        engine = WatermarkEngine(EngineConfig())
+        jobs = [
+            VerifyJob("strict", "hit", watermarked, {"owner": key}, wer_threshold=100.0),
+            VerifyJob("lenient", "hit", watermarked, {"owner": key}, wer_threshold=1.0),
+        ]
+        dispatcher, outcomes = _run_jobs(dict(max_batch=8, max_wait_ms=20.0), jobs, engine)
+        assert dispatcher.batches == 1  # one batch, two threshold groups inside
+        assert all(o.decisions[0].owned for o in outcomes)
+
+    def test_same_id_different_models_do_not_alias(
+        self, watermarked_and_key, quantized_awq4
+    ):
+        """Two jobs claiming one suspect_id but carrying different models must
+        each be judged on their own weights (dedup is by object identity)."""
+        watermarked, key = watermarked_and_key
+        engine = WatermarkEngine(EngineConfig())
+        jobs = [
+            VerifyJob("a", "prod", watermarked, {"owner": key}),
+            VerifyJob("b", "prod", quantized_awq4, {"owner": key}),
+        ]
+        dispatcher, outcomes = _run_jobs(dict(max_batch=8, max_wait_ms=50.0), jobs, engine)
+        assert dispatcher.batches == 1  # both coalesced into one batch
+        by_request = {o.request_id: o.decisions[0] for o in outcomes}
+        assert by_request["a"].owned is True
+        assert by_request["b"].owned is False
+        # Both decisions still report the caller's suspect id.
+        assert by_request["a"].suspect_id == "prod"
+        assert by_request["b"].suspect_id == "prod"
+
+    def test_queue_bound_raises(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        engine = WatermarkEngine(EngineConfig())
+
+        async def main():
+            dispatcher = MicroBatchDispatcher(engine, max_queue=2, max_wait_ms=1000.0)
+            # Not started: jobs stay queued, so the bound is reached.
+            dispatcher.submit(VerifyJob("a", "hit", watermarked, {"k": key}))
+            dispatcher.submit(VerifyJob("b", "hit", watermarked, {"k": key}))
+            with pytest.raises(QueueFullError):
+                dispatcher.submit(VerifyJob("c", "hit", watermarked, {"k": key}))
+            dispatcher.start()
+            await dispatcher.stop()
+
+        asyncio.run(main())
+
+    def test_max_batch_splits_load(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        engine = WatermarkEngine(EngineConfig())
+        jobs = [
+            VerifyJob(f"req-{i}", "hit", watermarked, {"owner": key}) for i in range(5)
+        ]
+        dispatcher, outcomes = _run_jobs(dict(max_batch=2, max_wait_ms=20.0), jobs, engine)
+        assert dispatcher.batches >= 3  # ceil(5 / 2)
+        assert dispatcher.largest_batch <= 2
+        assert len(outcomes) == 5
+
+    def test_stats_shape(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        engine = WatermarkEngine(EngineConfig())
+        jobs = [VerifyJob("r", "hit", watermarked, {"owner": key})]
+        dispatcher, _ = _run_jobs(dict(max_batch=4, max_wait_ms=1.0), jobs, engine)
+        stats = dispatcher.stats()
+        assert stats["batches"] == 1
+        assert stats["jobs_dispatched"] == 1
+        assert stats["queue_depth"] == 0
+        assert stats["mean_batch_size"] == 1.0

@@ -1,0 +1,53 @@
+"""Closed-loop load generator: config validation and a short live run."""
+
+import pytest
+
+from repro.service.loadgen import LoadConfig, RequestTemplate, run_load
+
+
+class TestConfigValidation:
+    def test_requires_exactly_one_stop_condition(self):
+        template = [RequestTemplate("s")]
+        with pytest.raises(ValueError):
+            LoadConfig(templates=template)  # neither
+        with pytest.raises(ValueError):
+            LoadConfig(templates=template, duration_seconds=1.0, total_requests=5)
+        LoadConfig(templates=template, total_requests=5)  # ok
+
+    def test_requires_templates(self):
+        with pytest.raises(ValueError):
+            LoadConfig(total_requests=5)
+
+    def test_requires_positive_concurrency(self):
+        with pytest.raises(ValueError):
+            LoadConfig(templates=[RequestTemplate("s")], total_requests=1, concurrency=0)
+
+
+class TestLiveRun:
+    def test_request_budget_run_against_server(self, server_handle):
+        report = run_load(
+            LoadConfig(
+                port=server_handle.port,
+                concurrency=3,
+                total_requests=12,
+                templates=[
+                    RequestTemplate("hit", label="hit"),
+                    RequestTemplate("miss", label="miss"),
+                ],
+            )
+        )
+        assert report.completed == 12
+        assert report.errors == 0
+        assert report.throughput_rps > 0
+        assert report.latency_ms["p50"] > 0
+        assert report.latency_ms["p99"] >= report.latency_ms["p50"]
+        assert set(report.per_label_completed) == {"hit", "miss"}
+        # Closed-loop mix striding covers both labels roughly evenly.
+        assert min(report.per_label_completed.values()) >= 4
+        # Decisions carried back for the benchmark's equivalence check.
+        assert len(report.decisions) == 12
+        hit_decisions = [d for d in report.decisions if d["label"] == "hit"]
+        assert all(d["decisions"][0]["owned"] for d in hit_decisions)
+        report_dict = report.to_dict()
+        assert "decisions" not in report_dict
+        assert report_dict["completed"] == 12

@@ -1,0 +1,131 @@
+"""KeyRegistry: content addressing, persistence, revocation, indexing."""
+
+import pytest
+
+from repro.core.keys import model_fingerprint
+from repro.service.registry import KeyRegistry, RegistryError
+
+
+@pytest.fixture()
+def second_key(quantized_awq4, activation_stats, emmark_config):
+    """A key for the same model with a different owner seed ``d``."""
+    from repro.engine import WatermarkEngine
+
+    config = emmark_config.with_overrides(seed=emmark_config.seed + 7)
+    _, key, _ = WatermarkEngine().insert(quantized_awq4, activation_stats, config=config)
+    return key
+
+
+class TestInMemory:
+    def test_register_and_lookup(self, watermarked_and_key):
+        _, key = watermarked_and_key
+        registry = KeyRegistry()
+        record = registry.register(key, owner="acme", metadata={"ticket": "IP-1"})
+        assert record.key_id == key.fingerprint()
+        assert record.owner == "acme"
+        assert record.model_fingerprint == key.model_fingerprint()
+        assert registry.get_key(record.key_id) is key
+        assert record.key_id in registry
+        assert len(registry) == 1
+
+    def test_register_is_idempotent_and_first_owner_wins(self, watermarked_and_key):
+        _, key = watermarked_and_key
+        registry = KeyRegistry()
+        first = registry.register(key, owner="acme")
+        second = registry.register(key, owner="mallory")
+        assert second is first
+        assert registry.get_record(first.key_id).owner == "acme"
+        assert len(registry) == 1
+
+    def test_distinct_keys_coexist(self, watermarked_and_key, second_key):
+        _, key = watermarked_and_key
+        registry = KeyRegistry()
+        registry.register(key, owner="acme")
+        registry.register(second_key, owner="bob")
+        assert len(registry) == 2
+        assert len(registry.active_keys()) == 2
+
+    def test_unknown_key_raises(self):
+        registry = KeyRegistry()
+        with pytest.raises(RegistryError, match="unknown key id"):
+            registry.get_key("wmk-missing")
+
+    def test_revocation_hides_key_from_serving(self, watermarked_and_key):
+        _, key = watermarked_and_key
+        registry = KeyRegistry()
+        record = registry.register(key, owner="acme")
+        registry.revoke(record.key_id)
+        assert registry.get_record(record.key_id).revoked
+        assert registry.active_keys() == {}
+        with pytest.raises(RegistryError, match="revoked"):
+            registry.active_keys([record.key_id])
+        # The record (audit trail) is still there.
+        assert len(registry) == 1
+
+    def test_selection_by_explicit_ids(self, watermarked_and_key, second_key):
+        _, key = watermarked_and_key
+        registry = KeyRegistry()
+        record = registry.register(key)
+        registry.register(second_key)
+        selected = registry.active_keys([record.key_id])
+        assert list(selected) == [record.key_id]
+
+    def test_model_fingerprint_index(self, watermarked_and_key, second_key, quantized_awq4):
+        _, key = watermarked_and_key
+        registry = KeyRegistry()
+        registry.register(key)
+        registry.register(second_key)
+        fingerprint = model_fingerprint(quantized_awq4)
+        assert set(registry.keys_for_model(fingerprint)) == {
+            key.fingerprint(),
+            second_key.fingerprint(),
+        }
+        assert registry.keys_for_model("wmm-nonexistent") == {}
+
+    def test_stats(self, watermarked_and_key):
+        _, key = watermarked_and_key
+        registry = KeyRegistry()
+        record = registry.register(key)
+        registry.revoke(record.key_id)
+        stats = registry.stats()
+        assert stats == {
+            "keys": 1,
+            "active": 0,
+            "revoked": 1,
+            "models": 1,
+            "persistent": False,
+        }
+
+
+class TestPersistence:
+    def test_round_trip_through_directory(self, watermarked_and_key, tmp_path):
+        _, key = watermarked_and_key
+        registry = KeyRegistry(tmp_path / "reg")
+        record = registry.register(key, owner="acme", metadata={"ticket": "IP-1"})
+
+        reloaded = KeyRegistry(tmp_path / "reg")
+        assert len(reloaded) == 1
+        loaded_record = reloaded.get_record(record.key_id)
+        assert loaded_record.owner == "acme"
+        assert loaded_record.metadata == {"ticket": "IP-1"}
+        assert loaded_record.model_fingerprint == key.model_fingerprint()
+        loaded_key = reloaded.get_key(record.key_id)
+        assert loaded_key.fingerprint() == key.fingerprint()
+
+    def test_revocation_persists(self, watermarked_and_key, tmp_path):
+        _, key = watermarked_and_key
+        registry = KeyRegistry(tmp_path / "reg")
+        record = registry.register(key)
+        registry.revoke(record.key_id)
+        reloaded = KeyRegistry(tmp_path / "reg")
+        assert reloaded.get_record(record.key_id).revoked
+        assert reloaded.active_keys() == {}
+
+    def test_corrupt_entry_raises_registry_error(self, watermarked_and_key, tmp_path):
+        _, key = watermarked_and_key
+        registry = KeyRegistry(tmp_path / "reg")
+        record = registry.register(key)
+        archive = tmp_path / "reg" / record.key_id / "watermark_key.npz"
+        archive.write_bytes(b"corrupted")
+        with pytest.raises(RegistryError, match="corrupt registry entry"):
+            KeyRegistry(tmp_path / "reg")

@@ -1,0 +1,247 @@
+"""End-to-end tests of the HTTP verification server.
+
+A module-scoped server (see ``conftest.py``) holds one registered key and the
+``hit`` / ``miss`` suspect pair; tests talk to it through the stdlib client.
+Mutating scenarios (revocation, rate limiting) spin up their own servers so
+the shared one stays pristine.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import EngineConfig, WatermarkEngine
+from repro.service import (
+    RateLimitedError,
+    ServiceConfig,
+    ServiceError,
+    VerificationClient,
+    VerificationServer,
+    run_in_background,
+)
+
+
+class TestBasicEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+
+    def test_keys_listing(self, client, watermarked_and_key):
+        _, key = watermarked_and_key
+        records = client.keys()
+        assert [r["key_id"] for r in records] == [key.fingerprint()]
+        assert records[0]["owner"] == "acme"
+        assert records[0]["revoked"] is False
+
+    def test_keys_filtered_by_model_fingerprint(self, client, watermarked_and_key):
+        _, key = watermarked_and_key
+        assert client.keys(model_fingerprint=key.model_fingerprint())
+        assert client.keys(model_fingerprint="wmm-none") == []
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/verify")
+        assert excinfo.value.status == 405
+
+    def test_invalid_json_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/register", {"owner": "x"})
+        assert excinfo.value.status == 400
+
+
+class TestVerification:
+    def test_hit_is_owned(self, client):
+        response = client.verify(suspect_id="hit")
+        assert len(response["decisions"]) == 1
+        decision = response["decisions"][0]
+        assert decision["owned"] is True
+        assert decision["wer_percent"] == 100.0
+        assert decision["matched_bits"] == decision["total_bits"]
+
+    def test_miss_is_not_owned(self, client):
+        decision = client.verify(suspect_id="miss")["decisions"][0]
+        assert decision["owned"] is False
+
+    def test_decisions_match_direct_engine_call(
+        self, client, watermarked_and_key, quantized_awq4
+    ):
+        """The serving path must be bit-identical to the library path."""
+        watermarked, key = watermarked_and_key
+        direct = WatermarkEngine(EngineConfig()).verify_fleet(
+            {"hit": watermarked, "miss": quantized_awq4}, {key.fingerprint(): key}
+        )
+        direct_by_pair = {(p.suspect_id, p.key_id): p for p in direct.pairs}
+        for suspect_id in ("hit", "miss"):
+            decision = client.verify(suspect_id=suspect_id)["decisions"][0]
+            reference = direct_by_pair[(suspect_id, decision["key_id"])]
+            assert decision["matched_bits"] == reference.matched_bits
+            assert decision["total_bits"] == reference.total_bits
+            assert decision["owned"] == reference.owned
+            assert decision["wer_percent"] == reference.wer_percent
+
+    def test_inline_model_verification(self, client, watermarked_and_key):
+        watermarked, _ = watermarked_and_key
+        response = client.verify(model=watermarked)
+        assert response["decisions"][0]["owned"] is True
+
+    def test_explicit_key_ids(self, client, watermarked_and_key):
+        _, key = watermarked_and_key
+        response = client.verify(suspect_id="hit", key_ids=[key.fingerprint()])
+        assert response["decisions"][0]["key_id"] == key.fingerprint()
+
+    def test_non_string_suspect_id_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/verify", {"suspect_id": ["hit"]})
+        assert excinfo.value.status == 400
+
+    def test_unknown_suspect_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.verify(suspect_id="ghost")
+        assert excinfo.value.status == 404
+
+    def test_unknown_key_id_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.verify(suspect_id="hit", key_ids=["wmk-ghost"])
+        assert excinfo.value.status == 404
+
+    def test_concurrent_requests_batch_and_agree(self, server_handle):
+        """Parallel clients hammering hit/miss still get exact verdicts."""
+        results = {}
+        errors = []
+
+        def worker(suspect_id, slot):
+            try:
+                with VerificationClient(port=server_handle.port) as c:
+                    results[slot] = c.verify(suspect_id=suspect_id)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=("hit" if i % 2 == 0 else "miss", i))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for slot, response in results.items():
+            expected = slot % 2 == 0
+            assert response["decisions"][0]["owned"] is expected
+
+
+class TestStatsAndAudit:
+    def test_stats_exposes_all_sections(self, client):
+        client.verify(suspect_id="hit")
+        stats = client.stats()
+        assert {"server", "dispatcher", "admission", "plan_cache", "registry",
+                "suspects", "audit"} <= set(stats)
+        assert stats["server"]["verifications"] >= 1
+        assert stats["registry"]["keys"] == 1
+        assert stats["suspects"]["count"] >= 2
+        assert stats["audit"]["entries"] >= 1
+        # Satellite: plan-cache hit/miss/eviction counters are observable.
+        assert {"hits", "misses", "evictions", "hit_rate"} <= set(stats["plan_cache"])
+
+    def test_warm_cache_serving(self, client):
+        """Repeat verification of a known key performs zero rescoring."""
+        client.verify(suspect_id="hit")
+        before = client.stats()["plan_cache"]
+        client.verify(suspect_id="hit")
+        after = client.stats()["plan_cache"]
+        assert after["misses"] == before["misses"]
+        assert after["hits"] > before["hits"]
+
+
+class TestRevocationAndAdmission:
+    def test_revoked_key_stops_serving(self, watermarked_and_key, quantized_awq4):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(config=ServiceConfig(port=0, max_wait_ms=1.0))
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                record = c.register_key(key, owner="acme")
+                c.upload_suspect(watermarked, suspect_id="hit")
+                assert c.verify(suspect_id="hit")["decisions"][0]["owned"] is True
+                revoked = c.revoke_key(record["key_id"])
+                assert revoked["revoked"] is True
+                with pytest.raises(ServiceError) as excinfo:
+                    c.verify(suspect_id="hit")
+                assert excinfo.value.status == 400  # no active keys left
+
+    def test_default_suspect_ids_are_content_addressed(
+        self, watermarked_and_key, quantized_awq4
+    ):
+        """Same-architecture but different-weight uploads must not alias."""
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(config=ServiceConfig(port=0, max_wait_ms=1.0))
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                c.register_key(key, owner="acme")
+                id_wm = c.upload_suspect(watermarked)["suspect_id"]
+                id_clean = c.upload_suspect(quantized_awq4)["suspect_id"]
+                assert id_wm != id_clean
+                assert c.upload_suspect(watermarked)["suspect_id"] == id_wm
+                assert c.verify(suspect_id=id_wm)["decisions"][0]["owned"] is True
+                assert c.verify(suspect_id=id_clean)["decisions"][0]["owned"] is False
+
+    def test_burst_without_rate_is_rejected(self):
+        with pytest.raises(ValueError, match="rate_limit_burst requires"):
+            ServiceConfig(rate_limit_burst=50)
+
+    def test_suspect_store_is_lru_bounded(self, watermarked_and_key, quantized_awq4):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            config=ServiceConfig(port=0, max_wait_ms=1.0, max_suspects=2)
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                c.register_key(key, owner="acme")
+                for index in range(4):
+                    c.upload_suspect(quantized_awq4, suspect_id=f"s-{index}")
+                c.upload_suspect(watermarked, suspect_id="hit")
+                stats = c.stats()["suspects"]
+                assert stats["count"] == 2
+                assert stats["evictions"] == 3
+                # Newest entries survive, oldest were evicted.
+                assert c.verify(suspect_id="hit")["decisions"][0]["owned"] is True
+                with pytest.raises(ServiceError) as excinfo:
+                    c.verify(suspect_id="s-0")
+                assert excinfo.value.status == 404
+
+    def test_oversized_header_returns_400(self, server_handle):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server_handle.port, timeout=5)
+        try:
+            conn.putrequest("GET", "/healthz", skip_host=False)
+            conn.putheader("X-Padding", "x" * (80 * 1024))
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_rate_limit_returns_429(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            config=ServiceConfig(
+                port=0, max_wait_ms=1.0, rate_limit_per_sec=0.001, rate_limit_burst=2
+            )
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                c.register_key(key, owner="acme")
+                c.upload_suspect(watermarked, suspect_id="hit")
+                assert c.verify(suspect_id="hit")["decisions"]
+                assert c.verify(suspect_id="hit")["decisions"]
+                with pytest.raises(RateLimitedError):
+                    c.verify(suspect_id="hit")
+                stats = c.stats()
+                assert stats["admission"]["rejected"] >= 1
+                assert stats["server"]["rejected_rate_limit"] >= 1
