@@ -3,9 +3,10 @@
 
 A security team wants to know how much abuse a watermarked INT4 model can take
 before the ownership signal degrades — and how much the abuse costs the
-attacker in model quality.  The script sweeps the two removal attacks of the
-paper (parameter overwriting, Figure 2a; re-watermarking, Figure 2b) plus
-magnitude pruning, and prints WER / perplexity / accuracy at every strength.
+attacker in model quality.  The script runs the full robustness gauntlet:
+every attack in the registry (parameter overwriting, re-watermarking,
+magnitude pruning, LoRA fine-tuning, re-quantization) is swept in parallel
+and every ownership check shares one batched ``verify_fleet`` sweep.
 
 Run with:  python examples/attack_resilience_study.py [--profile smoke|default]
 """
@@ -15,20 +16,19 @@ from __future__ import annotations
 import argparse
 
 from repro import EmMark, EmMarkConfig, quantize_model
-from repro.attacks.overwrite import OverwriteAttackConfig, parameter_overwrite_attack
-from repro.attacks.pruning import PruningAttackConfig, magnitude_pruning_attack
-from repro.attacks.rewatermark import RewatermarkAttackConfig, rewatermark_attack
 from repro.eval import EvaluationHarness
 from repro.models import collect_activation_stats
 from repro.models.registry import get_pretrained_model_and_data
+from repro.robustness import GauntletSubject, build_attack, run_gauntlet
 from repro.utils.logging import configure
-from repro.utils.tables import Table, format_float
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="smoke", choices=["smoke", "default"])
     parser.add_argument("--model", default="opt-2.7b-sim")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="gauntlet worker-pool width (default: auto)")
     args = parser.parse_args()
     configure()
 
@@ -40,52 +40,37 @@ def main() -> None:
     watermarked, key, _ = emmark.insert_with_key(quantized, activations)
     harness = EvaluationHarness(dataset, num_task_examples=16)
 
-    def measure(candidate):
-        quality = harness.evaluate(candidate)
-        extraction = emmark.extract_with_key(candidate, key)
-        return quality, extraction
-
-    table = Table(
-        title=f"Attack resilience of EmMark on {args.model} (AWQ INT4)",
-        columns=["Attack", "Strength", "PPL", "Zero-shot Acc (%)", "Owner WER (%)"],
+    attacks = [
+        build_attack("none"),
+        build_attack("overwrite"),
+        build_attack("rewatermark", calibration_corpus=dataset.calibration),
+        build_attack("pruning"),
+        build_attack("lora-finetune", calibration_corpus=dataset.calibration),
+        build_attack("requantize"),
+    ]
+    strengths = {
+        "overwrite": (100, 300, 500),
+        "rewatermark": (50, 150, 300),
+        "pruning": (0.3, 0.6, 0.9),
+        "lora-finetune": (20,),
+        "requantize": (4,),
+    }
+    print(f"running the gauntlet: {sum(len(s) for s in strengths.values()) + 1} cells...")
+    report = run_gauntlet(
+        {args.model: GauntletSubject(model=watermarked, key=key, harness=harness)},
+        attacks,
+        strengths=strengths,
+        max_workers=args.workers,
+        seed=7,
     )
-    baseline_quality, baseline_extraction = measure(watermarked)
-    table.add_row(["(none)", "-", format_float(baseline_quality.perplexity),
-                   format_float(baseline_quality.zero_shot_accuracy),
-                   format_float(baseline_extraction.wer_percent)])
-
-    print("sweeping parameter-overwriting attack...")
-    for strength in (100, 300, 500):
-        attacked = parameter_overwrite_attack(
-            watermarked, OverwriteAttackConfig(weights_per_layer=strength, seed=7)
-        )
-        quality, extraction = measure(attacked)
-        table.add_row(["overwrite", f"{strength}/layer", format_float(quality.perplexity),
-                       format_float(quality.zero_shot_accuracy),
-                       format_float(extraction.wer_percent)])
-
-    print("sweeping re-watermarking attack (attacker alpha=1, beta=1.5, seed=22)...")
-    for strength in (50, 150, 300):
-        attacked, _ = rewatermark_attack(
-            watermarked,
-            RewatermarkAttackConfig(bits_per_layer=strength),
-            calibration_corpus=dataset.calibration,
-        )
-        quality, extraction = measure(attacked)
-        table.add_row(["re-watermark", f"{strength}/layer", format_float(quality.perplexity),
-                       format_float(quality.zero_shot_accuracy),
-                       format_float(extraction.wer_percent)])
-
-    print("sweeping magnitude pruning...")
-    for sparsity in (0.3, 0.6, 0.9):
-        attacked = magnitude_pruning_attack(watermarked, PruningAttackConfig(sparsity=sparsity))
-        quality, extraction = measure(attacked)
-        table.add_row(["pruning", f"{int(sparsity * 100)}%", format_float(quality.perplexity),
-                       format_float(quality.zero_shot_accuracy),
-                       format_float(extraction.wer_percent)])
 
     print()
-    print(table.render())
+    print(report.render())
+    print("\nQuality-vs-WER frontier (what removal costs the attacker):")
+    for entry in report.frontier():
+        print(f"  WER {entry['wer_percent']:6.2f}%  PPL {entry['perplexity']:8.2f}  "
+              f"acc {entry['zero_shot_accuracy']:5.2f}%  ← {entry['attack']}"
+              f"@{entry['strength']:g}")
     print("\nReading: every attack strong enough to dent the WER has already cost the "
           "attacker far more model quality than the watermark cost the owner (none).")
 

@@ -50,8 +50,15 @@ from repro.engine import (
 from repro.models import TransformerLM, collect_activation_stats, get_pretrained_model
 from repro.quant import QuantizedModel, quantize_model
 from repro.eval import EvaluationHarness
+from repro.robustness import (
+    Gauntlet,
+    GauntletSubject,
+    RobustnessReport,
+    build_attack,
+    run_gauntlet,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "EmMark",
@@ -76,5 +83,10 @@ __all__ = [
     "QuantizedModel",
     "quantize_model",
     "EvaluationHarness",
+    "Gauntlet",
+    "GauntletSubject",
+    "RobustnessReport",
+    "build_attack",
+    "run_gauntlet",
     "__version__",
 ]

@@ -19,6 +19,14 @@ Two overwrite styles are provided:
 
 Both styles are oblivious to the watermark locations, which is why the WER
 only decreases in proportion to the fraction of weights touched.
+
+Positions are drawn from :meth:`~repro.quant.base.QuantizedLinear.quantized_mask`
+— the set of weights that actually carry quantized values.  On LLM.int8()
+models the full-precision outlier columns are re-inserted by
+``effective_weight()`` over whatever the integer tensor holds, so an
+"overwrite" landing there would change nothing the deployed model computes
+(and nothing the watermark reads): counting such positions toward the attack
+strength would silently under-report the attack.
 """
 
 from __future__ import annotations
@@ -76,13 +84,21 @@ def parameter_overwrite_attack(
         return attacked
     for layer in attacked.iter_layers():
         rng = new_rng(config.seed, "overwrite", layer.name)
-        flat = layer.weight_int.reshape(-1)
-        count = min(config.weights_per_layer, flat.size)
-        positions = rng.choice(flat.size, size=count, replace=False)
+        # Only positions that carry quantized values are worth attacking:
+        # LLM.int8() outlier columns are overridden with full-precision
+        # weights by effective_weight(), so hits there would be no-ops.
+        eligible = np.flatnonzero(layer.quantized_mask().reshape(-1))
+        count = min(config.weights_per_layer, eligible.size)
+        if count == 0:
+            continue
+        positions = rng.choice(eligible, size=count, replace=False)
+        current = layer.weight_int.reshape(-1)[positions]
         if config.style == "resample":
             replacement = rng.integers(layer.grid.qmin, layer.grid.qmax + 1, size=count)
-            flat[positions] = replacement
+            deltas = replacement - current
         else:
             deltas = rng.choice(np.array([-1, 1], dtype=np.int64), size=count)
-            layer.add_to_weights(positions, deltas)
+        # Route through the shared mutation primitive so grid-overflow
+        # handling matches watermark insertion exactly.
+        layer.add_to_weights(positions, deltas)
     return attacked

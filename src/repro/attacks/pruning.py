@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.scoring import topk_argsort_stable
 from repro.quant.base import QuantizedModel
 
 __all__ = ["PruningAttackConfig", "magnitude_pruning_attack"]
@@ -46,10 +47,15 @@ def magnitude_pruning_attack(
     if config.sparsity == 0.0:
         return attacked
     for layer in attacked.iter_layers():
-        flat = layer.weight_int.reshape(-1)
+        # flat_weight_view guarantees a real view: a plain reshape(-1) on a
+        # non-contiguous tensor returns a copy and the zeroing writes below
+        # would be silently discarded.
+        flat = layer.flat_weight_view()
         count = int(round(flat.size * config.sparsity))
         if count == 0:
             continue
-        order = np.argsort(np.abs(flat), kind="stable")
-        flat[order[:count]] = 0
+        # O(n + k log k) argpartition top-k; bit-identical to the stable full
+        # argsort it replaces (ties admitted in index order).
+        smallest = topk_argsort_stable(np.abs(flat), count)
+        flat[smallest] = 0
     return attacked

@@ -15,7 +15,7 @@ visibly damage the model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
@@ -104,12 +104,16 @@ def rewatermark_attack(
     attacker_signature = attacker_signature_rng.choice(
         np.array([-1, 1], dtype=np.int64), size=total_bits
     )
-    attacker_config = EmMarkConfig(
+    # replace() on a default config: only the fields the attacker actually
+    # controls are overridden, so every other EmMarkConfig field (present or
+    # future) keeps its default instead of silently falling back to whatever
+    # a field-by-field rebuild happened to forward.
+    attacker_config = replace(
+        EmMarkConfig(),
         bits_per_layer=config.bits_per_layer,
         alpha=config.alpha,
         beta=config.beta,
         seed=config.seed,
-        candidate_pool_ratio=EmMarkConfig().candidate_pool_ratio,
         signature_seed=config.signature_seed,
     )
     attacked, attacker_key, _ = insert_watermark(

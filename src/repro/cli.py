@@ -1,6 +1,7 @@
 """The ``repro`` command-line interface.
 
-Three sub-commands expose the verification service from a shell:
+Four sub-commands expose the verification service and the robustness
+gauntlet from a shell:
 
 ``repro serve``
     Run the asyncio verification server in the foreground, backed by a
@@ -15,6 +16,12 @@ Three sub-commands expose the verification service from a shell:
 ``repro loadgen``
     Closed-loop load generator against a running server, printing the
     llm-load-test-style throughput / latency-percentile report.
+
+``repro gauntlet``
+    Robustness gauntlet: watermark a simulated model and sweep the
+    registered removal attacks against it in parallel (Figures 2a/2b at
+    arbitrary grid shapes), printing the per-cell table, the per-attack
+    worst-case WER and the quality-vs-WER frontier.
 
 Installed as a console script via ``pyproject.toml``; also runnable as
 ``python -m repro.cli`` (or ``python -m repro``) on a plain ``PYTHONPATH=src``
@@ -87,6 +94,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict verification to these key ids (repeatable)")
     loadgen.add_argument("--output", metavar="PATH", default=None,
                          help="write the JSON report here as well as stdout")
+
+    gauntlet = sub.add_parser("gauntlet", help="parallel attack-robustness sweep")
+    gauntlet.add_argument("--model", default="opt-2.7b-sim",
+                          help="simulated model name (default: opt-2.7b-sim)")
+    gauntlet.add_argument("--bits", type=int, default=4, choices=(8, 4),
+                          help="quantization precision (default: 4)")
+    gauntlet.add_argument("--profile", default="smoke", choices=["smoke", "default"],
+                          help="training profile of the sim model (default: smoke)")
+    gauntlet.add_argument("--attack", action="append", default=None, metavar="NAME",
+                          help="attack to include (repeatable; default: every "
+                               "registered attack)")
+    gauntlet.add_argument("--strengths", action="append", default=None,
+                          metavar="NAME=V1,V2,...",
+                          help="strength sweep for one attack, e.g. "
+                               "overwrite=0,100,300 (repeatable; default: the "
+                               "attack's own sweep)")
+    gauntlet.add_argument("--workers", type=int, default=None,
+                          help="worker-pool width (default: auto)")
+    gauntlet.add_argument("--seed", type=int, default=0, help="attacker RNG root seed")
+    gauntlet.add_argument("--no-quality", action="store_true",
+                          help="skip perplexity / zero-shot evaluation (WER only)")
+    gauntlet.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    gauntlet.add_argument("--output", metavar="PATH", default=None,
+                          help="write the JSON report here as well as stdout")
     return parser
 
 
@@ -204,6 +235,88 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.completed else 1
 
 
+def _parse_strengths(raw: Optional[List[str]]) -> dict:
+    """Parse repeated ``NAME=V1,V2,...`` strength overrides."""
+    strengths = {}
+    for item in raw or []:
+        name, sep, values = item.partition("=")
+        if not sep or not values:
+            raise ValueError(f"--strengths expects NAME=V1,V2,... (got {item!r})")
+        try:
+            strengths[name.strip()] = tuple(float(v) for v in values.split(","))
+        except ValueError as exc:
+            raise ValueError(f"non-numeric strength in {item!r}") from exc
+    return strengths
+
+
+def _cmd_gauntlet(args: argparse.Namespace) -> int:
+    from repro.core.emmark import EmMark
+    from repro.experiments.common import prepare_context
+    from repro.robustness import (
+        GauntletSubject,
+        available_attacks,
+        build_attack,
+        run_gauntlet,
+    )
+
+    try:
+        strengths = _parse_strengths(args.strengths)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    attack_names = args.attack or available_attacks()
+    unknown = sorted(set(attack_names) - set(available_attacks()))
+    if unknown:
+        print(f"error: unknown attacks {unknown}; available: {available_attacks()}",
+              file=sys.stderr)
+        return 2
+    duplicates = sorted({name for name in attack_names if attack_names.count(name) > 1})
+    if duplicates:
+        print(f"error: duplicate --attack flags: {duplicates}", file=sys.stderr)
+        return 2
+    # Validate the grid before the expensive model preparation: a typo in
+    # --strengths must not cost a training + insertion run.
+    orphaned = sorted(set(strengths) - set(attack_names))
+    if orphaned:
+        print(f"error: --strengths given for attacks not in the grid: {orphaned}",
+              file=sys.stderr)
+        return 2
+    print(f"preparing watermarked {args.model} (INT{args.bits}, {args.profile} profile)...",
+          file=sys.stderr)
+    context = prepare_context(args.model, args.bits, profile=args.profile,
+                              num_task_examples=16)
+    emmark = EmMark(context.emmark_config, engine=context.engine)
+    watermarked, key, _ = emmark.insert_with_key(
+        context.fresh_quantized(), context.activations
+    )
+    attacks = [
+        build_attack(name, calibration_corpus=context.harness.calibration_corpus)
+        for name in attack_names
+    ]
+    report = run_gauntlet(
+        {args.model: GauntletSubject(
+            model=watermarked, key=key, harness=context.harness)},
+        attacks,
+        strengths=strengths or None,
+        engine=context.engine,
+        max_workers=args.workers,
+        seed=args.seed,
+        evaluate_quality=not args.no_quality,
+    )
+    payload = report.to_json()
+    if args.json:
+        print(payload)
+    else:
+        print(report.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"[written to {args.output}]", file=sys.stderr)
+    # Exit 0 while the watermark's worst case stays above the ownership
+    # threshold everywhere; 1 when some attack in the grid removed it.
+    return 0 if all(cell.owned for cell in report.cells) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (returns the process exit code)."""
     args = build_parser().parse_args(argv)
@@ -213,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "gauntlet":
+        return _cmd_gauntlet(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -8,6 +8,10 @@ above 99% across the sweep.
 
 The reproduction runs the same sweep on the simulated OPT-2.7B.  The x-axis
 values are configurable; the defaults follow the paper (0, 100, …, 500).
+The sweep executes on the :class:`~repro.robustness.gauntlet.Gauntlet`:
+attack strengths run in parallel and every point's ownership check shares
+one batched ``verify_fleet`` sweep (the owner key's location plans are
+reproduced once for the whole figure).
 """
 
 from __future__ import annotations
@@ -15,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.attacks.overwrite import OverwriteAttackConfig, parameter_overwrite_attack
 from repro.core.emmark import EmMark
 from repro.experiments.common import prepare_context
+from repro.robustness import GauntletSubject, build_attack, run_gauntlet
 from repro.utils.tables import Table, format_float
 
 __all__ = ["AttackSweepPoint", "Figure2aResult", "run", "PAPER_SWEEP"]
@@ -91,7 +95,7 @@ def run(
     profile, num_task_examples:
         Evaluation controls.
     attack_seed:
-        Attacker randomness.
+        Attacker randomness (the gauntlet's root seed).
     """
     context = prepare_context(
         model_name, bits, profile=profile, num_task_examples=num_task_examples
@@ -100,20 +104,21 @@ def run(
     # the key's cached location plans — the scoring runs once for the sweep.
     emmark = EmMark(context.emmark_config, engine=context.engine)
     watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
+    report = run_gauntlet(
+        {model_name: GauntletSubject(model=watermarked, key=key, harness=context.harness)},
+        [build_attack("overwrite", style=style)],
+        strengths={"overwrite": sweep},
+        engine=context.engine,
+        seed=attack_seed,
+    )
     result = Figure2aResult(model_name=model_name, bits=bits)
-    for strength in sweep:
-        attacked = parameter_overwrite_attack(
-            watermarked,
-            OverwriteAttackConfig(weights_per_layer=strength, style=style, seed=attack_seed),
-        )
-        quality = context.harness.evaluate(attacked)
-        extraction = emmark.extract_with_key(attacked, key)
+    for cell in report.cells:
         result.points.append(
             AttackSweepPoint(
-                attack_strength=strength,
-                perplexity=quality.perplexity,
-                zero_shot_accuracy=quality.zero_shot_accuracy,
-                wer_percent=extraction.wer_percent,
+                attack_strength=int(cell.strength),
+                perplexity=cell.perplexity,
+                zero_shot_accuracy=cell.zero_shot_accuracy,
+                wer_percent=cell.wer_percent,
             )
         )
     return result

@@ -7,6 +7,10 @@ layer.  The paper plots the attacked model's perplexity, zero-shot accuracy
 and the *owner's* WER against the number of perturbed parameters: quality
 drops as the attacker inserts more bits, but the owner's watermark stays
 above 95% extractable.
+
+The sweep executes on the :class:`~repro.robustness.gauntlet.Gauntlet`:
+every strength's re-watermarking runs in parallel, and the owner's *and*
+the attacker's extractions share one batched ``verify_fleet`` sweep.
 """
 
 from __future__ import annotations
@@ -14,10 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.attacks.rewatermark import RewatermarkAttackConfig, rewatermark_attack
 from repro.core.emmark import EmMark
 from repro.experiments.common import prepare_context
 from repro.experiments.figure2a import AttackSweepPoint
+from repro.robustness import GauntletSubject, build_attack, run_gauntlet
 from repro.utils.tables import Table, format_float
 
 __all__ = ["Figure2bResult", "run", "PAPER_SWEEP"]
@@ -81,28 +85,27 @@ def run(
     # WER extraction at every sweep strength is a pure (cached) lookup.
     emmark = EmMark(context.emmark_config, engine=context.engine)
     watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
-    result = Figure2bResult(model_name=model_name, bits=bits)
-    for strength in sweep:
-        if strength == 0:
-            attacked = watermarked
-            attacker_wer = 0.0
-        else:
-            attacked, attacker_key = rewatermark_attack(
-                watermarked,
-                RewatermarkAttackConfig(bits_per_layer=strength),
-                calibration_corpus=context.harness.calibration_corpus,
+    report = run_gauntlet(
+        {model_name: GauntletSubject(model=watermarked, key=key, harness=context.harness)},
+        [
+            build_attack(
+                "rewatermark", calibration_corpus=context.harness.calibration_corpus
             )
-            attacker_extraction = emmark.extract_with_key(attacked, attacker_key)
-            attacker_wer = attacker_extraction.wer_percent
-        quality = context.harness.evaluate(attacked)
-        extraction = emmark.extract_with_key(attacked, key)
+        ],
+        strengths={"rewatermark": sweep},
+        engine=context.engine,
+    )
+    result = Figure2bResult(model_name=model_name, bits=bits)
+    for cell in report.cells:
         result.points.append(
             AttackSweepPoint(
-                attack_strength=strength,
-                perplexity=quality.perplexity,
-                zero_shot_accuracy=quality.zero_shot_accuracy,
-                wer_percent=extraction.wer_percent,
+                attack_strength=int(cell.strength),
+                perplexity=cell.perplexity,
+                zero_shot_accuracy=cell.zero_shot_accuracy,
+                wer_percent=cell.wer_percent,
             )
         )
-        result.attacker_wer.append(attacker_wer)
+        result.attacker_wer.append(
+            0.0 if cell.attacker_wer_percent is None else cell.attacker_wer_percent
+        )
     return result

@@ -10,6 +10,11 @@ The simulated layers hold far fewer weights than the real ones, so the
 default sweep scales the payload to the layer size while keeping the paper's
 geometry (four steps, the second of which is the "recommended capacity").
 The paper's absolute sweep can be requested explicitly via ``sweep``.
+
+The sweep executes on the :class:`~repro.robustness.gauntlet.Gauntlet` with
+one subject per payload under the identity attack: quality evaluations of
+the different payload sizes run in parallel, and all extractions share one
+batched ``verify_fleet`` sweep.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import List, Optional, Sequence
 from repro.core.emmark import EmMark
 from repro.core.strength import log10_watermark_strength
 from repro.experiments.common import prepare_context
+from repro.robustness import GauntletSubject, build_attack, run_gauntlet
 from repro.utils.tables import Table, format_float
 
 __all__ = ["CapacityPoint", "Figure3Result", "run", "DEFAULT_SWEEP", "PAPER_SWEEP"]
@@ -88,21 +94,30 @@ def run(
     context = prepare_context(
         model_name, bits, profile=profile, num_task_examples=num_task_examples
     )
-    result = Figure3Result(model_name=model_name, bits=bits)
+    # One subject per payload size: insertion (already layer-parallel on the
+    # engine) stays sequential, while the gauntlet fans the per-payload
+    # quality evaluations out and batches every extraction into one sweep.
+    subjects = {}
     for payload in sweep:
         config = context.emmark_config.with_overrides(bits_per_layer=payload)
-        emmark = EmMark(config)
+        emmark = EmMark(config, engine=context.engine)
         watermarked, key, _ = emmark.insert_with_key(
             context.fresh_quantized(), context.activations
         )
-        quality = context.harness.evaluate(watermarked)
-        extraction = emmark.extract_with_key(watermarked, key)
+        subjects[f"bits-{payload}"] = GauntletSubject(
+            model=watermarked, key=key, harness=context.harness
+        )
+    report = run_gauntlet(subjects, [build_attack("none")], engine=context.engine)
+    cell_for = {cell.model_id: cell for cell in report.cells}
+    result = Figure3Result(model_name=model_name, bits=bits)
+    for payload in sweep:
+        cell = cell_for[f"bits-{payload}"]
         result.points.append(
             CapacityPoint(
                 bits_per_layer=payload,
-                perplexity=quality.perplexity,
-                zero_shot_accuracy=quality.zero_shot_accuracy,
-                wer_percent=extraction.wer_percent,
+                perplexity=cell.perplexity,
+                zero_shot_accuracy=cell.zero_shot_accuracy,
+                wer_percent=cell.wer_percent,
                 log10_strength_per_layer=log10_watermark_strength(payload, 1),
             )
         )

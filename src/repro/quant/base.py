@@ -248,8 +248,20 @@ class QuantizedLinear:
         deltas = np.asarray(deltas, dtype=np.int64)
         if flat_indices.shape != deltas.shape:
             raise ValueError("flat_indices and deltas must have the same shape")
-        flat = self.weight_int.reshape(-1)
+        flat = self.flat_weight_view()
         flat[flat_indices] = self.grid.clip(flat[flat_indices] + deltas)
+
+    def flat_weight_view(self) -> np.ndarray:
+        """A writable 1-D view of ``weight_int``.
+
+        ``reshape(-1)`` on a non-contiguous tensor silently returns a copy,
+        so writes through it would be lost; this helper re-materializes the
+        weights contiguously first when needed, guaranteeing the returned
+        array aliases ``self.weight_int``.
+        """
+        if not self.weight_int.flags["C_CONTIGUOUS"]:
+            self.weight_int = np.ascontiguousarray(self.weight_int)
+        return self.weight_int.reshape(-1)
 
     def copy(self) -> "QuantizedLinear":
         """Deep copy of the layer."""

@@ -1,0 +1,52 @@
+"""The robustness gauntlet (Section 5.3 at scale).
+
+A declarative attack registry (:mod:`repro.robustness.attacks`), a parallel
+grid runner batching its ownership checks through the engine
+(:mod:`repro.robustness.gauntlet`) and a report aggregation
+(:mod:`repro.robustness.report`).  The Figure 2a / 2b / 3 experiments, the
+``repro gauntlet`` CLI sub-command and the verification server's
+``/robustness`` endpoint all run on this subsystem.
+
+>>> from repro.robustness import Gauntlet, GauntletSubject, build_attack
+>>> subject = GauntletSubject(model=watermarked, key=key, harness=harness)
+>>> report = Gauntlet().run(
+...     {"deploy-a": subject},
+...     [build_attack("overwrite"), build_attack("pruning")],
+...     strengths={"overwrite": (0, 100, 300), "pruning": (0.0, 0.5)},
+... )
+>>> report.min_wer_by_attack()
+{'overwrite': 99.4, 'pruning': 97.2}
+"""
+
+from repro.robustness.attacks import (
+    ATTACK_REGISTRY,
+    AttackOutcome,
+    AttackSpec,
+    available_attacks,
+    build_attack,
+    corpus_free_attacks,
+    register_attack,
+)
+from repro.robustness.gauntlet import (
+    Gauntlet,
+    GauntletConfig,
+    GauntletSubject,
+    run_gauntlet,
+)
+from repro.robustness.report import GauntletCellResult, RobustnessReport
+
+__all__ = [
+    "ATTACK_REGISTRY",
+    "AttackOutcome",
+    "AttackSpec",
+    "available_attacks",
+    "build_attack",
+    "corpus_free_attacks",
+    "register_attack",
+    "Gauntlet",
+    "GauntletConfig",
+    "GauntletSubject",
+    "run_gauntlet",
+    "GauntletCellResult",
+    "RobustnessReport",
+]

@@ -1,0 +1,318 @@
+"""Declarative attack registry for the robustness gauntlet.
+
+Every removal attack in the repository — parameter overwriting,
+re-watermarking, magnitude pruning, LoRA fine-tuning and re-quantization —
+is wrapped behind one uniform interface:
+
+    ``spec.apply(model, strength, rng) -> AttackOutcome``
+
+so the :class:`~repro.robustness.gauntlet.Gauntlet` can execute arbitrary
+(attack × strength × model) grids without knowing any attack's plumbing.
+``strength`` is the attack's own sweep axis (weights per layer, bits per
+layer, sparsity fraction, fine-tuning steps, target bit-width) and ``rng``
+is a per-cell generator derived by the gauntlet from its seed, so a grid's
+outcome is a pure function of (subjects, attacks, strengths, seed) — never
+of execution order or worker count.
+
+Specs that need attacker-side resources (a calibration corpus for
+re-watermarking and fine-tuning) receive them at construction time via
+:func:`build_attack`, keeping ``apply`` itself resource-free.  New attack
+scenarios plug in with :func:`register_attack`:
+
+>>> @register_attack
+... class BitFlipAttack:
+...     name = "bit-flip"
+...     ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.attacks.overwrite import OverwriteAttackConfig, parameter_overwrite_attack
+from repro.attacks.pruning import PruningAttackConfig, magnitude_pruning_attack
+from repro.attacks.rewatermark import RewatermarkAttackConfig, rewatermark_attack
+from repro.core.keys import WatermarkKey
+from repro.quant.base import QuantizedModel
+
+__all__ = [
+    "AttackOutcome",
+    "AttackSpec",
+    "ATTACK_REGISTRY",
+    "register_attack",
+    "build_attack",
+    "available_attacks",
+    "corpus_free_attacks",
+    "IdentityAttack",
+    "OverwriteAttack",
+    "RewatermarkAttack",
+    "PruningAttack",
+    "LoRAFineTuneAttack",
+    "RequantizeAttack",
+]
+
+
+@dataclass
+class AttackOutcome:
+    """What one attack application produced.
+
+    Attributes
+    ----------
+    model:
+        The attacked model (always a copy; the subject is never mutated).
+    attacker_key:
+        The adversary's own watermark key, for attacks that insert one
+        (re-watermarking).  The gauntlet additionally extracts the attacker's
+        signature when this is present.
+    info:
+        Attack-specific JSON-able diagnostics (e.g. the LoRA attack's final
+        loss, or whether the quantized weights moved).
+    """
+
+    model: QuantizedModel
+    attacker_key: Optional[WatermarkKey] = None
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+class AttackSpec:
+    """Base class of registry attacks.
+
+    Subclasses define the class attributes below and implement
+    :meth:`apply`.  ``strength`` semantics are attack-specific; the
+    ``strength_unit`` string documents them for reports and tables.
+    """
+
+    #: Registry name (also the CLI / server identifier).
+    name: str = "abstract"
+    #: Human-readable unit of the strength axis.
+    strength_unit: str = ""
+    #: Default sweep used when the caller does not pick strengths.
+    default_strengths: Sequence[float] = ()
+    #: Whether construction needs an attacker-side calibration corpus.
+    requires_corpus: bool = False
+
+    def apply(
+        self, model: QuantizedModel, strength: float, rng: np.random.Generator
+    ) -> AttackOutcome:
+        """Attack ``model`` at ``strength`` and return the outcome."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able description (used by reports and the service)."""
+        return {
+            "name": self.name,
+            "strength_unit": self.strength_unit,
+            "default_strengths": list(self.default_strengths),
+            "requires_corpus": self.requires_corpus,
+        }
+
+
+ATTACK_REGISTRY: Dict[str, Type[AttackSpec]] = {}
+
+
+def register_attack(cls: Type[AttackSpec]) -> Type[AttackSpec]:
+    """Class decorator adding an :class:`AttackSpec` to the registry."""
+    if not getattr(cls, "name", None) or cls.name == "abstract":
+        raise ValueError("attack specs must define a non-empty registry name")
+    if cls.name in ATTACK_REGISTRY:
+        raise ValueError(f"attack {cls.name!r} is already registered")
+    ATTACK_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_attacks() -> List[str]:
+    """Sorted names of every registered attack."""
+    return sorted(ATTACK_REGISTRY)
+
+
+def corpus_free_attacks() -> List[str]:
+    """Names of attacks that need no attacker-side corpus (server-safe)."""
+    return sorted(
+        name for name, cls in ATTACK_REGISTRY.items() if not cls.requires_corpus
+    )
+
+
+def build_attack(name: str, calibration_corpus=None, **kwargs) -> AttackSpec:
+    """Instantiate a registered attack by name.
+
+    Parameters
+    ----------
+    name:
+        Registry name (see :func:`available_attacks`).
+    calibration_corpus:
+        Attacker-side corpus, forwarded to specs with
+        ``requires_corpus=True`` and ignored otherwise.
+    kwargs:
+        Spec-specific constructor arguments (e.g. ``style`` for overwrite).
+    """
+    try:
+        cls = ATTACK_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown attack {name!r}; available: {available_attacks()}"
+        ) from exc
+    if cls.requires_corpus:
+        if calibration_corpus is None:
+            raise ValueError(
+                f"attack {name!r} needs an attacker-side calibration corpus"
+            )
+        return cls(calibration_corpus=calibration_corpus, **kwargs)
+    return cls(**kwargs)
+
+
+def _derived_seed(rng: np.random.Generator) -> int:
+    """A 31-bit seed drawn from the cell generator (deterministic per cell)."""
+    return int(rng.integers(0, 2**31 - 1))
+
+
+# ----------------------------------------------------------------------
+# Built-in specs
+# ----------------------------------------------------------------------
+@register_attack
+class IdentityAttack(AttackSpec):
+    """No-op attack: the unmodified subject.
+
+    Used for baseline rows of every sweep and for capacity studies (Figure
+    3), where each subject carries a different payload and the interesting
+    measurement is quality + WER of the *untouched* watermarked model.
+    """
+
+    name = "none"
+    strength_unit = "-"
+    default_strengths = (0,)
+
+    def apply(self, model, strength, rng):
+        return AttackOutcome(model=model.clone())
+
+
+@register_attack
+class OverwriteAttack(AttackSpec):
+    """Parameter overwriting (Figure 2a); strength = weights per layer."""
+
+    name = "overwrite"
+    strength_unit = "weights/layer"
+    default_strengths = (0, 100, 200, 300, 400, 500)
+
+    def __init__(self, style: str = "resample") -> None:
+        self.style = style
+
+    def apply(self, model, strength, rng):
+        config = OverwriteAttackConfig(
+            weights_per_layer=int(strength), style=self.style, seed=_derived_seed(rng)
+        )
+        return AttackOutcome(model=parameter_overwrite_attack(model, config))
+
+    def describe(self):
+        return {**super().describe(), "style": self.style}
+
+
+@register_attack
+class RewatermarkAttack(AttackSpec):
+    """Re-watermarking (Figure 2b); strength = attacker bits per layer.
+
+    The adversary's hyper-parameters default to the paper's (α=1, β=1.5,
+    seed 22); activations are measured on the quantized model via the
+    attacker-side calibration corpus.
+    """
+
+    name = "rewatermark"
+    strength_unit = "bits/layer"
+    default_strengths = (0, 100, 150, 200, 250, 300)
+    requires_corpus = True
+
+    def __init__(self, calibration_corpus, **config_overrides) -> None:
+        self.calibration_corpus = calibration_corpus
+        self.config_overrides = config_overrides
+
+    def apply(self, model, strength, rng):
+        if int(strength) == 0:
+            return AttackOutcome(model=model.clone())
+        config = RewatermarkAttackConfig(
+            bits_per_layer=int(strength), **self.config_overrides
+        )
+        attacked, attacker_key = rewatermark_attack(
+            model, config, calibration_corpus=self.calibration_corpus
+        )
+        return AttackOutcome(model=attacked, attacker_key=attacker_key)
+
+
+@register_attack
+class PruningAttack(AttackSpec):
+    """Magnitude pruning; strength = sparsity fraction in [0, 1]."""
+
+    name = "pruning"
+    strength_unit = "sparsity"
+    default_strengths = (0.0, 0.3, 0.6, 0.9)
+
+    def apply(self, model, strength, rng):
+        config = PruningAttackConfig(sparsity=float(strength))
+        return AttackOutcome(model=magnitude_pruning_attack(model, config))
+
+
+@register_attack
+class LoRAFineTuneAttack(AttackSpec):
+    """QLoRA-style fine-tuning; strength = optimization steps.
+
+    The quantized weights are frozen by construction, so the outcome's
+    ``info`` records the mechanical proof (``weights_unchanged``) plus the
+    attacker's final loss (showing the adapters actually trained).
+    """
+
+    name = "lora-finetune"
+    strength_unit = "steps"
+    default_strengths = (0, 20, 60)
+    requires_corpus = True
+
+    def __init__(self, calibration_corpus, rank: int = 4) -> None:
+        self.calibration_corpus = calibration_corpus
+        self.rank = rank
+
+    def apply(self, model, strength, rng):
+        if int(strength) == 0:
+            return AttackOutcome(model=model.clone())
+        # Imported lazily: the finetune package pulls in the training stack.
+        from repro.attacks.finetune_attack import lora_finetune_attack
+        from repro.finetune.lora import LoRAConfig
+
+        config = LoRAConfig(
+            rank=self.rank, steps=int(strength), seed=_derived_seed(rng)
+        )
+        result = lora_finetune_attack(model.clone(), self.calibration_corpus, config=config)
+        return AttackOutcome(
+            model=result.attacked_model,
+            info={
+                "weights_unchanged": bool(result.quantized_weights_unchanged),
+                "final_loss": float(result.final_loss),
+            },
+        )
+
+
+@register_attack
+class RequantizeAttack(AttackSpec):
+    """Re-quantization: dequantize and round-trip through RTN.
+
+    Strength = target bit-width.  Whether the watermark survives depends on
+    how far the attacker's grid is from the deployed one: a plain RTN model
+    round-trips almost losslessly (the watermark rides along), while
+    smoothing- or scale-changing deployments (SmoothQuant / AWQ) re-derive
+    different integer levels and the integer-domain signature dissolves.
+    The paper does not sweep this scenario — the registry exists to measure
+    exactly such gaps.
+    """
+
+    name = "requantize"
+    strength_unit = "bits"
+    default_strengths = (8, 6, 4)
+
+    def apply(self, model, strength, rng):
+        # Imported lazily to avoid a repro.quant.api ↔ attacks import cycle
+        # at package-init time.
+        from repro.quant.api import quantize_model
+
+        requantized = quantize_model(model.materialize(), "rtn", bits=int(strength))
+        return AttackOutcome(
+            model=requantized, info={"requantized_bits": int(strength)}
+        )

@@ -1,0 +1,381 @@
+"""The robustness gauntlet: parallel (attack × strength × model) sweeps.
+
+Before this subsystem existed, every robustness figure hand-rolled the same
+loop — attack the watermarked model at one strength, evaluate quality,
+re-extract the owner's watermark, repeat — strictly serially, paying one
+location-plan reproduction per sweep point.  :class:`Gauntlet` turns that
+into one reusable engine-backed pipeline:
+
+1. **Grid construction** — subjects (a watermarked model + its owner key +
+   optionally an evaluation harness) crossed with registered attack specs
+   and their strength sweeps produce an ordered list of cells.
+2. **Parallel attack + quality stage** — cells run on a configurable worker
+   pool.  Each cell derives its own RNG from the gauntlet seed and the cell
+   coordinates, so results are bit-identical at any ``max_workers``.
+3. **Batched verification stage** — every attacked model becomes a suspect
+   in a single :meth:`~repro.engine.engine.WatermarkEngine.verify_fleet`
+   call with explicit (suspect, key) pairs: each owner key's location plans
+   are reproduced **once per model, not once per sweep point**, and
+   re-watermarking cells additionally pair with the adversary's key to
+   report the attacker's extraction rate.
+
+The result is a :class:`~repro.robustness.report.RobustnessReport`.
+
+Memory note: the batched verification holds every cell's attacked model
+simultaneously, so a grid peaks at O(num_cells × model size).  The sim
+models are small; for very large grids over big suspects, split the grid
+into several runs (the verification server additionally caps cells per
+request).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.keys import WatermarkKey
+from repro.engine.engine import WatermarkEngine, get_default_engine
+from repro.engine.reports import (
+    DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    DEFAULT_OWNERSHIP_THRESHOLD,
+)
+from repro.eval.harness import EvaluationHarness, QualityReport
+from repro.quant.base import QuantizedModel
+from repro.robustness.attacks import AttackOutcome, AttackSpec
+from repro.robustness.report import GauntletCellResult, RobustnessReport
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+__all__ = ["GauntletConfig", "GauntletSubject", "Gauntlet", "run_gauntlet"]
+
+logger = get_logger("robustness.gauntlet")
+
+StrengthMap = Mapping[str, Sequence[float]]
+
+
+@dataclass(frozen=True)
+class GauntletConfig:
+    """Tuning knobs of a :class:`Gauntlet`.
+
+    Attributes
+    ----------
+    max_workers:
+        Worker-pool width for the attack + quality stage.  ``None`` resolves
+        to the ``REPRO_GAUNTLET_WORKERS`` environment variable, falling back
+        to ``min(8, cpu_count)``; ``1`` forces serial execution.  Results are
+        identical at every setting — the knob only trades wall clock.
+    seed:
+        Root seed of the per-cell attacker RNGs.
+    wer_threshold, max_false_claim_probability:
+        Ownership-decision thresholds forwarded to ``verify_fleet``.
+    evaluate_quality:
+        Measure perplexity / zero-shot accuracy per cell (needs subjects
+        with a harness).  The verification server disables this — it holds
+        keys and suspects, not evaluation corpora.
+    """
+
+    max_workers: Optional[int] = None
+    seed: int = 0
+    wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD
+    max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY
+    evaluate_quality: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None for auto)")
+
+    def resolved_workers(self) -> int:
+        """The worker count after applying the environment override."""
+        if self.max_workers is not None:
+            return self.max_workers
+        env = os.environ.get("REPRO_GAUNTLET_WORKERS")
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                logger.warning("ignoring non-integer REPRO_GAUNTLET_WORKERS=%r", env)
+        return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass
+class GauntletSubject:
+    """One watermarked deployment under test.
+
+    Attributes
+    ----------
+    model:
+        The watermarked quantized model (never mutated; attacks clone it).
+    key:
+        The owner's watermark key for this model.
+    harness:
+        Evaluation harness measuring the attacked models' quality; optional
+        when the gauntlet runs with ``evaluate_quality=False``.
+    """
+
+    model: QuantizedModel
+    key: WatermarkKey
+    harness: Optional[EvaluationHarness] = None
+
+
+@dataclass
+class _Cell:
+    """Internal: one grid coordinate plus its stage-1 products."""
+
+    index: int
+    model_id: str
+    spec: AttackSpec
+    strength: float
+    outcome: Optional[AttackOutcome] = None
+    quality: Optional[QualityReport] = None
+    attack_seconds: float = 0.0
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.model_id}/{self.spec.name}@{self.strength:g}"
+
+    @property
+    def attacker_key_id(self) -> str:
+        return f"{self.cell_id}#attacker"
+
+
+class Gauntlet:
+    """Engine-backed executor of robustness grids.
+
+    Parameters
+    ----------
+    engine:
+        Shared :class:`WatermarkEngine` for the batched verification stage;
+        the process-wide default engine (shared plan cache) when omitted.
+    config:
+        Gauntlet tuning; defaults to :class:`GauntletConfig` defaults.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[WatermarkEngine] = None,
+        config: Optional[GauntletConfig] = None,
+    ) -> None:
+        self._engine = engine
+        self.config = config if config is not None else GauntletConfig()
+
+    @property
+    def engine(self) -> WatermarkEngine:
+        """The engine verification batches run on."""
+        return self._engine if self._engine is not None else get_default_engine()
+
+    # ------------------------------------------------------------------
+    # Grid construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _named_subjects(
+        subjects: Union[GauntletSubject, Mapping[str, GauntletSubject]],
+    ) -> List[Tuple[str, GauntletSubject]]:
+        if isinstance(subjects, GauntletSubject):
+            return [("subject-0", subjects)]
+        if not subjects:
+            raise ValueError("gauntlet needs at least one subject")
+        return list(subjects.items())
+
+    def _build_grid(
+        self,
+        subjects: List[Tuple[str, GauntletSubject]],
+        attacks: Sequence[AttackSpec],
+        strengths: Optional[StrengthMap],
+    ) -> List[_Cell]:
+        if not attacks:
+            raise ValueError("gauntlet needs at least one attack spec")
+        names = [spec.name for spec in attacks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attack specs in the grid: {names}")
+        if strengths:
+            unknown = set(strengths) - set(names)
+            if unknown:
+                raise ValueError(
+                    f"strengths given for attacks not in the grid: {sorted(unknown)}"
+                )
+        cells: List[_Cell] = []
+        for model_id, _subject in subjects:
+            for spec in attacks:
+                sweep = (strengths or {}).get(spec.name, spec.default_strengths)
+                if not sweep:
+                    raise ValueError(
+                        f"attack {spec.name!r} has no strengths (and no defaults)"
+                    )
+                for strength in sweep:
+                    cells.append(
+                        _Cell(
+                            index=len(cells),
+                            model_id=model_id,
+                            spec=spec,
+                            strength=float(strength),
+                        )
+                    )
+        # Cell ids are the suspect ids of the batched verification sweep; a
+        # collision (duplicate strengths, or strengths differing only past
+        # the %g rendering) would silently hand one cell the other's
+        # verdict, so it is an error instead.
+        seen_ids: Dict[str, float] = {}
+        for cell in cells:
+            if cell.cell_id in seen_ids:
+                raise ValueError(
+                    f"grid cells collide on id {cell.cell_id!r} (strengths "
+                    f"{seen_ids[cell.cell_id]!r} and {cell.strength!r}); "
+                    "deduplicate the strength sweep"
+                )
+            seen_ids[cell.cell_id] = cell.strength
+        return cells
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        subjects: Union[GauntletSubject, Mapping[str, GauntletSubject]],
+        attacks: Sequence[AttackSpec],
+        strengths: Optional[StrengthMap] = None,
+    ) -> RobustnessReport:
+        """Execute the (attack × strength × subject) grid.
+
+        Parameters
+        ----------
+        subjects:
+            One :class:`GauntletSubject` or a mapping of explicit ids.
+        attacks:
+            Attack specs forming the grid's attack axis (see
+            :mod:`repro.robustness.attacks`).
+        strengths:
+            Optional per-attack strength sweeps, keyed by attack name;
+            attacks not listed use their ``default_strengths``.
+
+        Returns
+        -------
+        RobustnessReport
+            Grid-major cell results plus sweep-level wall-clock and
+            plan-cache figures.  Identical for any worker count.
+        """
+        wall_start = time.perf_counter()
+        subject_items = self._named_subjects(subjects)
+        subject_for = dict(subject_items)
+        cells = self._build_grid(subject_items, attacks, strengths)
+        workers = self.config.resolved_workers()
+
+        if self.config.evaluate_quality:
+            missing = [
+                model_id
+                for model_id, subject in subject_items
+                if subject.harness is None
+            ]
+            if missing:
+                raise ValueError(
+                    f"evaluate_quality=True but subjects {missing[:4]} have no harness; "
+                    "attach one or run with evaluate_quality=False"
+                )
+
+        # -- stage 1: attack + quality, cell-parallel ----------------------
+        def run_cell(cell: _Cell) -> _Cell:
+            subject = subject_for[cell.model_id]
+            # The RNG depends only on (seed, coordinates) — never on which
+            # worker picks the cell up — so grids are reproducible at any
+            # pool width.
+            rng = new_rng(
+                self.config.seed,
+                "gauntlet",
+                cell.model_id,
+                cell.spec.name,
+                f"{cell.strength:g}",
+            )
+            start = time.perf_counter()
+            cell.outcome = cell.spec.apply(subject.model, cell.strength, rng)
+            if self.config.evaluate_quality:
+                cell.quality = subject.harness.evaluate(cell.outcome.model)
+            cell.attack_seconds = time.perf_counter() - start
+            return cell
+
+        if workers <= 1 or len(cells) < 2:
+            cells = [run_cell(cell) for cell in cells]
+        else:
+            # A private pool: the engine's layer-level pool stays free for
+            # the verification stage (and for attacks that insert watermarks
+            # through the engine, e.g. re-watermarking).
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="gauntlet"
+            ) as pool:
+                cells = list(pool.map(run_cell, cells))
+
+        # -- stage 2: one batched verify_fleet sweep -----------------------
+        verify_start = time.perf_counter()
+        suspects: Dict[str, QuantizedModel] = {}
+        keys: Dict[str, WatermarkKey] = {
+            model_id: subject.key for model_id, subject in subject_items
+        }
+        pairs: List[Tuple[str, str]] = []
+        for cell in cells:
+            suspects[cell.cell_id] = cell.outcome.model
+            pairs.append((cell.cell_id, cell.model_id))
+            if cell.outcome.attacker_key is not None:
+                keys[cell.attacker_key_id] = cell.outcome.attacker_key
+                pairs.append((cell.cell_id, cell.attacker_key_id))
+        fleet = self.engine.verify_fleet(
+            suspects,
+            keys,
+            wer_threshold=self.config.wer_threshold,
+            max_false_claim_probability=self.config.max_false_claim_probability,
+            pairs=pairs,
+        )
+        verify_seconds = time.perf_counter() - verify_start
+        by_pair = {(pair.suspect_id, pair.key_id): pair for pair in fleet.pairs}
+
+        # -- stage 3: assemble the report ----------------------------------
+        results: List[GauntletCellResult] = []
+        for cell in cells:
+            owner = by_pair[(cell.cell_id, cell.model_id)]
+            attacker = by_pair.get((cell.cell_id, cell.attacker_key_id))
+            results.append(
+                GauntletCellResult(
+                    model_id=cell.model_id,
+                    attack=cell.spec.name,
+                    strength=cell.strength,
+                    strength_unit=cell.spec.strength_unit,
+                    wer_percent=owner.wer_percent,
+                    matched_bits=owner.matched_bits,
+                    total_bits=owner.total_bits,
+                    false_claim_probability=owner.false_claim_probability,
+                    owned=owner.owned,
+                    attacker_wer_percent=None if attacker is None else attacker.wer_percent,
+                    perplexity=None if cell.quality is None else cell.quality.perplexity,
+                    zero_shot_accuracy=(
+                        None if cell.quality is None else cell.quality.zero_shot_accuracy
+                    ),
+                    attack_seconds=cell.attack_seconds,
+                    info=dict(cell.outcome.info),
+                )
+            )
+        report = RobustnessReport(
+            cells=results,
+            seed=self.config.seed,
+            workers=workers,
+            wall_clock_seconds=time.perf_counter() - wall_start,
+            verify_seconds=verify_seconds,
+            cache_hits=fleet.cache_hits,
+            cache_misses=fleet.cache_misses,
+        )
+        logger.debug("%s", report.summary())
+        return report
+
+
+def run_gauntlet(
+    subjects: Union[GauntletSubject, Mapping[str, GauntletSubject]],
+    attacks: Sequence[AttackSpec],
+    strengths: Optional[StrengthMap] = None,
+    engine: Optional[WatermarkEngine] = None,
+    **config_kwargs,
+) -> RobustnessReport:
+    """One-call convenience: build a :class:`Gauntlet` and run the grid."""
+    return Gauntlet(engine=engine, config=GauntletConfig(**config_kwargs)).run(
+        subjects, attacks, strengths
+    )

@@ -177,3 +177,30 @@ class VerificationClient:
         if max_false_claim_probability != "unset":
             body["max_false_claim_probability"] = max_false_claim_probability
         return self._request("POST", "/verify", body)
+
+    def robustness(
+        self,
+        suspect_id: str,
+        key_id: Optional[str] = None,
+        attacks: Optional[List[object]] = None,
+        seed: int = 0,
+        wer_threshold: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Run the server-side robustness gauntlet on a stored suspect.
+
+        One sweep targets one registered key (``key_id``; may be omitted
+        when the registry holds exactly one active key).  ``attacks``
+        entries are attack names or ``{"name": ..., "strengths": [...]}``
+        objects; omitted, the server sweeps every corpus-free attack at its
+        default strengths.  Returns the suspect id, the key id swept, and
+        the gauntlet report (per-cell ownership evidence, min-WER per
+        attack, decision digest).
+        """
+        body: Dict[str, object] = {"suspect_id": suspect_id, "seed": seed}
+        if key_id is not None:
+            body["key_id"] = key_id
+        if attacks is not None:
+            body["attacks"] = list(attacks)
+        if wer_threshold is not None:
+            body["wer_threshold"] = wer_threshold
+        return self._request("POST", "/robustness", body)

@@ -11,15 +11,17 @@ Endpoints (all JSON):
 ========  =========  ====================================================
 method    path       purpose
 ========  =========  ====================================================
-GET       /healthz   liveness probe (uptime, queue depth)
-GET       /stats     counters: server, dispatcher, admission, plan cache,
-                     registry, audit tail
-GET       /keys      registered key records (``?model_fingerprint=`` filter)
-POST      /register  register a watermark key (owner + wire-encoded key)
-POST      /revoke    revoke a key by id
-POST      /suspects  upload a suspect model snapshot, returns its id
-POST      /verify    ownership check of one suspect against selected keys
-========  =========  ====================================================
+GET       /healthz     liveness probe (uptime, queue depth)
+GET       /stats       counters: server, dispatcher, admission, plan cache,
+                       registry, audit tail
+GET       /keys        registered key records (``?model_fingerprint=`` filter)
+POST      /register    register a watermark key (owner + wire-encoded key)
+POST      /revoke      revoke a key by id
+POST      /suspects    upload a suspect model snapshot, returns its id
+POST      /verify      ownership check of one suspect against selected keys
+POST      /robustness  attack-robustness gauntlet of one stored suspect
+                       against one registered key (corpus-free attacks)
+========  ===========  ====================================================
 
 The HTTP layer is deliberately minimal — request line + headers +
 ``Content-Length`` body, keep-alive connections, no TLS, no chunking — the
@@ -63,6 +65,13 @@ logger = get_logger("service.server")
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 256 * 1024 * 1024
 _VERIFY_TIMEOUT_S = 120.0
+_GAUNTLET_TIMEOUT_S = 300.0
+#: Grid-size ceiling for one /robustness request (attacks × strengths).
+_MAX_GAUNTLET_CELLS = 64
+#: Concurrent /robustness sweeps; a timed-out sweep cannot be cancelled
+#: (it runs CPU-bound on the executor), so admission is bounded instead —
+#: abandoned work keeps its slot until it actually finishes.
+_MAX_INFLIGHT_GAUNTLETS = 2
 
 
 def _model_content_id(model: QuantizedModel) -> str:
@@ -163,6 +172,8 @@ class VerificationServer:
         self._suspect_evictions = 0
         self._request_ids = itertools.count(1)
         self._inline_ids = itertools.count(1)
+        # Touched only from the event-loop thread (handler + done callback).
+        self._gauntlets_inflight = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self.port: Optional[int] = None
@@ -176,6 +187,7 @@ class VerificationServer:
             "rejected_queue_full": 0,
             "timeouts": 0,
             "errors": 0,
+            "gauntlets": 0,
         }
 
     # ------------------------------------------------------------------
@@ -356,6 +368,7 @@ class VerificationServer:
             "/verify": self._handle_verify,
             "/register": self._handle_register,
             "/suspects": self._handle_suspects,
+            "/robustness": self._handle_robustness,
         }
         if method == "GET" and path in get_routes:
             return get_routes[path](b"")
@@ -541,6 +554,168 @@ class VerificationServer:
             "batch_size": outcome.batch_size,
             "queue_ms": outcome.queue_seconds * 1000.0,
             "verify_ms": outcome.verify_seconds * 1000.0,
+        }
+
+    async def _handle_robustness(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        """Run the robustness gauntlet on a stored suspect against one key.
+
+        The grid crosses the requested (corpus-free) attacks with their
+        strength sweeps; quality evaluation is disabled — the server holds
+        keys and suspects, not evaluation corpora — so every cell reports
+        ownership evidence only.  The sweep runs on the shared engine,
+        reusing any location plans the verification traffic has already
+        cached, and every cell verdict is written to the audit log.
+        """
+        from repro.robustness import (
+            Gauntlet,
+            GauntletConfig,
+            GauntletSubject,
+            build_attack,
+            corpus_free_attacks,
+        )
+        from repro.robustness.attacks import ATTACK_REGISTRY
+
+        if not self.bucket.try_acquire():
+            raise _HttpError(429, "rate limit exceeded, retry later")
+        payload = self._json_body(body)
+        suspect_id, suspect = await self._resolve_suspect(payload)
+        # One key per sweep: each (attack, strength) cell attacks the suspect
+        # exactly once.  Sweeping K keys in one grid would re-run every attack
+        # K times (with K different random draws), burning the cell budget on
+        # incomparable rows — clients sweep additional keys with additional
+        # requests.
+        key_id = payload.get("key_id")
+        if key_id is not None and not isinstance(key_id, str):
+            raise _HttpError(400, "'key_id' must be a string")
+        try:
+            keys = self.registry.active_keys([key_id] if key_id else None)
+        except RegistryError as exc:
+            raise _HttpError(404, str(exc)) from exc
+        if not keys:
+            raise _HttpError(400, "no active keys to run the gauntlet against")
+        if len(keys) > 1:
+            raise _HttpError(
+                400,
+                f"registry holds {len(keys)} active keys; pick one with 'key_id' "
+                "(one gauntlet sweep targets one key)",
+            )
+        key_id, key = next(iter(keys.items()))
+
+        raw_attacks = payload.get("attacks")
+        if raw_attacks is None:
+            raw_attacks = [{"name": name} for name in corpus_free_attacks()]
+        if not isinstance(raw_attacks, list) or not raw_attacks:
+            raise _HttpError(400, "'attacks' must be a non-empty list")
+        attacks = []
+        strengths: Dict[str, tuple] = {}
+        seen_names = set()
+        for entry in raw_attacks:
+            if isinstance(entry, str):
+                entry = {"name": entry}
+            if not isinstance(entry, dict) or "name" not in entry:
+                raise _HttpError(400, "each attack must be a name or {'name': ..., 'strengths': [...]}")
+            name = str(entry["name"])
+            if name in seen_names:
+                raise _HttpError(400, f"duplicate attack {name!r} in the grid")
+            seen_names.add(name)
+            spec_cls = ATTACK_REGISTRY.get(name)
+            if spec_cls is None:
+                raise _HttpError(400, f"unknown attack {name!r}; available: {corpus_free_attacks()}")
+            if spec_cls.requires_corpus:
+                raise _HttpError(
+                    400,
+                    f"attack {name!r} needs an attacker-side corpus and cannot run server-side",
+                )
+            if "strengths" in entry:
+                raw_strengths = entry["strengths"]
+                if not isinstance(raw_strengths, list) or not raw_strengths:
+                    raise _HttpError(400, f"'strengths' for {name!r} must be a non-empty list")
+                try:
+                    strengths[name] = tuple(float(v) for v in raw_strengths)
+                except (TypeError, ValueError) as exc:
+                    raise _HttpError(400, f"non-numeric strength for {name!r}: {exc}") from exc
+            attacks.append(build_attack(name))
+        num_cells = sum(
+            len(strengths.get(spec.name, spec.default_strengths)) for spec in attacks
+        )
+        if num_cells > _MAX_GAUNTLET_CELLS:
+            raise _HttpError(
+                400,
+                f"grid of {num_cells} cells exceeds the "
+                f"{_MAX_GAUNTLET_CELLS}-cell per-request limit",
+            )
+        try:
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"invalid seed: {exc}") from exc
+        config_kwargs: Dict[str, object] = {"seed": seed, "evaluate_quality": False}
+        try:
+            if "wer_threshold" in payload:
+                config_kwargs["wer_threshold"] = float(payload["wer_threshold"])
+            if "max_false_claim_probability" in payload:
+                raw = payload["max_false_claim_probability"]
+                config_kwargs["max_false_claim_probability"] = (
+                    None if raw is None else float(raw)
+                )
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"invalid threshold value: {exc}") from exc
+
+        subjects = {key_id: GauntletSubject(model=suspect, key=key)}
+        gauntlet = Gauntlet(engine=self.engine, config=GauntletConfig(**config_kwargs))
+        loop = asyncio.get_running_loop()
+        # Bounded admission: a timed-out sweep keeps burning CPU on the
+        # executor until it finishes (threads cannot be cancelled), so its
+        # slot is released by the done callback, not by the timeout — retry
+        # storms get 503s instead of stacking unbounded sweeps.
+        if self._gauntlets_inflight >= _MAX_INFLIGHT_GAUNTLETS:
+            raise _HttpError(
+                503,
+                f"{self._gauntlets_inflight} robustness sweeps already in flight, retry later",
+            )
+        self._gauntlets_inflight += 1
+        future = loop.run_in_executor(None, gauntlet.run, subjects, attacks, strengths)
+
+        def _release(_future) -> None:
+            self._gauntlets_inflight -= 1
+
+        future.add_done_callback(_release)
+        try:
+            report = await asyncio.wait_for(asyncio.shield(future), timeout=_GAUNTLET_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            raise _HttpError(503, "gauntlet timed out", counter="timeouts") from None
+        except ValueError as exc:
+            # Grid-level validation the gauntlet performs itself (duplicate
+            # strengths, colliding cell ids, …) is still client input.
+            raise _HttpError(400, f"invalid gauntlet grid: {exc}") from exc
+        self._counters["gauntlets"] += 1
+        # Every cell is an ownership decision against a registered key, so it
+        # enters the audit log (and the decision counters) exactly like a
+        # /verify verdict — the "every ownership decision is recorded"
+        # invariant does not stop at the gauntlet.
+        request_id = f"req-{next(self._request_ids)}"
+        for cell in report.cells:
+            if cell.owned:
+                self._counters["decisions_owned"] += 1
+            else:
+                self._counters["decisions_not_owned"] += 1
+            self.audit.record(
+                request_id=request_id,
+                kind="robustness",
+                suspect_id=suspect_id,
+                key_id=key_id,
+                attack=cell.attack,
+                strength=cell.strength,
+                owned=cell.owned,
+                wer_percent=cell.wer_percent,
+                matched_bits=cell.matched_bits,
+                total_bits=cell.total_bits,
+                false_claim_probability=cell.false_claim_probability,
+            )
+        return 200, {
+            "request_id": request_id,
+            "suspect_id": suspect_id,
+            "key_id": key_id,
+            "report": report.to_dict(),
         }
 
     async def _resolve_suspect(self, payload: Dict[str, object]) -> Tuple[str, QuantizedModel]:

@@ -1,0 +1,67 @@
+"""Robustness-suite fixtures.
+
+On top of the session substrate from ``tests/conftest.py`` this adds an
+LLM.int8() quantization with *guaranteed* outlier columns (the INT8
+attack-effectiveness regression tests need full-precision columns to exist)
+and a watermarked subject pair shared across the gauntlet tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EmMarkConfig
+from repro.engine import WatermarkEngine
+from repro.eval.harness import EvaluationHarness
+from repro.quant.api import quantize_model
+from repro.robustness import GauntletSubject
+
+
+@pytest.fixture(scope="session")
+def quantized_llm_int8(trained_model, activation_stats):
+    """LLM.int8() quantization with at least one outlier column per layer."""
+    quantized = quantize_model(
+        trained_model,
+        "llm_int8",
+        bits=8,
+        activations=activation_stats,
+        outlier_threshold=1.05,
+        max_outlier_fraction=0.25,
+    )
+    layers_with_outliers = [
+        layer for layer in quantized.iter_layers() if layer.outlier_columns is not None
+    ]
+    assert layers_with_outliers, "fixture must produce outlier columns"
+    return quantized
+
+
+@pytest.fixture(scope="session")
+def tiny_harness(small_dataset):
+    """A small, fast evaluation harness for gauntlet quality measurements."""
+    return EvaluationHarness(small_dataset, num_task_examples=4, max_sequences=8)
+
+
+@pytest.fixture(scope="session")
+def gauntlet_engine():
+    """A private engine so cache-traffic assertions see only gauntlet work."""
+    return WatermarkEngine()
+
+
+@pytest.fixture(scope="session")
+def awq_subject(quantized_awq4, activation_stats, tiny_harness, gauntlet_engine):
+    """A watermarked AWQ INT4 subject with harness, ready for the gauntlet."""
+    config = EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=8)
+    watermarked, key, _ = gauntlet_engine.insert(
+        quantized_awq4, activation_stats, config=config
+    )
+    return GauntletSubject(model=watermarked, key=key, harness=tiny_harness)
+
+
+@pytest.fixture(scope="session")
+def int8_subject(quantized_llm_int8, activation_stats, tiny_harness, gauntlet_engine):
+    """A watermarked LLM.int8() subject (outlier columns present)."""
+    config = EmMarkConfig.scaled_for_model(quantized_llm_int8, bits_per_layer=8)
+    watermarked, key, _ = gauntlet_engine.insert(
+        quantized_llm_int8, activation_stats, config=config
+    )
+    return GauntletSubject(model=watermarked, key=key, harness=tiny_harness)

@@ -1,0 +1,172 @@
+"""Tests for the attack registry and the LLM.int8() attack-effectiveness fix.
+
+The regression class here is the one the gauntlet was built to close:
+attacks that write into LLM.int8() outlier columns change integer values
+that ``effective_weight()`` overrides with full precision, so the deployed
+model — and the watermark, which never lives there — would see a weaker
+attack than reported.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.overwrite import OverwriteAttackConfig, parameter_overwrite_attack
+from repro.robustness import (
+    ATTACK_REGISTRY,
+    AttackOutcome,
+    available_attacks,
+    build_attack,
+    corpus_free_attacks,
+    register_attack,
+)
+from repro.robustness.attacks import AttackSpec
+from repro.utils.rng import new_rng
+
+
+class TestRegistry:
+    def test_builtin_attacks_registered(self):
+        assert {"none", "overwrite", "rewatermark", "pruning",
+                "lora-finetune", "requantize"} <= set(available_attacks())
+
+    def test_corpus_free_subset(self):
+        free = set(corpus_free_attacks())
+        assert "rewatermark" not in free and "lora-finetune" not in free
+        assert {"none", "overwrite", "pruning", "requantize"} <= free
+
+    def test_unknown_attack_raises(self):
+        with pytest.raises(KeyError, match="unknown attack"):
+            build_attack("weight-exorcism")
+
+    def test_corpus_required(self):
+        with pytest.raises(ValueError, match="calibration corpus"):
+            build_attack("rewatermark")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_attack
+            class Duplicate(AttackSpec):
+                name = "overwrite"
+
+    def test_custom_attack_pluggable(self):
+        @register_attack
+        class NoiseAttack(AttackSpec):
+            name = "test-noise"
+            strength_unit = "levels"
+            default_strengths = (1,)
+
+            def apply(self, model, strength, rng):
+                return AttackOutcome(model=model.clone())
+
+        try:
+            spec = build_attack("test-noise")
+            assert spec.describe()["name"] == "test-noise"
+        finally:
+            del ATTACK_REGISTRY["test-noise"]
+
+    def test_describe_is_jsonable(self):
+        import json
+
+        for name in available_attacks():
+            cls = ATTACK_REGISTRY[name]
+            spec = cls.__new__(cls)  # describe() only reads class attributes
+            json.dumps(AttackSpec.describe(spec))
+
+
+class TestSpecBehaviour:
+    def test_identity_returns_equal_copy(self, quantized_awq4):
+        outcome = build_attack("none").apply(quantized_awq4, 0, new_rng(0))
+        assert outcome.model is not quantized_awq4
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                outcome.model.get_layer(name).weight_int,
+                quantized_awq4.get_layer(name).weight_int,
+            )
+
+    def test_overwrite_spec_deterministic_per_rng(self, quantized_awq4):
+        spec = build_attack("overwrite")
+        a = spec.apply(quantized_awq4, 30, new_rng(5, "cell")).model
+        b = spec.apply(quantized_awq4, 30, new_rng(5, "cell")).model
+        c = spec.apply(quantized_awq4, 30, new_rng(6, "cell")).model
+        name = quantized_awq4.layer_names()[0]
+        np.testing.assert_array_equal(a.get_layer(name).weight_int,
+                                      b.get_layer(name).weight_int)
+        assert not np.array_equal(a.get_layer(name).weight_int,
+                                  c.get_layer(name).weight_int)
+
+    def test_requantize_preserves_layout(self, quantized_awq4):
+        outcome = build_attack("requantize").apply(quantized_awq4, 8, new_rng(0))
+        assert outcome.model.layer_names() == quantized_awq4.layer_names()
+        assert outcome.model.bits == 8
+        assert outcome.info["requantized_bits"] == 8
+
+    def test_rewatermark_spec_zero_strength_is_identity(self, quantized_awq4, small_dataset):
+        spec = build_attack("rewatermark", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(quantized_awq4, 0, new_rng(0))
+        assert outcome.attacker_key is None
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                outcome.model.get_layer(name).weight_int,
+                quantized_awq4.get_layer(name).weight_int,
+            )
+
+
+class TestLLMInt8AttackEffectiveness:
+    """Attack strength must reflect *effective* weights on LLM.int8() models."""
+
+    def test_overwrite_avoids_outlier_columns(self, quantized_llm_int8):
+        attacked = parameter_overwrite_attack(
+            quantized_llm_int8, OverwriteAttackConfig(weights_per_layer=50, seed=11)
+        )
+        for name in quantized_llm_int8.layer_names():
+            layer = quantized_llm_int8.get_layer(name)
+            delta = attacked.get_layer(name).weight_int - layer.weight_int
+            if layer.outlier_columns is not None:
+                assert not np.any(delta[:, layer.outlier_columns]), (
+                    f"attack wrote into full-precision outlier columns of {name}"
+                )
+
+    def test_every_integer_hit_lands_in_effective_weights(self, quantized_llm_int8):
+        """No silent no-ops: integer changes == effective-weight changes."""
+        attacked = parameter_overwrite_attack(
+            quantized_llm_int8, OverwriteAttackConfig(weights_per_layer=60, seed=3)
+        )
+        total_int_changes = 0
+        for name in quantized_llm_int8.layer_names():
+            before = quantized_llm_int8.get_layer(name)
+            after = attacked.get_layer(name)
+            int_changed = before.weight_int != after.weight_int
+            effective_changed = before.effective_weight() != after.effective_weight()
+            np.testing.assert_array_equal(int_changed, effective_changed)
+            total_int_changes += int(np.count_nonzero(int_changed))
+        assert total_int_changes > 0
+
+    def test_full_strength_touches_every_quantized_position(self, quantized_llm_int8):
+        """Saturating the attack rewrites the whole quantized mask — no more."""
+        biggest = max(layer.num_weights for layer in quantized_llm_int8.iter_layers())
+        attacked = parameter_overwrite_attack(
+            quantized_llm_int8,
+            OverwriteAttackConfig(weights_per_layer=biggest, style="increment", seed=1),
+        )
+        for name in quantized_llm_int8.layer_names():
+            before = quantized_llm_int8.get_layer(name)
+            after = attacked.get_layer(name)
+            delta = after.weight_int - before.weight_int
+            mask = before.quantized_mask()
+            assert not np.any(delta[~mask])
+            # ±1 increments only miss where clipping pinned a saturated level.
+            unchanged_quantized = np.count_nonzero((delta == 0) & mask)
+            saturated = np.count_nonzero(before.saturated_mask() & mask)
+            assert unchanged_quantized <= saturated
+
+    def test_watermarked_int8_wer_drops_under_saturating_attack(
+        self, int8_subject, gauntlet_engine
+    ):
+        """The headline regression: on INT8 models the attack must actually
+        reach the watermark (pre-fix, hits in outlier columns were wasted)."""
+        biggest = max(layer.num_weights for layer in int8_subject.model.iter_layers())
+        attacked = parameter_overwrite_attack(
+            int8_subject.model, OverwriteAttackConfig(weights_per_layer=biggest, seed=2)
+        )
+        wer = gauntlet_engine.extract(attacked, int8_subject.key, strict_layout=False).wer_percent
+        # A full-strength resample leaves each bit only a chance match.
+        assert wer < 50.0

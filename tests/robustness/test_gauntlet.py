@@ -1,0 +1,208 @@
+"""Tests for the gauntlet runner and the robustness report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import WatermarkEngine
+from repro.robustness import (
+    Gauntlet,
+    GauntletConfig,
+    GauntletSubject,
+    build_attack,
+    run_gauntlet,
+)
+
+GRID_STRENGTHS = {"overwrite": (0, 20, 40), "pruning": (0.0, 0.4)}
+
+
+def _grid_attacks():
+    return [build_attack("overwrite"), build_attack("pruning")]
+
+
+class TestGauntletExecution:
+    def test_grid_shape_and_order(self, awq_subject, gauntlet_engine):
+        report = run_gauntlet(
+            {"deploy": awq_subject}, _grid_attacks(), GRID_STRENGTHS,
+            engine=gauntlet_engine, max_workers=2,
+        )
+        assert report.num_cells == 5
+        assert [(c.attack, c.strength) for c in report.cells] == [
+            ("overwrite", 0.0), ("overwrite", 20.0), ("overwrite", 40.0),
+            ("pruning", 0.0), ("pruning", 0.4),
+        ]
+        assert report.attacks() == ["overwrite", "pruning"]
+        assert report.model_ids() == ["deploy"]
+
+    def test_zero_strength_cells_extract_fully(self, awq_subject, gauntlet_engine):
+        report = run_gauntlet(
+            {"deploy": awq_subject}, _grid_attacks(), GRID_STRENGTHS,
+            engine=gauntlet_engine,
+        )
+        for cell in report.cells:
+            if cell.strength == 0.0:
+                assert cell.wer_percent == 100.0 and cell.owned
+
+    def test_quality_measured_per_cell(self, awq_subject, gauntlet_engine):
+        report = run_gauntlet(
+            {"deploy": awq_subject}, [build_attack("none")], engine=gauntlet_engine,
+        )
+        cell = report.cells[0]
+        assert cell.perplexity is not None and cell.perplexity > 1.0
+        assert cell.zero_shot_accuracy is not None
+
+    def test_subject_model_never_mutated(self, awq_subject, gauntlet_engine):
+        snapshot = awq_subject.model.integer_weight_snapshot()
+        run_gauntlet(
+            {"deploy": awq_subject}, _grid_attacks(), GRID_STRENGTHS,
+            engine=gauntlet_engine, max_workers=4,
+        )
+        for name, weights in snapshot.items():
+            np.testing.assert_array_equal(
+                weights, awq_subject.model.get_layer(name).weight_int
+            )
+
+    def test_rewatermark_cells_report_attacker_wer(
+        self, awq_subject, gauntlet_engine, small_dataset
+    ):
+        report = run_gauntlet(
+            {"deploy": awq_subject},
+            [build_attack("rewatermark", calibration_corpus=small_dataset.calibration)],
+            strengths={"rewatermark": (0, 6)},
+            engine=gauntlet_engine,
+        )
+        baseline, attacked = report.cells
+        assert baseline.attacker_wer_percent is None
+        # The adversary extracts his own fresh signature near-perfectly.
+        assert attacked.attacker_wer_percent > 90.0
+        # The owner's watermark survives a light re-watermarking.
+        assert attacked.wer_percent > 80.0
+
+    def test_single_subject_shorthand(self, awq_subject, gauntlet_engine):
+        report = run_gauntlet(
+            awq_subject, [build_attack("none")], engine=gauntlet_engine,
+        )
+        assert report.model_ids() == ["subject-0"]
+
+
+class TestGauntletDeterminism:
+    def test_reports_identical_across_worker_counts(self, awq_subject, int8_subject,
+                                                    gauntlet_engine, small_dataset):
+        attacks = _grid_attacks() + [
+            build_attack("rewatermark", calibration_corpus=small_dataset.calibration)
+        ]
+        strengths = {**GRID_STRENGTHS, "rewatermark": (0, 6)}
+        subjects = {"awq": awq_subject, "int8": int8_subject}
+        serial = run_gauntlet(subjects, attacks, strengths,
+                              engine=gauntlet_engine, max_workers=1, seed=9)
+        parallel = run_gauntlet(subjects, attacks, strengths,
+                                engine=gauntlet_engine, max_workers=4, seed=9)
+        assert serial.decision_digest() == parallel.decision_digest()
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.decision_fields() == b.decision_fields()
+            assert a.false_claim_probability == b.false_claim_probability
+
+    def test_seed_changes_attack_randomness(self, awq_subject, gauntlet_engine):
+        a = run_gauntlet({"m": awq_subject}, [build_attack("overwrite")],
+                         {"overwrite": (30,)}, engine=gauntlet_engine, seed=1)
+        b = run_gauntlet({"m": awq_subject}, [build_attack("overwrite")],
+                         {"overwrite": (30,)}, engine=gauntlet_engine, seed=2)
+        assert a.decision_digest() != b.decision_digest()
+
+    def test_warm_rerun_hits_plan_cache(self, awq_subject):
+        engine = WatermarkEngine()
+        attacks = [build_attack("overwrite")]
+        strengths = {"overwrite": (0, 20)}
+        run_gauntlet({"m": awq_subject}, attacks, strengths, engine=engine)
+        warm = run_gauntlet({"m": awq_subject}, attacks, strengths, engine=engine)
+        # The owner key's location plans are reproduced from cache: one hit
+        # per layer, zero rescoring, no matter how many sweep points ran.
+        assert warm.cache_misses == 0
+        assert warm.cache_hits >= awq_subject.model.num_quantization_layers
+
+
+class TestGauntletValidation:
+    def test_empty_attacks_rejected(self, awq_subject, gauntlet_engine):
+        with pytest.raises(ValueError, match="at least one attack"):
+            run_gauntlet({"m": awq_subject}, [], engine=gauntlet_engine)
+
+    def test_empty_subjects_rejected(self, gauntlet_engine):
+        with pytest.raises(ValueError, match="at least one subject"):
+            run_gauntlet({}, _grid_attacks(), engine=gauntlet_engine)
+
+    def test_duplicate_attacks_rejected(self, awq_subject, gauntlet_engine):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_gauntlet({"m": awq_subject},
+                         [build_attack("pruning"), build_attack("pruning")],
+                         engine=gauntlet_engine)
+
+    def test_unknown_strength_key_rejected(self, awq_subject, gauntlet_engine):
+        with pytest.raises(ValueError, match="not in the grid"):
+            run_gauntlet({"m": awq_subject}, [build_attack("pruning")],
+                         {"overwrite": (1,)}, engine=gauntlet_engine)
+
+    def test_quality_requires_harness(self, awq_subject, gauntlet_engine):
+        bare = GauntletSubject(model=awq_subject.model, key=awq_subject.key)
+        with pytest.raises(ValueError, match="no harness"):
+            run_gauntlet({"m": bare}, [build_attack("none")], engine=gauntlet_engine)
+
+    def test_quality_free_run_without_harness(self, awq_subject, gauntlet_engine):
+        bare = GauntletSubject(model=awq_subject.model, key=awq_subject.key)
+        report = run_gauntlet({"m": bare}, [build_attack("none")],
+                              engine=gauntlet_engine, evaluate_quality=False)
+        assert report.cells[0].perplexity is None
+        assert report.cells[0].wer_percent == 100.0
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            GauntletConfig(max_workers=0)
+
+    def test_colliding_cell_ids_rejected(self, awq_subject, gauntlet_engine):
+        # Duplicate strengths (or values differing only past the %g
+        # rendering) would alias two cells onto one suspect id.
+        with pytest.raises(ValueError, match="collide"):
+            run_gauntlet({"m": awq_subject}, [build_attack("pruning")],
+                         {"pruning": (0.3, 0.3)}, engine=gauntlet_engine)
+        with pytest.raises(ValueError, match="collide"):
+            run_gauntlet({"m": awq_subject}, [build_attack("pruning")],
+                         {"pruning": (0.3, 0.3000000001)}, engine=gauntlet_engine)
+
+
+class TestRobustnessReport:
+    @pytest.fixture(scope="class")
+    def report(self, awq_subject, gauntlet_engine):
+        return run_gauntlet(
+            {"deploy": awq_subject}, _grid_attacks(), GRID_STRENGTHS,
+            engine=gauntlet_engine, max_workers=2, seed=4,
+        )
+
+    def test_min_wer_by_attack(self, report):
+        worst = report.min_wer_by_attack()
+        assert set(worst) == {"overwrite", "pruning"}
+        for attack, wer in worst.items():
+            assert wer == min(c.wer_percent for c in report.cells_for(attack=attack))
+
+    def test_frontier_sorted_by_descending_wer(self, report):
+        frontier = report.frontier()
+        assert len(frontier) == report.num_cells
+        wers = [entry["wer_percent"] for entry in frontier]
+        assert wers == sorted(wers, reverse=True)
+
+    def test_render_and_table(self, report):
+        rendered = report.render()
+        assert "Robustness gauntlet" in rendered
+        assert "min WER under overwrite" in rendered
+        assert "deploy" in rendered
+
+    def test_to_dict_round_trips_through_json(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["num_cells"] == report.num_cells
+        assert payload["decision_digest"] == report.decision_digest()
+        assert len(payload["cells"]) == report.num_cells
+        assert payload["min_wer_by_attack"] == report.min_wer_by_attack()
+
+    def test_summary_mentions_worst_attack(self, report):
+        worst = report.min_wer_by_attack()
+        worst_attack = min(worst, key=worst.get)
+        assert worst_attack in report.summary()

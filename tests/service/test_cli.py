@@ -29,7 +29,8 @@ def _run_cli(*args):
 
 class TestHelp:
     @pytest.mark.parametrize("args", [("--help",), ("serve", "--help"),
-                                      ("verify", "--help"), ("loadgen", "--help")])
+                                      ("verify", "--help"), ("loadgen", "--help"),
+                                      ("gauntlet", "--help")])
     def test_help_exits_zero(self, args):
         result = _run_cli(*args)
         assert result.returncode == 0, result.stderr
@@ -56,6 +57,28 @@ class TestHelp:
             ["verify", "--registry", "r", "--suspect", "s"]
         ).command == "verify"
         assert parser.parse_args(["loadgen", "--duration", "1"]).command == "loadgen"
+        assert parser.parse_args(["gauntlet", "--attack", "overwrite"]).command == "gauntlet"
+
+
+class TestGauntletUsageErrors:
+    """Grid mistakes must fail fast (exit 2) before the model is prepared."""
+
+    def test_unknown_attack(self, capsys):
+        assert main(["gauntlet", "--attack", "weight-exorcism"]) == 2
+        assert "unknown attacks" in capsys.readouterr().err
+
+    def test_duplicate_attack_flags(self, capsys):
+        assert main(["gauntlet", "--attack", "overwrite", "--attack", "overwrite"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_orphaned_strengths(self, capsys):
+        assert main(["gauntlet", "--attack", "overwrite",
+                     "--strengths", "pruning=0.3"]) == 2
+        assert "not in the grid" in capsys.readouterr().err
+
+    def test_malformed_strengths(self, capsys):
+        assert main(["gauntlet", "--strengths", "overwrite"]) == 2
+        assert "NAME=V1,V2" in capsys.readouterr().err
 
 
 class TestOfflineVerify:

@@ -1,0 +1,107 @@
+"""Tests for the server-side robustness gauntlet (``POST /robustness``)."""
+
+import pytest
+
+from repro.engine import WatermarkEngine
+from repro.robustness import GauntletSubject, build_attack, run_gauntlet
+from repro.service.client import ServiceError
+
+ATTACKS = [
+    {"name": "overwrite", "strengths": [0, 20]},
+    {"name": "pruning", "strengths": [0.5]},
+]
+
+
+class TestRobustnessEndpoint:
+    def test_gauntlet_on_stored_suspect(self, client):
+        out = client.robustness("hit", attacks=ATTACKS, seed=3)
+        assert out["suspect_id"] == "hit"
+        assert out["key_id"].startswith("wmk-")
+        report = out["report"]
+        assert report["num_cells"] == 3
+        cells = {(c["attack"], c["strength"]): c for c in report["cells"]}
+        assert cells[("overwrite", 0.0)]["wer_percent"] == 100.0
+        assert cells[("overwrite", 0.0)]["owned"] is True
+        # Server-side runs are quality-free: no harness lives there.
+        assert all(c["perplexity"] is None for c in report["cells"])
+        assert set(report["min_wer_by_attack"]) == {"overwrite", "pruning"}
+
+    def test_matches_direct_gauntlet(self, client, watermarked_and_key):
+        """The endpoint's evidence is bit-identical to the library path."""
+        watermarked, key = watermarked_and_key
+        out = client.robustness("hit", attacks=ATTACKS, seed=3)
+        key_id = out["key_id"]
+        direct = run_gauntlet(
+            {key_id: GauntletSubject(model=watermarked, key=key)},
+            [build_attack("overwrite"), build_attack("pruning")],
+            strengths={"overwrite": (0, 20), "pruning": (0.5,)},
+            engine=WatermarkEngine(),
+            evaluate_quality=False,
+            seed=3,
+        )
+        assert out["report"]["decision_digest"] == direct.decision_digest()
+
+    def test_default_attacks_are_corpus_free(self, client):
+        out = client.robustness("hit", attacks=[
+            {"name": "overwrite", "strengths": [10]},
+        ])
+        assert out["report"]["num_cells"] == 1
+
+    def test_corpus_attack_rejected(self, client):
+        with pytest.raises(ServiceError, match="corpus"):
+            client.robustness("hit", attacks=["rewatermark"])
+
+    def test_unknown_attack_rejected(self, client):
+        with pytest.raises(ServiceError, match="unknown attack"):
+            client.robustness("hit", attacks=["weight-exorcism"])
+
+    def test_oversized_grid_rejected(self, client):
+        with pytest.raises(ServiceError, match="cell"):
+            client.robustness(
+                "hit",
+                attacks=[{"name": "overwrite", "strengths": list(range(100))}],
+            )
+
+    def test_unknown_suspect_rejected(self, client):
+        with pytest.raises(ServiceError, match="unknown suspect"):
+            client.robustness("nobody", attacks=ATTACKS)
+
+    def test_duplicate_attack_rejected_as_400(self, client):
+        with pytest.raises(ServiceError, match="duplicate attack") as excinfo:
+            client.robustness(
+                "hit",
+                attacks=["overwrite", {"name": "overwrite", "strengths": [10]}],
+            )
+        assert excinfo.value.status == 400
+
+    def test_duplicate_strengths_rejected_as_400(self, client):
+        with pytest.raises(ServiceError, match="invalid gauntlet grid") as excinfo:
+            client.robustness(
+                "hit", attacks=[{"name": "overwrite", "strengths": [10, 10]}]
+            )
+        assert excinfo.value.status == 400
+
+    def test_unknown_key_id_rejected(self, client):
+        with pytest.raises(ServiceError, match="key"):
+            client.robustness("hit", key_id="wmk-does-not-exist", attacks=ATTACKS)
+
+    def test_cells_enter_audit_log_and_counters(self, client):
+        before = client.stats()
+        out = client.robustness("hit", attacks=[{"name": "overwrite", "strengths": [0, 20]}])
+        after = client.stats()
+        decided = (
+            after["server"]["decisions_owned"] + after["server"]["decisions_not_owned"]
+            - before["server"]["decisions_owned"] - before["server"]["decisions_not_owned"]
+        )
+        assert decided == 2
+        assert after["audit"]["entries"] == before["audit"]["entries"] + 2
+        assert out["request_id"].startswith("req-")
+
+    def test_non_watermarked_suspect_never_owned(self, client):
+        out = client.robustness("miss", attacks=[{"name": "none", "strengths": [0]}])
+        assert all(not c["owned"] for c in out["report"]["cells"])
+
+    def test_gauntlet_counter_increments(self, client):
+        before = client.stats()["server"]["gauntlets"]
+        client.robustness("hit", attacks=[{"name": "none", "strengths": [0]}])
+        assert client.stats()["server"]["gauntlets"] == before + 1
