@@ -8,7 +8,7 @@ multi-round statistics from pytest-benchmark.
 
 import pytest
 
-from repro.core import EmMark, EmMarkConfig
+from repro.core import EmMark
 from repro.experiments.common import prepare_context
 
 from bench_utils import bench_profile

@@ -1,12 +1,14 @@
 """Robustness-gauntlet benchmark — emits ``BENCH_gauntlet.json``.
 
-Times the combined Figure 2a + 2b + 3 sweep grid on the gauntlet at two
-worker-pool widths:
+Times the combined Figure 2a + 2b + 3 sweep grid — plus a GPTQ-backend grid
+measuring the re-quantization attack under error-compensated rounding — on
+the streaming gauntlet at two worker-pool widths:
 
 * **serial** (``max_workers=1``) — the shape of the per-figure loops the
   gauntlet replaced,
 * **parallel** (``max_workers=4``) — cells fanned out on the worker pool,
-  ownership checks batched through one ``verify_fleet`` sweep per grid.
+  each verified through the shared key-plan session and released as its
+  worker finishes (O(workers) peak memory).
 
 Gates:
 
@@ -14,11 +16,16 @@ Gates:
   be bit-identical (same WER, matched bits, verdicts, quality metrics,
   Equation 8 probabilities) at every worker count; compared via the
   reports' decision digests.
+* **streaming ≡ batched (always)** — the streaming pipeline's digests must
+  match the batched reference pipeline's on the same grids.
 * **speedup (measured mode, ≥ 4 CPUs)** — the parallel pass must complete
   the grid ≥ 1.5× faster than serial.  Like the engine and service
   benchmarks, the timing gate is skipped in smoke mode (single-repeat runs
   on noisy shared runners are not a fair comparison) and on machines
   without enough cores to parallelize CPU-bound NumPy work.
+
+``benchmarks/compare_bench.py`` re-validates the emitted JSON and applies
+the versioned regression thresholds in CI.
 
 Run modes
 ---------
@@ -56,6 +63,10 @@ PARALLEL_WORKERS = 4
 FIG2A_SWEEP = (0, 40, 80, 120, 160, 200)
 FIG2B_SWEEP = (0, 6, 12, 18, 24, 30)
 FIG3_PAYLOADS = (6, 12, 18, 24)
+#: GPTQ-backend grid: the re-quantization attack under error-compensated
+#: rounding (plain RTN round-trip vs GPTQ's error feedback).
+GPTQ_RTN_SWEEP = (8, 4)
+GPTQ_GPTQ_SWEEP = (4,)
 
 
 def _smoke() -> bool:
@@ -116,13 +127,20 @@ def _build_substrate():
         capacity_subjects[f"bits-{payload}"] = GauntletSubject(
             model=wm, key=cap_key, harness=harness
         )
-    return dataset, engine, fig2_subject, capacity_subjects
+
+    # GPTQ backend: same trained sim, error-compensated INT4 quantization.
+    gptq_quantized = quantize_model(model, "gptq", bits=4, activations=activations)
+    gptq_config = EmMarkConfig.scaled_for_model(gptq_quantized, bits_per_layer=12)
+    gptq_wm, gptq_key, _ = engine.insert(gptq_quantized, activations, config=gptq_config)
+    gptq_subject = GauntletSubject(model=gptq_wm, key=gptq_key, harness=harness)
+    return dataset, engine, fig2_subject, capacity_subjects, gptq_subject
 
 
 def _run_figure_grids(
-    engine, fig2_subject, capacity_subjects, dataset, max_workers: int
+    engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
+    max_workers: int, mode: str = "streaming",
 ) -> Tuple[float, List[str], Dict[str, float]]:
-    """One full Figure 2a + 2b + 3 pass; returns (seconds, digests, min-WERs)."""
+    """One Figure 2a + 2b + 3 + GPTQ pass; returns (seconds, digests, min-WERs)."""
     start = time.perf_counter()
     fig2a = run_gauntlet(
         {"fig2a": fig2_subject},
@@ -131,6 +149,7 @@ def _run_figure_grids(
         engine=engine,
         max_workers=max_workers,
         seed=0,
+        mode=mode,
     )
     fig2b = run_gauntlet(
         {"fig2b": fig2_subject},
@@ -139,6 +158,7 @@ def _run_figure_grids(
         engine=engine,
         max_workers=max_workers,
         seed=0,
+        mode=mode,
     )
     fig3 = run_gauntlet(
         capacity_subjects,
@@ -146,13 +166,32 @@ def _run_figure_grids(
         engine=engine,
         max_workers=max_workers,
         seed=0,
+        mode=mode,
+    )
+    gptq_grid = run_gauntlet(
+        {"gptq": gptq_subject},
+        [
+            build_attack("requantize"),
+            build_attack("gptq-requantize", calibration_corpus=dataset.calibration),
+        ],
+        strengths={"requantize": GPTQ_RTN_SWEEP, "gptq-requantize": GPTQ_GPTQ_SWEEP},
+        engine=engine,
+        max_workers=max_workers,
+        seed=0,
+        mode=mode,
     )
     seconds = time.perf_counter() - start
-    digests = [fig2a.decision_digest(), fig2b.decision_digest(), fig3.decision_digest()]
+    digests = [
+        fig2a.decision_digest(),
+        fig2b.decision_digest(),
+        fig3.decision_digest(),
+        gptq_grid.decision_digest(),
+    ]
     min_wer = {
         **fig2a.min_wer_by_attack(),
         **fig2b.min_wer_by_attack(),
         "capacity": min(cell.wer_percent for cell in fig3.cells),
+        **{f"gptq/{name}": wer for name, wer in gptq_grid.min_wer_by_attack().items()},
     }
     return seconds, digests, min_wer
 
@@ -161,12 +200,12 @@ def test_gauntlet_benchmark():
     smoke = _smoke()
     repeats = 1 if smoke else 3
     cpu_count = os.cpu_count() or 1
-    dataset, engine, fig2_subject, capacity_subjects = _build_substrate()
+    dataset, engine, fig2_subject, capacity_subjects, gptq_subject = _build_substrate()
 
     # Warm-up pass (untimed): location plans of every key enter the shared
     # engine's cache, so both timed passes run against the same warm state.
     _, warm_digests, min_wer = _run_figure_grids(
-        engine, fig2_subject, capacity_subjects, dataset, max_workers=1
+        engine, fig2_subject, capacity_subjects, gptq_subject, dataset, max_workers=1
     )
 
     serial_best = float("inf")
@@ -175,31 +214,46 @@ def test_gauntlet_benchmark():
     parallel_digests: List[str] = []
     for _ in range(repeats):
         seconds, serial_digests, _ = _run_figure_grids(
-            engine, fig2_subject, capacity_subjects, dataset, max_workers=1
+            engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
+            max_workers=1,
         )
         serial_best = min(serial_best, seconds)
         seconds, parallel_digests, _ = _run_figure_grids(
-            engine, fig2_subject, capacity_subjects, dataset, max_workers=PARALLEL_WORKERS
+            engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
+            max_workers=PARALLEL_WORKERS,
         )
         parallel_best = min(parallel_best, seconds)
 
-    # -- decision-equivalence gate (always) --------------------------------
+    # Untimed reference pass: the batched pipeline must reach the exact same
+    # decisions the streaming passes did.
+    _, batched_digests, _ = _run_figure_grids(
+        engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
+        max_workers=PARALLEL_WORKERS, mode="batched",
+    )
+
+    # -- decision-equivalence gates (always) -------------------------------
     assert serial_digests == warm_digests
     assert parallel_digests == warm_digests, (
         "parallel gauntlet produced different decisions than serial"
     )
+    assert batched_digests == warm_digests, (
+        "batched gauntlet produced different decisions than streaming"
+    )
 
     speedup = serial_best / parallel_best if parallel_best else 0.0
-    num_cells = len(FIG2A_SWEEP) + len(FIG2B_SWEEP) + len(FIG3_PAYLOADS)
+    gptq_cells = len(GPTQ_RTN_SWEEP) + len(GPTQ_GPTQ_SWEEP)
+    num_cells = len(FIG2A_SWEEP) + len(FIG2B_SWEEP) + len(FIG3_PAYLOADS) + gptq_cells
     payload = {
         "benchmark": "gauntlet",
         "smoke": smoke,
+        "mode": "streaming",
         "platform": platform.platform(),
         "cpu_count": cpu_count,
         "grid": {
             "figure2a_cells": len(FIG2A_SWEEP),
             "figure2b_cells": len(FIG2B_SWEEP),
             "figure3_cells": len(FIG3_PAYLOADS),
+            "gptq_cells": gptq_cells,
             "total_cells": num_cells,
             "num_layers": fig2_subject.model.num_quantization_layers,
         },
@@ -209,6 +263,7 @@ def test_gauntlet_benchmark():
         "parallel_workers": PARALLEL_WORKERS,
         "speedup": speedup,
         "decision_digests_equal": True,
+        "streaming_batched_digests_equal": True,
         "decision_digests": warm_digests,
         "min_wer_by_attack": min_wer,
         "plan_cache": engine.cache_stats(),

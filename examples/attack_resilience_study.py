@@ -4,9 +4,13 @@
 A security team wants to know how much abuse a watermarked INT4 model can take
 before the ownership signal degrades — and how much the abuse costs the
 attacker in model quality.  The script runs the full robustness gauntlet:
-every attack in the registry (parameter overwriting, re-watermarking,
-magnitude pruning, LoRA fine-tuning, re-quantization) is swept in parallel
-and every ownership check shares one batched ``verify_fleet`` sweep.
+every attack in the registry — parameter overwriting, re-watermarking,
+magnitude pruning, LoRA fine-tuning, RTN and GPTQ re-quantization, scale
+tampering, outlier-column rewrites, structured head/row pruning, the
+adaptive (algorithm-aware) attacker and model souping — is swept on the
+streaming pipeline: each attacked model is verified against the shared
+key-plan session and released the moment its worker finishes, so the grid
+size is bounded by CPU, not memory.
 
 Run with:  python examples/attack_resilience_study.py [--profile smoke|default]
 """
@@ -47,6 +51,12 @@ def main() -> None:
         build_attack("pruning"),
         build_attack("lora-finetune", calibration_corpus=dataset.calibration),
         build_attack("requantize"),
+        build_attack("gptq-requantize", calibration_corpus=dataset.calibration),
+        build_attack("scale-tamper"),
+        build_attack("outlier-rewrite"),
+        build_attack("structured-prune"),
+        build_attack("adaptive-overwrite", calibration_corpus=dataset.calibration),
+        build_attack("soup", calibration_corpus=dataset.calibration),
     ]
     strengths = {
         "overwrite": (100, 300, 500),
@@ -54,6 +64,12 @@ def main() -> None:
         "pruning": (0.3, 0.6, 0.9),
         "lora-finetune": (20,),
         "requantize": (4,),
+        "gptq-requantize": (4,),
+        "scale-tamper": (0.1, 0.3),
+        "outlier-rewrite": (1.0,),
+        "structured-prune": (0.25, 0.5),
+        "adaptive-overwrite": (100, 300),
+        "soup": (0.5, 1.0),
     }
     print(f"running the gauntlet: {sum(len(s) for s in strengths.values()) + 1} cells...")
     report = run_gauntlet(

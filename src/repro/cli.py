@@ -18,10 +18,14 @@ gauntlet from a shell:
     llm-load-test-style throughput / latency-percentile report.
 
 ``repro gauntlet``
-    Robustness gauntlet: watermark a simulated model and sweep the
-    registered removal attacks against it in parallel (Figures 2a/2b at
-    arbitrary grid shapes), printing the per-cell table, the per-attack
-    worst-case WER and the quality-vs-WER frontier.
+    Robustness gauntlet: watermark a simulated model (any quantization
+    backend, including GPTQ) and sweep the registered removal attacks
+    against it in parallel (Figures 2a/2b at arbitrary grid shapes, plus
+    scale tampering, outlier rewrites, structured pruning, the adaptive
+    attacker and model souping), printing the per-cell table, the
+    per-attack worst-case WER and the quality-vs-WER frontier.  Streaming
+    execution releases each attacked model as soon as it is verified, so
+    grid size is not bounded by memory.
 
 Installed as a console script via ``pyproject.toml``; also runnable as
 ``python -m repro.cli`` (or ``python -m repro``) on a plain ``PYTHONPATH=src``
@@ -102,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="quantization precision (default: 4)")
     gauntlet.add_argument("--profile", default="smoke", choices=["smoke", "default"],
                           help="training profile of the sim model (default: smoke)")
+    gauntlet.add_argument("--quant", default="auto",
+                          choices=["auto", "rtn", "smoothquant", "llm_int8", "awq", "gptq"],
+                          help="quantization backend (default: auto — the paper's "
+                               "pairing for the model family and precision)")
+    gauntlet.add_argument("--mode", default="streaming", choices=["streaming", "batched"],
+                          help="cell execution: streaming verifies and releases each "
+                               "attacked model as its worker finishes (O(workers) peak "
+                               "memory); batched retains the whole grid for one "
+                               "verify_fleet sweep (default: streaming)")
     gauntlet.add_argument("--attack", action="append", default=None, metavar="NAME",
                           help="attack to include (repeatable; default: every "
                                "registered attack)")
@@ -281,10 +294,12 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
         print(f"error: --strengths given for attacks not in the grid: {orphaned}",
               file=sys.stderr)
         return 2
-    print(f"preparing watermarked {args.model} (INT{args.bits}, {args.profile} profile)...",
+    quant_method = None if args.quant == "auto" else args.quant
+    print(f"preparing watermarked {args.model} (INT{args.bits}, "
+          f"{args.quant} quantization, {args.profile} profile)...",
           file=sys.stderr)
     context = prepare_context(args.model, args.bits, profile=args.profile,
-                              num_task_examples=16)
+                              num_task_examples=16, quant_method=quant_method)
     emmark = EmMark(context.emmark_config, engine=context.engine)
     watermarked, key, _ = emmark.insert_with_key(
         context.fresh_quantized(), context.activations
@@ -302,6 +317,7 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         seed=args.seed,
         evaluate_quality=not args.no_quality,
+        mode=args.mode,
     )
     payload = report.to_json()
     if args.json:

@@ -47,6 +47,7 @@ from repro.engine.reports import (
 # orders (``import repro`` and ``import repro.engine``).
 from repro.engine.engine import (
     EngineConfig,
+    FleetVerificationSession,
     WatermarkEngine,
     configure_default_engine,
     get_default_engine,
@@ -68,6 +69,7 @@ __all__ = [
     "BatchInsertionResult",
     "EngineConfig",
     "WatermarkEngine",
+    "FleetVerificationSession",
     "get_default_engine",
     "set_default_engine",
     "configure_default_engine",

@@ -71,6 +71,7 @@ from repro.utils.rng import new_rng
 __all__ = [
     "EngineConfig",
     "WatermarkEngine",
+    "FleetVerificationSession",
     "get_default_engine",
     "set_default_engine",
     "configure_default_engine",
@@ -136,6 +137,170 @@ def _named_items(group, prefix: str) -> List[Tuple[str, object]]:
     if isinstance(group, (list, tuple)):
         return [(f"{prefix}-{index}", item) for index, item in enumerate(group)]
     return [(f"{prefix}-0", group)]
+
+
+class FleetVerificationSession:
+    """Incremental fleet verification: register keys once, stream suspects.
+
+    The batched :meth:`WatermarkEngine.verify_fleet` needs every suspect in
+    memory before the sweep starts, which pins a whole grid of attacked
+    models at once.  A session inverts the control flow: keys are registered
+    up front (or added as they appear), each key's location plans are
+    reproduced **exactly once** — lazily, on the first suspect that needs
+    them — and :meth:`verify` turns one ``(suspect, key)`` pair into a
+    :class:`~repro.engine.reports.PairVerification` the moment the suspect
+    exists.  The caller can then drop the suspect immediately, so a
+    streaming pipeline holds O(in-flight suspects), not O(fleet size).
+
+    Thread safety: :meth:`verify` and :meth:`add_key` may be called from
+    concurrent workers.  Location reproduction is guarded per key (two
+    workers racing on a cold key reproduce it once; one blocks), and the
+    match pass itself only reads.
+
+    Decisions are bit-identical to a batched sweep over the same pairs —
+    both paths share :meth:`WatermarkEngine.reproduce_locations` and the
+    pure integer-comparison matcher.
+
+    Created via :meth:`WatermarkEngine.verification_session`; ``verify_fleet``
+    itself runs on a session internally.
+    """
+
+    def __init__(
+        self,
+        engine: "WatermarkEngine",
+        keys: Optional[Mapping[str, WatermarkKey]] = None,
+        wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD,
+        max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    ) -> None:
+        self._engine = engine
+        self.wer_threshold = float(wer_threshold)
+        self.max_false_claim_probability = max_false_claim_probability
+        self._keys: Dict[str, WatermarkKey] = {}
+        self._locations: Dict[str, Dict[str, np.ndarray]] = {}
+        self._key_locks: Dict[str, threading.Lock] = {}
+        self._registry_lock = threading.Lock()
+        self._stats_at_open = engine.cache.stats()
+        self._opened_at = time.perf_counter()
+        for key_id, key in (keys or {}).items():
+            self.add_key(key_id, key)
+
+    def add_key(self, key_id: str, key: WatermarkKey) -> None:
+        """Register (idempotently) a key under ``key_id``.
+
+        Re-registering the same object is a no-op; binding a *different* key
+        to an existing id is an error — it would silently change what already
+        -issued verdicts meant.
+        """
+        with self._registry_lock:
+            existing = self._keys.get(key_id)
+            if existing is not None and existing is not key:
+                raise ValueError(
+                    f"key id {key_id!r} is already bound to a different key in this session"
+                )
+            self._keys[key_id] = key
+            self._key_locks.setdefault(key_id, threading.Lock())
+
+    def key_ids(self) -> List[str]:
+        """Ids of the registered keys (insertion order)."""
+        with self._registry_lock:
+            return list(self._keys)
+
+    def locations(self, key_id: str) -> Dict[str, np.ndarray]:
+        """The (per-session memoized) reproduced locations of one key."""
+        cached = self._locations.get(key_id)
+        if cached is not None:
+            return cached
+        with self._registry_lock:
+            try:
+                key = self._keys[key_id]
+            except KeyError as exc:
+                raise KeyError(
+                    f"unknown key id {key_id!r}; registered: {list(self._keys)[:4]}"
+                ) from exc
+            lock = self._key_locks[key_id]
+        with lock:
+            cached = self._locations.get(key_id)
+            if cached is None:
+                cached = self._engine.reproduce_locations(key)
+                self._locations[key_id] = cached
+        return cached
+
+    def _evaluate_pair(
+        self,
+        suspect_id: str,
+        suspect: QuantizedModel,
+        key: WatermarkKey,
+        key_id: str,
+        key_locations: Dict[str, np.ndarray],
+    ) -> PairVerification:
+        pair_start = time.perf_counter()
+        result = self._engine._match_locations(
+            suspect, key, key_locations, strict_layout=False, wall_start=pair_start
+        )
+        owned = result.wer_percent >= self.wer_threshold and (
+            self.max_false_claim_probability is None
+            or result.false_claim_probability <= self.max_false_claim_probability
+        )
+        return PairVerification(
+            suspect_id=suspect_id,
+            key_id=key_id,
+            total_bits=result.total_bits,
+            matched_bits=result.matched_bits,
+            wer_percent=result.wer_percent,
+            false_claim_probability=result.false_claim_probability,
+            owned=owned,
+            seconds=time.perf_counter() - pair_start,
+        )
+
+    def verify(
+        self, suspect_id: str, suspect: QuantizedModel, key_id: str
+    ) -> PairVerification:
+        """Verify one suspect against one registered key, right now.
+
+        Returns the same evidence a batched ``verify_fleet`` sweep would
+        produce for the pair.  The suspect is not retained — the caller may
+        release it as soon as this returns.
+        """
+        key_locations = self.locations(key_id)
+        with self._registry_lock:
+            key = self._keys[key_id]
+        return self._evaluate_pair(suspect_id, suspect, key, key_id, key_locations)
+
+    def verify_once(
+        self, suspect_id: str, suspect: QuantizedModel, key: WatermarkKey, key_id: str
+    ) -> PairVerification:
+        """Verify against a one-shot key without registering anything.
+
+        For keys that will never be consulted again (e.g. a re-watermarking
+        cell's per-attack adversary key): the evidence is bit-identical to
+        :meth:`verify` on a registered key, but neither the key — whose
+        reference weights are a full model-size snapshot — nor its
+        reproduced locations are retained in the session, so streaming
+        pipelines stay O(in-flight suspects) even when every cell brings its
+        own key.  (Layer plans still land in the engine's bounded LRU cache,
+        so a key that *does* come back is still served warm.)
+        """
+        key_locations = self._engine.reproduce_locations(key)
+        return self._evaluate_pair(suspect_id, suspect, key, key_id, key_locations)
+
+    def cache_traffic(self) -> CacheStats:
+        """Plan-cache traffic since the session opened (delta counters).
+
+        Counts everything the underlying engine served in the interval, so
+        if attacks or insertions share the engine their traffic is included.
+        """
+        return self._engine.cache.stats().delta(self._stats_at_open)
+
+    def report(self, pairs: Sequence[PairVerification]) -> FleetVerificationReport:
+        """Wrap verified pairs into a report with session-wide cache traffic."""
+        traffic = self.cache_traffic()
+        return FleetVerificationReport(
+            pairs=list(pairs),
+            wall_clock_seconds=time.perf_counter() - self._opened_at,
+            cache_hits=traffic.hits,
+            cache_misses=traffic.misses,
+            cache_evictions=traffic.evictions,
+        )
 
 
 class WatermarkEngine:
@@ -555,6 +720,29 @@ class WatermarkEngine:
     # ------------------------------------------------------------------
     # Batch serving APIs
     # ------------------------------------------------------------------
+    def verification_session(
+        self,
+        keys: Optional[Mapping[str, WatermarkKey]] = None,
+        wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD,
+        max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
+    ) -> FleetVerificationSession:
+        """Open an incremental :class:`FleetVerificationSession` on this engine.
+
+        The streaming counterpart of :meth:`verify_fleet`: register keys up
+        front (or :meth:`~FleetVerificationSession.add_key` them as they
+        appear), then call :meth:`~FleetVerificationSession.verify` per
+        ``(suspect, key)`` pair as suspects materialize, releasing each
+        suspect immediately afterwards.  Per-key location reproduction still
+        happens exactly once per session (and is served from the plan cache
+        across sessions).
+        """
+        return FleetVerificationSession(
+            self,
+            keys=keys,
+            wer_threshold=wer_threshold,
+            max_false_claim_probability=max_false_claim_probability,
+        )
+
     def verify_fleet(
         self,
         suspects: ModelGroup,
@@ -594,8 +782,6 @@ class WatermarkEngine:
             One :class:`~repro.engine.reports.PairVerification` per pair plus
             sweep-level wall-clock and cache-traffic figures.
         """
-        wall_start = time.perf_counter()
-        stats_before = self.cache.stats()
         suspect_items = _named_items(suspects, "suspect")
         key_items = _named_items(keys, "key")
         requested: Optional[set] = None
@@ -610,50 +796,29 @@ class WatermarkEngine:
             ]
             if unknown:
                 raise KeyError(f"verify_fleet pairs reference unknown ids: {sorted(unknown)[:4]}")
+        # The batched sweep is the degenerate streaming case: one session,
+        # every suspect already in memory.  Keys with no requested pair never
+        # reach session.verify, so their locations are never reproduced.
+        session = self.verification_session(
+            keys=dict(key_items),
+            wer_threshold=wer_threshold,
+            max_false_claim_probability=max_false_claim_probability,
+        )
         results: List[PairVerification] = []
-        for key_id, key in key_items:
+        for key_id, _key in key_items:
             if requested is not None:
                 wanted = [
                     (sid, suspect) for sid, suspect in suspect_items if (sid, key_id) in requested
                 ]
-                if not wanted:
-                    continue
             else:
                 wanted = suspect_items
-            key_locations = self.reproduce_locations(key)
             for suspect_id, suspect in wanted:
-                pair_start = time.perf_counter()
-                result = self._match_locations(
-                    suspect, key, key_locations, strict_layout=False, wall_start=pair_start
-                )
-                owned = result.wer_percent >= wer_threshold and (
-                    max_false_claim_probability is None
-                    or result.false_claim_probability <= max_false_claim_probability
-                )
-                results.append(
-                    PairVerification(
-                        suspect_id=suspect_id,
-                        key_id=key_id,
-                        total_bits=result.total_bits,
-                        matched_bits=result.matched_bits,
-                        wer_percent=result.wer_percent,
-                        false_claim_probability=result.false_claim_probability,
-                        owned=owned,
-                        seconds=time.perf_counter() - pair_start,
-                    )
-                )
+                results.append(session.verify(suspect_id, suspect, key_id))
         # Re-order suspect-major for stable reporting regardless of loop nest.
         suspect_order = {sid: i for i, (sid, _) in enumerate(suspect_items)}
         key_order = {kid: i for i, (kid, _) in enumerate(key_items)}
         results.sort(key=lambda p: (suspect_order[p.suspect_id], key_order[p.key_id]))
-        traffic = self.cache.stats().delta(stats_before)
-        report = FleetVerificationReport(
-            pairs=results,
-            wall_clock_seconds=time.perf_counter() - wall_start,
-            cache_hits=traffic.hits,
-            cache_misses=traffic.misses,
-            cache_evictions=traffic.evictions,
-        )
+        report = session.report(results)
         logger.debug("%s", report.summary())
         return report
 

@@ -80,6 +80,7 @@ def run(
     profile: str = "default",
     num_task_examples: Optional[int] = 32,
     attack_seed: int = 0,
+    quant_method: Optional[str] = None,
 ) -> Figure2aResult:
     """Run the overwriting-attack sweep.
 
@@ -96,9 +97,13 @@ def run(
         Evaluation controls.
     attack_seed:
         Attacker randomness (the gauntlet's root seed).
+    quant_method:
+        Quantization backend override (e.g. ``"gptq"``); defaults to the
+        paper's pairing for the model family and precision.
     """
     context = prepare_context(
-        model_name, bits, profile=profile, num_task_examples=num_task_examples
+        model_name, bits, profile=profile, num_task_examples=num_task_examples,
+        quant_method=quant_method,
     )
     # Sharing the context engine means every sweep point's extraction reuses
     # the key's cached location plans — the scoring runs once for the sweep.

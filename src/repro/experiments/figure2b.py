@@ -76,10 +76,17 @@ def run(
     sweep: Sequence[int] = PAPER_SWEEP,
     profile: str = "default",
     num_task_examples: Optional[int] = 32,
+    quant_method: Optional[str] = None,
 ) -> Figure2bResult:
-    """Run the re-watermarking sweep with the paper's attacker parameters."""
+    """Run the re-watermarking sweep with the paper's attacker parameters.
+
+    ``quant_method`` overrides the quantization backend (e.g. ``"gptq"``
+    measures the sweep under error-compensated rounding); the default is the
+    paper's pairing for the model family and precision.
+    """
     context = prepare_context(
-        model_name, bits, profile=profile, num_task_examples=num_task_examples
+        model_name, bits, profile=profile, num_task_examples=num_task_examples,
+        quant_method=quant_method,
     )
     # The shared engine caches the owner key's location plans, so the owner's
     # WER extraction at every sweep strength is a pure (cached) lookup.

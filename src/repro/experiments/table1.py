@@ -10,7 +10,7 @@ to the non-watermarked model).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.core.baselines import RandomWM, SpecMark
 from repro.core.emmark import EmMark
 from repro.experiments.common import ExperimentContext, prepare_context
 from repro.models.registry import LLAMA2_FAMILY, OPT_FAMILY
-from repro.utils.tables import Table, format_float, format_percent
+from repro.utils.tables import Table, format_float
 
 __all__ = ["Table1Row", "Table1Result", "run", "DEFAULT_MODEL_SUBSET"]
 

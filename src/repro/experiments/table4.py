@@ -18,7 +18,7 @@ Alpaca-sim and a fresh slice of WikiText-sim for the fine-tuned variants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.emmark import EmMark
 from repro.data.alpaca import load_alpaca_sim

@@ -21,7 +21,7 @@ The class exposes exactly the handles the rest of the reproduction needs:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 

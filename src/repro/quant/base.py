@@ -347,15 +347,41 @@ class QuantizedModel:
         The returned :class:`TransformerLM` computes exactly the function of
         the quantized model (dequantized weights, smoothing undone, outlier
         columns re-inserted) and can be fed to the shared evaluation harness.
+
+        Layers recorded in ``metadata["pruned_rows"]`` (structured pruning:
+        whole attention heads or MLP rows physically removed, so the integer
+        tensor is narrower than the architecture) are scattered back into
+        zero-filled matrices of the original shape — a removed output row
+        contributes exactly nothing, which is the function a structurally
+        pruned network computes.
         """
         model = TransformerLM(self.config, seed=self.base_seed)
         state = model.state_dict()
         for key, value in self.full_precision_state.items():
             state[key] = np.asarray(value, dtype=np.float64)
+        pruned_rows = self.metadata.get("pruned_rows") or {}
         for name, layer in self.layers.items():
-            state[f"{name}.weight"] = layer.effective_weight()
-            if layer.bias is not None:
-                state[f"{name}.bias"] = layer.bias
+            weight = layer.effective_weight()
+            bias = layer.bias
+            pruning = pruned_rows.get(name)
+            if pruning is not None:
+                kept = np.asarray(pruning["kept_rows"], dtype=np.int64)
+                full_rows = int(pruning["out_features"])
+                if kept.size != weight.shape[0]:
+                    raise ValueError(
+                        f"pruned_rows metadata for layer {name!r} keeps {kept.size} rows "
+                        f"but the layer holds {weight.shape[0]}"
+                    )
+                scattered = np.zeros((full_rows, weight.shape[1]))
+                scattered[kept] = weight
+                weight = scattered
+                if bias is not None:
+                    full_bias = np.zeros(full_rows)
+                    full_bias[kept] = bias
+                    bias = full_bias
+            state[f"{name}.weight"] = weight
+            if bias is not None:
+                state[f"{name}.bias"] = bias
         model.load_state_dict(state)
         return model
 

@@ -34,7 +34,34 @@ from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedLinear
 from repro.quant.quantizer import BaseQuantizer
 
-__all__ = ["GPTQQuantizer"]
+__all__ = ["GPTQQuantizer", "gptq_requantize"]
+
+
+def gptq_requantize(model, bits: int, calibration_corpus, **quantizer_kwargs):
+    """Round-trip a quantized model through GPTQ at ``bits`` bits.
+
+    The attack-side hook of the re-quantization scenario: the adversary
+    dequantizes the (watermarked) deployment, measures fresh calibration
+    activations — including the Gram matrices GPTQ's error compensation
+    needs — on the model he actually has, and re-quantizes column-by-column.
+    Unlike plain RTN, the error feedback redistributes each column's rounding
+    residue onto later columns, so integer levels move even where RTN would
+    round-trip losslessly; this is exactly the gap the GPTQ gauntlet grids
+    measure.
+
+    Returns a new :class:`~repro.quant.base.QuantizedModel`; ``model`` is
+    not mutated.
+    """
+    # Imported lazily: quant.api imports this module at package-init time.
+    from repro.quant.api import quantize_model
+
+    return quantize_model(
+        model.materialize(),
+        "gptq",
+        bits=int(bits),
+        calibration_corpus=calibration_corpus,
+        **quantizer_kwargs,
+    )
 
 
 class GPTQQuantizer(BaseQuantizer):

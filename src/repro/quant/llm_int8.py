@@ -24,7 +24,41 @@ from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedLinear, quantize_tensor
 from repro.quant.quantizer import BaseQuantizer
 
-__all__ = ["LLMInt8Quantizer"]
+__all__ = ["LLMInt8Quantizer", "rewrite_outlier_entries"]
+
+
+def rewrite_outlier_entries(
+    layer: QuantizedLinear, fraction: float, rng: np.random.Generator
+) -> int:
+    """Resample a fraction of a layer's full-precision outlier entries.
+
+    This is the attack-side hook of the LLM.int8() decomposition: the
+    adversary rewrites entries of ``outlier_weight`` — the columns
+    ``effective_weight()`` re-inserts verbatim — with fresh draws from the
+    empirical distribution of the layer's own outlier values.  The integer
+    tensor (where the watermark lives) is untouched, so the damage lands
+    exclusively on model quality.  Mutates ``layer`` in place and returns the
+    number of rewritten entries (0 when the layer has no outlier columns).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if layer.outlier_weight is None or layer.outlier_weight.size == 0:
+        return 0
+    if not layer.outlier_weight.flags["C_CONTIGUOUS"]:
+        # Same hazard flat_weight_view() guards: reshape(-1) on a
+        # non-contiguous tensor is a copy and the writes below would be lost.
+        layer.outlier_weight = np.ascontiguousarray(layer.outlier_weight)
+    flat = layer.outlier_weight.reshape(-1)
+    count = int(round(flat.size * fraction))
+    if count == 0:
+        return 0
+    positions = rng.choice(flat.size, size=count, replace=False)
+    location = float(np.mean(flat))
+    spread = float(np.std(flat))
+    if spread == 0.0:
+        spread = max(abs(location), 1.0)
+    flat[positions] = rng.normal(location, spread, size=count)
+    return count
 
 
 class LLMInt8Quantizer(BaseQuantizer):

@@ -1,8 +1,10 @@
 """Declarative attack registry for the robustness gauntlet.
 
-Every removal attack in the repository — parameter overwriting,
-re-watermarking, magnitude pruning, LoRA fine-tuning and re-quantization —
-is wrapped behind one uniform interface:
+Every removal and forging attack in the repository — parameter overwriting,
+re-watermarking, magnitude pruning, LoRA fine-tuning, RTN and GPTQ
+re-quantization, scale tampering, outlier-column rewrites, structured
+head/row pruning, the adaptive (algorithm-aware) attacker and
+distillation-style model souping — is wrapped behind one uniform interface:
 
     ``spec.apply(model, strength, rng) -> AttackOutcome``
 
@@ -27,8 +29,10 @@ scenarios plug in with :func:`register_attack`:
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -36,7 +40,8 @@ from repro.attacks.overwrite import OverwriteAttackConfig, parameter_overwrite_a
 from repro.attacks.pruning import PruningAttackConfig, magnitude_pruning_attack
 from repro.attacks.rewatermark import RewatermarkAttackConfig, rewatermark_attack
 from repro.core.keys import WatermarkKey
-from repro.quant.base import QuantizedModel
+from repro.quant.base import QuantizedLinear, QuantizedModel
+from repro.quant.llm_int8 import rewrite_outlier_entries
 
 __all__ = [
     "AttackOutcome",
@@ -52,6 +57,12 @@ __all__ = [
     "PruningAttack",
     "LoRAFineTuneAttack",
     "RequantizeAttack",
+    "ScaleTamperingAttack",
+    "OutlierColumnAttack",
+    "StructuredPruningAttack",
+    "AdaptiveOverwriteAttack",
+    "SoupAttack",
+    "GPTQRequantizeAttack",
 ]
 
 
@@ -315,4 +326,450 @@ class RequantizeAttack(AttackSpec):
         requantized = quantize_model(model.materialize(), "rtn", bits=int(strength))
         return AttackOutcome(
             model=requantized, info={"requantized_bits": int(strength)}
+        )
+
+
+@register_attack
+class GPTQRequantizeAttack(AttackSpec):
+    """Re-quantization through GPTQ's error-compensated rounding.
+
+    Strength = target bit-width.  The plain :class:`RequantizeAttack` rounds
+    each weight independently (RTN), so a matching grid round-trips almost
+    losslessly and the watermark rides along.  GPTQ instead quantizes column
+    by column and pushes every column's rounding residue onto the columns not
+    yet quantized, so integer levels move *even at the deployed bit-width* —
+    a structurally different threat to an integer-domain signature, which is
+    why the gauntlet measures it separately.  The adversary needs his own
+    calibration corpus to estimate the layer Hessians.
+    """
+
+    name = "gptq-requantize"
+    strength_unit = "bits"
+    default_strengths = (8, 4)
+    requires_corpus = True
+
+    def __init__(self, calibration_corpus, damping: float = 0.01, act_order: bool = True) -> None:
+        self.calibration_corpus = calibration_corpus
+        self.damping = damping
+        self.act_order = act_order
+
+    def apply(self, model, strength, rng):
+        # Imported lazily: repro.quant.gptq's hook pulls in repro.quant.api.
+        from repro.quant.gptq import gptq_requantize
+
+        requantized = gptq_requantize(
+            model,
+            int(strength),
+            self.calibration_corpus,
+            damping=self.damping,
+            act_order=self.act_order,
+        )
+        return AttackOutcome(
+            model=requantized,
+            info={"requantized_bits": int(strength), "method": "gptq"},
+        )
+
+
+@register_attack
+class ScaleTamperingAttack(AttackSpec):
+    """Scale tampering: perturb the float side of the quantization.
+
+    Strength = relative perturbation bound.  Every per-output-channel
+    ``scale`` (and, where present, every per-input-channel smoothing factor)
+    is multiplied by a factor drawn uniformly from ``[1 − s, 1 + s]``; the
+    integer weights — the only thing extraction reads — are untouched.  This
+    probes whether an adversary can trade model quality against the watermark
+    *outside* the integer domain: the expected answer (and the measured one)
+    is that the WER stays at 100% while quality falls, i.e. the float side
+    offers no removal leverage at all.
+    """
+
+    name = "scale-tamper"
+    strength_unit = "rel-perturbation"
+    default_strengths = (0.0, 0.05, 0.1, 0.3)
+    #: Multiplicative factors are clipped here so a large strength cannot
+    #: zero or sign-flip a scale (which no rational attacker would ship).
+    MIN_FACTOR = 0.05
+
+    def __init__(self, tamper_smoothing: bool = True) -> None:
+        self.tamper_smoothing = tamper_smoothing
+
+    def apply(self, model, strength, rng):
+        bound = float(strength)
+        if bound < 0:
+            raise ValueError("scale-tamper strength must be >= 0")
+        attacked = model.clone()
+        if bound == 0.0:
+            return AttackOutcome(model=attacked)
+        smoothed_layers = 0
+        for layer in attacked.iter_layers():
+            factors = 1.0 + rng.uniform(-bound, bound, size=layer.scale.shape)
+            layer.scale = layer.scale * np.maximum(factors, self.MIN_FACTOR)
+            if self.tamper_smoothing and layer.input_smoothing is not None:
+                smoothing_factors = 1.0 + rng.uniform(
+                    -bound, bound, size=layer.input_smoothing.shape
+                )
+                layer.input_smoothing = layer.input_smoothing * np.maximum(
+                    smoothing_factors, self.MIN_FACTOR
+                )
+                smoothed_layers += 1
+        return AttackOutcome(
+            model=attacked,
+            info={"weight_int_untouched": True, "layers_with_smoothing": smoothed_layers},
+        )
+
+    def describe(self):
+        return {**super().describe(), "tamper_smoothing": self.tamper_smoothing}
+
+
+@register_attack
+class OutlierColumnAttack(AttackSpec):
+    """Rewrite the full-precision outlier columns of LLM.int8() models.
+
+    Strength = fraction of outlier entries resampled.  The inverse of the
+    overwrite-placement fix: ``effective_weight()`` re-inserts
+    ``outlier_weight`` verbatim over whatever the integer tensor holds, so
+    rewriting those entries damages exactly the channels LLM.int8() deemed
+    most activation-critical while leaving the integer-domain watermark
+    untouched — quality collapses, WER stays at 100%.  On backends without an
+    outlier decomposition the attack is a measured no-op (``info`` says so).
+    """
+
+    name = "outlier-rewrite"
+    strength_unit = "fraction"
+    default_strengths = (0.0, 0.5, 1.0)
+
+    def apply(self, model, strength, rng):
+        fraction = float(strength)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("outlier-rewrite strength must be in [0, 1]")
+        attacked = model.clone()
+        rewritten = 0
+        outlier_layers = 0
+        for layer in attacked.iter_layers():
+            if layer.outlier_weight is not None:
+                outlier_layers += 1
+            rewritten += rewrite_outlier_entries(layer, fraction, rng)
+        return AttackOutcome(
+            model=attacked,
+            info={
+                "entries_rewritten": rewritten,
+                "layers_with_outliers": outlier_layers,
+                "weight_int_untouched": True,
+            },
+        )
+
+
+@register_attack
+class StructuredPruningAttack(AttackSpec):
+    """Structured pruning: remove whole attention heads and MLP rows.
+
+    Strength = fraction of structure removed per block.  Unlike magnitude
+    pruning (scattered zeros, same shapes), this attack physically deletes
+    output rows: the head rows of every ``q/k/v`` projection and a matching
+    fraction of each ``mlp.fc_in``'s hidden rows.  The attacked tensors are
+    genuinely narrower, so ownership verification exercises the
+    ``strict_layout=False`` path — reshaped layers cannot be aligned with the
+    key's reference and contribute 0% WER, while the untouched ``o_proj`` /
+    ``fc_out`` layers keep their bits.  Quality evaluation still works: the
+    kept rows are recorded in ``metadata["pruned_rows"]`` and
+    :meth:`~repro.quant.base.QuantizedModel.materialize` scatters them back
+    into zero-filled full-shape matrices (a removed row computes exactly
+    nothing).  The measured story is honest and two-sided: structured pruning
+    *does* break verification alignment — at the price of deleting a fraction
+    of every block, which destroys the model long before a competitor could
+    resell it.
+    """
+
+    name = "structured-prune"
+    strength_unit = "fraction"
+    default_strengths = (0.0, 0.25, 0.5)
+
+    def apply(self, model, strength, rng):
+        fraction = float(strength)
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("structured-prune strength must be in [0, 1)")
+        attacked = model.clone()
+        if fraction == 0.0:
+            return AttackOutcome(model=attacked)
+        n_heads = attacked.config.n_heads
+        head_dim = attacked.config.d_model // n_heads
+        heads_to_drop = min(int(round(fraction * n_heads)), n_heads - 1)
+        # Head choices are drawn per block *before* the layer loop, in block
+        # order, so q/k/v of one block lose the same heads and the draw
+        # sequence never depends on dict iteration details.
+        dropped_heads = {
+            block: np.sort(rng.choice(n_heads, size=heads_to_drop, replace=False))
+            for block in range(attacked.config.n_layers)
+        } if heads_to_drop else {}
+        pruned_rows: Dict[str, Dict[str, object]] = {}
+        rows_removed = 0
+        for name in attacked.layer_names():
+            layer = attacked.layers[name]
+            if name.endswith((".attn.q_proj", ".attn.k_proj", ".attn.v_proj")):
+                block = int(name.split(".")[1])
+                heads = dropped_heads.get(block)
+                if heads is None:
+                    continue
+                drop = np.concatenate(
+                    [np.arange(h * head_dim, (h + 1) * head_dim) for h in heads]
+                )
+            elif name.endswith(".mlp.fc_in"):
+                count = min(
+                    int(round(fraction * layer.out_features)), layer.out_features - 1
+                )
+                if count <= 0:
+                    continue
+                drop = np.sort(rng.choice(layer.out_features, size=count, replace=False))
+            else:
+                continue
+            kept = np.setdiff1d(np.arange(layer.out_features), drop)
+            attacked.layers[name] = _remove_rows(layer, kept)
+            pruned_rows[name] = {
+                "out_features": int(layer.out_features),
+                "kept_rows": kept,
+            }
+            rows_removed += int(drop.size)
+        if pruned_rows:
+            attacked.metadata["pruned_rows"] = pruned_rows
+        return AttackOutcome(
+            model=attacked,
+            info={
+                "rows_removed": rows_removed,
+                "layers_reshaped": len(pruned_rows),
+                "heads_dropped_per_block": heads_to_drop,
+            },
+        )
+
+
+def _remove_rows(layer: QuantizedLinear, kept: np.ndarray) -> QuantizedLinear:
+    """A copy of ``layer`` keeping only the output rows in ``kept``."""
+    return QuantizedLinear(
+        name=layer.name,
+        weight_int=layer.weight_int[kept].copy(),
+        scale=layer.scale[kept].copy(),
+        grid=layer.grid,
+        bias=None if layer.bias is None else layer.bias[kept].copy(),
+        input_smoothing=(
+            None if layer.input_smoothing is None else layer.input_smoothing.copy()
+        ),
+        outlier_columns=(
+            None if layer.outlier_columns is None else layer.outlier_columns.copy()
+        ),
+        outlier_weight=(
+            None if layer.outlier_weight is None else layer.outlier_weight[kept].copy()
+        ),
+    )
+
+
+@register_attack
+class AdaptiveOverwriteAttack(AttackSpec):
+    """The adaptive attacker: EmMark's own scoring turned against it.
+
+    Strength = overwrites per layer (the Figure 2a axis).  The adversary
+    knows the published algorithm — scoring function, pool rule, everything
+    except the owner's secrets — so instead of spraying random positions he
+    re-runs candidate selection himself: activations are *estimated* by
+    running the quantized model he holds over his own corpus (he has no
+    full-precision model), scoring is repeated at several (α, β) guesses, and
+    the overwrites are concentrated on the **union** of the guessed candidate
+    pools.
+
+    What the resulting WER measures is the secrecy provided by the seed ``d``
+    alone: even when the union pool covers the owner's true candidate pool,
+    the attacker cannot tell *which* pool positions carry bits, so removing
+    the watermark still requires rewriting a pool-sized fraction of the layer
+    — the quality cost the quality columns record.  ``info`` reports how far
+    each layer's union pool is from that worst case.
+    """
+
+    name = "adaptive-overwrite"
+    strength_unit = "weights/layer"
+    default_strengths = (0, 100, 200, 300)
+    requires_corpus = True
+
+    #: (α, β) guesses bracketing the published defaults (0.5/0.5) and the
+    #: single-score extremes.
+    DEFAULT_GUESSES = ((0.5, 0.5), (1.0, 1.5), (1.0, 0.0), (0.0, 1.0))
+
+    def __init__(
+        self,
+        calibration_corpus,
+        guesses: Sequence[Tuple[float, float]] = DEFAULT_GUESSES,
+        pool_fraction: float = 0.25,
+    ) -> None:
+        if not guesses:
+            raise ValueError("adaptive attacker needs at least one (alpha, beta) guess")
+        if not 0.0 < pool_fraction <= 1.0:
+            raise ValueError("pool_fraction must be in (0, 1]")
+        self.calibration_corpus = calibration_corpus
+        self.guesses = tuple((float(a), float(b)) for a, b in guesses)
+        self.pool_fraction = float(pool_fraction)
+        #: Guards the memo maps only; the expensive computation runs under a
+        #: per-model lock (same protocol as FleetVerificationSession), so
+        #: distinct subjects estimate pools concurrently while same-subject
+        #: races still share one computation.
+        self._pools_lock = threading.Lock()
+        #: id(model) -> (weakref to the model, per-layer union pools).  One
+        #: entry per live subject, so multi-subject grids never thrash.
+        self._pools_by_model: Dict[int, Tuple[weakref.ref, Dict[str, np.ndarray]]] = {}
+        self._compute_locks: Dict[int, threading.Lock] = {}
+
+    def _union_pools(self, model: QuantizedModel) -> Dict[str, np.ndarray]:
+        """Per-layer union candidate pools of ``model`` (memoized per subject).
+
+        The pools depend only on the subject's weights, the estimated
+        activations and the constructor-fixed guesses — never on the cell
+        RNG or the strength — so every subject in a grid pays for activation
+        estimation and scoring exactly once, however many strengths sweep
+        it.  Entries are keyed per model and hold weakrefs (an id-reused
+        object cannot alias a stale entry; dead entries are pruned on the
+        next miss, no GC callbacks needed).
+        """
+        # Imported lazily: core.scoring pulls no extra weight, but
+        # models.activations → transformer keeps parity with the other
+        # corpus-backed specs which defer their heavy imports.
+        from repro.core.scoring import select_candidates
+        from repro.models.activations import collect_activation_stats
+
+        key = id(model)
+        with self._pools_lock:
+            entry = self._pools_by_model.get(key)
+            if entry is not None and entry[0]() is model:
+                return entry[1]
+            for dead in [k for k, (ref, _) in self._pools_by_model.items() if ref() is None]:
+                del self._pools_by_model[dead]
+                self._compute_locks.pop(dead, None)
+            compute_lock = self._compute_locks.setdefault(key, threading.Lock())
+        with compute_lock:
+            with self._pools_lock:
+                entry = self._pools_by_model.get(key)
+                if entry is not None and entry[0]() is model:
+                    return entry[1]
+            estimated = collect_activation_stats(
+                model.materialize(), self.calibration_corpus
+            )
+            pools = {}
+            for layer in model.iter_layers():
+                saliency = estimated.channel_saliency(layer.name)
+                pool_size = max(1, int(layer.num_weights * self.pool_fraction))
+                guessed = [
+                    select_candidates(
+                        layer, saliency, alpha=alpha, beta=beta, pool_size=pool_size
+                    ).candidate_indices
+                    for alpha, beta in self.guesses
+                ]
+                pools[layer.name] = np.unique(np.concatenate(guessed))
+            with self._pools_lock:
+                self._pools_by_model[key] = (weakref.ref(model), pools)
+            return pools
+
+    def apply(self, model, strength, rng):
+        per_layer = int(strength)
+        if per_layer < 0:
+            raise ValueError("adaptive-overwrite strength must be >= 0")
+        attacked = model.clone()
+        if per_layer == 0:
+            return AttackOutcome(model=attacked)
+        union_pools = self._union_pools(model)
+        union_fractions = []
+        overwritten = 0
+        for layer in attacked.iter_layers():
+            union = union_pools[layer.name]
+            union_fractions.append(union.size / layer.num_weights)
+            count = min(per_layer, union.size)
+            positions = rng.choice(union, size=count, replace=False)
+            current = layer.weight_int.reshape(-1)[positions]
+            replacement = rng.integers(
+                layer.grid.qmin, layer.grid.qmax + 1, size=count
+            )
+            layer.add_to_weights(positions, replacement - current)
+            overwritten += count
+        return AttackOutcome(
+            model=attacked,
+            info={
+                "guesses": [list(guess) for guess in self.guesses],
+                "mean_union_pool_fraction": float(np.mean(union_fractions)),
+                "positions_overwritten": overwritten,
+                "activations_estimated_on_quantized_model": True,
+            },
+        )
+
+    def describe(self):
+        return {
+            **super().describe(),
+            "guesses": [list(guess) for guess in self.guesses],
+            "pool_fraction": self.pool_fraction,
+        }
+
+
+@register_attack
+class SoupAttack(AttackSpec):
+    """Distillation / weight-averaging: soup two differently-watermarked clones.
+
+    Strength = soup ratio ``t`` in [0, 1].  The adversary builds a second
+    "owner": he re-runs EmMark with his own seeds (activations estimated on
+    the model he holds) to produce a differently-watermarked clone, then
+    merges the two models in the integer domain — at every position where the
+    clones disagree the souped model takes the second clone's value with
+    probability ``t``.  ``t = 0`` is the untouched deployment, ``t = 1`` the
+    second clone.  The gauntlet reports both owners' evidence per cell: the
+    subject owner's WER (``wer_percent``) and the second watermark's
+    extraction rate (``attacker_wer_percent``), so the sweep shows both
+    signatures degrading gracefully — rather than either vanishing — as the
+    soup ratio moves.
+    """
+
+    name = "soup"
+    strength_unit = "soup-ratio"
+    default_strengths = (0.0, 0.5, 1.0)
+
+    requires_corpus = True
+
+    def __init__(self, calibration_corpus, partner_bits_per_layer: Optional[int] = None) -> None:
+        self.calibration_corpus = calibration_corpus
+        self.partner_bits_per_layer = partner_bits_per_layer
+
+    def apply(self, model, strength, rng):
+        from repro.core.config import EmMarkConfig
+        from repro.core.insertion import insert_watermark
+        from repro.models.activations import collect_activation_stats
+
+        ratio = float(strength)
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("soup strength must be in [0, 1]")
+        if ratio == 0.0:
+            return AttackOutcome(model=model.clone())
+        partner_activations = collect_activation_stats(
+            model.materialize(), self.calibration_corpus
+        )
+        partner_config = EmMarkConfig.scaled_for_model(
+            model,
+            bits_per_layer=self.partner_bits_per_layer,
+            seed=_derived_seed(rng),
+            signature_seed=_derived_seed(rng),
+        )
+        partner, partner_key, _ = insert_watermark(
+            model, partner_activations, config=partner_config
+        )
+        souped = model.clone()
+        differing = 0
+        taken = 0
+        for name in souped.layer_names():
+            base = souped.layers[name]
+            other = partner.layers[name].weight_int
+            diff_mask = other != base.weight_int
+            take = rng.random(base.weight_int.shape) < ratio
+            merged = np.where(take, other, base.weight_int)
+            base.weight_int = merged
+            differing += int(np.count_nonzero(diff_mask))
+            taken += int(np.count_nonzero(diff_mask & take))
+        return AttackOutcome(
+            model=souped,
+            attacker_key=partner_key,
+            info={
+                "soup_ratio": ratio,
+                "positions_differing": differing,
+                "positions_taken_from_partner": taken,
+            },
         )

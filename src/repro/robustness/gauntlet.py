@@ -9,23 +9,25 @@ into one reusable engine-backed pipeline:
 1. **Grid construction** — subjects (a watermarked model + its owner key +
    optionally an evaluation harness) crossed with registered attack specs
    and their strength sweeps produce an ordered list of cells.
-2. **Parallel attack + quality stage** — cells run on a configurable worker
-   pool.  Each cell derives its own RNG from the gauntlet seed and the cell
-   coordinates, so results are bit-identical at any ``max_workers``.
-3. **Batched verification stage** — every attacked model becomes a suspect
-   in a single :meth:`~repro.engine.engine.WatermarkEngine.verify_fleet`
-   call with explicit (suspect, key) pairs: each owner key's location plans
-   are reproduced **once per model, not once per sweep point**, and
-   re-watermarking cells additionally pair with the adversary's key to
-   report the attacker's extraction rate.
+2. **Streaming match-and-release execution** (the default) — cells run on a
+   configurable worker pool; each worker attacks, measures quality, verifies
+   its cell through a shared
+   :class:`~repro.engine.engine.FleetVerificationSession` and **drops the
+   attacked model immediately**.  Each owner key's location plans are
+   reproduced once per run (lazily, on the first cell that needs them), so
+   peak memory is O(``max_workers`` × model size) instead of the batched
+   stage's O(num_cells × model size) — which is what makes arbitrarily large
+   grids feasible.
+3. **Batched mode** (``mode="batched"``) — the original two-stage pipeline:
+   every cell's attacked model is retained and verified in one
+   :meth:`~repro.engine.engine.WatermarkEngine.verify_fleet` sweep.  Kept as
+   the reference implementation; its decision digest is bit-identical to the
+   streaming path at any worker count (the benchmark gates on it).
 
-The result is a :class:`~repro.robustness.report.RobustnessReport`.
-
-Memory note: the batched verification holds every cell's attacked model
-simultaneously, so a grid peaks at O(num_cells × model size).  The sim
-models are small; for very large grids over big suspects, split the grid
-into several runs (the verification server additionally caps cells per
-request).
+Each cell derives its own RNG from the gauntlet seed and the cell
+coordinates, so results are bit-identical at any ``max_workers`` and in
+either mode.  The result is a
+:class:`~repro.robustness.report.RobustnessReport`.
 """
 
 from __future__ import annotations
@@ -33,10 +35,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
-
-import numpy as np
 
 from repro.core.keys import WatermarkKey
 from repro.engine.engine import WatermarkEngine, get_default_engine
@@ -44,9 +44,9 @@ from repro.engine.reports import (
     DEFAULT_MAX_FALSE_CLAIM_PROBABILITY,
     DEFAULT_OWNERSHIP_THRESHOLD,
 )
-from repro.eval.harness import EvaluationHarness, QualityReport
+from repro.eval.harness import EvaluationHarness
 from repro.quant.base import QuantizedModel
-from repro.robustness.attacks import AttackOutcome, AttackSpec
+from repro.robustness.attacks import AttackSpec
 from repro.robustness.report import GauntletCellResult, RobustnessReport
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
@@ -57,6 +57,9 @@ logger = get_logger("robustness.gauntlet")
 
 StrengthMap = Mapping[str, Sequence[float]]
 
+#: Execution modes of :meth:`Gauntlet.run`.
+GAUNTLET_MODES = ("streaming", "batched")
+
 
 @dataclass(frozen=True)
 class GauntletConfig:
@@ -65,18 +68,26 @@ class GauntletConfig:
     Attributes
     ----------
     max_workers:
-        Worker-pool width for the attack + quality stage.  ``None`` resolves
-        to the ``REPRO_GAUNTLET_WORKERS`` environment variable, falling back
-        to ``min(8, cpu_count)``; ``1`` forces serial execution.  Results are
-        identical at every setting — the knob only trades wall clock.
+        Worker-pool width for cell execution.  ``None`` resolves to the
+        ``REPRO_GAUNTLET_WORKERS`` environment variable, falling back to
+        ``min(8, cpu_count)``; ``1`` forces serial execution.  Results are
+        identical at every setting — the knob only trades wall clock (and,
+        in streaming mode, peak memory: at most ``max_workers`` attacked
+        models are alive at once).
     seed:
         Root seed of the per-cell attacker RNGs.
     wer_threshold, max_false_claim_probability:
-        Ownership-decision thresholds forwarded to ``verify_fleet``.
+        Ownership-decision thresholds forwarded to the verification stage.
     evaluate_quality:
         Measure perplexity / zero-shot accuracy per cell (needs subjects
         with a harness).  The verification server disables this — it holds
         keys and suspects, not evaluation corpora.
+    mode:
+        ``"streaming"`` (default) verifies and releases each cell as its
+        worker finishes; ``"batched"`` retains every attacked model and runs
+        one ``verify_fleet`` sweep.  Decisions are bit-identical; batched
+        exists as the reference implementation and peaks at
+        O(num_cells × model size) memory.
     """
 
     max_workers: Optional[int] = None
@@ -84,10 +95,13 @@ class GauntletConfig:
     wer_threshold: float = DEFAULT_OWNERSHIP_THRESHOLD
     max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY
     evaluate_quality: bool = True
+    mode: str = "streaming"
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1 (or None for auto)")
+        if self.mode not in GAUNTLET_MODES:
+            raise ValueError(f"mode must be one of {GAUNTLET_MODES}, got {self.mode!r}")
 
     def resolved_workers(self) -> int:
         """The worker count after applying the environment override."""
@@ -124,15 +138,12 @@ class GauntletSubject:
 
 @dataclass
 class _Cell:
-    """Internal: one grid coordinate plus its stage-1 products."""
+    """Internal: one grid coordinate."""
 
     index: int
     model_id: str
     spec: AttackSpec
     strength: float
-    outcome: Optional[AttackOutcome] = None
-    quality: Optional[QualityReport] = None
-    attack_seconds: float = 0.0
 
     @property
     def cell_id(self) -> str:
@@ -149,8 +160,8 @@ class Gauntlet:
     Parameters
     ----------
     engine:
-        Shared :class:`WatermarkEngine` for the batched verification stage;
-        the process-wide default engine (shared plan cache) when omitted.
+        Shared :class:`WatermarkEngine` for the verification stage; the
+        process-wide default engine (shared plan cache) when omitted.
     config:
         Gauntlet tuning; defaults to :class:`GauntletConfig` defaults.
     """
@@ -165,7 +176,7 @@ class Gauntlet:
 
     @property
     def engine(self) -> WatermarkEngine:
-        """The engine verification batches run on."""
+        """The engine the verification stage runs on."""
         return self._engine if self._engine is not None else get_default_engine()
 
     # ------------------------------------------------------------------
@@ -215,10 +226,10 @@ class Gauntlet:
                             strength=float(strength),
                         )
                     )
-        # Cell ids are the suspect ids of the batched verification sweep; a
-        # collision (duplicate strengths, or strengths differing only past
-        # the %g rendering) would silently hand one cell the other's
-        # verdict, so it is an error instead.
+        # Cell ids are the suspect ids of the verification stage; a collision
+        # (duplicate strengths, or strengths differing only past the %g
+        # rendering) would silently hand one cell the other's verdict, so it
+        # is an error instead.
         seen_ids: Dict[str, float] = {}
         for cell in cells:
             if cell.cell_id in seen_ids:
@@ -256,7 +267,8 @@ class Gauntlet:
         -------
         RobustnessReport
             Grid-major cell results plus sweep-level wall-clock and
-            plan-cache figures.  Identical for any worker count.
+            plan-cache figures.  Decision fields are identical for any
+            worker count and either execution mode.
         """
         wall_start = time.perf_counter()
         subject_items = self._named_subjects(subjects)
@@ -276,49 +288,170 @@ class Gauntlet:
                     "attach one or run with evaluate_quality=False"
                 )
 
-        # -- stage 1: attack + quality, cell-parallel ----------------------
-        def run_cell(cell: _Cell) -> _Cell:
+        if self.config.mode == "batched":
+            report = self._run_batched(subject_items, subject_for, cells, workers, wall_start)
+        else:
+            report = self._run_streaming(subject_items, subject_for, cells, workers, wall_start)
+        logger.debug("%s", report.summary())
+        return report
+
+    def _cell_rng(self, cell: _Cell):
+        # The RNG depends only on (seed, coordinates) — never on which worker
+        # picks the cell up or which mode runs it — so grids are reproducible
+        # at any pool width.
+        return new_rng(
+            self.config.seed,
+            "gauntlet",
+            cell.model_id,
+            cell.spec.name,
+            f"{cell.strength:g}",
+        )
+
+    @staticmethod
+    def _cell_result(cell, owner, attacker, quality, attack_seconds, info):
+        """One cell's report row.
+
+        Shared by both execution modes — being identical by construction is
+        part of the streaming ≡ batched decision guarantee.
+        """
+        return GauntletCellResult(
+            model_id=cell.model_id,
+            attack=cell.spec.name,
+            strength=cell.strength,
+            strength_unit=cell.spec.strength_unit,
+            wer_percent=owner.wer_percent,
+            matched_bits=owner.matched_bits,
+            total_bits=owner.total_bits,
+            false_claim_probability=owner.false_claim_probability,
+            owned=owner.owned,
+            attacker_wer_percent=None if attacker is None else attacker.wer_percent,
+            perplexity=None if quality is None else quality.perplexity,
+            zero_shot_accuracy=None if quality is None else quality.zero_shot_accuracy,
+            attack_seconds=attack_seconds,
+            info=dict(info),
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming mode (default): verify-and-release per cell
+    # ------------------------------------------------------------------
+    def _run_streaming(
+        self,
+        subject_items: List[Tuple[str, GauntletSubject]],
+        subject_for: Dict[str, GauntletSubject],
+        cells: List[_Cell],
+        workers: int,
+        wall_start: float,
+    ) -> RobustnessReport:
+        session = self.engine.verification_session(
+            keys={model_id: subject.key for model_id, subject in subject_items},
+            wer_threshold=self.config.wer_threshold,
+            max_false_claim_probability=self.config.max_false_claim_probability,
+        )
+
+        def run_cell(cell: _Cell) -> Tuple[GauntletCellResult, float]:
             subject = subject_for[cell.model_id]
-            # The RNG depends only on (seed, coordinates) — never on which
-            # worker picks the cell up — so grids are reproducible at any
-            # pool width.
-            rng = new_rng(
-                self.config.seed,
-                "gauntlet",
-                cell.model_id,
-                cell.spec.name,
-                f"{cell.strength:g}",
-            )
+            rng = self._cell_rng(cell)
             start = time.perf_counter()
-            cell.outcome = cell.spec.apply(subject.model, cell.strength, rng)
-            if self.config.evaluate_quality:
-                cell.quality = subject.harness.evaluate(cell.outcome.model)
-            cell.attack_seconds = time.perf_counter() - start
-            return cell
+            outcome = cell.spec.apply(subject.model, cell.strength, rng)
+            quality = (
+                subject.harness.evaluate(outcome.model)
+                if self.config.evaluate_quality
+                else None
+            )
+            attack_seconds = time.perf_counter() - start
+            verify_start = time.perf_counter()
+            owner = session.verify(cell.cell_id, outcome.model, cell.model_id)
+            attacker = None
+            if outcome.attacker_key is not None:
+                # One-shot: the adversary key belongs to this cell alone, so
+                # it is verified without session registration — retaining it
+                # (a full model-size reference snapshot per cell) would quietly
+                # re-grow the O(grid) memory the streaming mode removes.
+                attacker = session.verify_once(
+                    cell.cell_id, outcome.model, outcome.attacker_key,
+                    cell.attacker_key_id,
+                )
+            verify_seconds = time.perf_counter() - verify_start
+            result = self._cell_result(
+                cell, owner, attacker, quality, attack_seconds, outcome.info
+            )
+            # ``outcome`` — and with it the attacked model — dies with this
+            # frame: nothing past this point references it, which is the
+            # O(workers × model size) peak-memory guarantee.
+            return result, verify_seconds
 
         if workers <= 1 or len(cells) < 2:
-            cells = [run_cell(cell) for cell in cells]
+            outputs = [run_cell(cell) for cell in cells]
         else:
             # A private pool: the engine's layer-level pool stays free for
-            # the verification stage (and for attacks that insert watermarks
-            # through the engine, e.g. re-watermarking).
+            # location reproduction (and for attacks that insert watermarks
+            # through an engine, e.g. re-watermarking).
             with ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="gauntlet"
             ) as pool:
-                cells = list(pool.map(run_cell, cells))
+                outputs = list(pool.map(run_cell, cells))
+
+        traffic = session.cache_traffic()
+        return RobustnessReport(
+            cells=[result for result, _ in outputs],
+            seed=self.config.seed,
+            workers=workers,
+            wall_clock_seconds=time.perf_counter() - wall_start,
+            # Summed per-cell verification time: the verification work is
+            # interleaved with the attacks, so there is no contiguous
+            # "verification stage" wall-clock span to report.
+            verify_seconds=sum(seconds for _, seconds in outputs),
+            cache_hits=traffic.hits,
+            cache_misses=traffic.misses,
+            mode="streaming",
+        )
+
+    # ------------------------------------------------------------------
+    # Batched mode: the original two-stage reference pipeline
+    # ------------------------------------------------------------------
+    def _run_batched(
+        self,
+        subject_items: List[Tuple[str, GauntletSubject]],
+        subject_for: Dict[str, GauntletSubject],
+        cells: List[_Cell],
+        workers: int,
+        wall_start: float,
+    ) -> RobustnessReport:
+        # -- stage 1: attack + quality, cell-parallel ----------------------
+        def run_cell(cell: _Cell):
+            subject = subject_for[cell.model_id]
+            rng = self._cell_rng(cell)
+            start = time.perf_counter()
+            outcome = cell.spec.apply(subject.model, cell.strength, rng)
+            quality = (
+                subject.harness.evaluate(outcome.model)
+                if self.config.evaluate_quality
+                else None
+            )
+            return outcome, quality, time.perf_counter() - start
+
+        if workers <= 1 or len(cells) < 2:
+            staged = [run_cell(cell) for cell in cells]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="gauntlet"
+            ) as pool:
+                staged = list(pool.map(run_cell, cells))
 
         # -- stage 2: one batched verify_fleet sweep -----------------------
+        # Every attacked model is alive simultaneously here — the
+        # O(num_cells × model size) peak the streaming mode removes.
         verify_start = time.perf_counter()
         suspects: Dict[str, QuantizedModel] = {}
         keys: Dict[str, WatermarkKey] = {
             model_id: subject.key for model_id, subject in subject_items
         }
         pairs: List[Tuple[str, str]] = []
-        for cell in cells:
-            suspects[cell.cell_id] = cell.outcome.model
+        for cell, (outcome, _quality, _seconds) in zip(cells, staged):
+            suspects[cell.cell_id] = outcome.model
             pairs.append((cell.cell_id, cell.model_id))
-            if cell.outcome.attacker_key is not None:
-                keys[cell.attacker_key_id] = cell.outcome.attacker_key
+            if outcome.attacker_key is not None:
+                keys[cell.attacker_key_id] = outcome.attacker_key
                 pairs.append((cell.cell_id, cell.attacker_key_id))
         fleet = self.engine.verify_fleet(
             suspects,
@@ -332,30 +465,15 @@ class Gauntlet:
 
         # -- stage 3: assemble the report ----------------------------------
         results: List[GauntletCellResult] = []
-        for cell in cells:
+        for cell, (outcome, quality, attack_seconds) in zip(cells, staged):
             owner = by_pair[(cell.cell_id, cell.model_id)]
             attacker = by_pair.get((cell.cell_id, cell.attacker_key_id))
             results.append(
-                GauntletCellResult(
-                    model_id=cell.model_id,
-                    attack=cell.spec.name,
-                    strength=cell.strength,
-                    strength_unit=cell.spec.strength_unit,
-                    wer_percent=owner.wer_percent,
-                    matched_bits=owner.matched_bits,
-                    total_bits=owner.total_bits,
-                    false_claim_probability=owner.false_claim_probability,
-                    owned=owner.owned,
-                    attacker_wer_percent=None if attacker is None else attacker.wer_percent,
-                    perplexity=None if cell.quality is None else cell.quality.perplexity,
-                    zero_shot_accuracy=(
-                        None if cell.quality is None else cell.quality.zero_shot_accuracy
-                    ),
-                    attack_seconds=cell.attack_seconds,
-                    info=dict(cell.outcome.info),
+                self._cell_result(
+                    cell, owner, attacker, quality, attack_seconds, outcome.info
                 )
             )
-        report = RobustnessReport(
+        return RobustnessReport(
             cells=results,
             seed=self.config.seed,
             workers=workers,
@@ -363,9 +481,8 @@ class Gauntlet:
             verify_seconds=verify_seconds,
             cache_hits=fleet.cache_hits,
             cache_misses=fleet.cache_misses,
+            mode="batched",
         )
-        logger.debug("%s", report.summary())
-        return report
 
 
 def run_gauntlet(

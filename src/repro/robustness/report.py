@@ -111,6 +111,9 @@ class RobustnessReport:
     verify_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Execution mode that produced the report ("streaming" or "batched").
+    #: Informational only — decision fields and the digest are mode-invariant.
+    mode: str = "streaming"
 
     # -- structure ---------------------------------------------------------
     @property
@@ -234,9 +237,9 @@ class RobustnessReport:
         for attack, wer in sorted(self.min_wer_by_attack().items()):
             lines.append(f"  min WER under {attack}: {wer:.2f}%")
         lines.append(
-            f"  {self.num_cells} cells, {self.workers} workers, "
+            f"  {self.num_cells} cells, {self.workers} workers ({self.mode}), "
             f"{self.wall_clock_seconds:.3f}s wall clock "
-            f"({self.verify_seconds:.3f}s batched verification)"
+            f"({self.verify_seconds:.3f}s verification)"
         )
         return "\n".join(lines)
 
@@ -249,6 +252,7 @@ class RobustnessReport:
             "decision_digest": self.decision_digest(),
             "seed": self.seed,
             "workers": self.workers,
+            "mode": self.mode,
             "num_cells": self.num_cells,
             "wall_clock_seconds": self.wall_clock_seconds,
             "verify_seconds": self.verify_seconds,

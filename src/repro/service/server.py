@@ -39,12 +39,12 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
-from repro.core.keys import WatermarkKey, model_fingerprint
+from repro.core.keys import model_fingerprint
 from repro.engine.engine import EngineConfig, WatermarkEngine
 from repro.quant.base import QuantizedModel
 from repro.service.audit import AuditLog
@@ -560,11 +560,17 @@ class VerificationServer:
         """Run the robustness gauntlet on a stored suspect against one key.
 
         The grid crosses the requested (corpus-free) attacks with their
-        strength sweeps; quality evaluation is disabled — the server holds
+        strength sweeps — overwriting, pruning, re-quantization and the
+        float-domain scenarios (scale tampering, outlier-column rewrites,
+        structured head/row pruning); corpus-backed attacks (re-watermarking,
+        fine-tuning, GPTQ re-quantization, the adaptive attacker, souping)
+        stay client-side.  Quality evaluation is disabled — the server holds
         keys and suspects, not evaluation corpora — so every cell reports
-        ownership evidence only.  The sweep runs on the shared engine,
-        reusing any location plans the verification traffic has already
-        cached, and every cell verdict is written to the audit log.
+        ownership evidence only.  The sweep runs in streaming mode on the
+        shared engine (each attacked model is verified and released as its
+        worker finishes, so a grid never holds more than the worker count in
+        memory), reusing any location plans the verification traffic has
+        already cached, and every cell verdict is written to the audit log.
         """
         from repro.robustness import (
             Gauntlet,

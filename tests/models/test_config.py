@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.models.config import ModelConfig
-
 from tests.conftest import make_tiny_config, make_tiny_llama_config
 
 

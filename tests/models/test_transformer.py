@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.models.config import ModelConfig
 from repro.models.transformer import TransformerLM
 
 from tests.conftest import make_tiny_config, make_tiny_llama_config

@@ -26,12 +26,21 @@ from repro.utils.rng import new_rng
 class TestRegistry:
     def test_builtin_attacks_registered(self):
         assert {"none", "overwrite", "rewatermark", "pruning",
-                "lora-finetune", "requantize"} <= set(available_attacks())
+                "lora-finetune", "requantize", "gptq-requantize",
+                "scale-tamper", "outlier-rewrite", "structured-prune",
+                "adaptive-overwrite", "soup"} <= set(available_attacks())
+
+    def test_registry_holds_eleven_plus_attacks(self):
+        # The adversary-expansion acceptance bar.
+        assert len(available_attacks()) >= 11
 
     def test_corpus_free_subset(self):
         free = set(corpus_free_attacks())
-        assert "rewatermark" not in free and "lora-finetune" not in free
-        assert {"none", "overwrite", "pruning", "requantize"} <= free
+        for corpus_backed in ("rewatermark", "lora-finetune", "gptq-requantize",
+                              "adaptive-overwrite", "soup"):
+            assert corpus_backed not in free
+        assert {"none", "overwrite", "pruning", "requantize",
+                "scale-tamper", "outlier-rewrite", "structured-prune"} <= free
 
     def test_unknown_attack_raises(self):
         with pytest.raises(KeyError, match="unknown attack"):
@@ -170,3 +179,263 @@ class TestLLMInt8AttackEffectiveness:
         wer = gauntlet_engine.extract(attacked, int8_subject.key, strict_layout=False).wer_percent
         # A full-strength resample leaves each bit only a chance match.
         assert wer < 50.0
+
+
+class TestScaleTamperingAttack:
+    """Float-domain tampering must never reach the integer-domain watermark."""
+
+    def test_zero_strength_is_identity(self, quantized_awq4):
+        outcome = build_attack("scale-tamper").apply(quantized_awq4, 0.0, new_rng(0))
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                outcome.model.get_layer(name).scale,
+                quantized_awq4.get_layer(name).scale,
+            )
+
+    def test_perturbs_scales_and_smoothing_but_not_weights(self, quantized_awq4):
+        outcome = build_attack("scale-tamper").apply(quantized_awq4, 0.2, new_rng(1))
+        assert outcome.info["weight_int_untouched"] is True
+        assert outcome.info["layers_with_smoothing"] > 0
+        for name in quantized_awq4.layer_names():
+            before = quantized_awq4.get_layer(name)
+            after = outcome.model.get_layer(name)
+            np.testing.assert_array_equal(before.weight_int, after.weight_int)
+            assert not np.array_equal(before.scale, after.scale)
+            assert np.all(after.scale > 0)
+            if before.input_smoothing is not None:
+                assert not np.array_equal(before.input_smoothing, after.input_smoothing)
+
+    def test_wer_stays_perfect_under_heavy_tampering(self, awq_subject, gauntlet_engine):
+        outcome = build_attack("scale-tamper").apply(awq_subject.model, 0.5, new_rng(7))
+        result = gauntlet_engine.extract(outcome.model, awq_subject.key, strict_layout=False)
+        assert result.wer_percent == 100.0
+
+    def test_quality_actually_damaged(self, awq_subject):
+        outcome = build_attack("scale-tamper").apply(awq_subject.model, 0.5, new_rng(7))
+        baseline = awq_subject.harness.evaluate(awq_subject.model)
+        tampered = awq_subject.harness.evaluate(outcome.model)
+        assert tampered.perplexity > baseline.perplexity
+
+
+class TestOutlierColumnAttack:
+    """Rewriting LLM.int8() full-precision columns: quality-only damage."""
+
+    def test_rewrites_outlier_entries_only(self, quantized_llm_int8):
+        outcome = build_attack("outlier-rewrite").apply(quantized_llm_int8, 1.0, new_rng(2))
+        assert outcome.info["entries_rewritten"] > 0
+        for name in quantized_llm_int8.layer_names():
+            before = quantized_llm_int8.get_layer(name)
+            after = outcome.model.get_layer(name)
+            np.testing.assert_array_equal(before.weight_int, after.weight_int)
+            np.testing.assert_array_equal(before.scale, after.scale)
+            if before.outlier_weight is not None and before.outlier_weight.size:
+                assert not np.array_equal(before.outlier_weight, after.outlier_weight)
+                # The damage lands exactly in the outlier columns of the
+                # effective weights — nowhere else.
+                changed = before.effective_weight() != after.effective_weight()
+                outside = np.ones(before.in_features, dtype=bool)
+                outside[before.outlier_columns] = False
+                assert not np.any(changed[:, outside])
+
+    def test_noop_on_backends_without_outliers(self, quantized_awq4):
+        outcome = build_attack("outlier-rewrite").apply(quantized_awq4, 1.0, new_rng(2))
+        assert outcome.info["entries_rewritten"] == 0
+        assert outcome.info["layers_with_outliers"] == 0
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                outcome.model.get_layer(name).weight_int,
+                quantized_awq4.get_layer(name).weight_int,
+            )
+
+    def test_watermark_untouched_at_full_strength(self, int8_subject, gauntlet_engine):
+        outcome = build_attack("outlier-rewrite").apply(int8_subject.model, 1.0, new_rng(3))
+        result = gauntlet_engine.extract(outcome.model, int8_subject.key, strict_layout=False)
+        assert result.wer_percent == 100.0
+
+
+class TestStructuredPruningAttack:
+    """Head/row removal: real shape changes, tolerated by strict_layout=False."""
+
+    def test_zero_strength_is_identity(self, quantized_awq4):
+        outcome = build_attack("structured-prune").apply(quantized_awq4, 0.0, new_rng(0))
+        assert outcome.model.layer_names() == quantized_awq4.layer_names()
+        assert "pruned_rows" not in outcome.model.metadata
+
+    def test_rows_removed_from_qkv_and_fc_in_only(self, quantized_awq4):
+        outcome = build_attack("structured-prune").apply(quantized_awq4, 0.5, new_rng(4))
+        pruned = outcome.model.metadata["pruned_rows"]
+        for name in quantized_awq4.layer_names():
+            before = quantized_awq4.get_layer(name)
+            after = outcome.model.get_layer(name)
+            if name.endswith((".attn.q_proj", ".attn.k_proj", ".attn.v_proj", ".mlp.fc_in")):
+                assert after.out_features < before.out_features
+                assert name in pruned
+                assert pruned[name]["out_features"] == before.out_features
+                kept = np.asarray(pruned[name]["kept_rows"])
+                np.testing.assert_array_equal(after.weight_int, before.weight_int[kept])
+            else:
+                assert after.out_features == before.out_features
+                np.testing.assert_array_equal(after.weight_int, before.weight_int)
+
+    def test_same_heads_dropped_across_qkv_of_a_block(self, quantized_awq4):
+        outcome = build_attack("structured-prune").apply(quantized_awq4, 0.5, new_rng(4))
+        pruned = outcome.model.metadata["pruned_rows"]
+        for block in range(quantized_awq4.config.n_layers):
+            kept = {
+                proj: tuple(pruned[f"blocks.{block}.attn.{proj}"]["kept_rows"])
+                for proj in ("q_proj", "k_proj", "v_proj")
+            }
+            assert kept["q_proj"] == kept["k_proj"] == kept["v_proj"]
+
+    def test_materialize_and_quality_eval_still_work(self, awq_subject):
+        outcome = build_attack("structured-prune").apply(awq_subject.model, 0.5, new_rng(5))
+        quality = awq_subject.harness.evaluate(outcome.model)
+        baseline = awq_subject.harness.evaluate(awq_subject.model)
+        # Deleting half of every block must hurt (the attack's cost story).
+        assert quality.perplexity > baseline.perplexity
+
+    def test_extraction_tolerates_reshaped_layers(self, awq_subject, gauntlet_engine):
+        outcome = build_attack("structured-prune").apply(awq_subject.model, 0.25, new_rng(6))
+        result = gauntlet_engine.extract(outcome.model, awq_subject.key, strict_layout=False)
+        # Reshaped layers contribute 0; every untouched layer keeps its bits.
+        assert 0.0 < result.wer_percent < 100.0
+        reshaped = set(outcome.model.metadata["pruned_rows"])
+        assert reshaped
+        for name, wer in result.per_layer_wer.items():
+            assert wer == (0.0 if name in reshaped else 100.0)
+
+
+class TestAdaptiveOverwriteAttack:
+    def test_zero_strength_is_identity(self, quantized_awq4, small_dataset):
+        spec = build_attack("adaptive-overwrite", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(quantized_awq4, 0, new_rng(0))
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                outcome.model.get_layer(name).weight_int,
+                quantized_awq4.get_layer(name).weight_int,
+            )
+
+    def test_deterministic_per_rng(self, quantized_awq4, small_dataset):
+        spec = build_attack("adaptive-overwrite", calibration_corpus=small_dataset.calibration)
+        a = spec.apply(quantized_awq4, 40, new_rng(5, "cell")).model
+        b = spec.apply(quantized_awq4, 40, new_rng(5, "cell")).model
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                a.get_layer(name).weight_int, b.get_layer(name).weight_int
+            )
+
+    def test_overwrites_concentrate_inside_union_pool(self, quantized_awq4, small_dataset):
+        spec = build_attack("adaptive-overwrite", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(quantized_awq4, 40, new_rng(8))
+        assert 0.0 < outcome.info["mean_union_pool_fraction"] < 1.0
+        assert outcome.info["positions_overwritten"] > 0
+        for name in quantized_awq4.layer_names():
+            changed = np.count_nonzero(
+                outcome.model.get_layer(name).weight_int
+                != quantized_awq4.get_layer(name).weight_int
+            )
+            # Resampling can land on the current value, so <= strength.
+            assert changed <= 40
+
+    def test_describe_reports_guesses(self, small_dataset):
+        spec = build_attack("adaptive-overwrite", calibration_corpus=small_dataset.calibration)
+        described = spec.describe()
+        assert described["pool_fraction"] == 0.25
+        assert [1.0, 1.5] in described["guesses"]
+
+    def test_union_pools_memoized_per_subject(self, quantized_awq4, small_dataset, monkeypatch):
+        """A sweep over one subject estimates activations exactly once —
+        the pools are strength- and RNG-independent."""
+        import repro.models.activations as activations_module
+
+        spec = build_attack("adaptive-overwrite", calibration_corpus=small_dataset.calibration)
+        calls = []
+        real = activations_module.collect_activation_stats
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(activations_module, "collect_activation_stats", counting)
+        spec.apply(quantized_awq4, 20, new_rng(1))
+        spec.apply(quantized_awq4, 40, new_rng(2))
+        assert len(calls) == 1
+        # A second subject gets its own entry without evicting the first:
+        # interleaved multi-subject sweeps stay once-per-subject.
+        other = quantized_awq4.clone()
+        spec.apply(other, 20, new_rng(3))
+        spec.apply(quantized_awq4, 60, new_rng(4))
+        spec.apply(other, 40, new_rng(5))
+        assert len(calls) == 2
+
+
+class TestSoupAttack:
+    def test_zero_ratio_is_identity_without_partner(self, quantized_awq4, small_dataset):
+        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(quantized_awq4, 0.0, new_rng(0))
+        assert outcome.attacker_key is None
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                outcome.model.get_layer(name).weight_int,
+                quantized_awq4.get_layer(name).weight_int,
+            )
+
+    def test_full_ratio_extracts_partner_watermark_perfectly(
+        self, awq_subject, gauntlet_engine, small_dataset
+    ):
+        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(awq_subject.model, 1.0, new_rng(1))
+        assert outcome.attacker_key is not None
+        partner = gauntlet_engine.extract(
+            outcome.model, outcome.attacker_key, strict_layout=False
+        )
+        assert partner.wer_percent == 100.0
+
+    def test_half_ratio_degrades_both_owners_gracefully(
+        self, awq_subject, gauntlet_engine, small_dataset
+    ):
+        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(awq_subject.model, 0.5, new_rng(2))
+        owner = gauntlet_engine.extract(outcome.model, awq_subject.key, strict_layout=False)
+        partner = gauntlet_engine.extract(
+            outcome.model, outcome.attacker_key, strict_layout=False
+        )
+        # The subject owner keeps most bits (only overlap positions at risk);
+        # the partner extracts roughly the soup ratio's worth.
+        assert owner.wer_percent > 80.0
+        assert 20.0 < partner.wer_percent < 90.0
+
+    def test_info_counts_positions(self, quantized_awq4, small_dataset):
+        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(quantized_awq4, 0.5, new_rng(3))
+        assert outcome.info["positions_differing"] > 0
+        assert 0 < outcome.info["positions_taken_from_partner"] <= outcome.info["positions_differing"]
+
+
+class TestGPTQRequantizeAttack:
+    def test_requires_corpus(self):
+        with pytest.raises(ValueError, match="calibration corpus"):
+            build_attack("gptq-requantize")
+
+    def test_preserves_layout_and_reports_method(self, quantized_awq4, small_dataset):
+        spec = build_attack("gptq-requantize", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(quantized_awq4, 4, new_rng(0))
+        assert outcome.model.layer_names() == quantized_awq4.layer_names()
+        assert outcome.model.method == "gptq"
+        assert outcome.model.bits == 4
+        assert outcome.info == {"requantized_bits": 4, "method": "gptq"}
+
+    def test_error_compensation_moves_levels_where_rtn_does_not(
+        self, quantized_awq4, small_dataset
+    ):
+        """GPTQ's error feedback shifts integer levels relative to plain RTN
+        at the same bit-width — the gap the GPTQ grids exist to measure."""
+        gptq = build_attack(
+            "gptq-requantize", calibration_corpus=small_dataset.calibration
+        ).apply(quantized_awq4, 4, new_rng(1)).model
+        rtn = build_attack("requantize").apply(quantized_awq4, 4, new_rng(1)).model
+        differing = sum(
+            np.count_nonzero(gptq.get_layer(n).weight_int != rtn.get_layer(n).weight_int)
+            for n in quantized_awq4.layer_names()
+        )
+        assert differing > 0

@@ -7,7 +7,6 @@ import pytest
 
 from repro.engine import WatermarkEngine
 from repro.robustness import (
-    Gauntlet,
     GauntletConfig,
     GauntletSubject,
     build_attack,
