@@ -56,7 +56,9 @@ def main() -> None:
         build_attack("outlier-rewrite"),
         build_attack("structured-prune"),
         build_attack("adaptive-overwrite", calibration_corpus=dataset.calibration),
-        build_attack("soup", calibration_corpus=dataset.calibration),
+        build_attack("adaptive-oracle", calibration_corpus=dataset.calibration),
+        # True two-clone soup: a second owner watermarks the same virgin base.
+        build_attack("soup", base_model=quantized, base_activations=activations),
     ]
     strengths = {
         "overwrite": (100, 300, 500),
@@ -69,6 +71,7 @@ def main() -> None:
         "outlier-rewrite": (1.0,),
         "structured-prune": (0.25, 0.5),
         "adaptive-overwrite": (100, 300),
+        "adaptive-oracle": (0.5, 1.0),
         "soup": (0.5, 1.0),
     }
     print(f"running the gauntlet: {sum(len(s) for s in strengths.values()) + 1} cells...")

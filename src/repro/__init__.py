@@ -35,6 +35,7 @@ from repro.core import (
     WatermarkKey,
     extract_watermark,
     insert_watermark,
+    insert_watermark_multi,
     verify_ownership,
     watermark_strength,
 )
@@ -42,6 +43,7 @@ from repro.core.baselines import RandomWM, SpecMark
 from repro.engine import (
     EngineConfig,
     FleetVerificationReport,
+    SlotAllocator,
     WatermarkEngine,
     get_default_engine,
     insert_batch,
@@ -66,9 +68,11 @@ __all__ = [
     "ExtractionResult",
     "WatermarkKey",
     "insert_watermark",
+    "insert_watermark_multi",
     "extract_watermark",
     "verify_ownership",
     "watermark_strength",
+    "SlotAllocator",
     "WatermarkEngine",
     "EngineConfig",
     "FleetVerificationReport",

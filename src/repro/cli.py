@@ -1,7 +1,14 @@
 """The ``repro`` command-line interface.
 
-Four sub-commands expose the verification service and the robustness
-gauntlet from a shell:
+Five sub-commands expose the watermarking engine, the verification service
+and the robustness gauntlet from a shell:
+
+``repro insert``
+    Watermark a simulated model — with ``--owners N``, insert N co-resident
+    independently keyed watermarks into **one** model on disjoint slot
+    pools (collision-aware allocation), verify every owner extracts at
+    100% WER, and optionally save the keys or register them into a
+    registry directory.
 
 ``repro serve``
     Run the asyncio verification server in the foreground, backed by a
@@ -50,6 +57,26 @@ def build_parser() -> argparse.ArgumentParser:
         description="EmMark reproduction: watermark ownership-verification service tools.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    insert = sub.add_parser("insert", help="watermark a model (multi-owner capable)")
+    insert.add_argument("--model", default="opt-2.7b-sim",
+                        help="simulated model name (default: opt-2.7b-sim)")
+    insert.add_argument("--bits", type=int, default=4, choices=(8, 4),
+                        help="quantization precision (default: 4)")
+    insert.add_argument("--profile", default="smoke", choices=["smoke", "default"],
+                        help="training profile of the sim model (default: smoke)")
+    insert.add_argument("--quant", default="auto",
+                        choices=["auto", "rtn", "smoothquant", "llm_int8", "awq", "gptq"],
+                        help="quantization backend (default: auto — the paper's "
+                             "pairing for the model family and precision)")
+    insert.add_argument("--owners", type=int, default=1,
+                        help="co-resident owners to insert; each gets a disjoint "
+                             "slot pool and an independent key (default: 1)")
+    insert.add_argument("--registry", metavar="DIR", default=None,
+                        help="register every owner's key into this registry directory")
+    insert.add_argument("--output", metavar="DIR", default=None,
+                        help="save each owner's key under DIR/<owner-id>/")
+    insert.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     serve = sub.add_parser("serve", help="run the verification server")
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
@@ -137,6 +164,79 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Sub-command implementations (imports deferred so --help stays instant)
 # ----------------------------------------------------------------------
+def _cmd_insert(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.common import insert_multi_owner, prepare_context
+    from repro.utils.tables import Table, format_float
+
+    if args.owners < 1:
+        print("error: --owners must be >= 1", file=sys.stderr)
+        return 2
+    quant_method = None if args.quant == "auto" else args.quant
+    print(f"preparing {args.model} (INT{args.bits}, {args.quant} quantization, "
+          f"{args.profile} profile)...", file=sys.stderr)
+    context = prepare_context(args.model, args.bits, profile=args.profile,
+                              num_task_examples=16, quant_method=quant_method)
+    result = insert_multi_owner(context, args.owners)
+    # Every owner is verified independently against the one deployed model.
+    fleet = context.engine.verify_fleet({"deployment": result.model}, result.keys())
+    by_owner = {pair.key_id: pair for pair in fleet.pairs}
+
+    if args.registry:
+        from repro.service.registry import KeyRegistry
+
+        registry = KeyRegistry(args.registry)
+        for owner_id, key in result.keys().items():
+            registry.register(key, owner=owner_id)
+        print(f"registered {result.num_owners} keys into {args.registry}",
+              file=sys.stderr)
+    if args.output:
+        for owner_id, key in result.keys().items():
+            key.save(Path(args.output) / owner_id)
+        print(f"saved {result.num_owners} keys under {args.output}", file=sys.stderr)
+
+    rows = []
+    for item in result.items:
+        pair = by_owner[item.owner_id]
+        rows.append({
+            "owner": item.owner_id,
+            "key_fingerprint": item.key.fingerprint(),
+            "total_bits": item.report.total_bits,
+            "wer_percent": pair.wer_percent,
+            "owned": pair.owned,
+            "co_residents": item.key.co_residents,
+        })
+    if args.json:
+        print(json.dumps({
+            "model": args.model,
+            "bits": args.bits,
+            "owners": result.num_owners,
+            "occupied_slots": result.allocator.total_slots,
+            "decisions": rows,
+        }, indent=2, sort_keys=True))
+    else:
+        table = Table(
+            title=(f"Multi-owner insertion: {result.num_owners} owners co-resident "
+                   f"in {args.model} (INT{args.bits})"),
+            columns=["Owner", "Key", "Bits", "WER (%)", "Owned", "Co-residents"],
+        )
+        for row in rows:
+            table.add_row([
+                row["owner"],
+                row["key_fingerprint"],
+                row["total_bits"],
+                format_float(row["wer_percent"]),
+                "yes" if row["owned"] else "no",
+                ",".join(row["co_residents"]) or "-",
+            ])
+        print(table.render())
+        print(f"  {result.allocator.total_slots} slots allocated across "
+              f"{len(result.allocator.snapshot())} layers; "
+              f"{result.wall_clock_seconds:.3f}s wall clock")
+    return 0 if all(row["owned"] and row["wer_percent"] == 100.0 for row in rows) else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.audit import AuditLog
     from repro.service.registry import KeyRegistry
@@ -305,7 +405,14 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
         context.fresh_quantized(), context.activations
     )
     attacks = [
-        build_attack(name, calibration_corpus=context.harness.calibration_corpus)
+        build_attack(
+            name,
+            calibration_corpus=context.harness.calibration_corpus,
+            # True two-clone scenarios watermark a second clone of the same
+            # virgin base with owner-grade activation statistics.
+            base_model=context.quantized,
+            base_activations=context.activations,
+        )
         for name in attack_names
     ]
     report = run_gauntlet(
@@ -336,6 +443,8 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (returns the process exit code)."""
     args = build_parser().parse_args(argv)
+    if args.command == "insert":
+        return _cmd_insert(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "verify":

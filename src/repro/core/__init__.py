@@ -31,7 +31,13 @@ from repro.core.scoring import (
     topk_argsort_stable,
 )
 from repro.core.keys import WatermarkKey, model_fingerprint
-from repro.core.insertion import InsertionReport, WatermarkLocation, insert_watermark
+from repro.core.insertion import (
+    InsertionReport,
+    MultiOwnerInsertionResult,
+    WatermarkLocation,
+    insert_watermark,
+    insert_watermark_multi,
+)
 from repro.core.extraction import (
     ExtractionResult,
     extract_watermark,
@@ -57,6 +63,8 @@ __all__ = [
     "model_fingerprint",
     "WatermarkLocation",
     "insert_watermark",
+    "insert_watermark_multi",
+    "MultiOwnerInsertionResult",
     "InsertionReport",
     "ExtractionResult",
     "extract_watermark",

@@ -84,6 +84,11 @@ class EmMark(Watermarker):
         effective = config or self.config or EmMarkConfig.scaled_for_model(model)
         return self._engine.insert(model, activations, config=effective, signature=signature)
 
+    def insert_multi(self, model: QuantizedModel, activations: ActivationStats, owners, **kwargs):
+        """Insert N co-resident owners into one model — see
+        :meth:`repro.engine.WatermarkEngine.insert_multi`."""
+        return self._engine.insert_multi(model, activations, owners, **kwargs)
+
     def extract_with_key(self, suspect: QuantizedModel, key: WatermarkKey) -> ExtractionResult:
         """Extract the watermark from ``suspect`` using the owner's key."""
         return self._engine.extract(suspect, key, strict_layout=False)

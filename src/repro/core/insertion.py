@@ -26,20 +26,28 @@ ownership verification and the batch serving APIs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import EmMarkConfig
 from repro.core.keys import WatermarkKey
-from repro.engine.reports import InsertionReport
+from repro.engine.reports import InsertionReport, MultiOwnerInsertionResult
 from repro.models.activations import ActivationStats
 from repro.quant.base import QuantizedModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.allocator import SlotAllocator
     from repro.engine.engine import WatermarkEngine
 
-__all__ = ["WatermarkLocation", "InsertionReport", "insert_watermark", "select_layer_locations"]
+__all__ = [
+    "WatermarkLocation",
+    "InsertionReport",
+    "MultiOwnerInsertionResult",
+    "insert_watermark",
+    "insert_watermark_multi",
+    "select_layer_locations",
+]
 
 
 def _engine(engine: "Optional[WatermarkEngine]" = None) -> "WatermarkEngine":
@@ -69,6 +77,7 @@ def select_layer_locations(
     channel_activations: np.ndarray,
     bits_needed: int,
     config: EmMarkConfig,
+    occupied: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Select the watermark positions of one layer (flattened indices).
 
@@ -76,9 +85,13 @@ def select_layer_locations(
     engine's (cached) location planner, which both the insertion stage and
     the extraction stage call — guaranteeing that extraction reproduces the
     exact insertion-time locations when given the same inputs (reference
-    weights, activations, seed, coefficients).
+    weights, activations, seed, coefficients).  ``occupied`` lists flat
+    indices already held by co-resident watermarks; the planner re-ranks
+    past them (see :class:`repro.engine.SlotAllocator`).
     """
-    return _engine().locations_for_layer(layer, channel_activations, bits_needed, config)
+    return _engine().locations_for_layer(
+        layer, channel_activations, bits_needed, config, occupied=occupied
+    )
 
 
 def insert_watermark(
@@ -88,6 +101,8 @@ def insert_watermark(
     signature: Optional[np.ndarray] = None,
     in_place: bool = False,
     engine: "Optional[WatermarkEngine]" = None,
+    occupied: "Optional[Union[SlotAllocator, Mapping[str, np.ndarray]]]" = None,
+    owner: Optional[str] = None,
 ) -> Tuple[QuantizedModel, WatermarkKey, InsertionReport]:
     """Insert an EmMark watermark into ``model``.
 
@@ -111,6 +126,14 @@ def insert_watermark(
         Run on a specific :class:`~repro.engine.WatermarkEngine`; the
         process-wide default engine (shared plan cache, shared thread pool)
         is used when omitted.
+    occupied:
+        Slots already held by co-resident watermarks — a
+        :class:`repro.engine.SlotAllocator` or a plain ``{layer: indices}``
+        mapping.  Planning re-ranks past them so the new signature lands on
+        a disjoint pool; see :meth:`WatermarkEngine.insert`.
+    owner:
+        Label the new key's slots are claimed under when ``occupied`` is an
+        allocator.
 
     Returns
     -------
@@ -120,5 +143,39 @@ def insert_watermark(
         :class:`~repro.engine.reports.InsertionReport`).
     """
     return _engine(engine).insert(
-        model, activations, config=config, signature=signature, in_place=in_place
+        model,
+        activations,
+        config=config,
+        signature=signature,
+        in_place=in_place,
+        occupied=occupied,
+        owner=owner,
+    )
+
+
+def insert_watermark_multi(
+    model: QuantizedModel,
+    activations: ActivationStats,
+    owners: "Union[int, Sequence[EmMarkConfig], Mapping[str, EmMarkConfig]]",
+    signatures: Optional[Mapping[str, np.ndarray]] = None,
+    in_place: bool = False,
+    engine: "Optional[WatermarkEngine]" = None,
+    allocator: "Optional[SlotAllocator]" = None,
+) -> MultiOwnerInsertionResult:
+    """Insert N independently keyed watermarks into **one** model.
+
+    Functional facade over :meth:`WatermarkEngine.insert_multi`: every
+    owner's signature is placed on a disjoint slot pool (collision-aware
+    allocation), each key extracts independently at 100% WER from the
+    returned model, and each key records its co-residents.  ``owners`` is an
+    owner count or explicit per-owner configurations; see the engine method
+    for the full parameter documentation.
+    """
+    return _engine(engine).insert_multi(
+        model,
+        activations,
+        owners,
+        signatures=signatures,
+        in_place=in_place,
+        allocator=allocator,
     )

@@ -149,6 +149,32 @@ class WatermarkKey:
         return self.signature[index * bits : (index + 1) * bits]
 
     # ------------------------------------------------------------------
+    # Co-residency (multi-owner coexistence)
+    # ------------------------------------------------------------------
+    @property
+    def co_residents(self) -> List[str]:
+        """Labels of the other owners sharing this key's model (may be empty).
+
+        Recorded by the engine when the key was inserted through a
+        :class:`~repro.engine.allocator.SlotAllocator`; purely informational
+        (verification never needs it — the occupancy itself lives in
+        ``metadata["occupied_slots"]``).
+        """
+        return list(self.metadata.get("co_residents", []))
+
+    @property
+    def occupied_slots(self) -> Dict[str, List[int]]:
+        """Per-layer slots that were already held when this key was planned.
+
+        Location-determining: extraction replays this occupancy so the
+        re-ranked plan reproduces exactly.  Empty for single-owner keys.
+        """
+        return {
+            str(name): [int(i) for i in indices]
+            for name, indices in (self.metadata.get("occupied_slots") or {}).items()
+        }
+
+    # ------------------------------------------------------------------
     # Fingerprinting (content addressing for the key registry)
     # ------------------------------------------------------------------
     def fingerprint(self) -> str:
@@ -188,6 +214,16 @@ class WatermarkKey:
             "method": self.method,
             "bits": self.bits,
         }
+        occupied = self.metadata.get("occupied_slots") or {}
+        if occupied:
+            # The slot-allocation axis is location-determining: the same
+            # signature + seed + weights planned under different co-resident
+            # occupancies selects different positions, so the occupancy must
+            # separate the ids.  Absent occupancy adds nothing — pre-existing
+            # single-owner fingerprints are unchanged.
+            payload["occupied_slots"] = {
+                str(name): [int(i) for i in indices] for name, indices in occupied.items()
+            }
         return _digest(
             payload, "wmk", extra_bytes=self.signature.tobytes() + weights.digest()
         )

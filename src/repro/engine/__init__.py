@@ -10,11 +10,15 @@ pipeline in the reproduction:
 * :mod:`repro.engine.reports` — structured reports: insertion timing
   (wall-clock vs. summed per-layer CPU), extraction results, and the batch
   fleet-verification / batch-insertion reports.
+* :mod:`repro.engine.allocator` — :class:`SlotAllocator`, the
+  slot-allocation layer tracking which (layer, flat-index) watermark
+  positions of a model are already held, so several independently keyed
+  owners can co-reside in one integer-weight domain on disjoint pools.
 * :mod:`repro.engine.engine` — :class:`WatermarkEngine`, tying cached
   planning, the fused top-k scoring kernel and a parallel layer executor
   together, plus the batch serving APIs ``verify_fleet`` / ``insert_batch``
-  and the process-wide default engine shared by the functional
-  ``repro.core`` entry points.
+  / ``insert_multi`` and the process-wide default engine shared by the
+  functional ``repro.core`` entry points.
 
 Quickstart
 ----------
@@ -31,6 +35,7 @@ Quickstart
 # Leaf modules first: repro.core imports repro.engine.reports during its own
 # package initialisation, so everything imported eagerly here must stay free
 # of repro.core dependencies.
+from repro.engine.allocator import SlotAllocator, SlotCollisionError
 from repro.engine.cache import CacheStats, PlanCache
 from repro.engine.plan import LocationPlan, plan_fingerprint
 from repro.engine.reports import (
@@ -39,6 +44,8 @@ from repro.engine.reports import (
     ExtractionResult,
     FleetVerificationReport,
     InsertionReport,
+    MultiOwnerInsertionResult,
+    OwnerInsertion,
     PairVerification,
 )
 
@@ -50,6 +57,7 @@ from repro.engine.engine import (
     FleetVerificationSession,
     WatermarkEngine,
     configure_default_engine,
+    derive_owner_configs,
     get_default_engine,
     insert_batch,
     set_default_engine,
@@ -61,18 +69,23 @@ __all__ = [
     "PlanCache",
     "LocationPlan",
     "plan_fingerprint",
+    "SlotAllocator",
+    "SlotCollisionError",
     "InsertionReport",
     "ExtractionResult",
     "PairVerification",
     "FleetVerificationReport",
     "BatchInsertionItem",
     "BatchInsertionResult",
+    "OwnerInsertion",
+    "MultiOwnerInsertionResult",
     "EngineConfig",
     "WatermarkEngine",
     "FleetVerificationSession",
     "get_default_engine",
     "set_default_engine",
     "configure_default_engine",
+    "derive_owner_configs",
     "verify_fleet",
     "insert_batch",
 ]

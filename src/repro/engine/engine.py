@@ -51,6 +51,7 @@ from repro.core.signature import (
     split_signature_per_layer,
     validate_signature,
 )
+from repro.engine.allocator import SlotAllocator
 from repro.engine.cache import CacheStats, PlanCache
 from repro.engine.plan import LocationPlan, plan_fingerprint
 from repro.engine.reports import (
@@ -61,6 +62,8 @@ from repro.engine.reports import (
     ExtractionResult,
     FleetVerificationReport,
     InsertionReport,
+    MultiOwnerInsertionResult,
+    OwnerInsertion,
     PairVerification,
 )
 from repro.models.activations import ActivationStats
@@ -75,6 +78,7 @@ __all__ = [
     "get_default_engine",
     "set_default_engine",
     "configure_default_engine",
+    "derive_owner_configs",
     "verify_fleet",
     "insert_batch",
 ]
@@ -380,6 +384,7 @@ class WatermarkEngine:
         channel_activations: np.ndarray,
         bits_needed: int,
         config: EmMarkConfig,
+        occupied: Optional[np.ndarray] = None,
     ) -> LocationPlan:
         """The (cached) location plan of one layer.
 
@@ -387,8 +392,18 @@ class WatermarkEngine:
         and the seed-``d`` sub-sample exactly once per distinct input
         fingerprint; insertion, extraction and every verification path call
         this method, which is what guarantees they agree on locations.
+
+        ``occupied`` lists flat indices already claimed by co-resident
+        watermarks (see :class:`~repro.engine.allocator.SlotAllocator`): the
+        pool deterministically re-ranks past them, so co-resident plans are
+        disjoint by construction.  ``None``/empty is the virgin-model path —
+        bit-identical plans and fingerprints to an occupancy-free call.
         """
         pool_size = config.candidate_pool_size(layer.num_weights)
+        if occupied is not None:
+            occupied = np.asarray(occupied, dtype=np.int64)
+            if occupied.size == 0:
+                occupied = None
         fingerprint = plan_fingerprint(
             layer_name=layer.name,
             grid_bits=layer.grid.bits,
@@ -401,11 +416,13 @@ class WatermarkEngine:
             exclude_saturated=config.exclude_saturated,
             pool_size=pool_size,
             bits_needed=bits_needed,
+            occupied=occupied,
         )
         return self.cache.get_or_compute(
             fingerprint,
             lambda: self._compute_plan(
-                layer, channel_activations, bits_needed, config, pool_size, fingerprint
+                layer, channel_activations, bits_needed, config, pool_size, fingerprint,
+                occupied,
             ),
         )
 
@@ -417,29 +434,39 @@ class WatermarkEngine:
         config: EmMarkConfig,
         pool_size: int,
         fingerprint: str,
+        occupied: Optional[np.ndarray] = None,
     ) -> LocationPlan:
         start = time.perf_counter()
+        # Re-rank past occupied slots: the top-k ranking is extended by the
+        # occupancy size so that after dropping occupied positions the pool
+        # is still the |B_c| best *free* positions (in the same ascending
+        # score order a virgin ranking would give them).  Zero occupancy
+        # degenerates to the exact pre-allocator pipeline.
+        extension = 0 if occupied is None else int(occupied.size)
         scores = select_candidates(
             layer,
             channel_activations,
             alpha=config.alpha,
             beta=config.beta,
-            pool_size=pool_size,
+            pool_size=pool_size + extension,
             exclude_saturated=config.exclude_saturated,
         )
-        if scores.num_candidates < bits_needed:
+        candidates = scores.candidate_indices
+        if occupied is not None:
+            candidates = candidates[~np.isin(candidates, occupied)][:pool_size]
+        if candidates.size < bits_needed:
             raise ValueError(
-                f"layer {layer.name!r} offers only {scores.num_candidates} candidate positions "
+                f"layer {layer.name!r} offers only {candidates.size} candidate positions "
                 f"but {bits_needed} signature bits were requested; lower bits_per_layer"
             )
         rng = new_rng(config.seed, "selection", layer.name)
-        chosen = rng.choice(scores.candidate_indices, size=bits_needed, replace=False)
+        chosen = rng.choice(candidates, size=bits_needed, replace=False)
         return LocationPlan(
             layer_name=layer.name,
             fingerprint=fingerprint,
-            candidate_indices=scores.candidate_indices,
+            candidate_indices=candidates,
             locations=np.asarray(chosen, dtype=np.int64),
-            pool_size=scores.num_candidates,
+            pool_size=int(candidates.size),
             num_weights=layer.num_weights,
             compute_seconds=time.perf_counter() - start,
         )
@@ -450,9 +477,12 @@ class WatermarkEngine:
         channel_activations: np.ndarray,
         bits_needed: int,
         config: EmMarkConfig,
+        occupied: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Watermark positions of one layer (flattened indices, cached)."""
-        return self.plan_for_layer(layer, channel_activations, bits_needed, config).locations
+        return self.plan_for_layer(
+            layer, channel_activations, bits_needed, config, occupied=occupied
+        ).locations
 
     def cache_info(self) -> CacheStats:
         """Snapshot of the plan-cache counters."""
@@ -477,6 +507,8 @@ class WatermarkEngine:
         config: Optional[EmMarkConfig] = None,
         signature: Optional[np.ndarray] = None,
         in_place: bool = False,
+        occupied: "Optional[Union[SlotAllocator, Mapping[str, np.ndarray]]]" = None,
+        owner: Optional[str] = None,
     ) -> Tuple[QuantizedModel, WatermarkKey, InsertionReport]:
         """Insert an EmMark watermark into ``model`` (layers in parallel).
 
@@ -485,11 +517,34 @@ class WatermarkEngine:
         documentation.  The engine additionally memoizes each layer's
         location plan, so a follow-up :meth:`extract` against the returned
         key is pure cache lookups.
+
+        ``occupied`` makes the insertion *co-resident aware*: a
+        :class:`~repro.engine.allocator.SlotAllocator` (or a plain
+        ``{layer: flat indices}`` mapping) naming the slots earlier owners
+        already hold.  Planning re-ranks past those slots, so the new
+        signature lands on a disjoint pool; the occupancy the key was
+        planned under is recorded in ``key.metadata["occupied_slots"]`` so
+        extraction reproduces the same re-ranked plan from the key alone.
+        When an allocator is passed, the new key's slots are claimed on it
+        (under ``owner``, when given) before returning — handing the same
+        allocator to the next insertion is all multi-tenancy takes.  An
+        empty occupancy is bit-identical to omitting the argument.
         """
         wall_start = time.perf_counter()
         stats_before = self.cache.stats()
         if config is None:
             config = EmMarkConfig.scaled_for_model(model)
+        allocator = occupied if isinstance(occupied, SlotAllocator) else None
+        if allocator is None and occupied:
+            allocator_view = SlotAllocator(occupied=occupied)
+        else:
+            allocator_view = allocator
+        # Occupancy is snapshotted before planning: the parallel layer
+        # fan-out must see one consistent view, and the key must record the
+        # occupancy its plans were computed under (not the post-claim state).
+        occupancy_snapshot: Dict[str, np.ndarray] = (
+            allocator_view.snapshot() if allocator_view is not None else {}
+        )
         layer_names = model.layer_names()
         total_bits = config.total_bits(len(layer_names))
         if signature is None:
@@ -516,7 +571,7 @@ class WatermarkEngine:
         watermarked = model if in_place else model.clone()
         reference_weights = model.integer_weight_snapshot()
 
-        def watermark_layer(name: str) -> Tuple[str, int, float]:
+        def watermark_layer(name: str) -> Tuple[str, int, float, np.ndarray]:
             # thread_time, not perf_counter: with concurrent layers a wall
             # span would include the other workers' GIL and memory-bandwidth
             # contention; Table 2's per-layer metric is the layer's own CPU
@@ -525,14 +580,38 @@ class WatermarkEngine:
             layer = watermarked.get_layer(name)
             layer_signature = per_layer_signature[name]
             plan = self.plan_for_layer(
-                layer, activations.channel_saliency(name), layer_signature.size, config
+                layer,
+                activations.channel_saliency(name),
+                layer_signature.size,
+                config,
+                occupied=occupancy_snapshot.get(name),
             )
             layer.add_to_weights(plan.locations, layer_signature)
-            return name, plan.pool_size, time.thread_time() - start
+            return name, plan.pool_size, time.thread_time() - start, plan.locations
 
         results = self.map_layers(watermark_layer, layer_names)
-        per_layer_seconds = [seconds for _, _, seconds in results]
-        pool_sizes = {name: pool for name, pool, _ in results}
+        per_layer_seconds = [seconds for _, _, seconds, _ in results]
+        pool_sizes = {name: pool for name, pool, _, _ in results}
+        locations = {name: locs for name, _, _, locs in results}
+
+        metadata: Dict[str, object] = {}
+        if occupancy_snapshot:
+            metadata["occupied_slots"] = {
+                name: [int(i) for i in idx] for name, idx in occupancy_snapshot.items()
+            }
+        if allocator_view is not None and not allocator_view.is_empty:
+            co_residents = [
+                label
+                for label in allocator_view.owners()
+                if label != SlotAllocator.ANONYMOUS
+            ]
+            if co_residents:
+                metadata["co_residents"] = co_residents
+        if allocator is not None:
+            # Claim on the *caller's* allocator only — a plain mapping was
+            # wrapped in a throwaway view and has nothing durable to update.
+            for name, locs in locations.items():
+                allocator.claim(name, locs, owner=owner or SlotAllocator.ANONYMOUS)
 
         outlier_columns = {
             name: layer.outlier_columns.copy()
@@ -549,6 +628,7 @@ class WatermarkEngine:
             bits=model.bits,
             model_name=model.config.name,
             outlier_columns=outlier_columns,
+            metadata=metadata,
         )
         traffic = self.cache.stats().delta(stats_before)
         report = InsertionReport(
@@ -604,17 +684,23 @@ class WatermarkEngine:
         full-precision activations ``A_f``, the coefficients α/β and the seed
         ``d`` — everything the scoring + sub-sampling pipeline consumed during
         insertion — so the reproduced locations are identical to the inserted
-        ones.  Plans are served from the cache whenever this key (or the
-        insertion that created it) has been seen before.
+        ones.  Keys planned under co-resident occupancy additionally carry
+        that occupancy in ``metadata["occupied_slots"]``; it is replayed
+        here, so every co-resident owner's locations reproduce independently
+        and exactly.  Plans are served from the cache whenever this key (or
+        the insertion that created it) has been seen before.
         """
+        occupied_slots = key.metadata.get("occupied_slots") or {}
 
         def reproduce(name: str) -> Tuple[str, np.ndarray]:
             layer_view = self._reference_layer_view(key, name)
+            occupied = occupied_slots.get(name)
             plan = self.plan_for_layer(
                 layer_view,
                 key.activations.channel_saliency(name),
                 key.config.bits_per_layer,
                 key.config,
+                occupied=None if occupied is None else np.asarray(occupied, dtype=np.int64),
             )
             return name, plan.locations
 
@@ -889,12 +975,144 @@ class WatermarkEngine:
         logger.debug("%s", result.summary())
         return result
 
+    def insert_multi(
+        self,
+        model: QuantizedModel,
+        activations: ActivationStats,
+        owners: Union[int, Sequence[EmMarkConfig], Mapping[str, EmMarkConfig]],
+        signatures: Optional[Mapping[str, np.ndarray]] = None,
+        in_place: bool = False,
+        allocator: Optional[SlotAllocator] = None,
+    ) -> MultiOwnerInsertionResult:
+        """Insert N independently keyed watermarks into **one** model.
+
+        The multi-tenant counterpart of :meth:`insert`: every owner's
+        signature is placed on a disjoint slot pool of the same
+        integer-weight domain (a shared
+        :class:`~repro.engine.allocator.SlotAllocator` threads the occupancy
+        from each insertion into the next one's planning), so no owner's ±1
+        perturbations clobber another's and each key extracts independently
+        at 100% WER from the returned model.
+
+        Parameters
+        ----------
+        model:
+            The quantized base to watermark (cloned unless ``in_place``).
+        activations:
+            Full-precision activation statistics of the base model, shared
+            by every owner (co-residents of one base score the same grid).
+        owners:
+            Either an owner count — ``N`` derives deterministic per-owner
+            configurations from :meth:`EmMarkConfig.scaled_for_model` with
+            seed offsets, named ``owner-0`` … ``owner-N-1``, where
+            ``owner-0`` keeps the base seeds (its plans are bit-identical to
+            a single-owner insertion) — or an explicit sequence / mapping of
+            per-owner :class:`EmMarkConfig`\\ s.
+        signatures:
+            Optional explicit ±1 signatures keyed by owner id.
+        in_place:
+            Watermark ``model`` directly instead of a clone.
+        allocator:
+            Resume allocation on a pre-populated allocator (e.g. built with
+            :meth:`SlotAllocator.from_keys` from earlier owners' keys); a
+            fresh one is created when omitted and returned on the result.
+
+        Each owner's key snapshots the model state *it* was inserted into
+        (the base plus the earlier owners' bits), so a key alone reproduces
+        its re-ranked plan; ``metadata["co_residents"]`` on every key names
+        the other owners sharing the model.
+        """
+        wall_start = time.perf_counter()
+        owner_items = self._named_owner_configs(model, owners)
+        if not owner_items:
+            raise ValueError("insert_multi needs at least one owner")
+        duplicate = [oid for oid in {o for o, _ in owner_items}
+                     if sum(1 for o, _ in owner_items if o == oid) > 1]
+        if duplicate:
+            raise ValueError(f"duplicate owner ids: {sorted(duplicate)}")
+        working = model if in_place else model.clone()
+        if allocator is None:
+            allocator = SlotAllocator()
+        items: List[OwnerInsertion] = []
+        for owner_id, config in owner_items:
+            signature = signatures.get(owner_id) if signatures else None
+            _, key, report = self.insert(
+                working,
+                activations,
+                config=config,
+                signature=signature,
+                in_place=True,
+                occupied=allocator,
+                owner=owner_id,
+            )
+            items.append(OwnerInsertion(owner_id=owner_id, key=key, report=report))
+        owner_ids = [item.owner_id for item in items]
+        for item in items:
+            co = [oid for oid in owner_ids if oid != item.owner_id]
+            prior = item.key.metadata.get("co_residents", [])
+            # Full bidirectional listing: earlier owners learn about later
+            # ones too (pre-existing allocator entries are kept in front).
+            merged = list(dict.fromkeys(list(prior) + co))
+            if merged:
+                item.key.metadata["co_residents"] = merged
+        result = MultiOwnerInsertionResult(
+            model=working,
+            items=items,
+            allocator=allocator,
+            wall_clock_seconds=time.perf_counter() - wall_start,
+        )
+        logger.debug("%s", result.summary())
+        return result
+
+    @staticmethod
+    def _named_owner_configs(
+        model: QuantizedModel,
+        owners: Union[int, Sequence[EmMarkConfig], Mapping[str, EmMarkConfig]],
+    ) -> List[Tuple[str, EmMarkConfig]]:
+        """Normalize the ``owners`` argument into ``(owner_id, config)`` pairs."""
+        if isinstance(owners, int):
+            return list(
+                derive_owner_configs(EmMarkConfig.scaled_for_model(model), owners).items()
+            )
+        if isinstance(owners, Mapping):
+            return list(owners.items())
+        return [(f"owner-{index}", config) for index, config in enumerate(owners)]
+
 
 # ----------------------------------------------------------------------
 # Process-wide default engine
 # ----------------------------------------------------------------------
 _default_engine: Optional[WatermarkEngine] = None
 _default_engine_lock = threading.Lock()
+
+
+def derive_owner_configs(base: EmMarkConfig, owners: int) -> Dict[str, EmMarkConfig]:
+    """Deterministic per-owner configurations for a multi-owner insertion.
+
+    The single source of the owner-naming/seed-offset scheme (the engine's
+    ``insert_multi(model, N)`` path, the CLI and the experiment variants all
+    resolve here): ``owner-0`` keeps the base seeds — its plans, and
+    therefore its locations, are bit-identical to a single-owner insertion
+    with ``base`` — while each later owner offsets the secret seed ``d`` and
+    the signature seed, modelling independently keyed owners of one shared
+    base.
+    """
+    from dataclasses import replace
+
+    if owners < 1:
+        raise ValueError("owner count must be >= 1")
+    return {
+        f"owner-{index}": (
+            base
+            if index == 0
+            else replace(
+                base,
+                seed=base.seed + index,
+                signature_seed=base.signature_seed + index,
+            )
+        )
+        for index in range(owners)
+    }
 
 
 def get_default_engine() -> WatermarkEngine:

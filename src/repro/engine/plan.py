@@ -49,6 +49,7 @@ def plan_fingerprint(
     exclude_saturated: bool,
     pool_size: int,
     bits_needed: int,
+    occupied: Optional[np.ndarray] = None,
 ) -> str:
     """Content fingerprint of one layer's location-plan inputs.
 
@@ -57,6 +58,12 @@ def plan_fingerprint(
     bits themselves, ``signature_seed``) provably cannot change the selected
     locations, which is what lets insertion, extraction and fleet
     verification share plans across different signatures and suspects.
+
+    ``occupied`` is the slot-allocation axis: the flat indices already held
+    by co-resident watermarks, which the planner re-ranks past.  An empty or
+    absent occupancy contributes nothing to the digest — a plan computed
+    against a virgin model keeps the exact fingerprint it had before the
+    allocator existed, so single-owner cache entries stay valid and shared.
     """
     hasher = hashlib.blake2b(digest_size=16)
     hasher.update(layer_name.encode("utf-8"))
@@ -66,6 +73,9 @@ def plan_fingerprint(
     _hash_array(hasher, weight_int)
     _hash_array(hasher, outlier_columns)
     _hash_array(hasher, np.asarray(channel_activations, dtype=np.float64))
+    if occupied is not None and occupied.size:
+        hasher.update(b"occupied")
+        _hash_array(hasher, np.asarray(occupied, dtype=np.int64))
     return hasher.hexdigest()
 
 

@@ -24,6 +24,8 @@ __all__ = [
     "FleetVerificationReport",
     "BatchInsertionItem",
     "BatchInsertionResult",
+    "OwnerInsertion",
+    "MultiOwnerInsertionResult",
 ]
 
 #: WER (in percent) above which ownership is asserted by default.  Defined
@@ -324,4 +326,60 @@ class BatchInsertionResult:
         return (
             f"batch insertion: {self.num_models} models, {self.total_bits} bits, "
             f"{self.wall_clock_seconds:.3f}s wall clock"
+        )
+
+
+@dataclass
+class OwnerInsertion:
+    """One owner's outcome inside a multi-owner (co-resident) insertion."""
+
+    owner_id: str
+    key: object
+    report: InsertionReport
+
+
+@dataclass
+class MultiOwnerInsertionResult:
+    """Structured result of :meth:`WatermarkEngine.insert_multi`.
+
+    Unlike :class:`BatchInsertionResult` (N models, one key each), this is
+    **one model carrying N keys**: every owner's signature lives on a
+    disjoint slot pool of the same integer-weight domain, and each key
+    extracts independently at full WER from :attr:`model`.
+    """
+
+    model: object
+    items: List[OwnerInsertion] = field(default_factory=list)
+    #: The :class:`~repro.engine.allocator.SlotAllocator` holding the final
+    #: occupancy — hand it to a later ``engine.insert(occupied=...)`` to add
+    #: another owner without disturbing the existing ones.
+    allocator: object = None
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def num_owners(self) -> int:
+        """Number of co-resident owners inserted."""
+        return len(self.items)
+
+    @property
+    def total_bits(self) -> int:
+        """Signature bits inserted across every owner."""
+        return sum(item.report.total_bits for item in self.items)
+
+    def keys(self) -> Dict[str, object]:
+        """``{owner_id: WatermarkKey}`` for every co-resident owner."""
+        return {item.owner_id: item.key for item in self.items}
+
+    def key_for(self, owner_id: str) -> object:
+        """One owner's key (raises ``KeyError`` for unknown owners)."""
+        for item in self.items:
+            if item.owner_id == owner_id:
+                return item.key
+        raise KeyError(f"unknown owner {owner_id!r}; inserted: {[i.owner_id for i in self.items]}")
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"multi-owner insertion: {self.num_owners} owners co-resident, "
+            f"{self.total_bits} bits total, {self.wall_clock_seconds:.3f}s wall clock"
         )

@@ -27,7 +27,13 @@ from repro.models.transformer import TransformerLM
 from repro.quant.api import paper_quantizer_for, quantize_model
 from repro.quant.base import QuantizedModel
 
-__all__ = ["ExperimentContext", "prepare_context", "default_sim_bits_per_layer"]
+__all__ = [
+    "ExperimentContext",
+    "prepare_context",
+    "default_sim_bits_per_layer",
+    "derive_owner_configs",
+    "insert_multi_owner",
+]
 
 #: Per-layer signature payload used by the experiments for the simulated
 #: models.  The paper inserts 300 bits into INT8 layers and 40 into INT4
@@ -152,3 +158,33 @@ def prepare_context(
     if bits not in (8, 4):
         raise ValueError("the paper evaluates INT8 and INT4 only")
     return _cached_context(model_name, bits, profile, num_task_examples, quant_method)
+
+
+def derive_owner_configs(base: EmMarkConfig, owners: int) -> "dict[str, EmMarkConfig]":
+    """Deterministic per-owner configurations for a multi-owner insertion.
+
+    Thin re-export of :func:`repro.engine.engine.derive_owner_configs` — one
+    source of the owner-naming/seed-offset scheme, so the engine's
+    ``insert_multi(model, N)`` path and the experiment/CLI variants can
+    never diverge.
+    """
+    from repro.engine.engine import derive_owner_configs as engine_derive
+
+    return engine_derive(base, owners)
+
+
+def insert_multi_owner(context: ExperimentContext, owners: int):
+    """Insert ``owners`` co-resident signatures into one fresh quantized clone.
+
+    Returns the engine's
+    :class:`~repro.engine.reports.MultiOwnerInsertionResult`: one model
+    carrying every owner's watermark on disjoint slot pools, each key
+    extracting independently at 100% WER.
+    """
+    engine = context.engine if context.engine is not None else get_default_engine()
+    return engine.insert_multi(
+        context.fresh_quantized(),
+        context.activations,
+        derive_owner_configs(context.emmark_config, owners),
+        in_place=True,
+    )

@@ -17,10 +17,10 @@ reproduced once for the whole figure).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.emmark import EmMark
-from repro.experiments.common import prepare_context
+from repro.experiments.common import insert_multi_owner, prepare_context
 from repro.robustness import GauntletSubject, build_attack, run_gauntlet
 from repro.utils.tables import Table, format_float
 
@@ -32,12 +32,17 @@ DEFAULT_MODEL = "opt-2.7b-sim"
 
 @dataclass
 class AttackSweepPoint:
-    """One point of an attack-strength sweep."""
+    """One point of an attack-strength sweep.
+
+    ``co_owner_wer`` carries the co-resident owners' extraction rates for
+    multi-owner sweeps (empty in the single-owner figures).
+    """
 
     attack_strength: int
     perplexity: float
     zero_shot_accuracy: float
     wer_percent: float
+    co_owner_wer: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -47,29 +52,50 @@ class Figure2aResult:
     model_name: str
     bits: int
     points: List[AttackSweepPoint] = field(default_factory=list)
+    #: Number of co-resident owners carried by the swept model (1 = paper).
+    owners: int = 1
 
     def to_table(self) -> Table:
+        columns = ["Overwritten / layer", "PPL", "Zero-shot Acc (%)", "WER (%)"]
+        if self.owners > 1:
+            columns.append("Min co-owner WER (%)")
         table = Table(
-            title=f"Figure 2(a): parameter overwriting attack on {self.model_name} (INT{self.bits})",
-            columns=["Overwritten / layer", "PPL", "Zero-shot Acc (%)", "WER (%)"],
+            title=(
+                f"Figure 2(a): parameter overwriting attack on {self.model_name} "
+                f"(INT{self.bits}"
+                + (f", {self.owners} co-resident owners)" if self.owners > 1 else ")")
+            ),
+            columns=columns,
         )
         for point in self.points:
-            table.add_row(
-                [
-                    point.attack_strength,
-                    format_float(point.perplexity),
-                    format_float(point.zero_shot_accuracy),
-                    format_float(point.wer_percent),
-                ]
-            )
+            row = [
+                point.attack_strength,
+                format_float(point.perplexity),
+                format_float(point.zero_shot_accuracy),
+                format_float(point.wer_percent),
+            ]
+            if self.owners > 1:
+                row.append(
+                    format_float(min(point.co_owner_wer.values()))
+                    if point.co_owner_wer
+                    else "-"
+                )
+            table.add_row(row)
         return table
 
     def render(self) -> str:
         return self.to_table().render()
 
     def minimum_wer(self) -> float:
-        """Lowest WER observed across the sweep (paper claim: > 99%)."""
+        """Lowest primary-owner WER across the sweep (paper claim: > 99%)."""
         return min(point.wer_percent for point in self.points)
+
+    def minimum_wer_all_owners(self) -> float:
+        """Lowest WER across the sweep over *every* co-resident owner."""
+        return min(
+            min([point.wer_percent, *point.co_owner_wer.values()])
+            for point in self.points
+        )
 
 
 def run(
@@ -81,6 +107,7 @@ def run(
     num_task_examples: Optional[int] = 32,
     attack_seed: int = 0,
     quant_method: Optional[str] = None,
+    owners: int = 1,
 ) -> Figure2aResult:
     """Run the overwriting-attack sweep.
 
@@ -100,23 +127,24 @@ def run(
     quant_method:
         Quantization backend override (e.g. ``"gptq"``); defaults to the
         paper's pairing for the model family and precision.
+    owners:
+        Co-resident owners inserted into the swept model (1 reproduces the
+        paper).  With more, each point additionally reports every
+        co-resident owner's WER — the multi-owner variant of the figure.
     """
     context = prepare_context(
         model_name, bits, profile=profile, num_task_examples=num_task_examples,
         quant_method=quant_method,
     )
-    # Sharing the context engine means every sweep point's extraction reuses
-    # the key's cached location plans — the scoring runs once for the sweep.
-    emmark = EmMark(context.emmark_config, engine=context.engine)
-    watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
+    subject = _build_subject(context, owners)
     report = run_gauntlet(
-        {model_name: GauntletSubject(model=watermarked, key=key, harness=context.harness)},
+        {model_name: subject},
         [build_attack("overwrite", style=style)],
         strengths={"overwrite": sweep},
         engine=context.engine,
         seed=attack_seed,
     )
-    result = Figure2aResult(model_name=model_name, bits=bits)
+    result = Figure2aResult(model_name=model_name, bits=bits, owners=owners)
     for cell in report.cells:
         result.points.append(
             AttackSweepPoint(
@@ -124,6 +152,28 @@ def run(
                 perplexity=cell.perplexity,
                 zero_shot_accuracy=cell.zero_shot_accuracy,
                 wer_percent=cell.wer_percent,
+                co_owner_wer=dict(cell.co_owner_wer_percent),
             )
         )
     return result
+
+
+def _build_subject(context, owners: int) -> GauntletSubject:
+    """The swept subject: single-owner (paper) or multi-owner (variant)."""
+    if owners <= 1:
+        # Sharing the context engine means every sweep point's extraction
+        # reuses the key's cached location plans — scoring runs once.
+        emmark = EmMark(context.emmark_config, engine=context.engine)
+        watermarked, key, _ = emmark.insert_with_key(
+            context.fresh_quantized(), context.activations
+        )
+        return GauntletSubject(model=watermarked, key=key, harness=context.harness)
+    multi = insert_multi_owner(context, owners)
+    keys = multi.keys()
+    primary = next(iter(keys))
+    return GauntletSubject(
+        model=multi.model,
+        key=keys[primary],
+        harness=context.harness,
+        co_keys={owner_id: key for owner_id, key in keys.items() if owner_id != primary},
+    )

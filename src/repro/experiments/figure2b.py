@@ -18,10 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.emmark import EmMark
 from repro.experiments.common import prepare_context
-from repro.experiments.figure2a import AttackSweepPoint
-from repro.robustness import GauntletSubject, build_attack, run_gauntlet
+from repro.experiments.figure2a import AttackSweepPoint, _build_subject
+from repro.robustness import build_attack, run_gauntlet
 from repro.utils.tables import Table, format_float
 
 __all__ = ["Figure2bResult", "run", "PAPER_SWEEP"]
@@ -38,28 +37,42 @@ class Figure2bResult:
     bits: int
     points: List[AttackSweepPoint] = field(default_factory=list)
     attacker_wer: List[float] = field(default_factory=list)
+    #: Number of co-resident owners carried by the swept model (1 = paper).
+    owners: int = 1
 
     def to_table(self) -> Table:
+        columns = [
+            "Attacker bits / layer",
+            "PPL",
+            "Zero-shot Acc (%)",
+            "Owner WER (%)",
+            "Attacker WER (%)",
+        ]
+        if self.owners > 1:
+            columns.append("Min co-owner WER (%)")
         table = Table(
-            title=f"Figure 2(b): re-watermark attack on {self.model_name} (INT{self.bits})",
-            columns=[
-                "Attacker bits / layer",
-                "PPL",
-                "Zero-shot Acc (%)",
-                "Owner WER (%)",
-                "Attacker WER (%)",
-            ],
+            title=(
+                f"Figure 2(b): re-watermark attack on {self.model_name} "
+                f"(INT{self.bits}"
+                + (f", {self.owners} co-resident owners)" if self.owners > 1 else ")")
+            ),
+            columns=columns,
         )
         for point, attacker in zip(self.points, self.attacker_wer):
-            table.add_row(
-                [
-                    point.attack_strength,
-                    format_float(point.perplexity),
-                    format_float(point.zero_shot_accuracy),
-                    format_float(point.wer_percent),
-                    format_float(attacker),
-                ]
-            )
+            row = [
+                point.attack_strength,
+                format_float(point.perplexity),
+                format_float(point.zero_shot_accuracy),
+                format_float(point.wer_percent),
+                format_float(attacker),
+            ]
+            if self.owners > 1:
+                row.append(
+                    format_float(min(point.co_owner_wer.values()))
+                    if point.co_owner_wer
+                    else "-"
+                )
+            table.add_row(row)
         return table
 
     def render(self) -> str:
@@ -77,23 +90,25 @@ def run(
     profile: str = "default",
     num_task_examples: Optional[int] = 32,
     quant_method: Optional[str] = None,
+    owners: int = 1,
 ) -> Figure2bResult:
     """Run the re-watermarking sweep with the paper's attacker parameters.
 
     ``quant_method`` overrides the quantization backend (e.g. ``"gptq"``
     measures the sweep under error-compensated rounding); the default is the
-    paper's pairing for the model family and precision.
+    paper's pairing for the model family and precision.  ``owners`` > 1
+    sweeps a multi-owner model and reports each co-resident owner's WER per
+    point alongside the primary owner's.
     """
     context = prepare_context(
         model_name, bits, profile=profile, num_task_examples=num_task_examples,
         quant_method=quant_method,
     )
-    # The shared engine caches the owner key's location plans, so the owner's
-    # WER extraction at every sweep strength is a pure (cached) lookup.
-    emmark = EmMark(context.emmark_config, engine=context.engine)
-    watermarked, key, _ = emmark.insert_with_key(context.fresh_quantized(), context.activations)
+    # The shared engine caches every owner key's location plans, so the
+    # owners' WER extractions at every sweep strength are cached lookups.
+    subject = _build_subject(context, owners)
     report = run_gauntlet(
-        {model_name: GauntletSubject(model=watermarked, key=key, harness=context.harness)},
+        {model_name: subject},
         [
             build_attack(
                 "rewatermark", calibration_corpus=context.harness.calibration_corpus
@@ -102,7 +117,7 @@ def run(
         strengths={"rewatermark": sweep},
         engine=context.engine,
     )
-    result = Figure2bResult(model_name=model_name, bits=bits)
+    result = Figure2bResult(model_name=model_name, bits=bits, owners=owners)
     for cell in report.cells:
         result.points.append(
             AttackSweepPoint(
@@ -110,6 +125,7 @@ def run(
                 perplexity=cell.perplexity,
                 zero_shot_accuracy=cell.zero_shot_accuracy,
                 wer_percent=cell.wer_percent,
+                co_owner_wer=dict(cell.co_owner_wer_percent),
             )
         )
         result.attacker_wer.append(

@@ -61,6 +61,7 @@ __all__ = [
     "OutlierColumnAttack",
     "StructuredPruningAttack",
     "AdaptiveOverwriteAttack",
+    "OracleAdaptiveOverwriteAttack",
     "SoupAttack",
     "GPTQRequantizeAttack",
 ]
@@ -104,6 +105,10 @@ class AttackSpec:
     default_strengths: Sequence[float] = ()
     #: Whether construction needs an attacker-side calibration corpus.
     requires_corpus: bool = False
+    #: Whether construction needs the virgin (pre-watermark) base model and
+    #: its activation statistics — the true two-clone scenarios, where the
+    #: "attack" is another legitimate custody of the same open base.
+    requires_base_model: bool = False
 
     def apply(
         self, model: QuantizedModel, strength: float, rng: np.random.Generator
@@ -118,6 +123,7 @@ class AttackSpec:
             "strength_unit": self.strength_unit,
             "default_strengths": list(self.default_strengths),
             "requires_corpus": self.requires_corpus,
+            "requires_base_model": self.requires_base_model,
         }
 
 
@@ -140,13 +146,26 @@ def available_attacks() -> List[str]:
 
 
 def corpus_free_attacks() -> List[str]:
-    """Names of attacks that need no attacker-side corpus (server-safe)."""
+    """Names of attacks needing no attacker-side resources (server-safe).
+
+    Excludes both corpus-backed specs and the true two-clone scenarios that
+    need the virgin base model — the verification server holds keys and
+    suspect snapshots only.
+    """
     return sorted(
-        name for name, cls in ATTACK_REGISTRY.items() if not cls.requires_corpus
+        name
+        for name, cls in ATTACK_REGISTRY.items()
+        if not cls.requires_corpus and not cls.requires_base_model
     )
 
 
-def build_attack(name: str, calibration_corpus=None, **kwargs) -> AttackSpec:
+def build_attack(
+    name: str,
+    calibration_corpus=None,
+    base_model=None,
+    base_activations=None,
+    **kwargs,
+) -> AttackSpec:
     """Instantiate a registered attack by name.
 
     Parameters
@@ -156,6 +175,10 @@ def build_attack(name: str, calibration_corpus=None, **kwargs) -> AttackSpec:
     calibration_corpus:
         Attacker-side corpus, forwarded to specs with
         ``requires_corpus=True`` and ignored otherwise.
+    base_model, base_activations:
+        The virgin (pre-watermark) quantized base and its activation
+        statistics, forwarded to specs with ``requires_base_model=True``
+        (the true two-clone scenarios) and ignored otherwise.
     kwargs:
         Spec-specific constructor arguments (e.g. ``style`` for overwrite).
     """
@@ -165,18 +188,64 @@ def build_attack(name: str, calibration_corpus=None, **kwargs) -> AttackSpec:
         raise KeyError(
             f"unknown attack {name!r}; available: {available_attacks()}"
         ) from exc
+    init_kwargs = dict(kwargs)
     if cls.requires_corpus:
         if calibration_corpus is None:
             raise ValueError(
                 f"attack {name!r} needs an attacker-side calibration corpus"
             )
-        return cls(calibration_corpus=calibration_corpus, **kwargs)
-    return cls(**kwargs)
+        init_kwargs["calibration_corpus"] = calibration_corpus
+    if cls.requires_base_model:
+        if base_model is None or base_activations is None:
+            raise ValueError(
+                f"attack {name!r} needs the virgin base model and its activation "
+                "statistics (base_model=..., base_activations=...)"
+            )
+        init_kwargs["base_model"] = base_model
+        init_kwargs["base_activations"] = base_activations
+    return cls(**init_kwargs)
 
 
 def _derived_seed(rng: np.random.Generator) -> int:
     """A 31-bit seed drawn from the cell generator (deterministic per cell)."""
     return int(rng.integers(0, 2**31 - 1))
+
+
+class _PerSubjectMemo:
+    """Memoizes one expensive per-subject computation (adaptive attackers).
+
+    A lock guards the memo maps only; the computation itself runs under a
+    per-model lock (same protocol as ``FleetVerificationSession``), so
+    distinct subjects compute concurrently while same-subject races share
+    one computation.  Entries are keyed by ``id(model)`` and hold weakrefs —
+    an id-reused object cannot alias a stale entry; dead entries are pruned
+    on the next miss, no GC callbacks needed.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_model: Dict[int, Tuple[weakref.ref, object]] = {}
+        self._compute_locks: Dict[int, threading.Lock] = {}
+
+    def get(self, model: QuantizedModel, compute):
+        key = id(model)
+        with self._lock:
+            entry = self._by_model.get(key)
+            if entry is not None and entry[0]() is model:
+                return entry[1]
+            for dead in [k for k, (ref, _) in self._by_model.items() if ref() is None]:
+                del self._by_model[dead]
+                self._compute_locks.pop(dead, None)
+            compute_lock = self._compute_locks.setdefault(key, threading.Lock())
+        with compute_lock:
+            with self._lock:
+                entry = self._by_model.get(key)
+                if entry is not None and entry[0]() is model:
+                    return entry[1]
+            value = compute()
+            with self._lock:
+                self._by_model[key] = (weakref.ref(model), value)
+            return value
 
 
 # ----------------------------------------------------------------------
@@ -605,15 +674,7 @@ class AdaptiveOverwriteAttack(AttackSpec):
         self.calibration_corpus = calibration_corpus
         self.guesses = tuple((float(a), float(b)) for a, b in guesses)
         self.pool_fraction = float(pool_fraction)
-        #: Guards the memo maps only; the expensive computation runs under a
-        #: per-model lock (same protocol as FleetVerificationSession), so
-        #: distinct subjects estimate pools concurrently while same-subject
-        #: races still share one computation.
-        self._pools_lock = threading.Lock()
-        #: id(model) -> (weakref to the model, per-layer union pools).  One
-        #: entry per live subject, so multi-subject grids never thrash.
-        self._pools_by_model: Dict[int, Tuple[weakref.ref, Dict[str, np.ndarray]]] = {}
-        self._compute_locks: Dict[int, threading.Lock] = {}
+        self._memo = _PerSubjectMemo()
 
     def _union_pools(self, model: QuantizedModel) -> Dict[str, np.ndarray]:
         """Per-layer union candidate pools of ``model`` (memoized per subject).
@@ -621,10 +682,7 @@ class AdaptiveOverwriteAttack(AttackSpec):
         The pools depend only on the subject's weights, the estimated
         activations and the constructor-fixed guesses — never on the cell
         RNG or the strength — so every subject in a grid pays for activation
-        estimation and scoring exactly once, however many strengths sweep
-        it.  Entries are keyed per model and hold weakrefs (an id-reused
-        object cannot alias a stale entry; dead entries are pruned on the
-        next miss, no GC callbacks needed).
+        estimation and scoring exactly once, however many strengths sweep it.
         """
         # Imported lazily: core.scoring pulls no extra weight, but
         # models.activations → transformer keeps parity with the other
@@ -632,20 +690,7 @@ class AdaptiveOverwriteAttack(AttackSpec):
         from repro.core.scoring import select_candidates
         from repro.models.activations import collect_activation_stats
 
-        key = id(model)
-        with self._pools_lock:
-            entry = self._pools_by_model.get(key)
-            if entry is not None and entry[0]() is model:
-                return entry[1]
-            for dead in [k for k, (ref, _) in self._pools_by_model.items() if ref() is None]:
-                del self._pools_by_model[dead]
-                self._compute_locks.pop(dead, None)
-            compute_lock = self._compute_locks.setdefault(key, threading.Lock())
-        with compute_lock:
-            with self._pools_lock:
-                entry = self._pools_by_model.get(key)
-                if entry is not None and entry[0]() is model:
-                    return entry[1]
+        def compute() -> Dict[str, np.ndarray]:
             estimated = collect_activation_stats(
                 model.materialize(), self.calibration_corpus
             )
@@ -660,9 +705,9 @@ class AdaptiveOverwriteAttack(AttackSpec):
                     for alpha, beta in self.guesses
                 ]
                 pools[layer.name] = np.unique(np.concatenate(guessed))
-            with self._pools_lock:
-                self._pools_by_model[key] = (weakref.ref(model), pools)
             return pools
+
+        return self._memo.get(model, compute)
 
     def apply(self, model, strength, rng):
         per_layer = int(strength)
@@ -704,53 +749,167 @@ class AdaptiveOverwriteAttack(AttackSpec):
 
 
 @register_attack
-class SoupAttack(AttackSpec):
-    """Distillation / weight-averaging: soup two differently-watermarked clones.
+class OracleAdaptiveOverwriteAttack(AttackSpec):
+    """The oracle-adaptive attacker: exact (α, β) and pool size, no seed ``d``.
 
-    Strength = soup ratio ``t`` in [0, 1].  The adversary builds a second
-    "owner": he re-runs EmMark with his own seeds (activations estimated on
-    the model he holds) to produce a differently-watermarked clone, then
-    merges the two models in the integer domain — at every position where the
-    clones disagree the souped model takes the second clone's value with
-    probability ``t``.  ``t = 0`` is the untouched deployment, ``t = 1`` the
-    second clone.  The gauntlet reports both owners' evidence per cell: the
-    subject owner's WER (``wer_percent``) and the second watermark's
-    extraction rate (``attacker_wer_percent``), so the sweep shows both
-    signatures degrading gracefully — rather than either vanishing — as the
-    soup ratio moves.
+    The strongest published-algorithm adversary short of holding the key: he
+    knows the owner's *exact* scoring coefficients and candidate-pool sizing
+    (not guesses — e.g. because the owner used the published defaults), so
+    the only secrets left are the seed ``d`` and the full-precision
+    activations.  He re-derives the candidate pool with activations
+    estimated on the quantized model he holds, then overwrites a **pool
+    coverage fraction** of it — the strength axis sweeps that fraction from
+    0 to 1, charting secrecy vs. the quality the overwrites burn.
+
+    What the residual WER at full coverage measures is the protection of
+    ``A_f`` secrecy alone: the estimated pool only partially overlaps the
+    owner's true (full-precision-scored) pool, and within the overlap the
+    seed still hides which positions carry bits — so pushing the WER down
+    keeps requiring pool-scale collateral damage.
+    """
+
+    name = "adaptive-oracle"
+    strength_unit = "pool-coverage"
+    default_strengths = (0.0, 0.25, 0.5, 1.0)
+    requires_corpus = True
+
+    def __init__(self, calibration_corpus, owner_config=None) -> None:
+        """``owner_config``: the owner's exact :class:`EmMarkConfig` (α, β and
+        pool rule are read; the seed is deliberately ignored).  Defaults to
+        the published per-model scaling rule, which *is* the owner's
+        configuration whenever the owner used the defaults."""
+        self.calibration_corpus = calibration_corpus
+        self.owner_config = owner_config
+        self._memo = _PerSubjectMemo()
+
+    def _exact_pools(self, model: QuantizedModel) -> Dict[str, np.ndarray]:
+        """The owner's candidate pool re-derived with estimated activations."""
+        from repro.core.config import EmMarkConfig
+        from repro.core.scoring import select_candidates
+        from repro.models.activations import collect_activation_stats
+
+        def compute() -> Dict[str, np.ndarray]:
+            config = self.owner_config or EmMarkConfig.scaled_for_model(model)
+            estimated = collect_activation_stats(
+                model.materialize(), self.calibration_corpus
+            )
+            return {
+                layer.name: select_candidates(
+                    layer,
+                    estimated.channel_saliency(layer.name),
+                    alpha=config.alpha,
+                    beta=config.beta,
+                    pool_size=config.candidate_pool_size(layer.num_weights),
+                    exclude_saturated=config.exclude_saturated,
+                ).candidate_indices
+                for layer in model.iter_layers()
+            }
+
+        return self._memo.get(model, compute)
+
+    def apply(self, model, strength, rng):
+        coverage = float(strength)
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("adaptive-oracle strength must be in [0, 1]")
+        attacked = model.clone()
+        if coverage == 0.0:
+            return AttackOutcome(model=attacked)
+        pools = self._exact_pools(model)
+        overwritten = 0
+        pool_total = 0
+        for layer in attacked.iter_layers():
+            pool = pools[layer.name]
+            pool_total += int(pool.size)
+            count = min(int(pool.size), int(round(coverage * pool.size)))
+            if count <= 0:
+                continue
+            positions = rng.choice(pool, size=count, replace=False)
+            current = layer.weight_int.reshape(-1)[positions]
+            replacement = rng.integers(layer.grid.qmin, layer.grid.qmax + 1, size=count)
+            layer.add_to_weights(positions, replacement - current)
+            overwritten += count
+        return AttackOutcome(
+            model=attacked,
+            info={
+                "pool_coverage": coverage,
+                "positions_overwritten": overwritten,
+                "estimated_pool_size": pool_total,
+                "knows_exact_coefficients": True,
+                "knows_pool_size": True,
+                "knows_seed": False,
+                "activations_estimated_on_quantized_model": True,
+            },
+        )
+
+    def describe(self):
+        described = {**super().describe(), "owner_config_supplied": self.owner_config is not None}
+        if self.owner_config is not None:
+            described["alpha"] = self.owner_config.alpha
+            described["beta"] = self.owner_config.beta
+        return described
+
+
+@register_attack
+class SoupAttack(AttackSpec):
+    """True two-clone souping: merge two independent custodies of one base.
+
+    Strength = soup ratio ``t`` in [0, 1].  Two owners independently
+    watermark the *same* virgin quantized base — the subject handed to the
+    gauntlet is owner A's clone; the spec watermarks a second clone of the
+    base with partner seeds (drawn from the cell RNG) for owner B.  The
+    "attack" merges the clones position-wise in the integer domain: every
+    position takes clone B's value with probability ``t`` (``t = 0`` is
+    clone A untouched, ``t = 1`` clone B exactly).
+
+    The gauntlet reports **both owners' evidence per cell** — owner A's WER
+    (``wer_percent``) and owner B's (``attacker_wer_percent``) — so the
+    sweep charts the honest coexistence story: each owner's extraction rate
+    tracks the share of the soup drawn from their clone (A ≈ 100·(1−t),
+    B ≈ 100·t), both decaying gracefully rather than either vanishing.
+
+    This replaces the earlier fabricated-partner soup (which re-watermarked
+    the *deployed* model, so the "partner" inherited A's bits); souping two
+    genuinely independent clones of the same base is the scenario the
+    ROADMAP's multi-owner fixtures exist for.
     """
 
     name = "soup"
     strength_unit = "soup-ratio"
     default_strengths = (0.0, 0.5, 1.0)
+    requires_base_model = True
 
-    requires_corpus = True
-
-    def __init__(self, calibration_corpus, partner_bits_per_layer: Optional[int] = None) -> None:
-        self.calibration_corpus = calibration_corpus
+    def __init__(
+        self,
+        base_model: QuantizedModel,
+        base_activations,
+        partner_bits_per_layer: Optional[int] = None,
+    ) -> None:
+        self.base_model = base_model
+        self.base_activations = base_activations
         self.partner_bits_per_layer = partner_bits_per_layer
 
     def apply(self, model, strength, rng):
         from repro.core.config import EmMarkConfig
         from repro.core.insertion import insert_watermark
-        from repro.models.activations import collect_activation_stats
 
         ratio = float(strength)
         if not 0.0 <= ratio <= 1.0:
             raise ValueError("soup strength must be in [0, 1]")
         if ratio == 0.0:
             return AttackOutcome(model=model.clone())
-        partner_activations = collect_activation_stats(
-            model.materialize(), self.calibration_corpus
-        )
+        if self.base_model.layer_names() != model.layer_names():
+            raise ValueError(
+                "soup base model does not match the subject's layer layout; "
+                "the two clones must share one virgin base"
+            )
         partner_config = EmMarkConfig.scaled_for_model(
-            model,
+            self.base_model,
             bits_per_layer=self.partner_bits_per_layer,
             seed=_derived_seed(rng),
             signature_seed=_derived_seed(rng),
         )
         partner, partner_key, _ = insert_watermark(
-            model, partner_activations, config=partner_config
+            self.base_model, self.base_activations, config=partner_config
         )
         souped = model.clone()
         differing = 0
@@ -769,7 +928,11 @@ class SoupAttack(AttackSpec):
             attacker_key=partner_key,
             info={
                 "soup_ratio": ratio,
+                "true_two_clone": True,
                 "positions_differing": differing,
                 "positions_taken_from_partner": taken,
             },
         )
+
+    def describe(self):
+        return {**super().describe(), "partner_bits_per_layer": self.partner_bits_per_layer}

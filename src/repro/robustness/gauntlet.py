@@ -129,11 +129,21 @@ class GauntletSubject:
     harness:
         Evaluation harness measuring the attacked models' quality; optional
         when the gauntlet runs with ``evaluate_quality=False``.
+    co_keys:
+        Optional co-resident owners' keys (``{owner_id: key}``) for
+        multi-owner subjects — models carrying several disjoint watermarks
+        (see :meth:`~repro.engine.engine.WatermarkEngine.insert_multi`).
+        Every grid cell is verified against each co-resident key as well,
+        and the per-owner evidence lands in
+        :attr:`~repro.robustness.report.GauntletCellResult.co_owner_wer_percent`,
+        so one sweep shows how an attack degrades *every* owner of the
+        deployment, not just the primary one.
     """
 
     model: QuantizedModel
     key: WatermarkKey
     harness: Optional[EvaluationHarness] = None
+    co_keys: Optional[Mapping[str, WatermarkKey]] = None
 
 
 @dataclass
@@ -152,6 +162,11 @@ class _Cell:
     @property
     def attacker_key_id(self) -> str:
         return f"{self.cell_id}#attacker"
+
+
+def _co_key_id(model_id: str, owner_id: str) -> str:
+    """Verification-session id of one co-resident owner's key."""
+    return f"{model_id}::{owner_id}"
 
 
 class Gauntlet:
@@ -308,11 +323,13 @@ class Gauntlet:
         )
 
     @staticmethod
-    def _cell_result(cell, owner, attacker, quality, attack_seconds, info):
+    def _cell_result(cell, owner, attacker, quality, attack_seconds, info, co=None):
         """One cell's report row.
 
         Shared by both execution modes — being identical by construction is
-        part of the streaming ≡ batched decision guarantee.
+        part of the streaming ≡ batched decision guarantee.  ``co`` carries
+        the co-resident owners' :class:`PairVerification`\\ s for multi-owner
+        subjects.
         """
         return GauntletCellResult(
             model_id=cell.model_id,
@@ -329,6 +346,8 @@ class Gauntlet:
             zero_shot_accuracy=None if quality is None else quality.zero_shot_accuracy,
             attack_seconds=attack_seconds,
             info=dict(info),
+            co_owner_wer_percent={oid: pair.wer_percent for oid, pair in (co or {}).items()},
+            co_owner_owned={oid: pair.owned for oid, pair in (co or {}).items()},
         )
 
     # ------------------------------------------------------------------
@@ -342,8 +361,12 @@ class Gauntlet:
         workers: int,
         wall_start: float,
     ) -> RobustnessReport:
+        session_keys = {model_id: subject.key for model_id, subject in subject_items}
+        for model_id, subject in subject_items:
+            for owner_id, co_key in (subject.co_keys or {}).items():
+                session_keys[_co_key_id(model_id, owner_id)] = co_key
         session = self.engine.verification_session(
-            keys={model_id: subject.key for model_id, subject in subject_items},
+            keys=session_keys,
             wer_threshold=self.config.wer_threshold,
             max_false_claim_probability=self.config.max_false_claim_probability,
         )
@@ -361,6 +384,12 @@ class Gauntlet:
             attack_seconds = time.perf_counter() - start
             verify_start = time.perf_counter()
             owner = session.verify(cell.cell_id, outcome.model, cell.model_id)
+            co = {
+                owner_id: session.verify(
+                    cell.cell_id, outcome.model, _co_key_id(cell.model_id, owner_id)
+                )
+                for owner_id in (subject.co_keys or {})
+            }
             attacker = None
             if outcome.attacker_key is not None:
                 # One-shot: the adversary key belongs to this cell alone, so
@@ -373,7 +402,7 @@ class Gauntlet:
                 )
             verify_seconds = time.perf_counter() - verify_start
             result = self._cell_result(
-                cell, owner, attacker, quality, attack_seconds, outcome.info
+                cell, owner, attacker, quality, attack_seconds, outcome.info, co=co
             )
             # ``outcome`` — and with it the attacked model — dies with this
             # frame: nothing past this point references it, which is the
@@ -446,10 +475,15 @@ class Gauntlet:
         keys: Dict[str, WatermarkKey] = {
             model_id: subject.key for model_id, subject in subject_items
         }
+        for model_id, subject in subject_items:
+            for owner_id, co_key in (subject.co_keys or {}).items():
+                keys[_co_key_id(model_id, owner_id)] = co_key
         pairs: List[Tuple[str, str]] = []
         for cell, (outcome, _quality, _seconds) in zip(cells, staged):
             suspects[cell.cell_id] = outcome.model
             pairs.append((cell.cell_id, cell.model_id))
+            for owner_id in (subject_for[cell.model_id].co_keys or {}):
+                pairs.append((cell.cell_id, _co_key_id(cell.model_id, owner_id)))
             if outcome.attacker_key is not None:
                 keys[cell.attacker_key_id] = outcome.attacker_key
                 pairs.append((cell.cell_id, cell.attacker_key_id))
@@ -468,9 +502,13 @@ class Gauntlet:
         for cell, (outcome, quality, attack_seconds) in zip(cells, staged):
             owner = by_pair[(cell.cell_id, cell.model_id)]
             attacker = by_pair.get((cell.cell_id, cell.attacker_key_id))
+            co = {
+                owner_id: by_pair[(cell.cell_id, _co_key_id(cell.model_id, owner_id))]
+                for owner_id in (subject_for[cell.model_id].co_keys or {})
+            }
             results.append(
                 self._cell_result(
-                    cell, owner, attacker, quality, attack_seconds, outcome.info
+                    cell, owner, attacker, quality, attack_seconds, outcome.info, co=co
                 )
             )
         return RobustnessReport(

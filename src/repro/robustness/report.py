@@ -56,6 +56,11 @@ class GauntletCellResult:
     zero_shot_accuracy: Optional[float] = None
     attack_seconds: float = 0.0
     info: Dict[str, object] = field(default_factory=dict)
+    #: Per-co-resident-owner evidence for multi-owner subjects (``co_keys``
+    #: on the :class:`~repro.robustness.gauntlet.GauntletSubject`); empty for
+    #: single-owner grids.
+    co_owner_wer_percent: Dict[str, float] = field(default_factory=dict)
+    co_owner_owned: Dict[str, bool] = field(default_factory=dict)
 
     @property
     def cell_id(self) -> str:
@@ -64,7 +69,7 @@ class GauntletCellResult:
 
     def decision_fields(self) -> Tuple:
         """The worker-count-invariant fields (used for equivalence gates)."""
-        return (
+        fields = (
             self.cell_id,
             self.wer_percent,
             self.matched_bits,
@@ -74,6 +79,14 @@ class GauntletCellResult:
             self.perplexity,
             self.zero_shot_accuracy,
         )
+        if self.co_owner_wer_percent:
+            # Appended only for multi-owner cells so single-owner digests —
+            # which the versioned benchmark gates pin — stay unchanged.
+            fields += (
+                tuple(sorted(self.co_owner_wer_percent.items())),
+                tuple(sorted(self.co_owner_owned.items())),
+            )
+        return fields
 
     def to_dict(self) -> dict:
         """JSON-able form of the cell."""
@@ -92,6 +105,8 @@ class GauntletCellResult:
             "zero_shot_accuracy": self.zero_shot_accuracy,
             "attack_seconds": self.attack_seconds,
             "info": self.info,
+            "co_owner_wer_percent": dict(self.co_owner_wer_percent),
+            "co_owner_owned": dict(self.co_owner_owned),
         }
 
 
@@ -156,6 +171,21 @@ class RobustnessReport:
             current = result.get(cell.attack)
             if current is None or cell.wer_percent < current:
                 result[cell.attack] = cell.wer_percent
+        return result
+
+    def min_wer_by_owner(self, model_id: Optional[str] = None) -> Dict[str, float]:
+        """Lowest WER per owner across a multi-owner grid (worst case).
+
+        The primary key reports under the owner id ``"<primary>"``;
+        co-resident owners report under their ``co_keys`` ids.  Empty
+        co-resident maps make this the single-entry primary summary.
+        """
+        result: Dict[str, float] = {}
+        for cell in self.cells_for(model_id=model_id):
+            for owner, wer in [("<primary>", cell.wer_percent), *cell.co_owner_wer_percent.items()]:
+                current = result.get(owner)
+                if current is None or wer < current:
+                    result[owner] = wer
         return result
 
     def frontier(self, model_id: Optional[str] = None) -> List[dict]:

@@ -46,7 +46,12 @@ from repro.service.codec import (
     model_to_wire,
     save_model,
 )
-from repro.service.dispatch import MicroBatchDispatcher, QueueFullError, TokenBucket
+from repro.service.dispatch import (
+    MicroBatchDispatcher,
+    OwnerRateLimiter,
+    QueueFullError,
+    TokenBucket,
+)
 from repro.service.loadgen import LoadConfig, LoadReport, RequestTemplate, run_load
 from repro.service.registry import KeyRecord, KeyRegistry, RegistryError
 from repro.service.server import (
@@ -63,6 +68,7 @@ __all__ = [
     "RegistryError",
     "MicroBatchDispatcher",
     "TokenBucket",
+    "OwnerRateLimiter",
     "QueueFullError",
     "ServiceConfig",
     "VerificationServer",

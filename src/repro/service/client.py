@@ -138,12 +138,23 @@ class VerificationClient:
         return self._request("POST", "/revoke", {"key_id": key_id})["revoked"]
 
     def upload_suspect(
-        self, model: QuantizedModel, suspect_id: Optional[str] = None
+        self,
+        model: QuantizedModel,
+        suspect_id: Optional[str] = None,
+        rank: bool = False,
     ) -> Dict[str, object]:
-        """Upload a suspect deployment snapshot; returns id + fingerprint."""
+        """Upload a suspect deployment snapshot; returns id + fingerprint.
+
+        With ``rank=True`` the response additionally carries ``ranking`` —
+        the suspect verified against every candidate key registered for its
+        model family (all co-resident owners), ordered by strength of
+        ownership evidence.
+        """
         body: Dict[str, object] = {"model": model_to_wire(model)}
         if suspect_id is not None:
             body["suspect_id"] = suspect_id
+        if rank:
+            body["rank"] = True
         return self._request("POST", "/suspects", body)
 
     def verify(

@@ -41,7 +41,14 @@ from repro.engine.reports import (
 from repro.quant.base import QuantizedModel
 from repro.utils.logging import get_logger
 
-__all__ = ["TokenBucket", "VerifyJob", "VerifyOutcome", "MicroBatchDispatcher", "QueueFullError"]
+__all__ = [
+    "TokenBucket",
+    "OwnerRateLimiter",
+    "VerifyJob",
+    "VerifyOutcome",
+    "MicroBatchDispatcher",
+    "QueueFullError",
+]
 
 logger = get_logger("service.dispatch")
 
@@ -94,6 +101,15 @@ class TokenBucket:
             self.rejected += 1
             return False
 
+    def refund(self, tokens: float = 1.0) -> None:
+        """Return previously acquired tokens (used by all-or-nothing callers).
+
+        Capped at capacity, under the bucket's own lock — callers must never
+        reach into :attr:`_tokens` directly.
+        """
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + tokens)
+
     def stats(self) -> Dict[str, object]:
         """JSON-able snapshot for ``/stats``."""
         with self._lock:
@@ -103,6 +119,129 @@ class TokenBucket:
                 "burst": self.capacity if self.enabled else None,
                 "tokens": self._tokens if self.enabled else None,
                 "rejected": self.rejected,
+            }
+
+
+class OwnerRateLimiter:
+    """Per-owner token buckets, keyed by the registry's owner identity.
+
+    A single global bucket lets one aggressive owner starve everyone — the
+    multi-tenant serving story needs *fairness per owner*, not one shared
+    faucet.  Each distinct owner gets a private :class:`TokenBucket` at the
+    configured rate, created lazily on the owner's first request; requests
+    touching several owners' keys must be admitted by **every** owner's
+    bucket (tokens are only committed once all buckets admit, so a mixed
+    rejection never burns the admitted owners' budget).
+
+    Requests that cannot be attributed to a registered owner (e.g. keys
+    registered with an empty owner string) are pooled under one anonymous
+    bucket at the same rate.
+
+    Parameters
+    ----------
+    rate, burst:
+        Forwarded to each per-owner :class:`TokenBucket`; a ``None``/zero
+        rate disables per-owner admission entirely.
+    max_owners:
+        Bound on the tracked-bucket map.  When exceeded, the least recently
+        *used* owner's bucket is dropped (it re-creates full on the owner's
+        next request) — an attacker churning owner identities cannot grow
+        server memory without bound.
+    """
+
+    #: Bucket key for requests with no attributable registered owner.
+    ANONYMOUS = "<anonymous>"
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        max_owners: int = 4096,
+    ) -> None:
+        if max_owners < 1:
+            raise ValueError("max_owners must be >= 1")
+        self.rate = float(rate) if rate and rate > 0 else None
+        self.burst = burst
+        self.max_owners = int(max_owners)
+        self._lock = threading.Lock()
+        self._buckets: "Dict[str, TokenBucket]" = {}
+        self._order: List[str] = []  # LRU, least-recent first
+        self.rejected = 0
+        self.evicted_owners = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether per-owner admission control is active."""
+        return self.rate is not None
+
+    def _bucket(self, owner: str) -> TokenBucket:
+        bucket = self._buckets.get(owner)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst)
+            self._buckets[owner] = bucket
+        else:
+            self._order.remove(owner)
+        self._order.append(owner)
+        return bucket
+
+    def _trim(self, in_use) -> None:
+        """Evict least-recently-used buckets past ``max_owners``.
+
+        Owners named by the in-flight request are never evicted — a request
+        touching many owners must not orphan a bucket it is about to charge
+        (the charge would land on an object no longer in the map, silently
+        resetting that owner's rate state on its next request).
+        """
+        while len(self._buckets) > self.max_owners:
+            evicted = next((o for o in self._order if o not in in_use), None)
+            if evicted is None:
+                break  # every tracked owner is in this request; let it ride
+            self._order.remove(evicted)
+            del self._buckets[evicted]
+            self.evicted_owners += 1
+
+    def try_acquire(self, owners) -> bool:
+        """Admit one request charged to every owner in ``owners``.
+
+        ``owners`` is an iterable of owner identities (deduplicated here;
+        empty strings fold into the anonymous bucket).  All-or-nothing: the
+        request is only charged when every bucket has a token.
+        """
+        if self.rate is None:
+            return True
+        labels = sorted({str(o) if o else self.ANONYMOUS for o in owners}) or [self.ANONYMOUS]
+        with self._lock:
+            buckets = [self._bucket(label) for label in labels]
+            self._trim(in_use=set(labels))
+            # All-or-nothing charge: a rejection halfway through refunds the
+            # already-charged owners, so mixed requests can't burn budget on
+            # a 429.
+            granted: List[TokenBucket] = []
+            for bucket in buckets:
+                if bucket.try_acquire():
+                    granted.append(bucket)
+                else:
+                    for charged in granted:
+                        charged.refund()
+                    self.rejected += 1
+                    return False
+            return True
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able snapshot for ``/stats``."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate_per_sec": self.rate,
+                "owners_tracked": len(self._buckets),
+                "max_owners": self.max_owners,
+                "evicted_owners": self.evicted_owners,
+                "rejected": self.rejected,
+                "rejected_by_owner": {
+                    owner: bucket.rejected
+                    for owner, bucket in self._buckets.items()
+                    if bucket.rejected
+                },
             }
 
 

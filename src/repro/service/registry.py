@@ -69,6 +69,11 @@ class KeyRecord:
         verification sweeps.
     total_bits, num_layers, model_name, method, bits:
         Denormalized key facts so ``/keys`` listings don't load bulk arrays.
+    co_residents:
+        Labels of the other owners co-resident in the key's model (from the
+        key's slot-allocation metadata; empty for single-owner keys).
+        Denormalized for the same reason: ``/keys`` and ``/suspects``
+        listings surface multi-tenancy without loading key material.
     metadata:
         Arbitrary owner-supplied JSON-able metadata.
     """
@@ -83,6 +88,7 @@ class KeyRecord:
     model_name: str = ""
     method: str = ""
     bits: int = 0
+    co_residents: List[str] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -98,6 +104,7 @@ class KeyRecord:
             "model_name": self.model_name,
             "method": self.method,
             "bits": self.bits,
+            "co_residents": list(self.co_residents),
             "metadata": self.metadata,
         }
 
@@ -116,6 +123,7 @@ class KeyRecord:
                 model_name=data.get("model_name", ""),
                 method=data.get("method", ""),
                 bits=int(data.get("bits", 0)),
+                co_residents=list(data.get("co_residents", [])),
                 metadata=dict(data.get("metadata", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -207,6 +215,7 @@ class KeyRegistry:
                 model_name=key.model_name,
                 method=key.method,
                 bits=key.bits,
+                co_residents=list(key.metadata.get("co_residents", [])),
                 metadata=dict(metadata or {}),
             )
             self._install(record, key)
@@ -282,6 +291,29 @@ class KeyRegistry:
                 if not self._records[kid].revoked
             }
 
+    def records_for_model(self, fingerprint: str) -> List[KeyRecord]:
+        """Active records against one model fingerprint, registration order.
+
+        The multi-owner lookup behind ``/suspects``: every co-resident key
+        of a shared base answers here, each with its owner identity, so an
+        incoming suspect can be ranked across all claimants of its family.
+        """
+        with self._lock:
+            return [
+                self._records[kid]
+                for kid in self._by_model.get(fingerprint, [])
+                if not self._records[kid].revoked
+            ]
+
+    def owners_for_model(self, fingerprint: str) -> Dict[str, str]:
+        """``{key_id: owner}`` of the active keys on one model fingerprint."""
+        return {record.key_id: record.owner for record in self.records_for_model(fingerprint)}
+
+    def owner_of(self, key_id: str) -> str:
+        """Registered owner identity of one key (raises for unknown ids)."""
+        with self._lock:
+            return self._record_or_raise(key_id).owner
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -297,10 +329,17 @@ class KeyRegistry:
         """JSON-able summary for the ``/stats`` endpoint."""
         with self._lock:
             revoked = sum(1 for record in self._records.values() if record.revoked)
+            multi_owner_models = sum(
+                1
+                for kids in self._by_model.values()
+                if sum(1 for kid in kids if not self._records[kid].revoked) > 1
+            )
             return {
                 "keys": len(self._records),
                 "active": len(self._records) - revoked,
                 "revoked": revoked,
                 "models": len(self._by_model),
+                "multi_owner_models": multi_owner_models,
+                "owners": len({r.owner for r in self._records.values() if not r.revoked and r.owner}),
                 "persistent": self.root is not None,
             }

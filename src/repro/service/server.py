@@ -51,6 +51,7 @@ from repro.service.audit import AuditLog
 from repro.service.codec import key_from_wire, model_from_wire
 from repro.service.dispatch import (
     MicroBatchDispatcher,
+    OwnerRateLimiter,
     QueueFullError,
     TokenBucket,
     VerifyJob,
@@ -66,12 +67,70 @@ _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 256 * 1024 * 1024
 _VERIFY_TIMEOUT_S = 120.0
 _GAUNTLET_TIMEOUT_S = 300.0
-#: Grid-size ceiling for one /robustness request (attacks × strengths).
-_MAX_GAUNTLET_CELLS = 64
+#: Report-size sanity ceiling for one /robustness request.  Since sweeps
+#: run in constant memory (streaming match-and-release), the real admission
+#: bound is the per-request CPU-time budget below, not this number — it
+#: only caps the JSON report a single response can grow to.
+_MAX_GAUNTLET_CELLS = 4096
+#: Until the cost estimator has observed one real sweep, grids are clamped
+#: to this (the historical per-request cap): an admission decision based on
+#: an unvalidated seed estimate cannot be undone once the sweep is running.
+_COLD_START_GAUNTLET_CELLS = 64
 #: Concurrent /robustness sweeps; a timed-out sweep cannot be cancelled
 #: (it runs CPU-bound on the executor), so admission is bounded instead —
 #: abandoned work keeps its slot until it actually finishes.
 _MAX_INFLIGHT_GAUNTLETS = 2
+
+
+class _CellCostEstimator:
+    """EWMA of the observed per-cell gauntlet CPU cost.
+
+    ``/robustness`` admission is a CPU-time-fairness question, not a
+    cell-count one: the streaming pipeline made sweeps constant-memory, so
+    the server gates each request on its *projected CPU seconds* instead of
+    a fixed cell cap.  The projection is the exponentially weighted mean of
+    the per-cell cost actually observed on this server (attack + verify
+    seconds summed across workers), seeded with a configurable conservative
+    estimate before any sweep has run.
+    """
+
+    def __init__(self, initial_cell_seconds: float, smoothing: float = 0.3) -> None:
+        if initial_cell_seconds <= 0:
+            raise ValueError("initial_cell_seconds must be > 0")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self._mean = float(initial_cell_seconds)
+        self._smoothing = float(smoothing)
+        self._observed_cells = 0
+        self._lock = threading.Lock()
+
+    def estimate(self, cells: int) -> float:
+        """Projected CPU seconds for a grid of ``cells`` cells."""
+        with self._lock:
+            return cells * self._mean
+
+    def observe(self, cells: int, cpu_seconds: float) -> None:
+        """Fold one finished sweep's measured cost into the mean."""
+        if cells <= 0 or cpu_seconds < 0:
+            return
+        per_cell = cpu_seconds / cells
+        with self._lock:
+            self._mean = (1.0 - self._smoothing) * self._mean + self._smoothing * per_cell
+            self._observed_cells += cells
+
+    @property
+    def is_cold(self) -> bool:
+        """True until at least one sweep's real cost has been observed."""
+        with self._lock:
+            return self._observed_cells == 0
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able snapshot for ``/stats``."""
+        with self._lock:
+            return {
+                "mean_cell_seconds": self._mean,
+                "observed_cells": self._observed_cells,
+            }
 
 
 def _model_content_id(model: QuantizedModel) -> str:
@@ -103,7 +162,17 @@ class _HttpError(Exception):
 
 
 class ServiceConfig:
-    """Tuning knobs of a :class:`VerificationServer`."""
+    """Tuning knobs of a :class:`VerificationServer`.
+
+    ``rate_limit_per_sec`` is the legacy whole-server token bucket;
+    ``owner_rate_limit_per_sec`` keys admission by the registry owner the
+    request's keys belong to — the multi-tenant replacement, giving each
+    owner a private bucket so one aggressive owner cannot starve the rest.
+    ``gauntlet_cpu_budget_s`` bounds one ``/robustness`` request by its
+    *projected CPU seconds* (observed per-cell cost × cells) instead of the
+    old fixed 64-cell cap — sweeps are constant-memory, so CPU-time fairness
+    is the real resource; ``None`` disables the budget gate.
+    """
 
     def __init__(
         self,
@@ -114,12 +183,22 @@ class ServiceConfig:
         max_queue: int = 256,
         rate_limit_per_sec: Optional[float] = None,
         rate_limit_burst: Optional[float] = None,
+        owner_rate_limit_per_sec: Optional[float] = None,
+        owner_rate_limit_burst: Optional[float] = None,
         max_suspects: int = 1024,
+        gauntlet_cpu_budget_s: Optional[float] = 120.0,
+        gauntlet_initial_cell_cost_s: float = 0.02,
     ) -> None:
         if rate_limit_burst and not rate_limit_per_sec:
             raise ValueError("rate_limit_burst requires rate_limit_per_sec")
+        if owner_rate_limit_burst and not owner_rate_limit_per_sec:
+            raise ValueError("owner_rate_limit_burst requires owner_rate_limit_per_sec")
         if max_suspects < 1:
             raise ValueError("max_suspects must be >= 1")
+        if gauntlet_cpu_budget_s is not None and gauntlet_cpu_budget_s <= 0:
+            raise ValueError("gauntlet_cpu_budget_s must be > 0 (or None to disable)")
+        if gauntlet_initial_cell_cost_s <= 0:
+            raise ValueError("gauntlet_initial_cell_cost_s must be > 0")
         self.host = host
         self.port = int(port)
         self.max_batch = int(max_batch)
@@ -127,7 +206,11 @@ class ServiceConfig:
         self.max_queue = int(max_queue)
         self.rate_limit_per_sec = rate_limit_per_sec
         self.rate_limit_burst = rate_limit_burst
+        self.owner_rate_limit_per_sec = owner_rate_limit_per_sec
+        self.owner_rate_limit_burst = owner_rate_limit_burst
         self.max_suspects = int(max_suspects)
+        self.gauntlet_cpu_budget_s = gauntlet_cpu_budget_s
+        self.gauntlet_initial_cell_cost_s = float(gauntlet_initial_cell_cost_s)
 
 
 class VerificationServer:
@@ -158,6 +241,10 @@ class VerificationServer:
         self.registry = registry if registry is not None else KeyRegistry()
         self.audit = audit if audit is not None else AuditLog()
         self.bucket = TokenBucket(self.config.rate_limit_per_sec, self.config.rate_limit_burst)
+        self.owner_limiter = OwnerRateLimiter(
+            self.config.owner_rate_limit_per_sec, self.config.owner_rate_limit_burst
+        )
+        self._gauntlet_cost = _CellCostEstimator(self.config.gauntlet_initial_cell_cost_s)
         self.dispatcher = MicroBatchDispatcher(
             self.engine,
             max_batch=self.config.max_batch,
@@ -184,6 +271,8 @@ class VerificationServer:
             "decisions_owned": 0,
             "decisions_not_owned": 0,
             "rejected_rate_limit": 0,
+            "rejected_owner_rate": 0,
+            "rejected_cpu_budget": 0,
             "rejected_queue_full": 0,
             "timeouts": 0,
             "errors": 0,
@@ -401,6 +490,13 @@ class VerificationServer:
             },
             "dispatcher": self.dispatcher.stats(),
             "admission": self.bucket.stats(),
+            "owner_admission": self.owner_limiter.stats(),
+            "gauntlet": {
+                "cpu_budget_s": self.config.gauntlet_cpu_budget_s,
+                "max_cells": _MAX_GAUNTLET_CELLS,
+                "inflight": self._gauntlets_inflight,
+                **self._gauntlet_cost.stats(),
+            },
             "plan_cache": self.engine.cache_stats(),
             "registry": self.registry.stats(),
             "suspects": {
@@ -455,6 +551,15 @@ class VerificationServer:
         payload = self._json_body(body)
         if "model" not in payload:
             raise _HttpError(400, "missing 'model' payload")
+        rank = payload.get("rank", False)
+        if not isinstance(rank, bool):
+            raise _HttpError(400, "'rank' must be a boolean")
+        # Ranking is verification work (one fleet sweep against every
+        # candidate key), so it pays the same global admission toll as
+        # /verify; the per-owner charge happens below, once the candidate
+        # keys — and with them the owners — are known.
+        if rank and not self.bucket.try_acquire():
+            raise _HttpError(429, "rate limit exceeded, retry later")
         loop = asyncio.get_running_loop()
         try:
             model = await loop.run_in_executor(None, model_from_wire, payload["model"])
@@ -478,13 +583,96 @@ class VerificationServer:
             while len(self._suspects) > self.config.max_suspects:
                 self._suspects.popitem(last=False)
                 self._suspect_evictions += 1
-        candidate_keys = list(self.registry.keys_for_model(fingerprint))
-        return 200, {
+        candidate_records = self.registry.records_for_model(fingerprint)
+        response: Dict[str, object] = {
             "suspect_id": suspect_id,
             "model_fingerprint": fingerprint,
             "num_layers": model.num_quantization_layers,
-            "candidate_key_ids": candidate_keys,
+            "candidate_key_ids": [record.key_id for record in candidate_records],
+            # Multi-owner view: every co-resident claimant of the suspect's
+            # model family, with owner identity and co-residency up front.
+            "candidate_keys": [
+                {
+                    "key_id": record.key_id,
+                    "owner": record.owner,
+                    "co_residents": list(record.co_residents),
+                }
+                for record in candidate_records
+            ],
         }
+        if rank and candidate_records:
+            # Ranked claim shortlist: verify the upload against every
+            # co-resident candidate key in one fleet sweep (cached plans
+            # amortize across co-residents of the same base) and order by
+            # strength of evidence — verdict first, then WER, then the
+            # Equation 8 probability.
+            self._admit_owners([record.key_id for record in candidate_records])
+            keys = self.registry.keys_for_model(fingerprint)
+            future = loop.run_in_executor(
+                None,
+                lambda: self.engine.verify_fleet({suspect_id: model}, keys),
+            )
+            try:
+                report = await asyncio.wait_for(asyncio.shield(future), _VERIFY_TIMEOUT_S)
+            except asyncio.TimeoutError:
+                raise _HttpError(503, "ranking timed out", counter="timeouts") from None
+            owner_of = {record.key_id: record.owner for record in candidate_records}
+            ranked = sorted(
+                report.pairs,
+                key=lambda p: (not p.owned, -p.wer_percent, p.false_claim_probability, p.key_id),
+            )
+            # Ranking issues real ownership verdicts — they enter the audit
+            # log and the decision counters exactly like /verify decisions.
+            request_id = f"req-{next(self._request_ids)}"
+            for pair in ranked:
+                if pair.owned:
+                    self._counters["decisions_owned"] += 1
+                else:
+                    self._counters["decisions_not_owned"] += 1
+                self.audit.record(
+                    request_id=request_id,
+                    kind="ranking",
+                    suspect_id=suspect_id,
+                    key_id=pair.key_id,
+                    owned=pair.owned,
+                    wer_percent=pair.wer_percent,
+                    matched_bits=pair.matched_bits,
+                    total_bits=pair.total_bits,
+                    false_claim_probability=pair.false_claim_probability,
+                )
+            response["request_id"] = request_id
+            response["ranking"] = [
+                {
+                    "key_id": pair.key_id,
+                    "owner": owner_of.get(pair.key_id, ""),
+                    "owned": pair.owned,
+                    "wer_percent": pair.wer_percent,
+                    "matched_bits": pair.matched_bits,
+                    "total_bits": pair.total_bits,
+                    "false_claim_probability": pair.false_claim_probability,
+                }
+                for pair in ranked
+            ]
+        elif rank:
+            response["ranking"] = []
+        return 200, response
+
+    def _admit_owners(self, key_ids) -> None:
+        """Per-owner admission: the request is charged to every owner whose
+        keys it touches; any owner over their rate rejects the whole request
+        (HTTP 429) without burning the other owners' budget."""
+        if not self.owner_limiter.enabled:
+            return
+        owners = []
+        for key_id in key_ids:
+            try:
+                owners.append(self.registry.owner_of(key_id))
+            except RegistryError:
+                owners.append("")
+        if not self.owner_limiter.try_acquire(owners):
+            raise _HttpError(
+                429, "owner rate limit exceeded, retry later", counter="rejected_owner_rate"
+            )
 
     async def _handle_verify(self, body: bytes) -> Tuple[int, Dict[str, object]]:
         if not self.bucket.try_acquire():
@@ -502,6 +690,7 @@ class VerificationServer:
             raise _HttpError(404, str(exc)) from exc
         if not keys:
             raise _HttpError(400, "no active keys to verify against")
+        self._admit_owners(keys)
         job = VerifyJob(
             request_id=f"req-{next(self._request_ids)}",
             suspect_id=suspect_id,
@@ -606,6 +795,7 @@ class VerificationServer:
                 "(one gauntlet sweep targets one key)",
             )
         key_id, key = next(iter(keys.items()))
+        self._admit_owners([key_id])
 
         raw_attacks = payload.get("attacks")
         if raw_attacks is None:
@@ -648,8 +838,33 @@ class VerificationServer:
             raise _HttpError(
                 400,
                 f"grid of {num_cells} cells exceeds the "
-                f"{_MAX_GAUNTLET_CELLS}-cell per-request limit",
+                f"{_MAX_GAUNTLET_CELLS}-cell report-size limit",
             )
+        # CPU-time fairness gate: streaming sweeps are constant-memory, so
+        # admission projects the grid's CPU seconds from the per-cell cost
+        # observed on this server and rejects what would hog the executor.
+        budget = self.config.gauntlet_cpu_budget_s
+        if budget is not None:
+            if self._gauntlet_cost.is_cold and num_cells > _COLD_START_GAUNTLET_CELLS:
+                # The seed estimate hasn't been validated against a single
+                # real sweep yet — a large grid admitted on a wrong guess
+                # cannot be cancelled once running, so the first sweeps are
+                # clamped to the historical 64-cell bound.
+                raise _HttpError(
+                    429,
+                    f"grid of {num_cells} cells exceeds the "
+                    f"{_COLD_START_GAUNTLET_CELLS}-cell cold-start bound "
+                    "(no sweep cost observed yet; retry after a smaller sweep)",
+                    counter="rejected_cpu_budget",
+                )
+            projected = self._gauntlet_cost.estimate(num_cells)
+            if projected > budget:
+                raise _HttpError(
+                    429,
+                    f"projected CPU cost {projected:.1f}s for {num_cells} cells "
+                    f"exceeds the {budget:.0f}s per-request budget",
+                    counter="rejected_cpu_budget",
+                )
         try:
             seed = int(payload.get("seed", 0))
         except (TypeError, ValueError) as exc:
@@ -694,6 +909,13 @@ class VerificationServer:
             # strengths, colliding cell ids, …) is still client input.
             raise _HttpError(400, f"invalid gauntlet grid: {exc}") from exc
         self._counters["gauntlets"] += 1
+        # Feed the admission estimator with the measured cost: per-cell
+        # attack seconds plus the summed verification time (both CPU-bound,
+        # summed across workers — the fair-share quantity, not wall clock).
+        self._gauntlet_cost.observe(
+            report.num_cells,
+            sum(cell.attack_seconds for cell in report.cells) + report.verify_seconds,
+        )
         # Every cell is an ownership decision against a registered key, so it
         # enters the audit log (and the decision counters) exactly like a
         # /verify verdict — the "every ownership decision is recorded"

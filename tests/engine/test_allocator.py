@@ -1,0 +1,125 @@
+"""SlotAllocator: claims, collisions, serialization, reconstruction."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import SlotAllocator, SlotCollisionError, WatermarkEngine
+
+
+class TestClaims:
+    def test_empty_allocator(self):
+        allocator = SlotAllocator()
+        assert allocator.is_empty
+        assert allocator.total_slots == 0
+        assert len(allocator) == 0
+        assert allocator.occupied_for("layer") is None
+        assert allocator.snapshot() == {}
+
+    def test_claim_and_read_back_sorted(self):
+        allocator = SlotAllocator()
+        allocator.claim("blocks.0.attn.q_proj", [5, 1, 9], owner="acme")
+        occupied = allocator.occupied_for("blocks.0.attn.q_proj")
+        np.testing.assert_array_equal(occupied, [1, 5, 9])
+        assert allocator.total_slots == 3
+        assert allocator.owners() == ["acme"]
+        assert allocator.holder_of("blocks.0.attn.q_proj", 5) == "acme"
+        assert allocator.holder_of("blocks.0.attn.q_proj", 2) is None
+
+    def test_claims_accept_arrays_and_iterables(self):
+        allocator = SlotAllocator()
+        allocator.claim("a", np.asarray([3, 1]))
+        allocator.claim("a", (x for x in [7, 2]))
+        np.testing.assert_array_equal(allocator.occupied_for("a"), [1, 2, 3, 7])
+
+    def test_collision_raises_with_holder(self):
+        allocator = SlotAllocator()
+        allocator.claim("layer", [1, 2, 3], owner="acme")
+        with pytest.raises(SlotCollisionError, match="held by 'acme'"):
+            allocator.claim("layer", [3, 4], owner="globex")
+        # The failed claim must not have partially landed.
+        assert allocator.holder_of("layer", 4) is None
+
+    def test_double_claim_by_same_owner_is_still_an_error(self):
+        allocator = SlotAllocator()
+        allocator.claim("layer", [1], owner="acme")
+        with pytest.raises(SlotCollisionError):
+            allocator.claim("layer", [1], owner="acme")
+
+    def test_same_index_in_different_layers_is_fine(self):
+        allocator = SlotAllocator()
+        allocator.claim("a", [1], owner="x")
+        allocator.claim("b", [1], owner="y")
+        assert allocator.total_slots == 2
+
+    def test_claim_locations_maps_whole_footprint(self):
+        allocator = SlotAllocator()
+        allocator.claim_locations({"a": np.asarray([1, 2]), "b": np.asarray([0])}, owner="acme")
+        assert allocator.total_slots == 3
+        assert allocator.owners() == ["acme"]
+
+
+class TestSerialization:
+    def test_metadata_roundtrip(self):
+        allocator = SlotAllocator()
+        allocator.claim("a", [4, 2], owner="acme")
+        allocator.claim("b", [7], owner="globex")
+        meta = allocator.to_metadata()
+        assert meta == {"a": [2, 4], "b": [7]}
+        rebuilt = SlotAllocator.from_metadata(meta)
+        assert rebuilt.total_slots == 3
+        np.testing.assert_array_equal(rebuilt.occupied_for("a"), [2, 4])
+
+    def test_snapshot_is_a_copy(self):
+        allocator = SlotAllocator()
+        allocator.claim("a", [1])
+        snapshot = allocator.snapshot()
+        snapshot["a"] = np.asarray([99])
+        np.testing.assert_array_equal(allocator.occupied_for("a"), [1])
+
+
+class TestFromKeys:
+    def test_rebuilds_occupancy_from_issued_keys(
+        self, quantized_awq4, activation_stats
+    ):
+        engine = WatermarkEngine()
+        result = engine.insert_multi(quantized_awq4, activation_stats, 2)
+        rebuilt = SlotAllocator.from_keys(result.keys(), engine=engine)
+        assert rebuilt.total_slots == result.allocator.total_slots
+        assert set(rebuilt.owners()) == {"owner-0", "owner-1"}
+        for name, indices in result.allocator.snapshot().items():
+            np.testing.assert_array_equal(rebuilt.occupied_for(name), indices)
+
+    def test_overlapping_keys_surface_as_collisions(
+        self, quantized_awq4, activation_stats
+    ):
+        # Two *uncoordinated* insertions (no allocator) of the same config
+        # pick the same slots — exactly the clobbering from_keys must expose.
+        engine = WatermarkEngine()
+        _, key_a, _ = engine.insert(quantized_awq4, activation_stats)
+        _, key_b, _ = engine.insert(quantized_awq4, activation_stats)
+        with pytest.raises(SlotCollisionError):
+            SlotAllocator.from_keys({"a": key_a, "b": key_b}, engine=engine)
+
+
+class TestThreadSafety:
+    def test_concurrent_claims_on_distinct_layers(self):
+        allocator = SlotAllocator()
+        errors = []
+
+        def claim(layer):
+            try:
+                for start in range(0, 100, 10):
+                    allocator.claim(layer, range(start, start + 10), owner=layer)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=claim, args=(f"layer-{i}",)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert allocator.total_slots == 800
+        assert len(allocator.owners()) == 8

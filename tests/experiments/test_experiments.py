@@ -95,6 +95,20 @@ class TestFigure2a:
         assert result.minimum_wer() > 90.0
         assert "Figure 2(a)" in result.render()
 
+    def test_multi_owner_variant_reports_every_owner(self):
+        result = figure2a.run(
+            model_name=MODEL, bits=4, sweep=(0, 20), profile=PROFILE,
+            num_task_examples=8, owners=2,
+        )
+        assert result.owners == 2
+        baseline = result.points[0]
+        assert baseline.wer_percent == 100.0
+        assert set(baseline.co_owner_wer) == {"owner-1"}
+        assert baseline.co_owner_wer["owner-1"] == 100.0
+        assert result.minimum_wer_all_owners() > 90.0
+        assert "co-resident owners" in result.render()
+        assert "Min co-owner WER" in result.render()
+
 
 class TestFigure2b:
     def test_owner_wer_survives_rewatermarking(self):
@@ -105,6 +119,16 @@ class TestFigure2b:
         # The attacker's own signature extracts from the attacked model.
         assert result.attacker_wer[-1] > 90.0
         assert "Figure 2(b)" in result.render()
+
+    def test_multi_owner_variant_reports_every_owner(self):
+        result = figure2b.run(
+            model_name=MODEL, bits=4, sweep=(0, 12), profile=PROFILE,
+            num_task_examples=8, owners=2,
+        )
+        assert result.owners == 2
+        assert result.points[0].co_owner_wer == {"owner-1": 100.0}
+        assert min(result.points[-1].co_owner_wer.values()) > 85.0
+        assert "Min co-owner WER" in result.render()
 
 
 class TestTable3:

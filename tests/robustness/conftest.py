@@ -65,3 +65,25 @@ def int8_subject(quantized_llm_int8, activation_stats, tiny_harness, gauntlet_en
         quantized_llm_int8, activation_stats, config=config
     )
     return GauntletSubject(model=watermarked, key=key, harness=tiny_harness)
+
+
+@pytest.fixture(scope="session")
+def multi_owner_subject(quantized_awq4, activation_stats, tiny_harness, gauntlet_engine):
+    """One AWQ model carrying two co-resident owners ('acme' and 'globex')."""
+    from dataclasses import replace
+
+    base = EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=8)
+    result = gauntlet_engine.insert_multi(
+        quantized_awq4,
+        activation_stats,
+        {
+            "acme": base,
+            "globex": replace(base, seed=base.seed + 11, signature_seed=base.signature_seed + 11),
+        },
+    )
+    return GauntletSubject(
+        model=result.model,
+        key=result.key_for("acme"),
+        harness=tiny_harness,
+        co_keys={"globex": result.key_for("globex")},
+    )

@@ -28,7 +28,7 @@ class TestRegistry:
         assert {"none", "overwrite", "rewatermark", "pruning",
                 "lora-finetune", "requantize", "gptq-requantize",
                 "scale-tamper", "outlier-rewrite", "structured-prune",
-                "adaptive-overwrite", "soup"} <= set(available_attacks())
+                "adaptive-overwrite", "adaptive-oracle", "soup"} <= set(available_attacks())
 
     def test_registry_holds_eleven_plus_attacks(self):
         # The adversary-expansion acceptance bar.
@@ -36,11 +36,18 @@ class TestRegistry:
 
     def test_corpus_free_subset(self):
         free = set(corpus_free_attacks())
-        for corpus_backed in ("rewatermark", "lora-finetune", "gptq-requantize",
-                              "adaptive-overwrite", "soup"):
-            assert corpus_backed not in free
+        for needs_resources in ("rewatermark", "lora-finetune", "gptq-requantize",
+                                "adaptive-overwrite", "adaptive-oracle", "soup"):
+            assert needs_resources not in free
         assert {"none", "overwrite", "pruning", "requantize",
                 "scale-tamper", "outlier-rewrite", "structured-prune"} <= free
+
+    def test_base_model_required_for_soup(self):
+        # The true two-clone soup needs the virgin base, not a corpus.
+        with pytest.raises(ValueError, match="virgin base model"):
+            build_attack("soup")
+        with pytest.raises(ValueError, match="virgin base model"):
+            build_attack("soup", calibration_corpus=object())
 
     def test_unknown_attack_raises(self):
         with pytest.raises(KeyError, match="unknown attack"):
@@ -369,10 +376,82 @@ class TestAdaptiveOverwriteAttack:
         assert len(calls) == 2
 
 
-class TestSoupAttack:
-    def test_zero_ratio_is_identity_without_partner(self, quantized_awq4, small_dataset):
-        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
+class TestOracleAdaptiveAttack:
+    """The adversary holding the owner's exact (α, β) and pool size — not seed d."""
+
+    def test_requires_corpus(self):
+        with pytest.raises(ValueError, match="calibration corpus"):
+            build_attack("adaptive-oracle")
+
+    def test_zero_coverage_is_identity(self, quantized_awq4, small_dataset):
+        spec = build_attack("adaptive-oracle", calibration_corpus=small_dataset.calibration)
         outcome = spec.apply(quantized_awq4, 0.0, new_rng(0))
+        for name in quantized_awq4.layer_names():
+            np.testing.assert_array_equal(
+                outcome.model.get_layer(name).weight_int,
+                quantized_awq4.get_layer(name).weight_int,
+            )
+
+    def test_coverage_out_of_range_raises(self, quantized_awq4, small_dataset):
+        spec = build_attack("adaptive-oracle", calibration_corpus=small_dataset.calibration)
+        with pytest.raises(ValueError, match="adaptive-oracle strength"):
+            spec.apply(quantized_awq4, 1.5, new_rng(0))
+
+    def test_full_coverage_overwrites_the_entire_estimated_pool(
+        self, awq_subject, small_dataset
+    ):
+        spec = build_attack("adaptive-oracle", calibration_corpus=small_dataset.calibration)
+        outcome = spec.apply(awq_subject.model, 1.0, new_rng(1))
+        assert outcome.info["positions_overwritten"] == outcome.info["estimated_pool_size"]
+        assert outcome.info["knows_exact_coefficients"] is True
+        assert outcome.info["knows_seed"] is False
+        assert outcome.info["pool_coverage"] == 1.0
+
+    def test_owner_config_is_read_for_coefficients(self, quantized_awq4, small_dataset):
+        from repro.core.config import EmMarkConfig
+
+        config = EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=8)
+        spec = build_attack(
+            "adaptive-oracle",
+            calibration_corpus=small_dataset.calibration,
+            owner_config=config,
+        )
+        described = spec.describe()
+        assert described["owner_config_supplied"] is True
+        assert described["alpha"] == config.alpha
+        assert described["beta"] == config.beta
+
+    def test_pools_memoized_per_subject(self, quantized_awq4, small_dataset):
+        spec = build_attack("adaptive-oracle", calibration_corpus=small_dataset.calibration)
+        first = spec._exact_pools(quantized_awq4)
+        assert spec._exact_pools(quantized_awq4) is first
+
+    def test_sweeping_coverage_erodes_the_owner_wer(
+        self, awq_subject, gauntlet_engine, small_dataset
+    ):
+        spec = build_attack(
+            "adaptive-oracle",
+            calibration_corpus=small_dataset.calibration,
+            owner_config=awq_subject.key.config,
+        )
+        outcome = spec.apply(awq_subject.model, 1.0, new_rng(2))
+        owner = gauntlet_engine.extract(outcome.model, awq_subject.key, strict_layout=False)
+        # Full pool coverage with the exact coefficients must actually reach
+        # watermark positions (the estimated pool overlaps the true one).
+        assert owner.wer_percent < 100.0
+
+
+class TestSoupAttack:
+    """True two-clone souping: two independent custodies of one virgin base."""
+
+    @pytest.fixture()
+    def soup_spec(self, quantized_awq4, activation_stats):
+        return build_attack(
+            "soup", base_model=quantized_awq4, base_activations=activation_stats
+        )
+
+    def test_zero_ratio_is_identity_without_partner(self, soup_spec, quantized_awq4):
+        outcome = soup_spec.apply(quantized_awq4, 0.0, new_rng(0))
         assert outcome.attacker_key is None
         for name in quantized_awq4.layer_names():
             np.testing.assert_array_equal(
@@ -380,34 +459,49 @@ class TestSoupAttack:
                 quantized_awq4.get_layer(name).weight_int,
             )
 
-    def test_full_ratio_extracts_partner_watermark_perfectly(
-        self, awq_subject, gauntlet_engine, small_dataset
+    def test_full_ratio_is_exactly_the_partner_clone(
+        self, soup_spec, awq_subject, gauntlet_engine
     ):
-        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
-        outcome = spec.apply(awq_subject.model, 1.0, new_rng(1))
+        outcome = soup_spec.apply(awq_subject.model, 1.0, new_rng(1))
         assert outcome.attacker_key is not None
+        assert outcome.info["true_two_clone"] is True
         partner = gauntlet_engine.extract(
             outcome.model, outcome.attacker_key, strict_layout=False
         )
+        owner = gauntlet_engine.extract(outcome.model, awq_subject.key, strict_layout=False)
+        # The soup *is* clone B: owner B extracts perfectly, owner A's bits
+        # are gone (B's clone holds virgin values at A's locations).
         assert partner.wer_percent == 100.0
+        assert owner.wer_percent < 30.0
 
     def test_half_ratio_degrades_both_owners_gracefully(
-        self, awq_subject, gauntlet_engine, small_dataset
+        self, soup_spec, awq_subject, gauntlet_engine
     ):
-        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
-        outcome = spec.apply(awq_subject.model, 0.5, new_rng(2))
+        outcome = soup_spec.apply(awq_subject.model, 0.5, new_rng(2))
         owner = gauntlet_engine.extract(outcome.model, awq_subject.key, strict_layout=False)
         partner = gauntlet_engine.extract(
             outcome.model, outcome.attacker_key, strict_layout=False
         )
-        # The subject owner keeps most bits (only overlap positions at risk);
-        # the partner extracts roughly the soup ratio's worth.
-        assert owner.wer_percent > 80.0
-        assert 20.0 < partner.wer_percent < 90.0
+        # Each owner's extraction tracks the share of the soup drawn from
+        # their clone: ~50% each at t=0.5, neither vanishing.
+        assert 25.0 < owner.wer_percent < 75.0
+        assert 25.0 < partner.wer_percent < 75.0
 
-    def test_info_counts_positions(self, quantized_awq4, small_dataset):
-        spec = build_attack("soup", calibration_corpus=small_dataset.calibration)
-        outcome = spec.apply(quantized_awq4, 0.5, new_rng(3))
+    def test_partner_is_independent_of_the_subject_watermark(
+        self, soup_spec, awq_subject, quantized_awq4, gauntlet_engine
+    ):
+        # The partner clone derives from the *base*, not the deployed model:
+        # souping the virgin base and souping the watermarked deployment at
+        # the same cell RNG produce the identical partner key locations.
+        out_a = soup_spec.apply(awq_subject.model, 1.0, new_rng(7))
+        out_b = soup_spec.apply(quantized_awq4, 1.0, new_rng(7))
+        locs_a = gauntlet_engine.reproduce_locations(out_a.attacker_key)
+        locs_b = gauntlet_engine.reproduce_locations(out_b.attacker_key)
+        for name in locs_a:
+            np.testing.assert_array_equal(locs_a[name], locs_b[name])
+
+    def test_info_counts_positions(self, soup_spec, quantized_awq4):
+        outcome = soup_spec.apply(quantized_awq4, 0.5, new_rng(3))
         assert outcome.info["positions_differing"] > 0
         assert 0 < outcome.info["positions_taken_from_partner"] <= outcome.info["positions_differing"]
 

@@ -168,6 +168,94 @@ class TestGauntletValidation:
                          {"pruning": (0.3, 0.3000000001)}, engine=gauntlet_engine)
 
 
+class TestMultiOwnerGauntlet:
+    """Grids over subjects carrying several co-resident watermarks."""
+
+    def test_baseline_cells_verify_every_owner_at_full_wer(
+        self, multi_owner_subject, gauntlet_engine
+    ):
+        report = run_gauntlet(
+            {"deploy": multi_owner_subject}, _grid_attacks(), GRID_STRENGTHS,
+            engine=gauntlet_engine,
+        )
+        for cell in report.cells:
+            assert set(cell.co_owner_wer_percent) == {"globex"}
+            if cell.strength == 0.0:
+                assert cell.wer_percent == 100.0 and cell.owned
+                assert cell.co_owner_wer_percent["globex"] == 100.0
+                assert cell.co_owner_owned["globex"] is True
+
+    def test_modes_and_worker_counts_agree_on_co_owner_evidence(
+        self, multi_owner_subject, gauntlet_engine
+    ):
+        kwargs = dict(engine=gauntlet_engine, seed=5)
+        streaming = run_gauntlet({"m": multi_owner_subject}, _grid_attacks(),
+                                 GRID_STRENGTHS, max_workers=4, mode="streaming", **kwargs)
+        batched = run_gauntlet({"m": multi_owner_subject}, _grid_attacks(),
+                               GRID_STRENGTHS, max_workers=1, mode="batched", **kwargs)
+        assert streaming.decision_digest() == batched.decision_digest()
+        for a, b in zip(streaming.cells, batched.cells):
+            assert a.co_owner_wer_percent == b.co_owner_wer_percent
+            assert a.co_owner_owned == b.co_owner_owned
+
+    def test_min_wer_by_owner_covers_all_owners(self, multi_owner_subject, gauntlet_engine):
+        report = run_gauntlet(
+            {"deploy": multi_owner_subject}, _grid_attacks(), GRID_STRENGTHS,
+            engine=gauntlet_engine,
+        )
+        worst = report.min_wer_by_owner()
+        assert set(worst) == {"<primary>", "globex"}
+        assert worst["globex"] == min(
+            c.co_owner_wer_percent["globex"] for c in report.cells
+        )
+
+    def test_co_owner_fields_survive_json(self, multi_owner_subject, gauntlet_engine):
+        report = run_gauntlet(
+            {"deploy": multi_owner_subject}, [build_attack("none")],
+            engine=gauntlet_engine,
+        )
+        payload = json.loads(report.to_json())
+        assert payload["cells"][0]["co_owner_wer_percent"] == {"globex": 100.0}
+        assert payload["cells"][0]["co_owner_owned"] == {"globex": True}
+
+    def test_single_owner_digest_unchanged_by_the_co_owner_fields(
+        self, awq_subject, gauntlet_engine
+    ):
+        # decision_fields only grows for multi-owner cells, so single-owner
+        # digests (pinned by the versioned benchmark gates) stay stable.
+        report = run_gauntlet(
+            {"deploy": awq_subject}, [build_attack("none")], engine=gauntlet_engine,
+        )
+        assert report.cells[0].co_owner_wer_percent == {}
+        assert len(report.cells[0].decision_fields()) == 8
+
+
+class TestTrueSoupInGauntlet:
+    def test_soup_cells_report_both_owners_wer(
+        self, awq_subject, quantized_awq4, activation_stats, gauntlet_engine
+    ):
+        report = run_gauntlet(
+            {"deploy": awq_subject},
+            [build_attack("soup", base_model=quantized_awq4,
+                          base_activations=activation_stats)],
+            strengths={"soup": (0.0, 0.5, 1.0)},
+            engine=gauntlet_engine, seed=3,
+        )
+        by_strength = {cell.strength: cell for cell in report.cells}
+        # t=0: untouched deployment — owner A alone, at 100%.
+        assert by_strength[0.0].wer_percent == 100.0
+        assert by_strength[0.0].attacker_wer_percent is None
+        # t=0.5: both owners present, each near the soup share.
+        half = by_strength[0.5]
+        assert 25.0 < half.wer_percent < 75.0
+        assert 25.0 < half.attacker_wer_percent < 75.0
+        # t=1: the soup *is* clone B.
+        full = by_strength[1.0]
+        assert full.attacker_wer_percent == 100.0
+        assert full.wer_percent < 30.0
+        assert full.info["true_two_clone"] is True
+
+
 class TestRobustnessReport:
     @pytest.fixture(scope="class")
     def report(self, awq_subject, gauntlet_engine):

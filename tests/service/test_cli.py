@@ -28,7 +28,8 @@ def _run_cli(*args):
 
 
 class TestHelp:
-    @pytest.mark.parametrize("args", [("--help",), ("serve", "--help"),
+    @pytest.mark.parametrize("args", [("--help",), ("insert", "--help"),
+                                      ("serve", "--help"),
                                       ("verify", "--help"), ("loadgen", "--help"),
                                       ("gauntlet", "--help")])
     def test_help_exits_zero(self, args):
@@ -58,6 +59,38 @@ class TestHelp:
         ).command == "verify"
         assert parser.parse_args(["loadgen", "--duration", "1"]).command == "loadgen"
         assert parser.parse_args(["gauntlet", "--attack", "overwrite"]).command == "gauntlet"
+        args = parser.parse_args(["insert", "--owners", "3"])
+        assert args.command == "insert" and args.owners == 3
+
+
+class TestInsertCommand:
+    def test_multi_owner_insert_registers_and_saves_keys(self, tmp_path, capsys):
+        registry_dir = tmp_path / "registry"
+        keys_dir = tmp_path / "keys"
+        code = main([
+            "insert", "--model", "opt-2.7b-sim", "--bits", "8",
+            "--profile", "smoke", "--owners", "2",
+            "--registry", str(registry_dir), "--output", str(keys_dir),
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["owners"] == 2
+        assert len(payload["decisions"]) == 2
+        for decision in payload["decisions"]:
+            assert decision["owned"] is True
+            assert decision["wer_percent"] == 100.0
+            assert decision["co_residents"]
+        # Keys landed in the registry, indexed under one model fingerprint.
+        registry = KeyRegistry(registry_dir)
+        assert len(registry) == 2
+        assert registry.stats()["multi_owner_models"] == 1
+        # And on disk, one directory per owner.
+        assert sorted(p.name for p in keys_dir.iterdir()) == ["owner-0", "owner-1"]
+
+    def test_invalid_owner_count_errors(self, capsys):
+        assert main(["insert", "--owners", "0"]) == 2
+        assert "--owners" in capsys.readouterr().err
 
 
 class TestGauntletUsageErrors:

@@ -93,8 +93,95 @@ class TestInMemory:
             "active": 0,
             "revoked": 1,
             "models": 1,
+            "multi_owner_models": 0,
+            "owners": 0,
             "persistent": False,
         }
+
+
+class TestFingerprintIndexCollisions:
+    """Several keys sharing one model-identity fingerprint (co-residency)."""
+
+    def test_same_model_fingerprint_indexes_both_keys(
+        self, watermarked_and_key, second_key, quantized_awq4
+    ):
+        _, key = watermarked_and_key
+        assert key.model_fingerprint() == second_key.model_fingerprint()
+        registry = KeyRegistry()
+        registry.register(key, owner="acme")
+        registry.register(second_key, owner="globex")
+        fingerprint = model_fingerprint(quantized_awq4)
+        assert set(registry.keys_for_model(fingerprint)) == {
+            key.fingerprint(), second_key.fingerprint()
+        }
+        assert registry.owners_for_model(fingerprint) == {
+            key.fingerprint(): "acme",
+            second_key.fingerprint(): "globex",
+        }
+        assert registry.stats()["multi_owner_models"] == 1
+        assert registry.stats()["owners"] == 2
+
+    def test_revoking_one_leaves_the_other_verifiable(
+        self, watermarked_and_key, second_key, quantized_awq4
+    ):
+        from repro.engine import WatermarkEngine
+
+        watermarked, key = watermarked_and_key
+        registry = KeyRegistry()
+        registry.register(key, owner="acme")
+        other = registry.register(second_key, owner="globex")
+        registry.revoke(other.key_id)
+        fingerprint = model_fingerprint(quantized_awq4)
+        survivors = registry.keys_for_model(fingerprint)
+        assert list(survivors) == [key.fingerprint()]
+        assert registry.stats()["multi_owner_models"] == 0
+        # The surviving key still proves ownership end to end.
+        result = WatermarkEngine().extract(
+            watermarked, survivors[key.fingerprint()], strict_layout=False
+        )
+        assert result.wer_percent == 100.0
+        assert registry.owner_of(key.fingerprint()) == "acme"
+
+    def test_co_resident_keys_collide_on_index_not_identity(
+        self, quantized_awq4, activation_stats
+    ):
+        """Multi-owner keys of one model: same index entry, distinct ids."""
+        from repro.engine import WatermarkEngine
+
+        result = WatermarkEngine().insert_multi(quantized_awq4, activation_stats, 2)
+        keys = result.keys()
+        registry = KeyRegistry()
+        for owner_id, key in keys.items():
+            registry.register(key, owner=owner_id)
+        ids = [key.fingerprint() for key in keys.values()]
+        assert len(set(ids)) == 2
+        fingerprint = model_fingerprint(quantized_awq4)
+        assert set(registry.keys_for_model(fingerprint)) == set(ids)
+        records = registry.records_for_model(fingerprint)
+        assert [record.co_residents for record in records] == [["owner-1"], ["owner-0"]]
+
+    def test_revoking_one_co_resident_keeps_the_other_extractable(
+        self, quantized_awq4, activation_stats
+    ):
+        from repro.engine import WatermarkEngine
+
+        engine = WatermarkEngine()
+        result = engine.insert_multi(quantized_awq4, activation_stats, 2)
+        registry = KeyRegistry()
+        records = {
+            owner_id: registry.register(key, owner=owner_id)
+            for owner_id, key in result.keys().items()
+        }
+        registry.revoke(records["owner-0"].key_id)
+        fingerprint = model_fingerprint(quantized_awq4)
+        survivors = registry.keys_for_model(fingerprint)
+        assert list(survivors) == [records["owner-1"].key_id]
+        # Revocation of owner-0 must not disturb owner-1's evidence: the
+        # occupancy owner-1 was planned under travels in its own key.
+        extraction = engine.extract(
+            result.model, survivors[records["owner-1"].key_id], strict_layout=False
+        )
+        assert extraction.wer_percent == 100.0
 
 
 class TestPersistence:

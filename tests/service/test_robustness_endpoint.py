@@ -55,11 +55,24 @@ class TestRobustnessEndpoint:
         with pytest.raises(ServiceError, match="unknown attack"):
             client.robustness("hit", attacks=["weight-exorcism"])
 
-    def test_oversized_grid_rejected(self, client):
-        with pytest.raises(ServiceError, match="cell"):
+    def test_beyond_the_old_64_cell_cap_is_accepted(self, client):
+        # The fixed 64-cell cap is gone: sweeps run in constant memory, so a
+        # 100-cell grid admits under the CPU-time budget and completes.  A
+        # small sweep first warms the cost estimator (the cold-start clamp
+        # keeps unvalidated seed estimates from admitting big grids).
+        client.robustness("hit", attacks=[{"name": "none", "strengths": [0]}])
+        out = client.robustness(
+            "hit",
+            attacks=[{"name": "overwrite", "strengths": list(range(100))}],
+            seed=11,
+        )
+        assert out["report"]["num_cells"] == 100
+
+    def test_report_size_sanity_bound_rejected(self, client):
+        with pytest.raises(ServiceError, match="report-size"):
             client.robustness(
                 "hit",
-                attacks=[{"name": "overwrite", "strengths": list(range(100))}],
+                attacks=[{"name": "overwrite", "strengths": list(range(5000))}],
             )
 
     def test_unknown_suspect_rejected(self, client):
@@ -105,3 +118,101 @@ class TestRobustnessEndpoint:
         before = client.stats()["server"]["gauntlets"]
         client.robustness("hit", attacks=[{"name": "none", "strengths": [0]}])
         assert client.stats()["server"]["gauntlets"] == before + 1
+
+    def test_observed_cost_feeds_the_estimator(self, client):
+        client.robustness("hit", attacks=[{"name": "overwrite", "strengths": [0, 20]}])
+        gauntlet_stats = client.stats()["gauntlet"]
+        assert gauntlet_stats["observed_cells"] >= 2
+        assert gauntlet_stats["mean_cell_seconds"] > 0.0
+        assert gauntlet_stats["cpu_budget_s"] is not None
+
+
+class TestCpuBudgetGate:
+    """The per-request CPU-time budget that replaced the 64-cell cap."""
+
+    def test_projected_cost_over_budget_rejected_as_429(self, watermarked_and_key):
+        from repro.engine import EngineConfig, WatermarkEngine
+        from repro.service import (
+            ServiceConfig,
+            VerificationClient,
+            VerificationServer,
+            run_in_background,
+        )
+
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            engine=WatermarkEngine(EngineConfig()),
+            # 1 s/cell seed estimate and a 5 s budget: a 6-cell grid projects
+            # over budget deterministically, before any sweep has run.
+            config=ServiceConfig(
+                port=0,
+                gauntlet_cpu_budget_s=5.0,
+                gauntlet_initial_cell_cost_s=1.0,
+            ),
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as client:
+                client.register_key(key, owner="acme")
+                client.upload_suspect(watermarked, suspect_id="hit")
+                with pytest.raises(ServiceError, match="CPU cost") as excinfo:
+                    client.robustness(
+                        "hit", attacks=[{"name": "overwrite", "strengths": list(range(6))}]
+                    )
+                assert excinfo.value.status == 429
+                # A grid inside the budget is admitted.
+                out = client.robustness(
+                    "hit", attacks=[{"name": "overwrite", "strengths": [0, 20]}]
+                )
+                assert out["report"]["num_cells"] == 2
+                assert client.stats()["server"]["rejected_cpu_budget"] == 1
+
+    def test_cold_server_clamps_to_64_cells_until_a_sweep_is_observed(
+        self, watermarked_and_key
+    ):
+        from repro.service import (
+            ServiceConfig,
+            VerificationClient,
+            VerificationServer,
+            run_in_background,
+        )
+
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(config=ServiceConfig(port=0))
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as client:
+                client.register_key(key, owner="acme")
+                client.upload_suspect(watermarked, suspect_id="hit")
+                # Cold: the seed estimate is unvalidated, big grids clamp.
+                with pytest.raises(ServiceError, match="cold-start") as excinfo:
+                    client.robustness(
+                        "hit",
+                        attacks=[{"name": "overwrite", "strengths": list(range(100))}],
+                    )
+                assert excinfo.value.status == 429
+                # One observed sweep lifts the clamp; the budget governs.
+                client.robustness("hit", attacks=[{"name": "none", "strengths": [0]}])
+                out = client.robustness(
+                    "hit",
+                    attacks=[{"name": "overwrite", "strengths": list(range(100))}],
+                )
+                assert out["report"]["num_cells"] == 100
+
+    def test_budget_disabled_with_none(self, watermarked_and_key):
+        from repro.service.server import ServiceConfig, VerificationServer, _CellCostEstimator
+
+        config = ServiceConfig(gauntlet_cpu_budget_s=None, gauntlet_initial_cell_cost_s=10.0)
+        server = VerificationServer(config=config)
+        assert server.config.gauntlet_cpu_budget_s is None
+        # Estimator sanity: EWMA moves toward observations.
+        estimator = _CellCostEstimator(1.0, smoothing=0.5)
+        estimator.observe(10, 1.0)  # 0.1 s/cell observed
+        assert estimator.estimate(10) < 10.0
+        assert estimator.stats()["observed_cells"] == 10
+
+    def test_bad_budget_config_rejected(self):
+        from repro.service import ServiceConfig
+
+        with pytest.raises(ValueError, match="gauntlet_cpu_budget_s"):
+            ServiceConfig(gauntlet_cpu_budget_s=0.0)
+        with pytest.raises(ValueError, match="gauntlet_initial_cell_cost_s"):
+            ServiceConfig(gauntlet_initial_cell_cost_s=-1.0)

@@ -245,3 +245,145 @@ class TestRevocationAndAdmission:
                 stats = c.stats()
                 assert stats["admission"]["rejected"] >= 1
                 assert stats["server"]["rejected_rate_limit"] >= 1
+
+
+class TestMultiOwnerService:
+    """Per-owner admission control and multi-owner /suspects ranking."""
+
+    @pytest.fixture()
+    def second_owner_key(self, quantized_awq4, activation_stats, emmark_config):
+        """A second owner's key for the same model (different seed d)."""
+        config = emmark_config.with_overrides(
+            seed=emmark_config.seed + 13, signature_seed=emmark_config.signature_seed + 13
+        )
+        _, key, _ = WatermarkEngine().insert(
+            quantized_awq4, activation_stats, config=config
+        )
+        return key
+
+    def test_per_owner_rate_limit_is_keyed_by_registry_owner(
+        self, watermarked_and_key, second_owner_key
+    ):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            config=ServiceConfig(
+                port=0,
+                max_wait_ms=1.0,
+                owner_rate_limit_per_sec=0.001,
+                owner_rate_limit_burst=2,
+            )
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                acme = c.register_key(key, owner="acme")["key_id"]
+                globex = c.register_key(second_owner_key, owner="globex")["key_id"]
+                c.upload_suspect(watermarked, suspect_id="hit")
+                # acme's private bucket drains after its burst of 2...
+                assert c.verify(suspect_id="hit", key_ids=[acme])["decisions"]
+                assert c.verify(suspect_id="hit", key_ids=[acme])["decisions"]
+                with pytest.raises(RateLimitedError):
+                    c.verify(suspect_id="hit", key_ids=[acme])
+                # ...while globex's bucket is untouched: one owner cannot
+                # starve another (the global-bucket failure mode).
+                assert c.verify(suspect_id="hit", key_ids=[globex])["decisions"]
+                stats = c.stats()
+                assert stats["owner_admission"]["enabled"] is True
+                assert stats["owner_admission"]["rejected"] >= 1
+                assert "acme" in stats["owner_admission"]["rejected_by_owner"]
+                assert stats["server"]["rejected_owner_rate"] >= 1
+
+    def test_mixed_owner_request_rejection_refunds_admitted_owners(
+        self, watermarked_and_key, second_owner_key
+    ):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            config=ServiceConfig(
+                port=0,
+                max_wait_ms=1.0,
+                owner_rate_limit_per_sec=0.001,
+                owner_rate_limit_burst=2,
+            )
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                acme = c.register_key(key, owner="acme")["key_id"]
+                globex = c.register_key(second_owner_key, owner="globex")["key_id"]
+                c.upload_suspect(watermarked, suspect_id="hit")
+                # Drain acme entirely.
+                c.verify(suspect_id="hit", key_ids=[acme])
+                c.verify(suspect_id="hit", key_ids=[acme])
+                # A request touching both owners is rejected by acme's empty
+                # bucket — and must not charge globex for the failed attempt.
+                with pytest.raises(RateLimitedError):
+                    c.verify(suspect_id="hit", key_ids=[acme, globex])
+                with pytest.raises(RateLimitedError):
+                    c.verify(suspect_id="hit", key_ids=[acme, globex])
+                assert c.verify(suspect_id="hit", key_ids=[globex])["decisions"]
+                assert c.verify(suspect_id="hit", key_ids=[globex])["decisions"]
+
+    def test_owner_burst_without_rate_is_rejected(self):
+        with pytest.raises(ValueError, match="owner_rate_limit_burst requires"):
+            ServiceConfig(owner_rate_limit_burst=10)
+
+    def test_suspects_ranking_across_co_resident_keys(
+        self, watermarked_and_key, second_owner_key
+    ):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            engine=WatermarkEngine(EngineConfig()),
+            config=ServiceConfig(port=0, max_wait_ms=1.0),
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                acme = c.register_key(key, owner="acme")["key_id"]
+                globex = c.register_key(second_owner_key, owner="globex")["key_id"]
+                out = c.upload_suspect(watermarked, suspect_id="hit", rank=True)
+                # Both claimants of the model family are listed with owners.
+                assert {entry["key_id"] for entry in out["candidate_keys"]} == {acme, globex}
+                assert {entry["owner"] for entry in out["candidate_keys"]} == {"acme", "globex"}
+                # Ranking puts the true owner first with full evidence.
+                ranking = out["ranking"]
+                assert [entry["key_id"] for entry in ranking][0] == acme
+                assert ranking[0]["owned"] is True
+                assert ranking[0]["wer_percent"] == 100.0
+                assert ranking[0]["owner"] == "acme"
+                assert ranking[1]["key_id"] == globex
+                assert ranking[1]["owned"] is False
+                # Without the flag the upload stays cheap (no ranking field).
+                plain = c.upload_suspect(watermarked, suspect_id="hit-2")
+                assert "ranking" not in plain
+
+    def test_rank_flag_must_be_boolean(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(config=ServiceConfig(port=0, max_wait_ms=1.0))
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                from repro.service.codec import model_to_wire
+
+                with pytest.raises(ServiceError, match="'rank' must be a boolean") as excinfo:
+                    c._request(
+                        "POST", "/suspects",
+                        {"model": model_to_wire(watermarked), "rank": "yes"},
+                    )
+                assert excinfo.value.status == 400
+
+    def test_multi_owner_keys_register_with_co_residents(
+        self, quantized_awq4, activation_stats
+    ):
+        engine = WatermarkEngine()
+        result = engine.insert_multi(quantized_awq4, activation_stats, 2)
+        server = VerificationServer(config=ServiceConfig(port=0, max_wait_ms=1.0))
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                for owner_id, key in result.keys().items():
+                    c.register_key(key, owner=owner_id)
+                c.upload_suspect(result.model, suspect_id="deploy")
+                # Both co-resident owners verify independently at 100%.
+                for record in c.keys():
+                    decision = c.verify(
+                        suspect_id="deploy", key_ids=[record["key_id"]]
+                    )["decisions"][0]
+                    assert decision["owned"] is True
+                    assert decision["wer_percent"] == 100.0
+                    assert record["co_residents"]  # denormalized onto the record
+                assert c.stats()["registry"]["multi_owner_models"] == 1
