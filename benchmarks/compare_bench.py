@@ -38,6 +38,7 @@ __all__ = [
     "GAUNTLET_MIN_WER",
     "GAUNTLET_CAPACITY_WER",
     "MIN_SPEEDUP_MEASURED",
+    "MIN_PROCESS_SPEEDUP_MEASURED",
     "validate_schema",
     "check_gates",
     "evaluate_report",
@@ -62,6 +63,12 @@ GAUNTLET_CAPACITY_WER = 100.0
 #: serial, engine round-trip vs the seed pipeline, warm vs cold extraction,
 #: and warm vs cold service throughput must never regress below parity.
 MIN_SPEEDUP_MEASURED = 1.0
+#: The process executor's acceptance bar: on a ≥ 4-core host in measured
+#: mode, 4 worker processes over shared-memory residents must complete the
+#: figure grids ≥ 1.5× faster than serial.  Only applied when the report's
+#: ``cpu_count`` clears the worker width — a single-core runner cannot
+#: parallelize the grid in any executor.
+MIN_PROCESS_SPEEDUP_MEASURED = 1.5
 
 
 class _Num:
@@ -76,14 +83,20 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
         "benchmark": str,
         "smoke": bool,
         "mode": str,
+        "cpu_count": int,
         "grid": dict,
         "repeats": int,
         "serial_seconds": _Num,
         "parallel_seconds": _Num,
+        "process_seconds": _Num,
         "parallel_workers": int,
         "speedup": _Num,
+        "process_speedup": _Num,
+        "process_start_method": str,
+        "peak_rss_kb": dict,
         "decision_digests_equal": bool,
         "streaming_batched_digests_equal": bool,
+        "streaming_process_digests_equal": bool,
         "decision_digests": list,
         "min_wer_by_attack": dict,
         "plan_cache": dict,
@@ -152,7 +165,13 @@ def _gate_gauntlet(report: Dict[str, object]) -> List[str]:
         failures.append("serial and parallel gauntlet decisions differ")
     if report["streaming_batched_digests_equal"] is not True:
         failures.append("streaming and batched gauntlet decisions differ")
-    if not report["serial_seconds"] > 0 or not report["parallel_seconds"] > 0:
+    if report["streaming_process_digests_equal"] is not True:
+        failures.append("streaming and process gauntlet decisions differ")
+    if (
+        not report["serial_seconds"] > 0
+        or not report["parallel_seconds"] > 0
+        or not report["process_seconds"] > 0
+    ):
         failures.append("timings must be positive")
     min_wer = report["min_wer_by_attack"]
     for attack, floor in GAUNTLET_MIN_WER.items():
@@ -175,6 +194,16 @@ def _gate_gauntlet(report: Dict[str, object]) -> List[str]:
         failures.append(
             f"parallel gauntlet speedup {report['speedup']:.2f}x regressed below "
             f"{MIN_SPEEDUP_MEASURED}x (measured mode)"
+        )
+    if (
+        not report["smoke"]
+        and report["cpu_count"] >= report["parallel_workers"]
+        and report["process_speedup"] < MIN_PROCESS_SPEEDUP_MEASURED
+    ):
+        failures.append(
+            f"process gauntlet speedup {report['process_speedup']:.2f}x is below "
+            f"{MIN_PROCESS_SPEEDUP_MEASURED}x "
+            f"(measured mode, {report['cpu_count']} cores)"
         )
     return failures
 

@@ -2,27 +2,30 @@
 
 Times the combined Figure 2a + 2b + 3 sweep grid — plus a GPTQ-backend grid
 measuring the re-quantization attack under error-compensated rounding — on
-the streaming gauntlet at two worker-pool widths:
+three executors:
 
 * **serial** (``max_workers=1``) — the shape of the per-figure loops the
   gauntlet replaced,
-* **parallel** (``max_workers=4``) — cells fanned out on the worker pool,
-  each verified through the shared key-plan session and released as its
-  worker finishes (O(workers) peak memory).
+* **thread** (``max_workers=4``, streaming) — cells fanned out on the
+  worker pool, each verified through the shared key-plan session and
+  released as its worker finishes (O(workers) peak memory),
+* **process** (``mode="process"``, 4 workers) — cells in worker processes
+  over shared-memory model residents (GIL-free attack stages); peak RSS of
+  the parent and the worker children is recorded alongside the timing.
 
 Gates:
 
-* **decision equivalence (always)** — the serial and parallel reports must
-  be bit-identical (same WER, matched bits, verdicts, quality metrics,
-  Equation 8 probabilities) at every worker count; compared via the
-  reports' decision digests.
+* **decision equivalence (always)** — the serial, thread and process
+  reports must be bit-identical (same WER, matched bits, verdicts, quality
+  metrics, Equation 8 probabilities) at every worker count; compared via
+  the reports' decision digests.
 * **streaming ≡ batched (always)** — the streaming pipeline's digests must
   match the batched reference pipeline's on the same grids.
-* **speedup (measured mode, ≥ 4 CPUs)** — the parallel pass must complete
-  the grid ≥ 1.5× faster than serial.  Like the engine and service
-  benchmarks, the timing gate is skipped in smoke mode (single-repeat runs
-  on noisy shared runners are not a fair comparison) and on machines
-  without enough cores to parallelize CPU-bound NumPy work.
+* **speedup (measured mode, ≥ 4 CPUs)** — the thread pass must complete the
+  grid ≥ 1.5× faster than serial, and so must the process pass.  Like the
+  engine and service benchmarks, the timing gates are skipped in smoke mode
+  (single-repeat runs on noisy shared runners are not a fair comparison)
+  and on machines without enough cores to parallelize the work.
 
 ``benchmarks/compare_bench.py`` re-validates the emitted JSON and applies
 the versioned regression thresholds in CI.
@@ -43,6 +46,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import resource
 import time
 from pathlib import Path
 from typing import Dict, List, Tuple
@@ -57,6 +61,7 @@ from repro.models.training import TrainingConfig, train_language_model
 from repro.models.transformer import TransformerLM
 from repro.quant.api import quantize_model
 from repro.robustness import GauntletSubject, build_attack, run_gauntlet
+from repro.robustness.procpool import resolve_start_method
 
 PARALLEL_WORKERS = 4
 #: Sim-scaled sweeps mirroring the three figures' grids.
@@ -210,8 +215,10 @@ def test_gauntlet_benchmark():
 
     serial_best = float("inf")
     parallel_best = float("inf")
+    process_best = float("inf")
     serial_digests: List[str] = []
     parallel_digests: List[str] = []
+    process_digests: List[str] = []
     for _ in range(repeats):
         seconds, serial_digests, _ = _run_figure_grids(
             engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
@@ -223,6 +230,11 @@ def test_gauntlet_benchmark():
             max_workers=PARALLEL_WORKERS,
         )
         parallel_best = min(parallel_best, seconds)
+        seconds, process_digests, _ = _run_figure_grids(
+            engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
+            max_workers=PARALLEL_WORKERS, mode="process",
+        )
+        process_best = min(process_best, seconds)
 
     # Untimed reference pass: the batched pipeline must reach the exact same
     # decisions the streaming passes did.
@@ -236,11 +248,20 @@ def test_gauntlet_benchmark():
     assert parallel_digests == warm_digests, (
         "parallel gauntlet produced different decisions than serial"
     )
+    assert process_digests == warm_digests, (
+        "process gauntlet produced different decisions than streaming"
+    )
     assert batched_digests == warm_digests, (
         "batched gauntlet produced different decisions than streaming"
     )
 
     speedup = serial_best / parallel_best if parallel_best else 0.0
+    process_speedup = serial_best / process_best if process_best else 0.0
+    # High-water marks over the whole run: the parent (holds the subjects +
+    # the shared arena) and the pool workers (each O(attacked model), by the
+    # shared-residency memory model).  ru_maxrss is KB on Linux.
+    usage_self = resource.getrusage(resource.RUSAGE_SELF)
+    usage_children = resource.getrusage(resource.RUSAGE_CHILDREN)
     gptq_cells = len(GPTQ_RTN_SWEEP) + len(GPTQ_GPTQ_SWEEP)
     num_cells = len(FIG2A_SWEEP) + len(FIG2B_SWEEP) + len(FIG3_PAYLOADS) + gptq_cells
     payload = {
@@ -260,10 +281,18 @@ def test_gauntlet_benchmark():
         "repeats": repeats,
         "serial_seconds": serial_best,
         "parallel_seconds": parallel_best,
+        "process_seconds": process_best,
         "parallel_workers": PARALLEL_WORKERS,
         "speedup": speedup,
+        "process_speedup": process_speedup,
+        "process_start_method": resolve_start_method(),
+        "peak_rss_kb": {
+            "parent": usage_self.ru_maxrss,
+            "worker_max": usage_children.ru_maxrss,
+        },
         "decision_digests_equal": True,
         "streaming_batched_digests_equal": True,
+        "streaming_process_digests_equal": True,
         "decision_digests": warm_digests,
         "min_wer_by_attack": min_wer,
         "plan_cache": engine.cache_stats(),
@@ -275,16 +304,21 @@ def test_gauntlet_benchmark():
     print(f"\n{json.dumps(payload, indent=2, sort_keys=True)}\n[written to {out_path}]")
 
     # Structural guarantees (always).
-    assert serial_best > 0 and parallel_best > 0
+    assert serial_best > 0 and parallel_best > 0 and process_best > 0
     assert min_wer["overwrite"] > 90.0
     assert min_wer["rewatermark"] > 80.0
     assert min_wer["capacity"] == 100.0
     if not smoke and cpu_count >= PARALLEL_WORKERS:
-        # The acceptance bar: 4 workers complete the figure grid ≥ 1.5×
-        # faster than serial.  Measured mode on a multi-core host only — a
-        # single-core container cannot parallelize CPU-bound NumPy threads
-        # and a smoke run on a noisy shared runner is not a fair timing.
+        # The acceptance bars: 4 workers complete the figure grid ≥ 1.5×
+        # faster than serial — on the thread pool and on the process pool.
+        # Measured mode on a multi-core host only — a single-core container
+        # cannot parallelize the work in any executor and a smoke run on a
+        # noisy shared runner is not a fair timing.
         assert speedup >= 1.5, (
             f"parallel gauntlet speedup {speedup:.2f}× is below the 1.5× bar "
             f"(serial {serial_best:.2f}s, parallel {parallel_best:.2f}s)"
+        )
+        assert process_speedup >= 1.5, (
+            f"process gauntlet speedup {process_speedup:.2f}× is below the "
+            f"1.5× bar (serial {serial_best:.2f}s, process {process_best:.2f}s)"
         )

@@ -142,6 +142,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "attacked model as its worker finishes (O(workers) peak "
                                "memory); batched retains the whole grid for one "
                                "verify_fleet sweep (default: streaming)")
+    gauntlet.add_argument("--executor", default=None,
+                          choices=["auto", "serial", "thread", "process"],
+                          help="who runs the cells: serial (one worker, in-process), "
+                               "thread (streaming thread pool), process (worker "
+                               "processes over shared-memory model residents — "
+                               "GIL-free attack stages), or auto (serial on "
+                               "single-core boxes / tiny grids, process otherwise). "
+                               "Overrides --mode; default: --mode's executor")
+    gauntlet.add_argument("--start-method", default=None,
+                          choices=["fork", "spawn", "forkserver"],
+                          help="multiprocessing start method for the process "
+                               "executor (default: REPRO_GAUNTLET_START_METHOD, "
+                               "then the platform default)")
     gauntlet.add_argument("--attack", action="append", default=None, metavar="NAME",
                           help="attack to include (repeatable; default: every "
                                "registered attack)")
@@ -394,6 +407,17 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
         print(f"error: --strengths given for attacks not in the grid: {orphaned}",
               file=sys.stderr)
         return 2
+    # --executor maps onto (mode, max_workers); --mode keeps addressing the
+    # in-process pipelines directly (streaming vs the batched reference).
+    mode, workers = args.mode, args.workers
+    if args.executor == "serial":
+        mode, workers = "streaming", 1
+    elif args.executor == "thread":
+        mode = "streaming"
+    elif args.executor == "process":
+        mode = "process"
+    elif args.executor == "auto":
+        mode = "auto"
     quant_method = None if args.quant == "auto" else args.quant
     print(f"preparing watermarked {args.model} (INT{args.bits}, "
           f"{args.quant} quantization, {args.profile} profile)...",
@@ -421,10 +445,11 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
         attacks,
         strengths=strengths or None,
         engine=context.engine,
-        max_workers=args.workers,
+        max_workers=workers,
         seed=args.seed,
         evaluate_quality=not args.no_quality,
-        mode=args.mode,
+        mode=mode,
+        start_method=args.start_method,
     )
     payload = report.to_json()
     if args.json:

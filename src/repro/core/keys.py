@@ -287,16 +287,20 @@ class WatermarkKey:
             reference_weights: Dict[str, np.ndarray] = {}
             outlier_columns: Dict[str, np.ndarray] = {}
             activation_arrays: Dict[str, np.ndarray] = {}
+            # ``asarray`` instead of ``astype``: already-int64 inputs pass
+            # through untouched, so a key restored from shared-memory views
+            # (see :mod:`repro.engine.shm`) stays zero-copy and read-only;
+            # mistyped inputs are still converted exactly as before.
             for key, value in arrays.items():
                 if key.startswith("weights/"):
-                    reference_weights[key[len("weights/") :]] = value.astype(np.int64)
+                    reference_weights[key[len("weights/") :]] = np.asarray(value, dtype=np.int64)
                 elif key.startswith("outliers/"):
-                    outlier_columns[key[len("outliers/") :]] = value.astype(np.int64)
+                    outlier_columns[key[len("outliers/") :]] = np.asarray(value, dtype=np.int64)
                 elif key.startswith("activations/"):
                     activation_arrays[key[len("activations/") :]] = value
             config = EmMarkConfig(**meta["config"])
             return cls(
-                signature=arrays["signature"].astype(np.int64),
+                signature=np.asarray(arrays["signature"], dtype=np.int64),
                 config=config,
                 reference_weights=reference_weights,
                 activations=ActivationStats.from_arrays(activation_arrays),

@@ -160,3 +160,14 @@ class PlanCache:
         """Drop every cached plan (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+
+    def reset_lock(self) -> None:
+        """Replace the internal lock without touching entries or counters.
+
+        Fork hygiene only (see ``repro.engine.engine._reset_engines_after_fork``):
+        a child forked while another parent thread held the lock would
+        deadlock on its first cache access, so the inherited lock object is
+        swapped for a fresh one.  Never call this in a process with live
+        threads using the cache.
+        """
+        self._lock = threading.Lock()

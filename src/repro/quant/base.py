@@ -248,6 +248,14 @@ class QuantizedLinear:
         deltas = np.asarray(deltas, dtype=np.int64)
         if flat_indices.shape != deltas.shape:
             raise ValueError("flat_indices and deltas must have the same shape")
+        if not self.weight_int.flags.writeable:
+            # Frozen layers (e.g. zero-copy shared-memory views in
+            # process-pool workers) are strictly read-only; numpy would raise
+            # on the write below, but without naming the offending layer.
+            raise ValueError(
+                f"layer {self.name!r} holds read-only weights (a frozen/shared "
+                "view); clone the model before mutating it"
+            )
         flat = self.flat_weight_view()
         flat[flat_indices] = self.grid.clip(flat[flat_indices] + deltas)
 
@@ -262,6 +270,28 @@ class QuantizedLinear:
         if not self.weight_int.flags["C_CONTIGUOUS"]:
             self.weight_int = np.ascontiguousarray(self.weight_int)
         return self.weight_int.reshape(-1)
+
+    def freeze(self) -> "QuantizedLinear":
+        """Mark every array of the layer read-only (in place; returns self).
+
+        Writes through any alias raise instead of silently corrupting shared
+        state — the safety contract of the zero-copy shared-memory views the
+        process-pool gauntlet hands its workers.  ``copy()`` of a frozen
+        layer is writable again (``np.ndarray.copy`` never inherits the
+        read-only flag), so the attack pipeline's clone-then-mutate pattern
+        is unaffected.
+        """
+        for array in (
+            self.weight_int,
+            self.scale,
+            self.bias,
+            self.input_smoothing,
+            self.outlier_columns,
+            self.outlier_weight,
+        ):
+            if array is not None:
+                array.flags.writeable = False
+        return self
 
     def copy(self) -> "QuantizedLinear":
         """Deep copy of the layer."""
@@ -384,6 +414,18 @@ class QuantizedModel:
                 state[f"{name}.bias"] = bias
         model.load_state_dict(state)
         return model
+
+    def freeze(self) -> "QuantizedModel":
+        """Mark every layer and state array read-only (in place; returns self).
+
+        See :meth:`QuantizedLinear.freeze`; :meth:`clone` of a frozen model
+        yields a fully writable deep copy.
+        """
+        for layer in self.iter_layers():
+            layer.freeze()
+        for array in self.full_precision_state.values():
+            array.flags.writeable = False
+        return self
 
     # -- copying ---------------------------------------------------------------
     def clone(self) -> "QuantizedModel":

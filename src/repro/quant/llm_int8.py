@@ -44,6 +44,15 @@ def rewrite_outlier_entries(
         raise ValueError("fraction must be in [0, 1]")
     if layer.outlier_weight is None or layer.outlier_weight.size == 0:
         return 0
+    if not layer.outlier_weight.flags.writeable:
+        # Frozen layers (shared-memory views handed to process-pool workers,
+        # see repro.engine.shm) must never be attacked in place — numpy would
+        # raise on the write below anyway, but with a message that hides
+        # which tensor was frozen and why.
+        raise ValueError(
+            f"layer {layer.name!r} holds read-only outlier weights "
+            "(a frozen/shared view); clone the model before attacking it"
+        )
     if not layer.outlier_weight.flags["C_CONTIGUOUS"]:
         # Same hazard flat_weight_view() guards: reshape(-1) on a
         # non-contiguous tensor is a copy and the writes below would be lost.

@@ -227,6 +227,15 @@ class _PerSubjectMemo:
         self._by_model: Dict[int, Tuple[weakref.ref, object]] = {}
         self._compute_locks: Dict[int, threading.Lock] = {}
 
+    def __reduce__(self):
+        # Locks and weakrefs don't pickle, and a memo keyed by ``id(model)``
+        # is meaningless in another process anyway: attacks shipped to
+        # process-pool gauntlet workers carry an *empty* memo and re-warm it
+        # against the worker's own shared-memory model views.  (A plain
+        # ``__getstate__`` returning ``{}`` would be skipped by pickle for
+        # being falsy, so the reconstruction is spelled as ``__reduce__``.)
+        return (self.__class__, ())
+
     def get(self, model: QuantizedModel, compute):
         key = id(model)
         with self._lock:

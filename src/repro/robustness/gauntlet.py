@@ -23,10 +23,18 @@ into one reusable engine-backed pipeline:
    :meth:`~repro.engine.engine.WatermarkEngine.verify_fleet` sweep.  Kept as
    the reference implementation; its decision digest is bit-identical to the
    streaming path at any worker count (the benchmark gates on it).
+4. **Process mode** (``mode="process"``) — cells run in worker *processes*
+   over shared-memory model/key residents
+   (:mod:`repro.robustness.procpool`): one publication of the subjects into
+   a :class:`~repro.engine.shm.SharedArena`, zero-copy read-only views per
+   worker, only cell coordinates and verdicts crossing the process
+   boundary.  This sidesteps the GIL where attack stages are Python-heavy;
+   ``mode="auto"`` picks between serial and process execution based on the
+   machine and the grid (see :meth:`Gauntlet._resolve_execution`).
 
 Each cell derives its own RNG from the gauntlet seed and the cell
 coordinates, so results are bit-identical at any ``max_workers`` and in
-either mode.  The result is a
+every mode.  The result is a
 :class:`~repro.robustness.report.RobustnessReport`.
 """
 
@@ -47,6 +55,7 @@ from repro.engine.reports import (
 from repro.eval.harness import EvaluationHarness
 from repro.quant.base import QuantizedModel
 from repro.robustness.attacks import AttackSpec
+from repro.robustness.procpool import START_METHODS, CellTask, ProcessCellExecutor
 from repro.robustness.report import GauntletCellResult, RobustnessReport
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
@@ -57,8 +66,9 @@ logger = get_logger("robustness.gauntlet")
 
 StrengthMap = Mapping[str, Sequence[float]]
 
-#: Execution modes of :meth:`Gauntlet.run`.
-GAUNTLET_MODES = ("streaming", "batched")
+#: Execution modes of :meth:`Gauntlet.run`.  ``"auto"`` resolves to serial
+#: streaming or process execution per run (machine + grid heuristic).
+GAUNTLET_MODES = ("streaming", "batched", "process", "auto")
 
 
 @dataclass(frozen=True)
@@ -85,9 +95,17 @@ class GauntletConfig:
     mode:
         ``"streaming"`` (default) verifies and releases each cell as its
         worker finishes; ``"batched"`` retains every attacked model and runs
-        one ``verify_fleet`` sweep.  Decisions are bit-identical; batched
-        exists as the reference implementation and peaks at
-        O(num_cells × model size) memory.
+        one ``verify_fleet`` sweep; ``"process"`` runs cells in worker
+        processes over shared-memory residents (GIL-free attack stages);
+        ``"auto"`` falls back to serial streaming on single-core boxes or
+        grids smaller than the worker pool, process execution otherwise.
+        Decisions are bit-identical in every mode — the resolved choice is
+        recorded on the report.
+    start_method:
+        Multiprocessing start method for ``mode="process"``/``"auto"``
+        (``"fork"``, ``"spawn"`` or ``"forkserver"``); ``None`` defers to
+        the ``REPRO_GAUNTLET_START_METHOD`` environment variable, then the
+        platform default.  Ignored by the in-process modes.
     """
 
     max_workers: Optional[int] = None
@@ -96,12 +114,18 @@ class GauntletConfig:
     max_false_claim_probability: Optional[float] = DEFAULT_MAX_FALSE_CLAIM_PROBABILITY
     evaluate_quality: bool = True
     mode: str = "streaming"
+    start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1 (or None for auto)")
         if self.mode not in GAUNTLET_MODES:
             raise ValueError(f"mode must be one of {GAUNTLET_MODES}, got {self.mode!r}")
+        if self.start_method is not None and self.start_method not in START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {START_METHODS} (or None), "
+                f"got {self.start_method!r}"
+            )
 
     def resolved_workers(self) -> int:
         """The worker count after applying the environment override."""
@@ -303,12 +327,45 @@ class Gauntlet:
                     "attach one or run with evaluate_quality=False"
                 )
 
-        if self.config.mode == "batched":
+        mode, workers = self._resolve_execution(len(cells), workers)
+        if mode == "batched":
             report = self._run_batched(subject_items, subject_for, cells, workers, wall_start)
+        elif mode == "process":
+            report = self._run_process(subject_items, subject_for, cells, workers, wall_start)
         else:
             report = self._run_streaming(subject_items, subject_for, cells, workers, wall_start)
+        if mode != "process":
+            # The in-process modes execute cells serially below the
+            # parallelism threshold and on a thread pool above it; record
+            # which one actually happened (informational — never digested).
+            report.executor = (
+                "serial" if (workers <= 1 or len(cells) < 2) else "thread"
+            )
         logger.debug("%s", report.summary())
         return report
+
+    def _resolve_execution(self, num_cells: int, workers: int) -> Tuple[str, int]:
+        """Resolve ``mode="auto"`` into a concrete (mode, workers) choice.
+
+        The heuristic attacks the measured thread-mode regression head-on:
+        parallelism costs real money up front (pool spin-up, and for the
+        process mode a model publication + per-worker attach), so it must
+        not be bought where it cannot pay off —
+
+        * a single-core box cannot run two cells at once in any executor, and
+        * a grid with fewer cells than workers leaves most of the pool idle
+          while still paying its startup,
+
+        so both cases run serially (streaming pipeline, one worker).  Every
+        other machine/grid combination takes the process executor — the only
+        one whose attack stages escape the GIL.  Explicit modes are returned
+        unchanged; the resolved choice lands in ``RobustnessReport.mode``.
+        """
+        if self.config.mode != "auto":
+            return self.config.mode, workers
+        if (os.cpu_count() or 1) <= 1 or num_cells < workers:
+            return "streaming", 1
+        return "process", workers
 
     def _cell_rng(self, cell: _Cell):
         # The RNG depends only on (seed, coordinates) — never on which worker
@@ -433,6 +490,95 @@ class Gauntlet:
             cache_hits=traffic.hits,
             cache_misses=traffic.misses,
             mode="streaming",
+        )
+
+    # ------------------------------------------------------------------
+    # Process mode: worker processes over shared-memory residents
+    # ------------------------------------------------------------------
+    def _run_process(
+        self,
+        subject_items: List[Tuple[str, GauntletSubject]],
+        subject_for: Dict[str, GauntletSubject],
+        cells: List[_Cell],
+        workers: int,
+        wall_start: float,
+    ) -> RobustnessReport:
+        stats_before = self.engine.cache.stats()
+        models = {model_id: subject.model for model_id, subject in subject_items}
+        keys = {model_id: subject.key for model_id, subject in subject_items}
+        co_key_ids: Dict[str, Tuple[Tuple[str, str], ...]] = {}
+        for model_id, subject in subject_items:
+            wired = []
+            for owner_id, co_key in (subject.co_keys or {}).items():
+                key_id = _co_key_id(model_id, owner_id)
+                keys[key_id] = co_key
+                wired.append((owner_id, key_id))
+            if wired:
+                co_key_ids[model_id] = tuple(wired)
+        # The parent reproduces every registered key's locations exactly once
+        # (served from the plan cache when warm); workers consume the small
+        # index arrays verbatim instead of re-running the scoring pass —
+        # bit-identical by purity of location reproduction.
+        key_locations = {
+            key_id: self.engine.reproduce_locations(key) for key_id, key in keys.items()
+        }
+        attacks = {cell.spec.name: cell.spec for cell in cells}
+        harnesses = {
+            model_id: subject.harness
+            for model_id, subject in subject_items
+            if subject.harness is not None
+        }
+        tasks = [
+            CellTask(
+                index=cell.index,
+                model_id=cell.model_id,
+                attack_name=cell.spec.name,
+                strength=cell.strength,
+            )
+            for cell in cells
+        ]
+        executor = ProcessCellExecutor(
+            models=models,
+            keys=keys,
+            key_locations=key_locations,
+            co_key_ids=co_key_ids,
+            attacks=attacks,
+            harnesses=harnesses,
+            evaluate_quality=self.config.evaluate_quality,
+            seed=self.config.seed,
+            wer_threshold=self.config.wer_threshold,
+            max_false_claim_probability=self.config.max_false_claim_probability,
+            workers=workers,
+            start_method=self.config.start_method,
+        )
+        with executor:
+            outcomes = executor.run(tasks)
+        results = [
+            self._cell_result(
+                cell,
+                outcome.owner,
+                outcome.attacker,
+                outcome.quality,
+                outcome.attack_seconds,
+                outcome.info,
+                co=outcome.co,
+            )
+            for cell, outcome in zip(cells, outcomes)
+        ]
+        traffic = self.engine.cache.stats().delta(stats_before)
+        return RobustnessReport(
+            cells=results,
+            seed=self.config.seed,
+            workers=workers,
+            wall_clock_seconds=time.perf_counter() - wall_start,
+            verify_seconds=sum(outcome.verify_seconds for outcome in outcomes),
+            # Parent-side traffic only (the location reproduction above);
+            # per-worker plan caches are private by design and not aggregated.
+            cache_hits=traffic.hits,
+            cache_misses=traffic.misses,
+            mode="process",
+            executor="process",
+            start_method=executor.start_method,
         )
 
     # ------------------------------------------------------------------

@@ -126,9 +126,17 @@ class RobustnessReport:
     verify_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
-    #: Execution mode that produced the report ("streaming" or "batched").
+    #: Execution mode that produced the report ("streaming", "batched" or
+    #: "process"; an "auto" request records what it resolved to).
     #: Informational only — decision fields and the digest are mode-invariant.
     mode: str = "streaming"
+    #: How cells were actually executed: "serial", "thread" or "process".
+    #: Distinguishes the two faces of the streaming pipeline (one worker vs
+    #: a thread pool).  Informational only, like ``mode``.
+    executor: str = "serial"
+    #: Multiprocessing start method of a process-mode run ("fork"/"spawn"/
+    #: "forkserver"); ``None`` for the in-process executors.
+    start_method: Optional[str] = None
 
     # -- structure ---------------------------------------------------------
     @property
@@ -267,7 +275,8 @@ class RobustnessReport:
         for attack, wer in sorted(self.min_wer_by_attack().items()):
             lines.append(f"  min WER under {attack}: {wer:.2f}%")
         lines.append(
-            f"  {self.num_cells} cells, {self.workers} workers ({self.mode}), "
+            f"  {self.num_cells} cells, {self.workers} workers "
+            f"({self.mode}/{self.executor}), "
             f"{self.wall_clock_seconds:.3f}s wall clock "
             f"({self.verify_seconds:.3f}s verification)"
         )
@@ -283,6 +292,8 @@ class RobustnessReport:
             "seed": self.seed,
             "workers": self.workers,
             "mode": self.mode,
+            "executor": self.executor,
+            "start_method": self.start_method,
             "num_cells": self.num_cells,
             "wall_clock_seconds": self.wall_clock_seconds,
             "verify_seconds": self.verify_seconds,

@@ -196,6 +196,7 @@ class VerificationClient:
         attacks: Optional[List[object]] = None,
         seed: int = 0,
         wer_threshold: Optional[float] = None,
+        executor: Optional[str] = None,
     ) -> Dict[str, object]:
         """Run the server-side robustness gauntlet on a stored suspect.
 
@@ -203,9 +204,11 @@ class VerificationClient:
         when the registry holds exactly one active key).  ``attacks``
         entries are attack names or ``{"name": ..., "strengths": [...]}``
         objects; omitted, the server sweeps every corpus-free attack at its
-        default strengths.  Returns the suspect id, the key id swept, and
-        the gauntlet report (per-cell ownership evidence, min-WER per
-        attack, decision digest).
+        default strengths.  ``executor`` picks the cell executor
+        (``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``; omitted,
+        the server's streaming default).  Returns the suspect id, the key id
+        swept, and the gauntlet report (per-cell ownership evidence, min-WER
+        per attack, decision digest).
         """
         body: Dict[str, object] = {"suspect_id": suspect_id, "seed": seed}
         if key_id is not None:
@@ -214,4 +217,6 @@ class VerificationClient:
             body["attacks"] = list(attacks)
         if wer_threshold is not None:
             body["wer_threshold"] = wer_threshold
+        if executor is not None:
+            body["executor"] = executor
         return self._request("POST", "/robustness", body)

@@ -755,11 +755,15 @@ class VerificationServer:
         fine-tuning, GPTQ re-quantization, the adaptive attacker, souping)
         stay client-side.  Quality evaluation is disabled — the server holds
         keys and suspects, not evaluation corpora — so every cell reports
-        ownership evidence only.  The sweep runs in streaming mode on the
-        shared engine (each attacked model is verified and released as its
-        worker finishes, so a grid never holds more than the worker count in
-        memory), reusing any location plans the verification traffic has
-        already cached, and every cell verdict is written to the audit log.
+        ownership evidence only.  By default the sweep runs in streaming
+        mode on the shared engine (each attacked model is verified and
+        released as its worker finishes, so a grid never holds more than the
+        worker count in memory), reusing any location plans the verification
+        traffic has already cached; an ``executor`` payload key of
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"`` selects the
+        cell executor explicitly (``"process"`` publishes the suspect into
+        shared memory and runs cells in worker processes).  Every cell
+        verdict is written to the audit log.
         """
         from repro.robustness import (
             Gauntlet,
@@ -870,6 +874,20 @@ class VerificationServer:
         except (TypeError, ValueError) as exc:
             raise _HttpError(400, f"invalid seed: {exc}") from exc
         config_kwargs: Dict[str, object] = {"seed": seed, "evaluate_quality": False}
+        executor = payload.get("executor")
+        if executor is not None:
+            if executor not in ("serial", "thread", "process", "auto"):
+                raise _HttpError(
+                    400,
+                    f"unknown executor {executor!r}; "
+                    "pick serial, thread, process or auto",
+                )
+            if executor == "serial":
+                config_kwargs["max_workers"] = 1
+            elif executor == "process":
+                config_kwargs["mode"] = "process"
+            elif executor == "auto":
+                config_kwargs["mode"] = "auto"
         try:
             if "wer_threshold" in payload:
                 config_kwargs["wer_threshold"] = float(payload["wer_threshold"])

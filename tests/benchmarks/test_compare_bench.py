@@ -28,14 +28,20 @@ def gauntlet_report(**overrides):
         "benchmark": "gauntlet",
         "smoke": True,
         "mode": "streaming",
+        "cpu_count": 8,
         "grid": {"total_cells": 19},
         "repeats": 1,
         "serial_seconds": 2.0,
         "parallel_seconds": 1.0,
+        "process_seconds": 0.8,
         "parallel_workers": 4,
         "speedup": 2.0,
+        "process_speedup": 2.5,
+        "process_start_method": "fork",
+        "peak_rss_kb": {"parent": 500_000, "worker_max": 120_000},
         "decision_digests_equal": True,
         "streaming_batched_digests_equal": True,
+        "streaming_process_digests_equal": True,
         "decision_digests": ["a", "b", "c", "d"],
         "min_wer_by_attack": {
             "overwrite": 97.5,
@@ -163,6 +169,38 @@ class TestGauntletGates:
         assert compare_bench.evaluate_report(
             gauntlet_report(smoke=False, speedup=1.0)
         ) == []
+
+    def test_streaming_process_flag_gates(self):
+        problems = compare_bench.evaluate_report(
+            gauntlet_report(streaming_process_digests_equal=False)
+        )
+        assert any("streaming and process" in p for p in problems)
+
+    def test_process_speedup_bar_is_1_5x(self):
+        assert compare_bench.MIN_PROCESS_SPEEDUP_MEASURED == 1.5
+        problems = compare_bench.evaluate_report(
+            gauntlet_report(smoke=False, process_speedup=1.4)
+        )
+        assert any("process gauntlet speedup" in p for p in problems)
+        assert compare_bench.evaluate_report(
+            gauntlet_report(smoke=False, process_speedup=1.5)
+        ) == []
+
+    def test_process_speedup_gate_skipped_below_worker_width(self):
+        # A single-core runner cannot parallelize the grid in any executor:
+        # the bar only applies when the host clears the worker count.
+        assert compare_bench.evaluate_report(
+            gauntlet_report(smoke=False, cpu_count=1, process_speedup=0.8)
+        ) == []
+
+    def test_process_speedup_gate_skipped_in_smoke_mode(self):
+        assert compare_bench.evaluate_report(
+            gauntlet_report(process_speedup=0.4)
+        ) == []
+
+    def test_process_timing_must_be_positive(self):
+        problems = compare_bench.evaluate_report(gauntlet_report(process_seconds=0.0))
+        assert any("timings" in p for p in problems)
 
 
 class TestEngineAndServiceGates:

@@ -62,6 +62,18 @@ class TestHelp:
         args = parser.parse_args(["insert", "--owners", "3"])
         assert args.command == "insert" and args.owners == 3
 
+    def test_gauntlet_executor_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["gauntlet", "--executor", "process", "--start-method", "spawn"]
+        )
+        assert args.executor == "process" and args.start_method == "spawn"
+        assert parser.parse_args(["gauntlet"]).executor is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["gauntlet", "--executor", "quantum"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["gauntlet", "--start-method", "psychic"])
+
 
 class TestInsertCommand:
     def test_multi_owner_insert_registers_and_saves_keys(self, tmp_path, capsys):

@@ -41,6 +41,24 @@ class TestRobustnessEndpoint:
         )
         assert out["report"]["decision_digest"] == direct.decision_digest()
 
+    def test_process_executor_matches_streaming_digest(self, client):
+        streaming = client.robustness("hit", attacks=ATTACKS, seed=3)
+        process = client.robustness("hit", attacks=ATTACKS, seed=3, executor="process")
+        assert process["report"]["executor"] == "process"
+        assert (
+            process["report"]["decision_digest"]
+            == streaming["report"]["decision_digest"]
+        )
+
+    def test_serial_executor_pins_one_worker(self, client):
+        out = client.robustness("hit", attacks=ATTACKS, seed=3, executor="serial")
+        assert out["report"]["executor"] == "serial"
+        assert out["report"]["workers"] == 1
+
+    def test_unknown_executor_rejected(self, client):
+        with pytest.raises(ServiceError, match="unknown executor"):
+            client.robustness("hit", attacks=ATTACKS, executor="quantum")
+
     def test_default_attacks_are_corpus_free(self, client):
         out = client.robustness("hit", attacks=[
             {"name": "overwrite", "strengths": [10]},
