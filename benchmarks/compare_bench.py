@@ -39,6 +39,7 @@ __all__ = [
     "GAUNTLET_CAPACITY_WER",
     "MIN_SPEEDUP_MEASURED",
     "MIN_PROCESS_SPEEDUP_MEASURED",
+    "MIN_TELEMETRY_THROUGHPUT_RATIO",
     "validate_schema",
     "check_gates",
     "evaluate_report",
@@ -69,6 +70,12 @@ MIN_SPEEDUP_MEASURED = 1.0
 #: ``cpu_count`` clears the worker width — a single-core runner cannot
 #: parallelize the grid in any executor.
 MIN_PROCESS_SPEEDUP_MEASURED = 1.5
+#: The observability layer's overhead bar: a serial gauntlet pass with
+#: tracing and live progress enabled must retain at least 95% of the
+#: uninstrumented pass's throughput (measured mode only — smoke timings on
+#: shared runners are noise).  Decision equivalence with telemetry on is
+#: gated unconditionally via ``telemetry_digests_equal``.
+MIN_TELEMETRY_THROUGHPUT_RATIO = 0.95
 
 
 class _Num:
@@ -94,9 +101,13 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
         "process_speedup": _Num,
         "process_start_method": str,
         "peak_rss_kb": dict,
+        "instrumented_seconds": _Num,
+        "telemetry_throughput_ratio": _Num,
+        "telemetry_spans_recorded": int,
         "decision_digests_equal": bool,
         "streaming_batched_digests_equal": bool,
         "streaming_process_digests_equal": bool,
+        "telemetry_digests_equal": bool,
         "decision_digests": list,
         "min_wer_by_attack": dict,
         "plan_cache": dict,
@@ -167,6 +178,8 @@ def _gate_gauntlet(report: Dict[str, object]) -> List[str]:
         failures.append("streaming and batched gauntlet decisions differ")
     if report["streaming_process_digests_equal"] is not True:
         failures.append("streaming and process gauntlet decisions differ")
+    if report["telemetry_digests_equal"] is not True:
+        failures.append("tracing/progress changed gauntlet decisions")
     if (
         not report["serial_seconds"] > 0
         or not report["parallel_seconds"] > 0
@@ -204,6 +217,15 @@ def _gate_gauntlet(report: Dict[str, object]) -> List[str]:
             f"process gauntlet speedup {report['process_speedup']:.2f}x is below "
             f"{MIN_PROCESS_SPEEDUP_MEASURED}x "
             f"(measured mode, {report['cpu_count']} cores)"
+        )
+    if (
+        not report["smoke"]
+        and report["telemetry_throughput_ratio"] < MIN_TELEMETRY_THROUGHPUT_RATIO
+    ):
+        failures.append(
+            f"instrumented gauntlet retains only "
+            f"{report['telemetry_throughput_ratio']:.2f}x of uninstrumented "
+            f"throughput, below {MIN_TELEMETRY_THROUGHPUT_RATIO}x (measured mode)"
         )
     return failures
 

@@ -26,6 +26,10 @@ Gates:
   engine and service benchmarks, the timing gates are skipped in smoke mode
   (single-repeat runs on noisy shared runners are not a fair comparison)
   and on machines without enough cores to parallelize the work.
+* **telemetry overhead (measured mode)** — a serial pass with tracing and
+  live progress enabled must reach the exact same decisions and keep
+  ≥ 0.95× of the uninstrumented throughput, pinning the observability
+  layer's "spans only measure" contract with a number.
 
 ``benchmarks/compare_bench.py`` re-validates the emitted JSON and applies
 the versioned regression thresholds in CI.
@@ -52,6 +56,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 from repro.core.config import EmMarkConfig
+from repro.obs import TraceCollector, tracing
 from repro.data.wikitext import build_wikitext_sim
 from repro.engine import EngineConfig, WatermarkEngine
 from repro.eval.harness import EvaluationHarness
@@ -143,7 +148,7 @@ def _build_substrate():
 
 def _run_figure_grids(
     engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
-    max_workers: int, mode: str = "streaming",
+    max_workers: int, mode: str = "streaming", progress: bool = False,
 ) -> Tuple[float, List[str], Dict[str, float]]:
     """One Figure 2a + 2b + 3 + GPTQ pass; returns (seconds, digests, min-WERs)."""
     start = time.perf_counter()
@@ -155,6 +160,7 @@ def _run_figure_grids(
         max_workers=max_workers,
         seed=0,
         mode=mode,
+        progress=progress,
     )
     fig2b = run_gauntlet(
         {"fig2b": fig2_subject},
@@ -164,6 +170,7 @@ def _run_figure_grids(
         max_workers=max_workers,
         seed=0,
         mode=mode,
+        progress=progress,
     )
     fig3 = run_gauntlet(
         capacity_subjects,
@@ -172,6 +179,7 @@ def _run_figure_grids(
         max_workers=max_workers,
         seed=0,
         mode=mode,
+        progress=progress,
     )
     gptq_grid = run_gauntlet(
         {"gptq": gptq_subject},
@@ -184,6 +192,7 @@ def _run_figure_grids(
         max_workers=max_workers,
         seed=0,
         mode=mode,
+        progress=progress,
     )
     seconds = time.perf_counter() - start
     digests = [
@@ -216,15 +225,29 @@ def test_gauntlet_benchmark():
     serial_best = float("inf")
     parallel_best = float("inf")
     process_best = float("inf")
+    instrumented_best = float("inf")
     serial_digests: List[str] = []
     parallel_digests: List[str] = []
     process_digests: List[str] = []
+    instrumented_digests: List[str] = []
+    spans_recorded = 0
     for _ in range(repeats):
         seconds, serial_digests, _ = _run_figure_grids(
             engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
             max_workers=1,
         )
         serial_best = min(serial_best, seconds)
+        # Fully instrumented serial pass: tracing + live progress on.  Same
+        # grid, same seed — the overhead ratio below is the price of the
+        # telemetry layer, and the digests must not move.
+        collector = TraceCollector()
+        with tracing(collector):
+            seconds, instrumented_digests, _ = _run_figure_grids(
+                engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
+                max_workers=1, progress=True,
+            )
+        instrumented_best = min(instrumented_best, seconds)
+        spans_recorded = max(spans_recorded, len(collector))
         seconds, parallel_digests, _ = _run_figure_grids(
             engine, fig2_subject, capacity_subjects, gptq_subject, dataset,
             max_workers=PARALLEL_WORKERS,
@@ -254,9 +277,13 @@ def test_gauntlet_benchmark():
     assert batched_digests == warm_digests, (
         "batched gauntlet produced different decisions than streaming"
     )
+    assert instrumented_digests == warm_digests, (
+        "tracing/progress changed gauntlet decisions — telemetry must only measure"
+    )
 
     speedup = serial_best / parallel_best if parallel_best else 0.0
     process_speedup = serial_best / process_best if process_best else 0.0
+    telemetry_ratio = serial_best / instrumented_best if instrumented_best else 0.0
     # High-water marks over the whole run: the parent (holds the subjects +
     # the shared arena) and the pool workers (each O(attacked model), by the
     # shared-residency memory model).  ru_maxrss is KB on Linux.
@@ -290,9 +317,13 @@ def test_gauntlet_benchmark():
             "parent": usage_self.ru_maxrss,
             "worker_max": usage_children.ru_maxrss,
         },
+        "instrumented_seconds": instrumented_best,
+        "telemetry_throughput_ratio": telemetry_ratio,
+        "telemetry_spans_recorded": spans_recorded,
         "decision_digests_equal": True,
         "streaming_batched_digests_equal": True,
         "streaming_process_digests_equal": True,
+        "telemetry_digests_equal": True,
         "decision_digests": warm_digests,
         "min_wer_by_attack": min_wer,
         "plan_cache": engine.cache_stats(),
@@ -305,6 +336,7 @@ def test_gauntlet_benchmark():
 
     # Structural guarantees (always).
     assert serial_best > 0 and parallel_best > 0 and process_best > 0
+    assert instrumented_best > 0 and spans_recorded > 0
     assert min_wer["overwrite"] > 90.0
     assert min_wer["rewatermark"] > 80.0
     assert min_wer["capacity"] == 100.0
@@ -321,4 +353,12 @@ def test_gauntlet_benchmark():
         assert process_speedup >= 1.5, (
             f"process gauntlet speedup {process_speedup:.2f}× is below the "
             f"1.5× bar (serial {serial_best:.2f}s, process {process_best:.2f}s)"
+        )
+    if not smoke:
+        # Telemetry-overhead bar: tracing + progress may cost at most 5% of
+        # serial throughput.  Host-size independent — both passes are serial.
+        assert telemetry_ratio >= 0.95, (
+            f"instrumented gauntlet runs at {telemetry_ratio:.2f}× of "
+            f"uninstrumented throughput, below the 0.95× bar "
+            f"(serial {serial_best:.2f}s, instrumented {instrumented_best:.2f}s)"
         )

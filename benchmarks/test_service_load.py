@@ -192,7 +192,11 @@ def test_service_load():
             report = _burst(handle.port, concurrency, requests_level, collect=True)
             assert report.completed == requests_level
             assert report.errors == 0
+            assert report.failed == 0
             assert report.throughput_rps > 0
+            # Ramp behavior rides into BENCH_service.json: the per-second
+            # time-series accounts for every completed request.
+            assert sum(report.throughput_timeseries) == report.completed
             all_decisions.extend(report.decisions)
             levels[str(concurrency)] = report.to_dict()
 

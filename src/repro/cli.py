@@ -47,7 +47,11 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.utils.logging import configure, get_logger
+
 __all__ = ["build_parser", "main"]
+
+logger = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="EmMark reproduction: watermark ownership-verification service tools.",
     )
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="console log level (DEBUG, INFO, ...; default: "
+                             "REPRO_LOG_LEVEL environment variable, then INFO)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     insert = sub.add_parser("insert", help="watermark a model (multi-owner capable)")
@@ -95,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="token-bucket sustained requests/sec (default: unlimited)")
     serve.add_argument("--burst", type=float, default=None,
                        help="token-bucket burst capacity (default: one second of rate)")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="record engine/gauntlet trace spans while serving and "
+                            "write Chrome trace_event JSON here on shutdown "
+                            "(load in Perfetto / chrome://tracing)")
 
     verify = sub.add_parser("verify", help="offline ownership check against a registry")
     verify.add_argument("--registry", metavar="DIR", required=True,
@@ -171,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
     gauntlet.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     gauntlet.add_argument("--output", metavar="PATH", default=None,
                           help="write the JSON report here as well as stdout")
+    gauntlet.add_argument("--progress", action="store_true",
+                          help="live stderr progress line (cells done/total, rate, "
+                               "ETA, per-attack min WER)")
+    gauntlet.add_argument("--trace", metavar="PATH", default=None,
+                          help="write Chrome trace_event JSON of the sweep here "
+                               "(plan/score/verify/cell spans across all workers; "
+                               "load in Perfetto / chrome://tracing)")
     return parser
 
 
@@ -187,8 +205,8 @@ def _cmd_insert(args: argparse.Namespace) -> int:
         print("error: --owners must be >= 1", file=sys.stderr)
         return 2
     quant_method = None if args.quant == "auto" else args.quant
-    print(f"preparing {args.model} (INT{args.bits}, {args.quant} quantization, "
-          f"{args.profile} profile)...", file=sys.stderr)
+    logger.info("preparing %s (INT%d, %s quantization, %s profile)...",
+                args.model, args.bits, args.quant, args.profile)
     context = prepare_context(args.model, args.bits, profile=args.profile,
                               num_task_examples=16, quant_method=quant_method)
     result = insert_multi_owner(context, args.owners)
@@ -202,12 +220,11 @@ def _cmd_insert(args: argparse.Namespace) -> int:
         registry = KeyRegistry(args.registry)
         for owner_id, key in result.keys().items():
             registry.register(key, owner=owner_id)
-        print(f"registered {result.num_owners} keys into {args.registry}",
-              file=sys.stderr)
+        logger.info("registered %d keys into %s", result.num_owners, args.registry)
     if args.output:
         for owner_id, key in result.keys().items():
             key.save(Path(args.output) / owner_id)
-        print(f"saved {result.num_owners} keys under {args.output}", file=sys.stderr)
+        logger.info("saved %d keys under %s", result.num_owners, args.output)
 
     rows = []
     for item in result.items:
@@ -274,6 +291,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         audit=AuditLog(args.audit_log),
         config=config,
     )
+    collector = None
+    if args.trace:
+        from repro.obs.trace import TraceCollector, set_collector
+
+        collector = TraceCollector()
+        set_collector(collector)
 
     async def run() -> None:
         await server.start()
@@ -288,6 +311,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        if collector is not None:
+            from repro.obs.trace import set_collector
+
+            set_collector(None)
+            collector.save(args.trace)
+            print(f"[trace written to {args.trace}]", file=sys.stderr)
     return 0
 
 
@@ -376,14 +406,18 @@ def _parse_strengths(raw: Optional[List[str]]) -> dict:
 
 
 def _cmd_gauntlet(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.core.emmark import EmMark
     from repro.experiments.common import prepare_context
+    from repro.obs.trace import TraceCollector, tracing
     from repro.robustness import (
         GauntletSubject,
         available_attacks,
         build_attack,
         run_gauntlet,
     )
+    from repro.utils.logging import run_context
 
     try:
         strengths = _parse_strengths(args.strengths)
@@ -419,9 +453,8 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
     elif args.executor == "auto":
         mode = "auto"
     quant_method = None if args.quant == "auto" else args.quant
-    print(f"preparing watermarked {args.model} (INT{args.bits}, "
-          f"{args.quant} quantization, {args.profile} profile)...",
-          file=sys.stderr)
+    logger.info("preparing watermarked %s (INT%d, %s quantization, %s profile)...",
+                args.model, args.bits, args.quant, args.profile)
     context = prepare_context(args.model, args.bits, profile=args.profile,
                               num_task_examples=16, quant_method=quant_method)
     emmark = EmMark(context.emmark_config, engine=context.engine)
@@ -439,18 +472,25 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
         )
         for name in attack_names
     ]
-    report = run_gauntlet(
-        {args.model: GauntletSubject(
-            model=watermarked, key=key, harness=context.harness)},
-        attacks,
-        strengths=strengths or None,
-        engine=context.engine,
-        max_workers=workers,
-        seed=args.seed,
-        evaluate_quality=not args.no_quality,
-        mode=mode,
-        start_method=args.start_method,
-    )
+    collector = TraceCollector() if args.trace else None
+    with run_context(f"gauntlet-{args.model}"):
+        with tracing(collector) if collector is not None else contextlib.nullcontext():
+            report = run_gauntlet(
+                {args.model: GauntletSubject(
+                    model=watermarked, key=key, harness=context.harness)},
+                attacks,
+                strengths=strengths or None,
+                engine=context.engine,
+                max_workers=workers,
+                seed=args.seed,
+                evaluate_quality=not args.no_quality,
+                mode=mode,
+                start_method=args.start_method,
+                progress=args.progress,
+            )
+    if collector is not None:
+        collector.save(args.trace)
+        print(f"[trace written to {args.trace}]", file=sys.stderr)
     payload = report.to_json()
     if args.json:
         print(payload)
@@ -468,6 +508,9 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (returns the process exit code)."""
     args = build_parser().parse_args(argv)
+    # One logging setup for every sub-command: --log-level, then the
+    # REPRO_LOG_LEVEL environment variable, then INFO (see resolve_level).
+    configure(args.log_level)
     if args.command == "insert":
         return _cmd_insert(args)
     if args.command == "serve":

@@ -68,6 +68,7 @@ from repro.engine.reports import (
     PairVerification,
 )
 from repro.models.activations import ActivationStats
+from repro.obs.trace import span
 from repro.quant.base import QuantizationGrid, QuantizedLinear, QuantizedModel
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
@@ -288,10 +289,11 @@ class FleetVerificationSession:
         produce for the pair.  The suspect is not retained — the caller may
         release it as soon as this returns.
         """
-        key_locations = self.locations(key_id)
-        with self._registry_lock:
-            key = self._keys[key_id]
-        return self._evaluate_pair(suspect_id, suspect, key, key_id, key_locations)
+        with span("engine.verify_pair", suspect=suspect_id, key=key_id):
+            key_locations = self.locations(key_id)
+            with self._registry_lock:
+                key = self._keys[key_id]
+            return self._evaluate_pair(suspect_id, suspect, key, key_id, key_locations)
 
     def verify_once(
         self, suspect_id: str, suspect: QuantizedModel, key: WatermarkKey, key_id: str
@@ -461,30 +463,32 @@ class WatermarkEngine:
         occupied: Optional[np.ndarray] = None,
     ) -> LocationPlan:
         start = time.perf_counter()
-        # Re-rank past occupied slots: the top-k ranking is extended by the
-        # occupancy size so that after dropping occupied positions the pool
-        # is still the |B_c| best *free* positions (in the same ascending
-        # score order a virgin ranking would give them).  Zero occupancy
-        # degenerates to the exact pre-allocator pipeline.
-        extension = 0 if occupied is None else int(occupied.size)
-        scores = select_candidates(
-            layer,
-            channel_activations,
-            alpha=config.alpha,
-            beta=config.beta,
-            pool_size=pool_size + extension,
-            exclude_saturated=config.exclude_saturated,
-        )
-        candidates = scores.candidate_indices
-        if occupied is not None:
-            candidates = candidates[~np.isin(candidates, occupied)][:pool_size]
-        if candidates.size < bits_needed:
-            raise ValueError(
-                f"layer {layer.name!r} offers only {candidates.size} candidate positions "
-                f"but {bits_needed} signature bits were requested; lower bits_per_layer"
-            )
-        rng = new_rng(config.seed, "selection", layer.name)
-        chosen = rng.choice(candidates, size=bits_needed, replace=False)
+        with span("engine.plan", layer=layer.name, bits=bits_needed):
+            # Re-rank past occupied slots: the top-k ranking is extended by the
+            # occupancy size so that after dropping occupied positions the pool
+            # is still the |B_c| best *free* positions (in the same ascending
+            # score order a virgin ranking would give them).  Zero occupancy
+            # degenerates to the exact pre-allocator pipeline.
+            extension = 0 if occupied is None else int(occupied.size)
+            with span("engine.score_topk", layer=layer.name):
+                scores = select_candidates(
+                    layer,
+                    channel_activations,
+                    alpha=config.alpha,
+                    beta=config.beta,
+                    pool_size=pool_size + extension,
+                    exclude_saturated=config.exclude_saturated,
+                )
+            candidates = scores.candidate_indices
+            if occupied is not None:
+                candidates = candidates[~np.isin(candidates, occupied)][:pool_size]
+            if candidates.size < bits_needed:
+                raise ValueError(
+                    f"layer {layer.name!r} offers only {candidates.size} candidate positions "
+                    f"but {bits_needed} signature bits were requested; lower bits_per_layer"
+                )
+            rng = new_rng(config.seed, "selection", layer.name)
+            chosen = rng.choice(candidates, size=bits_needed, replace=False)
         return LocationPlan(
             layer_name=layer.name,
             fingerprint=fingerprint,
@@ -613,7 +617,8 @@ class WatermarkEngine:
             layer.add_to_weights(plan.locations, layer_signature)
             return name, plan.pool_size, time.thread_time() - start, plan.locations
 
-        results = self.map_layers(watermark_layer, layer_names)
+        with span("engine.insert", model=model.config.name, layers=len(layer_names)):
+            results = self.map_layers(watermark_layer, layer_names)
         per_layer_seconds = [seconds for _, _, seconds, _ in results]
         pool_sizes = {name: pool for name, pool, _, _ in results}
         locations = {name: locs for name, _, _, locs in results}
@@ -728,7 +733,8 @@ class WatermarkEngine:
             )
             return name, plan.locations
 
-        return dict(self.map_layers(reproduce, key.layer_names))
+        with span("engine.reproduce_locations", layers=len(key.layer_names)):
+            return dict(self.map_layers(reproduce, key.layer_names))
 
     def _match_locations(
         self,
@@ -915,15 +921,27 @@ class WatermarkEngine:
             max_false_claim_probability=max_false_claim_probability,
         )
         results: List[PairVerification] = []
-        for key_id, _key in key_items:
-            if requested is not None:
-                wanted = [
-                    (sid, suspect) for sid, suspect in suspect_items if (sid, key_id) in requested
-                ]
-            else:
-                wanted = suspect_items
-            for suspect_id, suspect in wanted:
-                results.append(session.verify(suspect_id, suspect, key_id))
+        with span(
+            "engine.verify_fleet",
+            suspects=len(suspect_items),
+            keys=len(key_items),
+            pairs=(
+                len(requested)
+                if requested is not None
+                else len(suspect_items) * len(key_items)
+            ),
+        ):
+            for key_id, _key in key_items:
+                if requested is not None:
+                    wanted = [
+                        (sid, suspect)
+                        for sid, suspect in suspect_items
+                        if (sid, key_id) in requested
+                    ]
+                else:
+                    wanted = suspect_items
+                for suspect_id, suspect in wanted:
+                    results.append(session.verify(suspect_id, suspect, key_id))
         # Re-order suspect-major for stable reporting regardless of loop nest.
         suspect_order = {sid: i for i, (sid, _) in enumerate(suspect_items)}
         key_order = {kid: i for i, (kid, _) in enumerate(key_items)}

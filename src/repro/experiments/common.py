@@ -26,6 +26,9 @@ from repro.models.registry import get_model_config, get_pretrained_model_and_dat
 from repro.models.transformer import TransformerLM
 from repro.quant.api import paper_quantizer_for, quantize_model
 from repro.quant.base import QuantizedModel
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments")
 
 __all__ = [
     "ExperimentContext",
@@ -108,12 +111,20 @@ def _cached_context(
     quant_method: Optional[str],
 ) -> ExperimentContext:
     config = get_model_config(model_name)
+    logger.info(
+        "preparing experiment substrate: %s (INT%d, profile=%s)",
+        model_name, bits, profile,
+    )
     model, dataset = get_pretrained_model_and_data(model_name, profile=profile)
     activations = collect_activation_stats(model, dataset.calibration)
     method = quant_method or paper_quantizer_for(config.family, bits).method_name
     quantized = quantize_model(model, method, bits=bits, activations=activations)
     harness = EvaluationHarness(dataset, num_task_examples=num_task_examples)
     baseline_quality = harness.evaluate(quantized)
+    logger.info(
+        "substrate ready: %s via %s, baseline perplexity %.3f",
+        model_name, method, baseline_quality.perplexity,
+    )
     emmark_config = EmMarkConfig.scaled_for_model(
         quantized, bits_per_layer=default_sim_bits_per_layer(bits)
     )

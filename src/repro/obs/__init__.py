@@ -1,0 +1,52 @@
+"""Zero-dependency observability: metrics, trace spans, live progress.
+
+Three pillars, all stdlib-only and safe to leave enabled in production:
+
+``repro.obs.metrics``
+    A thread-safe :class:`MetricsRegistry` of counters, gauges, and
+    fixed-bucket histograms with Prometheus text exposition — the backing
+    store for the service's ``GET /metrics`` endpoint.
+
+``repro.obs.trace``
+    A :func:`span` context manager producing structured spans (wall + CPU
+    time, parent links, attributes) that export as Chrome ``trace_event``
+    JSON loadable in ``chrome://tracing`` / Perfetto.  Disabled spans are
+    near-free; instrumentation never perturbs decisions.
+
+``repro.obs.progress``
+    A throttled, single-line stderr progress renderer (done/total, ETA,
+    cells/sec, per-attack min-WER) shared by the gauntlet's serial, thread,
+    and process executors.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+from repro.obs.progress import ProgressRenderer
+from repro.obs.trace import (
+    SpanRecord,
+    TraceCollector,
+    get_collector,
+    set_collector,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "ProgressRenderer",
+    "SpanRecord",
+    "TraceCollector",
+    "get_collector",
+    "set_collector",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,405 @@
+"""Thread-safe metrics instruments with Prometheus text exposition.
+
+The registry is deliberately tiny: three instrument kinds (counter, gauge,
+fixed-bucket histogram), labels as frozen ``(key, value)`` tuples, and a
+pull hook (:meth:`MetricsRegistry.register_collector`) for sources that
+already keep their own counters — the plan cache, the audit log, the
+dispatcher queue — so exposition reads their live values without double
+bookkeeping.
+
+Exposition follows the Prometheus text format (version 0.0.4): one
+``# HELP`` / ``# TYPE`` header per family, one sample line per label set,
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` / ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bounds for second-valued latencies: 250 µs .. 30 s.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _labelset(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    for key, _ in items:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return items
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _format_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition sample from a pull-based collector."""
+
+    name: str
+    value: float
+    kind: str = "gauge"  # "counter" | "gauge"
+    help: str = ""
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+
+class _Instrument:
+    """Base: a named, labelled instrument guarded by its own lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_set: LabelSet = _labelset(labels)
+        self._lock = threading.Lock()
+
+    def reset_lock(self) -> None:
+        """Replace the internal lock (fork hygiene: a forked child may
+        inherit a lock captured mid-acquire by another thread)."""
+        self._lock = threading.Lock()
+
+    # Each instrument knows how to render itself as exposition lines.
+    def exposition_lines(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def exposition_lines(self) -> List[str]:
+        return [f"{self.name}{_format_labels(self.label_set)} {_format_value(self.value)}"]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def exposition_lines(self) -> List[str]:
+        return [f"{self.name}{_format_labels(self.label_set)} {_format_value(self.value)}"]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with interpolated percentile summaries."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot: +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) by linear interpolation
+        within the bucket that contains its rank."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = q * total
+            cumulative = 0
+            lower = 0.0
+            for i, bound in enumerate(self.bounds):
+                bucket_n = self._counts[i]
+                if cumulative + bucket_n >= rank and bucket_n > 0:
+                    within = (rank - cumulative) / bucket_n
+                    return lower + (bound - lower) * within
+                cumulative += bucket_n
+                lower = bound
+            # Rank falls in the overflow bucket: clamp to the last bound.
+            return self.bounds[-1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def exposition_lines(self) -> List[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            value_sum = self._sum
+        lines = []
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += counts[i]
+            labels = self.label_set + (("le", _format_value(bound)),)
+            lines.append(f"{self.name}_bucket{_format_labels(labels)} {cumulative}")
+        labels = self.label_set + (("le", "+Inf"),)
+        lines.append(f"{self.name}_bucket{_format_labels(labels)} {total}")
+        lines.append(f"{self.name}_sum{_format_labels(self.label_set)} {_format_value(value_sum)}")
+        lines.append(f"{self.name}_count{_format_labels(self.label_set)} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments plus pull-based collectors.
+
+    Instruments are keyed by ``(name, label set)``; a family (one name,
+    many label sets) must keep one kind and one help string.  Collectors
+    are zero-argument callables returning :class:`Sample` iterables,
+    evaluated at exposition/snapshot time — use them for sources that
+    already maintain counters of their own.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelSet], _Instrument] = {}
+        self._families: Dict[str, Tuple[str, str]] = {}  # name -> (kind, help)
+        self._collectors: List[Callable[[], Iterable[Sample]]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument creation
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self,
+        cls,
+        name: str,
+        help: str,
+        labels: Optional[Mapping[str, str]],
+        **kwargs,
+    ):
+        key = (name, _labelset(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            family = self._families.get(name)
+            if family is not None and family[0] != cls.kind:
+                raise ValueError(
+                    f"metric family {name!r} already registered as {family[0]}"
+                )
+            instrument = cls(name, help or (family[1] if family else ""), labels, **kwargs)
+            self._instruments[key] = instrument
+            if family is None:
+                self._families[name] = (cls.kind, help)
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def register_collector(self, collector: Callable[[], Iterable[Sample]]) -> None:
+        """Register a pull source evaluated at render/snapshot time."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def reset_locks(self) -> None:
+        """Fork hygiene: replace every lock in the registry and its
+        instruments (mirrors ``PlanCache.reset_lock``)."""
+        self._lock = threading.Lock()
+        for instrument in list(self._instruments.values()):
+            instrument.reset_lock()
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def _collector_samples(self) -> List[Sample]:
+        with self._lock:
+            collectors = list(self._collectors)
+        samples: List[Sample] = []
+        for collector in collectors:
+            samples.extend(collector())
+        return samples
+
+    def render(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every family."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            families = dict(self._families)
+        # Group direct instruments by family name for single HELP/TYPE headers.
+        by_name: Dict[str, List[_Instrument]] = {}
+        for instrument in instruments:
+            by_name.setdefault(instrument.name, []).append(instrument)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            kind, help = families.get(name, (by_name[name][0].kind, ""))
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            for instrument in sorted(by_name[name], key=lambda m: m.label_set):
+                lines.extend(instrument.exposition_lines())
+        # Pull-based samples, grouped the same way.
+        pulled: Dict[str, List[Sample]] = {}
+        for sample in self._collector_samples():
+            pulled.setdefault(sample.name, []).append(sample)
+        for name in sorted(pulled):
+            if name in by_name:
+                raise ValueError(
+                    f"collector sample {name!r} collides with a registered instrument"
+                )
+            group = pulled[name]
+            if group[0].help:
+                lines.append(f"# HELP {name} {group[0].help}")
+            lines.append(f"# TYPE {name} {group[0].kind}")
+            for sample in group:
+                labels = _labelset(sample.labels)
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(sample.value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly dump: counters/gauges by name, histogram summaries."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
+
+        def _key(instrument: _Instrument) -> str:
+            if not instrument.label_set:
+                return instrument.name
+            return instrument.name + _format_labels(instrument.label_set)
+
+        for instrument in instruments:
+            if isinstance(instrument, Counter):
+                out["counters"][_key(instrument)] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][_key(instrument)] = instrument.value
+            elif isinstance(instrument, Histogram):
+                out["histograms"][_key(instrument)] = instrument.summary()
+        for sample in self._collector_samples():
+            bucket = "counters" if sample.kind == "counter" else "gauges"
+            out[bucket][sample.name + _format_labels(_labelset(sample.labels))] = sample.value
+        return out

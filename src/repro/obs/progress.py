@@ -1,0 +1,139 @@
+"""Single-line live progress for long grid sweeps (gauntlet executors).
+
+The renderer owns one carriage-return-rewritten stderr line showing cells
+done/total, throughput, ETA, and the running per-attack min-WER — the
+numbers an operator actually watches during a 10k-cell sweep.  Updates are
+throttled (default 10 Hz) so process-pool completions arriving in bursts
+don't flood the terminal, and every write is guarded by a lock so thread
+and process executors can report from completion callbacks without
+interleaving.
+
+The renderer is I/O only: it never touches the results it is told about,
+so decision digests are identical with progress on or off.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Callable, Dict, Optional, TextIO
+
+__all__ = ["ProgressRenderer"]
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds or seconds == float("inf"):
+        return "--"
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressRenderer:
+    """Throttled ``\\r``-rewritten progress line for a fixed-size grid.
+
+    Parameters
+    ----------
+    total:
+        Number of cells in the sweep.
+    stream:
+        Target stream (default ``sys.stderr`` read at render time, so test
+        monkeypatching works).
+    min_interval:
+        Minimum seconds between repaints; the first and final updates
+        always render.
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = max(int(total), 0)
+        self._stream = stream
+        self._min_interval = min_interval
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._done = 0
+        self._min_wer: Dict[str, float] = {}
+        self._started_at: Optional[float] = None
+        self._last_render = float("-inf")
+        self._rendered_any = False
+
+    # ------------------------------------------------------------------
+    def _out(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def start(self) -> None:
+        with self._lock:
+            self._started_at = self._clock()
+
+    def update(self, attack: Optional[str] = None, wer: Optional[float] = None) -> None:
+        """Record one completed cell and repaint if the throttle allows."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+            self._done += 1
+            if attack is not None and wer is not None:
+                current = self._min_wer.get(attack)
+                if current is None or wer < current:
+                    self._min_wer[attack] = wer
+            now = self._clock()
+            final = self._done >= self.total
+            if not final and now - self._last_render < self._min_interval:
+                return
+            self._last_render = now
+            line = self._compose(now)
+        self._write(line)
+
+    def finish(self) -> None:
+        """Repaint one last time and terminate the line with a newline."""
+        with self._lock:
+            if not self._rendered_any:
+                return
+            line = self._compose(self._clock())
+        self._write(line)
+        out = self._out()
+        out.write("\n")
+        out.flush()
+
+    # ------------------------------------------------------------------
+    def _compose(self, now: float) -> str:
+        self._rendered_any = True
+        started = self._started_at if self._started_at is not None else now
+        elapsed = max(now - started, 1e-9)
+        rate = self._done / elapsed
+        if self._done and self.total:
+            remaining = (self.total - self._done) / rate if rate > 0 else float("inf")
+            eta = _format_eta(remaining)
+        else:
+            eta = "--"
+        pct = (100.0 * self._done / self.total) if self.total else 0.0
+        parts = [
+            f"[{self._done}/{self.total}]",
+            f"{pct:3.0f}%",
+            f"{rate:.1f} cells/s",
+            f"ETA {eta}",
+        ]
+        if self._min_wer:
+            wer_bits = " ".join(
+                f"{attack}:{wer:.1f}" for attack, wer in sorted(self._min_wer.items())
+            )
+            parts.append(f"min WER {wer_bits}")
+        return " | ".join(parts)
+
+    def _write(self, line: str) -> None:
+        out = self._out()
+        # Pad to clear leftovers from a longer previous paint.
+        out.write("\r" + line.ljust(79)[:200])
+        out.flush()

@@ -1,0 +1,209 @@
+"""Structured trace spans exportable as Chrome ``trace_event`` JSON.
+
+A :func:`span` wraps a region of work and records wall time, CPU (thread)
+time, parent/child links, and free-form attributes.  When no collector is
+installed the context manager is a cheap no-op, so instrumentation can stay
+in place permanently — the hard invariant is that spans only *measure*;
+they never touch RNG state or alter any computed value.
+
+Collectors are explicit objects (:class:`TraceCollector`) so a gauntlet
+worker process can record locally and ship its spans back to the parent
+inside ``CellOutcome``; :meth:`TraceCollector.extend` merges them.  The
+export (:meth:`TraceCollector.to_chrome`) uses absolute wall-clock
+microseconds for ``ts``, so spans from different processes on the same host
+line up on one Perfetto timeline, grouped by pid/tid rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "TraceCollector",
+    "get_collector",
+    "set_collector",
+    "span",
+    "tracing",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span; picklable so workers can ship spans to the parent."""
+
+    name: str
+    start_us: float  # absolute wall clock, microseconds since the epoch
+    duration_us: float
+    cpu_us: float
+    pid: int
+    tid: int
+    span_id: int
+    parent_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class TraceCollector:
+    """Thread-safe sink for completed spans with Chrome-trace export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._ids = itertools.count(1)
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def extend(self, records: Iterable[SpanRecord]) -> None:
+        """Merge spans recorded elsewhere (e.g. a worker process)."""
+        with self._lock:
+            self._records.extend(records)
+
+    @property
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> List[SpanRecord]:
+        """Pop and return every recorded span (worker → parent shipping)."""
+        with self._lock:
+            records, self._records = self._records, []
+            return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def reset_lock(self) -> None:
+        """Fork hygiene: replace the lock in a freshly forked child."""
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, object]:
+        """The ``trace_event`` JSON object Perfetto / chrome://tracing load.
+
+        Every span becomes one complete (``"ph": "X"``) event; ``args``
+        carries the span attributes plus CPU time so the busy/blocked split
+        is inspectable per slice.
+        """
+        events: List[Dict[str, object]] = []
+        for record in self.records:
+            args: Dict[str, object] = dict(record.attrs)
+            args["cpu_us"] = round(record.cpu_us, 1)
+            if record.parent_id is not None:
+                args["parent_span"] = record.parent_id
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": record.start_us,
+                    "dur": record.duration_us,
+                    "pid": record.pid,
+                    "tid": record.tid,
+                    "args": args,
+                }
+            )
+        events.sort(key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+
+
+# ----------------------------------------------------------------------
+# Active collector + per-thread span stack
+# ----------------------------------------------------------------------
+_active: Optional[TraceCollector] = None
+_stack = threading.local()
+
+
+def set_collector(collector: Optional[TraceCollector]) -> None:
+    """Install (or clear, with ``None``) the process-wide collector."""
+    global _active
+    _active = collector
+
+
+def get_collector() -> Optional[TraceCollector]:
+    return _active
+
+
+@contextmanager
+def tracing(collector: TraceCollector) -> Iterator[TraceCollector]:
+    """Scoped installation: spans inside the block record into ``collector``."""
+    previous = get_collector()
+    set_collector(collector)
+    try:
+        yield collector
+    finally:
+        set_collector(previous)
+
+
+def _parent_stack() -> List[int]:
+    stack = getattr(_stack, "ids", None)
+    if stack is None:
+        stack = _stack.ids = []
+    return stack
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Optional[SpanRecord]]:
+    """Record a span around the block — a no-op when tracing is disabled.
+
+    Yields the in-flight :class:`SpanRecord` (or ``None`` when disabled) so
+    callers may attach late attributes via ``record.attrs[...] = ...``.
+    """
+    collector = _active
+    if collector is None:
+        yield None
+        return
+    stack = _parent_stack()
+    record = SpanRecord(
+        name=name,
+        start_us=time.time() * 1e6,
+        duration_us=0.0,
+        cpu_us=0.0,
+        pid=os.getpid(),
+        tid=threading.get_ident(),
+        span_id=collector.next_id(),
+        parent_id=stack[-1] if stack else None,
+        attrs=dict(attrs),
+    )
+    start_wall = time.perf_counter()
+    start_cpu = time.thread_time()
+    stack.append(record.span_id)
+    try:
+        yield record
+    finally:
+        stack.pop()
+        record.duration_us = (time.perf_counter() - start_wall) * 1e6
+        record.cpu_us = (time.thread_time() - start_cpu) * 1e6
+        collector.add(record)
+
+
+def _reset_after_fork() -> None:
+    # A forked worker must not inherit the parent's collector: its lock may
+    # have been captured mid-acquire by another parent thread, and spans
+    # appended in the child would silently vanish.  Workers that want spans
+    # install their own collector (see robustness/procpool.py).
+    global _active, _stack
+    _active = None
+    _stack = threading.local()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_after_fork)

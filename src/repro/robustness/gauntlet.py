@@ -42,9 +42,9 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.core.keys import WatermarkKey
 from repro.engine.engine import WatermarkEngine, get_default_engine
@@ -53,6 +53,9 @@ from repro.engine.reports import (
     DEFAULT_OWNERSHIP_THRESHOLD,
 )
 from repro.eval.harness import EvaluationHarness
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressRenderer
+from repro.obs.trace import get_collector, span
 from repro.quant.base import QuantizedModel
 from repro.robustness.attacks import AttackSpec
 from repro.robustness.procpool import START_METHODS, CellTask, ProcessCellExecutor
@@ -106,6 +109,10 @@ class GauntletConfig:
         (``"fork"``, ``"spawn"`` or ``"forkserver"``); ``None`` defers to
         the ``REPRO_GAUNTLET_START_METHOD`` environment variable, then the
         platform default.  Ignored by the in-process modes.
+    progress:
+        Render a live stderr progress line (cells done/total, cells/sec,
+        ETA, per-attack min-WER so far) while the grid executes.  Works in
+        every mode; pure I/O — decisions are identical with it on or off.
     """
 
     max_workers: Optional[int] = None
@@ -115,6 +122,7 @@ class GauntletConfig:
     evaluate_quality: bool = True
     mode: str = "streaming"
     start_method: Optional[str] = None
+    progress: bool = False
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
@@ -203,15 +211,27 @@ class Gauntlet:
         process-wide default engine (shared plan cache) when omitted.
     config:
         Gauntlet tuning; defaults to :class:`GauntletConfig` defaults.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the run's
+        sweep-level telemetry (cells executed, cells/sec, worker
+        utilization) is recorded into — the server passes its own so
+        gauntlet runs show up on ``GET /metrics``.
+    progress_stream:
+        Override of the progress line's target stream (tests); ``None``
+        means stderr.
     """
 
     def __init__(
         self,
         engine: Optional[WatermarkEngine] = None,
         config: Optional[GauntletConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress_stream: Optional[TextIO] = None,
     ) -> None:
         self._engine = engine
         self.config = config if config is not None else GauntletConfig()
+        self.metrics = metrics
+        self.progress_stream = progress_stream
 
     @property
     def engine(self) -> WatermarkEngine:
@@ -328,12 +348,27 @@ class Gauntlet:
                 )
 
         mode, workers = self._resolve_execution(len(cells), workers)
-        if mode == "batched":
-            report = self._run_batched(subject_items, subject_for, cells, workers, wall_start)
-        elif mode == "process":
-            report = self._run_process(subject_items, subject_for, cells, workers, wall_start)
-        else:
-            report = self._run_streaming(subject_items, subject_for, cells, workers, wall_start)
+        renderer: Optional[ProgressRenderer] = None
+        if self.config.progress and cells:
+            renderer = ProgressRenderer(len(cells), stream=self.progress_stream)
+            renderer.start()
+        try:
+            with span("gauntlet.run", cells=len(cells), mode=mode, workers=workers):
+                if mode == "batched":
+                    report = self._run_batched(
+                        subject_items, subject_for, cells, workers, wall_start, renderer
+                    )
+                elif mode == "process":
+                    report = self._run_process(
+                        subject_items, subject_for, cells, workers, wall_start, renderer
+                    )
+                else:
+                    report = self._run_streaming(
+                        subject_items, subject_for, cells, workers, wall_start, renderer
+                    )
+        finally:
+            if renderer is not None:
+                renderer.finish()
         if mode != "process":
             # The in-process modes execute cells serially below the
             # parallelism threshold and on a thread pool above it; record
@@ -341,8 +376,29 @@ class Gauntlet:
             report.executor = (
                 "serial" if (workers <= 1 or len(cells) < 2) else "thread"
             )
+        self._record_metrics(report)
         logger.debug("%s", report.summary())
         return report
+
+    def _record_metrics(self, report: RobustnessReport) -> None:
+        """Publish sweep-level telemetry into the attached registry (if any)."""
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_gauntlet_cells_total", "Gauntlet cells executed"
+        ).inc(report.num_cells)
+        self.metrics.gauge(
+            "repro_gauntlet_cells_per_second", "Throughput of the last sweep"
+        ).set(report.cells_per_second)
+        self.metrics.histogram(
+            "repro_gauntlet_cell_verify_seconds", "Per-sweep summed verification time"
+        ).observe(report.verify_seconds)
+        for pid, utilization in report.worker_utilization.items():
+            self.metrics.gauge(
+                "repro_gauntlet_worker_utilization",
+                "Busy fraction per process-pool worker (last sweep)",
+                labels={"pid": pid},
+            ).set(utilization)
 
     def _resolve_execution(self, num_cells: int, workers: int) -> Tuple[str, int]:
         """Resolve ``mode="auto"`` into a concrete (mode, workers) choice.
@@ -417,6 +473,7 @@ class Gauntlet:
         cells: List[_Cell],
         workers: int,
         wall_start: float,
+        renderer: Optional[ProgressRenderer] = None,
     ) -> RobustnessReport:
         session_keys = {model_id: subject.key for model_id, subject in subject_items}
         for model_id, subject in subject_items:
@@ -431,33 +488,39 @@ class Gauntlet:
         def run_cell(cell: _Cell) -> Tuple[GauntletCellResult, float]:
             subject = subject_for[cell.model_id]
             rng = self._cell_rng(cell)
-            start = time.perf_counter()
-            outcome = cell.spec.apply(subject.model, cell.strength, rng)
-            quality = (
-                subject.harness.evaluate(outcome.model)
-                if self.config.evaluate_quality
-                else None
-            )
-            attack_seconds = time.perf_counter() - start
-            verify_start = time.perf_counter()
-            owner = session.verify(cell.cell_id, outcome.model, cell.model_id)
-            co = {
-                owner_id: session.verify(
-                    cell.cell_id, outcome.model, _co_key_id(cell.model_id, owner_id)
+            with span(
+                "gauntlet.cell",
+                cell=cell.cell_id,
+                attack=cell.spec.name,
+                strength=cell.strength,
+            ):
+                start = time.perf_counter()
+                outcome = cell.spec.apply(subject.model, cell.strength, rng)
+                quality = (
+                    subject.harness.evaluate(outcome.model)
+                    if self.config.evaluate_quality
+                    else None
                 )
-                for owner_id in (subject.co_keys or {})
-            }
-            attacker = None
-            if outcome.attacker_key is not None:
-                # One-shot: the adversary key belongs to this cell alone, so
-                # it is verified without session registration — retaining it
-                # (a full model-size reference snapshot per cell) would quietly
-                # re-grow the O(grid) memory the streaming mode removes.
-                attacker = session.verify_once(
-                    cell.cell_id, outcome.model, outcome.attacker_key,
-                    cell.attacker_key_id,
-                )
-            verify_seconds = time.perf_counter() - verify_start
+                attack_seconds = time.perf_counter() - start
+                verify_start = time.perf_counter()
+                owner = session.verify(cell.cell_id, outcome.model, cell.model_id)
+                co = {
+                    owner_id: session.verify(
+                        cell.cell_id, outcome.model, _co_key_id(cell.model_id, owner_id)
+                    )
+                    for owner_id in (subject.co_keys or {})
+                }
+                attacker = None
+                if outcome.attacker_key is not None:
+                    # One-shot: the adversary key belongs to this cell alone, so
+                    # it is verified without session registration — retaining it
+                    # (a full model-size reference snapshot per cell) would quietly
+                    # re-grow the O(grid) memory the streaming mode removes.
+                    attacker = session.verify_once(
+                        cell.cell_id, outcome.model, outcome.attacker_key,
+                        cell.attacker_key_id,
+                    )
+                verify_seconds = time.perf_counter() - verify_start
             result = self._cell_result(
                 cell, owner, attacker, quality, attack_seconds, outcome.info, co=co
             )
@@ -467,15 +530,33 @@ class Gauntlet:
             return result, verify_seconds
 
         if workers <= 1 or len(cells) < 2:
-            outputs = [run_cell(cell) for cell in cells]
+            outputs = []
+            for cell in cells:
+                output = run_cell(cell)
+                outputs.append(output)
+                if renderer is not None:
+                    renderer.update(cell.spec.name, output[0].wer_percent)
         else:
             # A private pool: the engine's layer-level pool stays free for
             # location reproduction (and for attacks that insert watermarks
-            # through an engine, e.g. re-watermarking).
+            # through an engine, e.g. re-watermarking).  Completion-order
+            # consumption feeds the progress line; outputs are reassembled
+            # in grid order, so results never depend on finish order.
             with ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="gauntlet"
             ) as pool:
-                outputs = list(pool.map(run_cell, cells))
+                future_for = {pool.submit(run_cell, cell): cell for cell in cells}
+                slots: List[Optional[Tuple[GauntletCellResult, float]]] = (
+                    [None] * len(cells)
+                )
+                position = {cell.index: i for i, cell in enumerate(cells)}
+                for future in as_completed(future_for):
+                    cell = future_for[future]
+                    output = future.result()
+                    slots[position[cell.index]] = output
+                    if renderer is not None:
+                        renderer.update(cell.spec.name, output[0].wer_percent)
+                outputs = [output for output in slots if output is not None]
 
         traffic = session.cache_traffic()
         return RobustnessReport(
@@ -502,6 +583,7 @@ class Gauntlet:
         cells: List[_Cell],
         workers: int,
         wall_start: float,
+        renderer: Optional[ProgressRenderer] = None,
     ) -> RobustnessReport:
         stats_before = self.engine.cache.stats()
         models = {model_id: subject.model for model_id, subject in subject_items}
@@ -537,6 +619,7 @@ class Gauntlet:
             )
             for cell in cells
         ]
+        collector = get_collector()
         executor = ProcessCellExecutor(
             models=models,
             keys=keys,
@@ -550,9 +633,23 @@ class Gauntlet:
             max_false_claim_probability=self.config.max_false_claim_probability,
             workers=workers,
             start_method=self.config.start_method,
+            trace=collector is not None,
         )
+        cell_for = {cell.index: cell for cell in cells}
+        on_complete = None
+        if renderer is not None or collector is not None:
+            def on_complete(outcome):
+                # Telemetry-only hook: merge worker spans into the parent
+                # collector and feed the progress line.  Outcome ordering is
+                # the executor's job; nothing here touches the results.
+                if collector is not None and outcome.spans:
+                    collector.extend(outcome.spans)
+                if renderer is not None:
+                    renderer.update(
+                        cell_for[outcome.index].spec.name, outcome.owner.wer_percent
+                    )
         with executor:
-            outcomes = executor.run(tasks)
+            outcomes = executor.run(tasks, on_complete=on_complete)
         results = [
             self._cell_result(
                 cell,
@@ -566,11 +663,24 @@ class Gauntlet:
             for cell, outcome in zip(cells, outcomes)
         ]
         traffic = self.engine.cache.stats().delta(stats_before)
+        wall_clock = time.perf_counter() - wall_start
+        # Worker utilization: busy (attack + verify) seconds per worker pid
+        # over the sweep's wall clock — the "were my cores actually fed?"
+        # number for a 10k-cell run.
+        busy: Dict[str, float] = {}
+        for outcome in outcomes:
+            pid = str(outcome.worker_pid or "unknown")
+            busy[pid] = busy.get(pid, 0.0) + outcome.attack_seconds + outcome.verify_seconds
+        utilization = (
+            {pid: seconds / wall_clock for pid, seconds in sorted(busy.items())}
+            if wall_clock > 0
+            else {}
+        )
         return RobustnessReport(
             cells=results,
             seed=self.config.seed,
             workers=workers,
-            wall_clock_seconds=time.perf_counter() - wall_start,
+            wall_clock_seconds=wall_clock,
             verify_seconds=sum(outcome.verify_seconds for outcome in outcomes),
             # Parent-side traffic only (the location reproduction above);
             # per-worker plan caches are private by design and not aggregated.
@@ -579,6 +689,7 @@ class Gauntlet:
             mode="process",
             executor="process",
             start_method=executor.start_method,
+            worker_utilization=utilization,
         )
 
     # ------------------------------------------------------------------
@@ -591,19 +702,31 @@ class Gauntlet:
         cells: List[_Cell],
         workers: int,
         wall_start: float,
+        renderer: Optional[ProgressRenderer] = None,
     ) -> RobustnessReport:
         # -- stage 1: attack + quality, cell-parallel ----------------------
         def run_cell(cell: _Cell):
             subject = subject_for[cell.model_id]
             rng = self._cell_rng(cell)
-            start = time.perf_counter()
-            outcome = cell.spec.apply(subject.model, cell.strength, rng)
-            quality = (
-                subject.harness.evaluate(outcome.model)
-                if self.config.evaluate_quality
-                else None
-            )
-            return outcome, quality, time.perf_counter() - start
+            with span(
+                "gauntlet.cell",
+                cell=cell.cell_id,
+                attack=cell.spec.name,
+                strength=cell.strength,
+            ):
+                start = time.perf_counter()
+                outcome = cell.spec.apply(subject.model, cell.strength, rng)
+                quality = (
+                    subject.harness.evaluate(outcome.model)
+                    if self.config.evaluate_quality
+                    else None
+                )
+            elapsed = time.perf_counter() - start
+            # Progress counts attacked cells; WERs only exist after the
+            # batched verify_fleet sweep, so the line shows counts/ETA only.
+            if renderer is not None:
+                renderer.update()
+            return outcome, quality, elapsed
 
         if workers <= 1 or len(cells) < 2:
             staged = [run_cell(cell) for cell in cells]

@@ -30,12 +30,13 @@ thread execution at any worker count and under any start method.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,6 +53,7 @@ from repro.engine.shm import (
     share_model,
 )
 from repro.eval.harness import EvaluationHarness, QualityReport
+from repro.obs.trace import SpanRecord, TraceCollector, span, tracing
 from repro.quant.base import QuantizedModel
 from repro.robustness.attacks import AttackSpec
 from repro.utils.logging import get_logger
@@ -137,6 +139,11 @@ class CellOutcome:
     attack_seconds: float
     verify_seconds: float
     info: Dict[str, object]
+    #: Telemetry payload: the executing worker's pid and (tracing only) the
+    #: spans recorded inside the worker, for the parent collector to merge.
+    #: Informational — never flows into the cell's decision fields.
+    worker_pid: int = 0
+    spans: List[SpanRecord] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -160,6 +167,9 @@ class WorkerPayload:
     seed: int
     wer_threshold: float
     max_false_claim_probability: Optional[float]
+    #: Record spans inside workers and ship them back on each outcome.
+    #: Pure telemetry: the attack/verify path is identical either way.
+    trace: bool = False
 
 
 @dataclass
@@ -170,6 +180,8 @@ class _WorkerState:
     session: FleetVerificationSession
     payload: WorkerPayload
     view: ArenaView
+    #: Worker-local span sink when the payload enables tracing, else ``None``.
+    collector: Optional[TraceCollector] = None
 
 
 _WORKER: Optional[_WorkerState] = None
@@ -186,20 +198,28 @@ def _init_worker(payload: WorkerPayload) -> None:
     reproduce locally, which is deterministic and therefore digest-safe.
     """
     global _WORKER
-    view = payload.arena.attach()
-    models = {
-        model_id: handle.restore(view) for model_id, handle in payload.models.items()
-    }
-    keys = {key_id: handle.restore(view) for key_id, handle in payload.keys.items()}
-    engine = WatermarkEngine()
-    session = engine.verification_session(
-        keys=keys,
-        wer_threshold=payload.wer_threshold,
-        max_false_claim_probability=payload.max_false_claim_probability,
+    collector = TraceCollector() if payload.trace else None
+    with tracing(collector) if collector is not None else contextlib.nullcontext():
+        with span("shm.restore", models=len(payload.models), keys=len(payload.keys)):
+            view = payload.arena.attach()
+            models = {
+                model_id: handle.restore(view)
+                for model_id, handle in payload.models.items()
+            }
+            keys = {
+                key_id: handle.restore(view) for key_id, handle in payload.keys.items()
+            }
+        engine = WatermarkEngine()
+        session = engine.verification_session(
+            keys=keys,
+            wer_threshold=payload.wer_threshold,
+            max_false_claim_probability=payload.max_false_claim_probability,
+        )
+        for key_id, locations in payload.key_locations.items():
+            session.preload_locations(key_id, locations)
+    _WORKER = _WorkerState(
+        models=models, session=session, payload=payload, view=view, collector=collector
     )
-    for key_id, locations in payload.key_locations.items():
-        session.preload_locations(key_id, locations)
-    _WORKER = _WorkerState(models=models, session=session, payload=payload, view=view)
 
 
 def _run_cell(task: CellTask) -> CellOutcome:
@@ -215,26 +235,34 @@ def _run_cell(task: CellTask) -> CellOutcome:
     rng = new_rng(
         payload.seed, "gauntlet", task.model_id, task.attack_name, f"{task.strength:g}"
     )
-    start = time.perf_counter()
-    outcome = spec.apply(subject, task.strength, rng)
-    quality = (
-        payload.harnesses[task.model_id].evaluate(outcome.model)
-        if payload.evaluate_quality
-        else None
-    )
-    attack_seconds = time.perf_counter() - start
-    verify_start = time.perf_counter()
-    owner = state.session.verify(task.cell_id, outcome.model, task.model_id)
-    co = {
-        owner_id: state.session.verify(task.cell_id, outcome.model, key_id)
-        for owner_id, key_id in payload.co_key_ids.get(task.model_id, ())
-    }
-    attacker = None
-    if outcome.attacker_key is not None:
-        attacker = state.session.verify_once(
-            task.cell_id, outcome.model, outcome.attacker_key, task.attacker_key_id
-        )
-    verify_seconds = time.perf_counter() - verify_start
+    with tracing(state.collector) if state.collector is not None else contextlib.nullcontext():
+        with span(
+            "gauntlet.cell",
+            cell=task.cell_id,
+            attack=task.attack_name,
+            strength=task.strength,
+        ):
+            start = time.perf_counter()
+            outcome = spec.apply(subject, task.strength, rng)
+            quality = (
+                payload.harnesses[task.model_id].evaluate(outcome.model)
+                if payload.evaluate_quality
+                else None
+            )
+            attack_seconds = time.perf_counter() - start
+            verify_start = time.perf_counter()
+            owner = state.session.verify(task.cell_id, outcome.model, task.model_id)
+            co = {
+                owner_id: state.session.verify(task.cell_id, outcome.model, key_id)
+                for owner_id, key_id in payload.co_key_ids.get(task.model_id, ())
+            }
+            attacker = None
+            if outcome.attacker_key is not None:
+                attacker = state.session.verify_once(
+                    task.cell_id, outcome.model, outcome.attacker_key,
+                    task.attacker_key_id,
+                )
+            verify_seconds = time.perf_counter() - verify_start
     return CellOutcome(
         index=task.index,
         owner=owner,
@@ -244,6 +272,10 @@ def _run_cell(task: CellTask) -> CellOutcome:
         attack_seconds=attack_seconds,
         verify_seconds=verify_seconds,
         info=dict(outcome.info),
+        worker_pid=os.getpid(),
+        # Drained per cell so every span (including the worker's one-time
+        # shm.restore) rides back exactly once.
+        spans=state.collector.drain() if state.collector is not None else [],
     )
 
 
@@ -272,6 +304,7 @@ class ProcessCellExecutor:
         max_false_claim_probability: Optional[float],
         workers: int,
         start_method: Optional[str] = None,
+        trace: bool = False,
     ) -> None:
         self._workers = max(1, int(workers))
         self.start_method = resolve_start_method(start_method)
@@ -279,15 +312,16 @@ class ProcessCellExecutor:
         self._arena = SharedArena()
         self._pool: Optional[ProcessPoolExecutor] = None
         try:
-            model_handles = {
-                model_id: share_model(self._arena, model, f"model/{model_id}")
-                for model_id, model in models.items()
-            }
-            key_handles = {
-                key_id: share_key(self._arena, key, f"key/{key_id}")
-                for key_id, key in keys.items()
-            }
-            arena_handle = self._arena.seal()
+            with span("shm.publish", models=len(models), keys=len(keys)):
+                model_handles = {
+                    model_id: share_model(self._arena, model, f"model/{model_id}")
+                    for model_id, model in models.items()
+                }
+                key_handles = {
+                    key_id: share_key(self._arena, key, f"key/{key_id}")
+                    for key_id, key in keys.items()
+                }
+                arena_handle = self._arena.seal()
         except BaseException:
             self._arena.close()
             raise
@@ -303,6 +337,7 @@ class ProcessCellExecutor:
             seed=seed,
             wer_threshold=wer_threshold,
             max_false_claim_probability=max_false_claim_probability,
+            trace=trace,
         )
 
     def __enter__(self) -> "ProcessCellExecutor":
@@ -314,11 +349,34 @@ class ProcessCellExecutor:
         )
         return self
 
-    def run(self, tasks: Sequence[CellTask]) -> List[CellOutcome]:
-        """Execute ``tasks`` on the pool; outcomes come back in task order."""
+    def run(
+        self,
+        tasks: Sequence[CellTask],
+        on_complete: Optional[Callable[[CellOutcome], None]] = None,
+    ) -> List[CellOutcome]:
+        """Execute ``tasks`` on the pool; outcomes come back in task order.
+
+        ``on_complete`` fires in the parent as each cell finishes (completion
+        order, not task order) — the hook live progress rendering hangs off.
+        The returned list is always task-ordered regardless: each outcome
+        carries its grid ``index``, so the ordering never depends on which
+        worker finished first.
+        """
         if self._pool is None:
             raise RuntimeError("executor not entered; use it as a context manager")
-        return list(self._pool.map(_run_cell, tasks))
+        if on_complete is None:
+            return list(self._pool.map(_run_cell, tasks))
+        futures = {self._pool.submit(_run_cell, task): task for task in tasks}
+        slots: List[Optional[CellOutcome]] = [None] * len(tasks)
+        offset = {task.index: position for position, task in enumerate(tasks)}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                outcome = future.result()
+                slots[offset[outcome.index]] = outcome
+                on_complete(outcome)
+        return [outcome for outcome in slots if outcome is not None]
 
     def __exit__(self, *exc_info) -> None:
         try:

@@ -137,6 +137,17 @@ class RobustnessReport:
     #: Multiprocessing start method of a process-mode run ("fork"/"spawn"/
     #: "forkserver"); ``None`` for the in-process executors.
     start_method: Optional[str] = None
+    #: Busy fraction per worker process (``{pid: busy_seconds / wall}``) of a
+    #: process-mode run; empty for the in-process executors.  Informational
+    #: telemetry, like ``mode`` — never part of :meth:`decision_digest`.
+    worker_utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cells_per_second(self) -> float:
+        """Sweep throughput (informational; 0.0 when wall clock is unknown)."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.num_cells / self.wall_clock_seconds
 
     # -- structure ---------------------------------------------------------
     @property
@@ -297,6 +308,8 @@ class RobustnessReport:
             "num_cells": self.num_cells,
             "wall_clock_seconds": self.wall_clock_seconds,
             "verify_seconds": self.verify_seconds,
+            "cells_per_second": self.cells_per_second,
+            "worker_utilization": dict(self.worker_utilization),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         }

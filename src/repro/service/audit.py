@@ -65,6 +65,7 @@ class AuditLog:
         self._recent: Deque[Dict[str, object]] = deque(maxlen=recent_entries)
         self._count = 0
         self._dropped = 0
+        self._writer_failed = False
         self._queue: Optional["queue.Queue"] = None
         self._writer: Optional[threading.Thread] = None
         if self.path is not None:
@@ -92,6 +93,8 @@ class AuditLog:
             get_logger("service.audit").exception(
                 "audit writer failed; further entries stay in memory only"
             )
+            with self._lock:
+                self._writer_failed = True
             # Keep draining so producers never block on a dead writer; every
             # discarded entry is visible in dropped_writes.
             while True:
@@ -137,6 +140,33 @@ class AuditLog:
         """Entries whose *disk copy* was skipped (full queue or dead writer)."""
         with self._lock:
             return self._dropped
+
+    @property
+    def writer_alive(self) -> bool:
+        """Whether the durable-write path is healthy.
+
+        ``True`` for a purely in-memory log (there is nothing to die) and
+        for a running, never-failed writer thread.  ``False`` once the
+        writer hit an I/O error and fell into drain-and-drop mode, or after
+        its thread stopped — the "dead disk writer drops audit entries
+        invisibly" condition ``/stats`` and ``/metrics`` surface.
+        """
+        with self._lock:
+            if self._writer_failed:
+                return False
+        if self.path is None:
+            return True
+        writer = self._writer
+        return writer is not None and writer.is_alive()
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able health snapshot for ``/stats``."""
+        return {
+            "entries": self.count,
+            "dropped_writes": self.dropped_writes,
+            "writer_alive": self.writer_alive,
+            "path": None if self.path is None else str(self.path),
+        }
 
     def close(self) -> None:
         """Drain pending writes, flush and stop the writer (idempotent)."""

@@ -91,6 +91,21 @@ class VerificationClient:
             raise ServiceError(response.status, parsed)
         return parsed
 
+    def _request_text(self, method: str, path: str) -> str:
+        """Raw-text request for non-JSON endpoints (``/metrics``)."""
+        conn = self._connection()
+        try:
+            conn.request(method, path, headers={"Connection": "keep-alive"})
+            response = conn.getresponse()
+            raw = response.read()
+        except Exception:
+            self.close()
+            raise
+        text = raw.decode("utf-8", "replace")
+        if response.status >= 400:
+            raise ServiceError(response.status, {"error": text})
+        return text
+
     def close(self) -> None:
         """Close the underlying connection (a later call reconnects)."""
         if self._conn is not None:
@@ -115,6 +130,10 @@ class VerificationClient:
     def stats(self) -> Dict[str, object]:
         """Full server statistics (counters, dispatcher, plan cache, …)."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """Prometheus text exposition from ``GET /metrics`` (not JSON)."""
+        return self._request_text("GET", "/metrics")
 
     def keys(self, model_fingerprint: Optional[str] = None) -> List[Dict[str, object]]:
         """Registered key records, optionally filtered by model fingerprint."""

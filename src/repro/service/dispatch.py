@@ -38,6 +38,7 @@ from repro.engine.reports import (
     DEFAULT_OWNERSHIP_THRESHOLD,
     PairVerification,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.quant.base import QuantizedModel
 from repro.utils.logging import get_logger
 
@@ -294,6 +295,11 @@ class MicroBatchDispatcher:
     max_queue:
         Bound on the pending-job queue; beyond it :meth:`submit` raises
         :class:`QueueFullError` (surfaced as HTTP 503).
+    metrics:
+        Registry the dispatcher's counters and histograms live on.  The
+        server passes its own so batch-size and queue-time distributions
+        show up on ``GET /metrics``; a private registry is created when
+        omitted so the instruments (and :meth:`stats`) work standalone.
     """
 
     def __init__(
@@ -302,6 +308,7 @@ class MicroBatchDispatcher:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -318,12 +325,42 @@ class MicroBatchDispatcher:
         self._task: Optional[asyncio.Task] = None
         self._closed = False
         self._batch_ids = itertools.count(1)
-        # Counters (event-loop only — no lock needed).
-        self.batches = 0
-        self.jobs_dispatched = 0
+        # Counters live on the metrics registry (thread-safe instruments);
+        # the legacy ``/stats`` fields read back from them via properties.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._batches = self.metrics.counter(
+            "repro_dispatch_batches_total", "Coalesced verification batches executed"
+        )
+        self._jobs = self.metrics.counter(
+            "repro_dispatch_jobs_total", "Verification jobs dispatched"
+        )
+        self._pairs = self.metrics.counter(
+            "repro_dispatch_pairs_verified_total", "(suspect, key) pairs verified"
+        )
+        self._batch_size = self.metrics.histogram(
+            "repro_dispatch_batch_size",
+            "Jobs coalesced per batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
+        self._queue_time = self.metrics.histogram(
+            "repro_dispatch_queue_seconds",
+            "Seconds a job waited in the queue before its batch ran",
+        )
         self.jobs_in_batches = 0
         self.largest_batch = 0
-        self.pairs_verified = 0
+
+    # Legacy counter names (pre-registry) — still the ``/stats`` vocabulary.
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def jobs_dispatched(self) -> int:
+        return int(self._jobs.value)
+
+    @property
+    def pairs_verified(self) -> int:
+        return int(self._pairs.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -399,7 +436,8 @@ class MicroBatchDispatcher:
         """Run one coalesced batch and resolve every job's future."""
         loop = asyncio.get_running_loop()
         batch_id = next(self._batch_ids)
-        self.batches += 1
+        self._batches.inc()
+        self._batch_size.observe(len(batch))
         self.jobs_in_batches += len(batch)
         self.largest_batch = max(self.largest_batch, len(batch))
         # Group by thresholds: verify_fleet applies one threshold pair per
@@ -455,7 +493,7 @@ class MicroBatchDispatcher:
                         job.future.set_exception(exc)
                 continue
             verify_seconds = time.perf_counter() - start
-            self.pairs_verified += report.num_pairs
+            self._pairs.inc(report.num_pairs)
             by_pair = {(p.suspect_id, p.key_id): p for p in report.pairs}
             now = time.perf_counter()
             for job in jobs:
@@ -463,6 +501,8 @@ class MicroBatchDispatcher:
                     replace(by_pair[(job_alias[id(job)], kid)], suspect_id=job.suspect_id)
                     for kid in job.keys
                 ]
+                queue_seconds = max(0.0, now - job.enqueued_at - verify_seconds)
+                self._queue_time.observe(queue_seconds)
                 if not job.future.done():
                     job.future.set_result(
                         VerifyOutcome(
@@ -471,11 +511,11 @@ class MicroBatchDispatcher:
                             decisions=decisions,
                             batch_id=batch_id,
                             batch_size=len(batch),
-                            queue_seconds=max(0.0, now - job.enqueued_at - verify_seconds),
+                            queue_seconds=queue_seconds,
                             verify_seconds=verify_seconds,
                         )
                     )
-                self.jobs_dispatched += 1
+                self._jobs.inc()
         logger.debug("batch %d: %d jobs, %d groups", batch_id, len(batch), len(groups))
 
     # ------------------------------------------------------------------
@@ -493,4 +533,6 @@ class MicroBatchDispatcher:
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_s * 1000.0,
             "max_queue": self.max_queue,
+            "batch_size": self._batch_size.summary(),
+            "queue_seconds": self._queue_time.summary(),
         }

@@ -93,7 +93,18 @@ class LoadReport:
     throughput_rps: float
     latency_ms: Dict[str, float]
     per_label_completed: Dict[str, int]
+    #: Client-side timeouts — a distinct failure class from generic transport
+    #: errors: the server may still be burning CPU on the abandoned request.
+    timeouts: int = 0
+    #: Requests completed in each 1-second window of the run (requests/s),
+    #: so a flat p95 cannot hide a sawtooth or a mid-run stall.
+    throughput_timeseries: List[int] = field(default_factory=list)
     decisions: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        """All attempts that did not complete: rejections, timeouts, errors."""
+        return self.errors + self.rate_limited + self.unavailable + self.timeouts
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-able form (``decisions`` excluded — they are bench-internal)."""
@@ -104,7 +115,10 @@ class LoadReport:
             "errors": self.errors,
             "rate_limited": self.rate_limited,
             "unavailable": self.unavailable,
+            "timeouts": self.timeouts,
+            "failed": self.failed,
             "throughput_rps": self.throughput_rps,
+            "throughput_timeseries": list(self.throughput_timeseries),
             "latency_ms": self.latency_ms,
             "per_label_completed": self.per_label_completed,
         }
@@ -117,7 +131,8 @@ class LoadReport:
             f"{self.completed} ok ({self.throughput_rps:.1f} req/s), "
             f"p50 {lat.get('p50', 0):.1f}ms p95 {lat.get('p95', 0):.1f}ms "
             f"p99 {lat.get('p99', 0):.1f}ms, "
-            f"{self.rate_limited} rate-limited, {self.errors} errors"
+            f"{self.rate_limited} rate-limited, {self.unavailable} unavailable, "
+            f"{self.timeouts} timeouts, {self.errors} errors"
         )
 
 
@@ -142,10 +157,12 @@ class _Budget:
 class _WorkerResult:
     latencies_ms: List[float] = field(default_factory=list)
     labels: List[str] = field(default_factory=list)
+    completions: List[float] = field(default_factory=list)  # perf_counter stamps
     decisions: List[Dict[str, object]] = field(default_factory=list)
     errors: int = 0
     rate_limited: int = 0
     unavailable: int = 0
+    timeouts: int = 0
 
 
 def _worker(
@@ -178,11 +195,18 @@ def _worker(
             except ServiceUnavailableError:
                 result.unavailable += 1
                 continue
+            except TimeoutError:
+                # socket.timeout is TimeoutError — a timed-out request may
+                # still be running server-side, so it gets its own bucket.
+                result.timeouts += 1
+                continue
             except (ServiceError, OSError) as exc:
                 result.errors += 1
                 logger.debug("user %d request failed: %s", index, exc)
                 continue
-            result.latencies_ms.append((time.perf_counter() - begin) * 1000.0)
+            done = time.perf_counter()
+            result.latencies_ms.append((done - begin) * 1000.0)
+            result.completions.append(done)
             result.labels.append(template.label)
             if config.collect_decisions:
                 result.decisions.append(
@@ -241,6 +265,14 @@ def run_load(config: LoadConfig) -> LoadReport:
         }
     else:
         latency_ms = {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    # Per-second throughput: completion stamps bucketed into 1s windows from
+    # the common start barrier, covering the whole run (trailing zeros kept).
+    buckets = [0] * max(1, int(np.ceil(elapsed))) if elapsed > 0 else []
+    for result in results:
+        for stamp in result.completions:
+            offset = int(stamp - started)
+            if 0 <= offset < len(buckets):
+                buckets[offset] += 1
     report = LoadReport(
         concurrency=config.concurrency,
         elapsed_seconds=elapsed,
@@ -248,7 +280,9 @@ def run_load(config: LoadConfig) -> LoadReport:
         errors=sum(result.errors for result in results),
         rate_limited=sum(result.rate_limited for result in results),
         unavailable=sum(result.unavailable for result in results),
+        timeouts=sum(result.timeouts for result in results),
         throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+        throughput_timeseries=buckets,
         latency_ms=latency_ms,
         per_label_completed=per_label,
         decisions=decisions,

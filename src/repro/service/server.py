@@ -14,6 +14,8 @@ method    path       purpose
 GET       /healthz     liveness probe (uptime, queue depth)
 GET       /stats       counters: server, dispatcher, admission, plan cache,
                        registry, audit tail
+GET       /metrics     Prometheus text exposition of the same counters plus
+                       latency/batch histograms (text/plain, not JSON)
 GET       /keys        registered key records (``?model_fingerprint=`` filter)
 POST      /register    register a watermark key (owner + wire-encoded key)
 POST      /revoke      revoke a key by id
@@ -39,13 +41,14 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
 from repro.core.keys import model_fingerprint
 from repro.engine.engine import EngineConfig, WatermarkEngine
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, Sample
 from repro.quant.base import QuantizedModel
 from repro.service.audit import AuditLog
 from repro.service.codec import key_from_wire, model_from_wire
@@ -80,6 +83,38 @@ _COLD_START_GAUNTLET_CELLS = 64
 #: (it runs CPU-bound on the executor), so admission is bounded instead —
 #: abandoned work keeps its slot until it actually finishes.
 _MAX_INFLIGHT_GAUNTLETS = 2
+
+#: Server request counters: ``/stats`` key → (metric name, help text).  The
+#: backing store is the shared :class:`MetricsRegistry` — ``/stats`` and
+#: ``/metrics`` render the same counters, there is no second bookkeeping.
+_SERVER_COUNTERS = {
+    "requests_total": ("repro_server_requests_total", "HTTP requests received"),
+    "verifications": ("repro_server_verifications_total", "completed /verify requests"),
+    "decisions_owned": ("repro_server_decisions_owned_total", "ownership verdicts answered 'owned'"),
+    "decisions_not_owned": (
+        "repro_server_decisions_not_owned_total",
+        "ownership verdicts answered 'not owned'",
+    ),
+    "rejected_rate_limit": (
+        "repro_server_rejected_rate_limit_total",
+        "requests rejected by the whole-server token bucket",
+    ),
+    "rejected_owner_rate": (
+        "repro_server_rejected_owner_rate_total",
+        "requests rejected by per-owner admission",
+    ),
+    "rejected_cpu_budget": (
+        "repro_server_rejected_cpu_budget_total",
+        "gauntlet requests rejected by the CPU-time budget",
+    ),
+    "rejected_queue_full": (
+        "repro_server_rejected_queue_full_total",
+        "requests rejected on a full dispatch queue",
+    ),
+    "timeouts": ("repro_server_timeouts_total", "requests that timed out server-side"),
+    "errors": ("repro_server_errors_total", "requests answered with an error"),
+    "gauntlets": ("repro_server_gauntlets_total", "completed /robustness sweeps"),
+}
 
 
 class _CellCostEstimator:
@@ -245,11 +280,16 @@ class VerificationServer:
             self.config.owner_rate_limit_per_sec, self.config.owner_rate_limit_burst
         )
         self._gauntlet_cost = _CellCostEstimator(self.config.gauntlet_initial_cell_cost_s)
+        # One registry per server: the dispatcher records into it directly,
+        # the admission/audit/cache/registry layers are scraped through pull
+        # collectors, and GET /metrics renders the whole thing.
+        self.metrics = MetricsRegistry()
         self.dispatcher = MicroBatchDispatcher(
             self.engine,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
             max_queue=self.config.max_queue,
+            metrics=self.metrics,
         )
         # Suspect store: uploaded deployment snapshots, addressed by id.
         # LRU-bounded so a long-running server cannot be grown to OOM by
@@ -265,19 +305,119 @@ class VerificationServer:
         self._connections: set = set()
         self.port: Optional[int] = None
         self.started_at: Optional[float] = None
-        self._counters: Dict[str, int] = {
-            "requests_total": 0,
-            "verifications": 0,
-            "decisions_owned": 0,
-            "decisions_not_owned": 0,
-            "rejected_rate_limit": 0,
-            "rejected_owner_rate": 0,
-            "rejected_cpu_budget": 0,
-            "rejected_queue_full": 0,
-            "timeouts": 0,
-            "errors": 0,
-            "gauntlets": 0,
+        # Server counters live on the metrics registry; /stats reads the same
+        # instruments /metrics exposes (keyed here by their legacy stat name).
+        self._counters = {
+            stat: self.metrics.counter(metric, help=help_text)
+            for stat, (metric, help_text) in _SERVER_COUNTERS.items()
         }
+        self._request_latency = self.metrics.histogram(
+            "repro_server_request_seconds",
+            help="wall-clock seconds spent routing one HTTP request",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.metrics.register_collector(self._collect_samples)
+
+    def _collect_samples(self):
+        """Pull-based samples scraped at ``/metrics`` render time.
+
+        Subsystems that keep their own counters (admission buckets, audit
+        log, plan cache, key registry, suspect store) are *read* here rather
+        than migrated onto event-time instruments — their hot paths stay
+        untouched and the exposition still covers them.
+        """
+        cache = self.engine.cache_stats()
+        registry = self.registry.stats()
+        audit = self.audit.stats()
+        with self._suspects_lock:
+            num_suspects = len(self._suspects)
+            suspect_evictions = self._suspect_evictions
+        cost = self._gauntlet_cost.stats()
+        return [
+            Sample(
+                "repro_admission_rejected_total",
+                self.bucket.rejected,
+                kind="counter",
+                help="requests rejected by the whole-server token bucket",
+            ),
+            Sample(
+                "repro_owner_admission_rejected_total",
+                self.owner_limiter.rejected,
+                kind="counter",
+                help="requests rejected by per-owner admission",
+            ),
+            Sample(
+                "repro_audit_entries_total",
+                audit["entries"],
+                kind="counter",
+                help="ownership decisions recorded in the audit log",
+            ),
+            Sample(
+                "repro_audit_dropped_writes_total",
+                audit["dropped_writes"],
+                kind="counter",
+                help="audit entries whose disk copy was dropped",
+            ),
+            Sample(
+                "repro_audit_writer_alive",
+                1.0 if audit["writer_alive"] else 0.0,
+                help="1 while the audit disk-writer path is healthy",
+            ),
+            Sample(
+                "repro_plan_cache_hits_total",
+                cache["hits"],
+                kind="counter",
+                help="location-plan cache hits",
+            ),
+            Sample(
+                "repro_plan_cache_misses_total",
+                cache["misses"],
+                kind="counter",
+                help="location-plan cache misses",
+            ),
+            Sample(
+                "repro_plan_cache_evictions_total",
+                cache["evictions"],
+                kind="counter",
+                help="location-plan cache evictions",
+            ),
+            Sample(
+                "repro_plan_cache_entries",
+                cache["entries"],
+                help="location plans currently cached",
+            ),
+            Sample(
+                "repro_registry_keys",
+                registry["keys"],
+                help="watermark keys ever registered",
+            ),
+            Sample(
+                "repro_registry_active_keys",
+                registry["active"],
+                help="watermark keys currently active",
+            ),
+            Sample(
+                "repro_suspects_stored",
+                num_suspects,
+                help="suspect snapshots currently stored",
+            ),
+            Sample(
+                "repro_suspects_evicted_total",
+                suspect_evictions,
+                kind="counter",
+                help="suspect snapshots evicted by the LRU bound",
+            ),
+            Sample(
+                "repro_gauntlets_inflight",
+                self._gauntlets_inflight,
+                help="/robustness sweeps currently running",
+            ),
+            Sample(
+                "repro_gauntlet_mean_cell_seconds",
+                cost["mean_cell_seconds"],
+                help="EWMA per-cell CPU cost used for admission",
+            ),
+        ]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -329,31 +469,33 @@ class VerificationServer:
                     # Unparseable framing (e.g. a bad Content-Length): answer
                     # once, then drop the connection — the stream position is
                     # no longer trustworthy.
-                    self._counters["requests_total"] += 1
-                    self._counters["errors"] += 1
+                    self._counters["requests_total"].inc()
+                    self._counters["errors"].inc()
                     await self._write_response(writer, exc.status, {"error": str(exc)}, False)
                     break
                 if request is None:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                self._counters["requests_total"] += 1
+                self._counters["requests_total"].inc()
+                started = time.perf_counter()
                 try:
                     status, payload = await self._route(method, path, body)
                 except _HttpError as exc:
                     status, payload = exc.status, {"error": str(exc)}
                     if exc.counter is not None:
-                        self._counters[exc.counter] += 1
+                        self._counters[exc.counter].inc()
                     elif exc.status == 429:
-                        self._counters["rejected_rate_limit"] += 1
+                        self._counters["rejected_rate_limit"].inc()
                     elif exc.status == 503:
-                        self._counters["rejected_queue_full"] += 1
+                        self._counters["rejected_queue_full"].inc()
                     else:
-                        self._counters["errors"] += 1
+                        self._counters["errors"].inc()
                 except Exception as exc:  # route bug — keep serving
                     logger.exception("unhandled error on %s %s", method, path)
                     status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-                    self._counters["errors"] += 1
+                    self._counters["errors"].inc()
+                self._request_latency.observe(time.perf_counter() - started)
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -411,16 +553,23 @@ class VerificationServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, object],
+        payload: Union[Dict[str, object], str],
         keep_alive: bool,
     ) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 429: "Too Many Requests",
                    500: "Internal Server Error", 503: "Service Unavailable"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Prometheus text exposition (GET /metrics) — everything else
+            # the server speaks is JSON.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Response')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -451,6 +600,7 @@ class VerificationServer:
         get_routes = {
             "/healthz": self._handle_healthz,
             "/stats": self._handle_stats,
+            "/metrics": self._handle_metrics,
             "/keys": lambda _body: self._handle_keys(query),
         }
         post_routes = {
@@ -480,13 +630,18 @@ class VerificationServer:
             "queue_depth": self.dispatcher.depth,
         }
 
+    def _handle_metrics(self, _body: bytes) -> Tuple[int, str]:
+        """Prometheus text exposition of every registered series."""
+        return 200, self.metrics.render()
+
     def _handle_stats(self, _body: bytes) -> Tuple[int, Dict[str, object]]:
         with self._suspects_lock:
             num_suspects = len(self._suspects)
         return 200, {
             "server": {
                 "uptime_seconds": time.time() - (self.started_at or time.time()),
-                **self._counters,
+                **{name: int(counter.value) for name, counter in self._counters.items()},
+                "request_seconds": self._request_latency.summary(),
             },
             "dispatcher": self.dispatcher.stats(),
             "admission": self.bucket.stats(),
@@ -504,7 +659,7 @@ class VerificationServer:
                 "max": self.config.max_suspects,
                 "evictions": self._suspect_evictions,
             },
-            "audit": {"entries": self.audit.count},
+            "audit": self.audit.stats(),
         }
 
     def _handle_keys(self, query: Dict[str, list]) -> Tuple[int, Dict[str, object]]:
@@ -626,9 +781,9 @@ class VerificationServer:
             request_id = f"req-{next(self._request_ids)}"
             for pair in ranked:
                 if pair.owned:
-                    self._counters["decisions_owned"] += 1
+                    self._counters["decisions_owned"].inc()
                 else:
-                    self._counters["decisions_not_owned"] += 1
+                    self._counters["decisions_not_owned"].inc()
                 self.audit.record(
                     request_id=request_id,
                     kind="ranking",
@@ -713,13 +868,13 @@ class VerificationServer:
             outcome = await asyncio.wait_for(future, timeout=_VERIFY_TIMEOUT_S)
         except asyncio.TimeoutError:
             raise _HttpError(503, "verification timed out", counter="timeouts") from None
-        self._counters["verifications"] += 1
+        self._counters["verifications"].inc()
         decisions = []
         for pair in outcome.decisions:
             if pair.owned:
-                self._counters["decisions_owned"] += 1
+                self._counters["decisions_owned"].inc()
             else:
-                self._counters["decisions_not_owned"] += 1
+                self._counters["decisions_not_owned"].inc()
             decisions.append(pair.to_dict())
             # Non-blocking: the ring-buffer append happens here, the disk
             # write + flush on the audit log's own writer thread.
@@ -900,7 +1055,11 @@ class VerificationServer:
             raise _HttpError(400, f"invalid threshold value: {exc}") from exc
 
         subjects = {key_id: GauntletSubject(model=suspect, key=key)}
-        gauntlet = Gauntlet(engine=self.engine, config=GauntletConfig(**config_kwargs))
+        gauntlet = Gauntlet(
+            engine=self.engine,
+            config=GauntletConfig(**config_kwargs),
+            metrics=self.metrics,
+        )
         loop = asyncio.get_running_loop()
         # Bounded admission: a timed-out sweep keeps burning CPU on the
         # executor until it finishes (threads cannot be cancelled), so its
@@ -926,7 +1085,7 @@ class VerificationServer:
             # Grid-level validation the gauntlet performs itself (duplicate
             # strengths, colliding cell ids, …) is still client input.
             raise _HttpError(400, f"invalid gauntlet grid: {exc}") from exc
-        self._counters["gauntlets"] += 1
+        self._counters["gauntlets"].inc()
         # Feed the admission estimator with the measured cost: per-cell
         # attack seconds plus the summed verification time (both CPU-bound,
         # summed across workers — the fair-share quantity, not wall clock).
@@ -941,9 +1100,9 @@ class VerificationServer:
         request_id = f"req-{next(self._request_ids)}"
         for cell in report.cells:
             if cell.owned:
-                self._counters["decisions_owned"] += 1
+                self._counters["decisions_owned"].inc()
             else:
-                self._counters["decisions_not_owned"] += 1
+                self._counters["decisions_not_owned"].inc()
             self.audit.record(
                 request_id=request_id,
                 kind="robustness",

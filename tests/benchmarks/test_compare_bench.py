@@ -39,9 +39,13 @@ def gauntlet_report(**overrides):
         "process_speedup": 2.5,
         "process_start_method": "fork",
         "peak_rss_kb": {"parent": 500_000, "worker_max": 120_000},
+        "instrumented_seconds": 2.05,
+        "telemetry_throughput_ratio": 0.98,
+        "telemetry_spans_recorded": 120,
         "decision_digests_equal": True,
         "streaming_batched_digests_equal": True,
         "streaming_process_digests_equal": True,
+        "telemetry_digests_equal": True,
         "decision_digests": ["a", "b", "c", "d"],
         "min_wer_by_attack": {
             "overwrite": 97.5,
@@ -201,6 +205,27 @@ class TestGauntletGates:
     def test_process_timing_must_be_positive(self):
         problems = compare_bench.evaluate_report(gauntlet_report(process_seconds=0.0))
         assert any("timings" in p for p in problems)
+
+    def test_telemetry_digest_flag_gates_even_in_smoke(self):
+        problems = compare_bench.evaluate_report(
+            gauntlet_report(telemetry_digests_equal=False)
+        )
+        assert any("tracing/progress changed" in p for p in problems)
+
+    def test_telemetry_overhead_bar_is_0_95x(self):
+        assert compare_bench.MIN_TELEMETRY_THROUGHPUT_RATIO == 0.95
+        problems = compare_bench.evaluate_report(
+            gauntlet_report(smoke=False, telemetry_throughput_ratio=0.90)
+        )
+        assert any("instrumented gauntlet" in p for p in problems)
+        assert compare_bench.evaluate_report(
+            gauntlet_report(smoke=False, telemetry_throughput_ratio=0.95)
+        ) == []
+
+    def test_telemetry_overhead_gate_skipped_in_smoke_mode(self):
+        assert compare_bench.evaluate_report(
+            gauntlet_report(telemetry_throughput_ratio=0.5)
+        ) == []
 
 
 class TestEngineAndServiceGates:

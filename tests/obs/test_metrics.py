@@ -1,0 +1,159 @@
+"""Metrics registry: instrument semantics and Prometheus exposition format."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Sample
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def parse_exposition(text: str):
+    """Tiny Prometheus text-format parser: returns (samples, helps, types).
+
+    ``samples`` maps ``(name, labels_string)`` → float value.  Raises on any
+    line that is neither a comment nor a well-formed sample — which is the
+    format check.
+    """
+    samples = {}
+    helps = {}
+    types = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        assert match is not None, f"unparseable exposition line: {line!r}"
+        value = match.group("value")
+        samples[(match.group("name"), match.group("labels") or "")] = (
+            float("inf") if value == "+Inf" else float(value)
+        )
+    return samples, helps, types
+
+
+class TestCounter:
+    def test_monotone_and_exact_under_concurrency(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", help="t")
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("repro_x_total").inc(-1)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("9starts-with-digit")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_percentiles_and_summary(self):
+        hist = Histogram("repro_h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(6.05)
+        assert 0.0 < summary["p50"] <= 1.0
+        assert summary["p99"] <= 10.0
+
+    def test_overflow_clamped_to_last_bound(self):
+        hist = Histogram("repro_h2_seconds", buckets=(1.0,))
+        hist.observe(100.0)
+        assert hist.percentile(0.99) == 1.0
+
+    def test_exposition_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h3_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        samples, _, types = parse_exposition(registry.render())
+        assert types["repro_h3_seconds"] == "histogram"
+        assert samples[("repro_h3_seconds_bucket", 'le="0.1"')] == 1
+        assert samples[("repro_h3_seconds_bucket", 'le="1"')] == 2
+        assert samples[("repro_h3_seconds_bucket", 'le="+Inf"')] == 3
+        assert samples[("repro_h3_seconds_count", "")] == 3
+        assert samples[("repro_h3_seconds_sum", "")] == pytest.approx(5.55)
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_a_total") is registry.counter("repro_a_total")
+
+    def test_labelled_series_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_l_total", labels={"k": "a"})
+        b = registry.counter("repro_l_total", labels={"k": "b"})
+        assert a is not b
+        a.inc(2)
+        b.inc(3)
+        samples, _, _ = parse_exposition(registry.render())
+        assert samples[("repro_l_total", 'k="a"')] == 2
+        assert samples[("repro_l_total", 'k="b"')] == 3
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_k_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_k_total")
+
+    def test_collector_samples_rendered(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: [Sample("repro_pull_total", 42, kind="counter", help="pulled")]
+        )
+        samples, helps, types = parse_exposition(registry.render())
+        assert samples[("repro_pull_total", "")] == 42
+        assert types["repro_pull_total"] == "counter"
+        assert helps["repro_pull_total"] == "pulled"
+
+    def test_collector_instrument_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_dup_total")
+        registry.register_collector(lambda: [Sample("repro_dup_total", 1)])
+        with pytest.raises(ValueError):
+            registry.render()
+
+    def test_whole_render_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_r_total", help='with "quotes" and \\ slash').inc()
+        registry.gauge("repro_r_gauge", labels={"path": 'a"b\\c'}).set(1.5)
+        registry.histogram("repro_r_seconds").observe(0.01)
+        samples, helps, types = parse_exposition(registry.render())
+        assert ("repro_r_total", "") in samples
+        assert types["repro_r_gauge"] == "gauge"

@@ -1,0 +1,92 @@
+"""Progress renderer: rendering, throttling, ETA, per-attack min-WER."""
+
+from __future__ import annotations
+
+import io
+import threading
+
+from repro.obs import ProgressRenderer
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _render(total, updates, min_interval=0.0):
+    stream = io.StringIO()
+    clock = _FakeClock()
+    renderer = ProgressRenderer(total, stream=stream, min_interval=min_interval, clock=clock)
+    renderer.start()
+    for attack, wer in updates:
+        clock.now += 1.0
+        renderer.update(attack, wer)
+    renderer.finish()
+    return stream.getvalue()
+
+
+class TestRendering:
+    def test_counts_and_percentage(self):
+        output = _render(4, [(None, None)] * 4)
+        assert "[4/4]" in output
+        assert "100%" in output
+
+    def test_rate_and_eta(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        renderer = ProgressRenderer(4, stream=stream, min_interval=0.0, clock=clock)
+        renderer.start()
+        clock.now = 1.0  # 1 cell/s → 3 remaining → ETA 3s
+        renderer.update()
+        assert "1.0 cells/s" in stream.getvalue()
+        assert "ETA 3s" in stream.getvalue()
+
+    def test_min_wer_tracks_minimum_per_attack(self):
+        output = _render(3, [("overwrite", 100.0), ("overwrite", 87.5), ("pruning", 95.0)])
+        assert "overwrite:87.5" in output
+        assert "pruning:95.0" in output
+
+    def test_throttle_skips_mid_run_paints_but_renders_final(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        renderer = ProgressRenderer(10, stream=stream, min_interval=100.0, clock=clock)
+        renderer.start()
+        clock.now = 0.001
+        renderer.update()  # first paint
+        first = stream.getvalue()
+        for _ in range(8):
+            clock.now += 0.001
+            renderer.update()  # throttled away
+        assert stream.getvalue() == first
+        clock.now += 0.001
+        renderer.update()  # 10/10 → final always renders
+        assert "[10/10]" in stream.getvalue()
+
+    def test_finish_noop_when_never_rendered(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(5, stream=stream)
+        renderer.start()
+        renderer.finish()
+        assert stream.getvalue() == ""
+
+    def test_finish_terminates_with_newline(self):
+        output = _render(1, [(None, None)])
+        assert output.endswith("\n")
+
+    def test_concurrent_updates_all_counted(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(64, stream=stream, min_interval=0.0)
+        renderer.start()
+        threads = [
+            threading.Thread(target=lambda: [renderer.update("a", 90.0) for _ in range(8)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        renderer.finish()
+        assert "[64/64]" in stream.getvalue()

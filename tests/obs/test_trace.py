@@ -1,0 +1,104 @@
+"""Trace spans: no-op when disabled, parent links, Chrome export schema."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import TraceCollector, get_collector, span, tracing
+
+
+class TestDisabled:
+    def test_span_is_noop_without_collector(self):
+        assert get_collector() is None
+        with span("anything", k=1) as record:
+            assert record is None
+
+    def test_nothing_recorded_outside_tracing_block(self):
+        collector = TraceCollector()
+        with tracing(collector):
+            pass
+        with span("outside"):
+            pass
+        assert len(collector) == 0
+
+
+class TestRecording:
+    def test_span_records_timing_and_attrs(self):
+        collector = TraceCollector()
+        with tracing(collector):
+            with span("work", layer="q_proj") as record:
+                assert record is not None
+        records = collector.records
+        assert len(records) == 1
+        got = records[0]
+        assert got.name == "work"
+        assert got.attrs == {"layer": "q_proj"}
+        assert got.duration_us >= 0.0
+        assert got.cpu_us >= 0.0
+        assert got.pid > 0
+
+    def test_nesting_links_parents(self):
+        collector = TraceCollector()
+        with tracing(collector):
+            with span("outer"):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        by_name = {r.name: r for r in collector.records}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["sibling"].parent_id is None
+
+    def test_tracing_restores_previous_collector(self):
+        outer, inner = TraceCollector(), TraceCollector()
+        with tracing(outer):
+            with tracing(inner):
+                with span("x"):
+                    pass
+            assert get_collector() is outer
+        assert get_collector() is None
+        assert len(inner) == 1 and len(outer) == 0
+
+    def test_drain_pops_everything(self):
+        collector = TraceCollector()
+        with tracing(collector):
+            with span("a"):
+                pass
+        drained = collector.drain()
+        assert [r.name for r in drained] == ["a"]
+        assert len(collector) == 0
+
+
+class TestChromeExport:
+    def test_schema_and_ordering(self):
+        collector = TraceCollector()
+        with tracing(collector):
+            with span("outer", cells=2):
+                with span("inner"):
+                    pass
+        payload = collector.to_chrome()
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert isinstance(event["ts"], float)
+            assert event["dur"] >= 0.0
+            assert event["pid"] > 0
+            assert "cpu_us" in event["args"]
+        # Sorted by start time: outer starts before inner.
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        inner_args = events[1]["args"]
+        assert inner_args["parent_span"] == 1  # outer got the first span id
+
+    def test_save_writes_loadable_json(self, tmp_path):
+        collector = TraceCollector()
+        with tracing(collector):
+            with span("persisted"):
+                pass
+        out = tmp_path / "trace.json"
+        collector.save(str(out))
+        loaded = json.loads(out.read_text())
+        assert loaded["traceEvents"][0]["name"] == "persisted"

@@ -51,3 +51,33 @@ class TestLiveRun:
         report_dict = report.to_dict()
         assert "decisions" not in report_dict
         assert report_dict["completed"] == 12
+        # Failure accounting: a clean run has zero in every failure class,
+        # and the aggregate ``failed`` field mirrors their sum.
+        assert report.timeouts == 0
+        assert report.failed == 0
+        assert report_dict["failed"] == 0
+        assert report_dict["timeouts"] == 0
+        # Per-second throughput time-series: one integer bucket per elapsed
+        # second, summing to the completed count.
+        series = report.throughput_timeseries
+        assert series and all(isinstance(count, int) for count in series)
+        assert sum(series) == report.completed
+        assert report_dict["throughput_timeseries"] == series
+
+    def test_failed_counts_every_failure_class(self):
+        from repro.service.loadgen import LoadReport
+
+        report = LoadReport(
+            concurrency=1,
+            elapsed_seconds=1.0,
+            completed=1,
+            errors=2,
+            rate_limited=3,
+            unavailable=4,
+            timeouts=5,
+            throughput_rps=1.0,
+            latency_ms={},
+            per_label_completed={},
+        )
+        assert report.failed == 14
+        assert report.to_dict()["failed"] == 14
