@@ -15,3 +15,8 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, str(_SRC))
+
+# Lock-order witness (opt-in: --lock-witness / REPRO_LOCK_WITNESS=1).  The
+# sys.path insertion above runs at import, before pytest reads this attribute,
+# so the plugin module resolves from the source checkout.
+pytest_plugins = ["repro.analysis.pytest_plugin"]

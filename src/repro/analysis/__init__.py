@@ -1,0 +1,40 @@
+"""Repo-specific static analysis and dynamic race detection.
+
+Two halves:
+
+* **Static** — :func:`run_checks` (CLI: ``repro check``) runs the AST
+  rules in :mod:`repro.analysis.rules` over source trees, enforcing the
+  invariants the rest of the repo's correctness gates assume (seeded RNGs,
+  telemetry purity, shm unlink-once, fork-safe locks, ...).  See
+  :mod:`repro.analysis.base` for the framework and
+  :mod:`repro.analysis.baseline` for grandfathering.
+* **Dynamic** — :mod:`repro.analysis.lockgraph`, an opt-in instrumented
+  ``threading.Lock`` that records the cross-thread acquisition-order graph
+  and reports ordering cycles (potential deadlocks) that no single test
+  run would hit.  Enabled suite-wide via the pytest plugin
+  (``--lock-witness`` / ``REPRO_LOCK_WITNESS=1``).
+"""
+
+from repro.analysis.base import (
+    CheckConfig,
+    CheckResult,
+    ModuleInfo,
+    Rule,
+    Violation,
+    all_rules,
+    register_rule,
+    run_checks,
+)
+from repro.analysis.baseline import Baseline
+
+__all__ = [
+    "Baseline",
+    "CheckConfig",
+    "CheckResult",
+    "ModuleInfo",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "register_rule",
+    "run_checks",
+]

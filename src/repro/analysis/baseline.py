@@ -1,0 +1,104 @@
+"""Grandfathering for ``repro check``: the baseline file.
+
+A baseline records the fingerprints of known, accepted violations so a
+newly added rule can land without first fixing (or arguing about) every
+historical hit.  ``repro check --baseline FILE`` suppresses matches;
+``--write-baseline`` snapshots the current findings.  The file is JSON,
+committed to the repo, and reviewed like code — an entry is a debt marker,
+not an exemption mechanism (ISSUE-8 explicitly requires real violations to
+be *fixed*, not baselined).
+
+Matching is per-fingerprint **by count**: a fingerprint hashes
+``rule:path:stripped-source-line`` (no line number), so unrelated edits do
+not invalidate entries, while adding a *second* identical offending line to
+a file does fail the check.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.base import Violation
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered violation fingerprints, with counts."""
+
+    #: fingerprint -> {"count": int, "rule": str, "path": str, "line": str}
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"malformed baseline {path}: 'entries' not a mapping")
+        return cls(entries=dict(entries))
+
+    @classmethod
+    def from_violations(cls, violations: List[Violation]) -> "Baseline":
+        """Snapshot current findings (the ``--write-baseline`` payload)."""
+        entries: Dict[str, Dict[str, object]] = {}
+        for violation in violations:
+            entry = entries.setdefault(
+                violation.fingerprint,
+                {
+                    "count": 0,
+                    "rule": violation.rule_id,
+                    "path": violation.path,
+                    "line": violation.source_line.strip(),
+                },
+            )
+            entry["count"] = int(entry["count"]) + 1  # type: ignore
+        return cls(entries=entries)
+
+    def filter(
+        self, violations: List[Violation]
+    ) -> Tuple[List[Violation], List[Violation]]:
+        """Split into ``(fresh, suppressed)``.
+
+        Each baselined fingerprint absorbs up to its recorded count; any
+        occurrences beyond that are fresh (a *new* copy of a grandfathered
+        pattern is still a regression).
+        """
+        budget: Counter = Counter(
+            {fp: int(entry.get("count", 1)) for fp, entry in self.entries.items()}  # type: ignore
+        )
+        fresh: List[Violation] = []
+        suppressed: List[Violation] = []
+        for violation in violations:
+            if budget[violation.fingerprint] > 0:
+                budget[violation.fingerprint] -= 1
+                suppressed.append(violation)
+            else:
+                fresh.append(violation)
+        return fresh, suppressed
+
+    def write(self, path: Path) -> None:
+        """Write the baseline file (sorted, trailing newline, reviewable)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {fp: self.entries[fp] for fp in sorted(self.entries)},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )

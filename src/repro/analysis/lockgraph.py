@@ -1,0 +1,510 @@
+"""Dynamic lock-order witness: a lockdep-style deadlock detector.
+
+The static rules catch what source text shows; lock-ordering bugs live in
+*execution interleavings*.  This module instruments ``threading.Lock`` /
+``threading.RLock`` so every **blocking** acquisition records which locks
+the acquiring thread already held, building a directed acquisition-order
+graph across the whole process (engine ``PlanCache`` / ``SlotAllocator`` /
+session / registry / dispatcher locks included, since they all allocate
+through ``threading.Lock()``).  A cycle in that graph — thread 1 takes
+A then B, thread 2 takes B then A — is a potential deadlock *even if no
+run ever hangs*, because the witness aggregates orderings across the whole
+suite rather than waiting for the fatal interleaving.
+
+Usage::
+
+    from repro.analysis import lockgraph
+    lockgraph.enable()          # patch threading.Lock/RLock factories
+    ...                         # run the workload
+    report = lockgraph.witness.report()
+    lockgraph.disable()
+    assert not report.cycles, report.render()
+
+or suite-wide via the pytest plugin: ``pytest --lock-witness`` (or
+``REPRO_LOCK_WITNESS=1``).
+
+Design notes:
+
+* The witness's own bookkeeping uses raw ``_thread.allocate_lock`` so
+  instrumentation never recurses into itself.
+* Locks are *named by creation site* (``file.py:lineno``); edges between
+  two locks sharing one site are ignored (many-instances-per-site pools,
+  e.g. per-key locks, would otherwise self-cycle by name).
+* Only blocking, infinite-timeout acquires record edges.  Nonblocking
+  probes (``Condition._is_owned``'s ``acquire(0)`` fallback) and timed
+  acquires cannot deadlock forever and would only add noise.
+* Fork hygiene: ``os.register_at_fork`` clears the child's graph and held
+  stacks — a forked gauntlet worker starts with an empty witness, and its
+  memory is copy-on-write, so worker-side edges can never reach the parent
+  graph.  Spawn workers re-import fresh and never call :func:`enable` at
+  all.  Every edge additionally records the pid that created it, which the
+  tests assert on.
+* A blocking re-acquire of a non-reentrant lock the thread already holds
+  is certain deadlock; the witness raises :class:`SelfDeadlockError`
+  instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderReport",
+    "LockWitness",
+    "SelfDeadlockError",
+    "disable",
+    "enable",
+    "is_enabled",
+    "witness",
+]
+
+_allocate = _thread.allocate_lock  # the un-patchable original
+_real_rlock = threading.RLock  # captured before any patching
+
+
+class SelfDeadlockError(RuntimeError):
+    """Blocking re-acquire of a held non-reentrant lock — certain deadlock."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One observed ordering: ``src`` was held while ``dst`` was acquired."""
+
+    src: str
+    dst: str
+
+    def __str__(self) -> str:
+        return f"{self.src} -> {self.dst}"
+
+
+@dataclass
+class EdgeInfo:
+    """Bookkeeping for one edge (first sighting wins for provenance)."""
+
+    count: int = 0
+    pid: int = 0
+    thread_name: str = ""
+
+
+@dataclass
+class LockOrderReport:
+    """What the witness saw: the graph plus everything wrong with it."""
+
+    edges: Dict[Edge, EdgeInfo] = field(default_factory=dict)
+    cycles: List[List[str]] = field(default_factory=list)
+    self_deadlocks: List[str] = field(default_factory=list)
+    locks_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.cycles and not self.self_deadlocks
+
+    def render(self) -> str:
+        lines = [
+            f"lock witness: {self.locks_seen} lock(s), "
+            f"{len(self.edges)} ordering edge(s), "
+            f"{len(self.cycles)} cycle(s), "
+            f"{len(self.self_deadlocks)} self-deadlock(s)"
+        ]
+        for cycle in self.cycles:
+            chain = " -> ".join(cycle + cycle[:1])
+            lines.append(f"  CYCLE: {chain}")
+            for src, dst in zip(cycle, cycle[1:] + cycle[:1]):
+                info = self.edges.get(Edge(src, dst))
+                if info is not None:
+                    lines.append(
+                        f"    {src} held while acquiring {dst} "
+                        f"(x{info.count}, pid {info.pid}, "
+                        f"thread {info.thread_name!r})"
+                    )
+        for entry in self.self_deadlocks:
+            lines.append(f"  SELF-DEADLOCK: {entry}")
+        return "\n".join(lines)
+
+
+def _creation_site() -> str:
+    """``file.py:lineno`` of the first frame outside this module/threading."""
+    frame = sys._getframe(1)
+    skip = (__file__, threading.__file__)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in skip:
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class LockWitness:
+    """Process-wide acquisition-order graph and per-thread held stacks."""
+
+    def __init__(self) -> None:
+        self._state_lock = _allocate()
+        self._tls = threading.local()
+        self._edges: Dict[Edge, EdgeInfo] = {}
+        self._self_deadlocks: List[str] = []
+        self._locks_seen = 0
+        self.enabled = False
+
+    # -- per-thread held stack -----------------------------------------
+    def _held(self) -> List[Tuple[int, str]]:
+        """This thread's stack of ``(lock id, name)`` currently held."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all recorded state (fresh state lock: fork-safe)."""
+        self._state_lock = _allocate()
+        self._tls = threading.local()
+        with self._state_lock:
+            self._edges = {}
+            self._self_deadlocks = []
+            self._locks_seen = 0
+
+    def note_lock_created(self) -> None:
+        with self._state_lock:
+            self._locks_seen += 1
+
+    # -- recording ------------------------------------------------------
+    def before_blocking_acquire(
+        self, lock_id: int, name: str, reentrant: bool
+    ) -> None:
+        """Called on a blocking infinite-timeout acquire *attempt*.
+
+        Records edges at attempt time (like lockdep) so an ordering is
+        captured even if the acquire itself would wedge; detects certain
+        self-deadlock for non-reentrant locks.
+        """
+        if not self.enabled:
+            return
+        held = self._held()
+        if not reentrant and any(hid == lock_id for hid, _ in held):
+            entry = (
+                f"{name} re-acquired while held "
+                f"(pid {os.getpid()}, thread {threading.current_thread().name!r})"
+            )
+            with self._state_lock:
+                self._self_deadlocks.append(entry)
+            raise SelfDeadlockError(entry)
+        if not held:
+            return
+        pid = os.getpid()
+        thread_name = threading.current_thread().name
+        with self._state_lock:
+            seen: Set[str] = set()
+            for _, held_name in held:
+                # Same-site pairs (lock pools) would self-cycle by name.
+                if held_name == name or held_name in seen:
+                    continue
+                seen.add(held_name)
+                info = self._edges.setdefault(
+                    Edge(held_name, name), EdgeInfo(pid=pid, thread_name=thread_name)
+                )
+                info.count += 1
+
+    def on_acquired(self, lock_id: int, name: str) -> None:
+        if not self.enabled:
+            return
+        self._held().append((lock_id, name))
+
+    def on_released(self, lock_id: int) -> None:
+        if not self.enabled:
+            return
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][0] == lock_id:
+                del held[index]
+                return
+
+    # -- reporting ------------------------------------------------------
+    def edges_snapshot(self) -> Dict[Edge, EdgeInfo]:
+        with self._state_lock:
+            return {
+                edge: EdgeInfo(info.count, info.pid, info.thread_name)
+                for edge, info in self._edges.items()
+            }
+
+    def find_cycles(self) -> List[List[str]]:
+        """Elementary cycles in the name graph via iterative Tarjan SCCs.
+
+        Within each non-trivial SCC, one representative cycle is recovered
+        by BFS (shortest loop through the SCC's first node) — enough to
+        name the offending locks without enumerating every permutation.
+        """
+        edges = self.edges_snapshot()
+        graph: Dict[str, Set[str]] = {}
+        for edge in edges:
+            graph.setdefault(edge.src, set()).add(edge.dst)
+            graph.setdefault(edge.dst, set())
+        sccs = _tarjan_sccs(graph)
+        cycles: List[List[str]] = []
+        for component in sccs:
+            if len(component) > 1:
+                cycle = _cycle_through(graph, component)
+                if cycle:
+                    cycles.append(cycle)
+        return cycles
+
+    def report(self) -> LockOrderReport:
+        with self._state_lock:
+            self_deadlocks = list(self._self_deadlocks)
+            locks_seen = self._locks_seen
+        return LockOrderReport(
+            edges=self.edges_snapshot(),
+            cycles=self.find_cycles(),
+            self_deadlocks=self_deadlocks,
+            locks_seen=locks_seen,
+        )
+
+
+def _tarjan_sccs(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components, iteratively (no recursion limit)."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index_of:
+            continue
+        work: List[Tuple[str, List[str], int]] = [
+            (root, sorted(graph.get(root, ())), 0)
+        ]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors, cursor = work.pop()
+            advanced = False
+            while cursor < len(successors):
+                succ = successors[cursor]
+                cursor += 1
+                if succ not in index_of:
+                    work.append((node, successors, cursor))
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(graph.get(succ, ())), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def _cycle_through(
+    graph: Dict[str, Set[str]], component: List[str]
+) -> Optional[List[str]]:
+    """Shortest cycle through ``component[0]`` staying inside the SCC."""
+    members = set(component)
+    start = component[0]
+    parents: Dict[str, Optional[str]] = {start: None}
+    frontier = [start]
+    while frontier:
+        next_frontier: List[str] = []
+        for node in frontier:
+            for succ in sorted(graph.get(node, ())):
+                if succ == start:
+                    path = [node]
+                    cursor: Optional[str] = parents[node]
+                    while cursor is not None:
+                        path.append(cursor)
+                        cursor = parents[cursor]
+                    return list(reversed(path))
+                if succ in members and succ not in parents:
+                    parents[succ] = node
+                    next_frontier.append(succ)
+        frontier = next_frontier
+    return None
+
+
+#: The process-wide witness instance.
+witness = LockWitness()
+
+
+class _WitnessBase:
+    """Shared machinery for the Lock/RLock wrappers.
+
+    Unknown attributes delegate to the wrapped primitive so
+    ``threading.Condition``'s ``_release_save`` / ``_acquire_restore`` /
+    ``_is_owned`` probing keeps working for both lock flavors.
+    """
+
+    _reentrant = False
+
+    def __init__(self, inner: object, name: str) -> None:
+        self._inner = inner
+        self._name = name
+        witness.note_lock_created()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking and timeout == -1:
+            witness.before_blocking_acquire(id(self), self._name, self._reentrant)
+        got = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if got:
+            witness.on_acquired(id(self), self._name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()  # type: ignore[attr-defined]
+        witness.on_released(id(self))
+
+    def locked(self) -> bool:
+        return self._inner.locked()  # type: ignore[attr-defined]
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __getattr__(self, attr: str) -> object:
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._name} wrapping {self._inner!r}>"
+
+
+class WitnessLock(_WitnessBase):
+    """Instrumented stand-in for ``threading.Lock()``."""
+
+    _reentrant = False
+
+
+class WitnessRLock(_WitnessBase):
+    """Instrumented stand-in for ``threading.RLock()``.
+
+    Reentrant: repeated acquires by the owner are legal, so only the first
+    acquisition pushes onto the held stack and only the final release pops.
+    ``Condition`` integration is explicit (not just delegated) so the
+    wait-time release/reacquire keeps the held stack truthful.
+    """
+
+    _reentrant = True
+
+    def __init__(self, inner: object, name: str) -> None:
+        super().__init__(inner, name)
+        self._owner: Optional[int] = None
+        self._depth = 0
+        self._meta = _allocate()  # guards _owner/_depth, never held long
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        with self._meta:
+            reacquire = self._owner == me
+        if blocking and timeout == -1 and not reacquire:
+            witness.before_blocking_acquire(id(self), self._name, True)
+        got = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if got:
+            with self._meta:
+                self._owner = me
+                self._depth += 1
+                first = self._depth == 1
+            if first:
+                witness.on_acquired(id(self), self._name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()  # type: ignore[attr-defined]
+        with self._meta:
+            self._depth -= 1
+            last = self._depth == 0
+            if last:
+                self._owner = None
+        if last:
+            witness.on_released(id(self))
+
+    # Condition protocol — keep the held stack honest across wait().
+    def _release_save(self) -> object:
+        state = self._inner._release_save()  # type: ignore[attr-defined]
+        with self._meta:
+            self._depth = 0
+            self._owner = None
+        witness.on_released(id(self))
+        return state
+
+    def _acquire_restore(self, state: object) -> None:
+        # Post-wait reacquire: a genuine acquisition, but recording edges
+        # here would blame condition waits for orderings the user never
+        # wrote; track held-ness only.
+        self._inner._acquire_restore(state)  # type: ignore[attr-defined]
+        with self._meta:
+            self._owner = threading.get_ident()
+            self._depth = 1
+        witness.on_acquired(id(self), self._name)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()  # type: ignore[attr-defined]
+
+
+def _lock_factory() -> WitnessLock:
+    return WitnessLock(_allocate(), _creation_site())
+
+
+def _rlock_factory() -> WitnessRLock:
+    return WitnessRLock(_real_rlock(), _creation_site())
+
+
+_fork_hook_installed = False
+
+
+def _reset_after_fork() -> None:
+    """A forked child starts with an empty graph — parent purity by fiat."""
+    witness.reset()
+
+
+def enable() -> None:
+    """Patch ``threading.Lock``/``threading.RLock`` and start recording.
+
+    Locks created *before* enabling stay uninstrumented; in the pytest
+    plugin this is called at configure time, before the ``src/`` modules
+    (and their module-level locks) are imported by tests.
+    """
+    global _fork_hook_installed
+    if not _fork_hook_installed:
+        os.register_at_fork(after_in_child=_reset_after_fork)
+        _fork_hook_installed = True
+    threading.Lock = _lock_factory  # type: ignore[misc]
+    threading.RLock = _rlock_factory  # type: ignore[misc]
+    witness.enabled = True
+
+
+def disable() -> None:
+    """Restore the real factories and stop recording.
+
+    Already-created wrapper locks keep functioning (they wrap real
+    primitives) but record nothing further.
+    """
+    threading.Lock = _allocate  # type: ignore[misc]
+    threading.RLock = _real_rlock  # type: ignore[misc]
+    witness.enabled = False
+
+
+def is_enabled() -> bool:
+    return witness.enabled

@@ -1,0 +1,69 @@
+"""Suite-wide hook for the dynamic lock-order witness.
+
+Registered from the repo-root ``conftest.py`` (``pytest_plugins``); inert
+unless opted in with ``--lock-witness`` or ``REPRO_LOCK_WITNESS=1``.  When
+active it patches the lock factories *before test modules import* (so every
+``threading.Lock()`` in ``src/`` is witnessed), lets the whole suite run,
+then fails the session (exit status 3) if the aggregated acquisition-order
+graph contains a cycle or a recorded self-deadlock.
+
+Spawn-started workers re-import everything fresh and never run
+``pytest_configure``, so they execute unwitnessed; fork-started workers
+inherit the patch but ``os.register_at_fork`` clears their graph, and their
+copy-on-write memory cannot reach the parent's graph anyway.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["pytest_addoption", "pytest_configure", "pytest_sessionfinish"]
+
+_ENV_FLAG = "REPRO_LOCK_WITNESS"
+
+
+def pytest_addoption(parser) -> None:  # type: ignore[no-untyped-def]
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--lock-witness",
+        action="store_true",
+        default=False,
+        help=(
+            "instrument threading locks suite-wide and fail on "
+            f"acquisition-order cycles (also: {_ENV_FLAG}=1)"
+        ),
+    )
+
+
+def _opted_in(config) -> bool:  # type: ignore[no-untyped-def]
+    if config.getoption("--lock-witness", default=False):
+        return True
+    return os.environ.get(_ENV_FLAG, "") == "1"
+
+
+def pytest_configure(config) -> None:  # type: ignore[no-untyped-def]
+    if not _opted_in(config):
+        return
+    from repro.analysis import lockgraph
+
+    lockgraph.enable()
+    config._repro_lock_witness_pid = os.getpid()
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:  # type: ignore[no-untyped-def]
+    owner_pid = getattr(session.config, "_repro_lock_witness_pid", None)
+    if owner_pid is None or owner_pid != os.getpid():
+        return
+    from repro.analysis import lockgraph
+
+    report = lockgraph.witness.report()
+    lockgraph.disable()
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    summary = report.render()
+    if reporter is not None:
+        reporter.write_sep("=", "lock-order witness")
+        reporter.write_line(summary)
+    else:
+        print(summary)
+    if not report.ok:
+        session.exitstatus = 3

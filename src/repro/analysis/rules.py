@@ -1,0 +1,793 @@
+"""The invariant rules behind ``repro check``.
+
+Each rule encodes one repo-specific correctness invariant as an AST check
+(see module docstrings of :mod:`repro.analysis.base` for the framework).
+The catalog:
+
+========  ====================  =================================================
+id        name                  invariant
+========  ====================  =================================================
+REP001    unseeded-rng          no process-global RNG state; per-cell RNGs derive
+                                from seeds (decision digests must not depend on
+                                call order or worker count)
+REP002    container-truthiness  no ``if x:`` presence tests on classes that
+                                define ``__len__`` (the PR-7 ``TraceCollector``
+                                bug: an *empty* collector is falsy, silently
+                                disabling tracing)
+REP003    telemetry-purity      ``obs/`` never imports decision code, and
+                                functions feeding ``decision_fields`` / digests
+                                never mutate telemetry instruments
+REP004    shm-discipline        ``SharedMemory(create=True)`` only inside the
+                                blessed module and always paired with the
+                                unlink-once registry; no raw ``unlink()``
+                                elsewhere
+REP005    blocking-async        no blocking calls (``time.sleep``, sockets,
+                                sync file I/O, subprocesses) inside ``async
+                                def`` server handlers
+REP006    lock-across-await     no thread lock held across an ``await``
+REP007    fork-reset            module-level ``Lock``/executor creation requires
+                                an ``os.register_at_fork`` reset in the module
+REP008    decision-fields       every dataclass field of a digest-carrying
+                                report is either digested via
+                                ``decision_fields()`` or explicitly marked
+                                informational
+========  ====================  =================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.base import (
+    CheckConfig,
+    ModuleInfo,
+    Rule,
+    Violation,
+    register_rule,
+)
+
+__all__ = [
+    "UnseededRngRule",
+    "ContainerTruthinessRule",
+    "TelemetryPurityRule",
+    "SharedMemoryDisciplineRule",
+    "BlockingInAsyncRule",
+    "LockAcrossAwaitRule",
+    "ForkResetRule",
+    "DecisionFieldsRule",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_aliases(tree: ast.Module, target: str) -> Set[str]:
+    """Local names bound to module ``target`` by ``import`` statements."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == target:
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def own_statements(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body, *excluding* nested function/lambda bodies.
+
+    A call inside a nested ``def``/``lambda`` executes in that callable's
+    context (e.g. a lambda handed to ``run_in_executor``), not in the
+    enclosing function's — async-context rules must not cross the boundary.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _annotation_names(node: Optional[ast.AST]) -> Set[str]:
+    """Class names mentioned in an annotation (sees through Optional[...])."""
+    names: Set[str] = set()
+    if node is None:
+        return names
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations: "Optional[TraceCollector]".
+            try:
+                names |= _annotation_names(ast.parse(sub.value, mode="eval").body)
+            except SyntaxError:
+                pass
+    return names
+
+
+# ----------------------------------------------------------------------
+# REP001 — unseeded RNG
+# ----------------------------------------------------------------------
+@register_rule
+class UnseededRngRule(Rule):
+    """Process-global RNG state breaks digest determinism.
+
+    Decision digests must be bit-identical at any worker count; anything
+    drawing from ``np.random``'s module-level state or the stdlib ``random``
+    module depends on global call order.  Per-cell generators derived from
+    seeds (``np.random.default_rng(seed)``) are the only sanctioned source.
+    """
+
+    rule_id = "REP001"
+    name = "unseeded-rng"
+    description = "no global/unseeded RNG outside test fixtures"
+    hint = "derive a generator from a seed: rng = np.random.default_rng(seed)"
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        if module.is_test:
+            return
+        numpy_names = module_aliases(module.tree, "numpy")
+        random_names = module_aliases(module.tree, "random")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield self.violation(
+                            module,
+                            node,
+                            f"import of global-state 'random.{alias.name}'",
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            # np.random.<fn>(...) — module-level numpy RNG state.
+            value = func.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_names
+                and func.attr not in config.numpy_random_allowed
+            ):
+                yield self.violation(
+                    module, node, f"call to global-state 'np.random.{func.attr}'"
+                )
+            # random.<fn>(...) — the stdlib module's hidden global Mersenne
+            # Twister (random.Random(seed) instances are explicitly seeded).
+            if (
+                isinstance(value, ast.Name)
+                and value.id in random_names
+                and func.attr != "Random"
+            ):
+                yield self.violation(
+                    module, node, f"call to global-state 'random.{func.attr}'"
+                )
+
+
+# ----------------------------------------------------------------------
+# REP002 — container truthiness
+# ----------------------------------------------------------------------
+@register_rule
+class ContainerTruthinessRule(Rule):
+    """``if x:`` on a ``__len__``-defining object tests emptiness, not presence.
+
+    The PR-7 bug class: a fresh ``TraceCollector`` is falsy (``__len__`` is
+    0), so ``if collector:`` silently disabled tracing in workers.  For the
+    configured classes, presence must be spelled ``is not None``.
+    """
+
+    rule_id = "REP002"
+    name = "container-truthiness"
+    description = "no truthiness presence-tests on __len__-defining classes"
+    hint = "an empty instance is falsy; test 'x is not None' instead"
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        suspects = self._collect_suspects(module, config)
+        if not suspects:
+            return
+        for node in ast.walk(module.tree):
+            for tested in self._boolean_tests(node):
+                name = dotted_name(tested)
+                if name is not None and name in suspects:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"truthiness test on {suspects[name]} instance {name!r}",
+                    )
+
+    @staticmethod
+    def _boolean_tests(node: ast.AST) -> Iterator[ast.AST]:
+        """Expressions evaluated *for their truth value* by ``node``."""
+        if isinstance(node, (ast.If, ast.While)):
+            yield node.test
+        elif isinstance(node, ast.IfExp):
+            yield node.test
+        elif isinstance(node, ast.Assert):
+            yield node.test
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            yield node.operand
+        elif isinstance(node, ast.BoolOp):
+            yield from node.values
+        elif isinstance(node, ast.comprehension):
+            yield from node.ifs
+
+    def _collect_suspects(
+        self, module: ModuleInfo, config: CheckConfig
+    ) -> Dict[str, str]:
+        """``{dotted name: class}`` for names known to hold suspect instances.
+
+        Inference is deliberately simple and module-local: names (or
+        ``self.x`` attributes) assigned from ``ClassName(...)`` calls, plus
+        parameters/variables annotated with a suspect class (including
+        ``Optional[ClassName]`` — exactly the PR-7 shape).
+        """
+        wanted = set(config.truthiness_classes)
+        suspects: Dict[str, str] = {}
+
+        def note(target: ast.AST, cls: str) -> None:
+            name = dotted_name(target)
+            if name is not None:
+                suspects[name] = cls
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                call = node.value
+                if isinstance(call, ast.Call):
+                    callee = dotted_name(call.func)
+                    cls = callee.rsplit(".", 1)[-1] if callee else None
+                    if cls in wanted:
+                        for target in node.targets:
+                            note(target, cls)
+            elif isinstance(node, ast.AnnAssign):
+                for cls in _annotation_names(node.annotation) & wanted:
+                    note(node.target, cls)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in [
+                    *args.posonlyargs, *args.args, *args.kwonlyargs,
+                    args.vararg, args.kwarg,
+                ]:
+                    if arg is None:
+                        continue
+                    for cls in _annotation_names(arg.annotation) & wanted:
+                        suspects[arg.arg] = cls
+        return suspects
+
+
+# ----------------------------------------------------------------------
+# REP003 — telemetry purity
+# ----------------------------------------------------------------------
+@register_rule
+class TelemetryPurityRule(Rule):
+    """Telemetry measures; it never decides — and never feeds back.
+
+    Two directions: modules under the obs package must not import decision
+    code (the zero-dependency guarantee), and functions that participate in
+    decision digests (they reference ``decision_fields`` /
+    ``decision_digest``) must not mutate metrics instruments — an ``inc()``
+    inside digest computation would make exposition traffic part of the
+    decision path.
+    """
+
+    rule_id = "REP003"
+    name = "telemetry-purity"
+    description = "obs imports no decision code; digest code mutates no instruments"
+    hint = "record metrics outside decision_fields/digest paths; keep obs/ standalone"
+
+    _MUTATORS = {"inc", "dec", "observe", "set"}
+    _DIGEST_MARKERS = {"decision_fields", "decision_digest"}
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        if config.obs_package in module.relpath.parts:
+            yield from self._check_obs_imports(module, config)
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._touches_digest(node):
+                continue
+            for sub in own_statements(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in self._MUTATORS
+                    and self._looks_like_instrument(sub.func.value)
+                ):
+                    yield self.violation(
+                        module,
+                        sub,
+                        f"instrument mutation '.{sub.func.attr}()' inside "
+                        f"digest-feeding function {node.name!r}",
+                    )
+
+    def _check_obs_imports(
+        self, module: ModuleInfo, config: CheckConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                targets = [node.module]
+            for target in targets:
+                for forbidden in config.obs_forbidden_imports:
+                    if target == forbidden or target.startswith(forbidden + "."):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"obs module imports decision code {target!r}",
+                            hint="obs/ stays zero-dependency; pass values in, "
+                            "never import the engine",
+                        )
+
+    def _touches_digest(self, func: ast.AST) -> bool:
+        for node in own_statements(func):
+            if isinstance(node, ast.Attribute) and node.attr in self._DIGEST_MARKERS:
+                return True
+            if isinstance(node, ast.Name) and node.id in self._DIGEST_MARKERS:
+                return True
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not func and node.name in self._DIGEST_MARKERS:
+                    return True
+        return False
+
+    @staticmethod
+    def _looks_like_instrument(receiver: ast.AST) -> bool:
+        """Heuristic: the mutated object reads like a metrics instrument."""
+        name = dotted_name(receiver)
+        if name is None:
+            # e.g. self.metrics.counter(...).inc() — a call-chain receiver.
+            if isinstance(receiver, ast.Call):
+                callee = dotted_name(receiver.func)
+                if callee is not None:
+                    tail = callee.rsplit(".", 1)[-1]
+                    return tail in {"counter", "gauge", "histogram"}
+            return False
+        tail = name.rsplit(".", 1)[-1].lower()
+        markers = ("counter", "gauge", "histogram", "metric", "instrument")
+        return any(marker in tail for marker in markers)
+
+
+# ----------------------------------------------------------------------
+# REP004 — shared-memory discipline
+# ----------------------------------------------------------------------
+@register_rule
+class SharedMemoryDisciplineRule(Rule):
+    """Segment creation and unlinking happen in exactly one module.
+
+    ``SharedMemory(create=True)`` outside the blessed module bypasses the
+    unlink-exactly-once registry (leaked ``/dev/shm`` blocks on crash);
+    inside it, the creating function must register the segment.  Raw
+    ``.unlink()`` calls anywhere else can double-unlink or strip a segment
+    another owner still tracks.
+    """
+
+    rule_id = "REP004"
+    name = "shm-discipline"
+    description = "SharedMemory(create=True) and unlink() only via engine/shm.py"
+    hint = "create segments through SharedArena; teardown through its close()"
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        if not self._imports_shared_memory(module.tree):
+            return
+        is_blessed = module.relpath.name == config.shm_module
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func)
+            tail = func_name.rsplit(".", 1)[-1] if func_name else ""
+            if tail == "SharedMemory" and self._has_create_true(node):
+                if not is_blessed:
+                    yield self.violation(
+                        module,
+                        node,
+                        "SharedMemory(create=True) outside the blessed shm module",
+                    )
+                elif not self._registers_segment(module, node, config):
+                    yield self.violation(
+                        module,
+                        node,
+                        "segment created without registering in "
+                        f"{config.shm_registry_name} (unlink-once registry)",
+                        hint=f"add the segment to {config.shm_registry_name} in "
+                        "the same function so the atexit sweep can reclaim it",
+                    )
+            elif tail == "unlink" and not is_blessed:
+                if isinstance(node.func, ast.Attribute) and not node.args:
+                    yield self.violation(
+                        module,
+                        node,
+                        "raw shared-memory unlink() outside the blessed shm module",
+                    )
+
+    @staticmethod
+    def _imports_shared_memory(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                if any("shared_memory" in alias.name for alias in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and "shared_memory" in node.module:
+                    return True
+                if any(alias.name == "shared_memory" for alias in node.names):
+                    return True
+        return False
+
+    @staticmethod
+    def _has_create_true(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "create":
+                value = keyword.value
+                return not (
+                    isinstance(value, ast.Constant) and value.value is False
+                )
+        return False
+
+    @staticmethod
+    def _registers_segment(
+        module: ModuleInfo, call: ast.Call, config: CheckConfig
+    ) -> bool:
+        """The function containing ``call`` references the unlink registry."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                found_call = any(sub is call for sub in ast.walk(node))
+                if found_call:
+                    return any(
+                        isinstance(sub, ast.Name)
+                        and sub.id == config.shm_registry_name
+                        for sub in ast.walk(node)
+                    )
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP005 — blocking calls in async handlers
+# ----------------------------------------------------------------------
+@register_rule
+class BlockingInAsyncRule(Rule):
+    """A blocking call inside ``async def`` stalls every connection.
+
+    The server's handlers share one event loop; ``time.sleep``, socket
+    construction, synchronous file I/O and subprocesses belong on an
+    executor (``loop.run_in_executor``), never inline.  Nested ``def``/
+    ``lambda`` bodies are exempt — they run wherever they are handed.
+    """
+
+    rule_id = "REP005"
+    name = "blocking-async"
+    description = "no blocking calls inside async def bodies"
+    hint = "await asyncio.sleep(...) or push the work to loop.run_in_executor"
+
+    #: Dotted call names that block the loop.
+    _BLOCKING = {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.request",
+    }
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for sub in own_statements(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = dotted_name(sub.func)
+                if name in self._BLOCKING:
+                    yield self.violation(
+                        module,
+                        sub,
+                        f"blocking call {name}() inside async def {node.name!r}",
+                    )
+                elif isinstance(sub.func, ast.Name) and sub.func.id == "open":
+                    yield self.violation(
+                        module,
+                        sub,
+                        f"synchronous open() inside async def {node.name!r}",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP006 — lock held across await
+# ----------------------------------------------------------------------
+@register_rule
+class LockAcrossAwaitRule(Rule):
+    """A thread lock held across ``await`` serializes the event loop.
+
+    The coroutine suspends while holding the lock; any other task (or
+    executor thread) touching the same lock blocks for the suspension's
+    full duration — and two such coroutines can deadlock the loop outright.
+    """
+
+    rule_id = "REP006"
+    name = "lock-across-await"
+    description = "no threading lock held across an await point"
+    hint = "narrow the critical section or switch to asyncio.Lock"
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for sub in own_statements(node):
+                if not isinstance(sub, ast.With):
+                    continue
+                lock_item = next(
+                    (
+                        item
+                        for item in sub.items
+                        if self._is_lock_expr(item.context_expr)
+                    ),
+                    None,
+                )
+                if lock_item is None:
+                    continue
+                awaited = next(
+                    (
+                        body_node
+                        for stmt in sub.body
+                        for body_node in self._own_walk(stmt)
+                        if isinstance(body_node, ast.Await)
+                    ),
+                    None,
+                )
+                if awaited is not None:
+                    name = dotted_name(lock_item.context_expr) or "<lock>"
+                    yield self.violation(
+                        module,
+                        awaited,
+                        f"await while holding thread lock {name!r} "
+                        f"in async def {node.name!r}",
+                    )
+
+    @staticmethod
+    def _own_walk(stmt: ast.AST) -> Iterator[ast.AST]:
+        stack = [stmt]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _is_lock_expr(expr: ast.AST) -> bool:
+        name = dotted_name(expr)
+        if name is not None:
+            tail = name.rsplit(".", 1)[-1].lower()
+            return "lock" in tail or "mutex" in tail
+        if isinstance(expr, ast.Call):
+            callee = dotted_name(expr.func)
+            if callee is None:
+                return False
+            tail = callee.rsplit(".", 1)[-1]
+            return tail in {"Lock", "RLock"} or tail == "acquire"
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP007 — module-level locks need a fork reset
+# ----------------------------------------------------------------------
+@register_rule
+class ForkResetRule(Rule):
+    """A fork()ed child inherits locks but not the threads holding them.
+
+    Module-level ``Lock``/``RLock``/executor objects are created once at
+    import and survive into every forked gauntlet worker; one captured
+    mid-acquire deadlocks the child forever.  Modules owning such state must
+    register an ``os.register_at_fork`` reset (the pattern in
+    ``engine/engine.py`` and ``obs/trace.py``).
+    """
+
+    rule_id = "REP007"
+    name = "fork-reset"
+    description = "module-level Lock/executor creation requires register_at_fork"
+    hint = "add os.register_at_fork(after_in_child=...) replacing the lock"
+
+    _FACTORIES = {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+    }
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        offenders: List[Tuple[ast.AST, str]] = []
+        for node in module.tree.body:  # module level only
+            values: List[Tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, ast.Assign):
+                values = [(node, node.value)]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                values = [(node, node.value)]
+            for stmt, value in values:
+                if not isinstance(value, ast.Call):
+                    continue
+                callee = dotted_name(value.func)
+                tail = callee.rsplit(".", 1)[-1] if callee else ""
+                if tail in self._FACTORIES:
+                    offenders.append((stmt, tail))
+        if not offenders:
+            return
+        has_reset = any(
+            (isinstance(node, ast.Attribute) and node.attr == "register_at_fork")
+            or (isinstance(node, ast.Name) and node.id == "register_at_fork")
+            for node in ast.walk(module.tree)
+        )
+        if has_reset:
+            return
+        for stmt, factory in offenders:
+            yield self.violation(
+                module,
+                stmt,
+                f"module-level {factory}() without a register_at_fork reset",
+            )
+
+
+# ----------------------------------------------------------------------
+# REP008 — decision-field coverage of digest-carrying reports
+# ----------------------------------------------------------------------
+@register_rule
+class DecisionFieldsRule(Rule):
+    """Every report field is either digested or declared informational.
+
+    Digest-carrying dataclasses (those defining ``decision_fields()``) are
+    the worker-count-equivalence contract: a field silently left out of both
+    the digest and the informational list is exactly how a decision-relevant
+    value escapes the equivalence gates.  Mark non-digested fields with
+    ``field(metadata={"informational": True})`` or list them in a class
+    attribute ``INFORMATIONAL_FIELDS``.
+    """
+
+    rule_id = "REP008"
+    name = "decision-fields"
+    description = "report dataclass fields are digested or marked informational"
+    hint = ('mark with field(metadata={"informational": True}) or add the name '
+            "to INFORMATIONAL_FIELDS")
+
+    def check(self, module: ModuleInfo, config: CheckConfig) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_dataclass(node):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "decision_fields" not in methods:
+                continue
+            digested = self._self_attr_closure(methods, "decision_fields")
+            informational = self._informational_names(node)
+            for item in node.body:
+                if not isinstance(item, ast.AnnAssign):
+                    continue
+                if not isinstance(item.target, ast.Name):
+                    continue
+                field_name = item.target.id
+                if "ClassVar" in _annotation_names(item.annotation):
+                    continue
+                if field_name in digested or field_name in informational:
+                    continue
+                if self._marked_informational(item.value):
+                    continue
+                yield self.violation(
+                    module,
+                    item,
+                    f"field {field_name!r} of {node.name} is neither digested "
+                    "by decision_fields() nor marked informational",
+                )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = dotted_name(target)
+            if name and name.rsplit(".", 1)[-1] == "dataclass":
+                return True
+        return False
+
+    @staticmethod
+    def _self_attr_closure(methods: Mapping[str, ast.AST], start: str) -> Set[str]:
+        """``self.X`` names reachable from ``start`` through own methods.
+
+        Follows references like ``self.cell_id`` into the ``cell_id``
+        property so indirectly digested fields count as covered.
+        """
+        seen_methods: Set[str] = set()
+        attrs: Set[str] = set()
+        queue = [start]
+        while queue:
+            current = queue.pop()
+            if current in seen_methods or current not in methods:
+                continue
+            seen_methods.add(current)
+            for node in ast.walk(methods[current]):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    attrs.add(node.attr)
+                    if node.attr in methods:
+                        queue.append(node.attr)
+        return attrs
+
+    @staticmethod
+    def _informational_names(node: ast.ClassDef) -> Set[str]:
+        """Names listed in a class-level ``INFORMATIONAL_FIELDS`` tuple/set."""
+        names: Set[str] = set()
+        for item in node.body:
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(item, ast.Assign):
+                targets, value = item.targets, item.value
+            elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                targets, value = [item.target], item.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "INFORMATIONAL_FIELDS"
+                    and isinstance(value, (ast.Tuple, ast.List, ast.Set, ast.Call))
+                ):
+                    container = value
+                    if isinstance(container, ast.Call):  # frozenset({...})
+                        container = container.args[0] if container.args else None
+                    elts = getattr(container, "elts", [])
+                    for elt in elts:
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                            names.add(elt.value)
+        return names
+
+    @staticmethod
+    def _marked_informational(value: Optional[ast.AST]) -> bool:
+        """``field(metadata={"informational": True})`` on the assignment."""
+        if not isinstance(value, ast.Call):
+            return False
+        callee = dotted_name(value.func)
+        if not callee or callee.rsplit(".", 1)[-1] != "field":
+            return False
+        for keyword in value.keywords:
+            if keyword.arg != "metadata" or not isinstance(keyword.value, ast.Dict):
+                continue
+            for key, val in zip(keyword.value.keys, keyword.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "informational"
+                    and isinstance(val, ast.Constant)
+                    and bool(val.value)
+                ):
+                    return True
+        return False

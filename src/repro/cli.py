@@ -1,7 +1,7 @@
 """The ``repro`` command-line interface.
 
-Five sub-commands expose the watermarking engine, the verification service
-and the robustness gauntlet from a shell:
+Six sub-commands expose the watermarking engine, the verification service,
+the robustness gauntlet and the repo's own static analysis from a shell:
 
 ``repro insert``
     Watermark a simulated model — with ``--owners N``, insert N co-resident
@@ -23,6 +23,12 @@ and the robustness gauntlet from a shell:
 ``repro loadgen``
     Closed-loop load generator against a running server, printing the
     llm-load-test-style throughput / latency-percentile report.
+
+``repro check``
+    Repo-specific static analysis: run the invariant rules in
+    :mod:`repro.analysis` (seeded RNGs only, telemetry purity,
+    shared-memory unlink-once, fork-safe locks, ...) over source trees,
+    with a committed-baseline workflow for grandfathering.
 
 ``repro gauntlet``
     Robustness gauntlet: watermark a simulated model (any quantization
@@ -136,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict verification to these key ids (repeatable)")
     loadgen.add_argument("--output", metavar="PATH", default=None,
                          help="write the JSON report here as well as stdout")
+
+    check = sub.add_parser("check", help="repo-invariant static analysis")
+    check.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                       help="files or directories to scan (default: src)")
+    check.add_argument("--rule", action="append", default=None, metavar="ID",
+                       help="run only this rule id, e.g. REP002 (repeatable; "
+                            "default: all rules)")
+    check.add_argument("--baseline", metavar="FILE", default=None,
+                       help="suppress violations recorded in this baseline file")
+    check.add_argument("--write-baseline", metavar="FILE", default=None,
+                       help="snapshot current findings to FILE and exit 0")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalog and exit")
+    check.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
 
     gauntlet = sub.add_parser("gauntlet", help="parallel attack-robustness sweep")
     gauntlet.add_argument("--model", default="opt-2.7b-sim",
@@ -405,6 +426,48 @@ def _parse_strengths(raw: Optional[List[str]]) -> dict:
     return strengths
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import Baseline, all_rules, run_checks
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name:22s} {rule.description}")
+        return 0
+    if args.rule:
+        known = {rule.rule_id for rule in rules}
+        unknown = sorted(set(args.rule) - known)
+        if unknown:
+            print(f"error: unknown rule ids {unknown}; known: {sorted(known)}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in set(args.rule)]
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    result = run_checks(args.paths, rules=rules, baseline=baseline)
+    if args.write_baseline:
+        Baseline.from_violations(result.violations).write(Path(args.write_baseline))
+        print(f"baseline with {len(result.violations)} finding(s) written to "
+              f"{args.write_baseline}")
+        return 0
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_gauntlet(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -521,6 +584,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "gauntlet":
         return _cmd_gauntlet(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

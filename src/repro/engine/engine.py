@@ -563,7 +563,9 @@ class WatermarkEngine:
         if config is None:
             config = EmMarkConfig.scaled_for_model(model)
         allocator = occupied if isinstance(occupied, SlotAllocator) else None
-        if allocator is None and occupied:
+        # Explicit emptiness test: an empty mapping means "no occupancy",
+        # while `if occupied:` would conflate that with None (REP002).
+        if allocator is None and occupied is not None and len(occupied) > 0:
             allocator_view = SlotAllocator(occupied=occupied)
         else:
             allocator_view = allocator

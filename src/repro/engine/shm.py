@@ -85,6 +85,22 @@ def _sweep_live_segments() -> None:
 atexit.register(_sweep_live_segments)
 
 
+def _reset_after_fork() -> None:
+    """Fork hygiene for the owner-side registry (REP007).
+
+    The child gets a fresh lock (the parent's could be forked mid-acquire)
+    and an empty registry: segments belong to the creating process — a
+    worker must never unlink what the parent still serves, neither in its
+    atexit sweep nor via a close() on an inherited handle.
+    """
+    global _LIVE_LOCK
+    _LIVE_LOCK = threading.Lock()
+    _LIVE_SEGMENTS.clear()
+
+
+os.register_at_fork(after_in_child=_reset_after_fork)
+
+
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment.
 

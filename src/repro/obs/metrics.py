@@ -385,7 +385,11 @@ class MetricsRegistry:
         """JSON-friendly dump: counters/gauges by name, histogram summaries."""
         with self._lock:
             instruments = list(self._instruments.values())
-        out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
+        # Typed per-kind maps (rather than one Dict[str, object] indexed
+        # twice) so the assignments below type-check.
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, object] = {}
 
         def _key(instrument: _Instrument) -> str:
             if not instrument.label_set:
@@ -394,12 +398,12 @@ class MetricsRegistry:
 
         for instrument in instruments:
             if isinstance(instrument, Counter):
-                out["counters"][_key(instrument)] = instrument.value
+                counters[_key(instrument)] = instrument.value
             elif isinstance(instrument, Gauge):
-                out["gauges"][_key(instrument)] = instrument.value
+                gauges[_key(instrument)] = instrument.value
             elif isinstance(instrument, Histogram):
-                out["histograms"][_key(instrument)] = instrument.summary()
+                histograms[_key(instrument)] = instrument.summary()
         for sample in self._collector_samples():
-            bucket = "counters" if sample.kind == "counter" else "gauges"
-            out[bucket][sample.name + _format_labels(_labelset(sample.labels))] = sample.value
-        return out
+            bucket = counters if sample.kind == "counter" else gauges
+            bucket[sample.name + _format_labels(_labelset(sample.labels))] = sample.value
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -100,7 +100,9 @@ class TraceCollector:
         is inspectable per slice.
         """
         events: List[Dict[str, object]] = []
-        for record in self.records:
+        # Sorted on the typed record (not the heterogeneous event dict), so
+        # the ordering key is a plain float.
+        for record in sorted(self.records, key=lambda r: r.start_us):
             args: Dict[str, object] = dict(record.attrs)
             args["cpu_us"] = round(record.cpu_us, 1)
             if record.parent_id is not None:
@@ -117,7 +119,6 @@ class TraceCollector:
                     "args": args,
                 }
             )
-        events.sort(key=lambda e: e["ts"])
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def save(self, path: str) -> None:

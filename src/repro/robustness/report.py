@@ -45,17 +45,26 @@ class GauntletCellResult:
     model_id: str
     attack: str
     strength: float
-    strength_unit: str
+    #: Display label for the strength axis; the strength *value* is digested
+    #: via ``cell_id``.
+    strength_unit: str = field(metadata={"informational": True})
     wer_percent: float
     matched_bits: int
     total_bits: int
-    false_claim_probability: float
+    #: Equation 8, fully determined by the digested ``matched_bits`` /
+    #: ``total_bits`` pair — re-digesting the float would only pin its
+    #: formatting.
+    false_claim_probability: float = field(metadata={"informational": True})
     owned: bool
     attacker_wer_percent: Optional[float] = None
     perplexity: Optional[float] = None
     zero_shot_accuracy: Optional[float] = None
-    attack_seconds: float = 0.0
-    info: Dict[str, object] = field(default_factory=dict)
+    #: Wall-clock timing — varies run to run by construction.
+    attack_seconds: float = field(default=0.0, metadata={"informational": True})
+    #: Free-form attack annotations (worker ids, trace spans, ...).
+    info: Dict[str, object] = field(
+        default_factory=dict, metadata={"informational": True}
+    )
     #: Per-co-resident-owner evidence for multi-owner subjects (``co_keys``
     #: on the :class:`~repro.robustness.gauntlet.GauntletSubject`); empty for
     #: single-owner grids.

@@ -1,0 +1,62 @@
+"""Analysis-suite fixtures: snippet-checking helpers and a tiny subject.
+
+The rule tests are *fixture pairs*: for every rule, at least one bad
+snippet that must trip it and one good snippet that must not.  Snippets are
+written into a temp tree (some rules key off path structure — the ``obs``
+package, the blessed ``shm.py`` module, the ``tests`` exemption) and run
+through the real :func:`repro.analysis.run_checks` pipeline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import Violation, all_rules, run_checks
+from repro.core.config import EmMarkConfig
+from repro.engine import WatermarkEngine
+from repro.robustness import GauntletSubject
+
+
+@pytest.fixture
+def check_tree(tmp_path):
+    """Write ``{relpath: source}`` into a temp tree and run one rule on it."""
+
+    def _check(files: Dict[str, str], rule_id: str) -> List[Violation]:
+        root = tmp_path / "tree"
+        for relpath, source in files.items():
+            target = root / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        rules = [rule for rule in all_rules() if rule.rule_id == rule_id]
+        assert rules, f"unknown rule id {rule_id}"
+        result = run_checks([root], rules=rules)
+        return result.violations
+
+    return _check
+
+
+@pytest.fixture
+def check_snippet(check_tree):
+    """Run one rule over a single module body (written as ``mod.py``)."""
+
+    def _check(source: str, rule_id: str, relpath: str = "mod.py") -> List[Violation]:
+        return check_tree({relpath: source}, rule_id)
+
+    return _check
+
+
+@pytest.fixture(scope="session")
+def analysis_subject(quantized_awq4, activation_stats):
+    """A small watermarked subject for witness-on/off digest equivalence."""
+    engine = WatermarkEngine()
+    config = EmMarkConfig.scaled_for_model(quantized_awq4, bits_per_layer=8)
+    watermarked, key, _ = engine.insert(quantized_awq4, activation_stats, config=config)
+    return GauntletSubject(model=watermarked, key=key, harness=None)
+
+
+@pytest.fixture(scope="session")
+def repo_src() -> Path:
+    return Path(__file__).resolve().parents[2] / "src"

@@ -1,0 +1,103 @@
+"""Baseline (grandfathering) workflow for ``repro check``."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import Baseline, all_rules, run_checks
+
+BAD = textwrap.dedent(
+    """
+    import numpy as np
+
+    def sample():
+        return np.random.rand(4)
+    """
+).lstrip("\n")
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "mod.py").write_text(BAD, encoding="utf-8")
+    return root
+
+
+def _rep001():
+    return [rule for rule in all_rules() if rule.rule_id == "REP001"]
+
+
+def test_baseline_suppresses_known_violations(bad_tree, tmp_path):
+    first = run_checks([bad_tree], rules=_rep001())
+    assert len(first.violations) == 1
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_violations(first.violations).write(baseline_path)
+
+    second = run_checks(
+        [bad_tree], rules=_rep001(), baseline=Baseline.load(baseline_path)
+    )
+    assert second.ok
+    assert len(second.suppressed) == 1
+
+
+def test_fingerprint_survives_unrelated_edits(bad_tree, tmp_path):
+    first = run_checks([bad_tree], rules=_rep001())
+    baseline = Baseline.from_violations(first.violations)
+    # Shift the offending line down: line numbers change, content does not.
+    (bad_tree / "mod.py").write_text(
+        "# leading comment\n# another\n" + BAD, encoding="utf-8"
+    )
+    second = run_checks([bad_tree], rules=_rep001(), baseline=baseline)
+    assert second.ok
+    assert second.suppressed[0].line != first.violations[0].line
+
+
+def test_new_copy_of_baselined_pattern_is_fresh(bad_tree):
+    baseline = Baseline.from_violations(run_checks([bad_tree], rules=_rep001()).violations)
+    # A second identical offending line exceeds the baselined count.
+    (bad_tree / "mod.py").write_text(
+        BAD + "\ndef more():\n    return np.random.rand(4)\n", encoding="utf-8"
+    )
+    result = run_checks([bad_tree], rules=_rep001(), baseline=baseline)
+    assert len(result.suppressed) == 1
+    assert len(result.violations) == 1
+
+
+def test_new_violation_not_masked_by_baseline(bad_tree):
+    baseline = Baseline.from_violations(run_checks([bad_tree], rules=_rep001()).violations)
+    (bad_tree / "other.py").write_text(
+        "import random\n\ndef pick(xs):\n    return random.choice(xs)\n",
+        encoding="utf-8",
+    )
+    result = run_checks([bad_tree], rules=_rep001(), baseline=baseline)
+    assert len(result.violations) == 1
+    assert result.violations[0].path == "other.py"
+
+
+def test_missing_baseline_file_is_empty():
+    baseline = Baseline.load("/nonexistent/baseline.json")
+    assert baseline.entries == {}
+
+
+def test_unsupported_version_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": {}}), encoding="utf-8")
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_written_baseline_is_reviewable_json(bad_tree, tmp_path):
+    violations = run_checks([bad_tree], rules=_rep001()).violations
+    path = tmp_path / "baseline.json"
+    Baseline.from_violations(violations).write(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["version"] == 1
+    (entry,) = data["entries"].values()
+    assert entry["rule"] == "REP001"
+    assert entry["path"] == "mod.py"
+    assert entry["count"] == 1
+    assert "np.random.rand" in entry["line"]

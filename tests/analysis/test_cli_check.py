@@ -1,0 +1,108 @@
+"""The ``repro check`` sub-command: exit codes, flags, JSON output."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+BAD = textwrap.dedent(
+    """
+    import numpy as np
+
+    def sample():
+        return np.random.rand(4)
+    """
+).lstrip("\n")
+
+GOOD = textwrap.dedent(
+    """
+    import numpy as np
+
+    def sample(seed):
+        return np.random.default_rng(seed).normal(size=3)
+    """
+).lstrip("\n")
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    root = tmp_path / "bad"
+    root.mkdir()
+    (root / "mod.py").write_text(BAD, encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def good_tree(tmp_path):
+    root = tmp_path / "good"
+    root.mkdir()
+    (root / "mod.py").write_text(GOOD, encoding="utf-8")
+    return root
+
+
+def test_clean_tree_exits_zero(good_tree, capsys):
+    assert main(["check", str(good_tree)]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_location_and_hint(bad_tree, capsys):
+    assert main(["check", str(bad_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "mod.py:4" in out
+    assert "REP001" in out
+    assert "hint:" in out
+
+
+def test_json_output(bad_tree, capsys):
+    assert main(["check", "--json", str(bad_tree)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    (violation,) = payload["violations"]
+    assert violation["rule"] == "REP001"
+    assert violation["fingerprint"]
+
+
+def test_rule_filter(bad_tree):
+    assert main(["check", "--rule", "REP002", str(bad_tree)]) == 0
+    assert main(["check", "--rule", "REP001", str(bad_tree)]) == 1
+
+
+def test_unknown_rule_exits_two(bad_tree, capsys):
+    assert main(["check", "--rule", "REP999", str(bad_tree)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main(["check", str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ["REP001", "REP002", "REP003", "REP004",
+                    "REP005", "REP006", "REP007", "REP008"]:
+        assert rule_id in out
+
+
+def test_write_then_use_baseline(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["check", "--write-baseline", str(baseline), str(bad_tree)]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main(["check", "--baseline", str(baseline), str(bad_tree)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # A regression beyond the baseline still fails.
+    (bad_tree / "extra.py").write_text(BAD, encoding="utf-8")
+    assert main(["check", "--baseline", str(baseline), str(bad_tree)]) == 1
+
+
+def test_malformed_baseline_exits_two(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"version": 42}), encoding="utf-8")
+    assert main(["check", "--baseline", str(baseline), str(bad_tree)]) == 2
+    assert "version" in capsys.readouterr().err

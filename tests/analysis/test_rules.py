@@ -1,0 +1,571 @@
+"""Good/bad fixture pairs for every ``repro check`` rule.
+
+Each rule gets at least one failing fixture (the invariant violated — the
+check must fire) and one passing fixture (the sanctioned spelling — the
+check must stay silent).  REP002's failing fixture reproduces the PR-7
+``TraceCollector`` truthiness bug verbatim in miniature.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import CheckConfig, all_rules, run_checks
+
+
+def src(body: str) -> str:
+    return textwrap.dedent(body).lstrip("\n")
+
+
+def test_catalog_has_at_least_eight_rules():
+    rules = all_rules()
+    assert len(rules) >= 8
+    ids = [rule.rule_id for rule in rules]
+    assert len(ids) == len(set(ids))
+    for rule in rules:
+        assert rule.description, f"{rule.rule_id} has no description"
+        assert rule.hint, f"{rule.rule_id} has no fix hint"
+
+
+def test_violations_carry_location_rule_id_and_hint(check_snippet):
+    bad = src(
+        """
+        import numpy as np
+
+        def sample():
+            return np.random.rand(4)
+        """
+    )
+    violations = check_snippet(bad, "REP001")
+    assert len(violations) == 1
+    v = violations[0]
+    assert v.path == "mod.py"
+    assert v.line == 4
+    assert v.rule_id == "REP001"
+    assert "np.random.rand" in v.message
+    assert v.hint
+    assert "mod.py:4" in v.render()
+
+
+def test_unparseable_file_reports_rep000(check_tree):
+    violations = check_tree({"broken.py": "def oops(:\n"}, "REP001")
+    assert [v.rule_id for v in violations] == ["REP000"]
+
+
+class TestRep001UnseededRng:
+    def test_bad_numpy_module_state(self, check_snippet):
+        bad = src(
+            """
+            import numpy as np
+
+            def sample():
+                np.random.seed(0)
+                return np.random.normal(size=3)
+            """
+        )
+        hits = check_snippet(bad, "REP001")
+        assert len(hits) == 2
+
+    def test_bad_stdlib_random(self, check_snippet):
+        bad = src(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        )
+        assert len(check_snippet(bad, "REP001")) == 1
+
+    def test_bad_from_random_import(self, check_snippet):
+        bad = "from random import shuffle\n"
+        assert len(check_snippet(bad, "REP001")) == 1
+
+    def test_good_seeded_generator(self, check_snippet):
+        good = src(
+            """
+            import numpy as np
+            from random import Random
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                local = Random(seed)
+                return rng.normal(size=3), local.random()
+            """
+        )
+        assert check_snippet(good, "REP001") == []
+
+    def test_good_test_fixture_is_exempt(self, check_tree):
+        bad_but_test = src(
+            """
+            import numpy as np
+
+            def fixture():
+                return np.random.rand(4)
+            """
+        )
+        assert check_tree({"tests/test_mod.py": bad_but_test}, "REP001") == []
+
+
+class TestRep002ContainerTruthiness:
+    def test_bad_pr7_trace_collector_repro(self, check_snippet):
+        # The PR-7 bug in miniature: a fresh TraceCollector is *falsy*
+        # (``__len__`` == 0), so ``if collector:`` silently means "has
+        # events already", not "tracing enabled" — workers never traced.
+        bad = src(
+            """
+            from typing import Optional
+
+            def record(collector: "Optional[TraceCollector]", span):
+                if collector:
+                    collector.add(span)
+            """
+        )
+        hits = check_snippet(bad, "REP002")
+        assert len(hits) == 1
+        assert "TraceCollector" in hits[0].message
+
+    def test_bad_constructor_assignment(self, check_snippet):
+        bad = src(
+            """
+            cache = PlanCache(max_entries=64)
+            if not cache:
+                rebuild()
+            """
+        )
+        hits = check_snippet(bad, "REP002")
+        assert len(hits) == 1
+        assert "PlanCache" in hits[0].message
+
+    def test_bad_self_attribute(self, check_snippet):
+        bad = src(
+            """
+            class Service:
+                def __init__(self):
+                    self.registry = KeyRegistry("dir")
+
+                def ready(self):
+                    return bool(self.registry) if self.registry else None
+            """
+        )
+        assert check_snippet(bad, "REP002")
+
+    def test_good_is_not_none(self, check_snippet):
+        good = src(
+            """
+            from typing import Optional
+
+            def record(collector: "Optional[TraceCollector]", span):
+                if collector is not None:
+                    collector.add(span)
+            """
+        )
+        assert check_snippet(good, "REP002") == []
+
+    def test_good_unrelated_truthiness(self, check_snippet):
+        good = src(
+            """
+            def decide(items, flag):
+                if items and flag:
+                    return items[0]
+            """
+        )
+        assert check_snippet(good, "REP002") == []
+
+    def test_configurable_class_list(self, check_snippet, check_tree, tmp_path):
+        source = src(
+            """
+            thing = CustomPool()
+            if thing:
+                pass
+            """
+        )
+        # Not in the default list: silent.
+        assert check_snippet(source, "REP002") == []
+        # In a custom list: caught.
+        root = tmp_path / "custom"
+        root.mkdir()
+        (root / "mod.py").write_text(source, encoding="utf-8")
+        rules = [r for r in all_rules() if r.rule_id == "REP002"]
+        config = CheckConfig(truthiness_classes=("CustomPool",))
+        result = run_checks([root], rules=rules, config=config)
+        assert len(result.violations) == 1
+
+
+class TestRep003TelemetryPurity:
+    def test_bad_obs_imports_engine(self, check_tree):
+        bad = "from repro.engine.engine import WatermarkEngine\n"
+        hits = check_tree({"repro/obs/peek.py": bad}, "REP003")
+        assert len(hits) == 1
+        assert "decision code" in hits[0].message
+
+    def test_bad_instrument_mutation_in_digest_path(self, check_snippet):
+        bad = src(
+            """
+            class Report:
+                def decision_digest(self):
+                    self.cells_counter.inc()
+                    return hash(tuple(c.decision_fields() for c in self.cells))
+            """
+        )
+        hits = check_snippet(bad, "REP003")
+        assert len(hits) == 1
+        assert "inc" in hits[0].message
+
+    def test_good_obs_stdlib_only(self, check_tree):
+        good = src(
+            """
+            import json
+            import threading
+            from repro.utils.logging import get_logger
+            """
+        )
+        assert check_tree({"repro/obs/clean.py": good}, "REP003") == []
+
+    def test_good_metrics_outside_digest_path(self, check_snippet):
+        good = src(
+            """
+            class Runner:
+                def record(self):
+                    self.cells_counter.inc()
+
+                def decision_digest(self):
+                    return hash(tuple(c.decision_fields() for c in self.cells))
+            """
+        )
+        assert check_snippet(good, "REP003") == []
+
+
+class TestRep004ShmDiscipline:
+    def test_bad_create_outside_blessed_module(self, check_tree):
+        bad = src(
+            """
+            from multiprocessing import shared_memory
+
+            def grab(n):
+                return shared_memory.SharedMemory(create=True, size=n)
+            """
+        )
+        hits = check_tree({"repro/robustness/rogue.py": bad}, "REP004")
+        assert len(hits) == 1
+        assert "blessed" in hits[0].message
+
+    def test_bad_create_unregistered_inside_blessed_module(self, check_tree):
+        bad = src(
+            """
+            from multiprocessing import shared_memory
+
+            _LIVE_SEGMENTS = {}
+
+            def seal(n):
+                return shared_memory.SharedMemory(create=True, size=n)
+            """
+        )
+        hits = check_tree({"repro/engine/shm.py": bad}, "REP004")
+        assert len(hits) == 1
+        assert "_LIVE_SEGMENTS" in hits[0].message
+
+    def test_bad_raw_unlink_outside_blessed_module(self, check_tree):
+        bad = src(
+            """
+            from multiprocessing import shared_memory
+
+            def nuke(segment):
+                segment.unlink()
+            """
+        )
+        hits = check_tree({"repro/robustness/sweeper.py": bad}, "REP004")
+        assert len(hits) == 1
+
+    def test_good_registered_create_in_blessed_module(self, check_tree):
+        good = src(
+            """
+            from multiprocessing import shared_memory
+
+            _LIVE_SEGMENTS = {}
+
+            def seal(name, n):
+                segment = shared_memory.SharedMemory(create=True, size=n)
+                _LIVE_SEGMENTS[name] = segment
+                return segment
+            """
+        )
+        assert check_tree({"repro/engine/shm.py": good}, "REP004") == []
+
+    def test_good_attach_only_module(self, check_tree):
+        good = src(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        )
+        assert check_tree({"repro/robustness/worker.py": good}, "REP004") == []
+
+
+class TestRep005BlockingAsync:
+    def test_bad_sleep_in_handler(self, check_snippet):
+        bad = src(
+            """
+            import time
+
+            async def handle(request):
+                time.sleep(0.1)
+                return respond(request)
+            """
+        )
+        hits = check_snippet(bad, "REP005")
+        assert len(hits) == 1
+        assert "time.sleep" in hits[0].message
+
+    def test_bad_sync_open_in_handler(self, check_snippet):
+        bad = src(
+            """
+            async def handle(request):
+                with open("audit.log") as handle:
+                    return handle.read()
+            """
+        )
+        assert len(check_snippet(bad, "REP005")) == 1
+
+    def test_good_asyncio_sleep(self, check_snippet):
+        good = src(
+            """
+            import asyncio
+
+            async def handle(request):
+                await asyncio.sleep(0.1)
+                return respond(request)
+            """
+        )
+        assert check_snippet(good, "REP005") == []
+
+    def test_good_blocking_work_in_executor_lambda(self, check_snippet):
+        # The server's real pattern: blocking work wrapped in a lambda and
+        # shipped to a thread via run_in_executor does NOT run on the loop.
+        good = src(
+            """
+            import time
+
+            async def handle(loop, request):
+                return await loop.run_in_executor(None, lambda: time.sleep(0.1))
+            """
+        )
+        assert check_snippet(good, "REP005") == []
+
+
+class TestRep006LockAcrossAwait:
+    def test_bad_await_under_lock(self, check_snippet):
+        bad = src(
+            """
+            async def resolve(self, suspect_id):
+                with self._suspects_lock:
+                    return await self._fetch(suspect_id)
+            """
+        )
+        hits = check_snippet(bad, "REP006")
+        assert len(hits) == 1
+        assert "_suspects_lock" in hits[0].message
+
+    def test_bad_nested_await_under_lock(self, check_snippet):
+        bad = src(
+            """
+            async def drain(self):
+                with self.lock:
+                    for job in self.jobs:
+                        await job.finish()
+            """
+        )
+        assert len(check_snippet(bad, "REP006")) == 1
+
+    def test_good_lock_released_before_await(self, check_snippet):
+        good = src(
+            """
+            async def resolve(self, suspect_id):
+                with self._suspects_lock:
+                    suspect = self._suspects[suspect_id]
+                return await self._verify(suspect)
+            """
+        )
+        assert check_snippet(good, "REP006") == []
+
+    def test_good_await_in_nested_function_under_lock(self, check_snippet):
+        good = src(
+            """
+            async def schedule(self):
+                with self.lock:
+                    async def later():
+                        await task()
+                    self.pending = later
+            """
+        )
+        assert check_snippet(good, "REP006") == []
+
+
+class TestRep007ForkReset:
+    def test_bad_module_lock_without_reset(self, check_snippet):
+        bad = src(
+            """
+            import threading
+
+            _CACHE_LOCK = threading.Lock()
+            """
+        )
+        hits = check_snippet(bad, "REP007")
+        assert len(hits) == 1
+        assert "register_at_fork" in hits[0].hint
+
+    def test_bad_module_executor_without_reset(self, check_snippet):
+        bad = src(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            _POOL = ThreadPoolExecutor(max_workers=4)
+            """
+        )
+        assert len(check_snippet(bad, "REP007")) == 1
+
+    def test_good_lock_with_fork_reset(self, check_snippet):
+        good = src(
+            """
+            import os
+            import threading
+
+            _CACHE_LOCK = threading.Lock()
+
+            def _reset_after_fork():
+                global _CACHE_LOCK
+                _CACHE_LOCK = threading.Lock()
+
+            os.register_at_fork(after_in_child=_reset_after_fork)
+            """
+        )
+        assert check_snippet(good, "REP007") == []
+
+    def test_good_instance_level_lock(self, check_snippet):
+        good = src(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """
+        )
+        assert check_snippet(good, "REP007") == []
+
+
+class TestRep008DecisionFields:
+    def test_bad_uncovered_field(self, check_snippet):
+        bad = src(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class CellResult:
+                wer_percent: float
+                sneaky_extra: float
+
+                def decision_fields(self):
+                    return (self.wer_percent,)
+            """
+        )
+        hits = check_snippet(bad, "REP008")
+        assert len(hits) == 1
+        assert "sneaky_extra" in hits[0].message
+
+    def test_good_informational_marker(self, check_snippet):
+        good = src(
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class CellResult:
+                wer_percent: float
+                attack_seconds: float = field(
+                    default=0.0, metadata={"informational": True}
+                )
+
+                def decision_fields(self):
+                    return (self.wer_percent,)
+            """
+        )
+        assert check_snippet(good, "REP008") == []
+
+    def test_good_informational_fields_class_attr(self, check_snippet):
+        good = src(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class CellResult:
+                INFORMATIONAL_FIELDS = ("notes",)
+                wer_percent: float
+                notes: str = ""
+
+                def decision_fields(self):
+                    return (self.wer_percent,)
+            """
+        )
+        assert check_snippet(good, "REP008") == []
+
+    def test_good_indirect_coverage_via_property(self, check_snippet):
+        # The real GauntletCellResult shape: decision_fields references
+        # self.cell_id, whose property body reads model_id/attack/strength.
+        good = src(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class CellResult:
+                model_id: str
+                attack: str
+
+                @property
+                def cell_id(self):
+                    return f"{self.model_id}/{self.attack}"
+
+                def decision_fields(self):
+                    return (self.cell_id,)
+            """
+        )
+        assert check_snippet(good, "REP008") == []
+
+    def test_good_plain_dataclass_without_digest(self, check_snippet):
+        good = src(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Plain:
+                anything: str
+            """
+        )
+        assert check_snippet(good, "REP008") == []
+
+
+class TestRealTree:
+    def test_repo_src_is_clean(self, repo_src):
+        """The acceptance gate: ``repro check src/`` finds nothing."""
+        result = run_checks([repo_src])
+        assert result.ok, "\n" + result.render()
+        assert len(result.rules_run) >= 8
+        assert result.files_checked > 50
+
+    @pytest.mark.parametrize(
+        "relpath, rule_id",
+        [
+            ("repro/engine/shm.py", "REP007"),
+            ("repro/robustness/report.py", "REP008"),
+            ("repro/engine/engine.py", "REP002"),
+            ("repro/service/server.py", "REP006"),
+            ("repro/obs/trace.py", "REP003"),
+        ],
+    )
+    def test_previously_fixed_sites_stay_clean(self, repo_src, relpath, rule_id):
+        rules = [rule for rule in all_rules() if rule.rule_id == rule_id]
+        result = run_checks([repo_src / relpath], rules=rules)
+        assert result.ok, "\n" + result.render()
