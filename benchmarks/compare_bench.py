@@ -135,6 +135,20 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
         "concurrency_levels": dict,
         "decisions_checked_against_direct_verify_fleet": int,
     },
+    "service_jobs": {
+        "benchmark": str,
+        "smoke": bool,
+        "grid": dict,
+        "total_cells": int,
+        "cancelled_after_cells": int,
+        "replayed_cells": int,
+        "fresh_cells": int,
+        "events_streamed": int,
+        "uninterrupted_decision_digest": str,
+        "resumed_decision_digest": str,
+        "digest_match": bool,
+        "job_states": list,
+    },
 }
 
 
@@ -269,10 +283,36 @@ def _gate_service(report: Dict[str, object]) -> List[str]:
     return failures
 
 
+def _gate_service_jobs(report: Dict[str, object]) -> List[str]:
+    """The async-jobs resume bar, gated unconditionally (never a timing):
+    a sweep cancelled mid-run and resumed from its checkpoint must replay
+    the completed cells and land on a digest **bit-identical** to the
+    uninterrupted run of the same grid."""
+    failures = []
+    if report["digest_match"] is not True:
+        failures.append("resumed job digest differs from the uninterrupted run")
+    if not report["uninterrupted_decision_digest"]:
+        failures.append("uninterrupted_decision_digest is empty")
+    if report["resumed_decision_digest"] != report["uninterrupted_decision_digest"]:
+        failures.append(
+            "resumed_decision_digest does not equal uninterrupted_decision_digest"
+        )
+    if not report["replayed_cells"] >= 1:
+        failures.append("resume replayed no checkpointed cells")
+    if report["replayed_cells"] + report["fresh_cells"] != report["total_cells"]:
+        failures.append("replayed + fresh cells must cover the whole grid")
+    if not report["events_streamed"] > report["total_cells"]:
+        failures.append(
+            "event stream must carry every cell verdict plus the end record"
+        )
+    return failures
+
+
 _GATES = {
     "gauntlet": _gate_gauntlet,
     "engine_throughput": _gate_engine,
     "service_load": _gate_service,
+    "service_jobs": _gate_service_jobs,
 }
 
 

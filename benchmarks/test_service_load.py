@@ -30,9 +30,11 @@ directory with ``REPRO_BENCH_RESULTS``).
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import platform
+import time
 from pathlib import Path
 from typing import Dict, List
 
@@ -71,6 +73,7 @@ def _results_dir() -> Path:
 # ----------------------------------------------------------------------
 # Fixture fleet: one model family, three keys, hit + miss suspects
 # ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=1)
 def _build_fleet():
     dataset = build_wikitext_sim(
         vocab_size=128,
@@ -264,3 +267,124 @@ def test_service_load():
             f"warm throughput {warm_best:.1f} req/s is not higher than "
             f"cold {cold_best:.1f} req/s"
         )
+
+
+# ----------------------------------------------------------------------
+# Async jobs: cancel mid-run, resume from checkpoint, digest identity
+# ----------------------------------------------------------------------
+def _register_slow_attack():
+    """A sleepy identity attack so the cancel reliably lands mid-sweep."""
+    from repro.robustness.attacks import (
+        ATTACK_REGISTRY,
+        AttackOutcome,
+        AttackSpec,
+        register_attack,
+    )
+
+    if "bench-slow" in ATTACK_REGISTRY:
+        return
+
+    @register_attack
+    class BenchSlowAttack(AttackSpec):
+        name = "bench-slow"
+        strength_unit = "-"
+        default_strengths = (0,)
+
+        def apply(self, model, strength, rng):
+            time.sleep(0.2)
+            return AttackOutcome(model=model.clone())
+
+
+def test_job_resume_digest():
+    """Submit → stream → cancel → resume; the resumed sweep must replay the
+    checkpointed cells and produce a decision digest bit-identical to an
+    uninterrupted run of the same grid.  Emits ``BENCH_jobs.json``."""
+    _register_slow_attack()
+    smoke = _smoke()
+    clean, watermarked, keys = _build_fleet()
+    results_dir = _results_dir()
+    checkpoint_dir = results_dir / "job_checkpoints"
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    for stale in checkpoint_dir.glob("*.jsonl"):
+        stale.unlink()
+
+    # Slow cells lead the grid so the cooperative cancel lands mid-sweep.
+    attacks = [
+        {"name": "bench-slow", "strengths": [0, 1]},
+        {"name": "overwrite", "strengths": [0, 60]},
+        {"name": "pruning", "strengths": [0.4]},
+    ]
+    total_cells = 5
+    seed = 17
+
+    owner_key_id = next(iter(keys))  # insertion order: owner 0's key first
+    server = VerificationServer(
+        engine=WatermarkEngine(EngineConfig()),
+        config=ServiceConfig(port=0, max_wait_ms=1.0, checkpoint_dir=checkpoint_dir),
+    )
+    with run_in_background(server) as handle:
+        with VerificationClient(port=handle.port) as client:
+            for key_id, key in keys.items():
+                client.register_key(key, owner=f"owner-{key_id[-6:]}")
+            client.upload_suspect(watermarked, suspect_id="hit")
+
+            # Uninterrupted reference via the synchronous endpoint (no
+            # checkpoint involvement on this path).
+            uninterrupted = client.robustness(
+                "hit", key_id=owner_key_id, attacks=attacks, seed=seed,
+                executor="serial",
+            )["report"]["decision_digest"]
+
+            victim = client.submit_robustness_job(
+                "hit", key_id=owner_key_id, attacks=attacks, seed=seed,
+                executor="serial",
+            )
+            stream = victim.events()
+            next(stream)  # ≥1 cell checkpointed
+            stream.close()
+            victim.cancel()
+            cancelled = victim.wait(timeout=120)
+            assert cancelled["state"] == "cancelled"
+            cancelled_after = int(cancelled["completed_cells"])
+            assert 0 < cancelled_after < total_cells
+
+            resumed = client.submit_robustness_job(
+                "hit", key_id=owner_key_id, attacks=attacks, seed=seed,
+                executor="serial",
+            )
+            events = list(resumed.events())
+            cells = [event for event in events if event["kind"] == "cell"]
+            replayed = sum(1 for event in cells if event["replayed"])
+            fresh = len(cells) - replayed
+            final = resumed.status()
+            assert final["state"] == "succeeded"
+            resumed_digest = resumed.report()["report"]["decision_digest"]
+
+    payload: Dict[str, object] = {
+        "benchmark": "service_jobs",
+        "smoke": smoke,
+        "platform": platform.platform(),
+        "grid": {
+            attack["name"]: list(attack["strengths"]) for attack in attacks
+        },
+        "total_cells": total_cells,
+        "cancelled_after_cells": cancelled_after,
+        "replayed_cells": replayed,
+        "fresh_cells": fresh,
+        "events_streamed": len(events),
+        "uninterrupted_decision_digest": uninterrupted,
+        "resumed_decision_digest": resumed_digest,
+        "digest_match": resumed_digest == uninterrupted,
+        "job_states": [cancelled["state"], final["state"]],
+    }
+    out_path = results_dir / "BENCH_jobs.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n{json.dumps(payload, indent=2, sort_keys=True)}\n[written to {out_path}]")
+
+    # The resume bar holds in every mode (it is an exactness gate, never a
+    # timing): replayed cells cover the pre-cancel work and the digest is
+    # bit-identical to the uninterrupted sweep.
+    assert payload["digest_match"] is True
+    assert replayed >= 1
+    assert replayed + fresh == total_cells
+    assert list(checkpoint_dir.glob("*.jsonl")), "checkpoint artifact missing"

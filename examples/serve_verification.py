@@ -9,7 +9,12 @@ The full owner story, in one script:
 4. fire concurrent verification traffic at the server (closed-loop load
    generator with a hit/miss mix),
 5. read back the ownership verdicts, the micro-batching behaviour and the
-   plan-cache efficiency from ``/stats``.
+   plan-cache efficiency from ``/stats``,
+6. run a robustness sweep as a **background job**: submit (202 + job id),
+   stream the per-cell NDJSON events live, cancel it mid-run, then resubmit
+   the identical request — the completed cells replay from the on-disk
+   checkpoint and the final decision digest is bit-identical to an
+   uninterrupted run.
 
 Run with::
 
@@ -33,6 +38,7 @@ from repro.service import (
     LoadConfig,
     RequestTemplate,
     ServiceConfig,
+    ServiceError,
     VerificationClient,
     VerificationServer,
     run_in_background,
@@ -74,7 +80,9 @@ def main():
         server = VerificationServer(
             registry=KeyRegistry(registry_dir),
             audit=AuditLog(audit_path),
-            config=ServiceConfig(port=0, max_wait_ms=2.0),
+            config=ServiceConfig(
+                port=0, max_wait_ms=2.0, checkpoint_dir=Path(tmp) / "checkpoints"
+            ),
         )
         print("\n== 2. starting the verification server ==")
         with run_in_background(server) as handle:
@@ -123,6 +131,42 @@ def main():
                   f"then every verification is pure lookups)")
             print(f"   audit log: {stats['audit']['entries']} ownership decisions "
                   f"recorded at {audit_path.name}")
+
+            print("\n== 7. background robustness job: submit -> stream -> resume ==")
+            attacks = [{"name": "overwrite", "strengths": [0, 40, 80]},
+                       {"name": "pruning", "strengths": [0.3, 0.5]}]
+            with VerificationClient(port=handle.port) as client:
+                job = client.submit_robustness_job(
+                    "prod-deployment", attacks=attacks, seed=11, executor="serial"
+                )
+                print(f"   job {job.job_id} accepted "
+                      f"({job.last_status['total_cells']} cells, "
+                      f"checkpoint {Path(job.last_status['checkpoint']).name})")
+                stream = job.events()
+                first = next(stream)       # live verdict while the sweep runs
+                print(f"   first streamed cell: {first['cell_id']} "
+                      f"(owned={first['cell']['owned']})")
+                stream.close()
+                try:
+                    job.cancel()           # cooperative: stops at a cell boundary
+                except ServiceError:
+                    pass                   # tiny demo grids can outrun the cancel
+                interrupted = job.wait()
+                print(f"   {interrupted['state']} after "
+                      f"{interrupted['completed_cells']} of "
+                      f"{interrupted['total_cells']} cells (all checkpointed)")
+
+                # Identical request -> same grid fingerprint -> resume from disk.
+                resumed = client.submit_robustness_job(
+                    "prod-deployment", attacks=attacks, seed=11, executor="serial"
+                )
+                replayed = sum(1 for event in resumed.events()
+                               if event["kind"] == "cell" and event["replayed"])
+                report = resumed.report()["report"]
+                print(f"   resumed: {replayed} cells replayed from the checkpoint, "
+                      f"{report['num_cells'] - replayed} computed fresh")
+                print(f"   decision digest {report['decision_digest'][:16]}… "
+                      f"(bit-identical to an uninterrupted sweep)")
         print("\ndone — server stopped, registry persisted for the next start.")
 
 

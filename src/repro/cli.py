@@ -51,6 +51,7 @@ import argparse
 import asyncio
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.utils.logging import configure, get_logger
@@ -108,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="token-bucket sustained requests/sec (default: unlimited)")
     serve.add_argument("--burst", type=float, default=None,
                        help="token-bucket burst capacity (default: one second of rate)")
+    serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="directory for background-job cell checkpoints; jobs "
+                            "resubmitted after a cancel/crash/restart resume from "
+                            "their content-addressed JSONL file")
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="record engine/gauntlet trace spans while serving and "
                             "write Chrome trace_event JSON here on shutdown "
@@ -200,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
     gauntlet.add_argument("--seed", type=int, default=0, help="attacker RNG root seed")
     gauntlet.add_argument("--no-quality", action="store_true",
                           help="skip perplexity / zero-shot evaluation (WER only)")
+    gauntlet.add_argument("--checkpoint", metavar="PATH", default=None,
+                          help="append each completed cell to this JSONL checkpoint "
+                               "(resumes automatically when the file already exists)")
+    gauntlet.add_argument("--resume", metavar="PATH", default=None,
+                          help="resume from an existing checkpoint written by a "
+                               "previous --checkpoint run (must exist; implies "
+                               "--checkpoint PATH)")
     gauntlet.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     gauntlet.add_argument("--output", metavar="PATH", default=None,
                           help="write the JSON report here as well as stdout")
@@ -302,6 +314,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             rate_limit_per_sec=args.rate_limit,
             rate_limit_burst=args.burst,
+            checkpoint_dir=args.checkpoint_dir,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -504,6 +517,17 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
         print(f"error: --strengths given for attacks not in the grid: {orphaned}",
               file=sys.stderr)
         return 2
+    checkpoint = args.checkpoint
+    if args.resume:
+        if args.checkpoint and args.checkpoint != args.resume:
+            print("error: --resume and --checkpoint name different files; pass one",
+                  file=sys.stderr)
+            return 2
+        if not Path(args.resume).exists():
+            print(f"error: --resume checkpoint {args.resume} does not exist "
+                  "(use --checkpoint to start a new one)", file=sys.stderr)
+            return 2
+        checkpoint = args.resume
     # --executor maps onto (mode, max_workers); --mode keeps addressing the
     # in-process pipelines directly (streaming vs the batched reference).
     mode, workers = args.mode, args.workers
@@ -543,6 +567,7 @@ def _cmd_gauntlet(args: argparse.Namespace) -> int:
                     model=watermarked, key=key, harness=context.harness)},
                 attacks,
                 strengths=strengths or None,
+                checkpoint=checkpoint,
                 engine=context.engine,
                 max_workers=workers,
                 seed=args.seed,

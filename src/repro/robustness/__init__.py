@@ -29,8 +29,10 @@ from repro.robustness.attacks import (
     corpus_free_attacks,
     register_attack,
 )
+from repro.robustness.checkpoint import CellCheckpoint, CheckpointError, grid_fingerprint
 from repro.robustness.gauntlet import (
     Gauntlet,
+    GauntletCancelled,
     GauntletConfig,
     GauntletSubject,
     run_gauntlet,
@@ -45,7 +47,11 @@ __all__ = [
     "build_attack",
     "corpus_free_attacks",
     "register_attack",
+    "CellCheckpoint",
+    "CheckpointError",
+    "grid_fingerprint",
     "Gauntlet",
+    "GauntletCancelled",
     "GauntletConfig",
     "GauntletSubject",
     "run_gauntlet",

@@ -44,7 +44,8 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, TextIO, Tuple, Union
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.core.keys import WatermarkKey
 from repro.engine.engine import WatermarkEngine, get_default_engine
@@ -58,12 +59,19 @@ from repro.obs.progress import ProgressRenderer
 from repro.obs.trace import get_collector, span
 from repro.quant.base import QuantizedModel
 from repro.robustness.attacks import AttackSpec
+from repro.robustness.checkpoint import CellCheckpoint, grid_fingerprint, merge_completed
 from repro.robustness.procpool import START_METHODS, CellTask, ProcessCellExecutor
 from repro.robustness.report import GauntletCellResult, RobustnessReport
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 
-__all__ = ["GauntletConfig", "GauntletSubject", "Gauntlet", "run_gauntlet"]
+__all__ = [
+    "GauntletCancelled",
+    "GauntletConfig",
+    "GauntletSubject",
+    "Gauntlet",
+    "run_gauntlet",
+]
 
 logger = get_logger("robustness.gauntlet")
 
@@ -72,6 +80,27 @@ StrengthMap = Mapping[str, Sequence[float]]
 #: Execution modes of :meth:`Gauntlet.run`.  ``"auto"`` resolves to serial
 #: streaming or process execution per run (machine + grid heuristic).
 GAUNTLET_MODES = ("streaming", "batched", "process", "auto")
+
+#: Per-cell completion hook: ``on_cell(result, replayed)`` fires once per
+#: grid cell — replayed cells (checkpoint hits) first, in grid order, then
+#: fresh cells in completion order.
+CellHook = Callable[[GauntletCellResult, bool], None]
+
+
+class GauntletCancelled(RuntimeError):
+    """A gauntlet run stopped cooperatively between cells (``should_stop``).
+
+    Cells completed before the stop are already checkpointed (when a
+    checkpoint is attached), so a later run resumes from them instead of
+    recomputing.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"gauntlet cancelled after {completed}/{total} cells"
+        )
+        self.completed = completed
+        self.total = total
 
 
 @dataclass(frozen=True)
@@ -303,11 +332,47 @@ class Gauntlet:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def grid_fingerprint_for(
+        self,
+        subjects: Union[GauntletSubject, Mapping[str, GauntletSubject]],
+        attacks: Sequence[AttackSpec],
+        strengths: Optional[StrengthMap] = None,
+        extra: Optional[Mapping[str, object]] = None,
+    ) -> str:
+        """Checkpoint identity of the grid this gauntlet would run.
+
+        Folds in everything the decision digest depends on — subjects,
+        (attack → strengths), seed, thresholds, ``evaluate_quality`` — so a
+        checkpoint written under one fingerprint can never replay into a
+        grid that would have decided differently.  ``extra`` binds
+        caller-side identity (e.g. the server's suspect content id).
+        """
+        subject_items = self._named_subjects(subjects)
+        resolved = {
+            spec.name: tuple(
+                float(s)
+                for s in (strengths or {}).get(spec.name, spec.default_strengths)
+            )
+            for spec in attacks
+        }
+        return grid_fingerprint(
+            [model_id for model_id, _subject in subject_items],
+            resolved,
+            seed=self.config.seed,
+            wer_threshold=self.config.wer_threshold,
+            max_false_claim_probability=self.config.max_false_claim_probability,
+            evaluate_quality=self.config.evaluate_quality,
+            extra=extra,
+        )
+
     def run(
         self,
         subjects: Union[GauntletSubject, Mapping[str, GauntletSubject]],
         attacks: Sequence[AttackSpec],
         strengths: Optional[StrengthMap] = None,
+        checkpoint: Optional[Union[str, Path, CellCheckpoint]] = None,
+        on_cell: Optional[CellHook] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> RobustnessReport:
         """Execute the (attack × strength × subject) grid.
 
@@ -321,6 +386,26 @@ class Gauntlet:
         strengths:
             Optional per-attack strength sweeps, keyed by attack name;
             attacks not listed use their ``default_strengths``.
+        checkpoint:
+            Append-only JSONL checkpoint of completed cells.  A path (the
+            CLI's ``--checkpoint``/``--resume``) is opened against this
+            grid's :meth:`grid_fingerprint_for`; a ready-made
+            :class:`~repro.robustness.checkpoint.CellCheckpoint` (the job
+            manager's content-addressed files) is used as given.  Cells
+            already on disk are **replayed instead of recomputed**, and the
+            resumed report's decision digest is bit-identical to an
+            uninterrupted run (JSON-exact fields + grid-order reassembly).
+        on_cell:
+            Per-cell completion hook ``on_cell(result, replayed)`` — the
+            server's job event stream hangs off it.  Replayed cells fire
+            first (grid order, ``replayed=True``), fresh cells as they
+            finish (completion order).  Pure observer: results are identical
+            with it attached or not.
+        should_stop:
+            Cooperative cancellation probe, checked between cells; when it
+            returns True the run raises :class:`GauntletCancelled`.
+            Completed cells are already checkpointed, so a cancelled sweep
+            resumes instead of restarting.
 
         Returns
         -------
@@ -347,35 +432,96 @@ class Gauntlet:
                     "attach one or run with evaluate_quality=False"
                 )
 
-        mode, workers = self._resolve_execution(len(cells), workers)
+        ckpt: Optional[CellCheckpoint] = None
+        if isinstance(checkpoint, CellCheckpoint):
+            ckpt = checkpoint
+        elif checkpoint is not None:
+            ckpt = CellCheckpoint(
+                checkpoint,
+                fingerprint=self.grid_fingerprint_for(subjects, attacks, strengths),
+            )
+        completed = ckpt.load() if ckpt is not None else {}
+        pending = [cell for cell in cells if cell.cell_id not in completed]
+        replayed_results = [
+            completed[cell.cell_id] for cell in cells if cell.cell_id in completed
+        ]
+        if replayed_results:
+            logger.info(
+                "checkpoint replay: %d/%d cells from %s",
+                len(replayed_results),
+                len(cells),
+                ckpt.path,
+            )
+
+        def emit(result: GauntletCellResult) -> None:
+            # Fresh-cell completion: persist first (fsync-batched), then
+            # notify — a crash between the two re-runs the hook on resume
+            # rather than losing the cell.
+            if ckpt is not None:
+                ckpt.append(result)
+            if on_cell is not None:
+                on_cell(result, False)
+
+        mode, workers = self._resolve_execution(len(pending), workers)
         renderer: Optional[ProgressRenderer] = None
         if self.config.progress and cells:
             renderer = ProgressRenderer(len(cells), stream=self.progress_stream)
             renderer.start()
         try:
-            with span("gauntlet.run", cells=len(cells), mode=mode, workers=workers):
-                if mode == "batched":
+            for result in replayed_results:
+                if on_cell is not None:
+                    on_cell(result, True)
+                if renderer is not None:
+                    renderer.update(result.attack, result.wer_percent)
+            with span(
+                "gauntlet.run",
+                cells=len(cells),
+                pending=len(pending),
+                mode=mode,
+                workers=workers,
+            ):
+                if not pending:
+                    report = RobustnessReport(
+                        cells=[],
+                        seed=self.config.seed,
+                        workers=workers,
+                        wall_clock_seconds=time.perf_counter() - wall_start,
+                        mode="streaming" if mode == "auto" else mode,
+                    )
+                elif mode == "batched":
                     report = self._run_batched(
-                        subject_items, subject_for, cells, workers, wall_start, renderer
+                        subject_items, subject_for, pending, workers, wall_start,
+                        renderer, emit, should_stop,
                     )
                 elif mode == "process":
                     report = self._run_process(
-                        subject_items, subject_for, cells, workers, wall_start, renderer
+                        subject_items, subject_for, pending, workers, wall_start,
+                        renderer, emit, should_stop,
                     )
                 else:
                     report = self._run_streaming(
-                        subject_items, subject_for, cells, workers, wall_start, renderer
+                        subject_items, subject_for, pending, workers, wall_start,
+                        renderer, emit, should_stop,
                     )
         finally:
             if renderer is not None:
                 renderer.finish()
+            if ckpt is not None:
+                ckpt.close()
         if mode != "process":
             # The in-process modes execute cells serially below the
             # parallelism threshold and on a thread pool above it; record
             # which one actually happened (informational — never digested).
             report.executor = (
-                "serial" if (workers <= 1 or len(cells) < 2) else "thread"
+                "serial" if (workers <= 1 or len(pending) < 2) else "thread"
             )
+        # Reassemble in grid order: replayed cells slot back into the
+        # positions they were originally computed in, so the resumed digest
+        # equals the uninterrupted one byte for byte.
+        fresh_by_id = {cell.cell_id: cell for cell in report.cells}
+        report.cells, _num_replayed = merge_completed(
+            [cell.cell_id for cell in cells], completed, fresh_by_id
+        )
         self._record_metrics(report)
         logger.debug("%s", report.summary())
         return report
@@ -474,6 +620,8 @@ class Gauntlet:
         workers: int,
         wall_start: float,
         renderer: Optional[ProgressRenderer] = None,
+        emit: Optional[Callable[[GauntletCellResult], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> RobustnessReport:
         session_keys = {model_id: subject.key for model_id, subject in subject_items}
         for model_id, subject in subject_items:
@@ -531,9 +679,13 @@ class Gauntlet:
 
         if workers <= 1 or len(cells) < 2:
             outputs = []
-            for cell in cells:
+            for position, cell in enumerate(cells):
+                if should_stop is not None and should_stop():
+                    raise GauntletCancelled(position, len(cells))
                 output = run_cell(cell)
                 outputs.append(output)
+                if emit is not None:
+                    emit(output[0])
                 if renderer is not None:
                     renderer.update(cell.spec.name, output[0].wer_percent)
         else:
@@ -542,21 +694,42 @@ class Gauntlet:
             # through an engine, e.g. re-watermarking).  Completion-order
             # consumption feeds the progress line; outputs are reassembled
             # in grid order, so results never depend on finish order.
+            def run_cell_cooperative(cell: _Cell) -> Tuple[GauntletCellResult, float]:
+                # Cancellation is between-cells: a worker picking up its next
+                # cell after the stop flag rose raises instead of attacking.
+                if should_stop is not None and should_stop():
+                    raise GauntletCancelled(0, len(cells))
+                return run_cell(cell)
+
             with ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="gauntlet"
             ) as pool:
-                future_for = {pool.submit(run_cell, cell): cell for cell in cells}
+                future_for = {
+                    pool.submit(run_cell_cooperative, cell): cell for cell in cells
+                }
                 slots: List[Optional[Tuple[GauntletCellResult, float]]] = (
                     [None] * len(cells)
                 )
                 position = {cell.index: i for i, cell in enumerate(cells)}
+                cancelled = False
                 for future in as_completed(future_for):
                     cell = future_for[future]
-                    output = future.result()
+                    try:
+                        output = future.result()
+                    except GauntletCancelled:
+                        # Keep draining: cells that did complete are still
+                        # emitted (and checkpointed) below, so nothing
+                        # finished is lost to the cancellation.
+                        cancelled = True
+                        continue
                     slots[position[cell.index]] = output
+                    if emit is not None:
+                        emit(output[0])
                     if renderer is not None:
                         renderer.update(cell.spec.name, output[0].wer_percent)
                 outputs = [output for output in slots if output is not None]
+                if cancelled:
+                    raise GauntletCancelled(len(outputs), len(cells))
 
         traffic = session.cache_traffic()
         return RobustnessReport(
@@ -584,6 +757,8 @@ class Gauntlet:
         workers: int,
         wall_start: float,
         renderer: Optional[ProgressRenderer] = None,
+        emit: Optional[Callable[[GauntletCellResult], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> RobustnessReport:
         stats_before = self.engine.cache.stats()
         models = {model_id: subject.model for model_id, subject in subject_items}
@@ -637,19 +812,34 @@ class Gauntlet:
         )
         cell_for = {cell.index: cell for cell in cells}
         on_complete = None
-        if renderer is not None or collector is not None:
+        if renderer is not None or collector is not None or emit is not None:
             def on_complete(outcome):
-                # Telemetry-only hook: merge worker spans into the parent
-                # collector and feed the progress line.  Outcome ordering is
-                # the executor's job; nothing here touches the results.
+                # Parent-side completion hook: merge worker spans into the
+                # collector, feed the progress line, and emit the cell result
+                # (checkpoint append + job events).  Outcome ordering is the
+                # executor's job; nothing here touches the returned results.
                 if collector is not None and outcome.spans:
                     collector.extend(outcome.spans)
+                if emit is not None:
+                    emit(
+                        self._cell_result(
+                            cell_for[outcome.index],
+                            outcome.owner,
+                            outcome.attacker,
+                            outcome.quality,
+                            outcome.attack_seconds,
+                            outcome.info,
+                            co=outcome.co,
+                        )
+                    )
                 if renderer is not None:
                     renderer.update(
                         cell_for[outcome.index].spec.name, outcome.owner.wer_percent
                     )
         with executor:
-            outcomes = executor.run(tasks, on_complete=on_complete)
+            outcomes = executor.run(tasks, on_complete=on_complete, should_stop=should_stop)
+        if should_stop is not None and should_stop():
+            raise GauntletCancelled(len(outcomes), len(cells))
         results = [
             self._cell_result(
                 cell,
@@ -703,9 +893,17 @@ class Gauntlet:
         workers: int,
         wall_start: float,
         renderer: Optional[ProgressRenderer] = None,
+        emit: Optional[Callable[[GauntletCellResult], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> RobustnessReport:
         # -- stage 1: attack + quality, cell-parallel ----------------------
         def run_cell(cell: _Cell):
+            # Batched cells only become results after the fleet sweep, so
+            # cancellation aborts the whole stage (nothing checkpointable
+            # exists yet) — the streaming/process modes are the
+            # checkpoint-friendly executors.
+            if should_stop is not None and should_stop():
+                raise GauntletCancelled(0, len(cells))
             subject = subject_for[cell.model_id]
             rng = self._cell_rng(cell)
             with span(
@@ -775,11 +973,12 @@ class Gauntlet:
                 owner_id: by_pair[(cell.cell_id, _co_key_id(cell.model_id, owner_id))]
                 for owner_id in (subject_for[cell.model_id].co_keys or {})
             }
-            results.append(
-                self._cell_result(
-                    cell, owner, attacker, quality, attack_seconds, outcome.info, co=co
-                )
+            result = self._cell_result(
+                cell, owner, attacker, quality, attack_seconds, outcome.info, co=co
             )
+            if emit is not None:
+                emit(result)
+            results.append(result)
         return RobustnessReport(
             cells=results,
             seed=self.config.seed,
@@ -797,9 +996,17 @@ def run_gauntlet(
     attacks: Sequence[AttackSpec],
     strengths: Optional[StrengthMap] = None,
     engine: Optional[WatermarkEngine] = None,
+    checkpoint: Optional[Union[str, Path, CellCheckpoint]] = None,
+    on_cell: Optional[CellHook] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
     **config_kwargs,
 ) -> RobustnessReport:
     """One-call convenience: build a :class:`Gauntlet` and run the grid."""
     return Gauntlet(engine=engine, config=GauntletConfig(**config_kwargs)).run(
-        subjects, attacks, strengths
+        subjects,
+        attacks,
+        strengths,
+        checkpoint=checkpoint,
+        on_cell=on_cell,
+        should_stop=should_stop,
     )

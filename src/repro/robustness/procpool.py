@@ -353,6 +353,7 @@ class ProcessCellExecutor:
         self,
         tasks: Sequence[CellTask],
         on_complete: Optional[Callable[[CellOutcome], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> List[CellOutcome]:
         """Execute ``tasks`` on the pool; outcomes come back in task order.
 
@@ -361,21 +362,38 @@ class ProcessCellExecutor:
         The returned list is always task-ordered regardless: each outcome
         carries its grid ``index``, so the ordering never depends on which
         worker finished first.
+
+        ``should_stop`` is the cooperative-cancellation probe: checked after
+        every completion batch; when it returns True, not-yet-started cells
+        are cancelled, in-flight cells are drained to completion (a worker
+        process cannot be interrupted mid-cell), and the partial outcome
+        list is returned in task order.
         """
         if self._pool is None:
             raise RuntimeError("executor not entered; use it as a context manager")
-        if on_complete is None:
+        if on_complete is None and should_stop is None:
             return list(self._pool.map(_run_cell, tasks))
         futures = {self._pool.submit(_run_cell, task): task for task in tasks}
         slots: List[Optional[CellOutcome]] = [None] * len(tasks)
         offset = {task.index: position for position, task in enumerate(tasks)}
         pending = set(futures)
         while pending:
+            if should_stop is not None and should_stop():
+                # Unstarted cells are dropped; started ones finish below so
+                # their results (and checkpoint appends) are not lost.
+                still_running = {f for f in pending if not f.cancel()}
+                for future in still_running:
+                    outcome = future.result()
+                    slots[offset[outcome.index]] = outcome
+                    if on_complete is not None:
+                        on_complete(outcome)
+                break
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 outcome = future.result()
                 slots[offset[outcome.index]] = outcome
-                on_complete(outcome)
+                if on_complete is not None:
+                    on_complete(outcome)
         return [outcome for outcome in slots if outcome is not None]
 
     def __exit__(self, *exc_info) -> None:

@@ -97,6 +97,53 @@ class GauntletCellResult:
             )
         return fields
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GauntletCellResult":
+        """Rebuild a cell from its :meth:`to_dict` form (checkpoint replay).
+
+        Inverse of :meth:`to_dict` for every decision field: floats, ints,
+        bools and ``None`` round-trip exactly through JSON, so a replayed
+        cell's :meth:`decision_fields` — and with them the report's
+        :meth:`~RobustnessReport.decision_digest` — are bit-identical to the
+        originals.
+        """
+        return cls(
+            model_id=str(payload["model_id"]),
+            attack=str(payload["attack"]),
+            strength=float(payload["strength"]),
+            strength_unit=str(payload.get("strength_unit", "")),
+            wer_percent=float(payload["wer_percent"]),
+            matched_bits=int(payload["matched_bits"]),
+            total_bits=int(payload["total_bits"]),
+            false_claim_probability=float(payload.get("false_claim_probability", 0.0)),
+            owned=bool(payload["owned"]),
+            attacker_wer_percent=(
+                None
+                if payload.get("attacker_wer_percent") is None
+                else float(payload["attacker_wer_percent"])
+            ),
+            perplexity=(
+                None
+                if payload.get("perplexity") is None
+                else float(payload["perplexity"])
+            ),
+            zero_shot_accuracy=(
+                None
+                if payload.get("zero_shot_accuracy") is None
+                else float(payload["zero_shot_accuracy"])
+            ),
+            attack_seconds=float(payload.get("attack_seconds", 0.0)),
+            info=dict(payload.get("info") or {}),
+            co_owner_wer_percent={
+                str(owner): float(wer)
+                for owner, wer in (payload.get("co_owner_wer_percent") or {}).items()
+            },
+            co_owner_owned={
+                str(owner): bool(owned)
+                for owner, owned in (payload.get("co_owner_owned") or {}).items()
+            },
+        )
+
     def to_dict(self) -> dict:
         """JSON-able form of the cell."""
         return {

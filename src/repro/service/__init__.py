@@ -33,11 +33,13 @@ Quickstart
 
 from repro.service.audit import AuditLog
 from repro.service.client import (
+    JobHandle,
     RateLimitedError,
     ServiceError,
     ServiceUnavailableError,
     VerificationClient,
 )
+from repro.service.jobs import Job, JobLimitError, JobManager
 from repro.service.codec import (
     key_from_wire,
     key_to_wire,
@@ -52,7 +54,15 @@ from repro.service.dispatch import (
     QueueFullError,
     TokenBucket,
 )
-from repro.service.loadgen import LoadConfig, LoadReport, RequestTemplate, run_load
+from repro.service.loadgen import (
+    JobLoadConfig,
+    JobLoadReport,
+    LoadConfig,
+    LoadReport,
+    RequestTemplate,
+    run_job_load,
+    run_load,
+)
 from repro.service.registry import KeyRecord, KeyRegistry, RegistryError
 from repro.service.server import (
     ServerHandle,
@@ -78,6 +88,13 @@ __all__ = [
     "ServiceError",
     "RateLimitedError",
     "ServiceUnavailableError",
+    "JobHandle",
+    "Job",
+    "JobLimitError",
+    "JobManager",
+    "JobLoadConfig",
+    "JobLoadReport",
+    "run_job_load",
     "LoadConfig",
     "LoadReport",
     "RequestTemplate",

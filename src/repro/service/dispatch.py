@@ -365,6 +365,11 @@ class MicroBatchDispatcher:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`stop` has begun — no new jobs are accepted."""
+        return self._closed
+
     def start(self) -> None:
         """Start the consumer task on the running event loop."""
         if self._task is None:

@@ -27,7 +27,15 @@ from repro.service.client import (
 )
 from repro.utils.logging import get_logger
 
-__all__ = ["RequestTemplate", "LoadConfig", "LoadReport", "run_load"]
+__all__ = [
+    "RequestTemplate",
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+    "JobLoadConfig",
+    "JobLoadReport",
+    "run_job_load",
+]
 
 logger = get_logger("service.loadgen")
 
@@ -288,4 +296,173 @@ def run_load(config: LoadConfig) -> LoadReport:
         decisions=decisions,
     )
     logger.info("%s", report.summary())
+    return report
+
+
+# ----------------------------------------------------------------------
+# Background-job load (POST /v1/jobs/robustness)
+# ----------------------------------------------------------------------
+@dataclass
+class JobLoadConfig:
+    """Parameters of one concurrent background-job run.
+
+    ``jobs`` sweeps are submitted at once (each under its own seed, so the
+    grids are distinct jobs rather than checkpoint-deduplicated replays of
+    one grid) and every event stream is tailed to completion.  Keep ``jobs``
+    at or below the server's ``job_max_active`` bound unless 429s are the
+    point of the experiment.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8420
+    jobs: int = 4
+    suspect_id: str = ""
+    key_id: Optional[str] = None
+    attacks: Optional[List[object]] = None
+    seeds: Optional[List[int]] = None
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if not self.suspect_id:
+            raise ValueError("suspect_id is required")
+        if self.seeds is None:
+            self.seeds = list(range(self.jobs))
+        if len(self.seeds) != self.jobs:
+            raise ValueError(f"need {self.jobs} seeds, got {len(self.seeds)}")
+
+
+@dataclass
+class JobLoadReport:
+    """Aggregated outcome of one concurrent-jobs run."""
+
+    jobs: int
+    elapsed_seconds: float
+    #: Terminal state per job, submission order.
+    states: List[str]
+    #: Decision digest per job (``None`` unless the job succeeded).
+    digests: List[Optional[str]]
+    #: Events observed on each job's NDJSON stream (cells + the end record).
+    events_streamed: List[int]
+    job_ids: List[str]
+    #: Submissions rejected by admission (HTTP 429) — not part of ``states``.
+    rejected: int = 0
+    errors: int = 0
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for state in self.states if state == "succeeded")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "elapsed_seconds": self.elapsed_seconds,
+            "states": list(self.states),
+            "digests": list(self.digests),
+            "events_streamed": list(self.events_streamed),
+            "job_ids": list(self.job_ids),
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "succeeded": self.succeeded,
+        }
+
+
+def _job_worker(index: int, config: JobLoadConfig, slots: List[Optional[dict]]) -> None:
+    client = VerificationClient(config.host, config.port, timeout=config.timeout)
+    try:
+        try:
+            handle = client.submit_robustness_job(
+                config.suspect_id,
+                key_id=config.key_id,
+                attacks=config.attacks,
+                seed=config.seeds[index],
+            )
+        except RateLimitedError:
+            slots[index] = {"rejected": True}
+            return
+        except (ServiceError, OSError) as exc:
+            logger.debug("job %d submission failed: %s", index, exc)
+            slots[index] = {"error": True}
+            return
+        # Tailing the event stream *is* the wait: it closes right after the
+        # terminal `end` record, and counting its lines proves per-cell
+        # records were readable mid-run.
+        events = 0
+        for _event in handle.events():
+            events += 1
+        status = handle.status()
+        digest = None
+        if status.get("state") == "succeeded":
+            digest = handle.report()["report"]["decision_digest"]
+        slots[index] = {
+            "job_id": handle.job_id,
+            "state": str(status.get("state")),
+            "events": events,
+            "digest": digest,
+        }
+    except (ServiceError, OSError, TimeoutError) as exc:
+        logger.debug("job %d failed: %s", index, exc)
+        slots[index] = {"error": True}
+    finally:
+        client.close()
+
+
+def run_job_load(config: JobLoadConfig) -> JobLoadReport:
+    """Submit ``config.jobs`` concurrent background sweeps, tail them all.
+
+    Every worker thread submits one job, tails its NDJSON event stream to
+    the terminal record and fetches the final report.  The per-job decision
+    digests let callers assert bit-identity against direct
+    :meth:`~repro.robustness.gauntlet.Gauntlet.run` calls — background
+    execution, streaming and concurrency must never change a verdict.
+    """
+    slots: List[Optional[dict]] = [None] * config.jobs
+    threads = [
+        threading.Thread(
+            target=_job_worker,
+            args=(i, config, slots),
+            name=f"jobload-{i}",
+            daemon=True,
+        )
+        for i in range(config.jobs)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    states, digests, events, job_ids = [], [], [], []
+    rejected = errors = 0
+    for slot in slots:
+        outcome = slot or {"error": True}
+        if outcome.get("rejected"):
+            rejected += 1
+            continue
+        if outcome.get("error"):
+            errors += 1
+            continue
+        states.append(outcome["state"])
+        digests.append(outcome["digest"])
+        events.append(outcome["events"])
+        job_ids.append(outcome["job_id"])
+    report = JobLoadReport(
+        jobs=config.jobs,
+        elapsed_seconds=elapsed,
+        states=states,
+        digests=digests,
+        events_streamed=events,
+        job_ids=job_ids,
+        rejected=rejected,
+        errors=errors,
+    )
+    logger.info(
+        "job load: %d submitted, %d succeeded, %d rejected, %d errors in %.2fs",
+        config.jobs,
+        report.succeeded,
+        rejected,
+        errors,
+        elapsed,
+    )
     return report

@@ -6,30 +6,51 @@ concurrent ``/verify`` requests are coalesced by the
 :class:`~repro.service.dispatch.MicroBatchDispatcher` into single
 ``verify_fleet`` sweeps on the shared engine.
 
-Endpoints (all JSON):
+The service surface is versioned under ``/v1`` (all JSON unless noted):
 
-========  =========  ====================================================
-method    path       purpose
-========  =========  ====================================================
-GET       /healthz     liveness probe (uptime, queue depth)
-GET       /stats       counters: server, dispatcher, admission, plan cache,
-                       registry, audit tail
-GET       /metrics     Prometheus text exposition of the same counters plus
-                       latency/batch histograms (text/plain, not JSON)
-GET       /keys        registered key records (``?model_fingerprint=`` filter)
-POST      /register    register a watermark key (owner + wire-encoded key)
-POST      /revoke      revoke a key by id
-POST      /suspects    upload a suspect model snapshot, returns its id
-POST      /verify      ownership check of one suspect against selected keys
-POST      /robustness  attack-robustness gauntlet of one stored suspect
-                       against one registered key (corpus-free attacks)
-========  ===========  ====================================================
+======  ==========================  =========================================
+method  path                        purpose
+======  ==========================  =========================================
+GET     /v1/healthz                 liveness probe; ``?ready`` variant answers
+                                    503 while the dispatcher or job manager is
+                                    draining
+GET     /v1/stats                   counters: server, dispatcher, admission,
+                                    jobs, plan cache, registry, audit tail
+GET     /v1/metrics                 Prometheus text exposition (text/plain)
+GET     /v1/keys                    registered key records
+                                    (``?model_fingerprint=`` filter)
+DELETE  /v1/keys/{key_id}           revoke a key
+POST    /v1/register                register a watermark key
+POST    /v1/suspects                upload a suspect snapshot, returns its id
+POST    /v1/verify                  ownership check of one suspect
+POST    /v1/robustness              synchronous robustness gauntlet (small
+                                    grids; the connection is held open)
+POST    /v1/jobs/robustness         submit a background gauntlet job → 202 +
+                                    server-assigned job id
+GET     /v1/jobs                    list retained jobs
+GET     /v1/jobs/{job_id}           job status + progress
+GET     /v1/jobs/{job_id}/events    chunked NDJSON per-cell verdict stream,
+                                    readable while the sweep is still running
+GET     /v1/jobs/{job_id}/report    final report once the job succeeded
+DELETE  /v1/jobs/{job_id}           cooperative cancel
+======  ==========================  =========================================
+
+The historical unversioned paths (``/healthz``, ``/stats``, ``/metrics``,
+``/keys``, ``/register``, ``/revoke``, ``/suspects``, ``/verify``,
+``/robustness``) remain as deprecated aliases: they behave identically,
+answer with a ``Deprecation: true`` header, and count into
+``repro_server_legacy_requests_total``.
+
+Errors share one envelope across every endpoint::
+
+    {"error": {"code": "rate_limited", "message": "...", "retry_after": 1.0}}
 
 The HTTP layer is deliberately minimal — request line + headers +
-``Content-Length`` body, keep-alive connections, no TLS, no chunking — the
-stdlib-only constraint rules out real frameworks, and the interesting
-engineering (admission control, micro-batching, audit) lives behind the
-routes, not in header parsing.
+``Content-Length`` body, keep-alive connections, no TLS, chunked
+transfer-encoding only on the job event stream — the stdlib-only constraint
+rules out real frameworks, and the interesting engineering (admission
+control, micro-batching, background jobs, audit) lives behind the routes,
+not in header parsing.
 """
 
 from __future__ import annotations
@@ -41,7 +62,8 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple, Union
+from pathlib import Path
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
@@ -49,6 +71,7 @@ import numpy as np
 from repro.core.keys import model_fingerprint
 from repro.engine.engine import EngineConfig, WatermarkEngine
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, Sample
+from repro.obs.trace import span
 from repro.quant.base import QuantizedModel
 from repro.service.audit import AuditLog
 from repro.service.codec import key_from_wire, model_from_wire
@@ -59,6 +82,7 @@ from repro.service.dispatch import (
     TokenBucket,
     VerifyJob,
 )
+from repro.service.jobs import Job, JobLimitError, JobManager
 from repro.service.registry import KeyRegistry, RegistryError
 from repro.utils.logging import get_logger
 
@@ -114,6 +138,39 @@ _SERVER_COUNTERS = {
     "timeouts": ("repro_server_timeouts_total", "requests that timed out server-side"),
     "errors": ("repro_server_errors_total", "requests answered with an error"),
     "gauntlets": ("repro_server_gauntlets_total", "completed /robustness sweeps"),
+    "jobs_submitted": (
+        "repro_server_jobs_submitted_total",
+        "background robustness jobs accepted",
+    ),
+    "legacy_requests": (
+        "repro_server_legacy_requests_total",
+        "requests served via deprecated unversioned paths",
+    ),
+}
+
+#: Reason phrases for every status the server can answer with.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Default machine-readable error codes per status — ``_HttpError.code``
+#: overrides these when a handler has something more specific to say.
+_ERROR_CODES = {
+    400: "invalid_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    429: "rate_limited",
+    500: "internal",
+    503: "unavailable",
 }
 
 
@@ -184,16 +241,130 @@ def _model_content_id(model: QuantizedModel) -> str:
 
 
 class _HttpError(Exception):
-    """Internal: converts to a JSON error response with the given status.
+    """Internal: converts to the uniform JSON error envelope.
 
     ``counter`` names the server stat the error should increment; when left
-    ``None`` the status code picks the default bucket.
+    ``None`` the status code picks the default bucket.  ``code`` overrides
+    the status-derived machine-readable code and ``retry_after`` (seconds)
+    tells backoff-aware clients when trying again is worthwhile.
     """
 
-    def __init__(self, status: int, message: str, counter: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        counter: Optional[str] = None,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.counter = counter
+        self.code = code
+        self.retry_after = retry_after
+
+
+def _error_envelope(
+    status: int,
+    message: str,
+    code: Optional[str] = None,
+    retry_after: Optional[float] = None,
+) -> Dict[str, object]:
+    """The one error body every endpoint answers with."""
+    error: Dict[str, object] = {
+        "code": code or _ERROR_CODES.get(status, "error"),
+        "message": message,
+    }
+    if retry_after is not None:
+        error["retry_after"] = float(retry_after)
+    return {"error": error}
+
+
+class _StreamingResponse:
+    """A chunked response whose body is an async byte-chunk generator.
+
+    Handlers return one of these instead of ``(status, payload)`` when the
+    body must be written incrementally (the job event stream); the
+    connection loop switches to ``Transfer-Encoding: chunked`` framing.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        body: AsyncIterator[bytes],
+        content_type: str = "application/x-ndjson",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+
+class _Route:
+    """One (method, path pattern) entry of the routing table.
+
+    Patterns are literal segments with ``{param}`` placeholders
+    (``/v1/jobs/{job_id}/events``); matching is segment-exact, captured
+    parameters are handed to the handler.  ``legacy`` marks the deprecated
+    unversioned aliases — they answer with a ``Deprecation`` header and
+    count into ``repro_server_legacy_requests_total``.
+    """
+
+    def __init__(self, method: str, pattern: str, handler, legacy: bool = False) -> None:
+        self.method = method
+        self.pattern = pattern
+        self.handler = handler
+        self.legacy = legacy
+        self._segments = [seg for seg in pattern.split("/") if seg]
+
+    def match(self, segments: Sequence[str]) -> Optional[Dict[str, str]]:
+        if len(segments) != len(self._segments):
+            return None
+        params: Dict[str, str] = {}
+        for expected, actual in zip(self._segments, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+class _GauntletRequest:
+    """A validated, admitted gauntlet request (shared by the synchronous
+    ``/v1/robustness`` handler and the ``/v1/jobs/robustness`` submission —
+    both surfaces apply identical validation and CPU-budget admission)."""
+
+    __slots__ = (
+        "suspect_id",
+        "suspect",
+        "key_id",
+        "key",
+        "attacks",
+        "strengths",
+        "num_cells",
+        "config_kwargs",
+    )
+
+    def __init__(
+        self,
+        suspect_id: str,
+        suspect: QuantizedModel,
+        key_id: str,
+        key,
+        attacks,
+        strengths: Dict[str, tuple],
+        num_cells: int,
+        config_kwargs: Dict[str, object],
+    ) -> None:
+        self.suspect_id = suspect_id
+        self.suspect = suspect
+        self.key_id = key_id
+        self.key = key
+        self.attacks = attacks
+        self.strengths = strengths
+        self.num_cells = num_cells
+        self.config_kwargs = config_kwargs
 
 
 class ServiceConfig:
@@ -203,10 +374,16 @@ class ServiceConfig:
     ``owner_rate_limit_per_sec`` keys admission by the registry owner the
     request's keys belong to — the multi-tenant replacement, giving each
     owner a private bucket so one aggressive owner cannot starve the rest.
-    ``gauntlet_cpu_budget_s`` bounds one ``/robustness`` request by its
-    *projected CPU seconds* (observed per-cell cost × cells) instead of the
-    old fixed 64-cell cap — sweeps are constant-memory, so CPU-time fairness
-    is the real resource; ``None`` disables the budget gate.
+    ``gauntlet_cpu_budget_s`` bounds one ``/robustness`` request — and each
+    background job — by its *projected CPU seconds* (observed per-cell cost
+    × cells) instead of the old fixed 64-cell cap — sweeps are
+    constant-memory, so CPU-time fairness is the real resource; ``None``
+    disables the budget gate.  ``checkpoint_dir`` makes background jobs
+    durable: each job appends completed cells to a JSONL file
+    content-addressed by its grid fingerprint, so resubmitting a killed
+    job's request (even after a server restart) replays the finished cells
+    and recomputes only the remainder.  ``job_workers`` /``job_max_active``
+    size the background job pool.
     """
 
     def __init__(
@@ -223,6 +400,9 @@ class ServiceConfig:
         max_suspects: int = 1024,
         gauntlet_cpu_budget_s: Optional[float] = 120.0,
         gauntlet_initial_cell_cost_s: float = 0.02,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        job_workers: int = 2,
+        job_max_active: int = 8,
     ) -> None:
         if rate_limit_burst and not rate_limit_per_sec:
             raise ValueError("rate_limit_burst requires rate_limit_per_sec")
@@ -234,6 +414,10 @@ class ServiceConfig:
             raise ValueError("gauntlet_cpu_budget_s must be > 0 (or None to disable)")
         if gauntlet_initial_cell_cost_s <= 0:
             raise ValueError("gauntlet_initial_cell_cost_s must be > 0")
+        if job_workers < 1:
+            raise ValueError("job_workers must be >= 1")
+        if job_max_active < 1:
+            raise ValueError("job_max_active must be >= 1")
         self.host = host
         self.port = int(port)
         self.max_batch = int(max_batch)
@@ -246,6 +430,9 @@ class ServiceConfig:
         self.max_suspects = int(max_suspects)
         self.gauntlet_cpu_budget_s = gauntlet_cpu_budget_s
         self.gauntlet_initial_cell_cost_s = float(gauntlet_initial_cell_cost_s)
+        self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+        self.job_workers = int(job_workers)
+        self.job_max_active = int(job_max_active)
 
 
 class VerificationServer:
@@ -291,6 +478,14 @@ class VerificationServer:
             max_queue=self.config.max_queue,
             metrics=self.metrics,
         )
+        # Background robustness jobs (POST /v1/jobs/robustness); exposes its
+        # gauges through the shared registry.
+        self.jobs = JobManager(
+            max_workers=self.config.job_workers,
+            max_active=self.config.job_max_active,
+            metrics=self.metrics,
+        )
+        self._routes = self._build_routes()
         # Suspect store: uploaded deployment snapshots, addressed by id.
         # LRU-bounded so a long-running server cannot be grown to OOM by
         # repeated uploads under fresh ids.
@@ -444,6 +639,15 @@ class VerificationServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        # Cooperative job shutdown: running sweeps see the cancel flag at
+        # their next cell boundary and their checkpoints keep every finished
+        # cell — a resubmitted job resumes from disk.  Joining the workers
+        # (off the event loop) makes the flush durable before stop() returns,
+        # so a successor server sharing the checkpoint directory always sees
+        # the completed cells.
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.jobs.close(wait=True)
+        )
         await self.dispatcher.stop()
         self.audit.close()
 
@@ -471,7 +675,9 @@ class VerificationServer:
                     # no longer trustworthy.
                     self._counters["requests_total"].inc()
                     self._counters["errors"].inc()
-                    await self._write_response(writer, exc.status, {"error": str(exc)}, False)
+                    await self._write_response(
+                        writer, exc.status, _error_envelope(exc.status, str(exc)), False
+                    )
                     break
                 if request is None:
                     break
@@ -479,10 +685,15 @@ class VerificationServer:
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 self._counters["requests_total"].inc()
                 started = time.perf_counter()
+                response: Union[Tuple[int, object, Dict[str, str]], _StreamingResponse]
                 try:
-                    status, payload = await self._route(method, path, body)
+                    response = await self._route(method, path, body)
                 except _HttpError as exc:
-                    status, payload = exc.status, {"error": str(exc)}
+                    response = (
+                        exc.status,
+                        _error_envelope(exc.status, str(exc), exc.code, exc.retry_after),
+                        {},
+                    )
                     if exc.counter is not None:
                         self._counters[exc.counter].inc()
                     elif exc.status == 429:
@@ -493,10 +704,20 @@ class VerificationServer:
                         self._counters["errors"].inc()
                 except Exception as exc:  # route bug — keep serving
                     logger.exception("unhandled error on %s %s", method, path)
-                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                    response = (
+                        500,
+                        _error_envelope(500, f"{type(exc).__name__}: {exc}"),
+                        {},
+                    )
                     self._counters["errors"].inc()
                 self._request_latency.observe(time.perf_counter() - started)
-                await self._write_response(writer, status, payload, keep_alive)
+                if isinstance(response, _StreamingResponse):
+                    await self._write_stream(writer, response, keep_alive)
+                else:
+                    status, payload, extra_headers = response
+                    await self._write_response(
+                        writer, status, payload, keep_alive, extra_headers
+                    )
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
@@ -555,10 +776,8 @@ class VerificationServer:
         status: int,
         payload: Union[Dict[str, object], str],
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   405: "Method Not Allowed", 429: "Too Many Requests",
-                   500: "Internal Server Error", 503: "Service Unavailable"}
         if isinstance(payload, str):
             # Prometheus text exposition (GET /metrics) — everything else
             # the server speaks is JSON.
@@ -567,15 +786,54 @@ class VerificationServer:
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
-        head = (
-            f"HTTP/1.1 {status} {reasons.get(status, 'Response')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        ).encode("latin-1")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Response')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + body)
         await writer.drain()
+
+    async def _write_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        response: _StreamingResponse,
+        keep_alive: bool,
+    ) -> None:
+        """Write a chunked response, one transfer-chunk per generator yield.
+
+        Each NDJSON line goes out as its own chunk, so a client tailing the
+        job event stream sees cell verdicts as they complete, not when the
+        sweep ends.  ``http.client`` (and every real HTTP client) strips the
+        chunk framing transparently.
+        """
+        lines = [
+            f"HTTP/1.1 {response.status} {_REASONS.get(response.status, 'Response')}",
+            f"Content-Type: {response.content_type}",
+            "Transfer-Encoding: chunked",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        body = response.body
+        try:
+            async for chunk in body:
+                if not chunk:
+                    continue
+                writer.write(f"{len(chunk):X}\r\n".encode("latin-1") + chunk + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            aclose = getattr(body, "aclose", None)
+            if aclose is not None:
+                await aclose()
 
     @staticmethod
     def _json_body(body: bytes) -> Dict[str, object]:
@@ -592,49 +850,118 @@ class VerificationServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _build_routes(self) -> List[_Route]:
+        """The versioned routing table plus its deprecated legacy aliases.
+
+        Registration order is match order, so literal segments
+        (``/v1/jobs/robustness``) must precede patterns that would also
+        match them (``/v1/jobs/{job_id}``) for the same method.
+        """
+        v1 = [
+            ("GET", "/v1/healthz", self._handle_healthz),
+            ("GET", "/v1/stats", self._handle_stats),
+            ("GET", "/v1/metrics", self._handle_metrics),
+            ("GET", "/v1/keys", self._handle_keys),
+            ("DELETE", "/v1/keys/{key_id}", self._handle_delete_key),
+            ("POST", "/v1/register", self._handle_register),
+            ("POST", "/v1/suspects", self._handle_suspects),
+            ("POST", "/v1/verify", self._handle_verify),
+            ("POST", "/v1/robustness", self._handle_robustness),
+            ("POST", "/v1/jobs/robustness", self._handle_job_submit),
+            ("GET", "/v1/jobs", self._handle_jobs_list),
+            ("GET", "/v1/jobs/{job_id}", self._handle_job_status),
+            ("GET", "/v1/jobs/{job_id}/events", self._handle_job_events),
+            ("GET", "/v1/jobs/{job_id}/report", self._handle_job_report),
+            ("DELETE", "/v1/jobs/{job_id}", self._handle_job_cancel),
+        ]
+        legacy = [
+            ("GET", "/healthz", self._handle_healthz),
+            ("GET", "/stats", self._handle_stats),
+            ("GET", "/metrics", self._handle_metrics),
+            ("GET", "/keys", self._handle_keys),
+            ("POST", "/register", self._handle_register),
+            ("POST", "/revoke", self._handle_revoke),
+            ("POST", "/suspects", self._handle_suspects),
+            ("POST", "/verify", self._handle_verify),
+            ("POST", "/robustness", self._handle_robustness),
+        ]
+        return [_Route(m, p, h) for m, p, h in v1] + [
+            _Route(m, p, h, legacy=True) for m, p, h in legacy
+        ]
+
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, Dict[str, object]]:
+    ) -> Union[Tuple[int, object, Dict[str, str]], _StreamingResponse]:
         parts = urlsplit(target)
-        path, query = parts.path, parse_qs(parts.query)
-        get_routes = {
-            "/healthz": self._handle_healthz,
-            "/stats": self._handle_stats,
-            "/metrics": self._handle_metrics,
-            "/keys": lambda _body: self._handle_keys(query),
-        }
-        post_routes = {
-            "/verify": self._handle_verify,
-            "/register": self._handle_register,
-            "/suspects": self._handle_suspects,
-            "/robustness": self._handle_robustness,
-        }
-        if method == "GET" and path in get_routes:
-            return get_routes[path](b"")
-        if method == "POST":
-            if path in post_routes:
-                return await post_routes[path](body)
-            if path == "/revoke":
-                return self._handle_revoke(body)
-        if path in get_routes or path in post_routes or path == "/revoke":
+        path = parts.path
+        # keep_blank_values so the bare `?ready` readiness flag survives.
+        query = parse_qs(parts.query, keep_blank_values=True)
+        segments = [seg for seg in path.split("/") if seg]
+        path_matched = False
+        for route in self._routes:
+            params = route.match(segments)
+            if params is None:
+                continue
+            path_matched = True
+            if route.method != method:
+                continue
+            if route.legacy:
+                self._counters["legacy_requests"].inc()
+            result = route.handler(body, params, query)
+            if asyncio.iscoroutine(result):
+                result = await result
+            if isinstance(result, _StreamingResponse):
+                if route.legacy:
+                    result.headers.setdefault("Deprecation", "true")
+                return result
+            status, payload = result[0], result[1]
+            headers: Dict[str, str] = dict(result[2]) if len(result) > 2 else {}
+            if route.legacy:
+                headers.setdefault("Deprecation", "true")
+            return status, payload, headers
+        if path_matched:
             raise _HttpError(405, f"method {method} not allowed on {path}")
         raise _HttpError(404, f"unknown endpoint {path}")
 
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
-    def _handle_healthz(self, _body: bytes) -> Tuple[int, Dict[str, object]]:
-        return 200, {
+    def _handle_healthz(self, _body: bytes, _params: Dict[str, str], query) -> Tuple[int, Dict[str, object]]:
+        """Liveness — and, with ``?ready``, readiness.
+
+        Liveness answers 200 while the process serves requests at all.
+        Readiness additionally demands that neither the dispatcher nor the
+        job manager is draining; during shutdown it flips to 503 so a load
+        balancer stops sending traffic before the listener disappears.
+        """
+        payload: Dict[str, object] = {
             "status": "ok",
             "uptime_seconds": time.time() - (self.started_at or time.time()),
             "queue_depth": self.dispatcher.depth,
         }
+        if "ready" in query:
+            draining = [
+                name
+                for name, is_draining in (
+                    ("dispatcher", self.dispatcher.draining),
+                    ("jobs", self.jobs.draining),
+                )
+                if is_draining
+            ]
+            if draining:
+                body = _error_envelope(
+                    503, f"draining: {', '.join(draining)}", code="not_ready"
+                )
+                body["ready"] = False
+                return 503, body
+            payload["ready"] = True
+        return 200, payload
 
-    def _handle_metrics(self, _body: bytes) -> Tuple[int, str]:
+    def _handle_metrics(self, _body: bytes, _params: Dict[str, str], _query) -> Tuple[int, str]:
         """Prometheus text exposition of every registered series."""
         return 200, self.metrics.render()
 
-    def _handle_stats(self, _body: bytes) -> Tuple[int, Dict[str, object]]:
+    def _handle_stats(self, _body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
         with self._suspects_lock:
             num_suspects = len(self._suspects)
         return 200, {
@@ -652,6 +979,7 @@ class VerificationServer:
                 "inflight": self._gauntlets_inflight,
                 **self._gauntlet_cost.stats(),
             },
+            "jobs": self.jobs.stats(),
             "plan_cache": self.engine.cache_stats(),
             "registry": self.registry.stats(),
             "suspects": {
@@ -662,14 +990,14 @@ class VerificationServer:
             "audit": self.audit.stats(),
         }
 
-    def _handle_keys(self, query: Dict[str, list]) -> Tuple[int, Dict[str, object]]:
+    def _handle_keys(self, _body: bytes, _params: Dict[str, str], query) -> Tuple[int, Dict[str, object]]:
         records = self.registry.records()
         wanted = query.get("model_fingerprint")
         if wanted:
             records = [r for r in records if r.model_fingerprint in wanted]
         return 200, {"keys": [record.to_dict() for record in records]}
 
-    async def _handle_register(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+    async def _handle_register(self, body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
         payload = self._json_body(body)
         if "key" not in payload:
             raise _HttpError(400, "missing 'key' payload")
@@ -691,18 +1019,26 @@ class VerificationServer:
         )
         return 200, {"registered": record.to_dict()}
 
-    def _handle_revoke(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+    def _handle_revoke(self, body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
+        """Legacy body-addressed revocation (``POST /revoke``)."""
         payload = self._json_body(body)
         key_id = payload.get("key_id")
         if not key_id:
             raise _HttpError(400, "missing 'key_id'")
+        return self._revoke(str(key_id))
+
+    def _handle_delete_key(self, _body: bytes, params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
+        """Resource-addressed revocation (``DELETE /v1/keys/{key_id}``)."""
+        return self._revoke(params["key_id"])
+
+    def _revoke(self, key_id: str) -> Tuple[int, Dict[str, object]]:
         try:
             record = self.registry.revoke(key_id)
         except RegistryError as exc:
             raise _HttpError(404, str(exc)) from exc
         return 200, {"revoked": record.to_dict()}
 
-    async def _handle_suspects(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+    async def _handle_suspects(self, body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
         payload = self._json_body(body)
         if "model" not in payload:
             raise _HttpError(400, "missing 'model' payload")
@@ -714,7 +1050,7 @@ class VerificationServer:
         # /verify; the per-owner charge happens below, once the candidate
         # keys — and with them the owners — are known.
         if rank and not self.bucket.try_acquire():
-            raise _HttpError(429, "rate limit exceeded, retry later")
+            raise _HttpError(429, "rate limit exceeded, retry later", retry_after=1.0)
         loop = asyncio.get_running_loop()
         try:
             model = await loop.run_in_executor(None, model_from_wire, payload["model"])
@@ -826,12 +1162,15 @@ class VerificationServer:
                 owners.append("")
         if not self.owner_limiter.try_acquire(owners):
             raise _HttpError(
-                429, "owner rate limit exceeded, retry later", counter="rejected_owner_rate"
+                429,
+                "owner rate limit exceeded, retry later",
+                counter="rejected_owner_rate",
+                retry_after=1.0,
             )
 
-    async def _handle_verify(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+    async def _handle_verify(self, body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
         if not self.bucket.try_acquire():
-            raise _HttpError(429, "rate limit exceeded, retry later")
+            raise _HttpError(429, "rate limit exceeded, retry later", retry_after=1.0)
         payload = self._json_body(body)
         suspect_id, suspect = await self._resolve_suspect(payload)
         key_ids = payload.get("key_ids")
@@ -900,37 +1239,21 @@ class VerificationServer:
             "verify_ms": outcome.verify_seconds * 1000.0,
         }
 
-    async def _handle_robustness(self, body: bytes) -> Tuple[int, Dict[str, object]]:
-        """Run the robustness gauntlet on a stored suspect against one key.
+    async def _parse_gauntlet_request(self, body: bytes) -> _GauntletRequest:
+        """Validate + admit one gauntlet request (sync route or job submit).
 
-        The grid crosses the requested (corpus-free) attacks with their
-        strength sweeps — overwriting, pruning, re-quantization and the
-        float-domain scenarios (scale tampering, outlier-column rewrites,
-        structured head/row pruning); corpus-backed attacks (re-watermarking,
-        fine-tuning, GPTQ re-quantization, the adaptive attacker, souping)
-        stay client-side.  Quality evaluation is disabled — the server holds
-        keys and suspects, not evaluation corpora — so every cell reports
-        ownership evidence only.  By default the sweep runs in streaming
-        mode on the shared engine (each attacked model is verified and
-        released as its worker finishes, so a grid never holds more than the
-        worker count in memory), reusing any location plans the verification
-        traffic has already cached; an ``executor`` payload key of
-        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"`` selects the
-        cell executor explicitly (``"process"`` publishes the suspect into
-        shared memory and runs cells in worker processes).  Every cell
-        verdict is written to the audit log.
+        Performs the whole admission pipeline shared by both surfaces:
+        whole-server token bucket, suspect resolution, single-key
+        resolution, per-owner charge, attack-grid validation, the cell cap
+        and the projected-CPU-seconds budget gate.  Raises
+        :class:`_HttpError` on any failure; on success returns the
+        validated request, ready to hand to a :class:`Gauntlet`.
         """
-        from repro.robustness import (
-            Gauntlet,
-            GauntletConfig,
-            GauntletSubject,
-            build_attack,
-            corpus_free_attacks,
-        )
+        from repro.robustness import build_attack, corpus_free_attacks
         from repro.robustness.attacks import ATTACK_REGISTRY
 
         if not self.bucket.try_acquire():
-            raise _HttpError(429, "rate limit exceeded, retry later")
+            raise _HttpError(429, "rate limit exceeded, retry later", retry_after=1.0)
         payload = self._json_body(body)
         suspect_id, suspect = await self._resolve_suspect(payload)
         # One key per sweep: each (attack, strength) cell attacks the suspect
@@ -1053,13 +1376,91 @@ class VerificationServer:
                 )
         except (TypeError, ValueError) as exc:
             raise _HttpError(400, f"invalid threshold value: {exc}") from exc
+        return _GauntletRequest(
+            suspect_id=suspect_id,
+            suspect=suspect,
+            key_id=key_id,
+            key=key,
+            attacks=attacks,
+            strengths=strengths,
+            num_cells=num_cells,
+            config_kwargs=config_kwargs,
+        )
 
-        subjects = {key_id: GauntletSubject(model=suspect, key=key)}
+    def _build_gauntlet(self, request: _GauntletRequest):
+        """The (gauntlet, subjects) pair both gauntlet surfaces run with."""
+        from repro.robustness import Gauntlet, GauntletConfig, GauntletSubject
+
+        subjects = {
+            request.key_id: GauntletSubject(model=request.suspect, key=request.key)
+        }
         gauntlet = Gauntlet(
             engine=self.engine,
-            config=GauntletConfig(**config_kwargs),
+            config=GauntletConfig(**request.config_kwargs),
             metrics=self.metrics,
         )
+        return gauntlet, subjects
+
+    def _record_cell_decision(
+        self, request_id: str, suspect_id: str, key_id: str, cell, kind: str
+    ) -> None:
+        """Every gauntlet cell is an ownership decision against a registered
+        key, so it enters the audit log (and the decision counters) exactly
+        like a /verify verdict — the "every ownership decision is recorded"
+        invariant does not stop at the gauntlet."""
+        if cell.owned:
+            self._counters["decisions_owned"].inc()
+        else:
+            self._counters["decisions_not_owned"].inc()
+        self.audit.record(
+            request_id=request_id,
+            kind=kind,
+            suspect_id=suspect_id,
+            key_id=key_id,
+            attack=cell.attack,
+            strength=cell.strength,
+            owned=cell.owned,
+            wer_percent=cell.wer_percent,
+            matched_bits=cell.matched_bits,
+            total_bits=cell.total_bits,
+            false_claim_probability=cell.false_claim_probability,
+        )
+
+    def _observe_gauntlet_cost(self, report) -> None:
+        """Feed the admission estimator with the measured cost: per-cell
+        attack seconds plus the summed verification time (both CPU-bound,
+        summed across workers — the fair-share quantity, not wall clock)."""
+        self._gauntlet_cost.observe(
+            report.num_cells,
+            sum(cell.attack_seconds for cell in report.cells) + report.verify_seconds,
+        )
+
+    async def _handle_robustness(self, body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
+        """Run the robustness gauntlet on a stored suspect against one key.
+
+        The grid crosses the requested (corpus-free) attacks with their
+        strength sweeps — overwriting, pruning, re-quantization and the
+        float-domain scenarios (scale tampering, outlier-column rewrites,
+        structured head/row pruning); corpus-backed attacks (re-watermarking,
+        fine-tuning, GPTQ re-quantization, the adaptive attacker, souping)
+        stay client-side.  Quality evaluation is disabled — the server holds
+        keys and suspects, not evaluation corpora — so every cell reports
+        ownership evidence only.  By default the sweep runs in streaming
+        mode on the shared engine (each attacked model is verified and
+        released as its worker finishes, so a grid never holds more than the
+        worker count in memory), reusing any location plans the verification
+        traffic has already cached; an ``executor`` payload key of
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"`` selects the
+        cell executor explicitly (``"process"`` publishes the suspect into
+        shared memory and runs cells in worker processes).  Every cell
+        verdict is written to the audit log.
+
+        The connection is held open for the whole sweep — for long grids
+        prefer ``POST /v1/jobs/robustness``, which answers 202 immediately
+        and streams per-cell verdicts instead.
+        """
+        request = await self._parse_gauntlet_request(body)
+        gauntlet, subjects = self._build_gauntlet(request)
         loop = asyncio.get_running_loop()
         # Bounded admission: a timed-out sweep keeps burning CPU on the
         # executor until it finishes (threads cannot be cancelled), so its
@@ -1069,9 +1470,12 @@ class VerificationServer:
             raise _HttpError(
                 503,
                 f"{self._gauntlets_inflight} robustness sweeps already in flight, retry later",
+                retry_after=1.0,
             )
         self._gauntlets_inflight += 1
-        future = loop.run_in_executor(None, gauntlet.run, subjects, attacks, strengths)
+        future = loop.run_in_executor(
+            None, gauntlet.run, subjects, request.attacks, request.strengths
+        )
 
         def _release(_future) -> None:
             self._gauntlets_inflight -= 1
@@ -1086,42 +1490,181 @@ class VerificationServer:
             # strengths, colliding cell ids, …) is still client input.
             raise _HttpError(400, f"invalid gauntlet grid: {exc}") from exc
         self._counters["gauntlets"].inc()
-        # Feed the admission estimator with the measured cost: per-cell
-        # attack seconds plus the summed verification time (both CPU-bound,
-        # summed across workers — the fair-share quantity, not wall clock).
-        self._gauntlet_cost.observe(
-            report.num_cells,
-            sum(cell.attack_seconds for cell in report.cells) + report.verify_seconds,
-        )
-        # Every cell is an ownership decision against a registered key, so it
-        # enters the audit log (and the decision counters) exactly like a
-        # /verify verdict — the "every ownership decision is recorded"
-        # invariant does not stop at the gauntlet.
+        self._observe_gauntlet_cost(report)
         request_id = f"req-{next(self._request_ids)}"
         for cell in report.cells:
-            if cell.owned:
-                self._counters["decisions_owned"].inc()
-            else:
-                self._counters["decisions_not_owned"].inc()
-            self.audit.record(
-                request_id=request_id,
-                kind="robustness",
-                suspect_id=suspect_id,
-                key_id=key_id,
-                attack=cell.attack,
-                strength=cell.strength,
-                owned=cell.owned,
-                wer_percent=cell.wer_percent,
-                matched_bits=cell.matched_bits,
-                total_bits=cell.total_bits,
-                false_claim_probability=cell.false_claim_probability,
+            self._record_cell_decision(
+                request_id, request.suspect_id, request.key_id, cell, kind="robustness"
             )
         return 200, {
             "request_id": request_id,
-            "suspect_id": suspect_id,
-            "key_id": key_id,
+            "suspect_id": request.suspect_id,
+            "key_id": request.key_id,
             "report": report.to_dict(),
         }
+
+    # ------------------------------------------------------------------
+    # Background jobs (POST /v1/jobs/robustness and friends)
+    # ------------------------------------------------------------------
+    async def _handle_job_submit(self, body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """Submit a background gauntlet sweep; answers 202 + job id.
+
+        The request passes the same validation and CPU-budget admission as
+        the synchronous route, then runs on the job manager's worker pool.
+        With a configured ``checkpoint_dir`` every completed cell is
+        appended to a JSONL file content-addressed by the grid fingerprint
+        (grid + seed + thresholds + the suspect's *content* digest), so
+        resubmitting the identical request — after a cancel, a crash or a
+        full server restart — replays the finished cells from disk and the
+        resumed report's decision digest is bit-identical to an
+        uninterrupted run.
+        """
+        from repro.robustness.checkpoint import CellCheckpoint
+
+        request = await self._parse_gauntlet_request(body)
+        gauntlet, subjects = self._build_gauntlet(request)
+        checkpoint_dir = self.config.checkpoint_dir
+        meta: Dict[str, object] = {
+            "suspect_id": request.suspect_id,
+            "key_id": request.key_id,
+        }
+
+        def run_sweep(job: Job):
+            ckpt = None
+            if checkpoint_dir is not None:
+                # Content-addressed checkpoint: the fingerprint folds in the
+                # suspect's weight digest, so the same grid over a *different*
+                # upload can never resume a stale file.
+                fingerprint = gauntlet.grid_fingerprint_for(
+                    subjects,
+                    request.attacks,
+                    request.strengths or None,
+                    extra={"suspect_content": _model_content_id(request.suspect)},
+                )
+                ckpt = CellCheckpoint(
+                    checkpoint_dir / f"{fingerprint[:16]}.jsonl",
+                    fingerprint=fingerprint,
+                )
+                job.meta["checkpoint"] = str(ckpt.path)
+
+            def on_cell(cell, replayed: bool) -> None:
+                self._record_cell_decision(
+                    job.job_id, request.suspect_id, request.key_id, cell,
+                    kind="robustness-job",
+                )
+                job.record_cell(
+                    {"cell_id": cell.cell_id, "cell": cell.to_dict()}, replayed
+                )
+
+            with span(
+                "job.run",
+                job_id=job.job_id,
+                suspect_id=request.suspect_id,
+                key_id=request.key_id,
+                cells=request.num_cells,
+            ):
+                report = gauntlet.run(
+                    subjects,
+                    request.attacks,
+                    request.strengths or None,
+                    checkpoint=ckpt,
+                    on_cell=on_cell,
+                    should_stop=job.cancel_requested,
+                )
+            self._counters["gauntlets"].inc()
+            self._observe_gauntlet_cost(report)
+            return report
+
+        try:
+            job = self.jobs.submit(run_sweep, total_cells=request.num_cells, meta=meta)
+        except JobLimitError as exc:
+            raise _HttpError(
+                429, str(exc), code="job_limit", retry_after=1.0
+            ) from exc
+        self._counters["jobs_submitted"].inc()
+        return 202, {"job": job.status()}, {"Location": f"/v1/jobs/{job.job_id}"}
+
+    def _job_or_404(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job id {job_id!r}")
+        return job
+
+    def _handle_jobs_list(self, _body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
+        return 200, {"jobs": [job.status() for job in self.jobs.jobs()]}
+
+    def _handle_job_status(self, _body: bytes, params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
+        return 200, {"job": self._job_or_404(params["job_id"]).status()}
+
+    def _handle_job_events(self, _body: bytes, params: Dict[str, str], query) -> _StreamingResponse:
+        """Chunked NDJSON stream of the job's event log.
+
+        One JSON object per line: a ``cell`` record per completed cell
+        (replayed checkpoint cells first, then fresh ones as they finish)
+        and a final ``end`` record carrying the terminal state.  The stream
+        is tail-follow: it stays open while the sweep runs and closes after
+        the ``end`` record.  ``?since=N`` skips the first N events for
+        reconnecting consumers.
+        """
+        job = self._job_or_404(params["job_id"])
+        raw_since = query.get("since", ["0"])[0] or "0"
+        try:
+            since = int(raw_since)
+        except ValueError:
+            raise _HttpError(400, f"'since' must be an integer, got {raw_since!r}") from None
+        if since < 0:
+            raise _HttpError(400, "'since' must be >= 0")
+        return _StreamingResponse(200, self._job_event_stream(job, since))
+
+    async def _job_event_stream(self, job: Job, since: int) -> AsyncIterator[bytes]:
+        index = since
+        while True:
+            events, terminal = job.events_since(index)
+            for event in events:
+                yield (json.dumps(event) + "\n").encode("utf-8")
+            index += len(events)
+            if terminal:
+                # The snapshot above is taken under the job's lock, so when
+                # `terminal` is True the `end` record was already in it.
+                return
+            await asyncio.sleep(0.05)
+
+    def _handle_job_report(self, _body: bytes, params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
+        job = self._job_or_404(params["job_id"])
+        state = job.state
+        if state not in ("succeeded", "failed", "cancelled"):
+            raise _HttpError(
+                409,
+                f"job {job.job_id} is {state}; report not ready",
+                code="job_not_finished",
+                retry_after=0.5,
+            )
+        if state != "succeeded":
+            detail = f": {job.error}" if job.error else ""
+            raise _HttpError(
+                409, f"job {job.job_id} {state}{detail}", code=f"job_{state}"
+            )
+        report = job.result
+        return 200, {
+            "job_id": job.job_id,
+            "suspect_id": job.meta.get("suspect_id"),
+            "key_id": job.meta.get("key_id"),
+            "report": report.to_dict(),
+        }
+
+    def _handle_job_cancel(self, _body: bytes, params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
+        """Cooperative cancel — the sweep stops at its next cell boundary.
+
+        Cancelling an already-finished job is a 409: the verdict (and any
+        checkpoint) already exists, there is nothing left to stop.
+        """
+        job = self._job_or_404(params["job_id"])
+        if job.is_terminal:
+            raise _HttpError(
+                409, f"job {job.job_id} already {job.state}", code="job_finished"
+            )
+        self.jobs.cancel(job.job_id)
+        return 202, {"job": job.status()}
 
     async def _resolve_suspect(self, payload: Dict[str, object]) -> Tuple[str, QuantizedModel]:
         """A verify request names a stored suspect or carries one inline."""

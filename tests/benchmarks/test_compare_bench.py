@@ -92,8 +92,30 @@ def service_report(**overrides):
     return report
 
 
+def jobs_report(**overrides):
+    digest = "a" * 64
+    report = {
+        "benchmark": "service_jobs",
+        "smoke": True,
+        "grid": {"overwrite": [0, 60]},
+        "total_cells": 5,
+        "cancelled_after_cells": 2,
+        "replayed_cells": 2,
+        "fresh_cells": 3,
+        "events_streamed": 6,
+        "uninterrupted_decision_digest": digest,
+        "resumed_decision_digest": digest,
+        "digest_match": True,
+        "job_states": ["cancelled", "succeeded"],
+    }
+    report.update(overrides)
+    return report
+
+
 class TestSchemaValidation:
-    @pytest.mark.parametrize("factory", [gauntlet_report, engine_report, service_report])
+    @pytest.mark.parametrize(
+        "factory", [gauntlet_report, engine_report, service_report, jobs_report]
+    )
     def test_valid_reports_pass(self, factory):
         assert compare_bench.evaluate_report(factory()) == []
 
@@ -250,6 +272,46 @@ class TestEngineAndServiceGates:
             service_report(smoke=False, warm_over_cold_speedup=0.5)
         )
         assert any("warm-over-cold" in p for p in problems)
+
+
+class TestServiceJobsGates:
+    """The async-jobs resume bar: exactness gates, applied in every mode."""
+
+    def test_digest_mismatch_fails(self):
+        problems = compare_bench.evaluate_report(
+            jobs_report(digest_match=False, resumed_decision_digest="b" * 64)
+        )
+        assert any("differs from the uninterrupted run" in p for p in problems)
+
+    def test_digest_fields_must_agree_with_the_flag(self):
+        # digest_match=True but the actual digests differ: the cross-check
+        # catches a benchmark that computes the flag wrong.
+        problems = compare_bench.evaluate_report(
+            jobs_report(resumed_decision_digest="b" * 64)
+        )
+        assert any("does not equal" in p for p in problems)
+
+    def test_empty_digest_fails(self):
+        problems = compare_bench.evaluate_report(
+            jobs_report(
+                uninterrupted_decision_digest="", resumed_decision_digest=""
+            )
+        )
+        assert any("empty" in p for p in problems)
+
+    def test_zero_replayed_cells_fails_even_in_smoke(self):
+        problems = compare_bench.evaluate_report(
+            jobs_report(replayed_cells=0, fresh_cells=5)
+        )
+        assert any("replayed no checkpointed cells" in p for p in problems)
+
+    def test_cell_accounting_must_cover_the_grid(self):
+        problems = compare_bench.evaluate_report(jobs_report(fresh_cells=2))
+        assert any("cover the whole grid" in p for p in problems)
+
+    def test_stream_must_include_the_end_record(self):
+        problems = compare_bench.evaluate_report(jobs_report(events_streamed=5))
+        assert any("end record" in p for p in problems)
 
 
 class TestCli:

@@ -1,0 +1,236 @@
+"""Checkpoint/resume semantics of the gauntlet.
+
+The load-bearing guarantee: a sweep interrupted after any number of
+checkpointed cells and later resumed produces a decision digest
+**bit-identical** to an uninterrupted run — JSON-exact cell fields plus
+grid-order reassembly, regardless of worker count on either side.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.robustness import (
+    CellCheckpoint,
+    CheckpointError,
+    Gauntlet,
+    GauntletCancelled,
+    GauntletSubject,
+    build_attack,
+    grid_fingerprint,
+    run_gauntlet,
+)
+from repro.robustness.checkpoint import merge_completed
+from repro.robustness.gauntlet import GauntletConfig
+
+ATTACKS = ("overwrite", "pruning")
+STRENGTHS = {"overwrite": (0, 10, 20), "pruning": (0.3, 0.5)}
+
+
+def _attacks():
+    return [build_attack(name) for name in ATTACKS]
+
+
+def _bare(subject):
+    return GauntletSubject(model=subject.model, key=subject.key)
+
+
+def _run(subject, engine, checkpoint=None, on_cell=None, should_stop=None, workers=1):
+    return run_gauntlet(
+        {"m": _bare(subject)},
+        _attacks(),
+        strengths=STRENGTHS,
+        engine=engine,
+        checkpoint=checkpoint,
+        on_cell=on_cell,
+        should_stop=should_stop,
+        evaluate_quality=False,
+        max_workers=workers,
+        seed=3,
+    )
+
+
+class TestGridFingerprint:
+    def test_deterministic(self):
+        kwargs = dict(
+            subject_ids=["m"],
+            attack_strengths={"overwrite": (0, 10)},
+            seed=3,
+            wer_threshold=95.0,
+            max_false_claim_probability=1e-6,
+            evaluate_quality=False,
+        )
+        assert grid_fingerprint(**kwargs) == grid_fingerprint(**kwargs)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"subject_ids": ["other"]},
+            {"attack_strengths": {"overwrite": (0, 20)}},
+            {"seed": 4},
+            {"wer_threshold": 90.0},
+            {"max_false_claim_probability": None},
+            {"evaluate_quality": True},
+            {"extra": {"suspect_content": "abc"}},
+        ],
+    )
+    def test_decision_relevant_inputs_change_it(self, override):
+        base = dict(
+            subject_ids=["m"],
+            attack_strengths={"overwrite": (0, 10)},
+            seed=3,
+            wer_threshold=95.0,
+            max_false_claim_probability=1e-6,
+            evaluate_quality=False,
+        )
+        assert grid_fingerprint(**base) != grid_fingerprint(**{**base, **override})
+
+
+class TestCellCheckpoint:
+    def test_missing_file_loads_empty(self, tmp_path):
+        ckpt = CellCheckpoint(tmp_path / "none.jsonl", fingerprint="f" * 64)
+        assert ckpt.load() == {}
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path, awq_subject, gauntlet_engine):
+        path = tmp_path / "ck.jsonl"
+        full = _run(awq_subject, gauntlet_engine, checkpoint=path)
+        assert full.num_cells == 5
+        with pytest.raises(CheckpointError, match="different grid"):
+            CellCheckpoint(path, fingerprint="0" * 64).load()
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(CheckpointError, match="not a gauntlet checkpoint"):
+            CellCheckpoint(path, fingerprint="f" * 64).load()
+
+    def test_torn_final_line_tolerated(self, tmp_path, awq_subject, gauntlet_engine):
+        path = tmp_path / "ck.jsonl"
+        _run(awq_subject, gauntlet_engine, checkpoint=path)
+        lines = path.read_text().splitlines()
+        fingerprint = json.loads(lines[0])["fingerprint"]
+        # Simulate a crash mid-append: truncate the last record.
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        completed = CellCheckpoint(path, fingerprint=fingerprint).load()
+        assert len(completed) == len(lines) - 2  # header + torn line dropped
+
+    def test_corrupt_mid_file_rejected(self, tmp_path, awq_subject, gauntlet_engine):
+        path = tmp_path / "ck.jsonl"
+        _run(awq_subject, gauntlet_engine, checkpoint=path)
+        lines = path.read_text().splitlines()
+        fingerprint = json.loads(lines[0])["fingerprint"]
+        lines[2] = lines[2][: len(lines[2]) // 2]  # torn *before* later records
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt record mid-file"):
+            CellCheckpoint(path, fingerprint=fingerprint).load()
+
+    def test_merge_completed_orders_by_grid(self):
+        class _Cell:
+            def __init__(self, cell_id):
+                self.cell_id = cell_id
+
+        cells, replayed = merge_completed(
+            ["a", "b", "c"],
+            {"b": _Cell("b")},
+            {"a": _Cell("a"), "c": _Cell("c")},
+        )
+        assert [c.cell_id for c in cells] == ["a", "b", "c"]
+        assert replayed == 1
+
+
+class TestResume:
+    def test_cancel_then_resume_digest_identical(
+        self, tmp_path, awq_subject, gauntlet_engine
+    ):
+        full = _run(awq_subject, gauntlet_engine)
+        path = tmp_path / "ck.jsonl"
+        seen = {"n": 0}
+
+        def on_cell(_result, _replayed):
+            seen["n"] += 1
+
+        with pytest.raises(GauntletCancelled) as info:
+            _run(
+                awq_subject,
+                gauntlet_engine,
+                checkpoint=path,
+                on_cell=on_cell,
+                should_stop=lambda: seen["n"] >= 2,
+            )
+        assert info.value.completed == 2
+        assert info.value.total == 5
+
+        events = []
+        resumed = _run(
+            awq_subject,
+            gauntlet_engine,
+            checkpoint=path,
+            on_cell=lambda r, replayed: events.append((r.cell_id, replayed)),
+        )
+        assert resumed.decision_digest() == full.decision_digest()
+        replayed = [cell_id for cell_id, was_replayed in events if was_replayed]
+        fresh = [cell_id for cell_id, was_replayed in events if not was_replayed]
+        assert len(replayed) == 2 and len(fresh) == 3
+        assert set(replayed + fresh) == {c.cell_id for c in full.cells}
+
+    def test_resume_with_different_worker_count(
+        self, tmp_path, awq_subject, gauntlet_engine
+    ):
+        """Serial checkpoint, threaded resume — digests still match."""
+        full = _run(awq_subject, gauntlet_engine)
+        path = tmp_path / "ck.jsonl"
+        seen = {"n": 0}
+
+        def on_cell(_result, _replayed):
+            seen["n"] += 1
+
+        with pytest.raises(GauntletCancelled):
+            _run(
+                awq_subject,
+                gauntlet_engine,
+                checkpoint=path,
+                on_cell=on_cell,
+                should_stop=lambda: seen["n"] >= 1,
+            )
+        resumed = _run(awq_subject, gauntlet_engine, checkpoint=path, workers=4)
+        assert resumed.decision_digest() == full.decision_digest()
+
+    def test_completed_checkpoint_replays_everything(
+        self, tmp_path, awq_subject, gauntlet_engine
+    ):
+        path = tmp_path / "ck.jsonl"
+        full = _run(awq_subject, gauntlet_engine, checkpoint=path)
+        events = []
+        replayed = _run(
+            awq_subject,
+            gauntlet_engine,
+            checkpoint=path,
+            on_cell=lambda r, was_replayed: events.append(was_replayed),
+        )
+        assert replayed.decision_digest() == full.decision_digest()
+        assert events == [True] * 5
+
+    def test_checkpoint_instance_passthrough(
+        self, tmp_path, awq_subject, gauntlet_engine
+    ):
+        """A caller-built CellCheckpoint (the job manager's path) is honoured."""
+        gauntlet = Gauntlet(
+            engine=gauntlet_engine,
+            config=GauntletConfig(seed=3, evaluate_quality=False, max_workers=1),
+        )
+        subjects = {"m": _bare(awq_subject)}
+        fingerprint = gauntlet.grid_fingerprint_for(
+            subjects, _attacks(), STRENGTHS, extra={"suspect_content": "abc"}
+        )
+        ckpt = CellCheckpoint(tmp_path / "ck.jsonl", fingerprint=fingerprint)
+        report = gauntlet.run(subjects, _attacks(), STRENGTHS, checkpoint=ckpt)
+        assert report.num_cells == 5
+        reopened = CellCheckpoint(tmp_path / "ck.jsonl", fingerprint=fingerprint)
+        assert len(reopened.load()) == 5
+
+    def test_cancel_before_first_cell(self, awq_subject, gauntlet_engine):
+        with pytest.raises(GauntletCancelled) as info:
+            _run(awq_subject, gauntlet_engine, should_stop=lambda: True)
+        assert info.value.completed == 0

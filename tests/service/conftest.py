@@ -12,12 +12,37 @@ import pytest
 
 from repro.core.config import EmMarkConfig
 from repro.engine import EngineConfig, WatermarkEngine
+from repro.robustness.attacks import (
+    ATTACK_REGISTRY,
+    AttackOutcome,
+    AttackSpec,
+    register_attack,
+)
 from repro.service import (
     ServiceConfig,
     VerificationClient,
     VerificationServer,
     run_in_background,
 )
+
+# A deliberately slow corpus-free attack so job tests can observe sweeps
+# *mid-run* (streaming, cancellation, kill-then-resume, admission overflow).
+# The registry is process-global and the server runs in-process, so
+# registering here makes it sweepable server-side across every test module;
+# the guard keeps re-imports idempotent.
+if "slowmo" not in ATTACK_REGISTRY:
+
+    @register_attack
+    class SlowIdentityAttack(AttackSpec):
+        name = "slowmo"
+        strength_unit = "-"
+        default_strengths = (0,)
+
+        def apply(self, model, strength, rng):
+            import time
+
+            time.sleep(0.25)
+            return AttackOutcome(model=model.clone())
 
 
 @pytest.fixture(scope="session")

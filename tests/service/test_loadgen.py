@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.service.loadgen import LoadConfig, RequestTemplate, run_load
+from repro.service.loadgen import (
+    JobLoadConfig,
+    LoadConfig,
+    RequestTemplate,
+    run_job_load,
+    run_load,
+)
 
 
 class TestConfigValidation:
@@ -81,3 +87,103 @@ class TestLiveRun:
         )
         assert report.failed == 14
         assert report.to_dict()["failed"] == 14
+
+
+class TestJobLoadConfig:
+    def test_requires_suspect(self):
+        with pytest.raises(ValueError, match="suspect_id"):
+            JobLoadConfig(jobs=2)
+
+    def test_requires_positive_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            JobLoadConfig(jobs=0, suspect_id="hit")
+
+    def test_seed_count_must_match(self):
+        with pytest.raises(ValueError, match="seeds"):
+            JobLoadConfig(jobs=3, suspect_id="hit", seeds=[1, 2])
+        config = JobLoadConfig(jobs=3, suspect_id="hit")
+        assert config.seeds == [0, 1, 2]
+
+
+class TestConcurrentJobs:
+    ATTACKS = [
+        {"name": "overwrite", "strengths": [0, 20]},
+        {"name": "pruning", "strengths": [0.5]},
+    ]
+
+    def test_concurrent_jobs_complete_with_exact_digests(
+        self, server_handle, watermarked_and_key
+    ):
+        """No starvation under concurrency, and every job's digest is
+        bit-identical to a direct library-path Gauntlet run of its grid."""
+        from repro.engine import WatermarkEngine
+        from repro.robustness import GauntletSubject, build_attack, run_gauntlet
+
+        seeds = [3, 4, 5]
+        report = run_job_load(
+            JobLoadConfig(
+                port=server_handle.port,
+                jobs=len(seeds),
+                suspect_id="hit",
+                attacks=self.ATTACKS,
+                seeds=seeds,
+            )
+        )
+        assert report.states == ["succeeded"] * len(seeds)
+        assert report.succeeded == len(seeds)
+        assert report.rejected == 0
+        assert report.errors == 0
+        assert len(set(report.job_ids)) == len(seeds)
+        # Each stream carried every cell verdict plus the end record.
+        assert all(count == 4 for count in report.events_streamed)
+
+        watermarked, key = watermarked_and_key
+        for seed, digest in zip(seeds, report.digests):
+            direct = run_gauntlet(
+                {key.fingerprint(): GauntletSubject(model=watermarked, key=key)},
+                [build_attack("overwrite"), build_attack("pruning")],
+                strengths={"overwrite": (0, 20), "pruning": (0.5,)},
+                engine=WatermarkEngine(),
+                evaluate_quality=False,
+                seed=seed,
+            )
+            assert digest == direct.decision_digest()
+
+        report_dict = report.to_dict()
+        assert report_dict["succeeded"] == len(seeds)
+        assert report_dict["digests"] == report.digests
+
+    def test_overflow_beyond_max_active_is_counted_not_fatal(
+        self, watermarked_and_key
+    ):
+        from repro.engine import EngineConfig, WatermarkEngine
+        from repro.service import (
+            ServiceConfig,
+            VerificationClient,
+            VerificationServer,
+            run_in_background,
+        )
+
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            engine=WatermarkEngine(EngineConfig()),
+            config=ServiceConfig(port=0, max_wait_ms=1.0, job_max_active=1),
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                c.register_key(key, owner="acme")
+                c.upload_suspect(watermarked, suspect_id="hit")
+            report = run_job_load(
+                JobLoadConfig(
+                    port=handle.port,
+                    jobs=4,
+                    suspect_id="hit",
+                    attacks=[{"name": "slowmo", "strengths": [0, 1]}],
+                    seeds=[11, 12, 13, 14],
+                )
+            )
+            # With one active slot, some submissions bounce with 429
+            # job_limit; the ones that land still finish cleanly.
+            assert report.succeeded + report.rejected == 4
+            assert report.succeeded >= 1
+            assert report.errors == 0

@@ -387,3 +387,121 @@ class TestMultiOwnerService:
                     assert decision["wer_percent"] == 100.0
                     assert record["co_residents"]  # denormalized onto the record
                 assert c.stats()["registry"]["multi_owner_models"] == 1
+
+
+class TestVersionedSurface:
+    """The /v1 resource surface, legacy aliases and the error envelope."""
+
+    def test_v1_and_legacy_paths_serve_the_same_payload(self, client):
+        v1 = client._request("GET", "/v1/healthz")
+        legacy = client._request("GET", "/healthz")
+        assert v1["status"] == legacy["status"] == "ok"
+
+    def test_legacy_path_carries_deprecation_header(self, server_handle):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server_handle.port, timeout=5)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.getheader("Deprecation") == "true"
+            conn.request("GET", "/v1/healthz")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.getheader("Deprecation") is None
+        finally:
+            conn.close()
+
+    def test_legacy_requests_are_counted(self, client):
+        before = client.stats()["server"]["legacy_requests"]
+        client._request("GET", "/healthz")
+        client._request("GET", "/stats")
+        after = client.stats()["server"]["legacy_requests"]
+        assert after == before + 2
+        assert "repro_server_legacy_requests_total" in client.metrics()
+
+    def test_error_envelope_shape(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.verify(suspect_id="ghost")
+        error = excinfo.value.payload["error"]
+        assert set(error) >= {"code", "message"}
+        assert error["code"] == "not_found"
+        assert excinfo.value.code == "not_found"
+        assert "ghost" in error["message"]
+
+    def test_envelope_codes_by_status(self, client):
+        cases = [
+            ("POST", "/v1/register", {"owner": "x"}, 400, "invalid_request"),
+            ("GET", "/v1/nope", None, 404, "not_found"),
+            ("GET", "/v1/verify", None, 405, "method_not_allowed"),
+        ]
+        for method, path, body, status, code in cases:
+            with pytest.raises(ServiceError) as excinfo:
+                client._request(method, path, body)
+            assert excinfo.value.status == status
+            assert excinfo.value.code == code
+
+    def test_rate_limited_envelope_carries_retry_after(self, watermarked_and_key):
+        watermarked, key = watermarked_and_key
+        server = VerificationServer(
+            config=ServiceConfig(
+                port=0, max_wait_ms=1.0, rate_limit_per_sec=0.001, rate_limit_burst=1
+            )
+        )
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                c.register_key(key, owner="acme")
+                c.upload_suspect(watermarked, suspect_id="hit")
+                c.verify(suspect_id="hit")
+                with pytest.raises(RateLimitedError) as excinfo:
+                    c.verify(suspect_id="hit")
+                assert excinfo.value.code == "rate_limited"
+                assert excinfo.value.retry_after is not None
+
+    def test_reason_phrases_cover_all_emitted_statuses(self):
+        # Regression: 202 (job submit) and 409 (job conflicts) once fell
+        # through to the bare status number because _REASONS lacked them.
+        from repro.service.server import _ERROR_CODES, _REASONS
+
+        for status in (200, 202, 400, 404, 405, 409, 429, 500, 503):
+            assert status in _REASONS
+        assert _REASONS[202] == "Accepted"
+        assert _REASONS[409] == "Conflict"
+        # Every defaulted error status has an envelope code.
+        for status in (400, 404, 405, 409, 429, 500, 503):
+            assert status in _ERROR_CODES
+
+    def test_delete_key_resource_route(self, watermarked_and_key):
+        _, key = watermarked_and_key
+        server = VerificationServer(config=ServiceConfig(port=0, max_wait_ms=1.0))
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                record = c.register_key(key, owner="acme")
+                revoked = c._request("DELETE", f"/v1/keys/{record['key_id']}")
+                assert revoked["revoked"]["revoked"] is True
+                # Legacy POST /revoke still answers for old clients.
+                again = c._request("POST", "/revoke", {"key_id": record["key_id"]})
+                assert again["revoked"]["revoked"] is True
+                with pytest.raises(ServiceError) as excinfo:
+                    c._request("DELETE", "/v1/keys/wmk-ghost")
+                assert excinfo.value.status == 404
+
+    def test_readiness_probe_flips_to_503_on_drain(self, watermarked_and_key):
+        server = VerificationServer(config=ServiceConfig(port=0, max_wait_ms=1.0))
+        with run_in_background(server) as handle:
+            with VerificationClient(port=handle.port) as c:
+                ready = c.healthz(ready=True)
+                assert ready["status"] == "ok"
+                assert ready["ready"] is True
+                server.jobs.drain()
+                from repro.service import ServiceUnavailableError
+
+                with pytest.raises(ServiceUnavailableError) as excinfo:
+                    c.healthz(ready=True)
+                assert excinfo.value.code == "not_ready"
+                assert excinfo.value.payload["ready"] is False
+                # Liveness stays green while draining (the pod is alive).
+                assert c.healthz()["status"] == "ok"
