@@ -1,6 +1,6 @@
 """The ``repro`` command-line interface.
 
-Six sub-commands expose the watermarking engine, the verification service,
+Seven sub-commands expose the watermarking engine, the verification service,
 the robustness gauntlet and the repo's own static analysis from a shell:
 
 ``repro insert``
@@ -21,8 +21,14 @@ the robustness gauntlet and the repo's own static analysis from a shell:
     the server batches, without the HTTP hop.
 
 ``repro loadgen``
-    Closed-loop load generator against a running server, printing the
-    llm-load-test-style throughput / latency-percentile report.
+    Closed-loop load generator against a running server — or, with
+    ``--fleet``, against a sharded fleet with client-side consistent-hash
+    routing and a per-shard latency/throughput breakdown.
+
+``repro audit``
+    Occupancy audit: re-verify per model fingerprint that every co-resident
+    key set reproduces pairwise-disjoint slot sets, either offline against a
+    registry directory or remotely against a running shard / fleet router.
 
 ``repro check``
     Repo-specific static analysis: run the invariant rules in
@@ -147,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict verification to these key ids (repeatable)")
     loadgen.add_argument("--output", metavar="PATH", default=None,
                          help="write the JSON report here as well as stdout")
+    loadgen.add_argument("--fleet", metavar="HOST:PORT", action="append", default=None,
+                         help="shard address (repeatable, shard-index order): drive a "
+                              "sharded fleet with client-side consistent-hash routing "
+                              "instead of --host/--port; requires --suspect uploads so "
+                              "placement is learned, and adds a per-shard latency/"
+                              "throughput breakdown to the report")
+
+    audit = sub.add_parser("audit", help="occupancy audit: co-resident keys on disjoint slots")
+    audit.add_argument("--registry", metavar="DIR", default=None,
+                       help="audit this key-registry directory offline (re-derives every "
+                            "model fingerprint's slot sets through the engine)")
+    audit.add_argument("--host", default="127.0.0.1",
+                       help="server/router address for a remote audit (default: 127.0.0.1)")
+    audit.add_argument("--port", type=int, default=8420,
+                       help="server/router port — a shard answers for its partition, a "
+                            "fleet router merges all shards (default: 8420)")
+    audit.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     check = sub.add_parser("check", help="repo-invariant static analysis")
     check.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
@@ -390,19 +413,42 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if (args.duration is None) == (args.requests is None):
         print("error: set exactly one of --duration / --requests", file=sys.stderr)
         return 2
-    suspect_ids: List[str] = list(args.suspect_id or [])
-    if args.suspect:
-        client = VerificationClient(args.host, args.port)
-        try:
+    key_ids = tuple(args.key_id) if args.key_id else None
+    templates: List[RequestTemplate] = []
+    if args.fleet:
+        # Fleet mode: upload through the consistent-hash client so every
+        # suspect's owning shard is known, then drive the shards directly.
+        if args.suspect_id:
+            print("error: --suspect-id needs a known shard; use --suspect uploads "
+                  "with --fleet", file=sys.stderr)
+            return 2
+        if not args.suspect:
+            print("error: --fleet requires --suspect uploads", file=sys.stderr)
+            return 2
+        from repro.service.fleet import FleetClient
+
+        with FleetClient(args.fleet) as fleet_client:
             for index, directory in enumerate(args.suspect):
-                uploaded = client.upload_suspect(load_model(directory), f"suspect-{index}")
-                suspect_ids.append(uploaded["suspect_id"])
-        finally:
-            client.close()
-    if not suspect_ids:
+                uploaded = fleet_client.upload_suspect(load_model(directory), f"suspect-{index}")
+                sid = uploaded["suspect_id"]
+                templates.append(RequestTemplate(
+                    sid, key_ids=key_ids, label=sid,
+                    shard=fleet_client.labels.index(uploaded["shard"]),
+                ))
+    else:
+        suspect_ids: List[str] = list(args.suspect_id or [])
+        if args.suspect:
+            client = VerificationClient(args.host, args.port)
+            try:
+                for index, directory in enumerate(args.suspect):
+                    uploaded = client.upload_suspect(load_model(directory), f"suspect-{index}")
+                    suspect_ids.append(uploaded["suspect_id"])
+            finally:
+                client.close()
+        templates = [RequestTemplate(sid, key_ids=key_ids, label=sid) for sid in suspect_ids]
+    if not templates:
         print("error: no suspects (use --suspect and/or --suspect-id)", file=sys.stderr)
         return 2
-    key_ids = tuple(args.key_id) if args.key_id else None
     report = run_load(
         LoadConfig(
             host=args.host,
@@ -410,8 +456,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             duration_seconds=args.duration,
             total_requests=args.requests,
-            templates=[RequestTemplate(sid, key_ids=key_ids, label=sid) for sid in suspect_ids],
+            templates=templates,
             collect_decisions=False,
+            fleet=list(args.fleet) if args.fleet else None,
         )
     )
     print(report.summary())
@@ -423,6 +470,41 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         print(payload)
     return 0 if report.completed else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    if args.registry:
+        from repro.engine import EngineConfig, WatermarkEngine
+        from repro.service.fleet import occupancy_audit
+        from repro.service.registry import KeyRegistry
+
+        registry = KeyRegistry(args.registry)
+        report = occupancy_audit(registry, WatermarkEngine(EngineConfig()))
+        payload = report.to_dict()
+    else:
+        # A shard answers for its own partition; the fleet router's alias
+        # merges every shard into one fleet-wide report.
+        from repro.service.client import VerificationClient
+
+        client = VerificationClient(args.host, args.port)
+        try:
+            payload = client._request("GET", "/v1/audit")["audit"]
+        finally:
+            client.close()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        status = "DISJOINT" if payload["ok"] else "COLLISION"
+        print(f"occupancy audit: {status} — {payload['models']} model fingerprint(s), "
+              f"{payload['collisions']} collision(s), digest {payload['digest']}")
+        for verdict in payload.get("verdicts", []):
+            if verdict.get("disjoint"):
+                continue
+            collision = verdict.get("collision") or {}
+            print(f"  COLLISION {verdict['model_fingerprint']}: layer "
+                  f"{collision.get('layer')} indices {collision.get('indices')} "
+                  f"already held by {collision.get('holder')}")
+    return 0 if payload["ok"] else 1
 
 
 def _parse_strengths(raw: Optional[List[str]]) -> dict:
@@ -607,6 +689,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "gauntlet":
         return _cmd_gauntlet(args)
     if args.command == "check":

@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.core.config import EmMarkConfig
 from repro.models.activations import ActivationStats
-from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+from repro.utils.serialization import (
+    load_json,
+    load_npz,
+    load_npz_mmap,
+    save_json,
+    save_npz,
+)
 
 __all__ = ["WatermarkKey", "model_fingerprint", "layer_shapes_fingerprint"]
 
@@ -314,22 +320,30 @@ class WatermarkKey:
         except (KeyError, TypeError) as exc:
             raise ValueError(f"malformed watermark key payload: {exc}") from exc
 
-    def save(self, directory: PathLike) -> Path:
+    def save(self, directory: PathLike, compressed: bool = True) -> Path:
         """Persist the key into ``directory`` (two files: JSON + NPZ).
 
         The JSON file holds the scalar metadata and configuration, the NPZ
         archive holds the signature, reference weights and activations.
+        ``compressed=False`` writes the archive with ``ZIP_STORED`` members so
+        later loads can memory-map the arrays (see ``mmap`` on :meth:`load`) —
+        the layout the lazy key registry persists.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         meta, arrays = self.to_payload()
         save_json(directory / "watermark_key.json", meta)
-        save_npz(directory / "watermark_key.npz", arrays)
+        save_npz(directory / "watermark_key.npz", arrays, compressed=compressed)
         return directory
 
     @classmethod
-    def load(cls, directory: PathLike) -> "WatermarkKey":
+    def load(cls, directory: PathLike, mmap: bool = False) -> "WatermarkKey":
         """Load a key previously written by :meth:`save`.
+
+        With ``mmap=True`` uncompressed archive members come back as read-only
+        memory-mapped views (compressed members silently fall back to an
+        in-memory read), so a registry holding many resident keys keeps its
+        bulk arrays in the page cache rather than anonymous memory.
 
         Raises
         ------
@@ -346,8 +360,9 @@ class WatermarkKey:
             raise ValueError(
                 f"corrupted watermark key metadata in {directory}: {exc}"
             ) from exc
+        loader = load_npz_mmap if mmap else load_npz
         try:
-            arrays = load_npz(directory / "watermark_key.npz")
+            arrays = loader(directory / "watermark_key.npz")
         except FileNotFoundError:
             raise
         except Exception as exc:  # zipfile.BadZipFile, pickle refusal, OSError…

@@ -20,6 +20,10 @@ the ROADMAP's "serve heavy traffic from millions of users" direction:
   generator (:func:`run_load`) producing throughput and latency percentiles.
 * :mod:`repro.service.codec` — base64-NPZ wire / directory codecs for keys
   and quantized models.
+* :mod:`repro.service.fleet` — the sharded fleet: consistent-hash routing
+  (:class:`HashRing`, :class:`ShardRouter`, :class:`FleetClient`), topology
+  (:func:`launch_fleet`, :func:`partition_registry`) and the occupancy audit
+  (:func:`occupancy_audit`).
 
 Quickstart
 ----------
@@ -63,6 +67,20 @@ from repro.service.loadgen import (
     run_job_load,
     run_load,
 )
+from repro.service.fleet import (
+    FleetAuditError,
+    FleetClient,
+    FleetConfig,
+    FleetHandle,
+    HashRing,
+    ModelAuditVerdict,
+    OccupancyAuditReport,
+    ShardRouter,
+    launch_fleet,
+    occupancy_audit,
+    partition_registry,
+    shard_labels,
+)
 from repro.service.registry import KeyRecord, KeyRegistry, RegistryError
 from repro.service.server import (
     ServerHandle,
@@ -105,4 +123,16 @@ __all__ = [
     "model_from_wire",
     "save_model",
     "load_model",
+    "FleetAuditError",
+    "FleetClient",
+    "FleetConfig",
+    "FleetHandle",
+    "HashRing",
+    "ModelAuditVerdict",
+    "OccupancyAuditReport",
+    "ShardRouter",
+    "launch_fleet",
+    "occupancy_audit",
+    "partition_registry",
+    "shard_labels",
 ]

@@ -1,0 +1,41 @@
+"""Sharded verification fleet: consistent-hash routing over shard servers.
+
+The fleet partitions the key space by model fingerprint onto N independent
+:class:`~repro.service.server.VerificationServer` shards — each with its own
+registry partition, plan cache and dispatcher — fronted by a
+:class:`~repro.service.fleet.router.ShardRouter` (or driven directly by the
+client-side :class:`~repro.service.fleet.client.FleetClient`).  The
+:mod:`~repro.service.fleet.audit` occupancy audit proves, per fingerprint,
+that co-resident keys reproduce disjoint slot sets.
+"""
+
+from repro.service.fleet.audit import (
+    ModelAuditVerdict,
+    OccupancyAuditReport,
+    occupancy_audit,
+)
+from repro.service.fleet.client import FleetClient
+from repro.service.fleet.fleet import (
+    FleetAuditError,
+    FleetConfig,
+    FleetHandle,
+    launch_fleet,
+    partition_registry,
+)
+from repro.service.fleet.hashring import HashRing
+from repro.service.fleet.router import ShardRouter, shard_labels
+
+__all__ = [
+    "FleetAuditError",
+    "FleetClient",
+    "FleetConfig",
+    "FleetHandle",
+    "HashRing",
+    "ModelAuditVerdict",
+    "OccupancyAuditReport",
+    "ShardRouter",
+    "launch_fleet",
+    "occupancy_audit",
+    "partition_registry",
+    "shard_labels",
+]

@@ -1,0 +1,86 @@
+"""Deterministic consistent-hash ring over shard labels.
+
+The fleet shards the key space by **model-identity fingerprint**
+(:meth:`repro.core.keys.WatermarkKey.model_fingerprint`): a key, every
+suspect deployment of its model family, and every verify request against
+them hash to the same point, so one shard owns a model family end to end.
+That invariant is what keeps the occupancy audit shard-local — all
+co-resident keys of one fingerprint live behind one shard — and what makes
+fleet decisions bit-identical to an unsharded server (each decision only
+ever needs keys its own shard holds).
+
+Hashing is :mod:`hashlib`-based (never Python's salted ``hash()``), so the
+router process, the client-side :class:`~repro.service.fleet.client.FleetClient`
+and the load generator all agree on placement without coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """Position of ``label`` on the 64-bit ring."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys onto a fixed node list.
+
+    Parameters
+    ----------
+    nodes:
+        Shard labels in index order (``["shard-0", "shard-1", ...]``); the
+        ring remembers each label's position so :meth:`index_for` answers the
+        original index.
+    replicas:
+        Virtual nodes per shard — more replicas, smoother balance and less
+        key movement when a shard joins or leaves.
+    """
+
+    def __init__(self, nodes: Sequence[str], replicas: int = 64) -> None:
+        if not nodes:
+            raise ValueError("HashRing needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("HashRing nodes must be unique")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.nodes: List[str] = list(nodes)
+        self.replicas = int(replicas)
+        self._index: Dict[str, int] = {node: i for i, node in enumerate(self.nodes)}
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(self.replicas):
+                points.append((_point(f"{node}#{replica}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [node for _, node in points]
+
+    def node_for(self, key: str) -> str:
+        """The shard label owning ``key`` (typically a model fingerprint)."""
+        position = bisect.bisect_right(self._points, _point(key))
+        if position == len(self._points):
+            position = 0
+        return self._owners[position]
+
+    def index_for(self, key: str) -> int:
+        """The shard *index* owning ``key`` (into the constructor's list)."""
+        return self._index[self.node_for(key)]
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """``{node: count}`` of how ``keys`` distribute over the ring."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(nodes={self.nodes!r}, replicas={self.replicas})"

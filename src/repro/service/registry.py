@@ -15,19 +15,42 @@ On-disk layout (one sub-directory per key under the registry root)::
         record.json          # owner, timestamps, revocation, fingerprints
         watermark_key.json   # WatermarkKey.save() metadata
         watermark_key.npz    # WatermarkKey.save() bulk arrays
+      <key_id>.corrupt/      # quarantined entry (unreadable record or arrays)
 
 A registry constructed without a root directory keeps everything in memory —
 that mode backs unit tests and ephemeral servers.
 
-All public methods are thread-safe: the asyncio server handles requests on
-its event loop while verification work runs on executor threads, and both
-sides consult the registry.
+Startup is *record-only*: only the small ``record.json`` files are read, never
+the bulk NPZ archives, so a shard fronting a million keys comes up in seconds.
+Key material is loaded lazily on first use (memory-mapped when the archive is
+uncompressed), held in a bounded LRU (``max_resident_keys``), and evicted
+under pressure — a persisted key can always be re-loaded from disk.  Corrupt
+entries are quarantined (directory renamed to ``<key_id>.corrupt``) instead of
+bricking the registry, both at startup (bad record) and lazily (bad arrays).
+
+Thread-safety and lock order
+----------------------------
+All public methods are thread-safe.  Three lock tiers exist, and nesting only
+ever goes downward through this list:
+
+1. per-fingerprint *stripe* locks — serialise disk I/O (load / persist) for
+   one model family, so ``/register`` and ``/verify`` on different families
+   never contend;
+2. the *index* lock — guards the record map, model index, and the maintained
+   O(1) counters behind :meth:`stats`;
+3. the *resident* lock — guards the LRU of loaded key material.
+
+The index lock is never held while acquiring a stripe lock (lookups snapshot
+the record first, then drop to the stripe), which keeps the order acyclic for
+the lock-witness harness.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -43,6 +66,7 @@ PathLike = Union[str, Path]
 logger = get_logger("service.registry")
 
 _RECORD_FILE = "record.json"
+_QUARANTINE_SUFFIX = ".corrupt"
 
 
 class RegistryError(RuntimeError):
@@ -137,16 +161,45 @@ class KeyRegistry:
     ----------
     root:
         Directory to persist into (created if missing; existing entries are
-        loaded eagerly).  ``None`` keeps the registry purely in memory.
+        indexed from their ``record.json`` only — bulk arrays load lazily).
+        ``None`` keeps the registry purely in memory.
+    max_resident_keys:
+        Upper bound on lazily-loaded key material held in memory at once
+        (least-recently-used eviction).  ``None`` (the default) never evicts.
+        Only meaningful with a ``root``: an in-memory registry has nowhere to
+        reload evicted material from, so it pins every registered key.
+    stripes:
+        Number of per-fingerprint lock stripes for disk I/O.
     """
 
-    def __init__(self, root: Optional[PathLike] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[PathLike] = None,
+        max_resident_keys: Optional[int] = None,
+        stripes: int = 16,
+    ) -> None:
+        if max_resident_keys is not None and max_resident_keys < 1:
+            raise ValueError("max_resident_keys must be >= 1 (or None)")
         self.root = Path(root) if root is not None else None
-        self._lock = threading.RLock()
-        self._keys: Dict[str, WatermarkKey] = {}
+        self.max_resident_keys = max_resident_keys
+        # Lock tiers — see the module docstring for the nesting order.
+        self._stripes = [threading.RLock() for _ in range(max(1, int(stripes)))]
+        self._index_lock = threading.RLock()
+        self._resident_lock = threading.RLock()
         self._records: Dict[str, KeyRecord] = {}
         # model_fingerprint -> [key_id, ...] in registration order
         self._by_model: Dict[str, List[str]] = {}
+        # Lazily-loaded key material, LRU order (oldest first).
+        self._resident: "OrderedDict[str, WatermarkKey]" = OrderedDict()
+        # Maintained counters (guarded by the index lock) keep stats() O(1).
+        self._active_count = 0
+        self._revoked_count = 0
+        self._multi_owner_models = 0
+        self._owner_counts: Dict[str, int] = {}
+        self._model_active: Dict[str, int] = {}
+        self._quarantined = 0
+        self._key_loads = 0
+        self._evictions = 0
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             self._load_existing()
@@ -155,35 +208,165 @@ class KeyRegistry:
     # Persistence
     # ------------------------------------------------------------------
     def _load_existing(self) -> None:
-        entries = sorted(p for p in self.root.iterdir() if (p / _RECORD_FILE).exists())
-        for entry in entries:
+        """Index persisted entries from their records — *no* bulk-NPZ reads.
+
+        A corrupt ``record.json`` (unparseable, or naming a different key id
+        than its directory) quarantines that entry and continues with the
+        rest; previously-quarantined ``*.corrupt`` directories are counted
+        but otherwise ignored.
+        """
+        loaded = 0
+        for entry in sorted(self.root.iterdir()):
+            if entry.name.endswith(_QUARANTINE_SUFFIX):
+                self._quarantined += 1
+                continue
+            if not (entry / _RECORD_FILE).exists():
+                continue
             try:
                 record = KeyRecord.from_dict(load_json(entry / _RECORD_FILE))
-                key = WatermarkKey.load(entry)
-            except (RegistryError, ValueError, FileNotFoundError, KeyError) as exc:
-                raise RegistryError(f"corrupt registry entry {entry}: {exc}") from exc
-            if record.key_id != entry.name:
-                raise RegistryError(
-                    f"registry entry {entry} holds record for {record.key_id!r}"
-                )
-            self._install(record, key)
-        if entries:
-            logger.info("loaded %d keys from %s", len(entries), self.root)
+                if record.key_id != entry.name:
+                    raise RegistryError(
+                        f"registry entry {entry} holds record for {record.key_id!r}"
+                    )
+            except (RegistryError, ValueError, KeyError, OSError) as exc:
+                self._quarantine(entry, reason=str(exc))
+                continue
+            self._install(record)
+            loaded += 1
+        if loaded:
+            logger.info("indexed %d key records from %s", loaded, self.root)
+
+    def _quarantine(self, entry: Path, reason: str) -> None:
+        """Rename a corrupt entry to ``<name>.corrupt`` and count it."""
+        target = entry.with_name(entry.name + _QUARANTINE_SUFFIX)
+        suffix = 1
+        while target.exists():
+            target = entry.with_name(f"{entry.name}{_QUARANTINE_SUFFIX}.{suffix}")
+            suffix += 1
+        try:
+            entry.rename(target)
+        except OSError as exc:  # pragma: no cover - depends on filesystem state
+            logger.error("could not quarantine %s: %s", entry, exc)
+        with self._index_lock:
+            self._quarantined += 1
+        logger.warning("quarantined corrupt registry entry %s: %s", entry, reason)
 
     def _persist(self, record: KeyRecord, key: WatermarkKey) -> None:
         entry = self.root / record.key_id
-        key.save(entry)
+        # Uncompressed so later lazy loads can memory-map the arrays.
+        key.save(entry, compressed=False)
         save_json(entry / _RECORD_FILE, record.to_dict())
 
     def _persist_record(self, record: KeyRecord) -> None:
         save_json(self.root / record.key_id / _RECORD_FILE, record.to_dict())
 
-    def _install(self, record: KeyRecord, key: WatermarkKey) -> None:
-        self._keys[record.key_id] = key
+    # ------------------------------------------------------------------
+    # Index bookkeeping (callers hold the index lock)
+    # ------------------------------------------------------------------
+    def _install(self, record: KeyRecord) -> None:
         self._records[record.key_id] = record
         siblings = self._by_model.setdefault(record.model_fingerprint, [])
         if record.key_id not in siblings:
             siblings.append(record.key_id)
+        if record.revoked:
+            self._revoked_count += 1
+        else:
+            self._active_count += 1
+            if record.owner:
+                self._owner_counts[record.owner] = (
+                    self._owner_counts.get(record.owner, 0) + 1
+                )
+            active = self._model_active.get(record.model_fingerprint, 0) + 1
+            self._model_active[record.model_fingerprint] = active
+            if active == 2:
+                self._multi_owner_models += 1
+
+    def _mark_revoked(self, record: KeyRecord) -> None:
+        record.revoked = True
+        self._active_count -= 1
+        self._revoked_count += 1
+        if record.owner:
+            remaining = self._owner_counts.get(record.owner, 1) - 1
+            if remaining <= 0:
+                self._owner_counts.pop(record.owner, None)
+            else:
+                self._owner_counts[record.owner] = remaining
+        active = self._model_active.get(record.model_fingerprint, 1) - 1
+        self._model_active[record.model_fingerprint] = active
+        if active == 1:
+            self._multi_owner_models -= 1
+
+    def _uninstall(self, record: KeyRecord) -> None:
+        """Drop one entry from the index (quarantine of a lazily-bad key)."""
+        if not record.revoked:
+            self._mark_revoked(record)
+            self._revoked_count -= 1
+        else:
+            self._revoked_count -= 1
+        self._records.pop(record.key_id, None)
+        siblings = self._by_model.get(record.model_fingerprint, [])
+        if record.key_id in siblings:
+            siblings.remove(record.key_id)
+        if not siblings:
+            self._by_model.pop(record.model_fingerprint, None)
+            self._model_active.pop(record.model_fingerprint, None)
+
+    # ------------------------------------------------------------------
+    # Lazy key-material residency
+    # ------------------------------------------------------------------
+    def _stripe(self, model_fingerprint: str) -> threading.RLock:
+        digest = hashlib.sha256(model_fingerprint.encode("utf-8")).digest()
+        return self._stripes[int.from_bytes(digest[:4], "big") % len(self._stripes)]
+
+    def _resident_get(self, key_id: str) -> Optional[WatermarkKey]:
+        with self._resident_lock:
+            key = self._resident.get(key_id)
+            if key is not None:
+                self._resident.move_to_end(key_id)
+            return key
+
+    def _resident_put(self, key_id: str, key: WatermarkKey) -> None:
+        evictable = self.root is not None and self.max_resident_keys is not None
+        with self._resident_lock:
+            self._resident[key_id] = key
+            self._resident.move_to_end(key_id)
+            if evictable:
+                while len(self._resident) > self.max_resident_keys:
+                    evicted, _ = self._resident.popitem(last=False)
+                    self._evictions += 1
+                    logger.debug("evicted resident key %s", evicted)
+
+    def _load_key(self, record: KeyRecord) -> WatermarkKey:
+        """Load ``record``'s key material from disk (caller holds no locks).
+
+        Serialised per fingerprint stripe; a second caller racing on the same
+        key finds it resident after the first finishes.  A corrupt archive
+        quarantines the entry and surfaces as :class:`RegistryError`.
+        """
+        if self.root is None:
+            raise RegistryError(
+                f"key material for {record.key_id!r} is not resident "
+                "(in-memory registry has no disk to load from)"
+            )
+        with self._stripe(record.model_fingerprint):
+            key = self._resident_get(record.key_id)
+            if key is not None:
+                return key
+            entry = self.root / record.key_id
+            try:
+                key = WatermarkKey.load(entry, mmap=True)
+            except (FileNotFoundError, ValueError) as exc:
+                self._quarantine(entry, reason=str(exc))
+                with self._index_lock:
+                    if record.key_id in self._records:
+                        self._uninstall(record)
+                raise RegistryError(
+                    f"corrupt registry entry {entry}: {exc}"
+                ) from exc
+            with self._index_lock:
+                self._key_loads += 1
+            self._resident_put(record.key_id, key)
+            return key
 
     # ------------------------------------------------------------------
     # Mutation
@@ -201,13 +384,15 @@ class KeyRegistry:
         registration cannot silently seize someone else's key).
         """
         key_id = key.fingerprint()
-        with self._lock:
-            existing = self._records.get(key_id)
+        model_fp = key.model_fingerprint()
+        with self._stripe(model_fp):
+            with self._index_lock:
+                existing = self._records.get(key_id)
             if existing is not None:
                 return existing
             record = KeyRecord(
                 key_id=key_id,
-                model_fingerprint=key.model_fingerprint(),
+                model_fingerprint=model_fp,
                 owner=owner,
                 created_at=time.time(),
                 total_bits=key.total_bits,
@@ -218,22 +403,26 @@ class KeyRegistry:
                 co_residents=list(key.metadata.get("co_residents", [])),
                 metadata=dict(metadata or {}),
             )
-            self._install(record, key)
             if self.root is not None:
                 self._persist(record, key)
-            logger.info("registered key %s (owner=%r, model=%s)", key_id, owner, key.model_name)
+            with self._index_lock:
+                self._install(record)
+            self._resident_put(key_id, key)
+            logger.info(
+                "registered key %s (owner=%r, model=%s)", key_id, owner, key.model_name
+            )
             return record
 
     def revoke(self, key_id: str) -> KeyRecord:
         """Mark a key as revoked (it stays on disk but stops being served)."""
-        with self._lock:
+        with self._index_lock:
             record = self._record_or_raise(key_id)
             if not record.revoked:
-                record.revoked = True
+                self._mark_revoked(record)
                 if self.root is not None:
                     self._persist_record(record)
                 logger.info("revoked key %s", key_id)
-            return record
+        return record
 
     # ------------------------------------------------------------------
     # Lookup
@@ -245,19 +434,26 @@ class KeyRegistry:
         return record
 
     def get_key(self, key_id: str) -> WatermarkKey:
-        """The key material for ``key_id`` (raises :class:`RegistryError`)."""
-        with self._lock:
-            self._record_or_raise(key_id)
-            return self._keys[key_id]
+        """The key material for ``key_id`` (raises :class:`RegistryError`).
+
+        Loads lazily from disk on first use and keeps the result resident
+        (subject to the ``max_resident_keys`` LRU bound).
+        """
+        with self._index_lock:
+            record = self._record_or_raise(key_id)
+        key = self._resident_get(key_id)
+        if key is not None:
+            return key
+        return self._load_key(record)
 
     def get_record(self, key_id: str) -> KeyRecord:
         """The record for ``key_id`` (raises :class:`RegistryError`)."""
-        with self._lock:
+        with self._index_lock:
             return self._record_or_raise(key_id)
 
     def records(self) -> List[KeyRecord]:
         """All records in registration order (revoked included)."""
-        with self._lock:
+        with self._index_lock:
             return list(self._records.values())
 
     def active_keys(self, key_ids: Optional[List[str]] = None) -> Dict[str, WatermarkKey]:
@@ -267,29 +463,41 @@ class KeyRegistry:
         an unknown or revoked id raises, so a verification request can never
         silently run against fewer keys than it named.
         """
-        with self._lock:
+        with self._index_lock:
             if key_ids is None:
-                return {
-                    kid: self._keys[kid]
-                    for kid, record in self._records.items()
+                wanted = [
+                    record
+                    for record in self._records.values()
                     if not record.revoked
-                }
-            selected: Dict[str, WatermarkKey] = {}
-            for kid in key_ids:
-                record = self._record_or_raise(kid)
-                if record.revoked:
-                    raise RegistryError(f"key {kid!r} is revoked")
-                selected[kid] = self._keys[kid]
-            return selected
+                ]
+            else:
+                wanted = []
+                for kid in key_ids:
+                    record = self._record_or_raise(kid)
+                    if record.revoked:
+                        raise RegistryError(f"key {kid!r} is revoked")
+                    wanted.append(record)
+        selected: Dict[str, WatermarkKey] = {}
+        for record in wanted:
+            key = self._resident_get(record.key_id)
+            selected[record.key_id] = (
+                key if key is not None else self._load_key(record)
+            )
+        return selected
 
     def keys_for_model(self, fingerprint: str) -> Dict[str, WatermarkKey]:
         """Active keys registered against one model-identity fingerprint."""
-        with self._lock:
-            return {
-                kid: self._keys[kid]
+        with self._index_lock:
+            wanted = [
+                self._records[kid]
                 for kid in self._by_model.get(fingerprint, [])
                 if not self._records[kid].revoked
-            }
+            ]
+        out: Dict[str, WatermarkKey] = {}
+        for record in wanted:
+            key = self._resident_get(record.key_id)
+            out[record.key_id] = key if key is not None else self._load_key(record)
+        return out
 
     def records_for_model(self, fingerprint: str) -> List[KeyRecord]:
         """Active records against one model fingerprint, registration order.
@@ -298,12 +506,17 @@ class KeyRegistry:
         of a shared base answers here, each with its owner identity, so an
         incoming suspect can be ranked across all claimants of its family.
         """
-        with self._lock:
+        with self._index_lock:
             return [
                 self._records[kid]
                 for kid in self._by_model.get(fingerprint, [])
                 if not self._records[kid].revoked
             ]
+
+    def model_fingerprints(self) -> List[str]:
+        """All model fingerprints with at least one registered key (sorted)."""
+        with self._index_lock:
+            return sorted(self._by_model)
 
     def owners_for_model(self, fingerprint: str) -> Dict[str, str]:
         """``{key_id: owner}`` of the active keys on one model fingerprint."""
@@ -311,35 +524,40 @@ class KeyRegistry:
 
     def owner_of(self, key_id: str) -> str:
         """Registered owner identity of one key (raises for unknown ids)."""
-        with self._lock:
+        with self._index_lock:
             return self._record_or_raise(key_id).owner
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        with self._lock:
+        with self._index_lock:
             return len(self._records)
 
     def __contains__(self, key_id: str) -> bool:
-        with self._lock:
+        with self._index_lock:
             return key_id in self._records
 
+    def resident_count(self) -> int:
+        """Number of keys whose bulk material is currently loaded."""
+        with self._resident_lock:
+            return len(self._resident)
+
     def stats(self) -> Dict[str, object]:
-        """JSON-able summary for the ``/stats`` endpoint."""
-        with self._lock:
-            revoked = sum(1 for record in self._records.values() if record.revoked)
-            multi_owner_models = sum(
-                1
-                for kids in self._by_model.values()
-                if sum(1 for kid in kids if not self._records[kid].revoked) > 1
-            )
-            return {
+        """JSON-able summary for the ``/stats`` endpoint — O(1), counters only."""
+        with self._index_lock:
+            summary = {
                 "keys": len(self._records),
-                "active": len(self._records) - revoked,
-                "revoked": revoked,
+                "active": self._active_count,
+                "revoked": self._revoked_count,
                 "models": len(self._by_model),
-                "multi_owner_models": multi_owner_models,
-                "owners": len({r.owner for r in self._records.values() if not r.revoked and r.owner}),
+                "multi_owner_models": self._multi_owner_models,
+                "owners": len(self._owner_counts),
                 "persistent": self.root is not None,
+                "quarantined": self._quarantined,
+                "key_loads": self._key_loads,
+                "evictions": self._evictions,
+                "max_resident_keys": self.max_resident_keys,
             }
+        summary["resident"] = self.resident_count()
+        return summary

@@ -63,8 +63,7 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple, Union
-from urllib.parse import parse_qs, urlsplit
+from typing import AsyncIterator, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -82,6 +81,15 @@ from repro.service.dispatch import (
     TokenBucket,
     VerifyJob,
 )
+from repro.service.http import (
+    ERROR_CODES as _ERROR_CODES,
+    REASONS as _REASONS,
+    AsyncHttpServer,
+    HttpError as _HttpError,
+    Route as _Route,
+    StreamingResponse as _StreamingResponse,
+    error_envelope as _error_envelope,
+)
 from repro.service.jobs import Job, JobLimitError, JobManager
 from repro.service.registry import KeyRegistry, RegistryError
 from repro.utils.logging import get_logger
@@ -90,8 +98,6 @@ __all__ = ["ServiceConfig", "VerificationServer", "ServerHandle", "run_in_backgr
 
 logger = get_logger("service.server")
 
-_MAX_HEADER_BYTES = 64 * 1024
-_MAX_BODY_BYTES = 256 * 1024 * 1024
 _VERIFY_TIMEOUT_S = 120.0
 _GAUNTLET_TIMEOUT_S = 300.0
 #: Report-size sanity ceiling for one /robustness request.  Since sweeps
@@ -146,31 +152,6 @@ _SERVER_COUNTERS = {
         "repro_server_legacy_requests_total",
         "requests served via deprecated unversioned paths",
     ),
-}
-
-#: Reason phrases for every status the server can answer with.
-_REASONS = {
-    200: "OK",
-    202: "Accepted",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    409: "Conflict",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-#: Default machine-readable error codes per status — ``_HttpError.code``
-#: overrides these when a handler has something more specific to say.
-_ERROR_CODES = {
-    400: "invalid_request",
-    404: "not_found",
-    405: "method_not_allowed",
-    409: "conflict",
-    429: "rate_limited",
-    500: "internal",
-    503: "unavailable",
 }
 
 
@@ -238,96 +219,6 @@ def _model_content_id(model: QuantizedModel) -> str:
         hasher.update(name.encode("utf-8"))
         hasher.update(np.ascontiguousarray(model.get_layer(name).weight_int).tobytes())
     return hasher.hexdigest()[:12]
-
-
-class _HttpError(Exception):
-    """Internal: converts to the uniform JSON error envelope.
-
-    ``counter`` names the server stat the error should increment; when left
-    ``None`` the status code picks the default bucket.  ``code`` overrides
-    the status-derived machine-readable code and ``retry_after`` (seconds)
-    tells backoff-aware clients when trying again is worthwhile.
-    """
-
-    def __init__(
-        self,
-        status: int,
-        message: str,
-        counter: Optional[str] = None,
-        code: Optional[str] = None,
-        retry_after: Optional[float] = None,
-    ) -> None:
-        super().__init__(message)
-        self.status = status
-        self.counter = counter
-        self.code = code
-        self.retry_after = retry_after
-
-
-def _error_envelope(
-    status: int,
-    message: str,
-    code: Optional[str] = None,
-    retry_after: Optional[float] = None,
-) -> Dict[str, object]:
-    """The one error body every endpoint answers with."""
-    error: Dict[str, object] = {
-        "code": code or _ERROR_CODES.get(status, "error"),
-        "message": message,
-    }
-    if retry_after is not None:
-        error["retry_after"] = float(retry_after)
-    return {"error": error}
-
-
-class _StreamingResponse:
-    """A chunked response whose body is an async byte-chunk generator.
-
-    Handlers return one of these instead of ``(status, payload)`` when the
-    body must be written incrementally (the job event stream); the
-    connection loop switches to ``Transfer-Encoding: chunked`` framing.
-    """
-
-    def __init__(
-        self,
-        status: int,
-        body: AsyncIterator[bytes],
-        content_type: str = "application/x-ndjson",
-        headers: Optional[Dict[str, str]] = None,
-    ) -> None:
-        self.status = status
-        self.body = body
-        self.content_type = content_type
-        self.headers = dict(headers or {})
-
-
-class _Route:
-    """One (method, path pattern) entry of the routing table.
-
-    Patterns are literal segments with ``{param}`` placeholders
-    (``/v1/jobs/{job_id}/events``); matching is segment-exact, captured
-    parameters are handed to the handler.  ``legacy`` marks the deprecated
-    unversioned aliases — they answer with a ``Deprecation`` header and
-    count into ``repro_server_legacy_requests_total``.
-    """
-
-    def __init__(self, method: str, pattern: str, handler, legacy: bool = False) -> None:
-        self.method = method
-        self.pattern = pattern
-        self.handler = handler
-        self.legacy = legacy
-        self._segments = [seg for seg in pattern.split("/") if seg]
-
-    def match(self, segments: Sequence[str]) -> Optional[Dict[str, str]]:
-        if len(segments) != len(self._segments):
-            return None
-        params: Dict[str, str] = {}
-        for expected, actual in zip(self._segments, segments):
-            if expected.startswith("{") and expected.endswith("}"):
-                params[expected[1:-1]] = actual
-            elif expected != actual:
-                return None
-        return params
 
 
 class _GauntletRequest:
@@ -435,7 +326,7 @@ class ServiceConfig:
         self.job_max_active = int(job_max_active)
 
 
-class VerificationServer:
+class VerificationServer(AsyncHttpServer):
     """The ownership-verification service.
 
     Parameters
@@ -485,7 +376,8 @@ class VerificationServer:
             max_active=self.config.job_max_active,
             metrics=self.metrics,
         )
-        self._routes = self._build_routes()
+        # Shared HTTP plumbing (routes, listener, connection handling).
+        super().__init__(self.config.host, self.config.port)
         # Suspect store: uploaded deployment snapshots, addressed by id.
         # LRU-bounded so a long-running server cannot be grown to OOM by
         # repeated uploads under fresh ids.
@@ -496,10 +388,6 @@ class VerificationServer:
         self._inline_ids = itertools.count(1)
         # Touched only from the event-loop thread (handler + done callback).
         self._gauntlets_inflight = 0
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._connections: set = set()
-        self.port: Optional[int] = None
-        self.started_at: Optional[float] = None
         # Server counters live on the metrics registry; /stats reads the same
         # instruments /metrics exposes (keyed here by their legacy stat name).
         self._counters = {
@@ -592,6 +480,29 @@ class VerificationServer:
                 help="watermark keys currently active",
             ),
             Sample(
+                "repro_registry_resident_keys",
+                registry["resident"],
+                help="keys whose bulk material is currently loaded",
+            ),
+            Sample(
+                "repro_registry_key_loads_total",
+                registry["key_loads"],
+                kind="counter",
+                help="lazy key-material loads from disk",
+            ),
+            Sample(
+                "repro_registry_evictions_total",
+                registry["evictions"],
+                kind="counter",
+                help="resident keys evicted by the LRU bound",
+            ),
+            Sample(
+                "repro_registry_quarantined_total",
+                registry["quarantined"],
+                kind="counter",
+                help="corrupt registry entries quarantined",
+            ),
+            Sample(
                 "repro_suspects_stored",
                 num_suspects,
                 help="suspect snapshots currently stored",
@@ -619,26 +530,13 @@ class VerificationServer:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the listening socket and start the dispatcher."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=self.config.host, port=self.config.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-        self.started_at = time.time()
+        await super().start()
         self.dispatcher.start()
         logger.info("verification server listening on %s:%d", self.config.host, self.port)
 
     async def stop(self) -> None:
         """Stop accepting, close open connections, stop the dispatcher."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        # Cancel in-flight handlers (idle keep-alive connections would
-        # otherwise be destroyed mid-task when the loop shuts down).
-        for task in list(self._connections):
-            task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
+        await super().stop()
         # Cooperative job shutdown: running sweeps see the cancel flag at
         # their next cell boundary and their checkpoints keep every finished
         # cell — a resubmitted job resumes from disk.  Joining the workers
@@ -651,201 +549,14 @@ class VerificationServer:
         await self.dispatcher.stop()
         self.audit.close()
 
-    async def serve_forever(self) -> None:
-        """Run until cancelled (the CLI entry point)."""
-        if self._server is None:
-            await self.start()
-        async with self._server:
-            await self._server.serve_forever()
-
     # ------------------------------------------------------------------
-    # HTTP plumbing
+    # Request accounting (hooks called by the shared HTTP plumbing)
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._connections.add(asyncio.current_task())
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except _HttpError as exc:
-                    # Unparseable framing (e.g. a bad Content-Length): answer
-                    # once, then drop the connection — the stream position is
-                    # no longer trustworthy.
-                    self._counters["requests_total"].inc()
-                    self._counters["errors"].inc()
-                    await self._write_response(
-                        writer, exc.status, _error_envelope(exc.status, str(exc)), False
-                    )
-                    break
-                if request is None:
-                    break
-                method, path, headers, body = request
-                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                self._counters["requests_total"].inc()
-                started = time.perf_counter()
-                response: Union[Tuple[int, object, Dict[str, str]], _StreamingResponse]
-                try:
-                    response = await self._route(method, path, body)
-                except _HttpError as exc:
-                    response = (
-                        exc.status,
-                        _error_envelope(exc.status, str(exc), exc.code, exc.retry_after),
-                        {},
-                    )
-                    if exc.counter is not None:
-                        self._counters[exc.counter].inc()
-                    elif exc.status == 429:
-                        self._counters["rejected_rate_limit"].inc()
-                    elif exc.status == 503:
-                        self._counters["rejected_queue_full"].inc()
-                    else:
-                        self._counters["errors"].inc()
-                except Exception as exc:  # route bug — keep serving
-                    logger.exception("unhandled error on %s %s", method, path)
-                    response = (
-                        500,
-                        _error_envelope(500, f"{type(exc).__name__}: {exc}"),
-                        {},
-                    )
-                    self._counters["errors"].inc()
-                self._request_latency.observe(time.perf_counter() - started)
-                if isinstance(response, _StreamingResponse):
-                    await self._write_stream(writer, response, keep_alive)
-                else:
-                    status, payload, extra_headers = response
-                    await self._write_response(
-                        writer, status, payload, keep_alive, extra_headers
-                    )
-                if not keep_alive:
-                    break
-        except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
-            pass
-        except asyncio.CancelledError:
-            pass  # server shutdown
-        finally:
-            self._connections.discard(asyncio.current_task())
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except Exception:
-                pass
+    def _count(self, stat: str) -> None:
+        self._counters[stat].inc()
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        try:
-            request_line = await reader.readline()
-        except ValueError:
-            # StreamReader wraps a line longer than its buffer limit into a
-            # bare ValueError — answer 400 instead of crashing the task.
-            raise _HttpError(400, "request line too long") from None
-        if not request_line:
-            return None
-        try:
-            method, target, _version = request_line.decode("latin-1").split(None, 2)
-        except ValueError:
-            raise _HttpError(400, "malformed request line") from None
-        headers: Dict[str, str] = {}
-        header_bytes = 0
-        while True:
-            try:
-                line = await reader.readline()
-            except ValueError:
-                raise _HttpError(400, "header line too long") from None
-            header_bytes += len(line)
-            if header_bytes > _MAX_HEADER_BYTES:
-                raise _HttpError(400, "header section too large")
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            raise _HttpError(400, "invalid Content-Length header") from None
-        if length < 0 or length > _MAX_BODY_BYTES:
-            raise _HttpError(400, f"body exceeds the {_MAX_BODY_BYTES}-byte limit")
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), target, headers, body
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: Union[Dict[str, object], str],
-        keep_alive: bool,
-        extra_headers: Optional[Dict[str, str]] = None,
-    ) -> None:
-        if isinstance(payload, str):
-            # Prometheus text exposition (GET /metrics) — everything else
-            # the server speaks is JSON.
-            body = payload.encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            body = json.dumps(payload).encode("utf-8")
-            content_type = "application/json"
-        lines = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Response')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in (extra_headers or {}).items():
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-
-    async def _write_stream(
-        self,
-        writer: asyncio.StreamWriter,
-        response: _StreamingResponse,
-        keep_alive: bool,
-    ) -> None:
-        """Write a chunked response, one transfer-chunk per generator yield.
-
-        Each NDJSON line goes out as its own chunk, so a client tailing the
-        job event stream sees cell verdicts as they complete, not when the
-        sweep ends.  ``http.client`` (and every real HTTP client) strips the
-        chunk framing transparently.
-        """
-        lines = [
-            f"HTTP/1.1 {response.status} {_REASONS.get(response.status, 'Response')}",
-            f"Content-Type: {response.content_type}",
-            "Transfer-Encoding: chunked",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in response.headers.items():
-            lines.append(f"{name}: {value}")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
-        await writer.drain()
-        body = response.body
-        try:
-            async for chunk in body:
-                if not chunk:
-                    continue
-                writer.write(f"{len(chunk):X}\r\n".encode("latin-1") + chunk + b"\r\n")
-                await writer.drain()
-            writer.write(b"0\r\n\r\n")
-            await writer.drain()
-        finally:
-            aclose = getattr(body, "aclose", None)
-            if aclose is not None:
-                await aclose()
-
-    @staticmethod
-    def _json_body(body: bytes) -> Dict[str, object]:
-        if not body:
-            raise _HttpError(400, "request body must be JSON")
-        try:
-            parsed = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _HttpError(400, f"invalid JSON body: {exc}") from exc
-        if not isinstance(parsed, dict):
-            raise _HttpError(400, "JSON body must be an object")
-        return parsed
+    def _observe_latency(self, seconds: float) -> None:
+        self._request_latency.observe(seconds)
 
     # ------------------------------------------------------------------
     # Routing
@@ -862,6 +573,7 @@ class VerificationServer:
             ("GET", "/v1/stats", self._handle_stats),
             ("GET", "/v1/metrics", self._handle_metrics),
             ("GET", "/v1/keys", self._handle_keys),
+            ("GET", "/v1/audit", self._handle_occupancy_audit),
             ("DELETE", "/v1/keys/{key_id}", self._handle_delete_key),
             ("POST", "/v1/register", self._handle_register),
             ("POST", "/v1/suspects", self._handle_suspects),
@@ -888,40 +600,6 @@ class VerificationServer:
         return [_Route(m, p, h) for m, p, h in v1] + [
             _Route(m, p, h, legacy=True) for m, p, h in legacy
         ]
-
-    async def _route(
-        self, method: str, target: str, body: bytes
-    ) -> Union[Tuple[int, object, Dict[str, str]], _StreamingResponse]:
-        parts = urlsplit(target)
-        path = parts.path
-        # keep_blank_values so the bare `?ready` readiness flag survives.
-        query = parse_qs(parts.query, keep_blank_values=True)
-        segments = [seg for seg in path.split("/") if seg]
-        path_matched = False
-        for route in self._routes:
-            params = route.match(segments)
-            if params is None:
-                continue
-            path_matched = True
-            if route.method != method:
-                continue
-            if route.legacy:
-                self._counters["legacy_requests"].inc()
-            result = route.handler(body, params, query)
-            if asyncio.iscoroutine(result):
-                result = await result
-            if isinstance(result, _StreamingResponse):
-                if route.legacy:
-                    result.headers.setdefault("Deprecation", "true")
-                return result
-            status, payload = result[0], result[1]
-            headers: Dict[str, str] = dict(result[2]) if len(result) > 2 else {}
-            if route.legacy:
-                headers.setdefault("Deprecation", "true")
-            return status, payload, headers
-        if path_matched:
-            raise _HttpError(405, f"method {method} not allowed on {path}")
-        raise _HttpError(404, f"unknown endpoint {path}")
 
     # ------------------------------------------------------------------
     # Handlers
@@ -996,6 +674,24 @@ class VerificationServer:
         if wanted:
             records = [r for r in records if r.model_fingerprint in wanted]
         return 200, {"keys": [record.to_dict() for record in records]}
+
+    async def _handle_occupancy_audit(
+        self, _body: bytes, _params: Dict[str, str], _query
+    ) -> Tuple[int, Dict[str, object]]:
+        """Re-verify slot disjointness of every co-resident key set.
+
+        Reproduces each registered key's locations through the engine (plan
+        cache makes repeats cheap) and answers with per-fingerprint verdicts
+        plus a shard-count-stable digest; the fleet router merges these per
+        shard into ``GET /v1/fleet/audit``.
+        """
+        from repro.service.fleet.audit import occupancy_audit
+
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, lambda: occupancy_audit(self.registry, self.engine)
+        )
+        return 200, {"audit": report.to_dict()}
 
     async def _handle_register(self, body: bytes, _params: Dict[str, str], _query) -> Tuple[int, Dict[str, object]]:
         payload = self._json_body(body)
@@ -1528,24 +1224,31 @@ class VerificationServer:
             "suspect_id": request.suspect_id,
             "key_id": request.key_id,
         }
-
-        def run_sweep(job: Job):
-            ckpt = None
-            if checkpoint_dir is not None:
-                # Content-addressed checkpoint: the fingerprint folds in the
-                # suspect's weight digest, so the same grid over a *different*
-                # upload can never resume a stale file.
-                fingerprint = gauntlet.grid_fingerprint_for(
+        fingerprint: Optional[str] = None
+        ckpt_path: Optional[Path] = None
+        if checkpoint_dir is not None:
+            # Content-addressed checkpoint: the fingerprint folds in the
+            # suspect's weight digest, so the same grid over a *different*
+            # upload can never resume a stale file.  Computed here (hashing
+            # happens off the event loop) so the 202 status already names
+            # the checkpoint, before the worker has picked the job up.
+            loop = asyncio.get_running_loop()
+            fingerprint = await loop.run_in_executor(
+                None,
+                lambda: gauntlet.grid_fingerprint_for(
                     subjects,
                     request.attacks,
                     request.strengths or None,
                     extra={"suspect_content": _model_content_id(request.suspect)},
-                )
-                ckpt = CellCheckpoint(
-                    checkpoint_dir / f"{fingerprint[:16]}.jsonl",
-                    fingerprint=fingerprint,
-                )
-                job.meta["checkpoint"] = str(ckpt.path)
+                ),
+            )
+            ckpt_path = checkpoint_dir / f"{fingerprint[:16]}.jsonl"
+            meta["checkpoint"] = str(ckpt_path)
+
+        def run_sweep(job: Job):
+            ckpt = None
+            if ckpt_path is not None:
+                ckpt = CellCheckpoint(ckpt_path, fingerprint=fingerprint)
 
             def on_cell(cell, replayed: bool) -> None:
                 self._record_cell_decision(
@@ -1702,16 +1405,20 @@ class VerificationServer:
 # Background runner (tests, examples, load generator)
 # ----------------------------------------------------------------------
 class ServerHandle:
-    """A :class:`VerificationServer` running on a dedicated event-loop thread.
+    """An :class:`AsyncHttpServer` running on a dedicated event-loop thread.
 
-    Created via :func:`run_in_background`; usable as a context manager::
+    Works for any server built on the shared HTTP plumbing — a
+    :class:`VerificationServer` shard or a fleet
+    :class:`~repro.service.fleet.router.ShardRouter`.  Created via
+    :func:`run_in_background` (or directly for non-default servers); usable
+    as a context manager::
 
         with run_in_background(server) as handle:
             client = VerificationClient(port=handle.port)
             ...
     """
 
-    def __init__(self, server: VerificationServer) -> None:
+    def __init__(self, server: AsyncHttpServer) -> None:
         self.server = server
         self._loop = asyncio.new_event_loop()
         self._ready = threading.Event()

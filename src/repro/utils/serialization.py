@@ -11,12 +11,20 @@ Two formats are used:
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
 import numpy as np
 
-__all__ = ["save_json", "load_json", "save_npz", "load_npz", "to_jsonable"]
+__all__ = [
+    "save_json",
+    "load_json",
+    "save_npz",
+    "load_npz",
+    "load_npz_mmap",
+    "to_jsonable",
+]
 
 PathLike = Union[str, Path]
 
@@ -60,11 +68,22 @@ def load_json(path: PathLike) -> Any:
     return json.loads(Path(path).read_text())
 
 
-def save_npz(path: PathLike, arrays: Dict[str, np.ndarray]) -> Path:
-    """Save a dictionary of arrays to a compressed ``.npz`` archive."""
+def save_npz(
+    path: PathLike, arrays: Dict[str, np.ndarray], compressed: bool = True
+) -> Path:
+    """Save a dictionary of arrays to an ``.npz`` archive.
+
+    ``compressed=False`` writes ``ZIP_STORED`` members, which
+    :func:`load_npz_mmap` can map directly into the page cache instead of
+    decompressing into anonymous memory — the format the lazy key registry
+    uses so resident key material stays evictable by the OS.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **arrays)
+    if compressed:
+        np.savez_compressed(path, **arrays)
+    else:
+        np.savez(path, **arrays)
     return path
 
 
@@ -72,3 +91,78 @@ def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
     """Load an ``.npz`` archive into a plain dictionary of arrays."""
     with np.load(Path(path), allow_pickle=False) as handle:
         return {key: handle[key] for key in handle.files}
+
+
+def _mmap_member(
+    path: Path, info: zipfile.ZipInfo
+) -> Union[np.ndarray, None]:
+    """Memory-map one ``ZIP_STORED`` ``.npy`` member of an archive, or ``None``.
+
+    Returns ``None`` whenever the member cannot be mapped safely (compressed,
+    object dtype, unfamiliar ``.npy`` header version) so the caller can fall
+    back to an ordinary in-memory read.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    with open(path, "rb") as handle:
+        # The local file header is 30 fixed bytes followed by the (variable
+        # length) file name and extra field; the raw member payload starts
+        # immediately after.  ZIP_STORED payloads are byte-identical to the
+        # embedded ``.npy`` file, so the array body can be mapped in place.
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            return None
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        try:
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+        except ValueError:
+            return None
+        if dtype.hasobject:
+            return None
+        offset = handle.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def load_npz_mmap(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` archive, memory-mapping members where possible.
+
+    Uncompressed (``ZIP_STORED``) members come back as read-only
+    :class:`numpy.memmap` views backed by the archive file; compressed or
+    otherwise unmappable members are read into memory exactly like
+    :func:`load_npz`.  Mixed archives therefore always load — mapping is an
+    optimisation, never a requirement.
+    """
+    path = Path(path)
+    out: Dict[str, np.ndarray] = {}
+    fallback: list[str] = []
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            mapped = _mmap_member(path, info)
+            if mapped is None:
+                fallback.append(name)
+            else:
+                out[name] = mapped
+    if fallback:
+        with np.load(path, allow_pickle=False) as handle:
+            for name in fallback:
+                out[name] = handle[name]
+    return out

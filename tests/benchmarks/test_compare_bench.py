@@ -92,6 +92,34 @@ def service_report(**overrides):
     return report
 
 
+def fleet_report(**overrides):
+    digest = "dec-" + "a" * 20
+    audit = "aud-" + "b" * 20
+    report = {
+        "benchmark": "service_fleet",
+        "smoke": True,
+        "cpu_count": 8,
+        "fleet": {"model_families": 4, "keys": 4},
+        "shard_counts": [1, 2, 4],
+        "shard_levels": {
+            "1": {"throughput_rps": 40.0},
+            "2": {"throughput_rps": 60.0},
+            "4": {"throughput_rps": 80.0},
+        },
+        "speedup_4_vs_1": 2.0,
+        "decision_digest_single": digest,
+        "decision_digests_by_shards": {"1": digest, "2": digest, "4": digest},
+        "decision_digests_equal": True,
+        "audit_digests_by_shards": {"1": audit, "2": audit, "4": audit},
+        "audit_digests_equal": True,
+        "registry_scale": {"x1000": {"keys": 1000}},
+        "registry_cold_start_key_loads_x1000": 0,
+        "registry_cold_start_resident_x1000": 0,
+    }
+    report.update(overrides)
+    return report
+
+
 def jobs_report(**overrides):
     digest = "a" * 64
     report = {
@@ -114,7 +142,14 @@ def jobs_report(**overrides):
 
 class TestSchemaValidation:
     @pytest.mark.parametrize(
-        "factory", [gauntlet_report, engine_report, service_report, jobs_report]
+        "factory",
+        [
+            gauntlet_report,
+            engine_report,
+            service_report,
+            fleet_report,
+            jobs_report,
+        ],
     )
     def test_valid_reports_pass(self, factory):
         assert compare_bench.evaluate_report(factory()) == []
@@ -272,6 +307,83 @@ class TestEngineAndServiceGates:
             service_report(smoke=False, warm_over_cold_speedup=0.5)
         )
         assert any("warm-over-cold" in p for p in problems)
+
+
+class TestServiceFleetGates:
+    """The sharded-fleet bars: bit-identity and lazy residency are
+    unconditional; the 4-shard speedup floor applies only measured on a
+    wide-enough host."""
+
+    def test_decision_divergence_flag_gates_even_in_smoke(self):
+        problems = compare_bench.evaluate_report(
+            fleet_report(decision_digests_equal=False)
+        )
+        assert any("diverged from the unsharded server" in p for p in problems)
+
+    def test_digest_fields_must_agree_with_the_flag(self):
+        # decision_digests_equal=True but a per-shard digest differs: the
+        # cross-check catches a benchmark that computes the flag wrong.
+        by_shards = {"1": "dec-" + "a" * 20, "2": "dec-" + "c" * 20}
+        problems = compare_bench.evaluate_report(
+            fleet_report(decision_digests_by_shards=by_shards)
+        )
+        assert any("2-shard decision digest" in p for p in problems)
+
+    def test_audit_digest_instability_fails(self):
+        problems = compare_bench.evaluate_report(
+            fleet_report(audit_digests_equal=False)
+        )
+        assert any("occupancy-audit digest changed" in p for p in problems)
+
+    def test_audit_digest_set_cross_checked(self):
+        audits = {"1": "aud-" + "b" * 20, "2": "aud-" + "d" * 20}
+        problems = compare_bench.evaluate_report(
+            fleet_report(audit_digests_by_shards=audits)
+        )
+        assert any("more than one digest" in p for p in problems)
+
+    def test_shard_level_without_throughput_fails(self):
+        report = fleet_report()
+        report["shard_levels"]["2"] = {"throughput_rps": 0.0}
+        problems = compare_bench.evaluate_report(report)
+        assert any("shard level '2'" in p for p in problems)
+
+    def test_cold_start_npz_loads_fail_even_in_smoke(self):
+        # Lazy residency is structural: re-opening a x1000 registry must
+        # read zero archives regardless of mode.
+        problems = compare_bench.evaluate_report(
+            fleet_report(registry_cold_start_key_loads_x1000=1000)
+        )
+        assert any("bulk NPZ loads" in p for p in problems)
+
+    def test_cold_start_resident_keys_fail_even_in_smoke(self):
+        problems = compare_bench.evaluate_report(
+            fleet_report(registry_cold_start_resident_x1000=7)
+        )
+        assert any("keys resident" in p for p in problems)
+
+    def test_speedup_bar_is_1_5x_at_4_shards(self):
+        assert compare_bench.MIN_FLEET_SPEEDUP_MEASURED == 1.5
+        assert compare_bench.FLEET_SPEEDUP_SHARDS == 4
+        problems = compare_bench.evaluate_report(
+            fleet_report(smoke=False, speedup_4_vs_1=1.4)
+        )
+        assert any("4-shard fleet speedup" in p for p in problems)
+        assert compare_bench.evaluate_report(
+            fleet_report(smoke=False, speedup_4_vs_1=1.5)
+        ) == []
+
+    def test_speedup_gate_skipped_in_smoke_mode(self):
+        assert compare_bench.evaluate_report(
+            fleet_report(speedup_4_vs_1=0.4)
+        ) == []
+
+    def test_speedup_gate_skipped_below_shard_width(self):
+        # A narrow host cannot run 4 shards in parallel; the bar only
+        # applies when the core count clears the shard width.
+        assert compare_bench.evaluate_report(
+            fleet_report(smoke=False, cpu_count=2, speedup_4_vs_1=0.8)
+        ) == []
 
 
 class TestServiceJobsGates:

@@ -31,7 +31,7 @@ class TestHelp:
     @pytest.mark.parametrize("args", [("--help",), ("insert", "--help"),
                                       ("serve", "--help"),
                                       ("verify", "--help"), ("loadgen", "--help"),
-                                      ("gauntlet", "--help")])
+                                      ("gauntlet", "--help"), ("audit", "--help")])
     def test_help_exits_zero(self, args):
         result = _run_cli(*args)
         assert result.returncode == 0, result.stderr
@@ -61,6 +61,7 @@ class TestHelp:
         assert parser.parse_args(["gauntlet", "--attack", "overwrite"]).command == "gauntlet"
         args = parser.parse_args(["insert", "--owners", "3"])
         assert args.command == "insert" and args.owners == 3
+        assert parser.parse_args(["audit", "--registry", "r"]).command == "audit"
 
     def test_gauntlet_executor_flags(self):
         parser = build_parser()
@@ -148,6 +149,24 @@ class TestOfflineVerify:
         out = json.loads(capsys.readouterr().out)
         assert code == 1  # exit 1: no ownership established
         assert out["decisions"][0]["owned"] is False
+
+    def test_offline_audit_flags_a_collision(
+        self, watermarked_and_key, tmp_path, capsys
+    ):
+        """`repro audit` re-verifies slot disjointness straight off the disk."""
+        from dataclasses import replace
+
+        _, key = watermarked_and_key
+        registry = KeyRegistry(tmp_path / "reg")
+        registry.register(key, owner="acme")
+        assert main(["audit", "--registry", str(tmp_path / "reg"), "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is True and out["models"] == 1
+
+        registry.register(replace(key, signature=-key.signature), owner="mallory")
+        assert main(["audit", "--registry", str(tmp_path / "reg"), "--json"]) == 1
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is False and out["collisions"] == 1
 
     def test_verify_empty_registry_errors(self, quantized_awq4, tmp_path, capsys):
         save_model(quantized_awq4, tmp_path / "suspect")

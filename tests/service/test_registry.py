@@ -88,7 +88,7 @@ class TestInMemory:
         record = registry.register(key)
         registry.revoke(record.key_id)
         stats = registry.stats()
-        assert stats == {
+        expected = {
             "keys": 1,
             "active": 0,
             "revoked": 1,
@@ -96,7 +96,13 @@ class TestInMemory:
             "multi_owner_models": 0,
             "owners": 0,
             "persistent": False,
+            "quarantined": 0,
+            "key_loads": 0,
+            "evictions": 0,
+            "max_resident_keys": None,
+            "resident": 1,
         }
+        assert stats == expected
 
 
 class TestFingerprintIndexCollisions:
@@ -208,11 +214,78 @@ class TestPersistence:
         assert reloaded.get_record(record.key_id).revoked
         assert reloaded.active_keys() == {}
 
-    def test_corrupt_entry_raises_registry_error(self, watermarked_and_key, tmp_path):
+    def test_corrupt_archive_quarantined_on_first_load(
+        self, watermarked_and_key, tmp_path
+    ):
+        """Startup is record-only; a damaged NPZ surfaces (and quarantines)
+        at first key-material access instead of bricking the registry."""
         _, key = watermarked_and_key
         registry = KeyRegistry(tmp_path / "reg")
         record = registry.register(key)
         archive = tmp_path / "reg" / record.key_id / "watermark_key.npz"
         archive.write_bytes(b"corrupted")
+
+        reloaded = KeyRegistry(tmp_path / "reg")
+        assert len(reloaded) == 1  # record indexed fine
         with pytest.raises(RegistryError, match="corrupt registry entry"):
-            KeyRegistry(tmp_path / "reg")
+            reloaded.get_key(record.key_id)
+        # The entry is quarantined and dropped from the index.
+        assert record.key_id not in reloaded
+        assert reloaded.stats()["quarantined"] == 1
+        assert (tmp_path / "reg" / f"{record.key_id}.corrupt").exists()
+
+    def test_corrupt_record_quarantined_at_startup(
+        self, watermarked_and_key, second_key, tmp_path
+    ):
+        """A bad record.json quarantines that entry; the rest still load."""
+        _, key = watermarked_and_key
+        registry = KeyRegistry(tmp_path / "reg")
+        bad = registry.register(key, owner="acme")
+        good = registry.register(second_key, owner="globex")
+        (tmp_path / "reg" / bad.key_id / "record.json").write_text("{not json")
+
+        reloaded = KeyRegistry(tmp_path / "reg")
+        assert len(reloaded) == 1
+        assert good.key_id in reloaded
+        assert reloaded.stats()["quarantined"] == 1
+        assert (tmp_path / "reg" / f"{bad.key_id}.corrupt").exists()
+        # The survivor's material still loads.
+        assert reloaded.get_key(good.key_id).fingerprint() == second_key.fingerprint()
+
+    def test_record_only_startup_defers_bulk_reads(
+        self, watermarked_and_key, tmp_path
+    ):
+        _, key = watermarked_and_key
+        KeyRegistry(tmp_path / "reg").register(key, owner="acme")
+
+        reloaded = KeyRegistry(tmp_path / "reg")
+        stats = reloaded.stats()
+        assert stats["key_loads"] == 0
+        assert stats["resident"] == 0
+        reloaded.get_key(key.fingerprint())
+        stats = reloaded.stats()
+        assert stats["key_loads"] == 1
+        assert stats["resident"] == 1
+        # A second access is served from residency, not disk.
+        reloaded.get_key(key.fingerprint())
+        assert reloaded.stats()["key_loads"] == 1
+
+    def test_lru_bound_evicts_and_reloads(
+        self, watermarked_and_key, second_key, tmp_path
+    ):
+        _, key = watermarked_and_key
+        seed = KeyRegistry(tmp_path / "reg")
+        first = seed.register(key, owner="acme")
+        second = seed.register(second_key, owner="globex")
+
+        registry = KeyRegistry(tmp_path / "reg", max_resident_keys=1)
+        registry.get_key(first.key_id)
+        assert registry.stats()["resident"] == 1
+        registry.get_key(second.key_id)  # evicts the first
+        stats = registry.stats()
+        assert stats["resident"] == 1
+        assert stats["evictions"] == 1
+        # Evicted material transparently reloads from disk.
+        reloaded_key = registry.get_key(first.key_id)
+        assert reloaded_key.fingerprint() == key.fingerprint()
+        assert registry.stats()["key_loads"] == 3
